@@ -1,0 +1,68 @@
+//! The comparison systems of the paper's evaluation (Sec. 6):
+//!
+//! - [`postgres`] — executes the big-join SQL translation on the
+//!   single-node relational substrate, the "PostgreSQL" baseline of the
+//!   end-to-end study (monolithic storage) and of the scheduling study
+//!   (partition-optimized storage, Fig. 6);
+//! - [`neo4j`] — loads entities as nodes and events as relationships into
+//!   the property-graph substrate and evaluates the pattern by traversal,
+//!   the "Neo4j" baseline;
+//! - [`greenplum`] — executes the big-join SQL with scatter/gather on the
+//!   segmented store, the "Greenplum" baseline of Fig. 7.
+//!
+//! All baselines return plain row sets so differential tests can check them
+//! against the AIQL engine's results.
+
+pub mod greenplum;
+pub mod neo4j;
+pub mod postgres;
+
+use aiql_rdb::Value;
+
+/// A baseline result: rows only (columns follow the query's return clause).
+pub type Rows = Vec<Vec<Value>>;
+
+/// Normalizes rows for order-insensitive comparison in differential tests.
+pub fn normalize(mut rows: Rows) -> Rows {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+/// Errors from baseline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The query cannot be expressed in this baseline.
+    Untranslatable(String),
+    /// Storage-layer failure.
+    Storage(aiql_rdb::RdbError),
+    /// The execution deadline elapsed (the paper's ">1 hour" cases).
+    Timeout,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Untranslatable(m) => write!(f, "untranslatable: {m}"),
+            BaselineError::Storage(e) => write!(f, "storage: {e}"),
+            BaselineError::Timeout => write!(f, "baseline exceeded its deadline"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<aiql_rdb::RdbError> for BaselineError {
+    fn from(e: aiql_rdb::RdbError) -> Self {
+        match e {
+            aiql_rdb::RdbError::Timeout => BaselineError::Timeout,
+            other => BaselineError::Storage(other),
+        }
+    }
+}
+
+impl From<aiql_translate::TranslateError> for BaselineError {
+    fn from(e: aiql_translate::TranslateError) -> Self {
+        BaselineError::Untranslatable(e.to_string())
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation bench (paper Sec. 7 discussion): constraint-count pruning
+//! scores vs the statistical cardinality-estimate refinement, and the
+//! contribution of partition parallelism.
+
+use aiql_bench::catalog;
+use aiql_bench::harness::{self, Scale};
+use aiql_engine::{Engine, EngineConfig, ScoreModel};
+use aiql_storage::{EventStore, StoreConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) = harness::dataset(Scale::Small);
+    let store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
+    let queries: Vec<_> = catalog::case_study()
+        .into_iter()
+        .chain(catalog::behaviours())
+        .collect();
+
+    // Scorer ablation on queries whose constraint counts mislead (broad
+    // leading patterns) and on a selective control.
+    for id in ["c2-7", "c5-5", "a2", "c5-7"] {
+        let q = queries.iter().find(|q| q.id == id).expect("catalog id");
+        let ctx = aiql_core::compile(q.source).expect("compiles");
+        let mut g = c.benchmark_group(format!("ablation-scorer/{id}"));
+        g.sample_size(10);
+        g.bench_function("constraint-count", |b| {
+            let engine = Engine::with_config(
+                &store,
+                EngineConfig { scorer: ScoreModel::ConstraintCount, ..EngineConfig::aiql() },
+            );
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.bench_function("data-statistics", |b| {
+            let engine = Engine::with_config(&store, EngineConfig::aiql_statistical());
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.finish();
+    }
+
+    // Parallelism ablation: partition-parallel scans on vs off.
+    for id in ["c5-7", "a4"] {
+        let q = queries.iter().find(|q| q.id == id).expect("catalog id");
+        let ctx = aiql_core::compile(q.source).expect("compiles");
+        let mut g = c.benchmark_group(format!("ablation-parallel/{id}"));
+        g.sample_size(10);
+        g.bench_function("sequential", |b| {
+            let engine = Engine::with_config(
+                &store,
+                EngineConfig { parallel: false, ..EngineConfig::aiql() },
+            );
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.bench_function("partition-parallel", |b| {
+            let engine = Engine::with_config(&store, EngineConfig::aiql());
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 8 / Table 5: translation + conciseness
+//! measurement throughput over the full behaviour catalog.
+
+use aiql_bench::catalog;
+use aiql_translate::metrics::{compare, conciseness};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let queries = catalog::behaviours();
+    let mut g = c.benchmark_group("conciseness");
+    g.sample_size(20);
+    g.bench_function("translate-all-19", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(compare(q.source).expect("compiles"));
+            }
+        })
+    });
+    g.bench_function("measure-aiql-only", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(conciseness(q.source));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmarks of the AIQL language front end: lexing, parsing, and
+//! full compilation (parse + analysis) — the per-iteration cost an analyst
+//! pays on every query revision during an investigation.
+
+use aiql_bench::catalog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let q7 = catalog::case_study()
+        .into_iter()
+        .find(|q| q.id == "c5-7")
+        .expect("query 7");
+
+    let mut g = c.benchmark_group("language");
+    g.bench_function("lex-query7", |b| {
+        b.iter(|| black_box(aiql_core::lex::lex(q7.source).expect("lexes")))
+    });
+    g.bench_function("parse-query7", |b| {
+        b.iter(|| black_box(aiql_core::parse_query(q7.source).expect("parses")))
+    });
+    g.bench_function("compile-query7", |b| {
+        b.iter(|| black_box(aiql_core::compile(q7.source).expect("compiles")))
+    });
+    let ast = aiql_core::parse_query(q7.source).expect("parses");
+    g.bench_function("print-query7", |b| {
+        b.iter(|| black_box(aiql_core::print::to_source(&ast)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 7: Greenplum-style gather execution
+//! (round-robin placement) vs AIQL scheduling over by-host segments.
+
+use aiql_bench::catalog;
+use aiql_bench::harness::{self, Scale};
+use aiql_engine::{Engine, EngineConfig};
+use aiql_storage::SegmentedStore;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) = harness::dataset(Scale::Small);
+    let gp = SegmentedStore::ingest(&data, 5, false).expect("round-robin ingest");
+    let ours = SegmentedStore::ingest(&data, 5, true).expect("by-host ingest");
+    let queries = catalog::behaviours();
+
+    for id in ["a1", "d3", "v1"] {
+        let q = queries.iter().find(|q| q.id == id).expect("catalog id");
+        let ctx = aiql_core::compile(q.source).expect("compiles");
+        let mut g = c.benchmark_group(format!("parallel/{id}"));
+        g.sample_size(10);
+        g.bench_function("greenplum-gather", |b| {
+            b.iter(|| black_box(aiql_baselines::greenplum::run(&gp, &ctx, None).ok()))
+        });
+        g.bench_function("aiql-segmented", |b| {
+            let engine = Engine::segmented(&ours, EngineConfig::aiql());
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 6: PostgreSQL scheduling vs fetch-and-filter vs
+//! relationship-based scheduling over the same partition-optimized store.
+
+use aiql_bench::catalog;
+use aiql_bench::harness::{self, Scale};
+use aiql_engine::Engine;
+use aiql_storage::{EventStore, StoreConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (data, _) = harness::dataset(Scale::Small);
+    let store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
+    let queries = catalog::behaviours();
+
+    // One query per behaviour family (a2 is the broad/heavy one).
+    for id in ["a2", "d3", "v2", "s1"] {
+        let q = queries.iter().find(|q| q.id == id).expect("catalog id");
+        let ctx = aiql_core::compile(q.source).expect("compiles");
+        let mut g = c.benchmark_group(format!("scheduling/{id}"));
+        g.sample_size(10);
+        g.bench_function("postgres-sched", |b| {
+            b.iter(|| black_box(aiql_baselines::postgres::run(&store, &ctx, None).ok()))
+        });
+        g.bench_function("fetch-filter", |b| {
+            let engine = Engine::with_config(&store, harness::ff_config());
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.bench_function("relationship", |b| {
+            let engine = Engine::with_config(&store, harness::sched_only_config());
+            b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

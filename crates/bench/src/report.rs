@@ -1,0 +1,151 @@
+//! Paper-style table and figure rendering (plain text).
+
+use crate::harness::RunResult;
+
+/// Formats a run result as seconds, using the paper's ">budget" notation for
+/// DNF runs and "-" for unsupported ones.
+pub fn cell(r: &RunResult) -> String {
+    match r {
+        RunResult::Done { elapsed, .. } => format!("{:.3}", elapsed.as_secs_f64()),
+        RunResult::DidNotFinish { budget } => format!(">{}", budget.as_secs()),
+        RunResult::Unsupported => "-".to_string(),
+    }
+}
+
+/// log10 of the elapsed seconds (Fig. 5's y-axis), None when unsupported.
+pub fn log10_cell(r: &RunResult) -> String {
+    match r.secs() {
+        Some(s) => format!("{:+.2}", s.max(1e-6).log10()),
+        None => "   -".to_string(),
+    }
+}
+
+/// A fixed-width text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a header row.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!("{c:<width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{c:>width$}", width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Geometric-mean speedup of `base` over `fast` across query pairs, skipping
+/// unsupported entries; DNF runs are charged their budget (a *lower bound*,
+/// as in the paper).
+pub fn speedup(base: &[RunResult], fast: &[RunResult]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for (b, f) in base.iter().zip(fast) {
+        if let (Some(bs), Some(fs)) = (b.secs(), f.secs()) {
+            if fs > 0.0 {
+                log_sum += (bs / fs).max(1e-9).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Total time across runs (budget-charged), the paper's "total investigation
+/// time" metric.
+pub fn total_secs(results: &[RunResult]) -> f64 {
+    results.iter().filter_map(RunResult::secs).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn done(ms: u64) -> RunResult {
+        RunResult::Done { elapsed: Duration::from_millis(ms), rows: 1 }
+    }
+
+    #[test]
+    fn cells() {
+        assert_eq!(cell(&done(1500)), "1.500");
+        assert_eq!(
+            cell(&RunResult::DidNotFinish { budget: Duration::from_secs(30) }),
+            ">30"
+        );
+        assert_eq!(cell(&RunResult::Unsupported), "-");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["id", "aiql", "pg"]);
+        t.row(vec!["c1-1".into(), "0.001".into(), "0.120".into()]);
+        t.row(vec!["c5-7".into(), "0.004".into(), ">30".into()]);
+        let s = t.render();
+        assert!(s.contains("c1-1"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn speedup_geomean() {
+        let base = vec![done(1000), done(100)];
+        let fast = vec![done(10), done(10)];
+        let s = speedup(&base, &fast);
+        assert!((s - (100.0f64 * 10.0).sqrt()).abs() < 1e-6);
+        assert_eq!(speedup(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn totals_charge_budget() {
+        let rs = vec![done(500), RunResult::DidNotFinish { budget: Duration::from_secs(10) }];
+        assert!((total_secs(&rs) - 10.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,330 @@
+//! Abstract syntax of AIQL queries (paper Grammar 1).
+
+use crate::err::Span;
+use aiql_model::{EntityKind, TimeUnit};
+
+/// Comparison operators in constraints and relationships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+/// A parsed AIQL query: multievent (which subsumes anomaly queries — an
+/// anomaly query is a multievent query with a sliding-window global
+/// constraint) or dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Multievent(MultieventQuery),
+    Dependency(DependencyQuery),
+}
+
+/// Global constraints preceding the query body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalCstr {
+    /// A bare attribute constraint applying to all patterns (e.g.
+    /// `agentid = 1`).
+    Attr { attr: String, op: CmpOp, value: Lit, span: Span },
+    /// `agentid in (1, 2, 3)`.
+    AttrIn { attr: String, values: Vec<Lit>, span: Span },
+    /// A global time window: `(at "...")` or `(from "..." to "...")`.
+    Window(TimeWindow),
+    /// Sliding-window length: `window = 1 min`.
+    SlideWindow { length: DurationLit, span: Span },
+    /// Sliding-window step: `step = 10 sec`.
+    SlideStep { length: DurationLit, span: Span },
+}
+
+/// A literal duration, e.g. `1 min`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationLit {
+    pub count: i64,
+    pub unit: TimeUnit,
+}
+
+/// A time window constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeWindow {
+    /// `at "date"` — the whole day (or instant range) of the literal.
+    At { datetime: String, span: Span },
+    /// `from "datetime" to "datetime"`.
+    FromTo { from: String, to: String, span: Span },
+}
+
+/// A multievent query (paper Sec. 4.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultieventQuery {
+    pub global: Vec<GlobalCstr>,
+    pub patterns: Vec<EventPattern>,
+    pub relations: Vec<Relation>,
+    pub ret: ReturnClause,
+    pub group_by: Vec<RetExpr>,
+    pub having: Option<HavingExpr>,
+    pub sort_by: Vec<(RetExpr, bool)>,
+    pub top: Option<usize>,
+}
+
+/// One event pattern: `subject op object [as evt[...]] [(twind)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    pub subject: EntityPat,
+    pub op: OpExpr,
+    pub object: EntityPat,
+    pub evt_var: Option<String>,
+    pub evt_cstr: Option<AttrCstr>,
+    pub window: Option<TimeWindow>,
+    pub span: Span,
+}
+
+/// An entity pattern: type, optional variable, optional constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityPat {
+    pub kind: EntityKind,
+    pub var: Option<String>,
+    pub cstr: Option<AttrCstr>,
+    pub span: Span,
+}
+
+/// Operation expression with boolean connectives, e.g. `read || write`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpExpr {
+    Op(String, Span),
+    Not(Box<OpExpr>),
+    And(Box<OpExpr>, Box<OpExpr>),
+    Or(Box<OpExpr>, Box<OpExpr>),
+}
+
+/// Attribute constraints inside `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrCstr {
+    /// `attr op value`.
+    Cmp { attr: String, op: CmpOp, value: Lit, span: Span },
+    /// A bare (possibly negated) value with the attribute inferred, e.g.
+    /// `"%cmd.exe"` or `!"svchost.exe"`.
+    Bare { neg: bool, value: Lit, span: Span },
+    /// `attr [not] in (v1, v2, ...)`.
+    In { attr: String, neg: bool, values: Vec<Lit>, span: Span },
+    Not(Box<AttrCstr>),
+    And(Box<AttrCstr>, Box<AttrCstr>),
+    Or(Box<AttrCstr>, Box<AttrCstr>),
+}
+
+/// A reference `id` or `id.attr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRef {
+    pub id: String,
+    pub attr: Option<String>,
+    pub span: Span,
+}
+
+/// Event relationships in the `with` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Relation {
+    /// `ref op ref`, e.g. `p1 = p3` or `p2.exe_name != p4.exe_name`.
+    Attr { left: AttrRef, op: CmpOp, right: AttrRef },
+    /// `evt1 before[1-2 min] evt2` / `after` / `within`.
+    Temporal {
+        left: String,
+        kind: TempKind,
+        range: Option<(i64, i64, TimeUnit)>,
+        right: String,
+        span: Span,
+    },
+}
+
+/// Temporal relationship kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TempKind {
+    Before,
+    After,
+    Within,
+}
+
+/// Aggregation functions in return clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// Moving-average built-ins for anomaly queries (paper Sec. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaKind {
+    /// Simple moving average over the last `param` windows.
+    Sma,
+    /// Cumulative moving average since the first window.
+    Cma,
+    /// Weighted moving average over the last `param` windows.
+    Wma,
+    /// Exponentially weighted moving average with smoothing `param`.
+    Ewma,
+}
+
+/// The `return` clause.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReturnClause {
+    pub count: bool,
+    pub distinct: bool,
+    pub items: Vec<RetItem>,
+}
+
+/// One returned item with optional rename.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetItem {
+    pub expr: RetExpr,
+    pub rename: Option<String>,
+}
+
+/// Expressions allowed in `return` and `group by`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetExpr {
+    /// `id` or `id.attr`.
+    Ref(AttrRef),
+    /// `count(distinct x)`, `avg(x)`, ...
+    Agg { func: AggFunc, distinct: bool, arg: AttrRef, span: Span },
+}
+
+/// Having expressions: comparisons over window arithmetic (paper Query 4/5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HavingExpr {
+    Cmp { op: CmpOp, left: ArithExpr, right: ArithExpr },
+    And(Box<HavingExpr>, Box<HavingExpr>),
+    Or(Box<HavingExpr>, Box<HavingExpr>),
+    Not(Box<HavingExpr>),
+}
+
+/// Arithmetic over aggregate results, history states, and moving averages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArithExpr {
+    /// A literal number.
+    Num(f64),
+    /// A named value: a return-item rename (`freq`) or `id.attr` reference.
+    Ref(AttrRef),
+    /// History state: `freq[2]` = the value two windows ago.
+    Hist { name: String, back: usize, span: Span },
+    /// Moving average call: `EWMA(freq, 0.9)`, `SMA(freq, 3)`.
+    MovAvg { kind: MaKind, name: String, param: f64, span: Span },
+    Add(Box<ArithExpr>, Box<ArithExpr>),
+    Sub(Box<ArithExpr>, Box<ArithExpr>),
+    Mul(Box<ArithExpr>, Box<ArithExpr>),
+    Div(Box<ArithExpr>, Box<ArithExpr>),
+    Neg(Box<ArithExpr>),
+}
+
+/// Dependency tracking direction (paper Sec. 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Leftmost pattern's events occurred earliest.
+    Forward,
+    /// Leftmost pattern's events occurred latest.
+    Backward,
+}
+
+/// Edge direction in a dependency chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeDir {
+    /// `->[op]`: left entity is the subject.
+    Right,
+    /// `<-[op]`: right entity is the subject.
+    Left,
+}
+
+/// A dependency query: a path of entities joined by operation edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyQuery {
+    pub global: Vec<GlobalCstr>,
+    pub direction: Direction,
+    /// `entities[i] --edges[i]-- entities[i+1]`.
+    pub entities: Vec<EntityPat>,
+    pub edges: Vec<(EdgeDir, OpExpr)>,
+    pub ret: ReturnClause,
+    pub sort_by: Vec<(RetExpr, bool)>,
+    pub top: Option<usize>,
+}
+
+impl OpExpr {
+    /// Collects all operation names mentioned, for validation.
+    pub fn op_names(&self, out: &mut Vec<(String, Span)>) {
+        match self {
+            OpExpr::Op(name, span) => out.push((name.clone(), *span)),
+            OpExpr::Not(e) => e.op_names(out),
+            OpExpr::And(a, b) | OpExpr::Or(a, b) => {
+                a.op_names(out);
+                b.op_names(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression against a concrete operation name.
+    pub fn admits(&self, op: &str) -> bool {
+        match self {
+            OpExpr::Op(name, _) => name.eq_ignore_ascii_case(op),
+            OpExpr::Not(e) => !e.admits(op),
+            OpExpr::And(a, b) => a.admits(op) && b.admits(op),
+            OpExpr::Or(a, b) => a.admits(op) || b.admits(op),
+        }
+    }
+}
+
+impl Lit {
+    /// Displays the literal as AIQL source.
+    pub fn to_source(&self) -> String {
+        match self {
+            Lit::Str(s) => format!("\"{s}\""),
+            Lit::Int(i) => i.to_string(),
+            Lit::Float(f) => f.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_expr_admits() {
+        let e = OpExpr::Or(
+            Box::new(OpExpr::Op("read".into(), Span::default())),
+            Box::new(OpExpr::Op("write".into(), Span::default())),
+        );
+        assert!(e.admits("read"));
+        assert!(e.admits("WRITE"));
+        assert!(!e.admits("start"));
+
+        let not_read = OpExpr::Not(Box::new(OpExpr::Op("read".into(), Span::default())));
+        assert!(!not_read.admits("read"));
+        assert!(not_read.admits("write"));
+    }
+
+    #[test]
+    fn op_names_collected() {
+        let e = OpExpr::And(
+            Box::new(OpExpr::Op("a".into(), Span::default())),
+            Box::new(OpExpr::Not(Box::new(OpExpr::Op("b".into(), Span::default())))),
+        );
+        let mut names = vec![];
+        e.op_names(&mut names);
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn lit_source() {
+        assert_eq!(Lit::Str("x%".into()).to_source(), "\"x%\"");
+        assert_eq!(Lit::Int(4444).to_source(), "4444");
+    }
+}

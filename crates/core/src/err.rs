@@ -1,0 +1,140 @@
+//! Diagnostics: spanned errors with optional help text.
+
+use std::fmt;
+
+/// A byte range in the query source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A compile error for an AIQL query: message, optional location, optional
+/// help. The AIQL system's "error reporting" component (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AiqlError {
+    pub message: String,
+    pub span: Option<Span>,
+    pub help: Option<String>,
+}
+
+impl AiqlError {
+    /// An error with no location.
+    pub fn new(message: impl Into<String>) -> AiqlError {
+        AiqlError {
+            message: message.into(),
+            span: None,
+            help: None,
+        }
+    }
+
+    /// An error at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> AiqlError {
+        AiqlError {
+            message: message.into(),
+            span: Some(span),
+            help: None,
+        }
+    }
+
+    /// Attaches a help suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> AiqlError {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the error against the query source with a caret line, e.g.
+    ///
+    /// ```text
+    /// error: unknown operation `touch`
+    ///   | proc p1 touch file f1
+    ///   |         ^^^^^
+    ///   = help: valid operations are read, write, ...
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("error: {}\n", self.message);
+        if let Some(span) = self.span {
+            // Locate the line containing the span start.
+            let start = span.start.min(source.len());
+            let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let line_end = source[start..]
+                .find('\n')
+                .map(|i| start + i)
+                .unwrap_or(source.len());
+            let line = &source[line_start..line_end];
+            let col = start - line_start;
+            let width = span.end.min(line_end).saturating_sub(start).max(1);
+            out.push_str(&format!("  | {line}\n"));
+            out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("  = help: {h}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AiqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(h) = &self.help {
+            write!(f, " (help: {h})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AiqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "proc p1 touch file f1\nreturn p1";
+        let err = AiqlError::at(Span::new(8, 13), "unknown operation `touch`")
+            .with_help("valid operations include read, write, start");
+        let rendered = err.render(src);
+        assert!(rendered.contains("error: unknown operation"));
+        assert!(rendered.contains("proc p1 touch file f1"));
+        assert!(rendered.contains("        ^^^^^"));
+        assert!(rendered.contains("help: valid operations"));
+    }
+
+    #[test]
+    fn render_without_span() {
+        let err = AiqlError::new("boom");
+        assert_eq!(err.render(""), "error: boom\n");
+    }
+
+    #[test]
+    fn render_on_later_line() {
+        let src = "agentid = 1\nproc p1 read file f1\nreturn p1";
+        let err = AiqlError::at(Span::new(17, 21), "x");
+        let rendered = err.render(src);
+        assert!(rendered.contains("proc p1 read file f1"));
+    }
+}

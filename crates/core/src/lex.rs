@@ -1,0 +1,276 @@
+//! Lexer for AIQL source text.
+//!
+//! Tokens carry byte spans for diagnostics. Keywords are not distinguished
+//! here — AIQL keywords (`proc`, `read`, `with`, `return`, …) are contextual
+//! identifiers resolved by the parser, matching the grammar's style.
+//! Comments run from `//` to end of line. String literals use double quotes
+//! and may contain `%` wildcards.
+
+use crate::err::{AiqlError, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Colon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Arrow,
+    BackArrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Lexes a full query; fails on unterminated strings or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, AiqlError> {
+    let b: Vec<char> = src.chars().collect();
+    // Byte offset of each char, for spans over multi-byte input.
+    let mut offs = Vec::with_capacity(b.len() + 1);
+    let mut acc = 0;
+    for c in &b {
+        offs.push(acc);
+        acc += c.len_utf8();
+    }
+    offs.push(acc);
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = offs[i];
+        let c = b[i];
+        let mut push1 = |tok: Tok, len: usize, i: &mut usize| {
+            out.push(Token {
+                tok,
+                span: Span::new(start, offs[*i + len]),
+            });
+            *i += len;
+        };
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1(Tok::LParen, 1, &mut i),
+            ')' => push1(Tok::RParen, 1, &mut i),
+            '[' => push1(Tok::LBracket, 1, &mut i),
+            ']' => push1(Tok::RBracket, 1, &mut i),
+            ',' => push1(Tok::Comma, 1, &mut i),
+            '.' if !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                push1(Tok::Dot, 1, &mut i)
+            }
+            ':' => push1(Tok::Colon, 1, &mut i),
+            '=' => push1(Tok::Eq, 1, &mut i),
+            '+' => push1(Tok::Plus, 1, &mut i),
+            '*' => push1(Tok::Star, 1, &mut i),
+            '/' => push1(Tok::Slash, 1, &mut i),
+            '!' if b.get(i + 1) == Some(&'=') => push1(Tok::Ne, 2, &mut i),
+            '!' => push1(Tok::Bang, 1, &mut i),
+            '&' if b.get(i + 1) == Some(&'&') => push1(Tok::AndAnd, 2, &mut i),
+            '|' if b.get(i + 1) == Some(&'|') => push1(Tok::OrOr, 2, &mut i),
+            '<' if b.get(i + 1) == Some(&'-') => push1(Tok::BackArrow, 2, &mut i),
+            '<' if b.get(i + 1) == Some(&'=') => push1(Tok::Le, 2, &mut i),
+            '<' => push1(Tok::Lt, 1, &mut i),
+            '>' if b.get(i + 1) == Some(&'=') => push1(Tok::Ge, 2, &mut i),
+            '>' => push1(Tok::Gt, 1, &mut i),
+            '-' if b.get(i + 1) == Some(&'>') => push1(Tok::Arrow, 2, &mut i),
+            '-' => push1(Tok::Minus, 1, &mut i),
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match b.get(j) {
+                        Some('"') => break,
+                        Some('\\') if b.get(j + 1) == Some(&'"') => {
+                            s.push('"');
+                            j += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(AiqlError::at(
+                                Span::new(start, offs[b.len()]),
+                                "unterminated string literal",
+                            ))
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, offs[j + 1]),
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let mut j = i;
+                let mut has_dot = false;
+                while j < b.len() && (b[j].is_ascii_digit() || (b[j] == '.' && !has_dot)) {
+                    if b[j] == '.' {
+                        // A dot must be followed by a digit to be a decimal
+                        // point (so `evt1.attr`-style refs still lex).
+                        if !b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                            break;
+                        }
+                        has_dot = true;
+                    }
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                let span = Span::new(start, offs[j]);
+                let tok = if has_dot {
+                    Tok::Float(text.parse().map_err(|_| AiqlError::at(span, "invalid number"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| AiqlError::at(span, "invalid number"))?)
+                };
+                out.push(Token { tok, span });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    span: Span::new(start, offs[j]),
+                });
+                i = j;
+            }
+            other => {
+                return Err(AiqlError::at(
+                    Span::new(start, offs[i + 1]),
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_strings_numbers() {
+        assert_eq!(
+            kinds(r#"proc p1["%cmd.exe"] 42 3.5"#),
+            vec![
+                Tok::Ident("proc".into()),
+                Tok::Ident("p1".into()),
+                Tok::LBracket,
+                Tok::Str("%cmd.exe".into()),
+                Tok::RBracket,
+                Tok::Int(42),
+                Tok::Float(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("agentid = 1 // host id\nreturn p"),
+            vec![
+                Tok::Ident("agentid".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Ident("return".into()),
+                Tok::Ident("p".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_arrows() {
+        assert_eq!(
+            kinds("-> <- && || ! != <= >= < > = + - * /"),
+            vec![
+                Tok::Arrow,
+                Tok::BackArrow,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn dots_vs_decimals() {
+        assert_eq!(
+            kinds("evt1.amount 0.9 freq"),
+            vec![
+                Tok::Ident("evt1".into()),
+                Tok::Dot,
+                Tok::Ident("amount".into()),
+                Tok::Float(0.9),
+                Tok::Ident("freq".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_and_errors() {
+        assert_eq!(kinds(r#""a\"b""#), vec![Tok::Str("a\"b".into())]);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("ab \"cd\" 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 7));
+        assert_eq!(toks[2].span, Span::new(8, 10));
+    }
+
+    #[test]
+    fn brackets_in_history_refs() {
+        assert_eq!(
+            kinds("freq[1]"),
+            vec![Tok::Ident("freq".into()), Tok::LBracket, Tok::Int(1), Tok::RBracket]
+        );
+    }
+}

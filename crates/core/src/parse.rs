@@ -1,0 +1,1159 @@
+//! Recursive-descent parser for AIQL (paper Grammar 1).
+//!
+//! AIQL keywords are contextual: an identifier like `read` is an operation
+//! in pattern position and a plain name elsewhere. The parser resolves this
+//! with one-token lookahead plus a small amount of backtracking when
+//! distinguishing multievent bodies from dependency chains.
+
+use crate::ast::*;
+use crate::err::{AiqlError, Span};
+use crate::lex::{lex, Tok, Token};
+use aiql_model::{EntityKind, OpType, TimeUnit};
+
+/// Parses one AIQL query.
+pub fn parse(src: &str) -> Result<Query, AiqlError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    if !p.at_end() {
+        return Err(AiqlError::at(
+            p.cur_span(),
+            format!("unexpected trailing input: `{}`", p.describe_cur()),
+        ));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+const ENTITY_KWS: [&str; 5] = ["proc", "process", "file", "ip", "conn"];
+
+fn is_op_keyword(s: &str) -> bool {
+    OpType::parse_keyword(s).is_some()
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off).map(|t| &t.tok)
+    }
+
+    fn cur_span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.span)
+            .or_else(|| self.toks.last().map(|t| t.span))
+            .unwrap_or_default()
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
+    fn describe_cur(&self) -> String {
+        match self.peek() {
+            Some(Tok::Ident(s)) => s.clone(),
+            Some(t) => format!("{t:?}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<Span, AiqlError> {
+        if self.peek() == Some(t) {
+            let span = self.cur_span();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(AiqlError::at(
+                self.cur_span(),
+                format!("expected {what}, found `{}`", self.describe_cur()),
+            ))
+        }
+    }
+
+    /// Consumes a case-insensitive keyword identifier.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek_kw_at(&self, off: usize, kw: &str) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), AiqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(AiqlError::at(
+                self.cur_span(),
+                format!("expected `{kw}`, found `{}`", self.describe_cur()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), AiqlError> {
+        match self.bump() {
+            Some(Token { tok: Tok::Ident(s), span }) => Ok((s, span)),
+            other => Err(AiqlError::at(
+                other.map(|t| t.span).unwrap_or_else(|| self.prev_span()),
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    fn peek_entity_kw(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s))
+            if ENTITY_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)))
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn literal(&mut self) -> Result<(Lit, Span), AiqlError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.bump() {
+            Some(Token { tok: Tok::Str(s), span }) if !neg => Ok((Lit::Str(s), span)),
+            Some(Token { tok: Tok::Int(i), span }) => {
+                Ok((Lit::Int(if neg { -i } else { i }), span))
+            }
+            Some(Token { tok: Tok::Float(f), span }) => {
+                Ok((Lit::Float(if neg { -f } else { f }), span))
+            }
+            other => Err(AiqlError::at(
+                other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
+                "expected a literal value",
+            )),
+        }
+    }
+
+    // ----- top level ------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, AiqlError> {
+        let global = self.global_cstrs()?;
+
+        // Dependency with explicit direction?
+        if (self.peek_kw("forward") || self.peek_kw("backward")) && self.peek_at(1) == Some(&Tok::Colon) {
+            let dir = if self.eat_kw("forward") {
+                Direction::Forward
+            } else {
+                self.expect_kw("backward")?;
+                Direction::Backward
+            };
+            self.expect(&Tok::Colon, "`:` after direction")?;
+            return Ok(Query::Dependency(self.dependency(global, dir)?));
+        }
+
+        // Lookahead: parse one entity pattern; an arrow next means a
+        // dependency chain with the default (forward) direction.
+        let save = self.pos;
+        if self.peek_entity_kw() {
+            let _probe = self.entity_pat()?;
+            let is_dep = matches!(self.peek(), Some(Tok::Arrow) | Some(Tok::BackArrow));
+            self.pos = save;
+            if is_dep {
+                return Ok(Query::Dependency(self.dependency(global, Direction::Forward)?));
+            }
+        }
+        Ok(Query::Multievent(self.multievent(global)?))
+    }
+
+    fn global_cstrs(&mut self) -> Result<Vec<GlobalCstr>, AiqlError> {
+        let mut out = Vec::new();
+        loop {
+            // Optional separating comma between global constraints.
+            if !out.is_empty() && self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                continue;
+            }
+            if self.eat(&Tok::LParen) {
+                let w = self.time_window()?;
+                self.expect(&Tok::RParen, "`)` after time window")?;
+                out.push(GlobalCstr::Window(w));
+                continue;
+            }
+            // `window = <dur>` / `step = <dur>`.
+            if (self.peek_kw("window") || self.peek_kw("step")) && self.peek_at(1) == Some(&Tok::Eq) {
+                let is_window = self.peek_kw("window");
+                let (_, span) = self.ident("window/step")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let d = self.duration()?;
+                out.push(if is_window {
+                    GlobalCstr::SlideWindow { length: d, span }
+                } else {
+                    GlobalCstr::SlideStep { length: d, span }
+                });
+                continue;
+            }
+            // `attr = value` / `attr in (v, ...)` — but NOT an entity pattern
+            // or clause keyword.
+            if let Some(Tok::Ident(name)) = self.peek() {
+                let name = name.clone();
+                if self.peek_entity_kw()
+                    || ["with", "return", "forward", "backward"].iter().any(|k| name.eq_ignore_ascii_case(k))
+                {
+                    break;
+                }
+                if matches!(self.peek_at(1), Some(Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)) {
+                    let (attr, span) = self.ident("attribute")?;
+                    let op = self.cmp_op().expect("peeked comparison");
+                    let (value, vspan) = self.literal()?;
+                    out.push(GlobalCstr::Attr { attr, op, value, span: span.merge(vspan) });
+                    continue;
+                }
+                if self.peek_kw_at(1, "in") {
+                    let (attr, span) = self.ident("attribute")?;
+                    self.expect_kw("in")?;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let mut values = Vec::new();
+                    loop {
+                        values.push(self.literal()?.0);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.expect(&Tok::RParen, "`)`")?;
+                    out.push(GlobalCstr::AttrIn { attr, values, span: span.merge(end) });
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(out)
+    }
+
+    fn time_window(&mut self) -> Result<TimeWindow, AiqlError> {
+        if self.eat_kw("at") {
+            let start = self.prev_span();
+            match self.bump() {
+                Some(Token { tok: Tok::Str(s), span }) => Ok(TimeWindow::At {
+                    datetime: s,
+                    span: start.merge(span),
+                }),
+                other => Err(AiqlError::at(
+                    other.map(|t| t.span).unwrap_or(start),
+                    "expected a quoted datetime after `at`",
+                )),
+            }
+        } else if self.eat_kw("from") {
+            let start = self.prev_span();
+            let from = match self.bump() {
+                Some(Token { tok: Tok::Str(s), .. }) => s,
+                other => {
+                    return Err(AiqlError::at(
+                        other.map(|t| t.span).unwrap_or(start),
+                        "expected a quoted datetime after `from`",
+                    ))
+                }
+            };
+            self.expect_kw("to")?;
+            match self.bump() {
+                Some(Token { tok: Tok::Str(s), span }) => Ok(TimeWindow::FromTo {
+                    from,
+                    to: s,
+                    span: start.merge(span),
+                }),
+                other => Err(AiqlError::at(
+                    other.map(|t| t.span).unwrap_or(start),
+                    "expected a quoted datetime after `to`",
+                )),
+            }
+        } else {
+            Err(AiqlError::at(
+                self.cur_span(),
+                "expected `at` or `from ... to ...` in time window",
+            ))
+        }
+    }
+
+    fn duration(&mut self) -> Result<DurationLit, AiqlError> {
+        let (count, span) = match self.bump() {
+            Some(Token { tok: Tok::Int(i), span }) => (i, span),
+            other => {
+                return Err(AiqlError::at(
+                    other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
+                    "expected a duration count",
+                ))
+            }
+        };
+        let (unit_name, uspan) = self.ident("a time unit (sec, min, hour, ...)")?;
+        let unit = TimeUnit::parse(&unit_name).ok_or_else(|| {
+            AiqlError::at(uspan, format!("unknown time unit `{unit_name}`"))
+                .with_help("valid units: ms, sec, min, hour, day")
+        })?;
+        let _ = span;
+        Ok(DurationLit { count, unit })
+    }
+
+    // ----- multievent -----------------------------------------------------
+
+    fn multievent(&mut self, global: Vec<GlobalCstr>) -> Result<MultieventQuery, AiqlError> {
+        let mut q = MultieventQuery {
+            global,
+            ..MultieventQuery::default()
+        };
+        while self.peek_entity_kw() {
+            q.patterns.push(self.event_pattern()?);
+        }
+        if q.patterns.is_empty() {
+            // Attempt an entity pattern anyway to produce a precise error
+            // (e.g. "unknown entity type `socket`").
+            if matches!(self.peek(), Some(Tok::Ident(s)) if !s.eq_ignore_ascii_case("return")) {
+                self.entity_pat()?;
+            }
+            return Err(AiqlError::at(
+                self.cur_span(),
+                "expected at least one event pattern (e.g. `proc p1 read file f1`)",
+            ));
+        }
+        if self.eat_kw("with") {
+            loop {
+                q.relations.push(self.relation()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        q.ret = self.return_clause()?;
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                q.group_by.push(self.ret_expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.filters(&mut q.having, &mut q.sort_by, &mut q.top, true)?;
+        Ok(q)
+    }
+
+    fn event_pattern(&mut self) -> Result<EventPattern, AiqlError> {
+        let start = self.cur_span();
+        let subject = self.entity_pat()?;
+        let op = self.op_expr()?;
+        let object = self.entity_pat()?;
+        let mut evt_var = None;
+        let mut evt_cstr = None;
+        if self.eat_kw("as") {
+            let (v, _) = self.ident("event identifier")?;
+            evt_var = Some(v);
+            if self.eat(&Tok::LBracket) {
+                evt_cstr = Some(self.attr_cstr_or()?);
+                self.expect(&Tok::RBracket, "`]`")?;
+            }
+        }
+        let mut window = None;
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            window = Some(self.time_window()?);
+            self.expect(&Tok::RParen, "`)` after time window")?;
+        }
+        Ok(EventPattern {
+            subject,
+            op,
+            object,
+            evt_var,
+            evt_cstr,
+            window,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn entity_pat(&mut self) -> Result<EntityPat, AiqlError> {
+        let (kw, start) = self.ident("entity type (proc, file, ip)")?;
+        let kind = EntityKind::parse_keyword(&kw).ok_or_else(|| {
+            AiqlError::at(start, format!("unknown entity type `{kw}`"))
+                .with_help("valid entity types: proc, file, ip")
+        })?;
+        // Optional variable: an identifier that is not an operation keyword,
+        // an entity keyword, or a clause keyword.
+        let mut var = None;
+        if let Some(Tok::Ident(s)) = self.peek() {
+            let s = s.clone();
+            let reserved = is_op_keyword(&s)
+                || ENTITY_KWS.iter().any(|k| s.eq_ignore_ascii_case(k))
+                || ["as", "with", "return", "group", "having", "sort", "top"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k));
+            if !reserved {
+                self.pos += 1;
+                var = Some(s);
+            }
+        }
+        let mut cstr = None;
+        if self.eat(&Tok::LBracket) {
+            cstr = Some(self.attr_cstr_or()?);
+            self.expect(&Tok::RBracket, "`]` after attribute constraints")?;
+        }
+        Ok(EntityPat {
+            kind,
+            var,
+            cstr,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn op_expr(&mut self) -> Result<OpExpr, AiqlError> {
+        let mut e = self.op_and()?;
+        while self.eat(&Tok::OrOr) {
+            e = OpExpr::Or(Box::new(e), Box::new(self.op_and()?));
+        }
+        Ok(e)
+    }
+
+    fn op_and(&mut self) -> Result<OpExpr, AiqlError> {
+        let mut e = self.op_unary()?;
+        while self.eat(&Tok::AndAnd) {
+            e = OpExpr::And(Box::new(e), Box::new(self.op_unary()?));
+        }
+        Ok(e)
+    }
+
+    fn op_unary(&mut self) -> Result<OpExpr, AiqlError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(OpExpr::Not(Box::new(self.op_unary()?)));
+        }
+        if self.eat(&Tok::LParen) {
+            let e = self.op_expr()?;
+            self.expect(&Tok::RParen, "`)` in operation expression")?;
+            return Ok(e);
+        }
+        let (name, span) = self.ident("an operation (read, write, start, ...)")?;
+        Ok(OpExpr::Op(name, span))
+    }
+
+    fn attr_cstr_or(&mut self) -> Result<AttrCstr, AiqlError> {
+        let mut e = self.attr_cstr_and()?;
+        while self.eat(&Tok::OrOr) {
+            e = AttrCstr::Or(Box::new(e), Box::new(self.attr_cstr_and()?));
+        }
+        Ok(e)
+    }
+
+    fn attr_cstr_and(&mut self) -> Result<AttrCstr, AiqlError> {
+        let mut e = self.attr_cstr_unary()?;
+        // `,` works as a conjunction separator inside brackets too, as in
+        // `p1["%/bin/cp%", agentid = 2]` (paper Query 3).
+        while self.eat(&Tok::AndAnd) || self.eat(&Tok::Comma) {
+            e = AttrCstr::And(Box::new(e), Box::new(self.attr_cstr_unary()?));
+        }
+        Ok(e)
+    }
+
+    fn attr_cstr_unary(&mut self) -> Result<AttrCstr, AiqlError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(AttrCstr::Not(Box::new(self.attr_cstr_unary()?)));
+        }
+        if self.eat(&Tok::LParen) {
+            let e = self.attr_cstr_or()?;
+            self.expect(&Tok::RParen, "`)` in attribute constraint")?;
+            return Ok(e);
+        }
+        // `attr op value` | `attr [not] in (...)` | bare value.
+        if let Some(Tok::Ident(_)) = self.peek() {
+            let (attr, span) = self.ident("attribute")?;
+            if let Some(op) = self.cmp_op() {
+                let (value, vspan) = self.literal()?;
+                return Ok(AttrCstr::Cmp { attr, op, value, span: span.merge(vspan) });
+            }
+            let neg = self.eat_kw("not");
+            if self.eat_kw("in") {
+                self.expect(&Tok::LParen, "`(` after in")?;
+                let mut values = Vec::new();
+                loop {
+                    values.push(self.literal()?.0);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                let end = self.expect(&Tok::RParen, "`)` after value list")?;
+                return Ok(AttrCstr::In { attr, neg, values, span: span.merge(end) });
+            }
+            return Err(AiqlError::at(
+                span,
+                format!("expected a comparison or `in` after attribute `{attr}`"),
+            ));
+        }
+        let (value, span) = self.literal()?;
+        Ok(AttrCstr::Bare { neg: false, value, span })
+    }
+
+    fn attr_ref(&mut self) -> Result<AttrRef, AiqlError> {
+        let (id, span) = self.ident("an entity or event identifier")?;
+        let mut attr = None;
+        let mut end = span;
+        if self.eat(&Tok::Dot) {
+            let (a, aspan) = self.ident("attribute name")?;
+            attr = Some(a);
+            end = aspan;
+        }
+        Ok(AttrRef { id, attr, span: span.merge(end) })
+    }
+
+    fn relation(&mut self) -> Result<Relation, AiqlError> {
+        let left = self.attr_ref()?;
+        // Temporal?
+        for (kw, kind) in [
+            ("before", TempKind::Before),
+            ("after", TempKind::After),
+            ("within", TempKind::Within),
+        ] {
+            if self.peek_kw(kw) {
+                let start = left.span;
+                if left.attr.is_some() {
+                    return Err(AiqlError::at(
+                        left.span,
+                        "temporal relationships take event IDs, not attribute references",
+                    ));
+                }
+                self.pos += 1;
+                let mut range = None;
+                if self.eat(&Tok::LBracket) {
+                    let (lo, _) = self.literal()?;
+                    self.expect(&Tok::Minus, "`-` in time range")?;
+                    let (hi, _) = self.literal()?;
+                    let (unit_name, uspan) = self.ident("time unit")?;
+                    let unit = TimeUnit::parse(&unit_name).ok_or_else(|| {
+                        AiqlError::at(uspan, format!("unknown time unit `{unit_name}`"))
+                    })?;
+                    self.expect(&Tok::RBracket, "`]` after time range")?;
+                    let lo = lit_int(&lo, uspan)?;
+                    let hi = lit_int(&hi, uspan)?;
+                    range = Some((lo, hi, unit));
+                }
+                let (right, rspan) = self.ident("event identifier")?;
+                return Ok(Relation::Temporal {
+                    left: left.id,
+                    kind,
+                    range,
+                    right,
+                    span: start.merge(rspan),
+                });
+            }
+        }
+        let op = self.cmp_op().ok_or_else(|| {
+            AiqlError::at(
+                self.cur_span(),
+                "expected a comparison or temporal keyword (before/after/within) in relationship",
+            )
+        })?;
+        let right = self.attr_ref()?;
+        Ok(Relation::Attr { left, op, right })
+    }
+
+    fn return_clause(&mut self) -> Result<ReturnClause, AiqlError> {
+        self.expect_kw("return")?;
+        let mut ret = ReturnClause::default();
+        // `count` / `distinct` flags (either or both; `count` first).
+        if self.peek_kw("count") && !matches!(self.peek_at(1), Some(Tok::LParen)) {
+            self.pos += 1;
+            ret.count = true;
+        }
+        if self.peek_kw("distinct") {
+            self.pos += 1;
+            ret.distinct = true;
+        }
+        loop {
+            let expr = self.ret_expr()?;
+            let mut rename = None;
+            if self.eat_kw("as") {
+                rename = Some(self.ident("name after `as`")?.0);
+            }
+            ret.items.push(RetItem { expr, rename });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(ret)
+    }
+
+    fn ret_expr(&mut self) -> Result<RetExpr, AiqlError> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "avg" => Some(AggFunc::Avg),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let (Some(func), Some(Tok::LParen)) = (func, self.peek_at(1)) {
+                let (_, span) = self.ident("aggregate")?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let distinct = self.eat_kw("distinct");
+                let arg = self.attr_ref()?;
+                let end = self.expect(&Tok::RParen, "`)` after aggregate argument")?;
+                return Ok(RetExpr::Agg {
+                    func,
+                    distinct,
+                    arg,
+                    span: span.merge(end),
+                });
+            }
+        }
+        Ok(RetExpr::Ref(self.attr_ref()?))
+    }
+
+    fn filters(
+        &mut self,
+        having: &mut Option<HavingExpr>,
+        sort_by: &mut Vec<(RetExpr, bool)>,
+        top: &mut Option<usize>,
+        allow_having: bool,
+    ) -> Result<(), AiqlError> {
+        loop {
+            if allow_having && self.eat_kw("having") {
+                if having.is_some() {
+                    return Err(AiqlError::at(self.prev_span(), "duplicate `having` clause"));
+                }
+                *having = Some(self.having_expr()?);
+            } else if self.peek_kw("sort") {
+                self.pos += 1;
+                self.expect_kw("by")?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.ret_expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                sort_by.extend(items.into_iter().map(|i| (i, asc)));
+            } else if self.eat_kw("top") {
+                match self.bump() {
+                    Some(Token { tok: Tok::Int(n), .. }) if n >= 0 => *top = Some(n as usize),
+                    other => {
+                        return Err(AiqlError::at(
+                            other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
+                            "expected a row count after `top`",
+                        ))
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- having / arithmetic ---------------------------------------------
+
+    fn having_expr(&mut self) -> Result<HavingExpr, AiqlError> {
+        let mut e = self.having_and()?;
+        while self.eat(&Tok::OrOr) {
+            e = HavingExpr::Or(Box::new(e), Box::new(self.having_and()?));
+        }
+        Ok(e)
+    }
+
+    fn having_and(&mut self) -> Result<HavingExpr, AiqlError> {
+        let mut e = self.having_unary()?;
+        while self.eat(&Tok::AndAnd) {
+            e = HavingExpr::And(Box::new(e), Box::new(self.having_unary()?));
+        }
+        Ok(e)
+    }
+
+    fn having_unary(&mut self) -> Result<HavingExpr, AiqlError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(HavingExpr::Not(Box::new(self.having_unary()?)));
+        }
+        // A leading `(` may parenthesize a whole boolean expression, as in
+        // `having (amt > 2 * amt[1])` — try that first, then fall back to a
+        // parenthesized arithmetic operand.
+        if self.peek() == Some(&Tok::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.having_expr() {
+                if self.eat(&Tok::RParen) {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.arith()?;
+        let op = self.cmp_op().ok_or_else(|| {
+            AiqlError::at(self.cur_span(), "expected a comparison in `having`")
+        })?;
+        let right = self.arith()?;
+        Ok(HavingExpr::Cmp { op, left, right })
+    }
+
+    fn arith(&mut self) -> Result<ArithExpr, AiqlError> {
+        let mut e = self.arith_term()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                e = ArithExpr::Add(Box::new(e), Box::new(self.arith_term()?));
+            } else if self.eat(&Tok::Minus) {
+                e = ArithExpr::Sub(Box::new(e), Box::new(self.arith_term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn arith_term(&mut self) -> Result<ArithExpr, AiqlError> {
+        let mut e = self.arith_factor()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                e = ArithExpr::Mul(Box::new(e), Box::new(self.arith_factor()?));
+            } else if self.eat(&Tok::Slash) {
+                e = ArithExpr::Div(Box::new(e), Box::new(self.arith_factor()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn arith_factor(&mut self) -> Result<ArithExpr, AiqlError> {
+        if self.eat(&Tok::Minus) {
+            return Ok(ArithExpr::Neg(Box::new(self.arith_factor()?)));
+        }
+        if self.eat(&Tok::LParen) {
+            let e = self.arith()?;
+            self.expect(&Tok::RParen, "`)` in arithmetic")?;
+            return Ok(e);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(ArithExpr::Num(i as f64))
+            }
+            Some(Tok::Float(f)) => {
+                self.pos += 1;
+                Ok(ArithExpr::Num(f))
+            }
+            Some(Tok::Ident(name)) => {
+                // Moving-average call?
+                let ma = match name.to_ascii_lowercase().as_str() {
+                    "sma" => Some(MaKind::Sma),
+                    "cma" => Some(MaKind::Cma),
+                    "wma" => Some(MaKind::Wma),
+                    "ewma" => Some(MaKind::Ewma),
+                    _ => None,
+                };
+                if let (Some(kind), Some(Tok::LParen)) = (ma, self.peek_at(1)) {
+                    let (_, span) = self.ident("moving average")?;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let (arg, _) = self.ident("value name")?;
+                    let mut param = match kind {
+                        MaKind::Sma | MaKind::Wma => 3.0,
+                        MaKind::Ewma => 0.9,
+                        MaKind::Cma => 0.0,
+                    };
+                    if self.eat(&Tok::Comma) {
+                        param = match self.bump() {
+                            Some(Token { tok: Tok::Int(i), .. }) => i as f64,
+                            Some(Token { tok: Tok::Float(f), .. }) => f,
+                            other => {
+                                return Err(AiqlError::at(
+                                    other.map(|t| t.span).unwrap_or(span),
+                                    "expected a numeric parameter",
+                                ))
+                            }
+                        };
+                    }
+                    let end = self.expect(&Tok::RParen, "`)` after moving average")?;
+                    return Ok(ArithExpr::MovAvg {
+                        kind,
+                        name: arg,
+                        param,
+                        span: span.merge(end),
+                    });
+                }
+                // History reference `name[k]`?
+                if self.peek_at(1) == Some(&Tok::LBracket) {
+                    let (nm, span) = self.ident("value name")?;
+                    self.expect(&Tok::LBracket, "`[`")?;
+                    let back = match self.bump() {
+                        Some(Token { tok: Tok::Int(i), .. }) if i >= 0 => i as usize,
+                        other => {
+                            return Err(AiqlError::at(
+                                other.map(|t| t.span).unwrap_or(span),
+                                "expected a non-negative window offset",
+                            ))
+                        }
+                    };
+                    let end = self.expect(&Tok::RBracket, "`]` after history offset")?;
+                    return Ok(ArithExpr::Hist { name: nm, back, span: span.merge(end) });
+                }
+                Ok(ArithExpr::Ref(self.attr_ref()?))
+            }
+            _ => Err(AiqlError::at(self.cur_span(), "expected an arithmetic operand")),
+        }
+    }
+
+    // ----- dependency -------------------------------------------------------
+
+    fn dependency(
+        &mut self,
+        global: Vec<GlobalCstr>,
+        direction: Direction,
+    ) -> Result<DependencyQuery, AiqlError> {
+        let mut entities = vec![self.entity_pat()?];
+        let mut edges = Vec::new();
+        loop {
+            let dir = if self.eat(&Tok::Arrow) {
+                EdgeDir::Right
+            } else if self.eat(&Tok::BackArrow) {
+                EdgeDir::Left
+            } else {
+                break;
+            };
+            self.expect(&Tok::LBracket, "`[` before edge operation")?;
+            let op = self.op_expr()?;
+            self.expect(&Tok::RBracket, "`]` after edge operation")?;
+            entities.push(self.entity_pat()?);
+            edges.push((dir, op));
+        }
+        if edges.is_empty() {
+            return Err(AiqlError::at(
+                self.cur_span(),
+                "dependency query needs at least one `->[op]` or `<-[op]` edge",
+            ));
+        }
+        let ret = self.return_clause()?;
+        let mut sort_by = Vec::new();
+        let mut top = None;
+        let mut having = None;
+        self.filters(&mut having, &mut sort_by, &mut top, false)?;
+        Ok(DependencyQuery {
+            global,
+            direction,
+            entities,
+            edges,
+            ret,
+            sort_by,
+            top,
+        })
+    }
+}
+
+fn lit_int(l: &Lit, span: Span) -> Result<i64, AiqlError> {
+    match l {
+        Lit::Int(i) => Ok(*i),
+        _ => Err(AiqlError::at(span, "expected an integer in time range")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multievent(src: &str) -> MultieventQuery {
+        match parse(src).unwrap() {
+            Query::Multievent(q) => q,
+            other => panic!("expected multievent, got {other:?}"),
+        }
+    }
+
+    fn dependency(src: &str) -> DependencyQuery {
+        match parse(src).unwrap() {
+            Query::Dependency(q) => q,
+            other => panic!("expected dependency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_1_cve() {
+        let q = multievent(
+            r#"
+            agentid = 1
+            (at "01/01/2017")
+            proc p1 start proc p2["%telnet%"] as evt1
+            proc p3 start ip ipp[dstport = 4444] as evt2
+            proc p4["%apache%"] read file f1["/var/www%"] as evt3
+            with p2 = p3,
+                 evt1 before evt2, evt3 after evt2
+            return p1, p2, p4, f1
+            "#,
+        );
+        assert_eq!(q.global.len(), 2);
+        assert_eq!(q.patterns.len(), 3);
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.ret.items.len(), 4);
+        assert_eq!(q.patterns[0].subject.var.as_deref(), Some("p1"));
+        assert_eq!(q.patterns[1].object.kind, EntityKind::NetConn);
+        assert!(matches!(q.relations[0], Relation::Attr { .. }));
+        assert!(matches!(
+            q.relations[1],
+            Relation::Temporal { kind: TempKind::Before, .. }
+        ));
+    }
+
+    #[test]
+    fn paper_query_2_command_history() {
+        let q = multievent(
+            r#"
+            agentid = 1
+            (at "01/01/2017")
+            proc p2 start proc p1 as evt1
+            proc p3 read file[".viminfo" || ".bash_history"] as evt2
+            with p1 = p3, evt1 before evt2
+            return p2, p1
+            sort by p2, p1
+            "#,
+        );
+        assert_eq!(q.patterns.len(), 2);
+        assert!(q.patterns[1].object.var.is_none(), "file ID omitted");
+        assert!(matches!(
+            q.patterns[1].object.cstr,
+            Some(AttrCstr::Or(_, _))
+        ));
+        assert_eq!(q.sort_by.len(), 2);
+        assert!(q.sort_by.iter().all(|(_, asc)| *asc));
+    }
+
+    #[test]
+    fn paper_query_3_dependency_forward() {
+        let q = dependency(
+            r#"
+            (at "01/01/2017")
+            forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
+            <-[read] proc p2["%apache%"]
+            ->[connect] proc p3[agentid = 3]
+            ->[write] file f2["%info_stealer%"]
+            return f1, p1, p2, p3, f2
+            "#,
+        );
+        assert_eq!(q.direction, Direction::Forward);
+        assert_eq!(q.entities.len(), 5);
+        assert_eq!(q.edges.len(), 4);
+        assert_eq!(q.edges[1].0, EdgeDir::Left);
+        assert!(matches!(q.entities[0].cstr, Some(AttrCstr::And(_, _))));
+        assert_eq!(q.ret.items.len(), 5);
+    }
+
+    #[test]
+    fn paper_query_4_anomaly_sma() {
+        let q = multievent(
+            r#"
+            (at "01/01/2017")
+            window = 1 min
+            step = 10 sec
+            proc p read ip ipp
+            return p, count(distinct ipp) as freq
+            group by p
+            having freq > 2 * (freq + freq[1] + freq[2]) / 3
+            "#,
+        );
+        assert!(q
+            .global
+            .iter()
+            .any(|g| matches!(g, GlobalCstr::SlideWindow { .. })));
+        assert!(q
+            .global
+            .iter()
+            .any(|g| matches!(g, GlobalCstr::SlideStep { .. })));
+        assert_eq!(q.group_by.len(), 1);
+        let h = q.having.unwrap();
+        match h {
+            HavingExpr::Cmp { op: CmpOp::Gt, .. } => {}
+            other => panic!("expected >, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_5_anomaly_avg_amount() {
+        let q = multievent(
+            r#"
+            (at "01/02/2017")
+            agentid = 9
+            window = 1 min, step = 10 sec
+            proc p write ip i[dstip = "10.10.1.129"] as evt
+            return p, avg(evt.amount) as amt
+            group by p
+            having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+            "#,
+        );
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].evt_var.as_deref(), Some("evt"));
+        match &q.ret.items[1].expr {
+            RetExpr::Agg { func: AggFunc::Avg, arg, .. } => {
+                assert_eq!(arg.id, "evt");
+                assert_eq!(arg.attr.as_deref(), Some("amount"));
+            }
+            other => panic!("expected avg agg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_7_complete_c5() {
+        let q = multievent(
+            r#"
+            (at "01/02/2017")
+            agentid = 9
+            proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+            proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+            proc p4["%sbblv.exe"] read file f1 as evt3
+            proc p4 read || write ip i1[dstip = "10.10.1.129"] as evt4
+            with evt1 before evt2, evt2 before evt3, evt3 before evt4
+            return distinct p1, p2, p3, f1, p4, i1
+            "#,
+        );
+        assert_eq!(q.patterns.len(), 4);
+        assert!(q.ret.distinct);
+        assert_eq!(q.relations.len(), 3);
+        // f1 and p4 reused across patterns.
+        assert_eq!(q.patterns[2].object.var.as_deref(), Some("f1"));
+        assert_eq!(q.patterns[3].subject.var.as_deref(), Some("p4"));
+    }
+
+    #[test]
+    fn temporal_range_and_within() {
+        let q = multievent(
+            r#"
+            proc p1 read file f1 as evt1
+            proc p2 write file f2 as evt2
+            with evt1 before[1-2 minutes] evt2, evt1 within[0-5 sec] evt2
+            return p1, p2
+            "#,
+        );
+        match &q.relations[0] {
+            Relation::Temporal { range: Some((1, 2, TimeUnit::Minute)), .. } => {}
+            other => panic!("bad range: {other:?}"),
+        }
+        match &q.relations[1] {
+            Relation::Temporal { kind: TempKind::Within, .. } => {}
+            other => panic!("expected within: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_count_distinct_flags_and_top() {
+        let q = multievent(
+            "proc p1 read file f1 return count distinct p1 top 5",
+        );
+        assert!(q.ret.count);
+        assert!(q.ret.distinct);
+        assert_eq!(q.top, Some(5));
+    }
+
+    #[test]
+    fn backward_dependency_and_default_direction() {
+        let q = dependency(
+            "backward: file f1 <-[write] proc p1 return f1, p1",
+        );
+        assert_eq!(q.direction, Direction::Backward);
+        let q = dependency("proc p1 ->[write] file f1 return p1, f1");
+        assert_eq!(q.direction, Direction::Forward);
+    }
+
+    #[test]
+    fn event_constraints_and_pattern_window() {
+        let q = multievent(
+            r#"proc p1 write file f1 as evt1[amount > 1000 && failure = 0] (at "01/01/2017") return p1"#,
+        );
+        assert!(q.patterns[0].evt_cstr.is_some());
+        assert!(q.patterns[0].window.is_some());
+    }
+
+    #[test]
+    fn global_in_list() {
+        let q = multievent("agentid in (1, 2, 3) proc p1 read file f1 return p1");
+        assert!(matches!(q.global[0], GlobalCstr::AttrIn { ref values, .. } if values.len() == 3));
+    }
+
+    #[test]
+    fn error_messages_have_spans() {
+        let err = parse(r#"proc p1["unclosed read file f1 return p1"#).unwrap_err();
+        assert!(err.span.is_some());
+
+        let err = parse("socket s1 read file f1 return s1").unwrap_err();
+        assert!(err.message.contains("unknown entity type"));
+
+        let err = parse("proc p1 read file f1").unwrap_err();
+        assert!(err.message.contains("return"), "missing return: {err}");
+
+        let err = parse("proc p1 read file f1 return p1 garbage extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn ewma_having_expression() {
+        let q = multievent(
+            r#"
+            window = 1 min
+            step = 10 sec
+            proc p read ip i
+            return p, count(distinct i) as freq
+            group by p
+            having (freq - EWMA(freq, 0.9)) / EWMA(freq, 0.9) > 0.2
+            "#,
+        );
+        let h = q.having.unwrap();
+        match h {
+            HavingExpr::Cmp { op: CmpOp::Gt, left, .. } => match left {
+                ArithExpr::Div(num, den) => {
+                    assert!(matches!(*num, ArithExpr::Sub(_, _)));
+                    assert!(matches!(*den, ArithExpr::MovAvg { kind: MaKind::Ewma, .. }));
+                }
+                other => panic!("expected division, got {other:?}"),
+            },
+            other => panic!("expected cmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_operation_expression() {
+        let q = multievent("proc p1 !read && !write file f1 return p1");
+        assert!(q.patterns[0].op.admits("execute"));
+        assert!(!q.patterns[0].op.admits("read"));
+    }
+}

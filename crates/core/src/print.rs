@@ -1,0 +1,349 @@
+//! Canonical pretty-printer: AST → AIQL source.
+//!
+//! `parse(print(parse(q)))` equals `parse(q)` — the round-trip property the
+//! test suite checks. The printer also feeds the conciseness metrics for
+//! canonical (whitespace-normalized) AIQL text.
+
+use crate::ast::*;
+
+/// Renders a query as canonical AIQL source.
+pub fn to_source(q: &Query) -> String {
+    match q {
+        Query::Multievent(m) => multievent(m),
+        Query::Dependency(d) => dependency(d),
+    }
+}
+
+fn multievent(q: &MultieventQuery) -> String {
+    let mut out = String::new();
+    for g in &q.global {
+        out.push_str(&global(g));
+        out.push('\n');
+    }
+    for p in &q.patterns {
+        out.push_str(&pattern(p));
+        out.push('\n');
+    }
+    if !q.relations.is_empty() {
+        let rels: Vec<String> = q.relations.iter().map(relation).collect();
+        out.push_str(&format!("with {}\n", rels.join(", ")));
+    }
+    out.push_str(&ret(&q.ret));
+    if !q.group_by.is_empty() {
+        let g: Vec<String> = q.group_by.iter().map(ret_expr).collect();
+        out.push_str(&format!("\ngroup by {}", g.join(", ")));
+    }
+    if let Some(h) = &q.having {
+        out.push_str(&format!("\nhaving {}", having(h)));
+    }
+    out.push_str(&tail(&q.sort_by, q.top));
+    out
+}
+
+fn dependency(q: &DependencyQuery) -> String {
+    let mut out = String::new();
+    for g in &q.global {
+        out.push_str(&global(g));
+        out.push('\n');
+    }
+    out.push_str(match q.direction {
+        Direction::Forward => "forward: ",
+        Direction::Backward => "backward: ",
+    });
+    out.push_str(&entity(&q.entities[0]));
+    for (i, (dir, op)) in q.edges.iter().enumerate() {
+        let arrow = match dir {
+            EdgeDir::Right => "->",
+            EdgeDir::Left => "<-",
+        };
+        out.push_str(&format!(" {arrow}[{}] {}", op_expr(op), entity(&q.entities[i + 1])));
+    }
+    out.push('\n');
+    out.push_str(&ret(&q.ret));
+    out.push_str(&tail(&q.sort_by, q.top));
+    out
+}
+
+fn tail(sort_by: &[(RetExpr, bool)], top: Option<usize>) -> String {
+    let mut out = String::new();
+    if !sort_by.is_empty() {
+        let asc = sort_by[0].1;
+        let s: Vec<String> = sort_by.iter().map(|(e, _)| ret_expr(e)).collect();
+        out.push_str(&format!("\nsort by {}{}", s.join(", "), if asc { "" } else { " desc" }));
+    }
+    if let Some(n) = top {
+        out.push_str(&format!("\ntop {n}"));
+    }
+    out
+}
+
+fn global(g: &GlobalCstr) -> String {
+    match g {
+        GlobalCstr::Attr { attr, op, value, .. } => {
+            format!("{attr} {} {}", cmp(*op), value.to_source())
+        }
+        GlobalCstr::AttrIn { attr, values, .. } => {
+            let vs: Vec<String> = values.iter().map(Lit::to_source).collect();
+            format!("{attr} in ({})", vs.join(", "))
+        }
+        GlobalCstr::Window(w) => format!("({})", window(w)),
+        GlobalCstr::SlideWindow { length, .. } => {
+            format!("window = {} {}", length.count, unit(length.unit))
+        }
+        GlobalCstr::SlideStep { length, .. } => {
+            format!("step = {} {}", length.count, unit(length.unit))
+        }
+    }
+}
+
+fn unit(u: aiql_model::TimeUnit) -> &'static str {
+    use aiql_model::TimeUnit::*;
+    match u {
+        Millisecond => "ms",
+        Second => "sec",
+        Minute => "min",
+        Hour => "hour",
+        Day => "day",
+    }
+}
+
+fn window(w: &TimeWindow) -> String {
+    match w {
+        TimeWindow::At { datetime, .. } => format!("at \"{datetime}\""),
+        TimeWindow::FromTo { from, to, .. } => format!("from \"{from}\" to \"{to}\""),
+    }
+}
+
+fn pattern(p: &EventPattern) -> String {
+    let mut out = format!(
+        "{} {} {}",
+        entity(&p.subject),
+        op_expr(&p.op),
+        entity(&p.object)
+    );
+    if let Some(v) = &p.evt_var {
+        out.push_str(&format!(" as {v}"));
+        if let Some(c) = &p.evt_cstr {
+            out.push_str(&format!("[{}]", cstr(c)));
+        }
+    }
+    if let Some(w) = &p.window {
+        out.push_str(&format!(" ({})", window(w)));
+    }
+    out
+}
+
+fn entity(e: &EntityPat) -> String {
+    let mut out = e.kind.keyword().to_string();
+    if let Some(v) = &e.var {
+        out.push(' ');
+        out.push_str(v);
+    }
+    if let Some(c) = &e.cstr {
+        out.push_str(&format!("[{}]", cstr(c)));
+    }
+    out
+}
+
+fn op_expr(o: &OpExpr) -> String {
+    match o {
+        OpExpr::Op(name, _) => name.clone(),
+        OpExpr::Not(e) => format!("!{}", op_expr(e)),
+        OpExpr::And(a, b) => format!("({} && {})", op_expr(a), op_expr(b)),
+        OpExpr::Or(a, b) => format!("({} || {})", op_expr(a), op_expr(b)),
+    }
+}
+
+fn cstr(c: &AttrCstr) -> String {
+    match c {
+        AttrCstr::Cmp { attr, op, value, .. } => {
+            format!("{attr} {} {}", cmp(*op), value.to_source())
+        }
+        AttrCstr::Bare { neg, value, .. } => {
+            format!("{}{}", if *neg { "!" } else { "" }, value.to_source())
+        }
+        AttrCstr::In { attr, neg, values, .. } => {
+            let vs: Vec<String> = values.iter().map(Lit::to_source).collect();
+            format!("{attr}{} in ({})", if *neg { " not" } else { "" }, vs.join(", "))
+        }
+        AttrCstr::Not(e) => format!("!({})", cstr(e)),
+        AttrCstr::And(a, b) => format!("({} && {})", cstr(a), cstr(b)),
+        AttrCstr::Or(a, b) => format!("({} || {})", cstr(a), cstr(b)),
+    }
+}
+
+fn cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn attr_ref(r: &AttrRef) -> String {
+    match &r.attr {
+        Some(a) => format!("{}.{a}", r.id),
+        None => r.id.clone(),
+    }
+}
+
+fn relation(r: &Relation) -> String {
+    match r {
+        Relation::Attr { left, op, right } => {
+            format!("{} {} {}", attr_ref(left), cmp(*op), attr_ref(right))
+        }
+        Relation::Temporal { left, kind, range, right, .. } => {
+            let kw = match kind {
+                TempKind::Before => "before",
+                TempKind::After => "after",
+                TempKind::Within => "within",
+            };
+            match range {
+                Some((lo, hi, u)) => format!("{left} {kw}[{lo}-{hi} {}] {right}", unit(*u)),
+                None => format!("{left} {kw} {right}"),
+            }
+        }
+    }
+}
+
+fn ret(r: &ReturnClause) -> String {
+    let mut out = "return ".to_string();
+    if r.count {
+        out.push_str("count ");
+    }
+    if r.distinct {
+        out.push_str("distinct ");
+    }
+    let items: Vec<String> = r
+        .items
+        .iter()
+        .map(|i| {
+            let mut s = ret_expr(&i.expr);
+            if let Some(n) = &i.rename {
+                s.push_str(&format!(" as {n}"));
+            }
+            s
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out
+}
+
+fn ret_expr(e: &RetExpr) -> String {
+    match e {
+        RetExpr::Ref(r) => attr_ref(r),
+        RetExpr::Agg { func, distinct, arg, .. } => {
+            let f = format!("{func:?}").to_lowercase();
+            format!(
+                "{f}({}{})",
+                if *distinct { "distinct " } else { "" },
+                attr_ref(arg)
+            )
+        }
+    }
+}
+
+fn having(h: &HavingExpr) -> String {
+    match h {
+        HavingExpr::Cmp { op, left, right } => {
+            format!("{} {} {}", arith(left), cmp(*op), arith(right))
+        }
+        HavingExpr::And(a, b) => format!("({} && {})", having(a), having(b)),
+        HavingExpr::Or(a, b) => format!("({} || {})", having(a), having(b)),
+        HavingExpr::Not(e) => format!("!({})", having(e)),
+    }
+}
+
+fn arith(a: &ArithExpr) -> String {
+    match a {
+        ArithExpr::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        ArithExpr::Ref(r) => attr_ref(r),
+        ArithExpr::Hist { name, back, .. } => format!("{name}[{back}]"),
+        ArithExpr::MovAvg { kind, name, param, .. } => {
+            let f = match kind {
+                MaKind::Sma => "SMA",
+                MaKind::Cma => "CMA",
+                MaKind::Wma => "WMA",
+                MaKind::Ewma => "EWMA",
+            };
+            format!("{f}({name}, {param})")
+        }
+        ArithExpr::Add(x, y) => format!("({} + {})", arith(x), arith(y)),
+        ArithExpr::Sub(x, y) => format!("({} - {})", arith(x), arith(y)),
+        ArithExpr::Mul(x, y) => format!("({} * {})", arith(x), arith(y)),
+        ArithExpr::Div(x, y) => format!("({} / {})", arith(x), arith(y)),
+        ArithExpr::Neg(x) => format!("(-{})", arith(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn round_trip(src: &str) {
+        let q1 = parse(src).unwrap();
+        let printed = to_source(&q1);
+        let q2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\nprinted:\n{printed}")
+        });
+        let printed2 = to_source(&q2);
+        assert_eq!(printed, printed2, "printer not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn round_trip_paper_queries() {
+        round_trip(
+            r#"
+            agentid = 1
+            (at "01/01/2017")
+            proc p1 start proc p2["%telnet%"] as evt1
+            proc p3 start ip ipp[dstport = 4444] as evt2
+            proc p4["%apache%"] read file f1["/var/www%"] as evt3
+            with p2 = p3, evt1 before evt2, evt3 after evt2
+            return p1, p2, p4, f1
+            "#,
+        );
+        round_trip(
+            r#"
+            (at "01/01/2017")
+            window = 1 min
+            step = 10 sec
+            proc p read ip ipp
+            return p, count(distinct ipp) as freq
+            group by p
+            having freq > 2 * (freq + freq[1] + freq[2]) / 3
+            "#,
+        );
+        round_trip(
+            r#"
+            forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["%x%"]
+            <-[read] proc p2["%apache%"] ->[connect] proc p3[agentid = 3]
+            return f1, p1, p2, p3
+            "#,
+        );
+        round_trip(
+            "proc p1 !read && !write file f1 as e1[amount > 1000] return count distinct p1 top 3",
+        );
+        round_trip(
+            r#"proc p1 read file f1 as e1 (from "2017-01-01" to "2017-01-05") return p1 sort by p1 desc"#,
+        );
+    }
+
+    #[test]
+    fn printed_form_is_parsable_text() {
+        let q = parse("proc p read ip i[dstip = \"1.2.3.4\"] return p").unwrap();
+        let s = to_source(&q);
+        assert!(s.contains("proc p read ip i[dstip = \"1.2.3.4\"]"));
+        assert!(s.contains("return p"));
+    }
+}

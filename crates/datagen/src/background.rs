@@ -1,0 +1,223 @@
+//! Background enterprise workload: the benign system activity the attack
+//! behaviours hide in.
+//!
+//! Each host runs a host-type-dependent set of long-lived service processes
+//! and short-lived user processes. Events follow a fixed mix (file reads
+//! dominate, as in real audit data), file targets follow a hot/cold split
+//! (a small working set absorbs most accesses), and network traffic mostly
+//! hits a handful of internal servers. Everything is driven by a seeded
+//! [`SmallRng`], so identical configurations generate identical datasets.
+
+use crate::util::{at, Emitter};
+use aiql_model::{AgentId, EntityId, EntityKind, OpType, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SERVICES: &[&str] = &[
+    "svchost.exe",
+    "explorer.exe",
+    "services.exe",
+    "lsass.exe",
+    "winlogon.exe",
+    "sshd",
+    "cron",
+    "systemd",
+    "rsyslogd",
+];
+
+const USER_PROCS: &[&str] = &[
+    "chrome.exe",
+    "firefox.exe",
+    "outlook.exe",
+    "excel.exe",
+    "winword.exe",
+    "notepad.exe",
+    "bash",
+    "vim",
+    "python",
+    "grep",
+    "ls",
+    "tar",
+];
+
+const HOT_FILES: &[&str] = &[
+    "C:\\Windows\\System32\\kernel32.dll",
+    "C:\\Windows\\System32\\ntdll.dll",
+    "C:\\Windows\\System32\\user32.dll",
+    "/usr/lib/libc.so.6",
+    "/etc/ld.so.cache",
+    "/var/log/syslog",
+    "C:\\pagefile.sys",
+];
+
+/// Per-host background state.
+struct Host {
+    agent: AgentId,
+    services: Vec<EntityId>,
+    users: Vec<EntityId>,
+    hot_files: Vec<EntityId>,
+    cold_files: Vec<EntityId>,
+    conns: Vec<EntityId>,
+}
+
+/// Generates `per_day` background events per host per day.
+pub fn generate(
+    em: &mut Emitter<'_>,
+    hosts: u32,
+    days: u32,
+    per_day: u32,
+    base: Timestamp,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB16_B00B5);
+    let mut host_state = Vec::new();
+    for h in 0..hosts {
+        let agent = AgentId(h);
+        let mut pid = 100 + h as i64 * 1000;
+        let mut next_pid = || {
+            pid += 1;
+            pid
+        };
+        let services: Vec<EntityId> = SERVICES
+            .iter()
+            .map(|s| em.process_as(agent, s, next_pid(), "SYSTEM", true))
+            .collect();
+        let users: Vec<EntityId> = USER_PROCS
+            .iter()
+            .map(|s| em.process_as(agent, s, next_pid(), &format!("user{h}"), true))
+            .collect();
+        let hot_files: Vec<EntityId> = HOT_FILES.iter().map(|f| em.file(agent, f)).collect();
+        let cold_files: Vec<EntityId> = (0..200)
+            .map(|i| em.file(agent, &format!("/home/user{h}/doc{i}.txt")))
+            .collect();
+        let conns: Vec<EntityId> = (0..8)
+            .map(|i| em.conn(agent, &format!("10.0.2.{}", 1 + i), [80, 443, 53, 445][i % 4]))
+            .collect();
+        host_state.push(Host {
+            agent,
+            services,
+            users,
+            hot_files,
+            cold_files,
+            conns,
+        });
+    }
+
+    for day in 0..days as i64 {
+        for host in &mut host_state {
+            for _ in 0..per_day {
+                // Work hours biased: 8h–20h.
+                let secs = 8.0 * 3600.0 + rng.gen::<f64>() * 12.0 * 3600.0;
+                let t = at(base, day, secs);
+                emit_one(em, host, t, &mut rng);
+            }
+        }
+    }
+}
+
+fn emit_one(em: &mut Emitter<'_>, host: &mut Host, t: Timestamp, rng: &mut SmallRng) {
+    let subject = if rng.gen_bool(0.3) {
+        host.services[rng.gen_range(0..host.services.len())]
+    } else {
+        host.users[rng.gen_range(0..host.users.len())]
+    };
+    let roll: f64 = rng.gen();
+    if roll < 0.40 {
+        // File read; 70% hot set.
+        let f = if rng.gen_bool(0.7) {
+            host.hot_files[rng.gen_range(0..host.hot_files.len())]
+        } else {
+            host.cold_files[rng.gen_range(0..host.cold_files.len())]
+        };
+        em.event(host.agent, subject, OpType::Read, f, EntityKind::File, t, rng.gen_range(64..65_536));
+    } else if roll < 0.60 {
+        // File write, mostly cold.
+        let f = if rng.gen_bool(0.2) {
+            host.hot_files[rng.gen_range(0..host.hot_files.len())]
+        } else {
+            host.cold_files[rng.gen_range(0..host.cold_files.len())]
+        };
+        em.event(host.agent, subject, OpType::Write, f, EntityKind::File, t, rng.gen_range(64..16_384));
+    } else if roll < 0.72 {
+        // Process start: user proc spawns a fresh short-lived child.
+        let child = em.process_as(
+            host.agent,
+            USER_PROCS[rng.gen_range(0..USER_PROCS.len())],
+            rng.gen_range(10_000..60_000),
+            "user",
+            true,
+        );
+        em.event(host.agent, subject, OpType::Start, child, EntityKind::Process, t, 0);
+        host.users.push(child);
+        // Bound the growing pool so hosts stay realistic.
+        if host.users.len() > 64 {
+            host.users.remove(0);
+        }
+    } else if roll < 0.78 {
+        // Process end.
+        em.event(host.agent, subject, OpType::End, subject, EntityKind::Process, t, 0);
+    } else if roll < 0.95 {
+        // Network send/receive to a standing connection.
+        let c = host.conns[rng.gen_range(0..host.conns.len())];
+        let op = if rng.gen_bool(0.6) { OpType::Write } else { OpType::Read };
+        em.event(host.agent, subject, op, c, EntityKind::NetConn, t, rng.gen_range(100..20_000));
+    } else if roll < 0.98 {
+        // Execute a binary image.
+        let f = host.hot_files[rng.gen_range(0..host.hot_files.len())];
+        em.event(host.agent, subject, OpType::Execute, f, EntityKind::File, t, 0);
+    } else {
+        // Rename / delete housekeeping.
+        let f = host.cold_files[rng.gen_range(0..host.cold_files.len())];
+        let op = if rng.gen_bool(0.5) { OpType::Rename } else { OpType::Delete };
+        em.event(host.agent, subject, op, f, EntityKind::File, t, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::Ids;
+    use aiql_model::Dataset;
+
+    fn gen(seed: u64) -> Dataset {
+        let mut data = Dataset::new();
+        let mut ids = Ids::new();
+        let mut em = Emitter::new(&mut data, &mut ids);
+        let base = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        generate(&mut em, 3, 2, 500, base, seed);
+        data
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = gen(7);
+        let b = gen(7);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.events[100], b.events[100]);
+        let c = gen(8);
+        assert!(a.events.len() == c.events.len() && a.events[100] != c.events[100]);
+    }
+
+    #[test]
+    fn volume_and_span() {
+        let d = gen(7);
+        assert_eq!(d.events.len(), 3 * 2 * 500);
+        let agents = d.agents();
+        assert_eq!(agents.len(), 3);
+        let (lo, hi) = d.time_range().unwrap();
+        assert_eq!(lo.ymd().2, 1);
+        assert_eq!(hi.ymd().2, 2);
+    }
+
+    #[test]
+    fn event_mix_is_plausible() {
+        let d = gen(42);
+        let reads = d.events.iter().filter(|e| e.op == OpType::Read).count();
+        let writes = d.events.iter().filter(|e| e.op == OpType::Write).count();
+        let starts = d.events.iter().filter(|e| e.op == OpType::Start).count();
+        let total = d.events.len();
+        assert!(reads * 100 / total > 30, "reads dominate");
+        assert!(writes * 100 / total > 15);
+        assert!(starts * 100 / total > 5);
+    }
+}

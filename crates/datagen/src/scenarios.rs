@@ -1,0 +1,533 @@
+//! The attack-scenario catalog: scripted event sequences reproducing every
+//! behaviour the paper's evaluation investigates.
+//!
+//! - the **APT case study** of Sec. 6.2 (steps c1–c5: phishing →
+//!   malware → privilege escalation → database penetration → exfiltration),
+//! - the **second APT** used for the performance evaluation (a1–a5),
+//! - the **dependency-tracking behaviours** d1–d3 (Chrome/Java updater
+//!   provenance, `info_stealer` ramification across hosts — paper Query 3),
+//! - the **real-world malware behaviours** v1–v5 (Trojan.Sysbot,
+//!   Trojan.Hooker, Virus.Autorun — paper Table 4), scripted after the
+//!   VirusSign behaviour-report style the paper cites, and
+//! - the **abnormal system behaviours** s1–s6 (command-history probing,
+//!   suspicious web service, frequent network access, trace erasure,
+//!   network spike, abnormal file access).
+//!
+//! Every scenario runs on fixed hosts ([`hosts`]) on fixed days so the
+//! benchmark catalog's queries can pin `agentid` and `(at "...")`
+//! constraints, and each records its key events in a [`GroundTruth`] map
+//! keyed by scenario label.
+
+use crate::util::{at, Emitter};
+use aiql_model::{AgentId, EntityKind, EventId, OpType, Timestamp};
+use std::collections::HashMap;
+
+/// Fixed host (agent) roles; scenarios require at least 10 hosts.
+pub mod hosts {
+    /// Mail server (APT case study).
+    pub const MAIL: u32 = 0;
+    /// Windows client — initial compromise victim.
+    pub const WIN_CLIENT: u32 = 1;
+    /// Host A of the `info_stealer` ramification (paper Query 3, agentid 2).
+    pub const HOST_A: u32 = 2;
+    /// Host B of the `info_stealer` ramification (agentid 3).
+    pub const HOST_B: u32 = 3;
+    /// Web server compromised in the second APT.
+    pub const WEB: u32 = 4;
+    /// Developer box reached by lateral movement in the second APT.
+    pub const DEV: u32 = 5;
+    /// Malware sandbox host 1 (v1, v2).
+    pub const MAL1: u32 = 6;
+    /// Malware sandbox host 2 (v3, v4, v5).
+    pub const MAL2: u32 = 7;
+    /// Host exhibiting the abnormal behaviours s1–s6.
+    pub const ABN: u32 = 8;
+    /// SQL database server (APT case study steps c4–c5).
+    pub const DB_SERVER: u32 = 9;
+}
+
+/// Day index (relative to the simulation base date) all scenarios run on.
+pub const ATTACK_DAY: i64 = 1;
+
+/// The APT attacker's command-and-control address (the paper's "XXX.129").
+pub const ATTACKER_IP: &str = "192.168.66.129";
+/// The second APT's command-and-control address.
+pub const ATTACKER_IP2: &str = "203.0.113.66";
+/// C2 of the Sysbot samples.
+pub const SYSBOT_C2: &str = "5.39.99.2";
+/// C2 of the Hooker samples.
+pub const HOOKER_C2: &str = "91.121.1.1";
+/// Destination of the s3/s5 abnormal network behaviours.
+pub const ABN_DST: &str = "198.51.100.7";
+/// Destination of the s5 spike.
+pub const SPIKE_DST: &str = "198.51.100.9";
+
+/// Key events per scenario label (for ground-truth tests).
+pub type GroundTruth = HashMap<String, Vec<EventId>>;
+
+/// Emits every scenario; requires ≥ 10 hosts and ≥ 2 days.
+pub fn emit_all(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    apt_case_study(em, base, truth);
+    apt2(em, base, truth);
+    dependency(em, base, truth);
+    malware(em, base, truth);
+    abnormal(em, base, truth);
+}
+
+fn record(truth: &mut GroundTruth, label: &str, ev: EventId) {
+    truth.entry(label.to_string()).or_default().push(ev);
+}
+
+/// The Sec. 6.2 APT attack: c1 initial compromise, c2 malware infection,
+/// c3 privilege escalation, c4 database-server penetration, c5 exfiltration.
+pub fn apt_case_study(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    let wc = AgentId(hosts::WIN_CLIENT);
+    let db = AgentId(hosts::DB_SERVER);
+    let d = ATTACK_DAY;
+    let h = 3600.0;
+
+    // --- c1: Initial compromise (phishing mail with macro Excel) ---------
+    let outlook = em.process_as(wc, "outlook.exe", 2001, "bob", true);
+    let mailconn = em.conn(wc, "10.0.2.25", 143);
+    let xls = em.file(wc, "C:\\Users\\bob\\Downloads\\payroll.xls");
+    let e = em.event(wc, outlook, OpType::Read, mailconn, EntityKind::NetConn, at(base, d, 9.0 * h), 250_000);
+    record(truth, "c1", e);
+    let e = em.event(wc, outlook, OpType::Write, xls, EntityKind::File, at(base, d, 9.0 * h + 30.0), 250_000);
+    record(truth, "c1", e);
+    let excel = em.process_as(wc, "excel.exe", 2002, "bob", true);
+    let e = em.event(wc, outlook, OpType::Start, excel, EntityKind::Process, at(base, d, 9.0 * h + 60.0), 0);
+    record(truth, "c1", e);
+    em.event(wc, excel, OpType::Read, xls, EntityKind::File, at(base, d, 9.0 * h + 70.0), 250_000);
+
+    // --- c2: Malware infection (macro downloads and runs a backdoor) -----
+    let cmd_wc = em.process_as(wc, "cmd.exe", 2003, "bob", true);
+    let e = em.event(wc, excel, OpType::Start, cmd_wc, EntityKind::Process, at(base, d, 9.0 * h + 120.0), 0);
+    record(truth, "c2", e);
+    let pwsh = em.process_as(wc, "powershell.exe", 2004, "bob", true);
+    let e = em.event(wc, cmd_wc, OpType::Start, pwsh, EntityKind::Process, at(base, d, 9.0 * h + 130.0), 0);
+    record(truth, "c2", e);
+    let dl = em.conn(wc, ATTACKER_IP, 80);
+    em.event(wc, pwsh, OpType::Read, dl, EntityKind::NetConn, at(base, d, 9.0 * h + 150.0), 1_400_000);
+    let mal_file = em.file(wc, "C:\\Users\\bob\\AppData\\Local\\Temp\\mal.exe");
+    let e = em.event(wc, pwsh, OpType::Write, mal_file, EntityKind::File, at(base, d, 9.0 * h + 160.0), 1_400_000);
+    record(truth, "c2", e);
+    let mal = em.process_as(wc, "mal.exe", 2005, "bob", false);
+    let e = em.event(wc, pwsh, OpType::Start, mal, EntityKind::Process, at(base, d, 9.0 * h + 180.0), 0);
+    record(truth, "c2", e);
+    let backdoor = em.conn(wc, ATTACKER_IP, 4444);
+    let e = em.event(wc, mal, OpType::Connect, backdoor, EntityKind::NetConn, at(base, d, 9.0 * h + 190.0), 0);
+    record(truth, "c2", e);
+    let job = em.file(wc, "C:\\Windows\\Tasks\\mal.job");
+    em.event(wc, mal, OpType::Write, job, EntityKind::File, at(base, d, 9.0 * h + 240.0), 512);
+
+    // --- c3: Privilege escalation (port scan + credential dump) ----------
+    for i in 0..20i64 {
+        let c = em.conn(wc, &format!("10.0.0.{}", i + 1), 1433);
+        let e = em.event(wc, mal, OpType::Connect, c, EntityKind::NetConn, at(base, d, 10.0 * h + i as f64), 0);
+        if i == 0 {
+            record(truth, "c3", e);
+        }
+    }
+    let gsec = em.process_as(wc, "gsecdump.exe", 2006, "bob", false);
+    let e = em.event(wc, mal, OpType::Start, gsec, EntityKind::Process, at(base, d, 10.0 * h + 300.0), 0);
+    record(truth, "c3", e);
+    let sam = em.file(wc, "C:\\Windows\\System32\\config\\SAM");
+    em.event(wc, gsec, OpType::Read, sam, EntityKind::File, at(base, d, 10.0 * h + 310.0), 65_536);
+    let creds = em.file(wc, "C:\\Users\\bob\\AppData\\creds.txt");
+    let e = em.event(wc, gsec, OpType::Write, creds, EntityKind::File, at(base, d, 10.0 * h + 320.0), 4_096);
+    record(truth, "c3", e);
+    em.event(wc, mal, OpType::Read, creds, EntityKind::File, at(base, d, 10.0 * h + 360.0), 4_096);
+    em.event(wc, mal, OpType::Write, backdoor, EntityKind::NetConn, at(base, d, 10.0 * h + 390.0), 4_096);
+
+    // --- c4: Penetration into the database server -------------------------
+    let sqlservr = em.process_as(db, "sqlservr.exe", 3001, "SYSTEM", true);
+    let inbound = em.conn(db, "10.0.0.11", 1433);
+    let e = em.event(db, sqlservr, OpType::Accept, inbound, EntityKind::NetConn, at(base, d, 11.0 * h), 0);
+    record(truth, "c4", e);
+    let cmd_db = em.process_as(db, "cmd.exe", 3002, "SYSTEM", true);
+    let e = em.event(db, sqlservr, OpType::Start, cmd_db, EntityKind::Process, at(base, d, 11.0 * h + 60.0), 0);
+    record(truth, "c4", e);
+    let vbs = em.file(db, "C:\\Windows\\Temp\\drop.vbs");
+    let e = em.event(db, cmd_db, OpType::Write, vbs, EntityKind::File, at(base, d, 11.0 * h + 90.0), 2_048);
+    record(truth, "c4", e);
+    let wscript = em.process_as(db, "wscript.exe", 3003, "SYSTEM", true);
+    em.event(db, cmd_db, OpType::Start, wscript, EntityKind::Process, at(base, d, 11.0 * h + 120.0), 0);
+    em.event(db, wscript, OpType::Read, vbs, EntityKind::File, at(base, d, 11.0 * h + 130.0), 2_048);
+    let sbblv_file = em.file(db, "C:\\Windows\\Temp\\sbblv.exe");
+    let e = em.event(db, wscript, OpType::Write, sbblv_file, EntityKind::File, at(base, d, 11.0 * h + 150.0), 900_000);
+    record(truth, "c4", e);
+    let sbblv = em.process_as(db, "sbblv.exe", 3004, "SYSTEM", false);
+    let e = em.event(db, wscript, OpType::Start, sbblv, EntityKind::Process, at(base, d, 11.0 * h + 180.0), 0);
+    record(truth, "c4", e);
+    let backdoor2 = em.conn(db, ATTACKER_IP, 443);
+    em.event(db, sbblv, OpType::Connect, backdoor2, EntityKind::NetConn, at(base, d, 11.0 * h + 200.0), 0);
+
+    // --- c5: Data exfiltration --------------------------------------------
+    let osql = em.process_as(db, "osql.exe", 3005, "SYSTEM", true);
+    let e = em.event(db, cmd_db, OpType::Start, osql, EntityKind::Process, at(base, d, 14.0 * h), 0);
+    record(truth, "c5", e);
+    let dump = em.file(db, "C:\\MSSQL\\data\\BACKUP1.DMP");
+    let e = em.event(db, sqlservr, OpType::Write, dump, EntityKind::File, at(base, d, 14.0 * h + 300.0), 300_000_000);
+    record(truth, "c5", e);
+    let e = em.event(db, sbblv, OpType::Read, dump, EntityKind::File, at(base, d, 14.0 * h + 600.0), 300_000_000);
+    record(truth, "c5", e);
+    // Beaconing noise (small), then the exfiltration spike (huge): the
+    // moving-average anomaly query (paper Query 5) must flag only the spike.
+    for i in 0..120i64 {
+        em.event(db, sbblv, OpType::Write, backdoor2, EntityKind::NetConn,
+            at(base, d, 14.0 * h + 1200.0 + i as f64 * 10.0), 1_000);
+    }
+    for i in 0..3i64 {
+        let e = em.event(db, sbblv, OpType::Write, backdoor2, EntityKind::NetConn,
+            at(base, d, 14.0 * h + 2700.0 + i as f64 * 10.0), 50_000_000);
+        record(truth, "c5", e);
+    }
+}
+
+/// The second APT used in the performance evaluation (a1–a5).
+pub fn apt2(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    let web = AgentId(hosts::WEB);
+    let dev = AgentId(hosts::DEV);
+    let d = ATTACK_DAY;
+    let h = 3600.0;
+
+    // a1: drive-by download.
+    let firefox = em.process_as(web, "firefox.exe", 4001, "carol", true);
+    let evil = em.conn(web, ATTACKER_IP2, 80);
+    let e = em.event(web, firefox, OpType::Read, evil, EntityKind::NetConn, at(base, d, 9.5 * h), 2_000_000);
+    record(truth, "a1", e);
+    let setup = em.file(web, "C:\\Users\\carol\\Downloads\\setup_flash.exe");
+    let e = em.event(web, firefox, OpType::Write, setup, EntityKind::File, at(base, d, 9.5 * h + 20.0), 2_000_000);
+    record(truth, "a1", e);
+    let setup_p = em.process_as(web, "setup_flash.exe", 4002, "carol", false);
+    let e = em.event(web, firefox, OpType::Start, setup_p, EntityKind::Process, at(base, d, 9.5 * h + 60.0), 0);
+    record(truth, "a1", e);
+
+    // a2: persistence + implant.
+    let autorun = em.file(web, "C:\\autorun.inf");
+    let e = em.event(web, setup_p, OpType::Write, autorun, EntityKind::File, at(base, d, 9.7 * h), 128);
+    record(truth, "a2", e);
+    let updd_file = em.file(web, "C:\\ProgramData\\updd.exe");
+    em.event(web, setup_p, OpType::Write, updd_file, EntityKind::File, at(base, d, 9.7 * h + 10.0), 1_500_000);
+    let updd = em.process_as(web, "updd.exe", 4003, "carol", false);
+    let e = em.event(web, setup_p, OpType::Start, updd, EntityKind::Process, at(base, d, 9.7 * h + 30.0), 0);
+    record(truth, "a2", e);
+    let c2 = em.conn(web, ATTACKER_IP2, 8080);
+    em.event(web, updd, OpType::Connect, c2, EntityKind::NetConn, at(base, d, 9.7 * h + 40.0), 0);
+
+    // a3: recon.
+    let sec = em.file(web, "C:\\Windows\\System32\\config\\SECURITY");
+    let e = em.event(web, updd, OpType::Read, sec, EntityKind::File, at(base, d, 10.5 * h), 65_536);
+    record(truth, "a3", e);
+    for i in 0..15i64 {
+        let c = em.conn(web, &format!("10.0.1.{}", i + 1), 22);
+        em.event(web, updd, OpType::Connect, c, EntityKind::NetConn, at(base, d, 10.5 * h + 60.0 + i as f64), 0);
+    }
+
+    // a4: lateral movement (cross-host connect, proc → proc).
+    let sshd = em.process_as(dev, "sshd", 5001, "root", true);
+    let e = em.event(web, updd, OpType::Connect, sshd, EntityKind::Process, at(base, d, 11.5 * h), 0);
+    record(truth, "a4", e);
+    let bash = em.process_as(dev, "bash", 5002, "admin", true);
+    let e = em.event(dev, sshd, OpType::Start, bash, EntityKind::Process, at(base, d, 11.5 * h + 10.0), 0);
+    record(truth, "a4", e);
+    let key = em.file(dev, "/home/admin/.ssh/id_rsa");
+    let e = em.event(dev, bash, OpType::Read, key, EntityKind::File, at(base, d, 11.5 * h + 30.0), 1_700);
+    record(truth, "a4", e);
+
+    // a5: staging + exfiltration.
+    let stage = em.file(dev, "/tmp/stage.tgz");
+    let e = em.event(dev, bash, OpType::Write, stage, EntityKind::File, at(base, d, 13.0 * h), 80_000_000);
+    record(truth, "a5", e);
+    let scp = em.process_as(dev, "scp", 5003, "admin", true);
+    em.event(dev, bash, OpType::Start, scp, EntityKind::Process, at(base, d, 13.0 * h + 20.0), 0);
+    em.event(dev, scp, OpType::Read, stage, EntityKind::File, at(base, d, 13.0 * h + 30.0), 80_000_000);
+    let out = em.conn(dev, ATTACKER_IP2, 22);
+    let e = em.event(dev, scp, OpType::Write, out, EntityKind::NetConn, at(base, d, 13.0 * h + 40.0), 80_000_000);
+    record(truth, "a5", e);
+}
+
+/// Dependency-tracking behaviours d1–d3.
+pub fn dependency(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    let wc = AgentId(hosts::WIN_CLIENT);
+    let d = ATTACK_DAY;
+    let h = 3600.0;
+
+    // d1: provenance of a Chrome update executable.
+    let services = em.process_as(wc, "services.exe", 2101, "SYSTEM", true);
+    let gupdate = em.process_as(wc, "GoogleUpdate.exe", 2102, "SYSTEM", true);
+    let e = em.event(wc, services, OpType::Start, gupdate, EntityKind::Process, at(base, d, 8.0 * h), 0);
+    record(truth, "d1", e);
+    let gconn = em.conn(wc, "74.125.20.100", 443);
+    em.event(wc, gupdate, OpType::Read, gconn, EntityKind::NetConn, at(base, d, 8.0 * h + 10.0), 40_000_000);
+    let chrome_up = em.file(wc, "C:\\Program Files\\Google\\chrome_update.exe");
+    let e = em.event(wc, gupdate, OpType::Write, chrome_up, EntityKind::File, at(base, d, 8.0 * h + 30.0), 40_000_000);
+    record(truth, "d1", e);
+
+    // d2: provenance of a Java update executable (services → jusched →
+    // jucheck → file, so a three-edge backward walk terminates).
+    let jusched = em.process_as(wc, "jusched.exe", 2103, "SYSTEM", true);
+    let jucheck = em.process_as(wc, "jucheck.exe", 2104, "SYSTEM", true);
+    let e = em.event(wc, services, OpType::Start, jusched, EntityKind::Process, at(base, d, 8.15 * h), 0);
+    record(truth, "d2", e);
+    let e = em.event(wc, jusched, OpType::Start, jucheck, EntityKind::Process, at(base, d, 8.2 * h), 0);
+    record(truth, "d2", e);
+    let jconn = em.conn(wc, "23.45.67.89", 443);
+    em.event(wc, jucheck, OpType::Read, jconn, EntityKind::NetConn, at(base, d, 8.2 * h + 10.0), 60_000_000);
+    let jup = em.file(wc, "C:\\Program Files\\Java\\java_update.exe");
+    let e = em.event(wc, jucheck, OpType::Write, jup, EntityKind::File, at(base, d, 8.2 * h + 40.0), 60_000_000);
+    record(truth, "d2", e);
+
+    // d3: info_stealer ramification across hosts (paper Query 3, verbatim
+    // topology: /bin/cp on host A writes the script under the web root,
+    // apache serves it, wget on host B fetches and writes it).
+    let a = AgentId(hosts::HOST_A);
+    let b = AgentId(hosts::HOST_B);
+    let cp = em.process_as(a, "/bin/cp", 6001, "root", true);
+    let stealer_a = em.file(a, "/var/www/html/info_stealer.sh");
+    let e = em.event(a, cp, OpType::Write, stealer_a, EntityKind::File, at(base, d, 12.0 * h), 9_000);
+    record(truth, "d3", e);
+    let apache = em.process_as(a, "apache2", 6002, "www-data", true);
+    let e = em.event(a, apache, OpType::Read, stealer_a, EntityKind::File, at(base, d, 12.0 * h + 60.0), 9_000);
+    record(truth, "d3", e);
+    let wget = em.process_as(b, "wget", 6101, "dev", true);
+    let e = em.event(a, apache, OpType::Connect, wget, EntityKind::Process, at(base, d, 12.0 * h + 65.0), 9_000);
+    record(truth, "d3", e);
+    let stealer_b = em.file(b, "/tmp/info_stealer.sh");
+    let e = em.event(b, wget, OpType::Write, stealer_b, EntityKind::File, at(base, d, 12.0 * h + 70.0), 9_000);
+    record(truth, "d3", e);
+}
+
+/// Real-world malware behaviours v1–v5 (paper Table 4), scripted from the
+/// behaviour families: Sysbot (C2 + task persistence), Hooker (DLL hook +
+/// keylog exfil), Autorun (removable-media self-replication).
+pub fn malware(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    let m1 = AgentId(hosts::MAL1);
+    let m2 = AgentId(hosts::MAL2);
+    let d = ATTACK_DAY;
+    let h = 3600.0;
+
+    fn sysbot(
+        em: &mut Emitter<'_>,
+        base: Timestamp,
+        truth: &mut GroundTruth,
+        agent: AgentId,
+        label: &str,
+        base_pid: i64,
+        t0: f64,
+    ) {
+        let d = ATTACK_DAY;
+        let bot = em.process_as(agent, "sysbot.exe", base_pid, "user", false);
+        let job = em.file(agent, "C:\\Windows\\Tasks\\sysbot.job");
+        let e = em.event(agent, bot, OpType::Write, job, EntityKind::File, at(base, d, t0), 512);
+        record(truth, label, e);
+        let c2 = em.conn(agent, SYSBOT_C2, 6667);
+        let e = em.event(agent, bot, OpType::Connect, c2, EntityKind::NetConn, at(base, d, t0 + 10.0), 0);
+        record(truth, label, e);
+        for i in 0..30i64 {
+            em.event(agent, bot, OpType::Write, c2, EntityKind::NetConn, at(base, d, t0 + 30.0 + i as f64 * 60.0), 600);
+        }
+        let cmd = em.process_as(agent, "cmd.exe", base_pid + 1, "user", true);
+        let e = em.event(agent, bot, OpType::Start, cmd, EntityKind::Process, at(base, d, t0 + 120.0), 0);
+        record(truth, label, e);
+    }
+    fn hooker(
+        em: &mut Emitter<'_>,
+        base: Timestamp,
+        truth: &mut GroundTruth,
+        agent: AgentId,
+        label: &str,
+        base_pid: i64,
+        t0: f64,
+    ) {
+        let d = ATTACK_DAY;
+        let hk = em.process_as(agent, "hooker.exe", base_pid, "user", false);
+        let dll = em.file(agent, "C:\\Windows\\System32\\hook.dll");
+        let e = em.event(agent, hk, OpType::Write, dll, EntityKind::File, at(base, d, t0), 80_000);
+        record(truth, label, e);
+        let e = em.event(agent, hk, OpType::Execute, dll, EntityKind::File, at(base, d, t0 + 5.0), 0);
+        record(truth, label, e);
+        let klog = em.file(agent, "C:\\Users\\user\\AppData\\klog.txt");
+        for i in 0..20i64 {
+            em.event(agent, hk, OpType::Write, klog, EntityKind::File, at(base, d, t0 + 60.0 + i as f64 * 30.0), 2_000);
+        }
+        let c2 = em.conn(agent, HOOKER_C2, 80);
+        let e = em.event(agent, hk, OpType::Write, c2, EntityKind::NetConn, at(base, d, t0 + 700.0), 40_000);
+        record(truth, label, e);
+    }
+
+    // v1: Trojan.Sysbot on host 6.
+    sysbot(em, base, truth, m1, "v1", 7001, 9.0 * h);
+    // v2: Trojan.Hooker on host 6.
+    hooker(em, base, truth, m1, "v2", 7101, 10.0 * h);
+    // v3: Virus.Autorun on host 7.
+    {
+        let services = em.process_as(m2, "services.exe", 7201, "SYSTEM", true);
+        let vir = em.process_as(m2, "autorun_v.exe", 7202, "user", false);
+        let e = em.event(m2, services, OpType::Start, vir, EntityKind::Process, at(base, d, 9.5 * h), 0);
+        record(truth, "v3", e);
+        let inf = em.file(m2, "E:\\autorun.inf");
+        let e = em.event(m2, vir, OpType::Write, inf, EntityKind::File, at(base, d, 9.5 * h + 5.0), 128);
+        record(truth, "v3", e);
+        let self_copy = em.file(m2, "E:\\autorun_v.exe");
+        let e = em.event(m2, vir, OpType::Write, self_copy, EntityKind::File, at(base, d, 9.5 * h + 8.0), 450_000);
+        record(truth, "v3", e);
+        // Replicate into the Windows directory as well.
+        let sys_copy = em.file(m2, "C:\\Windows\\autorun_v.exe");
+        em.event(m2, vir, OpType::Write, sys_copy, EntityKind::File, at(base, d, 9.5 * h + 12.0), 450_000);
+    }
+    // v4: Virus.Sysbot variant on host 7.
+    sysbot(em, base, truth, m2, "v4", 7301, 11.0 * h);
+    // v5: Trojan.Hooker variant on host 7.
+    hooker(em, base, truth, m2, "v5", 7401, 12.0 * h);
+}
+
+/// Abnormal system behaviours s1–s6.
+pub fn abnormal(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
+    let ab = AgentId(hosts::ABN);
+    let d = ATTACK_DAY;
+    let h = 3600.0;
+
+    // s1: command-history probing (paper Query 2's behaviour).
+    let sshd = em.process_as(ab, "sshd", 8001, "root", true);
+    let snoopy = em.process_as(ab, "snoopy", 8002, "intruder", false);
+    let e = em.event(ab, sshd, OpType::Start, snoopy, EntityKind::Process, at(base, d, 9.0 * h), 0);
+    record(truth, "s1", e);
+    let hist = em.file(ab, "/home/admin/.bash_history");
+    let vim = em.file(ab, "/home/admin/.viminfo");
+    let e = em.event(ab, snoopy, OpType::Read, hist, EntityKind::File, at(base, d, 9.0 * h + 20.0), 4_096);
+    record(truth, "s1", e);
+    let e = em.event(ab, snoopy, OpType::Read, vim, EntityKind::File, at(base, d, 9.0 * h + 25.0), 2_048);
+    record(truth, "s1", e);
+
+    // s2: suspicious web service — apache spawns a shell that reads shadow.
+    let apache = em.process_as(ab, "apache2", 8003, "www-data", true);
+    let sh = em.process_as(ab, "/bin/sh", 8004, "www-data", true);
+    let e = em.event(ab, apache, OpType::Start, sh, EntityKind::Process, at(base, d, 10.0 * h), 0);
+    record(truth, "s2", e);
+    let shadow = em.file(ab, "/etc/shadow");
+    let e = em.event(ab, sh, OpType::Read, shadow, EntityKind::File, at(base, d, 10.0 * h + 5.0), 2_048);
+    record(truth, "s2", e);
+
+    // s3: frequent network access — 150 connects to one destination.
+    let beacon = em.process_as(ab, "beacon.sh", 8005, "intruder", false);
+    for i in 0..150i64 {
+        let c = em.conn(ab, ABN_DST, 443);
+        let e = em.event(ab, beacon, OpType::Connect, c, EntityKind::NetConn, at(base, d, 11.0 * h + i as f64 * 20.0), 0);
+        if i == 0 {
+            record(truth, "s3", e);
+        }
+    }
+
+    // s4: erasing traces from system files.
+    let cleaner = em.process_as(ab, "cleaner", 8006, "intruder", false);
+    for (i, log) in ["/var/log/auth.log", "/var/log/wtmp", "/var/log/lastlog"].iter().enumerate() {
+        let f = em.file(ab, log);
+        let e = em.event(ab, cleaner, OpType::Delete, f, EntityKind::File, at(base, d, 12.0 * h + i as f64 * 5.0), 0);
+        record(truth, "s4", e);
+    }
+
+    // s5: network access spike — steady 1 kB beacons, then an 80 MB burst.
+    let exfil = em.process_as(ab, "exfil.sh", 8007, "intruder", false);
+    let spike_conn = em.conn(ab, SPIKE_DST, 443);
+    for i in 0..120i64 {
+        em.event(ab, exfil, OpType::Write, spike_conn, EntityKind::NetConn, at(base, d, 13.0 * h + i as f64 * 10.0), 1_000);
+    }
+    for i in 0..3i64 {
+        let e = em.event(ab, exfil, OpType::Write, spike_conn, EntityKind::NetConn, at(base, d, 13.0 * h + 1500.0 + i as f64 * 10.0), 80_000_000);
+        record(truth, "s5", e);
+    }
+
+    // s6: abnormal file access — a quiet baseline (one read per minute),
+    // then 80 distinct sensitive files scraped in under ten seconds.
+    let scraper = em.process_as(ab, "scraper", 8008, "intruder", false);
+    for i in 0..30i64 {
+        let f = em.file(ab, &format!("/home/admin/notes{i}.txt"));
+        em.event(ab, scraper, OpType::Read, f, EntityKind::File, at(base, d, 14.4 * h + i as f64 * 60.0), 2_000);
+    }
+    for i in 0..80i64 {
+        let f = em.file(ab, &format!("/home/admin/secret{i}.doc"));
+        let e = em.event(ab, scraper, OpType::Read, f, EntityKind::File, at(base, d, 15.0 * h + i as f64 * 0.12), 10_000);
+        if i == 0 {
+            record(truth, "s6", e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::Ids;
+    use aiql_model::Dataset;
+
+    fn build() -> (Dataset, GroundTruth) {
+        let mut data = Dataset::new();
+        let mut ids = Ids::new();
+        let mut truth = GroundTruth::new();
+        let base = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        let mut em = Emitter::new(&mut data, &mut ids);
+        emit_all(&mut em, base, &mut truth);
+        (data, truth)
+    }
+
+    #[test]
+    fn all_scenarios_recorded() {
+        let (_, truth) = build();
+        for label in [
+            "c1", "c2", "c3", "c4", "c5", "a1", "a2", "a3", "a4", "a5",
+            "d1", "d2", "d3", "v1", "v2", "v3", "v4", "v5",
+            "s1", "s2", "s3", "s4", "s5", "s6",
+        ] {
+            assert!(truth.contains_key(label), "missing truth for {label}");
+            assert!(!truth[label].is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario_events_are_on_the_attack_day() {
+        let (data, _) = build();
+        let base = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        for e in &data.events {
+            assert_eq!(e.start.day_index(), base.day_index() + ATTACK_DAY);
+        }
+    }
+
+    #[test]
+    fn exfiltration_chain_is_ordered() {
+        let (data, truth) = build();
+        let c5 = &truth["c5"];
+        let times: Vec<i64> = c5
+            .iter()
+            .map(|id| data.events.iter().find(|e| e.id == *id).unwrap().start.0)
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "c5 key events in temporal order");
+    }
+
+    #[test]
+    fn cross_host_connect_present_for_d3() {
+        let (data, truth) = build();
+        let d3 = &truth["d3"];
+        let idx = data.entity_index();
+        let connect = d3
+            .iter()
+            .map(|id| data.events.iter().find(|e| e.id == *id).unwrap())
+            .find(|e| e.op == OpType::Connect)
+            .expect("d3 records a connect");
+        // Subject on host A, object process on host B.
+        assert_eq!(connect.agent.0, hosts::HOST_A);
+        assert_eq!(idx[&connect.object].agent.0, hosts::HOST_B);
+        assert_eq!(connect.object_kind, EntityKind::Process);
+    }
+
+    #[test]
+    fn spike_amounts_dwarf_beacons() {
+        let (data, truth) = build();
+        let spike_ids = &truth["s5"];
+        for id in spike_ids {
+            let e = data.events.iter().find(|e| e.id == *id).unwrap();
+            assert!(e.amount >= 80_000_000);
+        }
+    }
+}

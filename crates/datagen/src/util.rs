@@ -1,0 +1,185 @@
+//! ID allocation and a tiny deterministic workload-building toolkit shared
+//! by the background generator and the attack scenarios.
+
+use aiql_model::{AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp};
+use std::collections::HashMap;
+
+/// Monotone allocators for entity/event IDs, unique across the simulation.
+#[derive(Debug, Default)]
+pub struct Ids {
+    next_entity: u64,
+    next_event: u64,
+    next_seq: HashMap<u32, u64>,
+}
+
+impl Ids {
+    /// A fresh allocator.
+    pub fn new() -> Ids {
+        Ids {
+            next_entity: 1,
+            next_event: 1,
+            next_seq: HashMap::new(),
+        }
+    }
+
+    /// Allocates an entity ID.
+    pub fn entity(&mut self) -> EntityId {
+        let id = self.next_entity;
+        self.next_entity += 1;
+        EntityId(id)
+    }
+
+    /// Allocates an event ID.
+    pub fn event(&mut self) -> EventId {
+        let id = self.next_event;
+        self.next_event += 1;
+        EventId(id)
+    }
+
+    /// Next per-agent sequence number (tie-breaker for equal timestamps).
+    pub fn seq(&mut self, agent: AgentId) -> u64 {
+        let s = self.next_seq.entry(agent.0).or_insert(0);
+        *s += 1;
+        *s
+    }
+}
+
+/// A convenience wrapper for emitting entities/events into a dataset.
+pub struct Emitter<'a> {
+    pub data: &'a mut Dataset,
+    pub ids: &'a mut Ids,
+}
+
+impl<'a> Emitter<'a> {
+    /// Creates an emitter over a dataset and allocator.
+    pub fn new(data: &'a mut Dataset, ids: &'a mut Ids) -> Emitter<'a> {
+        Emitter { data, ids }
+    }
+
+    /// Adds a process entity.
+    pub fn process(&mut self, agent: AgentId, exe: &str, pid: i64) -> EntityId {
+        let id = self.ids.entity();
+        self.data.add_entity(
+            Entity::process(id, agent, exe, pid)
+                .with_attr("user", "SYSTEM")
+                .with_attr("cmd", exe.to_string())
+                .with_attr("signature", "unsigned"),
+        );
+        id
+    }
+
+    /// Adds a process entity with a user and signature.
+    pub fn process_as(
+        &mut self,
+        agent: AgentId,
+        exe: &str,
+        pid: i64,
+        user: &str,
+        signed: bool,
+    ) -> EntityId {
+        let id = self.ids.entity();
+        self.data.add_entity(
+            Entity::process(id, agent, exe, pid)
+                .with_attr("user", user.to_string())
+                .with_attr("cmd", exe.to_string())
+                .with_attr("signature", if signed { "valid" } else { "unsigned" }),
+        );
+        id
+    }
+
+    /// Adds a file entity.
+    pub fn file(&mut self, agent: AgentId, name: &str) -> EntityId {
+        let id = self.ids.entity();
+        self.data.add_entity(
+            Entity::file(id, agent, name)
+                .with_attr("owner", "root")
+                .with_attr("group", "root")
+                .with_attr("vol_id", 1i64)
+                .with_attr("data_id", id.0 as i64),
+        );
+        id
+    }
+
+    /// Adds a network-connection entity.
+    pub fn conn(&mut self, agent: AgentId, dst_ip: &str, dst_port: i64) -> EntityId {
+        let id = self.ids.entity();
+        self.data.add_entity(Entity::netconn(
+            id,
+            agent,
+            format!("10.0.0.{}", agent.0 + 10),
+            40_000 + (id.0 % 20_000) as i64,
+            dst_ip,
+            dst_port,
+        ));
+        id
+    }
+
+    /// Emits an event, returning its ID.
+    pub fn event(
+        &mut self,
+        agent: AgentId,
+        subject: EntityId,
+        op: OpType,
+        object: EntityId,
+        object_kind: EntityKind,
+        t: Timestamp,
+        amount: i64,
+    ) -> EventId {
+        let id = self.ids.event();
+        let seq = self.ids.seq(agent);
+        self.data.add_event(
+            Event::new(id, agent, subject, op, object, object_kind, t)
+                .with_seq(seq)
+                .with_amount(amount),
+        );
+        id
+    }
+}
+
+/// Timestamp helper: `base date + day + seconds`.
+pub fn at(day0: Timestamp, day: i64, secs: f64) -> Timestamp {
+    Timestamp(day0.0 + day * 86_400 * 1_000_000_000 + (secs * 1e9) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let mut ids = Ids::new();
+        let a = ids.entity();
+        let b = ids.entity();
+        assert!(b > a);
+        let e1 = ids.event();
+        let e2 = ids.event();
+        assert!(e2 > e1);
+        assert_eq!(ids.seq(AgentId(1)), 1);
+        assert_eq!(ids.seq(AgentId(1)), 2);
+        assert_eq!(ids.seq(AgentId(2)), 1);
+    }
+
+    #[test]
+    fn emitter_builds_entities_and_events() {
+        let mut data = Dataset::new();
+        let mut ids = Ids::new();
+        let mut em = Emitter::new(&mut data, &mut ids);
+        let a = AgentId(1);
+        let p = em.process_as(a, "bash", 10, "alice", true);
+        let f = em.file(a, "/tmp/x");
+        let t = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        em.event(a, p, OpType::Write, f, EntityKind::File, t, 42);
+        assert_eq!(data.entities.len(), 2);
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].amount, 42);
+        assert_eq!(data.entity(p).unwrap().attr("user"), aiql_model::Value::str("alice"));
+    }
+
+    #[test]
+    fn at_computes_offsets() {
+        let d0 = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        let t = at(d0, 1, 3600.0);
+        assert_eq!(t.ymd(), (2017, 1, 2));
+        assert_eq!(t.hms(), (1, 0, 0));
+    }
+}

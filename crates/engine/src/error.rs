@@ -1,0 +1,51 @@
+//! Engine error type.
+
+use aiql_core::AiqlError;
+use aiql_rdb::RdbError;
+use std::fmt;
+
+/// Errors from compiling or executing an AIQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query failed to parse or analyze.
+    Compile(AiqlError),
+    /// The storage layer failed.
+    Storage(RdbError),
+    /// The execution deadline elapsed.
+    Timeout,
+    /// A tuple set or intermediate result exceeded the memory budget —
+    /// reported like a did-not-finish baseline run.
+    Resource,
+    /// The query uses a feature the engine cannot execute.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile(e) => write!(f, "compile error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Timeout => write!(f, "query exceeded its execution deadline"),
+            EngineError::Resource => write!(f, "query exceeded its intermediate-result budget"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<AiqlError> for EngineError {
+    fn from(e: AiqlError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<RdbError> for EngineError {
+    fn from(e: RdbError) -> Self {
+        match e {
+            RdbError::Timeout => EngineError::Timeout,
+            RdbError::ResourceLimit => EngineError::Resource,
+            other => EngineError::Storage(other),
+        }
+    }
+}

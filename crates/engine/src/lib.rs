@@ -1,0 +1,427 @@
+//! The AIQL query execution engine (paper Sec. 5).
+//!
+//! The engine executes [`aiql_core::QueryContext`]s against an
+//! [`aiql_storage::EventStore`] (or a Greenplum-style
+//! [`aiql_storage::SegmentedStore`]):
+//!
+//! 1. per event pattern it **synthesizes a data query** ([`synth`]),
+//! 2. a **scheduler** orders and constrains the data queries —
+//!    relationship-based (paper Algorithm 1) or fetch-and-filter
+//!    ([`schedule`]),
+//! 3. events scans **parallelize across time/space partitions** and MPP
+//!    segments ([`pattern`]),
+//! 4. **dependency** queries arrive pre-compiled to multievent form (the
+//!    rewrite lives in `aiql-core`), and
+//! 5. **anomaly** queries run through the sliding-window executor with
+//!    history states and moving averages ([`anomaly`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use aiql_engine::Engine;
+//! use aiql_model::{AgentId, Dataset, Entity, EntityKind, Event, OpType, Timestamp};
+//! use aiql_storage::{EventStore, StoreConfig};
+//!
+//! let mut data = Dataset::new();
+//! let a = AgentId(1);
+//! let bash = data.add_entity(Entity::process(1.into(), a, "bash", 7));
+//! let hist = data.add_entity(Entity::file(2.into(), a, "/home/u/.bash_history"));
+//! data.add_event(Event::new(
+//!     1.into(), a, bash, OpType::Read, hist, EntityKind::File,
+//!     Timestamp::from_ymd(2017, 1, 1).unwrap(),
+//! ));
+//! let store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+//!
+//! let result = Engine::new(&store)
+//!     .run(r#"proc p read file f["%.bash_history"] return p, f"#)
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub mod anomaly;
+pub mod error;
+pub mod layout;
+pub mod pattern;
+pub mod result;
+pub mod schedule;
+pub mod scoring;
+pub mod synth;
+pub mod tupleset;
+
+pub use error::EngineError;
+pub use pattern::{Deadline, EngineStats, StoreRef};
+pub use result::EngineResult;
+pub use schedule::Scheduler;
+pub use scoring::ScoreModel;
+
+use aiql_core::{compile, QueryContext, QueryKind};
+use aiql_storage::{EventStore, SegmentedStore};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Data-query scheduling strategy.
+    pub scheduler: Scheduler,
+    /// Pruning-score model for relationship-based scheduling (paper
+    /// Algorithm 1 default, or the Sec. 7 statistical refinement).
+    pub scorer: ScoreModel,
+    /// Parallelize event scans across partitions (time-window partition
+    /// parallelism, paper Sec. 5.2).
+    pub parallel: bool,
+    /// Optional wall-clock budget per query.
+    pub budget: Option<Duration>,
+}
+
+impl EngineConfig {
+    /// AIQL's full configuration: relationship scheduling + parallelism.
+    pub fn aiql() -> EngineConfig {
+        EngineConfig {
+            scheduler: Scheduler::Relationship,
+            scorer: ScoreModel::ConstraintCount,
+            parallel: true,
+            budget: None,
+        }
+    }
+
+    /// The fetch-and-filter baseline configuration ("AIQL FF").
+    pub fn fetch_filter() -> EngineConfig {
+        EngineConfig {
+            scheduler: Scheduler::FetchFilter,
+            scorer: ScoreModel::ConstraintCount,
+            parallel: false,
+            budget: None,
+        }
+    }
+
+    /// The Sec. 7 ablation: relationship scheduling driven by statistical
+    /// cardinality estimates instead of constraint counts.
+    pub fn aiql_statistical() -> EngineConfig {
+        EngineConfig {
+            scorer: ScoreModel::DataStatistics,
+            ..EngineConfig::aiql()
+        }
+    }
+
+    /// Sets the budget, builder style.
+    pub fn with_budget(mut self, budget: Duration) -> EngineConfig {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// The query engine, bound to a store.
+pub struct Engine<'a> {
+    store: StoreRef<'a>,
+    config: EngineConfig,
+}
+
+/// A query outcome: result plus execution statistics and elapsed time.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub result: EngineResult,
+    pub stats: EngineStats,
+    pub elapsed: Duration,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine over a single-node store with AIQL's default configuration
+    /// (relationship-based scheduling, partition parallelism).
+    pub fn new(store: &'a EventStore) -> Engine<'a> {
+        Engine {
+            store: StoreRef::Single(store),
+            config: EngineConfig::aiql(),
+        }
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(store: &'a EventStore, config: EngineConfig) -> Engine<'a> {
+        Engine {
+            store: StoreRef::Single(store),
+            config,
+        }
+    }
+
+    /// An engine over a segmented (MPP) store.
+    pub fn segmented(store: &'a SegmentedStore, config: EngineConfig) -> Engine<'a> {
+        Engine {
+            store: StoreRef::Segmented(store),
+            config,
+        }
+    }
+
+    /// Compiles and runs an AIQL query, returning just the result.
+    pub fn run(&self, source: &str) -> Result<EngineResult, EngineError> {
+        self.run_outcome(source).map(|o| o.result)
+    }
+
+    /// Compiles and runs an AIQL query, returning result + statistics.
+    pub fn run_outcome(&self, source: &str) -> Result<Outcome, EngineError> {
+        let ctx = compile(source)?;
+        self.run_ctx(&ctx)
+    }
+
+    /// Runs a pre-compiled query context.
+    pub fn run_ctx(&self, ctx: &QueryContext) -> Result<Outcome, EngineError> {
+        let started = Instant::now();
+        let deadline = Deadline(self.config.budget.map(|b| started + b));
+        let mut stats = EngineStats::default();
+        let result = match ctx.kind {
+            QueryKind::Anomaly => {
+                anomaly::run_anomaly(self.store, ctx, self.config.parallel, deadline, &mut stats)?
+            }
+            QueryKind::Multievent | QueryKind::Dependency => {
+                let joined = match self.config.scheduler {
+                    Scheduler::Relationship => {
+                        let scores = scoring::scores(self.config.scorer, self.store, ctx);
+                        schedule::relationship_based_scored(
+                            self.store,
+                            ctx,
+                            &scores,
+                            self.config.parallel,
+                            deadline,
+                            &mut stats,
+                        )?
+                    }
+                    Scheduler::FetchFilter => schedule::fetch_and_filter(
+                        self.store,
+                        ctx,
+                        self.config.parallel,
+                        deadline,
+                        &mut stats,
+                    )?,
+                };
+                result::assemble(ctx, &joined, &mut stats)?
+            }
+        };
+        Ok(Outcome {
+            result,
+            stats,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{AgentId, Dataset, Entity, EntityKind, Event, OpType, Timestamp, Value};
+    use aiql_storage::StoreConfig;
+
+    /// The paper's c5 exfiltration chain plus beaconing traffic for anomaly
+    /// detection, over two hosts and two days.
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new();
+        let a = AgentId(9);
+        let t0 = Timestamp::from_ymd(2017, 1, 2).unwrap().0;
+        let s = 1_000_000_000i64;
+
+        let cmd = d.add_entity(Entity::process(1.into(), a, "cmd.exe", 10));
+        let osql = d.add_entity(Entity::process(2.into(), a, "osql.exe", 11));
+        let sql = d.add_entity(Entity::process(3.into(), a, "sqlservr.exe", 12));
+        let sbblv = d.add_entity(Entity::process(4.into(), a, "sbblv.exe", 13));
+        let dump = d.add_entity(Entity::file(5.into(), a, "C:\\db\\BACKUP1.DMP"));
+        let evil = d.add_entity(Entity::netconn(6.into(), a, "10.1.1.2", 49999, "10.10.1.129", 443));
+
+        let mut eid = 0u64;
+        let mut ev = |d: &mut Dataset, s_, op, o, k, t: i64, amount: i64| {
+            eid += 1;
+            d.add_event(
+                Event::new(eid.into(), a, s_, op, o, k, Timestamp(t)).with_amount(amount),
+            );
+        };
+        ev(&mut d, cmd, OpType::Start, osql, EntityKind::Process, t0 + 10 * s, 0);
+        ev(&mut d, sql, OpType::Write, dump, EntityKind::File, t0 + 20 * s, 1 << 20);
+        ev(&mut d, sbblv, OpType::Read, dump, EntityKind::File, t0 + 30 * s, 1 << 20);
+        // Beaconing: small transfers every 10 s, then a big exfil spike.
+        for i in 0..60i64 {
+            ev(&mut d, sbblv, OpType::Write, evil, EntityKind::NetConn, t0 + 40 * s + i * 10 * s, 1_000);
+        }
+        ev(&mut d, sbblv, OpType::Write, evil, EntityKind::NetConn, t0 + 700 * s, 50_000_000);
+        // Background noise on another agent/day.
+        let b = AgentId(3);
+        let t1 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
+        let bash = d.add_entity(Entity::process(100.into(), b, "bash", 500));
+        for i in 0..40u64 {
+            let f = d.add_entity(Entity::file((200 + i).into(), b, format!("/var/tmp/n{i}")));
+            d.add_event(Event::new(
+                (1000 + i).into(), b, bash, OpType::Write, f, EntityKind::File,
+                Timestamp(t1 + i as i64 * s),
+            ));
+        }
+        d
+    }
+
+    fn store() -> EventStore {
+        EventStore::ingest(&dataset(), StoreConfig::partitioned()).unwrap()
+    }
+
+    #[test]
+    fn paper_query7_finds_exfiltration_chain() {
+        let store = store();
+        for config in [EngineConfig::aiql(), EngineConfig::fetch_filter()] {
+            let engine = Engine::with_config(&store, config);
+            let r = engine
+                .run(
+                    r#"
+                    (at "01/02/2017")
+                    agentid = 9
+                    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+                    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+                    proc p4["%sbblv.exe"] read file f1 as evt3
+                    proc p4 read || write ip i1[dstip = "10.10.1.129"] as evt4
+                    with evt1 before evt2, evt2 before evt3, evt3 before evt4
+                    return distinct p1, p2, p3, f1, p4, i1
+                    "#,
+                )
+                .unwrap();
+            assert_eq!(r.rows.len(), 1);
+            assert_eq!(
+                r.rows[0],
+                vec![
+                    Value::str("cmd.exe"),
+                    Value::str("osql.exe"),
+                    Value::str("sqlservr.exe"),
+                    Value::str("C:\\db\\BACKUP1.DMP"),
+                    Value::str("sbblv.exe"),
+                    Value::str("10.10.1.129"),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn anomaly_query5_flags_only_the_spike() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine
+            .run(
+                r#"
+                (at "01/02/2017")
+                agentid = 9
+                window = 1 min, step = 10 sec
+                proc p write ip i[dstip = "10.10.1.129"] as evt
+                return p, avg(evt.amount) as amt
+                group by p
+                having amt > 2 * (amt + amt[1] + amt[2]) / 3
+                "#,
+            )
+            .unwrap();
+        assert!(!r.rows.is_empty(), "the 50 MB burst must alert");
+        assert!(r.rows.iter().all(|row| row[0] == Value::str("sbblv.exe")));
+        // Alerted averages are far above the 1 kB beacon noise.
+        assert!(r.rows.iter().all(|row| row[1].as_f64().unwrap() > 100_000.0));
+        // And the number of alerting windows is small (the spike region
+        // only: 6 sliding windows cover any instant at step 10 s / 1 min).
+        assert!(r.rows.len() <= 8, "got {} alert rows", r.rows.len());
+    }
+
+    #[test]
+    fn dependency_query_tracks_dump_provenance() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine
+            .run(
+                r#"
+                (at "01/02/2017")
+                forward: proc p1["%sqlservr.exe"] ->[write] file f1["%backup1.dmp"]
+                <-[read] proc p2 ->[write] ip i1
+                return p1, f1, p2, i1
+                "#,
+            )
+            .unwrap();
+        assert!(!r.rows.is_empty());
+        assert_eq!(r.rows[0][2], Value::str("sbblv.exe"));
+        assert_eq!(r.rows[0][3], Value::str("10.10.1.129"));
+    }
+
+    #[test]
+    fn count_and_group_by_aggregates() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine
+            .run(r#"(at "01/01/2017") agentid = 3 proc p write file f return count distinct p, f"#)
+            .unwrap();
+        assert_eq!(r.columns, vec!["count"]);
+        assert_eq!(r.rows, vec![vec![Value::Int(40)]]);
+
+        let r = engine
+            .run(
+                r#"(at "01/01/2017") agentid = 3 proc p write file f
+                   return p, count(f) as n group by p"#,
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::str("bash"), Value::Int(40)]]);
+    }
+
+    #[test]
+    fn sort_and_top() {
+        let store = store();
+        let engine = Engine::new(&store);
+        let r = engine
+            .run(
+                r#"(at "01/01/2017") proc p write file f return distinct f
+                   sort by f desc top 3"#,
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::str("/var/tmp/n9"));
+    }
+
+    #[test]
+    fn timeout_budget_enforced() {
+        // A pathological pair of unconstrained patterns with a non-equi
+        // relation on a larger store.
+        let mut d = dataset();
+        let a = AgentId(9);
+        let s = 1_000_000_000i64;
+        let t0 = Timestamp::from_ymd(2017, 1, 2).unwrap().0;
+        let p = d.add_entity(Entity::process(9000.into(), a, "noise.exe", 1));
+        for i in 0..3000u64 {
+            let f = d.add_entity(Entity::file((10_000 + i).into(), a, format!("/n/{i}")));
+            d.add_event(Event::new(
+                (50_000 + i).into(), a, p, OpType::Read, f, EntityKind::File,
+                Timestamp(t0 + i as i64 * s / 100),
+            ));
+        }
+        let store = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let engine = Engine::with_config(
+            &store,
+            EngineConfig::fetch_filter().with_budget(Duration::from_millis(5)),
+        );
+        let r = engine.run(
+            "proc p1 read file f1 as e1 proc p2 read file f2 as e2 \
+             proc p3 read file f3 as e3 with e1 before e2, e2 before e3 \
+             return count p1",
+        );
+        assert!(
+            matches!(r, Err(EngineError::Timeout) | Err(EngineError::Resource)),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let store = store();
+        let engine = Engine::new(&store);
+        assert!(matches!(
+            engine.run("proc p frobnicate file f return p"),
+            Err(EngineError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn segmented_engine_matches_single_node() {
+        let d = dataset();
+        let single = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let seg = SegmentedStore::ingest(&d, 4, true).unwrap();
+        let q = r#"(at "01/02/2017") proc p4["%sbblv.exe"] read file f1 return p4, f1"#;
+        let a = Engine::new(&single).run(q).unwrap();
+        let b = Engine::segmented(&seg, EngineConfig::aiql()).run(q).unwrap();
+        let norm = |mut r: EngineResult| {
+            r.rows.sort();
+            r.rows
+        };
+        assert_eq!(norm(a), norm(b));
+    }
+}

@@ -1,0 +1,482 @@
+//! Per-pattern data-query execution against the store.
+//!
+//! A pattern execution scans the subject/object entity tables (index-
+//! accelerated), scans the `events` table with partition pruning — in
+//! parallel across partitions/segments when configured (the paper's
+//! time-window partition parallelism, Sec. 5.2) — and emits flattened
+//! match rows.
+
+use crate::error::EngineError;
+use crate::layout;
+use crate::synth::{apply_extra, synthesize, DataQuery, ExtraCstr};
+use aiql_core::PatternCtx;
+use aiql_model::EntityKind;
+use aiql_storage::{schema, EventStore, SegmentedStore};
+use aiql_rdb::{CmpOp, Expr, Prune, Row, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which store a query runs against.
+#[derive(Clone, Copy)]
+pub enum StoreRef<'a> {
+    Single(&'a EventStore),
+    Segmented(&'a SegmentedStore),
+}
+
+/// Execution statistics for one query.
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    /// Number of data queries issued (one per pattern execution).
+    pub data_queries: u32,
+    /// Rows touched by storage scans.
+    pub rows_scanned: u64,
+    /// Match counts per executed pattern (by pattern index).
+    pub matches: Vec<(usize, usize)>,
+    /// Tuples considered during joins.
+    pub join_work: u64,
+}
+
+/// Deadline wrapper shared across the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(pub Option<Instant>);
+
+impl Deadline {
+    /// No deadline.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// Errors when the deadline has passed.
+    #[inline]
+    pub fn check(&self) -> Result<(), EngineError> {
+        match self.0 {
+            Some(d) if Instant::now() >= d => Err(EngineError::Timeout),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl<'a> StoreRef<'a> {
+    fn scan_entities(
+        &self,
+        kind: EntityKind,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+    ) -> Vec<Row> {
+        match self {
+            StoreRef::Single(s) => s.scan_entities(kind, conjuncts, scanned),
+            StoreRef::Segmented(s) => {
+                let parts = s
+                    .sdb()
+                    .run_on_all(|db| {
+                        let t = db
+                            .plain(schema::entity_table(kind))
+                            .expect("entity tables are plain");
+                        let mut local = 0u64;
+                        let (_, pos) = t.select(conjuncts, &mut local);
+                        Ok((local, pos.into_iter().map(|p| t.row(p).clone()).collect::<Vec<Row>>()))
+                    })
+                    .expect("entity scan cannot fail");
+                let mut out = Vec::new();
+                for (local, rows) in parts {
+                    *scanned += local;
+                    out.extend(rows);
+                }
+                out
+            }
+        }
+    }
+
+    fn scan_events(
+        &self,
+        conjuncts: &[Expr],
+        prune: &Prune,
+        parallel: bool,
+        deadline: Deadline,
+        scanned: &mut u64,
+    ) -> Result<Vec<Row>, EngineError> {
+        deadline.check()?;
+        match self {
+            StoreRef::Single(s) => {
+                if parallel {
+                    if let Some(pt) = s.events_partitioned() {
+                        return parallel_partition_scan(pt, conjuncts, prune, deadline, scanned);
+                    }
+                }
+                Ok(s.scan_events(conjuncts, prune, scanned))
+            }
+            StoreRef::Segmented(s) => {
+                // Segments scan in parallel; within each, partitions prune.
+                let parts = s.sdb().run_on_all(|db| {
+                    let pt = db
+                        .partitioned(schema::EVENTS)
+                        .expect("segmented events are partitioned");
+                    let derived = pt.prune_from_conjuncts(conjuncts);
+                    let merged = merge_prune(prune, &derived);
+                    let mut local = 0u64;
+                    let rows = pt.select(conjuncts, &merged, &mut local);
+                    Ok((local, rows))
+                })?;
+                let mut out = Vec::new();
+                for (local, rows) in parts {
+                    *scanned += local;
+                    out.extend(rows);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn merge_prune(a: &Prune, b: &Prune) -> Prune {
+    Prune {
+        day_lo: match (a.day_lo, b.day_lo) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        },
+        day_hi: match (a.day_hi, b.day_hi) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        },
+        agents: a.agents.clone().or_else(|| b.agents.clone()),
+    }
+}
+
+/// Scans the admitted partitions of a partitioned table on scoped threads.
+fn parallel_partition_scan(
+    pt: &aiql_rdb::PartitionedTable,
+    conjuncts: &[Expr],
+    prune: &Prune,
+    deadline: Deadline,
+    scanned: &mut u64,
+) -> Result<Vec<Row>, EngineError> {
+    let derived = pt.prune_from_conjuncts(conjuncts);
+    let merged = merge_prune(prune, &derived);
+    let parts = pt.partitions_for(&merged);
+    if parts.len() <= 1 {
+        let mut local = 0u64;
+        let rows = pt.select(conjuncts, &merged, &mut local);
+        *scanned += local;
+        return Ok(rows);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(parts.len())
+        .min(8);
+    let chunks: Vec<Vec<&aiql_rdb::Table>> = {
+        let mut cs: Vec<Vec<&aiql_rdb::Table>> = vec![Vec::new(); workers];
+        for (i, (_, t)) in parts.iter().enumerate() {
+            cs[i % workers].push(t);
+        }
+        cs
+    };
+    let results: Vec<(u64, Vec<Row>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = 0u64;
+                    let mut rows = Vec::new();
+                    for t in chunk {
+                        let (_, pos) = t.select(conjuncts, &mut local);
+                        rows.extend(pos.into_iter().map(|p| t.row(p).clone()));
+                    }
+                    (local, rows)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition scan worker panicked"))
+            .collect()
+    });
+    deadline.check()?;
+    let mut out = Vec::new();
+    for (local, rows) in results {
+        *scanned += local;
+        out.extend(rows);
+    }
+    Ok(out)
+}
+
+/// When an entity filter yields at most this many IDs, the executor pushes
+/// an IN-list onto the events scan so the `subject_id`/`object_id` indexes
+/// can drive it.
+const ID_PUSHDOWN_LIMIT: usize = 20_000;
+
+/// Executes one pattern's data query; returns flattened match rows.
+pub fn execute_pattern(
+    store: StoreRef<'_>,
+    p: &PatternCtx,
+    extra: &ExtraCstr,
+    parallel: bool,
+    deadline: Deadline,
+    stats: &mut EngineStats,
+) -> Result<Vec<Row>, EngineError> {
+    let mut q: DataQuery = synthesize(p);
+    apply_extra(&mut q, extra);
+    stats.data_queries += 1;
+
+    // 1. Entity-side scans (only when constrained — otherwise resolved
+    //    lazily from the event rows).
+    let subj_map = if q.subject.is_empty() {
+        None
+    } else {
+        Some(scan_entity_map(&store, EntityKind::Process, &q.subject, stats))
+    };
+    let obj_map = if q.object.is_empty() {
+        None
+    } else {
+        Some(scan_entity_map(&store, p.object_kind, &q.object, stats))
+    };
+    deadline.check()?;
+
+    // Early exit: a constrained entity side with no matches.
+    if subj_map.as_ref().is_some_and(HashMap::is_empty)
+        || obj_map.as_ref().is_some_and(HashMap::is_empty)
+    {
+        stats.matches.push((p.idx, 0));
+        return Ok(Vec::new());
+    }
+
+    // 2. Push small ID sets into the events scan.
+    let mut event_conjuncts = q.event.clone();
+    if let Some(m) = &subj_map {
+        if m.len() <= ID_PUSHDOWN_LIMIT {
+            event_conjuncts.push(Expr::In(
+                Box::new(Expr::Col(schema::ev::SUBJECT)),
+                m.keys().map(|&k| Value::Int(k)).collect(),
+            ));
+        }
+    }
+    if let Some(m) = &obj_map {
+        if m.len() <= ID_PUSHDOWN_LIMIT {
+            event_conjuncts.push(Expr::In(
+                Box::new(Expr::Col(schema::ev::OBJECT)),
+                m.keys().map(|&k| Value::Int(k)).collect(),
+            ));
+        }
+    }
+
+    // 3. Events scan.
+    let mut scanned = 0u64;
+    let events = store.scan_events(&event_conjuncts, &q.prune, parallel, deadline, &mut scanned)?;
+    stats.rows_scanned += scanned;
+
+    // 4. Filter by entity maps and resolve missing entity rows in batches.
+    let mut kept: Vec<Row> = Vec::with_capacity(events.len());
+    let mut need_subj: Vec<i64> = Vec::new();
+    let mut need_obj: Vec<i64> = Vec::new();
+    for ev in events {
+        let sid = ev[schema::ev::SUBJECT].as_int().unwrap_or(-1);
+        let oid = ev[schema::ev::OBJECT].as_int().unwrap_or(-1);
+        match &subj_map {
+            Some(m) if !m.contains_key(&sid) => continue,
+            Some(_) => {}
+            None => need_subj.push(sid),
+        }
+        match &obj_map {
+            Some(m) if !m.contains_key(&oid) => continue,
+            Some(_) => {}
+            None => need_obj.push(oid),
+        }
+        kept.push(ev);
+    }
+    let subj_map = match subj_map {
+        Some(m) => m,
+        None => batch_lookup(&store, EntityKind::Process, need_subj, stats),
+    };
+    let obj_map = match obj_map {
+        Some(m) => m,
+        None => batch_lookup(&store, p.object_kind, need_obj, stats),
+    };
+    deadline.check()?;
+
+    // 5. Flatten.
+    let mut out = Vec::with_capacity(kept.len());
+    for ev in kept {
+        let sid = ev[schema::ev::SUBJECT].as_int().unwrap_or(-1);
+        let oid = ev[schema::ev::OBJECT].as_int().unwrap_or(-1);
+        let (Some(s), Some(o)) = (subj_map.get(&sid), obj_map.get(&oid)) else {
+            // Entity row missing (dangling reference) — drop the event.
+            continue;
+        };
+        out.push(layout::flatten(&ev, s, o));
+    }
+    stats.matches.push((p.idx, out.len()));
+    Ok(out)
+}
+
+fn scan_entity_map(
+    store: &StoreRef<'_>,
+    kind: EntityKind,
+    conjuncts: &[Expr],
+    stats: &mut EngineStats,
+) -> HashMap<i64, Row> {
+    let mut scanned = 0u64;
+    let rows = store.scan_entities(kind, conjuncts, &mut scanned);
+    stats.rows_scanned += scanned;
+    rows.into_iter()
+        .filter_map(|r| r[0].as_int().map(|id| (id, r)))
+        .collect()
+}
+
+fn batch_lookup(
+    store: &StoreRef<'_>,
+    kind: EntityKind,
+    mut ids: Vec<i64>,
+    stats: &mut EngineStats,
+) -> HashMap<i64, Row> {
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return HashMap::new();
+    }
+    let conjuncts = vec![Expr::In(
+        Box::new(Expr::Col(0)),
+        ids.iter().map(|&i| Value::Int(i)).collect(),
+    )];
+    scan_entity_map(store, kind, &conjuncts, stats)
+}
+
+/// Convenience: the event-start lower/upper bound conjunct positions used in
+/// tests.
+pub fn start_bound(lo: i64) -> Expr {
+    Expr::cmp_lit(schema::ev::START, CmpOp::Ge, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_core::compile;
+    use aiql_model::{AgentId, Dataset, Entity, Event, OpType, Timestamp};
+    use aiql_storage::StoreConfig;
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new();
+        let a = AgentId(1);
+        let cmd = d.add_entity(Entity::process(1.into(), a, "cmd.exe", 100));
+        let osql = d.add_entity(Entity::process(2.into(), a, "osql.exe", 101));
+        let svchost = d.add_entity(Entity::process(3.into(), a, "svchost.exe", 102));
+        let dump = d.add_entity(Entity::file(4.into(), a, "c:\\backup1.dmp"));
+        let t0 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
+        d.add_event(Event::new(
+            1.into(), a, cmd, OpType::Start, osql, EntityKind::Process, Timestamp(t0 + 100),
+        ));
+        d.add_event(Event::new(
+            2.into(), a, osql, OpType::Write, dump, EntityKind::File, Timestamp(t0 + 200),
+        ));
+        d.add_event(Event::new(
+            3.into(), a, svchost, OpType::Read, dump, EntityKind::File, Timestamp(t0 + 300),
+        ));
+        d
+    }
+
+    fn run(src: &str, parallel: bool) -> Vec<Row> {
+        let store = EventStore::ingest(&dataset(), StoreConfig::partitioned()).unwrap();
+        let ctx = compile(src).unwrap();
+        let mut stats = EngineStats::default();
+        execute_pattern(
+            StoreRef::Single(&store),
+            &ctx.patterns[0],
+            &ExtraCstr::default(),
+            parallel,
+            Deadline::none(),
+            &mut stats,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constrained_subject_and_object() {
+        let rows = run(
+            r#"proc p["%osql%"] write file f["%backup1.dmp"] return p, f"#,
+            false,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), layout::MATCH_WIDTH);
+        assert_eq!(rows[0][layout::SUBJ_OFF + schema::proc::EXE_NAME], Value::str("osql.exe"));
+        assert_eq!(rows[0][layout::OBJ_OFF + schema::file::NAME], Value::str("c:\\backup1.dmp"));
+    }
+
+    #[test]
+    fn unconstrained_sides_lazy_resolved() {
+        let rows = run("proc p read || write file f return p, f", false);
+        assert_eq!(rows.len(), 2, "write + read of the dump");
+        // Subject rows resolved by batch lookup.
+        assert!(rows
+            .iter()
+            .any(|r| r[layout::SUBJ_OFF + schema::proc::EXE_NAME] == Value::str("svchost.exe")));
+    }
+
+    #[test]
+    fn no_matches_when_entity_filter_empty() {
+        let rows = run(r#"proc p["%powershell%"] write file f return p"#, false);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let src = r#"(at "01/01/2017") proc p read || write || start file f return p, f"#;
+        let mut a = run(src, false);
+        let mut b = run(src, true);
+        let key = |r: &Row| r[schema::ev::ID].clone();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_prunes_everything_outside() {
+        let rows = run(
+            r#"(at "06/01/2019") proc p write file f return p"#,
+            false,
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn extra_in_list_constrains() {
+        let store = EventStore::ingest(&dataset(), StoreConfig::partitioned()).unwrap();
+        let ctx = compile("proc p read || write file f return p, f").unwrap();
+        let extra = ExtraCstr {
+            in_lists: vec![(crate::synth::Side::Event, schema::ev::SUBJECT, vec![Value::Int(3)])],
+            time_lo: None,
+            time_hi: None,
+        };
+        let mut stats = EngineStats::default();
+        let rows = execute_pattern(
+            StoreRef::Single(&store),
+            &ctx.patterns[0],
+            &extra,
+            false,
+            Deadline::none(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1, "only svchost's read");
+    }
+
+    #[test]
+    fn segmented_store_matches_single() {
+        let d = dataset();
+        let single = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let seg = SegmentedStore::ingest(&d, 3, true).unwrap();
+        let ctx = compile("proc p read || write || start file f return p, f").unwrap();
+        let mut s1 = EngineStats::default();
+        let mut s2 = EngineStats::default();
+        let mut a = execute_pattern(
+            StoreRef::Single(&single), &ctx.patterns[0], &ExtraCstr::default(),
+            false, Deadline::none(), &mut s1,
+        ).unwrap();
+        let mut b = execute_pattern(
+            StoreRef::Segmented(&seg), &ctx.patterns[0], &ExtraCstr::default(),
+            false, Deadline::none(), &mut s2,
+        ).unwrap();
+        let key = |r: &Row| r[schema::ev::ID].clone();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+}

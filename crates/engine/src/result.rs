@@ -1,0 +1,385 @@
+//! Result assembly: projection, aggregation, `having`, `sort by`, `top`,
+//! `distinct`, and `count` over joined tuples.
+
+use crate::error::EngineError;
+use crate::layout::resolve_field;
+use crate::pattern::EngineStats;
+use crate::schedule::Joined;
+use aiql_core::ast::{AggFunc, CmpOp as AstCmp, MaKind};
+use aiql_core::{ArithCtx, HavingCtx, QueryContext, RetExprCtx};
+use aiql_rdb::Value;
+use std::collections::HashMap;
+
+/// The final result of an AIQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl std::fmt::Display for EngineResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for r in &self.rows {
+            let cells: Vec<String> = r.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates resolved arithmetic without history (multievent `having`).
+pub fn eval_arith_simple(a: &ArithCtx, items: &[Value]) -> f64 {
+    match a {
+        ArithCtx::Num(n) => *n,
+        ArithCtx::Item(i) => items[*i].as_f64().unwrap_or(f64::NAN),
+        // History/moving averages are rejected for non-anomaly queries by
+        // the analyzer; NaN keeps eval total.
+        ArithCtx::Hist { .. } | ArithCtx::MovAvg { .. } => f64::NAN,
+        ArithCtx::Add(x, y) => eval_arith_simple(x, items) + eval_arith_simple(y, items),
+        ArithCtx::Sub(x, y) => eval_arith_simple(x, items) - eval_arith_simple(y, items),
+        ArithCtx::Mul(x, y) => eval_arith_simple(x, items) * eval_arith_simple(y, items),
+        ArithCtx::Div(x, y) => eval_arith_simple(x, items) / eval_arith_simple(y, items),
+        ArithCtx::Neg(x) => -eval_arith_simple(x, items),
+    }
+}
+
+/// Evaluates a resolved `having` without history.
+pub fn eval_having_simple(h: &HavingCtx, items: &[Value]) -> bool {
+    match h {
+        HavingCtx::Cmp { op, left, right } => {
+            let (a, b) = (eval_arith_simple(left, items), eval_arith_simple(right, items));
+            if a.is_nan() || b.is_nan() {
+                return false;
+            }
+            match op {
+                AstCmp::Eq => a == b,
+                AstCmp::Ne => a != b,
+                AstCmp::Lt => a < b,
+                AstCmp::Le => a <= b,
+                AstCmp::Gt => a > b,
+                AstCmp::Ge => a >= b,
+            }
+        }
+        HavingCtx::And(x, y) => eval_having_simple(x, items) && eval_having_simple(y, items),
+        HavingCtx::Or(x, y) => eval_having_simple(x, items) || eval_having_simple(y, items),
+        HavingCtx::Not(x) => !eval_having_simple(x, items),
+    }
+}
+
+/// Shared aggregate accumulator (also used by the anomaly executor).
+#[derive(Debug, Default, Clone)]
+pub struct Accum {
+    pub count: u64,
+    pub sum: f64,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub distinct: std::collections::HashSet<Value>,
+}
+
+impl Accum {
+    /// Folds one value in.
+    pub fn update(&mut self, v: &Value, need_distinct: bool) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+        if need_distinct {
+            self.distinct.insert(v.clone());
+        }
+    }
+
+    /// Final aggregate value. Empty accumulators yield 0 for counts/sums
+    /// and NULL for avg/min/max.
+    pub fn result(&self, func: AggFunc, distinct: bool) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(if distinct {
+                self.distinct.len() as i64
+            } else {
+                self.count as i64
+            }),
+            AggFunc::Sum => {
+                if distinct {
+                    Value::Float(self.distinct.iter().filter_map(Value::as_f64).sum())
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if distinct {
+                    if self.distinct.is_empty() {
+                        Value::Null
+                    } else {
+                        let s: f64 = self.distinct.iter().filter_map(Value::as_f64).sum();
+                        Value::Float(s / self.distinct.len() as f64)
+                    }
+                } else if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Moving-average computation over a value history (latest value last,
+/// including the current window). Used by anomaly `having`.
+pub fn moving_average(kind: MaKind, history: &[f64], param: f64) -> f64 {
+    if history.is_empty() {
+        return f64::NAN;
+    }
+    match kind {
+        MaKind::Sma => {
+            let n = (param as usize).max(1).min(history.len());
+            let tail = &history[history.len() - n..];
+            tail.iter().sum::<f64>() / n as f64
+        }
+        MaKind::Cma => history.iter().sum::<f64>() / history.len() as f64,
+        MaKind::Wma => {
+            let n = (param as usize).max(1).min(history.len());
+            let tail = &history[history.len() - n..];
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (i, v) in tail.iter().enumerate() {
+                let w = (i + 1) as f64;
+                num += w * v;
+                den += w;
+            }
+            num / den
+        }
+        MaKind::Ewma => {
+            let alpha = param;
+            let mut acc = history[0];
+            for v in &history[1..] {
+                acc = alpha * acc + (1.0 - alpha) * v;
+            }
+            acc
+        }
+    }
+}
+
+/// Projects joined tuples into final result rows, applying the return
+/// clause semantics.
+pub fn assemble(
+    ctx: &QueryContext,
+    joined: &Joined,
+    _stats: &mut EngineStats,
+) -> Result<EngineResult, EngineError> {
+    // Resolve items to (pattern, col) / aggregate specs.
+    enum Item {
+        Field { pattern: usize, col: usize },
+        Agg { func: AggFunc, distinct: bool, pattern: usize, col: usize },
+    }
+    let items: Vec<(Item, String)> = ctx
+        .ret
+        .items
+        .iter()
+        .map(|it| {
+            let item = match &it.expr {
+                RetExprCtx::Field(f) => Item::Field {
+                    pattern: f.pattern,
+                    col: resolve_field(f, ctx.patterns[f.pattern].object_kind)?,
+                },
+                RetExprCtx::Agg { func, distinct, arg } => Item::Agg {
+                    func: *func,
+                    distinct: *distinct,
+                    pattern: arg.pattern,
+                    col: resolve_field(arg, ctx.patterns[arg.pattern].object_kind)?,
+                },
+            };
+            Ok((item, it.name.clone()))
+        })
+        .collect::<Result<Vec<_>, EngineError>>()?;
+
+    let slots: Vec<usize> = (0..ctx.patterns.len())
+        .map(|p| joined.tuples.slot(p).expect("all patterns joined"))
+        .collect();
+    let value_of = |t: &[u32], pattern: usize, col: usize| -> Value {
+        let row = &joined.matches.rows(pattern)[t[slots[pattern]] as usize];
+        row[col].clone()
+    };
+
+    let has_agg = items.iter().any(|(i, _)| matches!(i, Item::Agg { .. }));
+    let mut rows: Vec<Vec<Value>> = if has_agg {
+        // Group by the `group by` items' values.
+        let mut groups: HashMap<Vec<Value>, (Vec<Value>, Vec<Accum>)> = HashMap::new();
+        let agg_idx: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (i, _))| matches!(i, Item::Agg { .. }))
+            .map(|(k, _)| k)
+            .collect();
+        for t in &joined.tuples.tuples {
+            let key: Vec<Value> = ctx
+                .group_by
+                .iter()
+                .map(|&gi| match &items[gi].0 {
+                    Item::Field { pattern, col } => value_of(t, *pattern, *col),
+                    Item::Agg { .. } => Value::Null,
+                })
+                .collect();
+            let entry = groups.entry(key).or_insert_with(|| {
+                let fields: Vec<Value> = items
+                    .iter()
+                    .map(|(i, _)| match i {
+                        Item::Field { pattern, col } => value_of(t, *pattern, *col),
+                        Item::Agg { .. } => Value::Null,
+                    })
+                    .collect();
+                (fields, agg_idx.iter().map(|_| Accum::default()).collect())
+            });
+            for (slot, &k) in agg_idx.iter().enumerate() {
+                if let Item::Agg { distinct, pattern, col, .. } = &items[k].0 {
+                    entry.1[slot].update(&value_of(t, *pattern, *col), *distinct);
+                }
+            }
+        }
+        let mut grouped: Vec<_> = groups.into_iter().collect();
+        grouped.sort_by(|a, b| a.0.cmp(&b.0));
+        grouped
+            .into_iter()
+            .map(|(_, (mut fields, accums))| {
+                for (slot, &k) in agg_idx.iter().enumerate() {
+                    if let Item::Agg { func, distinct, .. } = &items[k].0 {
+                        fields[k] = accums[slot].result(*func, *distinct);
+                    }
+                }
+                fields
+            })
+            .collect()
+    } else {
+        joined
+            .tuples
+            .tuples
+            .iter()
+            .map(|t| {
+                items
+                    .iter()
+                    .map(|(i, _)| match i {
+                        Item::Field { pattern, col } => value_of(t, *pattern, *col),
+                        Item::Agg { .. } => Value::Null,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // having (non-window form).
+    if let Some(h) = &ctx.having {
+        rows.retain(|r| eval_having_simple(h, r));
+    }
+    finish(ctx, items.iter().map(|(_, n)| n.clone()).collect(), rows)
+}
+
+/// Applies distinct/sort/top/count and wraps the result (shared by the
+/// multievent and anomaly paths).
+pub fn finish(
+    ctx: &QueryContext,
+    columns: Vec<String>,
+    mut rows: Vec<Vec<Value>>,
+) -> Result<EngineResult, EngineError> {
+    if ctx.ret.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+    if !ctx.sort_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (col, asc) in &ctx.sort_by {
+                let ord = a[*col].cmp(&b[*col]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = ctx.top {
+        rows.truncate(n);
+    }
+    if ctx.ret.count {
+        return Ok(EngineResult {
+            columns: vec!["count".to_string()],
+            rows: vec![vec![Value::Int(rows.len() as i64)]],
+        });
+    }
+    Ok(EngineResult { columns, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_results() {
+        let mut a = Accum::default();
+        for v in [Value::Int(1), Value::Int(3), Value::Int(3), Value::Null] {
+            a.update(&v, true);
+        }
+        assert_eq!(a.result(AggFunc::Count, false), Value::Int(3));
+        assert_eq!(a.result(AggFunc::Count, true), Value::Int(2));
+        assert_eq!(a.result(AggFunc::Sum, false), Value::Float(7.0));
+        assert_eq!(a.result(AggFunc::Min, false), Value::Int(1));
+        assert_eq!(a.result(AggFunc::Max, false), Value::Int(3));
+        match a.result(AggFunc::Avg, false) {
+            Value::Float(x) => assert!((x - 7.0 / 3.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        let empty = Accum::default();
+        assert_eq!(empty.result(AggFunc::Count, false), Value::Int(0));
+        assert_eq!(empty.result(AggFunc::Avg, false), Value::Null);
+    }
+
+    #[test]
+    fn moving_averages() {
+        let h = [1.0, 2.0, 3.0, 4.0];
+        assert!((moving_average(MaKind::Sma, &h, 2.0) - 3.5).abs() < 1e-9);
+        assert!((moving_average(MaKind::Sma, &h, 10.0) - 2.5).abs() < 1e-9, "clamped to len");
+        assert!((moving_average(MaKind::Cma, &h, 0.0) - 2.5).abs() < 1e-9);
+        // WMA over last 3: (1*2 + 2*3 + 3*4) / 6 = 20/6.
+        assert!((moving_average(MaKind::Wma, &h, 3.0) - 20.0 / 6.0).abs() < 1e-9);
+        // EWMA alpha=0.5: ((1*.5+.5*2)*.5+.5*3)*.5+.5*4 = 3.125... compute:
+        // 1 → .5+1=1.5 → .75+1.5=2.25 → 1.125+2=3.125.
+        assert!((moving_average(MaKind::Ewma, &h, 0.5) - 3.125).abs() < 1e-9);
+        assert!(moving_average(MaKind::Sma, &[], 3.0).is_nan());
+    }
+
+    #[test]
+    fn having_eval() {
+        let items = vec![Value::str("p"), Value::Int(10)];
+        let h = HavingCtx::Cmp {
+            op: AstCmp::Gt,
+            left: ArithCtx::Item(1),
+            right: ArithCtx::Num(5.0),
+        };
+        assert!(eval_having_simple(&h, &items));
+        // String item → NaN → false.
+        let h = HavingCtx::Cmp {
+            op: AstCmp::Gt,
+            left: ArithCtx::Item(0),
+            right: ArithCtx::Num(5.0),
+        };
+        assert!(!eval_having_simple(&h, &items));
+        // Arithmetic combinators.
+        let h = HavingCtx::Cmp {
+            op: AstCmp::Eq,
+            left: ArithCtx::Div(
+                Box::new(ArithCtx::Mul(Box::new(ArithCtx::Item(1)), Box::new(ArithCtx::Num(3.0)))),
+                Box::new(ArithCtx::Num(2.0)),
+            ),
+            right: ArithCtx::Num(15.0),
+        };
+        assert!(eval_having_simple(&h, &items));
+    }
+}

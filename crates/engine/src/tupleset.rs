@@ -1,0 +1,545 @@
+//! Tuple-set algebra for the relationship-based scheduler (Algorithm 1).
+//!
+//! The scheduler maintains a map `M` from event-pattern IDs to the tuple set
+//! containing their execution results. Tuple sets are created from pairs of
+//! result sets, extended with fresh results, filtered in place, and merged,
+//! exactly as the paper's Algorithm 1 prescribes. Joins use hashing when the
+//! relationship is an attribute equality and a deadline-checked nested loop
+//! otherwise (temporal order, inequalities).
+
+use crate::error::EngineError;
+use crate::layout::{resolve_field, START_COL};
+use crate::pattern::{Deadline, EngineStats};
+use aiql_core::ast::{CmpOp as AstCmp, TempKind};
+use aiql_core::{QueryContext, RelationCtx};
+use aiql_rdb::{Row, Value};
+use std::collections::HashMap;
+
+/// Maximum tuples a single set may hold before the engine reports a
+/// resource failure (the in-memory analogue of the baselines' blow-ups).
+pub const MAX_TUPLES: usize = 2_000_000;
+
+#[inline]
+fn push_tuple(tuples: &mut Vec<Vec<u32>>, t: Vec<u32>) -> Result<(), EngineError> {
+    if tuples.len() >= MAX_TUPLES {
+        return Err(EngineError::Resource);
+    }
+    tuples.push(t);
+    Ok(())
+}
+
+/// Evaluable form of a relationship: match-row column positions resolved.
+#[derive(Debug, Clone)]
+pub enum RelEval {
+    Attr {
+        left_pattern: usize,
+        left_col: usize,
+        op: AstCmp,
+        right_pattern: usize,
+        right_col: usize,
+    },
+    Temporal {
+        left_pattern: usize,
+        kind: TempKind,
+        range_ns: Option<(i64, i64)>,
+        right_pattern: usize,
+    },
+}
+
+impl RelEval {
+    /// Resolves a context relationship against the query's patterns.
+    pub fn build(rel: &RelationCtx, ctx: &QueryContext) -> Result<RelEval, EngineError> {
+        Ok(match rel {
+            RelationCtx::Attr { left, op, right } => RelEval::Attr {
+                left_pattern: left.pattern,
+                left_col: resolve_field(left, ctx.patterns[left.pattern].object_kind)?,
+                op: *op,
+                right_pattern: right.pattern,
+                right_col: resolve_field(right, ctx.patterns[right.pattern].object_kind)?,
+            },
+            RelationCtx::Temporal { left, kind, range_ns, right } => RelEval::Temporal {
+                left_pattern: *left,
+                kind: *kind,
+                range_ns: *range_ns,
+                right_pattern: *right,
+            },
+        })
+    }
+
+    /// The two patterns this relationship connects.
+    pub fn endpoints(&self) -> (usize, usize) {
+        match self {
+            RelEval::Attr { left_pattern, right_pattern, .. } => (*left_pattern, *right_pattern),
+            RelEval::Temporal { left_pattern, right_pattern, .. } => {
+                (*left_pattern, *right_pattern)
+            }
+        }
+    }
+
+    /// Whether rows `l` (for the left pattern) and `r` (right) satisfy the
+    /// relationship.
+    pub fn holds(&self, l: &Row, r: &Row) -> bool {
+        match self {
+            RelEval::Attr { left_col, op, right_col, .. } => {
+                let (a, b) = (&l[*left_col], &r[*right_col]);
+                if a.is_null() || b.is_null() {
+                    return false;
+                }
+                let ord = a.loose_cmp(b);
+                match op {
+                    AstCmp::Eq => ord == std::cmp::Ordering::Equal,
+                    AstCmp::Ne => ord != std::cmp::Ordering::Equal,
+                    AstCmp::Lt => ord == std::cmp::Ordering::Less,
+                    AstCmp::Le => ord != std::cmp::Ordering::Greater,
+                    AstCmp::Gt => ord == std::cmp::Ordering::Greater,
+                    AstCmp::Ge => ord != std::cmp::Ordering::Less,
+                }
+            }
+            RelEval::Temporal { kind, range_ns, .. } => {
+                let tl = l[START_COL].as_int().unwrap_or(0);
+                let tr = r[START_COL].as_int().unwrap_or(0);
+                match kind {
+                    TempKind::Before => match range_ns {
+                        None => tl < tr,
+                        Some((lo, hi)) => tr - tl >= *lo && tr - tl <= *hi,
+                    },
+                    TempKind::After => match range_ns {
+                        None => tl > tr,
+                        Some((lo, hi)) => tl - tr >= *lo && tl - tr <= *hi,
+                    },
+                    TempKind::Within => match range_ns {
+                        None => tl == tr,
+                        Some((lo, hi)) => {
+                            let gap = (tl - tr).abs();
+                            gap >= *lo && gap <= *hi
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Whether this relationship is a hash-joinable attribute equality.
+    pub fn is_equi(&self) -> bool {
+        matches!(self, RelEval::Attr { op: AstCmp::Eq, .. })
+    }
+}
+
+/// Execution results of all patterns: `per_pattern[i]` is `Some(rows)` once
+/// pattern `i` has executed.
+#[derive(Debug, Default)]
+pub struct Matches {
+    pub per_pattern: Vec<Option<Vec<Row>>>,
+}
+
+impl Matches {
+    /// An empty table for `n` patterns.
+    pub fn new(n: usize) -> Matches {
+        Matches {
+            per_pattern: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// The rows of an executed pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern has not executed — a scheduler bug.
+    pub fn rows(&self, pattern: usize) -> &[Row] {
+        self.per_pattern[pattern]
+            .as_deref()
+            .expect("pattern executed before use")
+    }
+
+    /// Whether pattern `i` has executed.
+    pub fn executed(&self, pattern: usize) -> bool {
+        self.per_pattern[pattern].is_some()
+    }
+}
+
+/// A set of joined tuples over a list of patterns. `tuples[t][k]` indexes
+/// into `matches.rows(patterns[k])`.
+#[derive(Debug, Clone, Default)]
+pub struct TupleSet {
+    pub patterns: Vec<usize>,
+    pub tuples: Vec<Vec<u32>>,
+}
+
+impl TupleSet {
+    /// A singleton set over one executed pattern.
+    pub fn singleton(pattern: usize, n_rows: usize) -> TupleSet {
+        TupleSet {
+            patterns: vec![pattern],
+            tuples: (0..n_rows as u32).map(|i| vec![i]).collect(),
+        }
+    }
+
+    /// Position of `pattern` within this set's tuple layout.
+    pub fn slot(&self, pattern: usize) -> Option<usize> {
+        self.patterns.iter().position(|&p| p == pattern)
+    }
+
+    /// Creates a tuple set from two fresh result sets related by `rel`
+    /// (Algorithm 1: `T ← S_i × S_j |rel`).
+    pub fn create(
+        matches: &Matches,
+        i: usize,
+        j: usize,
+        rels: &[&RelEval],
+        deadline: Deadline,
+        stats: &mut EngineStats,
+    ) -> Result<TupleSet, EngineError> {
+        let si = matches.rows(i);
+        let sj = matches.rows(j);
+        let mut out = TupleSet {
+            patterns: vec![i, j],
+            tuples: Vec::new(),
+        };
+        // Hash join on the first equi-relationship; residual-check the rest.
+        if let Some(equi) = rels.iter().find(|r| r.is_equi()) {
+            let (lcol, rcol, lp) = match equi {
+                RelEval::Attr { left_col, right_col, left_pattern, .. } => {
+                    (*left_col, *right_col, *left_pattern)
+                }
+                RelEval::Temporal { .. } => unreachable!("is_equi"),
+            };
+            // Orient: which side of the rel is pattern i?
+            let (icol, jcol) = if lp == i { (lcol, rcol) } else { (rcol, lcol) };
+            let mut built: HashMap<&Value, Vec<u32>> = HashMap::new();
+            for (jj, row) in sj.iter().enumerate() {
+                built.entry(&row[jcol]).or_default().push(jj as u32);
+            }
+            for (ii, irow) in si.iter().enumerate() {
+                deadline.check()?;
+                if let Some(cands) = built.get(&irow[icol]) {
+                    for &jj in cands {
+                        stats.join_work += 1;
+                        if check_all(rels, i, j, irow, &sj[jj as usize]) {
+                            push_tuple(&mut out.tuples, vec![ii as u32, jj])?;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (ii, irow) in si.iter().enumerate() {
+                deadline.check()?;
+                for (jj, jrow) in sj.iter().enumerate() {
+                    stats.join_work += 1;
+                    if check_all(rels, i, j, irow, jrow) {
+                        push_tuple(&mut out.tuples, vec![ii as u32, jj as u32])?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extends this set with a newly executed pattern `j` (Algorithm 1:
+    /// `T' ← T ×S_j |rel`).
+    pub fn extend(
+        &self,
+        matches: &Matches,
+        j: usize,
+        rels: &[&RelEval],
+        deadline: Deadline,
+        stats: &mut EngineStats,
+    ) -> Result<TupleSet, EngineError> {
+        let sj = matches.rows(j);
+        let mut out = TupleSet {
+            patterns: {
+                let mut p = self.patterns.clone();
+                p.push(j);
+                p
+            },
+            tuples: Vec::new(),
+        };
+        // Hash path: an equi-rel between a pattern of this set and j.
+        let equi = rels.iter().find(|r| r.is_equi());
+        if let Some(RelEval::Attr { left_pattern, left_col, right_col, right_pattern, .. }) = equi {
+            let (in_set_pat, in_set_col, jcol) = if *right_pattern == j {
+                (*left_pattern, *left_col, *right_col)
+            } else {
+                (*right_pattern, *right_col, *left_col)
+            };
+            let slot = self.slot(in_set_pat).expect("relation endpoint in set");
+            let in_rows = matches.rows(in_set_pat);
+            let mut built: HashMap<&Value, Vec<u32>> = HashMap::new();
+            for (jj, row) in sj.iter().enumerate() {
+                built.entry(&row[jcol]).or_default().push(jj as u32);
+            }
+            for t in &self.tuples {
+                deadline.check()?;
+                let irow = &in_rows[t[slot] as usize];
+                if let Some(cands) = built.get(&irow[in_set_col]) {
+                    for &jj in cands {
+                        stats.join_work += 1;
+                        if self.tuple_matches(matches, t, j, &sj[jj as usize], rels) {
+                            let mut nt = t.clone();
+                            nt.push(jj);
+                            push_tuple(&mut out.tuples, nt)?;
+                        }
+                    }
+                }
+            }
+        } else {
+            for t in &self.tuples {
+                deadline.check()?;
+                for (jj, jrow) in sj.iter().enumerate() {
+                    stats.join_work += 1;
+                    if self.tuple_matches(matches, t, j, jrow, rels) {
+                        let mut nt = t.clone();
+                        nt.push(jj as u32);
+                        push_tuple(&mut out.tuples, nt)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks all `rels` between this set's tuple `t` and candidate row
+    /// `jrow` for pattern `j`.
+    fn tuple_matches(
+        &self,
+        matches: &Matches,
+        t: &[u32],
+        j: usize,
+        jrow: &Row,
+        rels: &[&RelEval],
+    ) -> bool {
+        rels.iter().all(|rel| {
+            let (l, r) = rel.endpoints();
+            if l == j && r == j {
+                return true;
+            }
+            if l == j {
+                let slot = self.slot(r).expect("endpoint in set");
+                let rrow = &matches.rows(r)[t[slot] as usize];
+                rel.holds(jrow, rrow)
+            } else if r == j {
+                let slot = self.slot(l).expect("endpoint in set");
+                let lrow = &matches.rows(l)[t[slot] as usize];
+                rel.holds(lrow, jrow)
+            } else {
+                true
+            }
+        })
+    }
+
+    /// Filters tuples in place by a relationship whose both endpoints are in
+    /// this set (Algorithm 1: `T' ← T_i |rel`).
+    pub fn filter(&mut self, matches: &Matches, rel: &RelEval) {
+        let (l, r) = rel.endpoints();
+        let (Some(ls), Some(rs)) = (self.slot(l), self.slot(r)) else {
+            return;
+        };
+        let lrows = matches.rows(l);
+        let rrows = matches.rows(r);
+        self.tuples.retain(|t| {
+            rel.holds(&lrows[t[ls] as usize], &rrows[t[rs] as usize])
+        });
+    }
+
+    /// Merges two disjoint tuple sets, filtering by `rels` (which may be
+    /// empty for the final cartesian merge of Algorithm 1 step 5).
+    pub fn merge(
+        a: &TupleSet,
+        b: &TupleSet,
+        matches: &Matches,
+        rels: &[&RelEval],
+        deadline: Deadline,
+        stats: &mut EngineStats,
+    ) -> Result<TupleSet, EngineError> {
+        let mut out = TupleSet {
+            patterns: a.patterns.iter().chain(&b.patterns).copied().collect(),
+            tuples: Vec::new(),
+        };
+        for ta in &a.tuples {
+            deadline.check()?;
+            'next: for tb in &b.tuples {
+                stats.join_work += 1;
+                for rel in rels {
+                    let (l, r) = rel.endpoints();
+                    let (lrow, rrow) = match (
+                        a.slot(l).map(|s| &matches.rows(l)[ta[s] as usize]),
+                        b.slot(l).map(|s| &matches.rows(l)[tb[s] as usize]),
+                        a.slot(r).map(|s| &matches.rows(r)[ta[s] as usize]),
+                        b.slot(r).map(|s| &matches.rows(r)[tb[s] as usize]),
+                    ) {
+                        (Some(lr), _, _, Some(rr)) => (lr, rr),
+                        (_, Some(lr), Some(rr), _) => (lr, rr),
+                        _ => continue,
+                    };
+                    if !rel.holds(lrow, rrow) {
+                        continue 'next;
+                    }
+                }
+                let mut nt = ta.clone();
+                nt.extend_from_slice(tb);
+                push_tuple(&mut out.tuples, nt)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn check_all(rels: &[&RelEval], i: usize, j: usize, irow: &Row, jrow: &Row) -> bool {
+    rels.iter().all(|rel| {
+        let (l, r) = rel.endpoints();
+        if l == i && r == j {
+            rel.holds(irow, jrow)
+        } else if l == j && r == i {
+            rel.holds(jrow, irow)
+        } else {
+            true
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MATCH_WIDTH;
+
+    /// A match row with the given event start time and subject id.
+    fn row(start: i64, subj_id: i64) -> Row {
+        let mut r = vec![Value::Null; MATCH_WIDTH];
+        r[START_COL] = Value::Int(start);
+        r[crate::layout::SUBJ_OFF] = Value::Int(subj_id);
+        r
+    }
+
+    fn matches2(a: Vec<Row>, b: Vec<Row>) -> Matches {
+        Matches {
+            per_pattern: vec![Some(a), Some(b)],
+        }
+    }
+
+    fn attr_eq() -> RelEval {
+        RelEval::Attr {
+            left_pattern: 0,
+            left_col: crate::layout::SUBJ_OFF,
+            op: AstCmp::Eq,
+            right_pattern: 1,
+            right_col: crate::layout::SUBJ_OFF,
+        }
+    }
+
+    fn before() -> RelEval {
+        RelEval::Temporal {
+            left_pattern: 0,
+            kind: TempKind::Before,
+            range_ns: None,
+            right_pattern: 1,
+        }
+    }
+
+    #[test]
+    fn create_hash_join_on_equi() {
+        let m = matches2(
+            vec![row(1, 10), row(2, 20)],
+            vec![row(3, 10), row(4, 30), row(5, 10)],
+        );
+        let rel = attr_eq();
+        let mut stats = EngineStats::default();
+        let ts = TupleSet::create(&m, 0, 1, &[&rel], Deadline::none(), &mut stats).unwrap();
+        assert_eq!(ts.tuples.len(), 2, "subject 10 matches rows 0 and 2");
+        // Hash join probes only matching candidates.
+        assert_eq!(stats.join_work, 2);
+    }
+
+    #[test]
+    fn create_nested_loop_on_temporal() {
+        let m = matches2(vec![row(1, 0), row(10, 0)], vec![row(5, 0)]);
+        let rel = before();
+        let mut stats = EngineStats::default();
+        let ts = TupleSet::create(&m, 0, 1, &[&rel], Deadline::none(), &mut stats).unwrap();
+        assert_eq!(ts.tuples, vec![vec![0, 0]], "only t=1 is before t=5");
+        assert_eq!(stats.join_work, 2, "nested loop considers all pairs");
+    }
+
+    #[test]
+    fn temporal_with_range_and_within() {
+        let l = row(1_000, 0);
+        let r = row(3_000, 0);
+        let rel = RelEval::Temporal {
+            left_pattern: 0,
+            kind: TempKind::Before,
+            range_ns: Some((1_000, 2_500)),
+            right_pattern: 1,
+        };
+        assert!(rel.holds(&l, &r), "gap 2000 within [1000, 2500]");
+        let rel = RelEval::Temporal {
+            left_pattern: 0,
+            kind: TempKind::Before,
+            range_ns: Some((2_500, 9_000)),
+            right_pattern: 1,
+        };
+        assert!(!rel.holds(&l, &r), "gap 2000 below 2500");
+        let rel = RelEval::Temporal {
+            left_pattern: 0,
+            kind: TempKind::Within,
+            range_ns: Some((0, 5_000)),
+            right_pattern: 1,
+        };
+        assert!(rel.holds(&r, &l), "within is symmetric");
+    }
+
+    #[test]
+    fn extend_filters_against_all_set_members() {
+        let m = Matches {
+            per_pattern: vec![
+                Some(vec![row(1, 7)]),
+                Some(vec![row(5, 7)]),
+                Some(vec![row(3, 7), row(9, 7)]),
+            ],
+        };
+        let r01 = attr_eq();
+        let mut stats = EngineStats::default();
+        let ts = TupleSet::create(&m, 0, 1, &[&r01], Deadline::none(), &mut stats).unwrap();
+        // Extend with pattern 2 under: evt0 before evt2 AND evt2 before evt1.
+        let r02 = RelEval::Temporal { left_pattern: 0, kind: TempKind::Before, range_ns: None, right_pattern: 2 };
+        let r21 = RelEval::Temporal { left_pattern: 2, kind: TempKind::Before, range_ns: None, right_pattern: 1 };
+        let ts2 = ts.extend(&m, 2, &[&r02, &r21], Deadline::none(), &mut stats).unwrap();
+        assert_eq!(ts2.tuples, vec![vec![0, 0, 0]], "only t=3 sits between 1 and 5");
+    }
+
+    #[test]
+    fn filter_in_place() {
+        let m = matches2(vec![row(10, 0), row(1, 0)], vec![row(5, 0)]);
+        let mut stats = EngineStats::default();
+        let mut ts = TupleSet::create(&m, 0, 1, &[], Deadline::none(), &mut stats).unwrap();
+        assert_eq!(ts.tuples.len(), 2, "no relation: full cross product");
+        ts.filter(&m, &before());
+        assert_eq!(ts.tuples, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn merge_disjoint_sets_with_relation() {
+        let m = Matches {
+            per_pattern: vec![
+                Some(vec![row(1, 0)]),
+                Some(vec![row(2, 0)]),
+                Some(vec![row(3, 0)]),
+                Some(vec![row(0, 0), row(9, 0)]),
+            ],
+        };
+        let mut stats = EngineStats::default();
+        let a = TupleSet::create(&m, 0, 1, &[], Deadline::none(), &mut stats).unwrap();
+        let b = TupleSet::create(&m, 2, 3, &[], Deadline::none(), &mut stats).unwrap();
+        // Require evt1 (t=2) before evt3.
+        let rel = RelEval::Temporal { left_pattern: 1, kind: TempKind::Before, range_ns: None, right_pattern: 3 };
+        let merged = TupleSet::merge(&a, &b, &m, &[&rel], Deadline::none(), &mut stats).unwrap();
+        assert_eq!(merged.patterns, vec![0, 1, 2, 3]);
+        assert_eq!(merged.tuples, vec![vec![0, 0, 0, 1]], "only t3=9 qualifies");
+    }
+
+    #[test]
+    fn singleton_and_slots() {
+        let ts = TupleSet::singleton(4, 3);
+        assert_eq!(ts.patterns, vec![4]);
+        assert_eq!(ts.tuples.len(), 3);
+        assert_eq!(ts.slot(4), Some(0));
+        assert_eq!(ts.slot(0), None);
+    }
+}

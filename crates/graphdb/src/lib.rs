@@ -1,0 +1,276 @@
+//! A from-scratch property-graph database, standing in for Neo4j in the
+//! AIQL paper's evaluation.
+//!
+//! The paper configures Neo4j by "importing system entities as nodes and
+//! system events as relationships" and observes that graph databases "lack
+//! efficient support for joins": path traversal is fast along connected
+//! patterns, but event patterns related only by attribute values or temporal
+//! order force binding-expansion over cross products. This crate reproduces
+//! that execution model honestly:
+//!
+//! - [`GraphDb`] stores labelled nodes/edges with property maps and
+//!   adjacency lists in both directions,
+//! - node lookups can use Neo4j-style `(label, property)` indexes,
+//! - [`pattern::PatternQuery`] is a Cypher-`MATCH`-like pattern: a list of
+//!   `(node)-[edge]->(node)` triples with property predicates, shared
+//!   variables, cross-variable property comparisons, and temporal
+//!   constraints between edge variables,
+//! - the [`pattern::match_pattern`] evaluator performs depth-first binding
+//!   expansion *in pattern order* — connected steps traverse adjacency,
+//!   disconnected steps fall back to scans/cartesian expansion, exactly the
+//!   weakness the paper measures.
+//!
+//! # Examples
+//!
+//! ```
+//! use aiql_graphdb::{GraphDb, Value};
+//! use aiql_graphdb::pattern::{PatternQuery, Triple, NodePat, EdgePat, PropPred};
+//!
+//! let mut g = GraphDb::new();
+//! let bash = g.add_node("proc", vec![("exe_name", Value::str("bash"))]);
+//! let hist = g.add_node("file", vec![("name", Value::str(".bash_history"))]);
+//! g.add_edge(bash, hist, "read", 100, vec![]);
+//!
+//! let q = PatternQuery::new(vec![Triple {
+//!     src: NodePat::with_var("p", "proc", vec![]),
+//!     edge: EdgePat::new("e", &["read"], vec![]),
+//!     dst: NodePat::with_var("f", "file", vec![PropPred::like("name", "%history")]),
+//! }]);
+//! let rows = q.run(&g, None).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod pattern;
+
+pub use aiql_model::Value;
+pub use pattern::{MatchStats, PatternQuery};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Node identifier (position in the node arena).
+pub type NodeId = u32;
+/// Edge identifier (position in the edge arena).
+pub type EdgeId = u32;
+
+/// A labelled node with properties.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub label: String,
+    pub props: BTreeMap<String, Value>,
+}
+
+/// A labelled, timestamped edge with properties.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub label: String,
+    /// Event time (nanoseconds) — dedicated field because temporal
+    /// relationships between edges are first-class in attack queries.
+    pub time: i64,
+    pub props: BTreeMap<String, Value>,
+}
+
+/// An in-memory property graph with adjacency lists and optional
+/// `(label, property)` node indexes.
+#[derive(Debug, Default)]
+pub struct GraphDb {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    /// (label, property) → value → node ids.
+    node_indexes: HashMap<(String, String), BTreeMap<Value, Vec<NodeId>>>,
+}
+
+impl GraphDb {
+    /// Creates an empty graph.
+    pub fn new() -> GraphDb {
+        GraphDb::default()
+    }
+
+    /// Adds a node and returns its ID.
+    pub fn add_node(
+        &mut self,
+        label: &str,
+        props: Vec<(&str, Value)>,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let props: BTreeMap<String, Value> =
+            props.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        for ((ilabel, prop), index) in self.node_indexes.iter_mut() {
+            if ilabel == label {
+                if let Some(v) = props.get(prop) {
+                    index.entry(v.clone()).or_default().push(id);
+                }
+            }
+        }
+        self.nodes.push(Node {
+            label: label.to_string(),
+            props,
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge and returns its ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a valid node ID; edges are created
+    /// from nodes the caller just added, so this is a programming error.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        label: &str,
+        time: i64,
+        props: Vec<(&str, Value)>,
+    ) -> EdgeId {
+        assert!((src as usize) < self.nodes.len(), "bad src node");
+        assert!((dst as usize) < self.nodes.len(), "bad dst node");
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge {
+            src,
+            dst,
+            label: label.to_string(),
+            time,
+            props: props.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+        self.out_adj[src as usize].push(id);
+        self.in_adj[dst as usize].push(id);
+        id
+    }
+
+    /// Creates a `(label, property)` node index, back-filling existing nodes
+    /// (Neo4j's label/property index).
+    pub fn create_node_index(&mut self, label: &str, prop: &str) {
+        let key = (label.to_string(), prop.to_string());
+        if self.node_indexes.contains_key(&key) {
+            return;
+        }
+        let mut index: BTreeMap<Value, Vec<NodeId>> = BTreeMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.label == label {
+                if let Some(v) = n.props.get(prop) {
+                    index.entry(v.clone()).or_default().push(i as NodeId);
+                }
+            }
+        }
+        self.node_indexes.insert(key, index);
+    }
+
+    /// Node by ID.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Edge by ID.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out_adj[n as usize]
+    }
+
+    /// Incoming edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.in_adj[n as usize]
+    }
+
+    /// Node IDs matching `(label, prop) = value` via an index, if one exists.
+    pub fn index_lookup(&self, label: &str, prop: &str, value: &Value) -> Option<&[NodeId]> {
+        self.node_indexes
+            .get(&(label.to_string(), prop.to_string()))
+            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Whether a `(label, prop)` index exists.
+    pub fn has_index(&self, label: &str, prop: &str) -> bool {
+        self.node_indexes
+            .contains_key(&(label.to_string(), prop.to_string()))
+    }
+
+    /// Iterates all node IDs with `label`.
+    pub fn nodes_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.label == label)
+            .map(|(i, _)| i as NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GraphDb {
+        let mut g = GraphDb::new();
+        let a = g.add_node("proc", vec![("exe_name", Value::str("bash"))]);
+        let b = g.add_node("proc", vec![("exe_name", Value::str("vim"))]);
+        let f = g.add_node("file", vec![("name", Value::str("/tmp/x"))]);
+        g.add_edge(a, b, "start", 10, vec![("agentid", Value::Int(1))]);
+        g.add_edge(b, f, "write", 20, vec![]);
+        g
+    }
+
+    #[test]
+    fn adjacency_maintained() {
+        let g = tiny();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(0), &[0]);
+        assert_eq!(g.in_edges(1), &[0]);
+        assert_eq!(g.out_edges(1), &[1]);
+        assert_eq!(g.in_edges(2), &[1]);
+        assert_eq!(g.edge(0).label, "start");
+        assert_eq!(g.edge(1).time, 20);
+    }
+
+    #[test]
+    fn index_backfill_and_incremental() {
+        let mut g = tiny();
+        g.create_node_index("proc", "exe_name");
+        assert!(g.has_index("proc", "exe_name"));
+        assert_eq!(g.index_lookup("proc", "exe_name", &Value::str("bash")), Some(&[0u32][..]));
+        // New nodes are indexed on insert.
+        let c = g.add_node("proc", vec![("exe_name", Value::str("bash"))]);
+        assert_eq!(
+            g.index_lookup("proc", "exe_name", &Value::str("bash")),
+            Some(&[0u32, c][..])
+        );
+        // Missing value → empty slice, missing index → None.
+        assert_eq!(g.index_lookup("proc", "exe_name", &Value::str("nope")), Some(&[][..]));
+        assert_eq!(g.index_lookup("file", "name", &Value::str("/tmp/x")), None);
+        // Idempotent.
+        g.create_node_index("proc", "exe_name");
+    }
+
+    #[test]
+    fn label_scan() {
+        let g = tiny();
+        let procs: Vec<NodeId> = g.nodes_with_label("proc").collect();
+        assert_eq!(procs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad src node")]
+    fn bad_edge_panics() {
+        let mut g = GraphDb::new();
+        g.add_edge(5, 6, "x", 0, vec![]);
+    }
+}

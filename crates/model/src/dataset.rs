@@ -1,0 +1,151 @@
+//! An in-memory collection of monitoring data: entities plus events.
+//!
+//! `Dataset` is the hand-off format between the data generator and the
+//! storage layer, and the input to reference (brute-force) query evaluation
+//! in differential tests.
+
+use crate::entity::Entity;
+use crate::event::Event;
+use crate::ids::{AgentId, EntityId, EventId};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A set of entities and the events among them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All entities, in insertion order.
+    pub entities: Vec<Entity>,
+    /// All events, in insertion order (roughly chronological per agent).
+    pub events: Vec<Event>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Adds an entity and returns its ID.
+    pub fn add_entity(&mut self, entity: Entity) -> EntityId {
+        let id = entity.id;
+        self.entities.push(entity);
+        id
+    }
+
+    /// Adds an event and returns its ID.
+    pub fn add_event(&mut self, event: Event) -> EventId {
+        let id = event.id;
+        self.events.push(event);
+        id
+    }
+
+    /// Appends all of `other` into `self`.
+    pub fn merge(&mut self, other: Dataset) {
+        self.entities.extend(other.entities);
+        self.events.extend(other.events);
+    }
+
+    /// Builds an entity lookup index keyed by ID.
+    pub fn entity_index(&self) -> HashMap<EntityId, &Entity> {
+        self.entities.iter().map(|e| (e.id, e)).collect()
+    }
+
+    /// Looks up an entity by ID (linear scan; use [`Dataset::entity_index`]
+    /// for repeated lookups).
+    pub fn entity(&self, id: EntityId) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.id == id)
+    }
+
+    /// The distinct agents observed in the dataset, sorted.
+    pub fn agents(&self) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = self.events.iter().map(|e| e.agent).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The minimum and maximum event start times, if any events exist.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let min = self.events.iter().map(|e| e.start).min()?;
+        let max = self.events.iter().map(|e| e.start).max()?;
+        Some((min, max))
+    }
+
+    /// Sorts events by (start time, sequence) — the canonical ingestion order
+    /// after server-side time synchronization.
+    pub fn sort_events(&mut self) {
+        self.events.sort_by_key(|e| (e.start, e.seq, e.id));
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the dataset holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+    use crate::event::OpType;
+
+    fn tiny() -> Dataset {
+        let mut d = Dataset::new();
+        let a = AgentId(1);
+        let p = d.add_entity(Entity::process(1.into(), a, "bash", 10));
+        let f = d.add_entity(Entity::file(2.into(), a, "/tmp/x"));
+        d.add_event(
+            Event::new(1.into(), a, p, OpType::Write, f, EntityKind::File, Timestamp::from_secs(5))
+                .with_seq(2),
+        );
+        d.add_event(
+            Event::new(2.into(), AgentId(2), p, OpType::Read, f, EntityKind::File, Timestamp::from_secs(3))
+                .with_seq(1),
+        );
+        d
+    }
+
+    #[test]
+    fn indexes_and_lookups() {
+        let d = tiny();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        let idx = d.entity_index();
+        assert_eq!(idx[&EntityId(1)].attr("exe_name").to_string(), "bash");
+        assert!(d.entity(EntityId(2)).is_some());
+        assert!(d.entity(EntityId(99)).is_none());
+    }
+
+    #[test]
+    fn agents_and_time_range() {
+        let d = tiny();
+        assert_eq!(d.agents(), vec![AgentId(1), AgentId(2)]);
+        let (lo, hi) = d.time_range().unwrap();
+        assert_eq!(lo, Timestamp::from_secs(3));
+        assert_eq!(hi, Timestamp::from_secs(5));
+        assert!(Dataset::new().time_range().is_none());
+    }
+
+    #[test]
+    fn sort_orders_by_time_then_seq() {
+        let mut d = tiny();
+        d.sort_events();
+        assert_eq!(d.events[0].id, EventId(2));
+        assert_eq!(d.events[1].id, EventId(1));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut d = tiny();
+        let d2 = tiny();
+        d.merge(d2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.entities.len(), 4);
+    }
+}

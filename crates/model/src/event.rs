@@ -1,0 +1,243 @@
+//! System events: ⟨subject, operation, object⟩ triples (paper Table 2).
+
+use crate::entity::EntityKind;
+use crate::ids::{AgentId, EntityId, EventId};
+use crate::time::Timestamp;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation types observed by the monitoring agents.
+///
+/// The set covers the operations named in the paper's Table 2 plus the
+/// network operations its example queries use (`connect`, `accept`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    Read,
+    Write,
+    Execute,
+    Start,
+    End,
+    Rename,
+    Delete,
+    Connect,
+    Accept,
+}
+
+/// All operation types, in a stable order.
+pub const ALL_OPS: [OpType; 9] = [
+    OpType::Read,
+    OpType::Write,
+    OpType::Execute,
+    OpType::Start,
+    OpType::End,
+    OpType::Rename,
+    OpType::Delete,
+    OpType::Connect,
+    OpType::Accept,
+];
+
+impl OpType {
+    /// The AIQL keyword for this operation.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OpType::Read => "read",
+            OpType::Write => "write",
+            OpType::Execute => "execute",
+            OpType::Start => "start",
+            OpType::End => "end",
+            OpType::Rename => "rename",
+            OpType::Delete => "delete",
+            OpType::Connect => "connect",
+            OpType::Accept => "accept",
+        }
+    }
+
+    /// Parses an operation keyword (case-insensitive).
+    pub fn parse_keyword(s: &str) -> Option<OpType> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "read" => OpType::Read,
+            "write" => OpType::Write,
+            "execute" | "exec" => OpType::Execute,
+            "start" => OpType::Start,
+            "end" | "exit" => OpType::End,
+            "rename" => OpType::Rename,
+            "delete" | "unlink" => OpType::Delete,
+            "connect" => OpType::Connect,
+            "accept" => OpType::Accept,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Event category, determined by the object entity kind (paper Sec. 3.1:
+/// file events, process events, and network events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventCategory {
+    File,
+    Process,
+    Network,
+}
+
+/// A system event: how a process (subject) interacted with a system resource
+/// (object) on one host at one time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Unique event identifier.
+    pub id: EventId,
+    /// Host the event was observed on (spatial property).
+    pub agent: AgentId,
+    /// Initiating process.
+    pub subject: EntityId,
+    /// Operation type.
+    pub op: OpType,
+    /// Target entity.
+    pub object: EntityId,
+    /// Kind of the target entity (denormalized for category dispatch).
+    pub object_kind: EntityKind,
+    /// Start time (temporal property).
+    pub start: Timestamp,
+    /// End time; equals `start` for instantaneous events.
+    pub end: Timestamp,
+    /// Monotone per-agent sequence number, breaking timestamp ties.
+    pub seq: u64,
+    /// Bytes transferred, for read/write events (0 otherwise).
+    pub amount: i64,
+    /// OS failure code; 0 means success.
+    pub failure: i32,
+}
+
+impl Event {
+    /// Creates an instantaneous, successful event.
+    pub fn new(
+        id: EventId,
+        agent: AgentId,
+        subject: EntityId,
+        op: OpType,
+        object: EntityId,
+        object_kind: EntityKind,
+        start: Timestamp,
+    ) -> Event {
+        Event {
+            id,
+            agent,
+            subject,
+            op,
+            object,
+            object_kind,
+            start,
+            end: start,
+            seq: 0,
+            amount: 0,
+            failure: 0,
+        }
+    }
+
+    /// Sets the transferred byte count, builder style.
+    pub fn with_amount(mut self, amount: i64) -> Event {
+        self.amount = amount;
+        self
+    }
+
+    /// Sets the sequence number, builder style.
+    pub fn with_seq(mut self, seq: u64) -> Event {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the end timestamp, builder style.
+    pub fn with_end(mut self, end: Timestamp) -> Event {
+        self.end = end;
+        self
+    }
+
+    /// The event category: process and network events sort ahead of file
+    /// events in the relationship-based scheduler (paper Algorithm 1, step 2).
+    pub fn category(&self) -> EventCategory {
+        match self.object_kind {
+            EntityKind::File => EventCategory::File,
+            EntityKind::Process => EventCategory::Process,
+            EntityKind::NetConn => EventCategory::Network,
+        }
+    }
+
+    /// Looks up an event attribute by AIQL name.
+    pub fn attr(&self, name: &str) -> Value {
+        match name {
+            "id" => Value::Int(self.id.0 as i64),
+            "agentid" => Value::Int(self.agent.0 as i64),
+            "optype" => Value::str(self.op.keyword()),
+            "start_time" | "starttime" => Value::Int(self.start.0),
+            "end_time" | "endtime" => Value::Int(self.end.0),
+            "seq" | "sequence" => Value::Int(self.seq as i64),
+            "amount" => Value::Int(self.amount),
+            "failure" | "failure_code" => Value::Int(self.failure as i64),
+            "subject_id" => Value::Int(self.subject.0 as i64),
+            "object_id" => Value::Int(self.object.0 as i64),
+            _ => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::new(
+            EventId(5),
+            AgentId(2),
+            EntityId(10),
+            OpType::Write,
+            EntityId(11),
+            EntityKind::NetConn,
+            Timestamp::from_secs(100),
+        )
+        .with_amount(4096)
+        .with_seq(77)
+    }
+
+    #[test]
+    fn op_keyword_round_trip() {
+        for op in ALL_OPS {
+            assert_eq!(OpType::parse_keyword(op.keyword()), Some(op));
+        }
+        assert_eq!(OpType::parse_keyword("EXEC"), Some(OpType::Execute));
+        assert_eq!(OpType::parse_keyword("mmap"), None);
+    }
+
+    #[test]
+    fn category_follows_object_kind() {
+        let mut e = sample();
+        assert_eq!(e.category(), EventCategory::Network);
+        e.object_kind = EntityKind::File;
+        assert_eq!(e.category(), EventCategory::File);
+        e.object_kind = EntityKind::Process;
+        assert_eq!(e.category(), EventCategory::Process);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("optype"), Value::str("write"));
+        assert_eq!(e.attr("agentid"), Value::Int(2));
+        assert_eq!(e.attr("amount"), Value::Int(4096));
+        assert_eq!(e.attr("seq"), Value::Int(77));
+        assert_eq!(e.attr("subject_id"), Value::Int(10));
+        assert_eq!(e.attr("object_id"), Value::Int(11));
+        assert_eq!(e.attr("unknown"), Value::Null);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let e = sample();
+        assert_eq!(e.end, e.start);
+        assert_eq!(e.failure, 0);
+    }
+}

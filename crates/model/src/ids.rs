@@ -1,0 +1,81 @@
+//! Identifier newtypes for entities, events, and monitoring agents.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a system entity (file, process, or network connection).
+///
+/// Entity IDs are unique across the whole enterprise deployment, not just
+/// within one host; the generating agent embeds its own ID when minting them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u64);
+
+/// Unique identifier of a system event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+/// Unique identifier of the monitoring agent (host) an entity/event was
+/// observed on — the *spatial* dimension of the data model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(pub u32);
+
+impl From<u64> for EntityId {
+    fn from(v: u64) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u64> for EventId {
+    fn from(v: u64) -> Self {
+        EventId(v)
+    }
+}
+
+impl From<u32> for AgentId {
+    fn from(v: u32) -> Self {
+        AgentId(v)
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntityId(7).to_string(), "e7");
+        assert_eq!(EventId(7).to_string(), "ev7");
+        assert_eq!(AgentId(7).to_string(), "agent7");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(EntityId::from(3u64), EntityId(3));
+        assert_eq!(EventId::from(3u64), EventId(3));
+        assert_eq!(AgentId::from(3u32), AgentId(3));
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(EventId(10) > EventId(9));
+    }
+}

@@ -1,0 +1,111 @@
+//! The attribute schema of entities and events (paper Tables 1 and 2), plus
+//! the defaults used by AIQL's context-aware attribute inference (Sec. 4.1).
+
+use crate::entity::EntityKind;
+
+/// Attributes of file entities (paper Table 1).
+pub const FILE_ATTRS: &[&str] = &["name", "owner", "group", "vol_id", "data_id"];
+
+/// Attributes of process entities (paper Table 1).
+pub const PROCESS_ATTRS: &[&str] = &["pid", "exe_name", "user", "cmd", "signature"];
+
+/// Attributes of network-connection entities (paper Table 1).
+pub const NETCONN_ATTRS: &[&str] = &["src_ip", "src_port", "dst_ip", "dst_port", "protocol"];
+
+/// Attributes common to every entity kind.
+pub const COMMON_ENTITY_ATTRS: &[&str] = &["id", "agentid"];
+
+/// Attributes of events (paper Table 2).
+pub const EVENT_ATTRS: &[&str] = &[
+    "id",
+    "agentid",
+    "optype",
+    "start_time",
+    "end_time",
+    "seq",
+    "amount",
+    "failure",
+    "subject_id",
+    "object_id",
+];
+
+/// The default attribute AIQL infers when a pattern gives only a value:
+/// `name` for files, `exe_name` for processes, `dst_ip` for connections.
+pub fn default_attr(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::File => "name",
+        EntityKind::Process => "exe_name",
+        EntityKind::NetConn => "dst_ip",
+    }
+}
+
+/// The declared attributes of one entity kind (excluding common attributes).
+pub fn entity_attrs(kind: EntityKind) -> &'static [&'static str] {
+    match kind {
+        EntityKind::File => FILE_ATTRS,
+        EntityKind::Process => PROCESS_ATTRS,
+        EntityKind::NetConn => NETCONN_ATTRS,
+    }
+}
+
+/// Whether `attr` is a valid attribute name for entities of `kind`.
+pub fn is_entity_attr(kind: EntityKind, attr: &str) -> bool {
+    COMMON_ENTITY_ATTRS.contains(&attr) || entity_attrs(kind).contains(&attr)
+}
+
+/// Whether `attr` is a valid event attribute name.
+pub fn is_event_attr(attr: &str) -> bool {
+    EVENT_ATTRS.contains(&attr)
+}
+
+/// Renders the schema as human-readable text (used by the `repro -- schema`
+/// experiment target, reproducing the content of paper Tables 1 and 2).
+pub fn describe() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Representative attributes of system entities\n");
+    out.push_str(&format!("  File               : {}\n", FILE_ATTRS.join(", ")));
+    out.push_str(&format!("  Process            : {}\n", PROCESS_ATTRS.join(", ")));
+    out.push_str(&format!("  Network Connection : {}\n", NETCONN_ATTRS.join(", ")));
+    out.push_str(&format!("  (common)           : {}\n", COMMON_ENTITY_ATTRS.join(", ")));
+    out.push_str("Table 2: Representative attributes of system events\n");
+    out.push_str(&format!("  Event              : {}\n", EVENT_ATTRS.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(default_attr(EntityKind::File), "name");
+        assert_eq!(default_attr(EntityKind::Process), "exe_name");
+        assert_eq!(default_attr(EntityKind::NetConn), "dst_ip");
+    }
+
+    #[test]
+    fn entity_attr_validation() {
+        assert!(is_entity_attr(EntityKind::Process, "exe_name"));
+        assert!(is_entity_attr(EntityKind::Process, "id"));
+        assert!(is_entity_attr(EntityKind::Process, "agentid"));
+        assert!(!is_entity_attr(EntityKind::Process, "name"));
+        assert!(is_entity_attr(EntityKind::File, "name"));
+        assert!(is_entity_attr(EntityKind::NetConn, "dst_port"));
+        assert!(!is_entity_attr(EntityKind::File, "dst_ip"));
+    }
+
+    #[test]
+    fn event_attr_validation() {
+        assert!(is_event_attr("optype"));
+        assert!(is_event_attr("amount"));
+        assert!(!is_event_attr("exe_name"));
+    }
+
+    #[test]
+    fn describe_lists_all_kinds() {
+        let d = describe();
+        assert!(d.contains("exe_name"));
+        assert!(d.contains("dst_ip"));
+        assert!(d.contains("failure"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Timestamps, durations, and the calendar arithmetic needed to parse the
+//! temporal constraints of AIQL queries.
+//!
+//! The paper's data model gives every event a start/end time and partitions
+//! storage by *day*; AIQL queries accept US-style (`01/31/2017`) and ISO 8601
+//! (`2017-01-31`) date formats at several granularities. Timestamps here are
+//! nanoseconds since the Unix epoch, which comfortably covers the audit-data
+//! range while keeping arithmetic integral and total.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: i64 = 1_000_000_000;
+/// Seconds per day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// A point in time: nanoseconds since the Unix epoch (UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// A span of time in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub i64);
+
+/// Time units accepted by AIQL temporal expressions (`within [1-2 minutes]`,
+/// `window = 1 min`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeUnit {
+    Millisecond,
+    Second,
+    Minute,
+    Hour,
+    Day,
+}
+
+impl TimeUnit {
+    /// Parses a unit name; accepts the singular, plural, and abbreviated
+    /// spellings used in the paper's example queries.
+    pub fn parse(s: &str) -> Option<TimeUnit> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "ms" | "millisecond" | "milliseconds" => TimeUnit::Millisecond,
+            "s" | "sec" | "secs" | "second" | "seconds" => TimeUnit::Second,
+            "min" | "mins" | "minute" | "minutes" => TimeUnit::Minute,
+            "h" | "hour" | "hours" => TimeUnit::Hour,
+            "d" | "day" | "days" => TimeUnit::Day,
+            _ => return None,
+        })
+    }
+
+    /// Number of nanoseconds in one unit.
+    pub fn nanos(self) -> i64 {
+        match self {
+            TimeUnit::Millisecond => 1_000_000,
+            TimeUnit::Second => NANOS_PER_SEC,
+            TimeUnit::Minute => 60 * NANOS_PER_SEC,
+            TimeUnit::Hour => 3_600 * NANOS_PER_SEC,
+            TimeUnit::Day => SECS_PER_DAY * NANOS_PER_SEC,
+        }
+    }
+}
+
+impl Duration {
+    /// Builds a duration from a count of `unit`s.
+    pub fn of(count: i64, unit: TimeUnit) -> Duration {
+        Duration(count * unit.nanos())
+    }
+
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Duration in whole nanoseconds.
+    pub fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Duration in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+}
+
+// Civil-calendar conversion, after Howard Hinnant's `days_from_civil`
+// algorithms: exact for all i64-representable days, no external dependency.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn valid_ymd(y: i64, m: u32, d: u32) -> bool {
+    if !(1..=12).contains(&m) || d < 1 {
+        return false;
+    }
+    let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+    let dim = match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        _ => return false,
+    };
+    d <= dim
+}
+
+impl Timestamp {
+    /// The earliest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The latest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Builds a timestamp for midnight (00:00:00 UTC) of a calendar date.
+    ///
+    /// Returns `None` when the date is not a valid civil date.
+    pub fn from_ymd(y: i64, m: u32, d: u32) -> Option<Timestamp> {
+        if !valid_ymd(y, m, d) {
+            return None;
+        }
+        Some(Timestamp(
+            days_from_civil(y, m, d) * SECS_PER_DAY * NANOS_PER_SEC,
+        ))
+    }
+
+    /// Builds a timestamp for a calendar date plus a time of day.
+    pub fn from_ymd_hms(y: i64, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Option<Timestamp> {
+        if hh >= 24 || mm >= 60 || ss >= 60 {
+            return None;
+        }
+        let base = Timestamp::from_ymd(y, m, d)?;
+        Some(Timestamp(
+            base.0 + (hh as i64 * 3_600 + mm as i64 * 60 + ss as i64) * NANOS_PER_SEC,
+        ))
+    }
+
+    /// Builds a timestamp from whole seconds since the epoch.
+    pub fn from_secs(s: i64) -> Timestamp {
+        Timestamp(s * NANOS_PER_SEC)
+    }
+
+    /// The day index (days since the epoch) this timestamp falls on; the
+    /// storage layer uses it as the temporal partition key.
+    pub fn day_index(self) -> i64 {
+        self.0.div_euclid(SECS_PER_DAY * NANOS_PER_SEC)
+    }
+
+    /// Midnight of the day this timestamp falls on.
+    pub fn day_start(self) -> Timestamp {
+        Timestamp(self.day_index() * SECS_PER_DAY * NANOS_PER_SEC)
+    }
+
+    /// The civil date (year, month, day) of this timestamp.
+    pub fn ymd(self) -> (i64, u32, u32) {
+        civil_from_days(self.day_index())
+    }
+
+    /// The time of day as (hour, minute, second).
+    pub fn hms(self) -> (u32, u32, u32) {
+        let secs = self.0.div_euclid(NANOS_PER_SEC).rem_euclid(SECS_PER_DAY);
+        (
+            (secs / 3_600) as u32,
+            ((secs % 3_600) / 60) as u32,
+            (secs % 60) as u32,
+        )
+    }
+
+    /// Adds a duration, saturating at the representable range.
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Subtracts a duration, saturating at the representable range.
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Signed distance from `other` to `self`.
+    pub fn since(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+
+    /// Parses the datetime formats AIQL accepts:
+    /// `MM/DD/YYYY`, `MM/DD/YYYY HH:MM[:SS]`, `YYYY-MM-DD`,
+    /// `YYYY-MM-DD[T ]HH:MM[:SS]`.
+    pub fn parse(s: &str) -> Option<Timestamp> {
+        let s = s.trim();
+        let (date_part, time_part) = match s.split_once(['T', ' ']) {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let (y, m, d) = if date_part.contains('/') {
+            // US format MM/DD/YYYY.
+            let mut it = date_part.splitn(3, '/');
+            let m: u32 = it.next()?.parse().ok()?;
+            let d: u32 = it.next()?.parse().ok()?;
+            let y: i64 = it.next()?.parse().ok()?;
+            (y, m, d)
+        } else {
+            // ISO 8601 YYYY-MM-DD.
+            let mut it = date_part.splitn(3, '-');
+            let y: i64 = it.next()?.parse().ok()?;
+            let m: u32 = it.next()?.parse().ok()?;
+            let d: u32 = it.next()?.parse().ok()?;
+            (y, m, d)
+        };
+        match time_part {
+            None => Timestamp::from_ymd(y, m, d),
+            Some(t) => {
+                let mut it = t.splitn(3, ':');
+                let hh: u32 = it.next()?.trim().parse().ok()?;
+                let mm: u32 = it.next()?.trim().parse().ok()?;
+                let ss: u32 = match it.next() {
+                    Some(x) => x.trim().parse().ok()?,
+                    None => 0,
+                };
+                Timestamp::from_ymd_hms(y, m, d, hh, mm, ss)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        let (hh, mm, ss) = self.hms();
+        let sub = self.0.rem_euclid(NANOS_PER_SEC);
+        if sub == 0 {
+            write!(f, "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}")
+        } else {
+            write!(
+                f,
+                "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{:09}",
+                sub
+            )
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let t = Timestamp::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(t.0, 0);
+        assert_eq!(t.day_index(), 0);
+    }
+
+    #[test]
+    fn civil_round_trip_across_leap_years() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2016, 2, 29),
+            (2017, 1, 1),
+            (2017, 12, 31),
+            (2100, 3, 1),
+            (1969, 7, 20),
+        ] {
+            let t = Timestamp::from_ymd(y, m, d).unwrap();
+            assert_eq!(t.ymd(), (y, m, d), "date {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Timestamp::from_ymd(2017, 2, 29).is_none());
+        assert!(Timestamp::from_ymd(2017, 13, 1).is_none());
+        assert!(Timestamp::from_ymd(2017, 0, 1).is_none());
+        assert!(Timestamp::from_ymd(2017, 4, 31).is_none());
+        assert!(Timestamp::from_ymd_hms(2017, 1, 1, 24, 0, 0).is_none());
+    }
+
+    #[test]
+    fn parses_us_format() {
+        let t = Timestamp::parse("01/01/2017").unwrap();
+        assert_eq!(t, Timestamp::from_ymd(2017, 1, 1).unwrap());
+        let t = Timestamp::parse("1/31/2017 10:30").unwrap();
+        assert_eq!(t, Timestamp::from_ymd_hms(2017, 1, 31, 10, 30, 0).unwrap());
+    }
+
+    #[test]
+    fn parses_iso_format() {
+        let t = Timestamp::parse("2017-01-01").unwrap();
+        assert_eq!(t, Timestamp::from_ymd(2017, 1, 1).unwrap());
+        let t = Timestamp::parse("2017-01-01T10:30:05").unwrap();
+        assert_eq!(t, Timestamp::from_ymd_hms(2017, 1, 1, 10, 30, 5).unwrap());
+        let t = Timestamp::parse("2017-01-01 23:59:59").unwrap();
+        assert_eq!(t, Timestamp::from_ymd_hms(2017, 1, 1, 23, 59, 59).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Timestamp::parse("").is_none());
+        assert!(Timestamp::parse("not a date").is_none());
+        assert!(Timestamp::parse("2017-01").is_none());
+        assert!(Timestamp::parse("99/99/2017").is_none());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let t = Timestamp::from_ymd_hms(2017, 6, 15, 13, 1, 2).unwrap();
+        assert_eq!(Timestamp::parse(&t.to_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let t = Timestamp::from_ymd_hms(2017, 1, 2, 12, 0, 0).unwrap();
+        assert_eq!(t.day_start(), Timestamp::from_ymd(2017, 1, 2).unwrap());
+        assert_eq!(
+            t.day_index() - Timestamp::from_ymd(2017, 1, 1).unwrap().day_index(),
+            1
+        );
+    }
+
+    #[test]
+    fn units_and_durations() {
+        assert_eq!(TimeUnit::parse("minutes"), Some(TimeUnit::Minute));
+        assert_eq!(TimeUnit::parse("SEC"), Some(TimeUnit::Second));
+        assert_eq!(TimeUnit::parse("fortnight"), None);
+        assert_eq!(Duration::of(2, TimeUnit::Minute).as_nanos(), 120 * NANOS_PER_SEC);
+        let t = Timestamp::from_secs(100);
+        assert_eq!(
+            t.saturating_add(Duration::of(1, TimeUnit::Second)),
+            Timestamp::from_secs(101)
+        );
+        assert_eq!(t.since(Timestamp::from_secs(40)).as_secs_f64(), 60.0);
+    }
+
+    #[test]
+    fn negative_timestamps_floor_correctly() {
+        // 1969-12-31 23:00 is day -1.
+        let t = Timestamp(-3_600 * NANOS_PER_SEC);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.ymd(), (1969, 12, 31));
+        assert_eq!(t.hms(), (23, 0, 0));
+    }
+}

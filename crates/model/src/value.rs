@@ -1,0 +1,327 @@
+//! Attribute values with a total order and SQL-`LIKE`-style matching.
+//!
+//! AIQL attribute constraints compare entity/event attributes against string,
+//! integer, and floating-point literals, and string literals may contain `%`
+//! wildcards (e.g. `"%cmd.exe"`). A single [`Value`] type flows end to end:
+//! entity attributes, query literals, and aggregate results.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed attribute value.
+///
+/// `Value` implements a *total* order (needed for sorting result rows and for
+/// B-tree index keys): values of different types order by type tag first, and
+/// floats order by `f64::total_cmp`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (also used for timestamps in row form).
+    Int(i64),
+    /// 64-bit float (aggregate results such as `avg`).
+    Float(f64),
+    /// UTF-8 string (names, paths, IPs, commands).
+    Str(String),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Returns the contained integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Compares two values numerically when both are numeric (so `Int(2)`
+    /// equals `Float(2.0)`), otherwise falls back to the total order.
+    pub fn loose_cmp(&self, other: &Value) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            _ => self.cmp(other),
+        }
+    }
+
+    /// Loose equality: numeric values compare by magnitude across `Int` and
+    /// `Float`; everything else compares structurally.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        self.loose_cmp(other) == Ordering::Equal
+    }
+
+    /// SQL-`LIKE`-style wildcard match with `%` (any substring, including
+    /// empty). Matching is case-insensitive, mirroring the Windows-heavy
+    /// audit data of the paper's deployment. A pattern without `%` degrades
+    /// to a case-insensitive equality test.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aiql_model::Value;
+    /// let v = Value::str("C:\\Windows\\cmd.exe");
+    /// assert!(v.like("%cmd.exe"));
+    /// assert!(v.like("c:\\%"));
+    /// assert!(!v.like("%powershell%"));
+    /// ```
+    pub fn like(&self, pattern: &str) -> bool {
+        match self {
+            Value::Str(s) => like_match(s, pattern),
+            _ => false,
+        }
+    }
+}
+
+/// Case-insensitive `%`-wildcard matching.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let parts: Vec<String> = pattern.to_lowercase().split('%').map(String::from).collect();
+    if parts.len() == 1 {
+        return t.iter().collect::<String>() == parts[0];
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        let chars: Vec<char> = part.chars().collect();
+        if chars.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            // Must be a prefix.
+            if t.len() < chars.len() || t[..chars.len()] != chars[..] {
+                return false;
+            }
+            pos = chars.len();
+        } else if i == parts.len() - 1 {
+            // Must be a suffix at or after `pos`.
+            if t.len() < pos + chars.len() {
+                return false;
+            }
+            return t[t.len() - chars.len()..] == chars[..];
+        } else {
+            // Find the next occurrence at or after `pos`.
+            match find_sub(&t, &chars, pos) {
+                Some(at) => pos = at + chars.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+fn find_sub(haystack: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from);
+    }
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| haystack[i..i + needle.len()] == *needle)
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vs = vec![
+            Value::str("a"),
+            Value::Int(1),
+            Value::Null,
+            Value::Float(0.5),
+            Value::Bool(true),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(1),
+                Value::Float(0.5),
+                Value::str("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn loose_numeric_equality() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).loose_eq(&Value::Float(2.5)));
+        assert_eq!(
+            Value::Int(3).loose_cmp(&Value::Float(2.5)),
+            Ordering::Greater
+        );
+        // Strict equality stays type-sensitive.
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn like_prefix_suffix_infix() {
+        let v = Value::str("/var/www/html/info_stealer.sh");
+        assert!(v.like("/var/www%"));
+        assert!(v.like("%info_stealer%"));
+        assert!(v.like("%.sh"));
+        assert!(v.like("%"));
+        assert!(v.like("/var/%/html/%.sh"));
+        assert!(!v.like("/etc%"));
+        assert!(!v.like("%exe"));
+    }
+
+    #[test]
+    fn like_exact_and_case_insensitive() {
+        assert!(Value::str("CMD.EXE").like("cmd.exe"));
+        assert!(Value::str("BACKUP1.DMP").like("%backup1.dmp"));
+        assert!(!Value::str("cmd.exe").like("cmd"));
+        assert!(!Value::Int(5).like("5"));
+    }
+
+    #[test]
+    fn like_adjacent_wildcards_and_empty() {
+        assert!(Value::str("abc").like("a%%c"));
+        assert!(Value::str("").like("%"));
+        assert!(Value::str("").like(""));
+        assert!(!Value::str("").like("a"));
+        assert!(Value::str("aa").like("%a%a%"));
+        assert!(!Value::str("a").like("%a%a%"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+
+    #[test]
+    fn hash_distinguishes_float_bits() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::Float(1.0));
+        s.insert(Value::Float(1.0));
+        s.insert(Value::Int(1));
+        assert_eq!(s.len(), 2);
+    }
+}

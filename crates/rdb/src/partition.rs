@@ -1,0 +1,324 @@
+//! Time- and space-partitioned tables (paper Sec. 3.2).
+//!
+//! System monitoring data is independent across agents and monotone in time,
+//! and queries usually carry a time range and/or host constraint. A
+//! [`PartitionedTable`] therefore splits rows by `(day, agent group)`:
+//! one partition per day per group of `agent_group_size` agents. Scans prune
+//! partitions from the query's temporal/spatial constraints, and the query
+//! engine parallelizes across partitions.
+
+use crate::error::RdbError;
+use crate::expr::Expr;
+use crate::schema::{Row, Schema};
+use crate::table::Table;
+
+/// Nanoseconds per day (partition granularity).
+pub const NANOS_PER_DAY: i64 = 86_400 * 1_000_000_000;
+
+/// Declares which columns carry the partitioning dimensions.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// Column holding the event time (Int nanoseconds).
+    pub time_col: String,
+    /// Column holding the agent ID (Int).
+    pub agent_col: String,
+    /// Number of consecutive agent IDs per spatial group.
+    pub agent_group_size: u32,
+}
+
+impl PartitionSpec {
+    /// A spec partitioning on `time_col`/`agent_col` with groups of `g`.
+    pub fn new(time_col: &str, agent_col: &str, g: u32) -> PartitionSpec {
+        PartitionSpec {
+            time_col: time_col.to_string(),
+            agent_col: agent_col.to_string(),
+            agent_group_size: g.max(1),
+        }
+    }
+}
+
+/// Partition key: (day index, agent group).
+pub type PartKey = (i64, u32);
+
+/// Pruning constraints for a partitioned scan.
+#[derive(Debug, Clone, Default)]
+pub struct Prune {
+    /// Inclusive lower day bound.
+    pub day_lo: Option<i64>,
+    /// Inclusive upper day bound.
+    pub day_hi: Option<i64>,
+    /// Exact agent set, when known.
+    pub agents: Option<Vec<i64>>,
+}
+
+impl Prune {
+    /// No pruning: scan everything.
+    pub fn all() -> Prune {
+        Prune::default()
+    }
+
+    fn admits(&self, key: &PartKey, group_size: u32) -> bool {
+        if self.day_lo.is_some_and(|lo| key.0 < lo) {
+            return false;
+        }
+        if self.day_hi.is_some_and(|hi| key.0 > hi) {
+            return false;
+        }
+        if let Some(agents) = &self.agents {
+            let g = group_size as i64;
+            if !agents.iter().any(|a| a.div_euclid(g) == key.1 as i64) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A table partitioned by (day, agent group).
+#[derive(Debug)]
+pub struct PartitionedTable {
+    schema: Schema,
+    spec: PartitionSpec,
+    time_idx: usize,
+    agent_idx: usize,
+    index_columns: Vec<String>,
+    partitions: std::collections::BTreeMap<PartKey, Table>,
+    len: usize,
+}
+
+impl PartitionedTable {
+    /// Creates an empty partitioned table.
+    pub fn new(schema: Schema, spec: PartitionSpec) -> Result<PartitionedTable, RdbError> {
+        let time_idx = schema.require(&spec.time_col)?;
+        let agent_idx = schema.require(&spec.agent_col)?;
+        Ok(PartitionedTable {
+            schema,
+            spec,
+            time_idx,
+            agent_idx,
+            index_columns: Vec::new(),
+            partitions: std::collections::BTreeMap::new(),
+            len: 0,
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The partition spec.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// Local positions of the (time, agent) partition columns.
+    pub fn partition_columns(&self) -> (usize, usize) {
+        (self.time_idx, self.agent_idx)
+    }
+
+    /// Total row count across partitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions currently materialized.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn key_of(&self, row: &Row) -> Result<PartKey, RdbError> {
+        let t = row[self.time_idx].as_int().ok_or_else(|| {
+            RdbError::SchemaMismatch(format!("partition time column must be Int, got {:?}", row[self.time_idx]))
+        })?;
+        let a = row[self.agent_idx].as_int().ok_or_else(|| {
+            RdbError::SchemaMismatch(format!("partition agent column must be Int, got {:?}", row[self.agent_idx]))
+        })?;
+        Ok((
+            t.div_euclid(NANOS_PER_DAY),
+            a.div_euclid(self.spec.agent_group_size as i64) as u32,
+        ))
+    }
+
+    /// Routes a row to its partition, creating it (with the configured
+    /// indexes) on first use.
+    pub fn insert(&mut self, row: Row) -> Result<(), RdbError> {
+        self.schema.check_row(&row)?;
+        let key = self.key_of(&row)?;
+        let table = match self.partitions.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let mut t = Table::new(self.schema.clone());
+                for c in &self.index_columns {
+                    t.create_index(c)?;
+                }
+                e.insert(t)
+            }
+        };
+        table.insert(row)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Creates an index on every existing partition and remembers it for
+    /// future partitions.
+    pub fn create_index(&mut self, column: &str) -> Result<(), RdbError> {
+        self.schema.require(column)?;
+        if !self.index_columns.iter().any(|c| c == column) {
+            self.index_columns.push(column.to_string());
+        }
+        for t in self.partitions.values_mut() {
+            t.create_index(column)?;
+        }
+        Ok(())
+    }
+
+    /// The partitions admitted by `prune`, in key order.
+    pub fn partitions_for(&self, prune: &Prune) -> Vec<(PartKey, &Table)> {
+        self.partitions
+            .iter()
+            .filter(|(k, _)| prune.admits(k, self.spec.agent_group_size))
+            .map(|(k, t)| (*k, t))
+            .collect()
+    }
+
+    /// Derives pruning hints from scan conjuncts over this table's layout.
+    pub fn prune_from_conjuncts(&self, conjuncts: &[Expr]) -> Prune {
+        let (lo, hi, agents) =
+            crate::plan::prune_hints(conjuncts, self.time_idx, self.agent_idx, NANOS_PER_DAY);
+        Prune {
+            day_lo: lo,
+            day_hi: hi,
+            agents,
+        }
+    }
+
+    /// Scans all admitted partitions sequentially, applying `conjuncts` with
+    /// per-partition index selection; returns matching rows (cloned).
+    pub fn select(
+        &self,
+        conjuncts: &[Expr],
+        prune: &Prune,
+        scanned: &mut u64,
+    ) -> Vec<Row> {
+        let mut out = Vec::new();
+        for (_, t) in self.partitions_for(prune) {
+            let (_, positions) = t.select(conjuncts, scanned);
+            out.extend(positions.into_iter().map(|p| t.row(p).clone()));
+        }
+        out
+    }
+
+    /// All distinct day indexes with data, sorted.
+    pub fn days(&self) -> Vec<i64> {
+        let mut v: Vec<i64> = self.partitions.keys().map(|(d, _)| *d).collect();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::schema::ColumnType;
+    use aiql_model::Value;
+
+    fn pt() -> PartitionedTable {
+        let schema = Schema::new(&[
+            ("id", ColumnType::Int),
+            ("agentid", ColumnType::Int),
+            ("start_time", ColumnType::Int),
+            ("name", ColumnType::Str),
+        ]);
+        let mut pt = PartitionedTable::new(schema, PartitionSpec::new("start_time", "agentid", 2)).unwrap();
+        pt.create_index("name").unwrap();
+        // Two days, four agents (groups {0,1} and {2,3}).
+        for day in 0..2i64 {
+            for agent in 0..4i64 {
+                for n in 0..3i64 {
+                    pt.insert(vec![
+                        Value::Int(day * 100 + agent * 10 + n),
+                        Value::Int(agent),
+                        Value::Int(day * NANOS_PER_DAY + n * 1_000),
+                        Value::str(format!("f{n}")),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        pt
+    }
+
+    #[test]
+    fn routing_and_counts() {
+        let pt = pt();
+        assert_eq!(pt.len(), 24);
+        assert_eq!(pt.partition_count(), 4, "2 days x 2 agent groups");
+        assert_eq!(pt.days(), vec![0, 1]);
+    }
+
+    #[test]
+    fn pruning_by_day_and_agent() {
+        let pt = pt();
+        let all = pt.partitions_for(&Prune::all());
+        assert_eq!(all.len(), 4);
+
+        let day0 = Prune { day_lo: Some(0), day_hi: Some(0), agents: None };
+        assert_eq!(pt.partitions_for(&day0).len(), 2);
+
+        let agent3 = Prune { day_lo: None, day_hi: None, agents: Some(vec![3]) };
+        assert_eq!(pt.partitions_for(&agent3).len(), 2, "group 1, both days");
+
+        let both = Prune { day_lo: Some(1), day_hi: Some(1), agents: Some(vec![0]) };
+        assert_eq!(pt.partitions_for(&both).len(), 1);
+    }
+
+    #[test]
+    fn select_uses_partition_indexes() {
+        let pt = pt();
+        let mut scanned = 0;
+        let name_col = pt.schema().position("name").unwrap();
+        let rows = pt.select(
+            &[Expr::cmp_lit(name_col, CmpOp::Eq, "f1")],
+            &Prune::all(),
+            &mut scanned,
+        );
+        assert_eq!(rows.len(), 8);
+        assert_eq!(scanned, 8, "index probe touches only matches");
+    }
+
+    #[test]
+    fn select_with_prune_reduces_work() {
+        let pt = pt();
+        let mut scanned = 0;
+        let prune = Prune { day_lo: Some(0), day_hi: Some(0), agents: Some(vec![0]) };
+        let rows = pt.select(&[], &prune, &mut scanned);
+        assert_eq!(rows.len(), 6, "one group (agents 0,1) on day 0");
+    }
+
+    #[test]
+    fn prune_from_conjuncts_uses_spec_columns() {
+        let pt = pt();
+        let prune = pt.prune_from_conjuncts(&[
+            Expr::cmp_lit(2, CmpOp::Ge, 0i64),
+            Expr::cmp_lit(2, CmpOp::Lt, NANOS_PER_DAY),
+            Expr::cmp_lit(1, CmpOp::Eq, 2i64),
+        ]);
+        assert_eq!(prune.day_lo, Some(0));
+        assert_eq!(prune.day_hi, Some(1), "upper bound is day of the literal");
+        assert_eq!(prune.agents, Some(vec![2]));
+    }
+
+    #[test]
+    fn insert_rejects_bad_partition_values() {
+        let mut pt = pt();
+        let r = pt.insert(vec![Value::Int(1), Value::str("x"), Value::Int(0), Value::str("f")]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! Row-store tables with secondary B-tree indexes.
+
+use crate::error::RdbError;
+use crate::expr::{CmpOp, Expr};
+use crate::schema::{Row, Schema};
+use aiql_model::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A secondary index: column value → row positions.
+#[derive(Debug, Default, Clone)]
+pub struct Index {
+    map: BTreeMap<Value, Vec<u32>>,
+}
+
+impl Index {
+    /// Rows whose indexed value equals `v`.
+    pub fn get_eq(&self, v: &Value) -> &[u32] {
+        self.map.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rows whose indexed value lies in `[lo, hi]` (either bound optional).
+    pub fn get_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<u32> {
+        let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let upper = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let mut out = Vec::new();
+        for (_, rows) in self.map.range((lower, upper)) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    fn insert(&mut self, v: Value, row: u32) {
+        self.map.entry(v).or_default().push(row);
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A table: schema, rows, and any secondary indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+    indexes: BTreeMap<usize, Index>,
+}
+
+/// How a scan located its rows — reported in [`crate::exec::ExecStats`] and
+/// asserted on by planner tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full table scan.
+    Seq,
+    /// Index equality probe(s).
+    IndexEq,
+    /// Index range scan.
+    IndexRange,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows (read-only).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// One row by position.
+    pub fn row(&self, idx: u32) -> &Row {
+        &self.rows[idx as usize]
+    }
+
+    /// Validates and appends a row, maintaining indexes.
+    pub fn insert(&mut self, row: Row) -> Result<(), RdbError> {
+        self.schema.check_row(&row)?;
+        let pos = self.rows.len() as u32;
+        for (&col, index) in self.indexes.iter_mut() {
+            index.insert(row[col].clone(), pos);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Creates a secondary index on `column`, back-filling existing rows.
+    /// Creating an index twice is a no-op.
+    pub fn create_index(&mut self, column: &str) -> Result<(), RdbError> {
+        let col = self.schema.require(column)?;
+        if self.indexes.contains_key(&col) {
+            return Ok(());
+        }
+        let mut index = Index::default();
+        for (pos, row) in self.rows.iter().enumerate() {
+            index.insert(row[col].clone(), pos as u32);
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// The index on column position `col`, if one exists.
+    pub fn index(&self, col: usize) -> Option<&Index> {
+        self.indexes.get(&col)
+    }
+
+    /// Column positions that have indexes.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.indexes.keys().copied().collect()
+    }
+
+    /// Selects row positions satisfying all `conjuncts`, choosing an index
+    /// access path when one conjunct is a supported index probe:
+    ///
+    /// - `col = lit` / `col IN (lits)` on an indexed column → equality probes,
+    /// - `col >=/<=/</> lit` (possibly two conjuncts forming a range) on an
+    ///   indexed column → range scan,
+    ///
+    /// with the remaining conjuncts applied as a residual filter. Returns the
+    /// chosen access path alongside the row positions. `scanned` is
+    /// incremented by the number of rows the scan *touched* (not returned),
+    /// so callers can account I/O-like cost.
+    pub fn select(
+        &self,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+    ) -> (AccessPath, Vec<u32>) {
+        // Find an index-usable conjunct.
+        let mut best: Option<(usize, IndexProbe)> = None;
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if let Some(probe) = index_probe(c) {
+                if self.indexes.contains_key(&probe.col) {
+                    // Prefer equality probes over ranges.
+                    let better = match (&best, &probe.kind) {
+                        (None, _) => true,
+                        (Some((_, b)), ProbeKind::Eq(_)) => !matches!(b.kind, ProbeKind::Eq(_)),
+                        _ => false,
+                    };
+                    if better {
+                        best = Some((ci, probe));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((ci, probe)) => {
+                let index = &self.indexes[&probe.col];
+                let (path, mut candidates) = match &probe.kind {
+                    ProbeKind::Eq(values) => {
+                        let mut rows = Vec::new();
+                        for v in values {
+                            rows.extend_from_slice(index.get_eq(v));
+                        }
+                        rows.sort_unstable();
+                        rows.dedup();
+                        (AccessPath::IndexEq, rows)
+                    }
+                    ProbeKind::Range { lo, hi } => (
+                        AccessPath::IndexRange,
+                        index.get_range(lo.as_ref(), hi.as_ref()),
+                    ),
+                };
+                *scanned += candidates.len() as u64;
+                // Residual filter: all conjuncts except the probe (the probe
+                // is re-checked only for ranges with exclusive bounds, which
+                // `index_probe` encodes inclusively — re-check keeps it exact).
+                let recheck = matches!(probe.kind, ProbeKind::Range { .. });
+                candidates.retain(|&pos| {
+                    let row = &self.rows[pos as usize];
+                    conjuncts
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| (i != ci || recheck) && c.matches(row) || (i == ci && !recheck))
+                });
+                (path, candidates)
+            }
+            None => {
+                *scanned += self.rows.len() as u64;
+                let rows = (0..self.rows.len() as u32)
+                    .filter(|&pos| {
+                        let row = &self.rows[pos as usize];
+                        conjuncts.iter().all(|c| c.matches(row))
+                    })
+                    .collect();
+                (AccessPath::Seq, rows)
+            }
+        }
+    }
+}
+
+enum ProbeKind {
+    Eq(Vec<Value>),
+    Range { lo: Option<Value>, hi: Option<Value> },
+}
+
+struct IndexProbe {
+    col: usize,
+    kind: ProbeKind,
+}
+
+/// Recognizes conjuncts usable as index probes: `Col = Lit`, `Col IN (...)`,
+/// and single-sided ranges `Col </<=/>/>= Lit`.
+fn index_probe(e: &Expr) -> Option<IndexProbe> {
+    match e {
+        Expr::Cmp(op, a, b) => {
+            let (col, lit, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => (*c, v.clone(), *op),
+                (Expr::Lit(v), Expr::Col(c)) => (*c, v.clone(), op.flip()),
+                _ => return None,
+            };
+            let kind = match op {
+                CmpOp::Eq => ProbeKind::Eq(vec![lit]),
+                CmpOp::Le | CmpOp::Lt => ProbeKind::Range { lo: None, hi: Some(lit) },
+                CmpOp::Ge | CmpOp::Gt => ProbeKind::Range { lo: Some(lit), hi: None },
+                CmpOp::Ne => return None,
+            };
+            Some(IndexProbe { col, kind })
+        }
+        Expr::In(inner, list) => match inner.as_ref() {
+            Expr::Col(c) => Some(IndexProbe {
+                col: *c,
+                kind: ProbeKind::Eq(list.clone()),
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for (id, name, size) in [
+            (1, "alpha", 10),
+            (2, "beta", 20),
+            (3, "alpha", 30),
+            (4, "gamma", 40),
+        ] {
+            t.insert(vec![Value::Int(id), Value::str(name), Value::Int(size)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::str("x"), Value::str("y"), Value::Int(1)])
+            .is_err());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn seq_scan_when_no_index() {
+        let t = table();
+        let mut scanned = 0;
+        let (path, rows) = t.select(&[Expr::cmp_lit(1, CmpOp::Eq, "alpha")], &mut scanned);
+        assert_eq!(path, AccessPath::Seq);
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(scanned, 4);
+    }
+
+    #[test]
+    fn index_eq_probe() {
+        let mut t = table();
+        t.create_index("name").unwrap();
+        let mut scanned = 0;
+        let (path, rows) = t.select(&[Expr::cmp_lit(1, CmpOp::Eq, "alpha")], &mut scanned);
+        assert_eq!(path, AccessPath::IndexEq);
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(scanned, 2, "only matching rows touched");
+    }
+
+    #[test]
+    fn index_in_probe_and_residual() {
+        let mut t = table();
+        t.create_index("name").unwrap();
+        let mut scanned = 0;
+        let conjuncts = vec![
+            Expr::In(
+                Box::new(Expr::Col(1)),
+                vec![Value::str("alpha"), Value::str("gamma")],
+            ),
+            Expr::cmp_lit(2, CmpOp::Gt, 15i64),
+        ];
+        let (path, rows) = t.select(&conjuncts, &mut scanned);
+        assert_eq!(path, AccessPath::IndexEq);
+        assert_eq!(rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn index_range_probe() {
+        let mut t = table();
+        t.create_index("size").unwrap();
+        let mut scanned = 0;
+        let (path, rows) = t.select(&[Expr::cmp_lit(2, CmpOp::Ge, 20i64)], &mut scanned);
+        assert_eq!(path, AccessPath::IndexRange);
+        assert_eq!(rows, vec![1, 2, 3]);
+        // Exclusive bound: strict > re-checks the predicate.
+        let (_, rows) = t.select(&[Expr::cmp_lit(2, CmpOp::Gt, 20i64)], &mut scanned);
+        assert_eq!(rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn index_backfill_and_idempotence() {
+        let mut t = table();
+        t.create_index("name").unwrap();
+        t.create_index("name").unwrap();
+        t.insert(vec![Value::Int(5), Value::str("alpha"), Value::Int(50)])
+            .unwrap();
+        let idx = t.index(t.schema().position("name").unwrap()).unwrap();
+        assert_eq!(idx.get_eq(&Value::str("alpha")), &[0, 2, 4]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert!(t.create_index("bogus").is_err());
+    }
+
+    #[test]
+    fn eq_preferred_over_range() {
+        let mut t = table();
+        t.create_index("name").unwrap();
+        t.create_index("size").unwrap();
+        let mut scanned = 0;
+        let conjuncts = vec![
+            Expr::cmp_lit(2, CmpOp::Ge, 0i64),
+            Expr::cmp_lit(1, CmpOp::Eq, "beta"),
+        ];
+        let (path, rows) = t.select(&conjuncts, &mut scanned);
+        assert_eq!(path, AccessPath::IndexEq);
+        assert_eq!(rows, vec![1]);
+    }
+}

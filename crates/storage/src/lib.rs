@@ -1,0 +1,482 @@
+//! Domain-specific data storage for system monitoring data (paper Sec. 3.2).
+//!
+//! The store keeps entities and events in relational tables (see [`schema`])
+//! and exploits the data's spatial and temporal properties:
+//!
+//! - **Partitioned layout** (AIQL's optimization): the `events` table is
+//!   split by `(day, agent group)` — the analogue of "one database per day"
+//!   plus agent-group table partitions — so constrained queries prune
+//!   partitions and the engine parallelizes across them.
+//! - **Monolithic layout** (baseline): the same tables without partitioning,
+//!   as the end-to-end PostgreSQL/Neo4j comparison stores them.
+//! - **Segmented store** (Greenplum analogue): K segments under a placement
+//!   policy — arrival-order round-robin, or by host per AIQL's
+//!   semantics-aware model.
+//!
+//! Both layouts build the same secondary indexes (the paper gives the
+//! baselines identical schema/index designs) and both are loaded through the
+//! same ingestion path, including server-side [`timesync`] correction.
+//!
+//! # Examples
+//!
+//! ```
+//! use aiql_model::{AgentId, Dataset, Entity, EntityKind, Event, OpType, Timestamp};
+//! use aiql_storage::{EventStore, StoreConfig};
+//!
+//! let mut data = Dataset::new();
+//! let agent = AgentId(1);
+//! let p = data.add_entity(Entity::process(1.into(), agent, "bash", 42));
+//! let f = data.add_entity(Entity::file(2.into(), agent, "/etc/passwd"));
+//! data.add_event(Event::new(
+//!     1.into(), agent, p, OpType::Read, f, EntityKind::File,
+//!     Timestamp::from_ymd(2017, 1, 1).unwrap(),
+//! ));
+//!
+//! let store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+//! assert_eq!(store.event_count(), 1);
+//! ```
+
+pub mod schema;
+pub mod timesync;
+
+use aiql_model::{Dataset, Entity, EntityKind, Event, Timestamp, Value};
+use aiql_rdb::{Database, Placement, PartitionSpec, Prune, RdbError, Row, SegmentedDb};
+
+/// Physical layout of the event store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Single tables, no partitioning (the end-to-end baseline layout).
+    Monolithic,
+    /// Events partitioned by (day, agent group) — AIQL's layout.
+    Partitioned {
+        /// Number of consecutive agents per spatial partition group.
+        agent_group_size: u32,
+    },
+}
+
+/// Store construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    pub layout: Layout,
+    /// Whether to build the secondary indexes of [`schema::index_plan`].
+    pub with_indexes: bool,
+}
+
+impl StoreConfig {
+    /// AIQL's layout: partitioned with groups of 5 agents, indexed.
+    pub fn partitioned() -> StoreConfig {
+        StoreConfig {
+            layout: Layout::Partitioned { agent_group_size: 5 },
+            with_indexes: true,
+        }
+    }
+
+    /// Baseline layout: monolithic tables, indexed.
+    pub fn monolithic() -> StoreConfig {
+        StoreConfig {
+            layout: Layout::Monolithic,
+            with_indexes: true,
+        }
+    }
+}
+
+/// Converts an entity into its table row.
+pub fn entity_row(e: &Entity) -> Row {
+    let id = Value::Int(e.id.0 as i64);
+    let agent = Value::Int(e.agent.0 as i64);
+    match e.kind {
+        EntityKind::Process => vec![
+            id,
+            agent,
+            e.attr("pid"),
+            e.attr("exe_name"),
+            e.attr("user"),
+            e.attr("cmd"),
+            e.attr("signature"),
+        ],
+        EntityKind::File => vec![
+            id,
+            agent,
+            e.attr("name"),
+            e.attr("owner"),
+            e.attr("group"),
+            e.attr("vol_id"),
+            e.attr("data_id"),
+        ],
+        EntityKind::NetConn => vec![
+            id,
+            agent,
+            e.attr("src_ip"),
+            e.attr("src_port"),
+            e.attr("dst_ip"),
+            e.attr("dst_port"),
+            e.attr("protocol"),
+        ],
+    }
+}
+
+/// Converts an event into its table row.
+pub fn event_row(ev: &Event) -> Row {
+    vec![
+        Value::Int(ev.id.0 as i64),
+        Value::Int(ev.agent.0 as i64),
+        Value::Int(schema::opcode(ev.op)),
+        Value::Int(ev.subject.0 as i64),
+        Value::Int(ev.object.0 as i64),
+        Value::Int(schema::kind_code(ev.object_kind)),
+        Value::Int(ev.start.0),
+        Value::Int(ev.end.0),
+        Value::Int(ev.seq as i64),
+        Value::Int(ev.amount),
+        Value::Int(ev.failure as i64),
+    ]
+}
+
+fn create_tables(
+    mut create: impl FnMut(&'static str, aiql_rdb::Schema, bool) -> Result<(), RdbError>,
+) -> Result<(), RdbError> {
+    create(schema::EVENTS, schema::events_schema(), true)?;
+    create(schema::PROCESSES, schema::processes_schema(), false)?;
+    create(schema::FILES, schema::files_schema(), false)?;
+    create(schema::NETCONNS, schema::netconns_schema(), false)?;
+    Ok(())
+}
+
+/// The single-node event store (monolithic or partitioned layout).
+#[derive(Debug)]
+pub struct EventStore {
+    db: Database,
+    config: StoreConfig,
+    event_count: usize,
+    entity_count: usize,
+}
+
+impl EventStore {
+    /// Creates an empty store with the schema and (optionally) indexes set up.
+    pub fn empty(config: StoreConfig) -> Result<EventStore, RdbError> {
+        let mut db = Database::new();
+        create_tables(|name, sch, is_events| match config.layout {
+            Layout::Partitioned { agent_group_size } if is_events => db
+                .create_partitioned_table(
+                    name,
+                    sch,
+                    PartitionSpec::new("start_time", "agentid", agent_group_size),
+                ),
+            _ => db.create_table(name, sch),
+        })?;
+        if config.with_indexes {
+            for (table, col) in schema::index_plan() {
+                db.create_index(table, col)?;
+            }
+        }
+        Ok(EventStore {
+            db,
+            config,
+            event_count: 0,
+            entity_count: 0,
+        })
+    }
+
+    /// Builds a store from a dataset.
+    pub fn ingest(data: &Dataset, config: StoreConfig) -> Result<EventStore, RdbError> {
+        let mut store = EventStore::empty(config)?;
+        for e in &data.entities {
+            store.insert_entity(e)?;
+        }
+        for ev in &data.events {
+            store.insert_event(ev)?;
+        }
+        Ok(store)
+    }
+
+    /// Inserts one entity.
+    pub fn insert_entity(&mut self, e: &Entity) -> Result<(), RdbError> {
+        self.db.insert(schema::entity_table(e.kind), entity_row(e))?;
+        self.entity_count += 1;
+        Ok(())
+    }
+
+    /// Inserts one event.
+    pub fn insert_event(&mut self, ev: &Event) -> Result<(), RdbError> {
+        self.db.insert(schema::EVENTS, event_row(ev))?;
+        self.event_count += 1;
+        Ok(())
+    }
+
+    /// The underlying database (SQL entry point for baselines).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of ingested events.
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// Number of ingested entities.
+    pub fn entity_count(&self) -> usize {
+        self.entity_count
+    }
+
+    /// The partitioned events table, when the layout is partitioned.
+    pub fn events_partitioned(&self) -> Option<&aiql_rdb::PartitionedTable> {
+        self.db.partitioned(schema::EVENTS)
+    }
+
+    /// Scans events with conjuncts over the events layout, applying
+    /// partition pruning when partitioned. Returns matching rows.
+    pub fn scan_events(
+        &self,
+        conjuncts: &[aiql_rdb::Expr],
+        prune: &Prune,
+        scanned: &mut u64,
+    ) -> Vec<Row> {
+        match self.db.partitioned(schema::EVENTS) {
+            Some(pt) => {
+                // Merge caller pruning with conjunct-derived pruning.
+                let derived = pt.prune_from_conjuncts(conjuncts);
+                let merged = Prune {
+                    day_lo: max_opt(prune.day_lo, derived.day_lo),
+                    day_hi: min_opt(prune.day_hi, derived.day_hi),
+                    agents: prune.agents.clone().or(derived.agents),
+                };
+                pt.select(conjuncts, &merged, scanned)
+            }
+            None => {
+                let t = self.db.plain(schema::EVENTS).expect("events table exists");
+                let (_, pos) = t.select(conjuncts, scanned);
+                pos.into_iter().map(|p| t.row(p).clone()).collect()
+            }
+        }
+    }
+
+    /// Scans an entity table with conjuncts (index-accelerated).
+    pub fn scan_entities(
+        &self,
+        kind: EntityKind,
+        conjuncts: &[aiql_rdb::Expr],
+        scanned: &mut u64,
+    ) -> Vec<Row> {
+        let t = self
+            .db
+            .plain(schema::entity_table(kind))
+            .expect("entity tables are plain");
+        let (_, pos) = t.select(conjuncts, scanned);
+        pos.into_iter().map(|p| t.row(p).clone()).collect()
+    }
+
+    /// The time span (min/max event start) present in the store, if any.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut scanned = 0u64;
+        let rows = self.scan_events(&[], &Prune::all(), &mut scanned);
+        let lo = rows.iter().map(|r| r[schema::ev::START].as_int().unwrap_or(0)).min()?;
+        let hi = rows.iter().map(|r| r[schema::ev::START].as_int().unwrap_or(0)).max()?;
+        Some((Timestamp(lo), Timestamp(hi)))
+    }
+}
+
+fn max_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+fn min_opt(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+/// The MPP event store: K segments under a placement policy (Greenplum
+/// analogue for the paper's Sec. 6.3.3 evaluation).
+pub struct SegmentedStore {
+    sdb: SegmentedDb,
+    event_count: usize,
+}
+
+impl SegmentedStore {
+    /// Creates an empty segmented store. `by_host` selects AIQL's
+    /// semantics-aware placement; otherwise rows are spread round-robin in
+    /// arrival order (Greenplum's default on this data).
+    pub fn empty(segments: usize, by_host: bool, with_indexes: bool) -> Result<SegmentedStore, RdbError> {
+        let placement = if by_host {
+            Placement::ByAgent { agent_col: "agentid".into() }
+        } else {
+            Placement::RoundRobin
+        };
+        let mut sdb = SegmentedDb::new(segments, placement);
+        create_tables(|name, sch, is_events| {
+            if is_events {
+                // Segments keep day partitioning locally (both systems get
+                // the paper's storage optimizations in Sec. 6.3.3).
+                sdb.create_partitioned_table(name, sch, PartitionSpec::new("start_time", "agentid", 5))
+            } else {
+                sdb.create_table(name, sch)
+            }
+        })?;
+        if with_indexes {
+            for (table, col) in schema::index_plan() {
+                sdb.create_index(table, col)?;
+            }
+        }
+        Ok(SegmentedStore { sdb, event_count: 0 })
+    }
+
+    /// Builds a segmented store from a dataset.
+    pub fn ingest(data: &Dataset, segments: usize, by_host: bool) -> Result<SegmentedStore, RdbError> {
+        let mut store = SegmentedStore::empty(segments, by_host, true)?;
+        for e in &data.entities {
+            store.sdb.insert(schema::entity_table(e.kind), entity_row(e))?;
+        }
+        for ev in &data.events {
+            store.sdb.insert(schema::EVENTS, event_row(ev))?;
+            store.event_count += 1;
+        }
+        Ok(store)
+    }
+
+    /// The underlying segmented database.
+    pub fn sdb(&self) -> &SegmentedDb {
+        &self.sdb
+    }
+
+    /// Number of ingested events.
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{AgentId, Entity, Event, OpType};
+    use aiql_rdb::{CmpOp, Expr};
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new();
+        for agent in 0..4u32 {
+            let a = AgentId(agent);
+            let base = (agent as u64 + 1) * 100;
+            let p = d.add_entity(Entity::process((base + 1).into(), a, format!("proc{agent}"), 10));
+            let f = d.add_entity(Entity::file((base + 2).into(), a, format!("/tmp/f{agent}")));
+            let c = d.add_entity(Entity::netconn((base + 3).into(), a, "10.0.0.1", 1000, "10.0.0.99", 443));
+            for i in 0..5u64 {
+                let t = Timestamp::from_ymd(2017, 1, 1 + (i as u32 % 2)).unwrap();
+                d.add_event(Event::new(
+                    (base + 10 + i).into(),
+                    a,
+                    p,
+                    if i % 2 == 0 { OpType::Write } else { OpType::Read },
+                    if i == 4 { c } else { f },
+                    if i == 4 { EntityKind::NetConn } else { EntityKind::File },
+                    Timestamp(t.0 + i as i64 * 1_000),
+                ));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn ingest_counts_both_layouts() {
+        let d = dataset();
+        for cfg in [StoreConfig::partitioned(), StoreConfig::monolithic()] {
+            let s = EventStore::ingest(&d, cfg).unwrap();
+            assert_eq!(s.event_count(), 20);
+            assert_eq!(s.entity_count(), 12);
+        }
+    }
+
+    #[test]
+    fn partitioned_layout_creates_partitions() {
+        let d = dataset();
+        let s = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let pt = s.events_partitioned().expect("partitioned");
+        assert!(pt.partition_count() >= 2, "at least 2 day partitions");
+        let m = EventStore::ingest(&d, StoreConfig::monolithic()).unwrap();
+        assert!(m.events_partitioned().is_none());
+    }
+
+    #[test]
+    fn scan_events_prunes_and_filters() {
+        let d = dataset();
+        let s = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let day0 = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        let conjuncts = vec![
+            Expr::cmp_lit(schema::ev::START, CmpOp::Ge, day0.0),
+            Expr::cmp_lit(schema::ev::START, CmpOp::Lt, day0.0 + aiql_rdb::partition::NANOS_PER_DAY),
+            Expr::cmp_lit(schema::ev::AGENT, CmpOp::Eq, 2i64),
+        ];
+        let mut scanned = 0;
+        let rows = s.scan_events(&conjuncts, &Prune::all(), &mut scanned);
+        assert_eq!(rows.len(), 3, "agent 2's day-0 events (i = 0, 2, 4)");
+        // All rows from agent 2.
+        assert!(rows.iter().all(|r| r[schema::ev::AGENT] == Value::Int(2)));
+    }
+
+    #[test]
+    fn scan_entities_uses_indexes() {
+        let d = dataset();
+        let s = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let mut scanned = 0;
+        let rows = s.scan_entities(
+            EntityKind::Process,
+            &[Expr::cmp_lit(schema::proc::EXE_NAME, CmpOp::Eq, "proc2")],
+            &mut scanned,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(scanned, 1, "index probe");
+    }
+
+    #[test]
+    fn sql_joins_work_over_the_store() {
+        let d = dataset();
+        let s = EventStore::ingest(&d, StoreConfig::monolithic()).unwrap();
+        let rs = s
+            .db()
+            .query(
+                "SELECT DISTINCT p.exe_name FROM events e JOIN processes p \
+                 ON e.subject_id = p.id JOIN netconns n ON e.object_id = n.id \
+                 WHERE n.dst_ip = '10.0.0.99' ORDER BY p.exe_name",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4, "every agent's proc talked to .99");
+    }
+
+    #[test]
+    fn time_span() {
+        let d = dataset();
+        let s = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let (lo, hi) = s.time_span().unwrap();
+        assert_eq!(lo, Timestamp(Timestamp::from_ymd(2017, 1, 1).unwrap().0));
+        assert!(hi > lo);
+        let empty = EventStore::empty(StoreConfig::monolithic()).unwrap();
+        assert!(empty.time_span().is_none());
+    }
+
+    #[test]
+    fn segmented_store_placements() {
+        let d = dataset();
+        let rr = SegmentedStore::ingest(&d, 2, false).unwrap();
+        let bh = SegmentedStore::ingest(&d, 2, true).unwrap();
+        assert_eq!(rr.event_count(), 20);
+        assert_eq!(bh.event_count(), 20);
+        // By-host: each segment's events all share agent parity.
+        for seg in 0..2 {
+            let db = bh.sdb().segment(seg);
+            let pt = db.partitioned(schema::EVENTS).unwrap();
+            let mut scanned = 0;
+            let rows = pt.select(&[], &Prune::all(), &mut scanned);
+            for r in rows {
+                let agent = r[schema::ev::AGENT].as_int().unwrap();
+                assert_eq!(agent.rem_euclid(2) as usize, seg);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Relational schema of the event store, with column-position constants and
+//! the AIQL-attribute → column mapping.
+//!
+//! Four tables hold the monitoring data (paper Sec. 3.2): one `events` table
+//! (all integer columns — operation types and entity kinds are stored as
+//! codes) and one table per entity kind carrying the paper's Table 1
+//! attributes. The frequently-queried attributes get secondary indexes:
+//! process executable name, file name, connection destination IP, plus the
+//! join keys the engine's constrained execution probes.
+
+use aiql_model::{EntityKind, OpType};
+use aiql_rdb::{ColumnType, Schema};
+
+/// Table name constants.
+pub const EVENTS: &str = "events";
+pub const PROCESSES: &str = "processes";
+pub const FILES: &str = "files";
+pub const NETCONNS: &str = "netconns";
+
+/// Column positions in the `events` table.
+pub mod ev {
+    pub const ID: usize = 0;
+    pub const AGENT: usize = 1;
+    pub const OPTYPE: usize = 2;
+    pub const SUBJECT: usize = 3;
+    pub const OBJECT: usize = 4;
+    pub const OBJKIND: usize = 5;
+    pub const START: usize = 6;
+    pub const END: usize = 7;
+    pub const SEQ: usize = 8;
+    pub const AMOUNT: usize = 9;
+    pub const FAILURE: usize = 10;
+    /// Number of columns.
+    pub const WIDTH: usize = 11;
+}
+
+/// Column positions in the `processes` table.
+pub mod proc {
+    pub const ID: usize = 0;
+    pub const AGENT: usize = 1;
+    pub const PID: usize = 2;
+    pub const EXE_NAME: usize = 3;
+    pub const USER: usize = 4;
+    pub const CMD: usize = 5;
+    pub const SIGNATURE: usize = 6;
+    pub const WIDTH: usize = 7;
+}
+
+/// Column positions in the `files` table.
+pub mod file {
+    pub const ID: usize = 0;
+    pub const AGENT: usize = 1;
+    pub const NAME: usize = 2;
+    pub const OWNER: usize = 3;
+    pub const GRP: usize = 4;
+    pub const VOL_ID: usize = 5;
+    pub const DATA_ID: usize = 6;
+    pub const WIDTH: usize = 7;
+}
+
+/// Column positions in the `netconns` table.
+pub mod net {
+    pub const ID: usize = 0;
+    pub const AGENT: usize = 1;
+    pub const SRC_IP: usize = 2;
+    pub const SRC_PORT: usize = 3;
+    pub const DST_IP: usize = 4;
+    pub const DST_PORT: usize = 5;
+    pub const PROTOCOL: usize = 6;
+    pub const WIDTH: usize = 7;
+}
+
+/// The `events` table schema.
+pub fn events_schema() -> Schema {
+    Schema::new(&[
+        ("id", ColumnType::Int),
+        ("agentid", ColumnType::Int),
+        ("optype", ColumnType::Int),
+        ("subject_id", ColumnType::Int),
+        ("object_id", ColumnType::Int),
+        ("object_kind", ColumnType::Int),
+        ("start_time", ColumnType::Int),
+        ("end_time", ColumnType::Int),
+        ("seq", ColumnType::Int),
+        ("amount", ColumnType::Int),
+        ("failure", ColumnType::Int),
+    ])
+}
+
+/// The `processes` table schema.
+pub fn processes_schema() -> Schema {
+    Schema::new(&[
+        ("id", ColumnType::Int),
+        ("agentid", ColumnType::Int),
+        ("pid", ColumnType::Int),
+        ("exe_name", ColumnType::Str),
+        ("user", ColumnType::Str),
+        ("cmd", ColumnType::Str),
+        ("signature", ColumnType::Str),
+    ])
+}
+
+/// The `files` table schema.
+pub fn files_schema() -> Schema {
+    Schema::new(&[
+        ("id", ColumnType::Int),
+        ("agentid", ColumnType::Int),
+        ("name", ColumnType::Str),
+        ("owner", ColumnType::Str),
+        ("grp", ColumnType::Str),
+        ("vol_id", ColumnType::Int),
+        ("data_id", ColumnType::Int),
+    ])
+}
+
+/// The `netconns` table schema.
+pub fn netconns_schema() -> Schema {
+    Schema::new(&[
+        ("id", ColumnType::Int),
+        ("agentid", ColumnType::Int),
+        ("src_ip", ColumnType::Str),
+        ("src_port", ColumnType::Int),
+        ("dst_ip", ColumnType::Str),
+        ("dst_port", ColumnType::Int),
+        ("protocol", ColumnType::Str),
+    ])
+}
+
+/// The entity table for a kind.
+pub fn entity_table(kind: EntityKind) -> &'static str {
+    match kind {
+        EntityKind::File => FILES,
+        EntityKind::Process => PROCESSES,
+        EntityKind::NetConn => NETCONNS,
+    }
+}
+
+/// Maps an AIQL attribute name to its storage column name (identity except
+/// `group` → `grp`, which would collide with the SQL keyword).
+pub fn column_for_attr(attr: &str) -> &str {
+    match attr {
+        "group" => "grp",
+        other => other,
+    }
+}
+
+/// Integer code of an operation type (position in `ALL_OPS`).
+pub fn opcode(op: OpType) -> i64 {
+    aiql_model::event::ALL_OPS
+        .iter()
+        .position(|o| *o == op)
+        .expect("op in ALL_OPS") as i64
+}
+
+/// Operation type from its integer code.
+pub fn op_from_code(code: i64) -> Option<OpType> {
+    aiql_model::event::ALL_OPS.get(code as usize).copied()
+}
+
+/// Integer code of an entity kind.
+pub fn kind_code(kind: EntityKind) -> i64 {
+    match kind {
+        EntityKind::File => 0,
+        EntityKind::Process => 1,
+        EntityKind::NetConn => 2,
+    }
+}
+
+/// Entity kind from its integer code.
+pub fn kind_from_code(code: i64) -> Option<EntityKind> {
+    Some(match code {
+        0 => EntityKind::File,
+        1 => EntityKind::Process,
+        2 => EntityKind::NetConn,
+        _ => return None,
+    })
+}
+
+/// The columns that receive secondary indexes, per table.
+pub fn index_plan() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (PROCESSES, "id"),
+        (PROCESSES, "exe_name"),
+        (FILES, "id"),
+        (FILES, "name"),
+        (NETCONNS, "id"),
+        (NETCONNS, "dst_ip"),
+        (EVENTS, "subject_id"),
+        (EVENTS, "object_id"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::event::ALL_OPS;
+
+    #[test]
+    fn op_codes_round_trip() {
+        for op in ALL_OPS {
+            assert_eq!(op_from_code(opcode(op)), Some(op));
+        }
+        assert_eq!(op_from_code(999), None);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [EntityKind::File, EntityKind::Process, EntityKind::NetConn] {
+            assert_eq!(kind_from_code(kind_code(k)), Some(k));
+        }
+        assert_eq!(kind_from_code(7), None);
+    }
+
+    #[test]
+    fn schema_positions_match_constants() {
+        let e = events_schema();
+        assert_eq!(e.position("start_time"), Some(ev::START));
+        assert_eq!(e.position("failure"), Some(ev::FAILURE));
+        assert_eq!(e.arity(), ev::WIDTH);
+        let p = processes_schema();
+        assert_eq!(p.position("exe_name"), Some(proc::EXE_NAME));
+        assert_eq!(p.arity(), proc::WIDTH);
+        let f = files_schema();
+        assert_eq!(f.position("grp"), Some(file::GRP));
+        assert_eq!(f.arity(), file::WIDTH);
+        let n = netconns_schema();
+        assert_eq!(n.position("dst_ip"), Some(net::DST_IP));
+        assert_eq!(n.arity(), net::WIDTH);
+    }
+
+    #[test]
+    fn attr_mapping() {
+        assert_eq!(column_for_attr("group"), "grp");
+        assert_eq!(column_for_attr("exe_name"), "exe_name");
+    }
+
+    #[test]
+    fn entity_table_names() {
+        assert_eq!(entity_table(EntityKind::File), FILES);
+        assert_eq!(entity_table(EntityKind::Process), PROCESSES);
+        assert_eq!(entity_table(EntityKind::NetConn), NETCONNS);
+    }
+}

@@ -1,0 +1,120 @@
+//! Server-side time synchronization (paper Sec. 3.2, "Time Synchronization").
+//!
+//! Monitoring agents stamp events with their local clocks, which drift. The
+//! paper corrects drift with NTP at the client plus a server-side check. We
+//! model the server side: each agent periodically reports a sample pair
+//! (agent clock, server clock); the synchronizer estimates a per-agent offset
+//! as the mean of `server - agent` over the samples and shifts that agent's
+//! event timestamps accordingly on ingestion.
+
+use aiql_model::{AgentId, Dataset, Duration};
+use std::collections::HashMap;
+
+/// One clock sample: what the agent's clock and the server's clock read at
+/// the same instant.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockSample {
+    pub agent_time: i64,
+    pub server_time: i64,
+}
+
+/// Per-agent clock-offset estimator and corrector.
+#[derive(Debug, Default)]
+pub struct Synchronizer {
+    samples: HashMap<AgentId, Vec<ClockSample>>,
+}
+
+impl Synchronizer {
+    /// Creates a synchronizer with no samples (all offsets zero).
+    pub fn new() -> Synchronizer {
+        Synchronizer::default()
+    }
+
+    /// Records a clock sample for `agent`.
+    pub fn record(&mut self, agent: AgentId, sample: ClockSample) {
+        self.samples.entry(agent).or_default().push(sample);
+    }
+
+    /// The estimated offset to *add* to an agent's timestamps (mean of
+    /// `server_time - agent_time`); zero for agents with no samples.
+    pub fn offset(&self, agent: AgentId) -> Duration {
+        match self.samples.get(&agent) {
+            None => Duration::ZERO,
+            Some(v) if v.is_empty() => Duration::ZERO,
+            Some(v) => {
+                let sum: i64 = v.iter().map(|s| s.server_time - s.agent_time).sum();
+                Duration(sum / v.len() as i64)
+            }
+        }
+    }
+
+    /// Corrects every event's start/end time in place and re-sorts the
+    /// dataset into server-time order.
+    pub fn apply(&self, data: &mut Dataset) {
+        for e in &mut data.events {
+            let off = self.offset(e.agent);
+            e.start = e.start.saturating_add(off);
+            e.end = e.end.saturating_add(off);
+        }
+        data.sort_events();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{Entity, EntityKind, Event, OpType, Timestamp};
+
+    fn event(agent: u32, id: u64, t: i64) -> Event {
+        Event::new(
+            id.into(),
+            AgentId(agent),
+            1.into(),
+            OpType::Read,
+            2.into(),
+            EntityKind::File,
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn offset_is_mean_of_samples() {
+        let mut s = Synchronizer::new();
+        let a = AgentId(1);
+        s.record(a, ClockSample { agent_time: 100, server_time: 150 });
+        s.record(a, ClockSample { agent_time: 200, server_time: 230 });
+        assert_eq!(s.offset(a), Duration(40));
+        assert_eq!(s.offset(AgentId(9)), Duration::ZERO);
+    }
+
+    #[test]
+    fn apply_restores_cross_host_order() {
+        // Agent 1's clock runs 1000 ns behind the server; agent 2 is exact.
+        // Physically: event A (agent 1) at server time 1500, event B
+        // (agent 2) at server time 1400 — but agent 1 stamps A as 500,
+        // making A appear (wrongly) first.
+        let mut data = Dataset::new();
+        data.add_entity(Entity::process(1.into(), AgentId(1), "p", 1));
+        data.add_entity(Entity::file(2.into(), AgentId(1), "f"));
+        data.add_event(event(1, 1, 500));
+        data.add_event(event(2, 2, 1400));
+        data.sort_events();
+        assert_eq!(data.events[0].id.0, 1, "uncorrected order is wrong");
+
+        let mut s = Synchronizer::new();
+        s.record(AgentId(1), ClockSample { agent_time: 0, server_time: 1000 });
+        s.apply(&mut data);
+        assert_eq!(data.events[0].id.0, 2, "corrected order is right");
+        assert_eq!(data.events[1].start, Timestamp(1500));
+    }
+
+    #[test]
+    fn apply_without_samples_is_identity_modulo_sort() {
+        let mut data = Dataset::new();
+        data.add_event(event(1, 1, 300));
+        data.add_event(event(1, 2, 100));
+        Synchronizer::new().apply(&mut data);
+        assert_eq!(data.events[0].start, Timestamp(100));
+        assert_eq!(data.events[1].start, Timestamp(300));
+    }
+}

@@ -1,0 +1,92 @@
+//! Stable alias names for the patterns of a query context, shared by all
+//! three translators.
+
+use aiql_core::{FieldRef, FieldTarget, QueryContext};
+
+/// Alias names for one pattern's event / subject / object.
+#[derive(Debug, Clone)]
+pub struct PatternNames {
+    pub event: String,
+    pub subject: String,
+    pub object: String,
+}
+
+/// Builds alias names per pattern: user-declared variable names when
+/// present, deterministic `e{i}`/`s{i}`/`o{i}` otherwise.
+pub fn pattern_names(ctx: &QueryContext) -> Vec<PatternNames> {
+    ctx.patterns
+        .iter()
+        .map(|p| PatternNames {
+            event: p.evt_var.clone().unwrap_or_else(|| format!("e{}", p.idx)),
+            subject: p.subj_var.clone().unwrap_or_else(|| format!("s{}", p.idx)),
+            object: p.obj_var.clone().unwrap_or_else(|| format!("o{}", p.idx)),
+        })
+        .collect()
+}
+
+/// The alias a field reference addresses.
+pub fn alias_of<'a>(names: &'a [PatternNames], f: &FieldRef) -> &'a str {
+    let n = &names[f.pattern];
+    match f.target {
+        FieldTarget::Event => &n.event,
+        FieldTarget::Subject => &n.subject,
+        FieldTarget::Object => &n.object,
+    }
+}
+
+/// SQL-alias-safe variant: SQL aliases must be unique per FROM item, but an
+/// AIQL entity variable may recur across patterns (entity reuse). The SQL
+/// translator therefore suffixes recurring entity aliases with the pattern
+/// index and adds explicit id-equality joins (which the analyzer has already
+/// materialized as implicit relations).
+pub fn sql_names(ctx: &QueryContext) -> Vec<PatternNames> {
+    let base = pattern_names(ctx);
+    let mut seen = std::collections::HashSet::new();
+    base.into_iter()
+        .enumerate()
+        .map(|(i, mut n)| {
+            for s in [&mut n.event, &mut n.subject, &mut n.object] {
+                if !seen.insert(s.clone()) {
+                    *s = format!("{s}_{i}");
+                    seen.insert(s.clone());
+                }
+            }
+            n
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_core::compile;
+
+    #[test]
+    fn uses_declared_vars_and_fills_gaps() {
+        let ctx = compile("proc p1 read file f as myevt proc p2 write ip i return p1, p2").unwrap();
+        let names = pattern_names(&ctx);
+        assert_eq!(names[0].event, "myevt");
+        assert_eq!(names[0].subject, "p1");
+        assert_eq!(names[0].object, "f");
+        assert_eq!(names[1].event, "e1");
+    }
+
+    #[test]
+    fn sql_names_deduplicate_entity_reuse() {
+        // f1 appears in both patterns.
+        let ctx = compile("proc p1 write file f1 proc p2 read file f1 return p1, p2").unwrap();
+        let names = sql_names(&ctx);
+        assert_eq!(names[0].object, "f1");
+        assert_eq!(names[1].object, "f1_1");
+    }
+
+    #[test]
+    fn alias_of_targets() {
+        let ctx = compile("proc p1 read file f as ev return p1, f").unwrap();
+        let names = pattern_names(&ctx);
+        let fr = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "name".into() };
+        assert_eq!(alias_of(&names, &fr), "f");
+        let fr = FieldRef { pattern: 0, target: FieldTarget::Event, attr: "amount".into() };
+        assert_eq!(alias_of(&names, &fr), "ev");
+    }
+}

@@ -1,0 +1,125 @@
+//! An interactive AIQL shell over a simulated enterprise — the iterative
+//! investigation loop the paper's analysts use, in your terminal.
+//!
+//! ```text
+//! cargo run --release --example repl
+//! aiql> proc p read file f["%.bash_history"] return p, f
+//! aiql> :quit
+//! ```
+//!
+//! End a query with an empty line (queries may span several lines).
+//! Commands: `:help`, `:stats`, `:sql` (show the big-join translation of
+//! the last query), `:quit`.
+
+use aiql::engine::{Engine, EngineConfig};
+use aiql::datagen::EnterpriseSim;
+use aiql::storage::{EventStore, StoreConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("building the simulated enterprise (10 hosts, 2 days, attacks on 01/02/2017) ...");
+    let data = EnterpriseSim::builder()
+        .hosts(10)
+        .days(2)
+        .seed(2017)
+        .events_per_host_per_day(2_000)
+        .attacks(true)
+        .build()
+        .generate();
+    let store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
+    let engine = Engine::with_config(&store, EngineConfig::aiql());
+    println!(
+        "{} events, {} entities. Type an AIQL query (blank line to run), :help for help.\n",
+        data.events.len(),
+        data.entities.len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut last_query: Option<String> = None;
+    let mut last_stats: Option<String> = None;
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            match trimmed {
+                ":quit" | ":q" | ":exit" => break,
+                ":help" | ":h" => help(),
+                ":stats" => match &last_stats {
+                    Some(s) => println!("{s}"),
+                    None => println!("no query has run yet"),
+                },
+                ":sql" => match &last_query {
+                    Some(q) => match aiql::lang::compile(q)
+                        .map_err(|e| e.to_string())
+                        .and_then(|ctx| {
+                            aiql::translate::sql::to_sql(&ctx).map_err(|e| e.to_string())
+                        }) {
+                        Ok(sql) => println!("{sql}"),
+                        Err(e) => println!("cannot translate: {e}"),
+                    },
+                    None => println!("no query has run yet"),
+                },
+                other => println!("unknown command {other} (try :help)"),
+            }
+            print_prompt(&buffer);
+            continue;
+        }
+        if !trimmed.is_empty() {
+            buffer.push_str(&line);
+            buffer.push('\n');
+            print_prompt(&buffer);
+            continue;
+        }
+        if buffer.trim().is_empty() {
+            print_prompt(&buffer);
+            continue;
+        }
+        // Blank line: run the buffered query.
+        let src = std::mem::take(&mut buffer);
+        match engine.run_outcome(&src) {
+            Ok(out) => {
+                print!("{}", out.result);
+                println!(
+                    "({} rows, {:.1} ms, {} data queries, {} rows scanned)",
+                    out.result.rows.len(),
+                    out.elapsed.as_secs_f64() * 1e3,
+                    out.stats.data_queries,
+                    out.stats.rows_scanned
+                );
+                last_stats = Some(format!("{:#?}", out.stats));
+                last_query = Some(src);
+            }
+            Err(aiql::engine::EngineError::Compile(e)) => print!("{}", e.render(&src)),
+            Err(e) => println!("error: {e}"),
+        }
+        print_prompt(&buffer);
+    }
+    println!("bye.");
+}
+
+fn print_prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("aiql> ");
+    } else {
+        print!("  ... ");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+fn help() {
+    println!(
+        "Enter an AIQL query over the simulated enterprise; finish with an empty line.\n\
+         Attack day is 01/02/2017. Interesting hosts: 1 (phished client),\n\
+         9 (SQL server, exfiltration), 8 (abnormal behaviours), 2/3 (info_stealer).\n\
+         Example:\n\
+         \x20 (at \"01/02/2017\") agentid = 9\n\
+         \x20 proc p1[\"%sbblv.exe\"] read file f1 as e1\n\
+         \x20 return p1, f1\n\
+         Commands: :help :stats :sql :quit"
+    );
+}

@@ -1,0 +1,68 @@
+//! AIQL — efficient attack investigation from system monitoring data.
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *AIQL: Enabling Efficient Attack Investigation from System Monitoring
+//! Data* (Gao et al., USENIX ATC 2018). It re-exports the public API of the
+//! workspace crates:
+//!
+//! - [`model`] — entities, events, values, timestamps (paper Sec. 3.1).
+//! - [`storage`] — time/space-partitioned event store (paper Sec. 3.2).
+//! - [`lang`] — the AIQL language: lexer, parser, semantic analysis
+//!   (paper Sec. 4).
+//! - [`engine`] — the optimized query execution engine: relationship-based
+//!   scheduling, parallel partitions, anomaly windows (paper Sec. 5).
+//! - [`rdb`] / [`graphdb`] — the relational and property-graph substrates
+//!   standing in for PostgreSQL/Greenplum and Neo4j.
+//! - [`baselines`] — the comparison systems of the paper's evaluation.
+//! - [`translate`] — AIQL → SQL / Cypher / SPL translators and conciseness
+//!   metrics (paper Sec. 6.4).
+//! - [`datagen`] — the deterministic enterprise workload simulator and
+//!   attack-scenario catalog used in place of the paper's 150-host
+//!   deployment.
+//! - [`bench`] — the experiment harness reproducing every evaluation table
+//!   and figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use aiql::prelude::*;
+//!
+//! // Generate a small monitored enterprise and load it.
+//! let data = aiql::datagen::EnterpriseSim::builder()
+//!     .hosts(2)
+//!     .days(1)
+//!     .seed(7)
+//!     .build()
+//!     .generate();
+//! let store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+//!
+//! // Ask an AIQL multievent question.
+//! let query = r#"
+//!     proc p1 read file f1[".bash_history"] as evt1
+//!     return p1, f1
+//! "#;
+//! let engine = Engine::new(&store);
+//! let result = engine.run(query).unwrap();
+//! println!("{result}");
+//! ```
+
+pub use aiql_baselines as baselines;
+pub use aiql_bench as bench;
+pub use aiql_core as lang;
+pub use aiql_datagen as datagen;
+pub use aiql_engine as engine;
+pub use aiql_graphdb as graphdb;
+pub use aiql_model as model;
+pub use aiql_rdb as rdb;
+pub use aiql_storage as storage;
+pub use aiql_translate as translate;
+
+/// Commonly used types, for glob import in examples and tests.
+pub mod prelude {
+    pub use aiql_core::{parse_query, QueryContext};
+    pub use aiql_engine::{Engine, EngineConfig};
+    pub use aiql_model::{
+        AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp, Value,
+    };
+    pub use aiql_storage::{EventStore, StoreConfig};
+}

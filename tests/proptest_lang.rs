@@ -1,0 +1,119 @@
+//! Property tests for the AIQL language front end: randomly composed
+//! queries must round-trip through the pretty-printer, and compilation must
+//! be deterministic.
+
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a reserved word", |s| {
+        !matches!(
+            s.as_str(),
+            "proc" | "file" | "ip" | "as" | "with" | "return" | "count" | "distinct"
+                | "group" | "by" | "having" | "sort" | "top" | "before" | "after"
+                | "within" | "at" | "from" | "to" | "window" | "step" | "in" | "not"
+                | "forward" | "backward" | "read" | "write" | "execute" | "start"
+                | "end" | "rename" | "delete" | "connect" | "accept" | "asc" | "desc"
+        )
+    })
+}
+
+fn op() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["read", "write", "start", "execute", "delete", "connect"])
+}
+
+fn string_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_./-]{1,12}".prop_map(|s| s)
+}
+
+/// One random event pattern plus the variables it binds.
+fn pattern(idx: usize) -> impl Strategy<Value = (String, String, String, String)> {
+    (
+        ident(),
+        op(),
+        prop::sample::select(vec!["file", "proc", "ip"]),
+        ident(),
+        prop::option::of(string_value()),
+        any::<bool>(),
+    )
+        .prop_map(move |(subj, op, okind, obj, cstr, wild)| {
+            // Role prefixes keep subject/object variables distinct even when
+            // the random identifiers collide.
+            let subj = format!("s_{subj}{idx}");
+            let obj = format!("o_{obj}{idx}");
+            let evt = format!("e{idx}");
+            let cstr_txt = match cstr {
+                Some(v) if wild => format!("[\"%{v}%\"]"),
+                Some(v) => format!("[\"{v}\"]"),
+                None => String::new(),
+            };
+            (
+                format!("proc {subj} {op} {okind} {obj}{cstr_txt} as {evt}"),
+                subj,
+                obj,
+                evt,
+            )
+        })
+}
+
+fn query() -> impl Strategy<Value = String> {
+    (pattern(0), pattern(1), any::<bool>(), any::<bool>(), 1usize..20)
+        .prop_map(|((p0, s0, _o0, e0), (p1, _s1, o1, e1), distinct, sorted, top)| {
+            let mut q = String::new();
+            q.push_str("agentid = 1\n(at \"01/01/2017\")\n");
+            q.push_str(&p0);
+            q.push('\n');
+            q.push_str(&p1);
+            q.push('\n');
+            q.push_str(&format!("with {e0} before {e1}\n"));
+            q.push_str("return ");
+            if distinct {
+                q.push_str("distinct ");
+            }
+            q.push_str(&format!("{s0}, {o1}"));
+            if sorted {
+                q.push_str(&format!("\nsort by {s0}"));
+            }
+            q.push_str(&format!("\ntop {top}"));
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_fixpoint(src in query()) {
+        let ast1 = aiql::lang::parse_query(&src).expect("generated query parses");
+        let printed1 = aiql::lang::print::to_source(&ast1);
+        let ast2 = aiql::lang::parse_query(&printed1)
+            .unwrap_or_else(|e| panic!("printed form must parse: {e}\n{printed1}"));
+        let printed2 = aiql::lang::print::to_source(&ast2);
+        prop_assert_eq!(printed1, printed2);
+    }
+
+    #[test]
+    fn compile_is_deterministic(src in query()) {
+        let a = aiql::lang::compile(&src).expect("compiles");
+        let b = aiql::lang::compile(&src).expect("compiles");
+        prop_assert_eq!(a.patterns.len(), b.patterns.len());
+        prop_assert_eq!(a.relations.len(), b.relations.len());
+        prop_assert_eq!(format!("{:?}", a.ret.items), format!("{:?}", b.ret.items));
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = aiql::lang::lex::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = aiql::lang::parse_query(&src);
+    }
+
+    #[test]
+    fn conciseness_metrics_are_total(src in "[ -~\\n]{0,300}") {
+        let c = aiql::translate::metrics::conciseness(&src);
+        prop_assert!(c.characters <= src.len());
+        prop_assert!(c.words <= src.len());
+    }
+}

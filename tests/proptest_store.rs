@@ -1,0 +1,125 @@
+//! Property tests for the storage substrates: index scans must equal
+//! sequential scans, partition pruning must lose nothing, and the SQL
+//! pipeline must agree with hand-rolled filtering.
+
+use aiql::rdb::{CmpOp, ColumnType, Database, Expr, Prune, Schema, Value};
+use proptest::prelude::*;
+
+fn rows() -> impl Strategy<Value = Vec<(i64, i64, String)>> {
+    prop::collection::vec(
+        (0i64..50, 0i64..4, "[a-d]{1,3}"),
+        1..80,
+    )
+}
+
+fn build_dbs(rows: &[(i64, i64, String)]) -> (Database, Database) {
+    let schema = || {
+        Schema::new(&[
+            ("val", ColumnType::Int),
+            ("agentid", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("start_time", ColumnType::Int),
+        ])
+    };
+    let mut plain = Database::new();
+    plain.create_table("t", schema()).unwrap();
+    let mut indexed = Database::new();
+    indexed.create_table("t", schema()).unwrap();
+    indexed.create_index("t", "val").unwrap();
+    indexed.create_index("t", "name").unwrap();
+    for (i, (val, agent, name)) in rows.iter().enumerate() {
+        let row = vec![
+            Value::Int(*val),
+            Value::Int(*agent),
+            Value::str(name.clone()),
+            Value::Int(i as i64 * 10_000_000_000_000), // Spread over days.
+        ];
+        plain.insert("t", row.clone()).unwrap();
+        indexed.insert("t", row).unwrap();
+    }
+    (plain, indexed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_scan_equals_seq_scan(data in rows(), needle in 0i64..50, name in "[a-d]{1,3}") {
+        let (plain, indexed) = build_dbs(&data);
+        for sql in [
+            format!("SELECT t.val, t.name FROM t WHERE t.val = {needle} ORDER BY t.name"),
+            format!("SELECT t.val, t.name FROM t WHERE t.val >= {needle} ORDER BY t.name, t.val"),
+            format!("SELECT t.val FROM t WHERE t.name = '{name}' ORDER BY t.val"),
+            format!("SELECT t.val FROM t WHERE t.name LIKE '%{name}%' AND t.val < {needle} ORDER BY t.val"),
+        ] {
+            let a = plain.query(&sql).unwrap();
+            let b = indexed.query(&sql).unwrap();
+            prop_assert_eq!(a.rows, b.rows, "sql: {}", sql);
+        }
+    }
+
+    #[test]
+    fn partition_pruning_is_lossless(data in rows(), agent in 0i64..4) {
+        use aiql::rdb::{PartitionSpec, PartitionedTable};
+        let schema = Schema::new(&[
+            ("val", ColumnType::Int),
+            ("agentid", ColumnType::Int),
+            ("start_time", ColumnType::Int),
+        ]);
+        let mut pt = PartitionedTable::new(schema, PartitionSpec::new("start_time", "agentid", 2)).unwrap();
+        for (i, (val, ag, _)) in data.iter().enumerate() {
+            pt.insert(vec![
+                Value::Int(*val),
+                Value::Int(*ag),
+                Value::Int(i as i64 * 30_000_000_000_000),
+            ]).unwrap();
+        }
+        let conjuncts = vec![Expr::cmp_lit(1, CmpOp::Eq, agent)];
+        // Full scan + filter.
+        let mut s1 = 0;
+        let mut all = pt.select(&conjuncts, &Prune::all(), &mut s1);
+        // Pruned scan.
+        let mut s2 = 0;
+        let prune = Prune { day_lo: None, day_hi: None, agents: Some(vec![agent]) };
+        let mut pruned = pt.select(&conjuncts, &prune, &mut s2);
+        all.sort();
+        pruned.sort();
+        prop_assert_eq!(all, pruned);
+        prop_assert!(s2 <= s1, "pruning must not scan more");
+    }
+
+    #[test]
+    fn sql_aggregation_matches_manual(data in rows()) {
+        let (plain, _) = build_dbs(&data);
+        let rs = plain
+            .query("SELECT t.agentid, COUNT(*) AS n FROM t GROUP BY t.agentid ORDER BY t.agentid")
+            .unwrap();
+        let mut manual = std::collections::BTreeMap::new();
+        for (_, agent, _) in &data {
+            *manual.entry(*agent).or_insert(0i64) += 1;
+        }
+        let got: Vec<(i64, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        let want: Vec<(i64, i64)> = manual.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn like_match_agrees_with_contains(hay in "[a-z]{0,12}", needle in "[a-z]{1,4}") {
+        let v = Value::str(hay.clone());
+        prop_assert_eq!(v.like(&format!("%{needle}%")), hay.contains(&needle));
+        prop_assert_eq!(v.like(&format!("{needle}%")), hay.starts_with(&needle));
+        prop_assert_eq!(v.like(&format!("%{needle}")), hay.ends_with(&needle));
+    }
+
+    #[test]
+    fn timestamp_parse_display_roundtrip(secs in 0i64..4_102_444_800) {
+        use aiql_model::Timestamp;
+        let t = Timestamp::from_secs(secs);
+        let shown = t.to_string();
+        prop_assert_eq!(Timestamp::parse(&shown), Some(t), "{}", shown);
+    }
+}
