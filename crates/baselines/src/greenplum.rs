@@ -41,11 +41,9 @@ mod tests {
             .build()
             .generate();
         let seg = SegmentedStore::ingest(&data, 5, false).unwrap();
-        let single = aiql_storage::EventStore::ingest(
-            &data,
-            aiql_storage::StoreConfig::monolithic(),
-        )
-        .unwrap();
+        let single =
+            aiql_storage::EventStore::ingest(&data, aiql_storage::StoreConfig::monolithic())
+                .unwrap();
         let ctx = compile(
             r#"
             (at "01/02/2017")

@@ -102,9 +102,7 @@ fn pred_of(c: &CstrNode) -> Result<PropPred, BaselineError> {
                 inner
             }
         }
-        CstrNode::And(cs) => {
-            PropPred::And(cs.iter().map(pred_of).collect::<Result<_, _>>()?)
-        }
+        CstrNode::And(cs) => PropPred::And(cs.iter().map(pred_of).collect::<Result<_, _>>()?),
         CstrNode::Or(cs) => PropPred::Or(cs.iter().map(pred_of).collect::<Result<_, _>>()?),
         CstrNode::Not(inner) => PropPred::Not(Box::new(pred_of(inner)?)),
     })
@@ -135,8 +133,7 @@ pub fn to_pattern(ctx: &QueryContext) -> Result<PatternQuery, BaselineError> {
         let n = &names[i];
         let subj_preds: Vec<PropPred> =
             p.subj_cstr.iter().map(pred_of).collect::<Result<_, _>>()?;
-        let obj_preds: Vec<PropPred> =
-            p.obj_cstr.iter().map(pred_of).collect::<Result<_, _>>()?;
+        let obj_preds: Vec<PropPred> = p.obj_cstr.iter().map(pred_of).collect::<Result<_, _>>()?;
         let mut edge_preds: Vec<PropPred> =
             p.evt_cstr.iter().map(pred_of).collect::<Result<_, _>>()?;
         if let Some(agents) = &p.agents {
@@ -176,7 +173,12 @@ pub fn to_pattern(ctx: &QueryContext) -> Result<PatternQuery, BaselineError> {
                     right_prop: prop_name(&right.attr)?,
                 });
             }
-            RelationCtx::Temporal { left, kind, range_ns, right } => {
+            RelationCtx::Temporal {
+                left,
+                kind,
+                range_ns,
+                right,
+            } => {
                 q.temporal.push(TempConstraint {
                     left: names[*left].event.clone(),
                     before: matches!(kind, TempKind::Before),
@@ -282,11 +284,9 @@ mod tests {
     #[test]
     fn matches_postgres_baseline() {
         let (g, data) = graph_and_data();
-        let store = aiql_storage::EventStore::ingest(
-            &data,
-            aiql_storage::StoreConfig::monolithic(),
-        )
-        .unwrap();
+        let store =
+            aiql_storage::EventStore::ingest(&data, aiql_storage::StoreConfig::monolithic())
+                .unwrap();
         let ctx = compile(
             r#"
             (at "01/02/2017")

@@ -58,7 +58,10 @@ mod tests {
         .unwrap();
         let (rows, stats) = run(&store, &ctx, None).unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0][3], aiql_rdb::Value::str("C:\\MSSQL\\data\\BACKUP1.DMP"));
+        assert_eq!(
+            rows[0][3],
+            aiql_rdb::Value::str("C:\\MSSQL\\data\\BACKUP1.DMP")
+        );
         assert!(stats.rows_scanned > 0);
     }
 

@@ -27,7 +27,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function("constraint-count", |b| {
             let engine = Engine::with_config(
                 &store,
-                EngineConfig { scorer: ScoreModel::ConstraintCount, ..EngineConfig::aiql() },
+                EngineConfig {
+                    scorer: ScoreModel::ConstraintCount,
+                    ..EngineConfig::aiql()
+                },
             );
             b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
         });
@@ -47,7 +50,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function("sequential", |b| {
             let engine = Engine::with_config(
                 &store,
-                EngineConfig { parallel: false, ..EngineConfig::aiql() },
+                EngineConfig {
+                    parallel: false,
+                    ..EngineConfig::aiql()
+                },
             );
             b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
         });

@@ -1,8 +1,8 @@
 //! Criterion bench for Table 3 / Fig. 5: AIQL vs the PostgreSQL big join vs
 //! the Neo4j traversal on representative case-study queries.
 
-use aiql_bench::harness::{self, Scale, Systems};
 use aiql_bench::catalog;
+use aiql_bench::harness::{self, Scale, Systems};
 use aiql_engine::{Engine, EngineConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -26,8 +26,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function("postgres", |b| {
             b.iter(|| {
                 black_box(
-                    aiql_baselines::postgres::run(&systems.monolithic, &ctx, None)
-                        .expect("runs"),
+                    aiql_baselines::postgres::run(&systems.monolithic, &ctx, None).expect("runs"),
                 )
             })
         });

@@ -19,11 +19,15 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                let v = it.next().unwrap_or_else(|| usage("missing value for --scale"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --scale"));
                 opts.scale = Scale::parse(v).unwrap_or_else(|| usage("bad --scale"));
             }
             "--budget" => {
-                let v = it.next().unwrap_or_else(|| usage("missing value for --budget"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --budget"));
                 let secs: u64 = v.parse().unwrap_or_else(|_| usage("bad --budget"));
                 opts.budget = Duration::from_secs(secs.max(1));
             }
@@ -52,7 +56,10 @@ fn main() {
         }
         other => usage(&format!("unknown experiment {other}")),
     }
-    eprintln!("\n[repro finished in {:.1}s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[repro finished in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn usage(msg: &str) -> ! {

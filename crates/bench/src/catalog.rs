@@ -35,7 +35,12 @@ pub struct CatalogQuery {
 pub const DAY: &str = r#"(at "01/02/2017")"#;
 
 fn q(id: &'static str, group: &'static str, kind: QueryKind, source: &'static str) -> CatalogQuery {
-    CatalogQuery { id, group, kind, source }
+    CatalogQuery {
+        id,
+        group,
+        kind,
+        source,
+    }
 }
 
 /// The APT case-study queries (paper Table 3 / Fig. 5).
@@ -43,47 +48,76 @@ pub fn case_study() -> Vec<CatalogQuery> {
     use QueryKind::*;
     vec![
         // ---- c1: initial compromise (1 query, 3 patterns) ----------------
-        q("c1-1", "c1", Multievent, r#"
+        q(
+            "c1-1",
+            "c1",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%outlook.exe"] write file f1["%.xls"] as e1
             proc p1 start proc p2["%excel.exe"] as e2
             proc p2 read file f1 as e3
             with e1 before e2, e2 before e3
             return p1, f1, p2
-        "#),
+        "#,
+        ),
         // ---- c2: malware infection (8 queries, 27 patterns) --------------
-        q("c2-1", "c2", Multievent, r#"
+        q(
+            "c2-1",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%excel.exe"] start proc p2 as e1
             proc p2 start proc p3 as e2
             with e1 before e2
             return p1, p2, p3
-        "#),
-        q("c2-2", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-2",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%excel.exe"] start proc p2["%cmd.exe"] as e1
             proc p2 start proc p3 as e2
             proc p3 write file f1 as e3
             with e1 before e2, e2 before e3
             return p1, p2, p3, f1
-        "#),
-        q("c2-3", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-3",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%powershell.exe"] read ip i1 as e1
             proc p1 write file f1 as e2
             proc p1 start proc p2 as e3
             with e1 before e2, e2 before e3
             return p1, i1, f1, p2
-        "#),
-        q("c2-4", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-4",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1 write file f1["%.exe"] as e1
             proc p2["%powershell.exe"] start proc p3 as e2
             proc p3 connect ip i1 as e3
             with e1 before e2, e2 before e3
             return p1, f1, p3, i1
-        "#),
-        q("c2-5", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-5",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%excel.exe"] start proc p2 as e1
             proc p2 start proc p3 as e2
@@ -91,8 +125,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 write file f1["%.exe"] as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p2, p3, i1, f1
-        "#),
-        q("c2-6", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-6",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1 write file f1["%mal.exe"] as e1
             proc p1 start proc p2["%mal.exe"] as e2
@@ -100,10 +139,15 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p2 write file f2 as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p1, f1, p2, i1, f2
-        "#),
+        "#,
+        ),
         // Broad exploration: two weakly-constrained patterns make this (and
         // c2-8) the baselines' worst case, as in the paper.
-        q("c2-7", "c2", Multievent, r#"
+        q(
+            "c2-7",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1 write file f1 as e1
             proc p2 start proc p3 as e2
@@ -111,8 +155,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 write file f2 as e4
             with e1 before e2, e2 before e3, e3 before e4
             return distinct p3, i1, f2
-        "#),
-        q("c2-8", "c2", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c2-8",
+            "c2",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1 start proc p2 as e1
             proc p2 start proc p3 as e2
@@ -120,32 +169,52 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 write file f1["%.exe"] as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p1, p2, p3, i1, f1
-        "#),
+        "#,
+        ),
         // ---- c3: privilege escalation (2 queries, 4 patterns) ------------
-        q("c3-1", "c3", Multievent, r#"
+        q(
+            "c3-1",
+            "c3",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%mal.exe"] start proc p2["%gsecdump%"] as e1
             proc p2 read file f1["%SAM"] as e2
             with e1 before e2
             return p1, p2, f1
-        "#),
-        q("c3-2", "c3", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c3-2",
+            "c3",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 1
             proc p1["%gsecdump%"] write file f1["%creds%"] as e1
             proc p2["%mal.exe"] read file f1 as e2
             with e1 before e2
             return p1, f1, p2
-        "#),
+        "#,
+        ),
         // ---- c4: database-server penetration (8 queries, 35 patterns) ----
-        q("c4-1", "c4", Multievent, r#"
+        q(
+            "c4-1",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%sqlservr.exe"] accept ip i1 as e1
             proc p1 start proc p2 as e2
             proc p2 write file f1 as e3
             with e1 before e2, e2 before e3
             return p1, i1, p2, f1
-        "#),
-        q("c4-2", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-2",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%cmd.exe"] write file f1["%.vbs"] as e1
             proc p1 start proc p2["%wscript%"] as e2
@@ -153,8 +222,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p2 write file f2 as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p1, f1, p2, f2
-        "#),
-        q("c4-3", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-3",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%wscript%"] write file f1["%.exe"] as e1
             proc p1 start proc p2 as e2
@@ -162,8 +236,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p2 read file f2 as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p1, f1, p2, i1
-        "#),
-        q("c4-4", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-4",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%sqlservr.exe"] start proc p2["%cmd.exe"] as e1
             proc p2 start proc p3["%wscript%"] as e2
@@ -171,8 +250,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p4 connect ip i1[dstip = "192.168.66.129"] as e4
             with e1 before e2, e2 before e3, e3 before e4
             return p1, p2, p3, p4, i1
-        "#),
-        q("c4-5", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-5",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 accept ip i1 as e1
             proc p1 start proc p2 as e2
@@ -181,8 +265,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 write file f2["%.exe"] as e5
             with e1 before e2, e2 before e3, e3 before e4, e4 before e5
             return p1, p2, f1, p3, f2
-        "#),
-        q("c4-6", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-6",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%cmd.exe"] write file f1 as e1
             proc p2["%wscript%"] read file f1 as e2
@@ -191,9 +280,14 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 connect ip i1 as e5
             with e1 before e2, e2 before e3, e3 before e4, e4 before e5
             return p1, f1, p2, f2, p3
-        "#),
+        "#,
+        ),
         // Broad: unselective leading patterns (the >1 h baseline cases).
-        q("c4-7", "c4", Multievent, r#"
+        q(
+            "c4-7",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 start proc p2 as e1
             proc p2 write file f1 as e2
@@ -202,8 +296,13 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 start proc p4["%sbblv%"] as e5
             with e1 before e2, e2 before e3, e3 before e4, e4 before e5
             return distinct p1, p2, f1, p3, p4
-        "#),
-        q("c4-8", "c4", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c4-8",
+            "c4",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 accept ip i1 as e1
             proc p1 start proc p2 as e2
@@ -212,53 +311,88 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p3 start proc p4["%sbblv.exe"] as e5
             with e1 before e2, e2 before e3, e3 before e4, e4 before e5
             return p1, p2, p3, f1, p4
-        "#),
+        "#,
+        ),
         // ---- c5: exfiltration (7 queries, 18 patterns) --------------------
-        q("c5-1", "c5", Multievent, r#"
+        q(
+            "c5-1",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 read || write ip i1[dstip = "192.168.66.129"] as e1
             return distinct p1, i1
-        "#),
-        q("c5-2", "c5", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c5-2",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%sbblv.exe"] read file f1 as e1
             proc p1 write ip i1[dstip = "192.168.66.129"] as e2
             with e1 before e2
             return distinct p1, f1, i1
-        "#),
-        q("c5-3", "c5", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c5-3",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%sqlservr.exe"] write file f1["%backup1.dmp"] as e1
             proc p2 read file f1 as e2
             with e1 before e2
             return p1, f1, p2
-        "#),
-        q("c5-4", "c5", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c5-4",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
             proc p3["%sqlservr.exe"] write file f1["%.dmp"] as e2
             proc p4 read file f1 as e3
             with e1 before e2, e2 before e3
             return p1, p2, p3, f1, p4
-        "#),
+        "#,
+        ),
         // Broad: which processes read any file then sent bytes out?
-        q("c5-5", "c5", Multievent, r#"
+        q(
+            "c5-5",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 read file f1 as e1
             proc p1 write ip i1 as e2
             proc p2 write file f1 as e3
             with e3 before e1, e1 before e2
             return distinct p1, f1, i1
-        "#),
-        q("c5-6", "c5", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c5-6",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1 start proc p2["%osql.exe"] as e1
             proc p3["%sbblv.exe"] read file f1["%.dmp"] as e2
             proc p3 write ip i1 as e3
             with e1 before e2, e2 before e3
             return p1, p2, f1, i1
-        "#),
-        q("c5-7", "c5", Multievent, r#"
+        "#,
+        ),
+        q(
+            "c5-7",
+            "c5",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 9
             proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
             proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
@@ -266,18 +400,24 @@ pub fn case_study() -> Vec<CatalogQuery> {
             proc p4 read || write ip i1[dstip = "192.168.66.129"] as evt4
             with evt1 before evt2, evt2 before evt3, evt3 before evt4
             return distinct p1, p2, p3, f1, p4, i1
-        "#),
+        "#,
+        ),
         // The anomaly query that started the c5 investigation (paper
         // Query 5; excluded from the SQL/Cypher comparison, as in the
         // paper).
-        q("c5-0", "c5", Anomaly, r#"
+        q(
+            "c5-0",
+            "c5",
+            Anomaly,
+            r#"
             (at "01/02/2017") agentid = 9
             window = 1 min, step = 10 sec
             proc p write ip i[dstip = "192.168.66.129"] as evt
             return p, avg(evt.amount) as amt
             group by p
             having amt > 2 * (amt + amt[1] + amt[2]) / 3
-        "#),
+        "#,
+        ),
     ]
 }
 
@@ -286,157 +426,254 @@ pub fn behaviours() -> Vec<CatalogQuery> {
     use QueryKind::*;
     vec![
         // ---- multi-step attack behaviours (second APT) --------------------
-        q("a1", "apt", Multievent, r#"
+        q(
+            "a1",
+            "apt",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 4
             proc p1["%firefox.exe"] read ip i1 as e1
             proc p1 write file f1["%.exe"] as e2
             proc p1 start proc p2 as e3
             with e1 before e2, e2 before e3
             return p1, i1, f1, p2
-        "#),
+        "#,
+        ),
         // Broad: weakly-constrained write→start chain (a baseline >1 h case).
-        q("a2", "apt", Multievent, r#"
+        q(
+            "a2",
+            "apt",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 4
             proc p1 write file f1 as e1
             proc p1 write file f2 as e2
             proc p1 start proc p2["%updd.exe"] as e3
             with e1 before e2, e2 before e3
             return distinct p1, f1, f2, p2
-        "#),
-        q("a3", "apt", Multievent, r#"
+        "#,
+        ),
+        q(
+            "a3",
+            "apt",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 4
             proc p1["%updd.exe"] read file f1["%config%"] as e1
             proc p1 connect ip i1[dstport = 22] as e2
             with e1 before e2
             return distinct p1, f1, i1
-        "#),
+        "#,
+        ),
         // Broad + cross-host: the lateral-movement chain (a baseline >1 h
         // case: the middle patterns are unselective and span hosts).
-        q("a4", "apt", Multievent, r#"
+        q(
+            "a4",
+            "apt",
+            Multievent,
+            r#"
             (at "01/02/2017")
             proc p1 connect proc p2 as e1
             proc p2 start proc p3 as e2
             proc p3 read file f1["%id_rsa"] as e3
             with e1 before e2, e2 before e3
             return p1, p2, p3, f1
-        "#),
-        q("a5", "apt", Multievent, r#"
+        "#,
+        ),
+        q(
+            "a5",
+            "apt",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 5
             proc p1 write file f1["%.tgz"] as e1
             proc p2 read file f1 as e2
             proc p2 write ip i1 as e3
             with e1 before e2, e2 before e3
             return p1, f1, p2, i1
-        "#),
+        "#,
+        ),
         // ---- dependency tracking behaviours -------------------------------
-        q("d1", "dep", Dependency, r#"
+        q(
+            "d1",
+            "dep",
+            Dependency,
+            r#"
             (at "01/02/2017") agentid = 1
             backward: file f1["%chrome_update.exe"] <-[write] proc p1 <-[start] proc p2
             return f1, p1, p2
-        "#),
+        "#,
+        ),
         // Broad backward walk: unconstrained middle entities (baseline >1 h).
-        q("d2", "dep", Dependency, r#"
+        q(
+            "d2",
+            "dep",
+            Dependency,
+            r#"
             (at "01/02/2017") agentid = 1
             backward: file f1["%java_update.exe"] <-[write] proc p1 <-[start] proc p2 <-[start] proc p3
             return f1, p1, p2, p3
-        "#),
-        q("d3", "dep", Dependency, r#"
+        "#,
+        ),
+        q(
+            "d3",
+            "dep",
+            Dependency,
+            r#"
             (at "01/02/2017")
             forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
             <-[read] proc p2["%apache%"]
             ->[connect] proc p3[agentid = 3]
             ->[write] file f2["%info_stealer%"]
             return f1, p1, p2, p3, f2
-        "#),
+        "#,
+        ),
         // ---- real-world malware behaviours ---------------------------------
-        q("v1", "malware", Multievent, r#"
+        q(
+            "v1",
+            "malware",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 6
             proc p1["%sysbot.exe"] write file f1["%sysbot.job"] as e1
             proc p1 connect ip i1[dstport = 6667] as e2
             with e1 before e2
             return p1, f1, i1
-        "#),
-        q("v2", "malware", Multievent, r#"
+        "#,
+        ),
+        q(
+            "v2",
+            "malware",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 6
             proc p1["%hooker.exe"] write file f1["%.dll"] as e1
             proc p1 execute file f1 as e2
             proc p1 write file f2["%klog%"] as e3
             with e1 before e2, e2 before e3
             return p1, f1, f2
-        "#),
-        q("v3", "malware", Multievent, r#"
+        "#,
+        ),
+        q(
+            "v3",
+            "malware",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 7
             proc p1 write file f1["%autorun.inf"] as e1
             proc p1 write file f2["%.exe"] as e2
             with e1 before e2
             return distinct p1, f1, f2
-        "#),
-        q("v4", "malware", Multievent, r#"
+        "#,
+        ),
+        q(
+            "v4",
+            "malware",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 7
             proc p1["%sysbot.exe"] connect ip i1["5.39.99.2"] as e1
             proc p1 start proc p2["%cmd.exe"] as e2
             with e1 before e2
             return p1, i1, p2
-        "#),
-        q("v5", "malware", Multievent, r#"
+        "#,
+        ),
+        q(
+            "v5",
+            "malware",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 7
             proc p1["%hooker.exe"] write file f1["%klog%"] as e1
             proc p1 write ip i1["91.121.1.1"] as e2
             with e1 before e2
             return distinct p1, f1, i1
-        "#),
+        "#,
+        ),
         // ---- abnormal system behaviours ------------------------------------
-        q("s1", "abnormal", Multievent, r#"
+        q(
+            "s1",
+            "abnormal",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 8
             proc p2 start proc p1 as evt1
             proc p3 read file["%.viminfo" || "%.bash_history"] as evt2
             with p1 = p3, evt1 before evt2
             return p2, p1
             sort by p2, p1
-        "#),
-        q("s2", "abnormal", Multievent, r#"
+        "#,
+        ),
+        q(
+            "s2",
+            "abnormal",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 8
             proc p1["%apache%"] start proc p2["%sh"] as e1
             proc p2 read file f1["/etc/shadow"] as e2
             with e1 before e2
             return p1, p2, f1
-        "#),
-        q("s3", "abnormal", Multievent, r#"
+        "#,
+        ),
+        q(
+            "s3",
+            "abnormal",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 8
             proc p connect ip i
             return p, count(i) as n
             group by p
             having n > 100
-        "#),
-        q("s4", "abnormal", Multievent, r#"
+        "#,
+        ),
+        q(
+            "s4",
+            "abnormal",
+            Multievent,
+            r#"
             (at "01/02/2017") agentid = 8
             proc p delete file f["/var/log%"]
             return distinct p, f
-        "#),
+        "#,
+        ),
         // Sliding-window behaviours: AIQL-only, as in the paper (no SQL /
         // Cypher / SPL equivalents).
-        q("s5", "abnormal", Anomaly, r#"
+        q(
+            "s5",
+            "abnormal",
+            Anomaly,
+            r#"
             (at "01/02/2017") agentid = 8
             window = 1 min, step = 10 sec
             proc p write ip i[dstip = "198.51.100.9"] as evt
             return p, avg(evt.amount) as amt
             group by p
             having amt > 2 * (amt + amt[1] + amt[2]) / 3
-        "#),
-        q("s6", "abnormal", Anomaly, r#"
+        "#,
+        ),
+        q(
+            "s6",
+            "abnormal",
+            Anomaly,
+            r#"
             (at "01/02/2017") agentid = 8
             window = 1 min, step = 10 sec
             proc p read file f
             return p, count(distinct f) as freq
             group by p
             having freq > 2 * (freq + freq[1] + freq[2]) / 3 && freq > 50
-        "#),
+        "#,
+        ),
     ]
 }
 
 /// Pattern-count bookkeeping for Table 3.
 pub fn pattern_count(src: &str) -> usize {
-    aiql_core::compile(src).map(|c| c.patterns.len()).unwrap_or(0)
+    aiql_core::compile(src)
+        .map(|c| c.patterns.len())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -466,7 +703,10 @@ mod tests {
                 .iter()
                 .filter(|q| q.group == step && q.kind == QueryKind::Multievent)
                 .collect();
-            (group.len(), group.iter().map(|q| pattern_count(q.source)).sum())
+            (
+                group.len(),
+                group.iter().map(|q| pattern_count(q.source)).sum(),
+            )
         };
         assert_eq!(count("c1"), (1, 3));
         assert_eq!(count("c2"), (8, 27));

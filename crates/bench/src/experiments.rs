@@ -51,14 +51,24 @@ pub fn table3_fig5(opts: Options) -> String {
         data.events.len(),
         opts.budget.as_secs()
     ));
-    let mut t = TextTable::new(&["step", "#queries", "#patterns", "AIQL (s)", "PostgreSQL (s)", "Neo4j (s)"]);
+    let mut t = TextTable::new(&[
+        "step",
+        "#queries",
+        "#patterns",
+        "AIQL (s)",
+        "PostgreSQL (s)",
+        "Neo4j (s)",
+    ]);
     let mut all = (0usize, 0usize, Vec::new(), Vec::new(), Vec::new());
     for step in ["c1", "c2", "c3", "c4", "c5"] {
         let rows: Vec<_> = per_query
             .iter()
             .filter(|(q, ..)| q.group == step && q.kind == QueryKind::Multievent)
             .collect();
-        let patterns: usize = rows.iter().map(|(q, ..)| catalog::pattern_count(q.source)).sum();
+        let patterns: usize = rows
+            .iter()
+            .map(|(q, ..)| catalog::pattern_count(q.source))
+            .sum();
         let aiql: Vec<RunResult> = rows.iter().map(|(_, a, ..)| a.clone()).collect();
         let pg: Vec<RunResult> = rows.iter().map(|(_, _, p, _)| p.clone()).collect();
         let n4: Vec<RunResult> = rows.iter().map(|(_, _, _, n)| n.clone()).collect();
@@ -105,11 +115,19 @@ pub fn table3_fig5(opts: Options) -> String {
         if q.kind != QueryKind::Multievent {
             continue;
         }
-        t.row(vec![q.id.to_string(), log10_cell(a), log10_cell(p), log10_cell(n)]);
+        t.row(vec![
+            q.id.to_string(),
+            log10_cell(a),
+            log10_cell(p),
+            log10_cell(n),
+        ]);
     }
     out.push_str(&t.render());
     // The anomaly query runs on AIQL only (as in the paper).
-    if let Some((q, a, ..)) = per_query.iter().find(|(q, ..)| q.kind == QueryKind::Anomaly) {
+    if let Some((q, a, ..)) = per_query
+        .iter()
+        .find(|(q, ..)| q.kind == QueryKind::Anomaly)
+    {
         out.push_str(&format!(
             "\nAnomaly query {} (AIQL only): {}\n",
             q.id,
@@ -134,7 +152,8 @@ pub fn fig6(opts: Options) -> String {
         data.events.len(),
         opts.budget.as_secs()
     );
-    let mut groups: Vec<(&str, Vec<(String, RunResult, RunResult, RunResult)>)> = Vec::new();
+    type SchedulingRow = (String, RunResult, RunResult, RunResult);
+    let mut groups: Vec<(&str, Vec<SchedulingRow>)> = Vec::new();
     for group in ["apt", "dep", "malware", "abnormal"] {
         let mut rows = Vec::new();
         for q in queries.iter().filter(|q| q.group == group) {
@@ -207,17 +226,19 @@ pub fn fig7(opts: Options) -> String {
 /// Fig. 8 + Table 5: conciseness of the 19 behaviours across languages.
 pub fn fig8() -> String {
     let queries = catalog::behaviours();
-    let mut out = String::from(
-        "Fig. 8: conciseness per behaviour (constraints / words / characters)\n\n",
-    );
+    let mut out =
+        String::from("Fig. 8: conciseness per behaviour (constraints / words / characters)\n\n");
     let mut t = TextTable::new(&[
-        "query", "AIQL c/w/ch", "SQL c/w/ch", "Cypher c/w/ch", "SPL c/w/ch",
+        "query",
+        "AIQL c/w/ch",
+        "SQL c/w/ch",
+        "Cypher c/w/ch",
+        "SPL c/w/ch",
     ]);
     let mut sums = [[0usize; 3]; 4];
     let mut counts = [0usize; 4];
-    let fmt = |c: &aiql_translate::Conciseness| {
-        format!("{}/{}/{}", c.constraints, c.words, c.characters)
-    };
+    let fmt =
+        |c: &aiql_translate::Conciseness| format!("{}/{}/{}", c.constraints, c.words, c.characters);
     for q in &queries {
         let cmp = compare(q.source).expect("catalog compiles");
         // Measure AIQL on its canonical (comment-free) source.
@@ -243,7 +264,9 @@ pub fn fig8() -> String {
     }
     out.push_str(&t.render());
 
-    out.push_str("\nTable 5: average conciseness blow-up vs AIQL (constraints / words / characters)\n\n");
+    out.push_str(
+        "\nTable 5: average conciseness blow-up vs AIQL (constraints / words / characters)\n\n",
+    );
     // Compare each language against AIQL over the queries that language
     // supports (s5/s6 are AIQL-only, as in the paper).
     let mut t = TextTable::new(&["metric", "SQL/AIQL", "Cypher/AIQL", "SPL/AIQL"]);
@@ -259,7 +282,10 @@ pub fn fig8() -> String {
             }
         }
     }
-    for (mi, name) in ["# of constraints", "# of words", "# of characters"].iter().enumerate() {
+    for (mi, name) in ["# of constraints", "# of words", "# of characters"]
+        .iter()
+        .enumerate()
+    {
         let ratio = |k: usize| -> String {
             if aiql_supported[k][mi] == 0 {
                 "-".into()

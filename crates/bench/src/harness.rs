@@ -121,7 +121,10 @@ pub fn run_aiql(
     let engine = Engine::with_config(store, config.with_budget(budget));
     let started = Instant::now();
     match engine.run_ctx(&ctx) {
-        Ok(out) => RunResult::Done { elapsed: started.elapsed(), rows: out.result.rows.len() },
+        Ok(out) => RunResult::Done {
+            elapsed: started.elapsed(),
+            rows: out.result.rows.len(),
+        },
         Err(EngineError::Timeout) | Err(EngineError::Resource) => {
             RunResult::DidNotFinish { budget }
         }
@@ -131,16 +134,15 @@ pub fn run_aiql(
 }
 
 /// Runs a query on the AIQL engine over a segmented store.
-pub fn run_aiql_segmented(
-    store: &SegmentedStore,
-    q: &CatalogQuery,
-    budget: Duration,
-) -> RunResult {
+pub fn run_aiql_segmented(store: &SegmentedStore, q: &CatalogQuery, budget: Duration) -> RunResult {
     let ctx = compile(q);
     let engine = Engine::segmented(store, EngineConfig::aiql().with_budget(budget));
     let started = Instant::now();
     match engine.run_ctx(&ctx) {
-        Ok(out) => RunResult::Done { elapsed: started.elapsed(), rows: out.result.rows.len() },
+        Ok(out) => RunResult::Done {
+            elapsed: started.elapsed(),
+            rows: out.result.rows.len(),
+        },
         Err(EngineError::Timeout) | Err(EngineError::Resource) => {
             RunResult::DidNotFinish { budget }
         }
@@ -157,7 +159,10 @@ pub fn run_postgres(store: &EventStore, q: &CatalogQuery, budget: Duration) -> R
     let ctx = compile(q);
     let started = Instant::now();
     match postgres::run(store, &ctx, Some(started + budget)) {
-        Ok((rows, _)) => RunResult::Done { elapsed: started.elapsed(), rows: rows.len() },
+        Ok((rows, _)) => RunResult::Done {
+            elapsed: started.elapsed(),
+            rows: rows.len(),
+        },
         Err(BaselineError::Timeout) => RunResult::DidNotFinish { budget },
         Err(BaselineError::Storage(aiql_rdb::RdbError::ResourceLimit)) => {
             RunResult::DidNotFinish { budget }
@@ -175,7 +180,10 @@ pub fn run_neo4j(graph: &GraphDb, q: &CatalogQuery, budget: Duration) -> RunResu
     let ctx = compile(q);
     let started = Instant::now();
     match neo4j::run(graph, &ctx, Some(started + budget)) {
-        Ok((rows, _)) => RunResult::Done { elapsed: started.elapsed(), rows: rows.len() },
+        Ok((rows, _)) => RunResult::Done {
+            elapsed: started.elapsed(),
+            rows: rows.len(),
+        },
         Err(BaselineError::Timeout) => RunResult::DidNotFinish { budget },
         Err(BaselineError::Untranslatable(_)) => RunResult::Unsupported,
         Err(e) => panic!("Neo4j baseline failed on {}: {e}", q.id),
@@ -190,7 +198,10 @@ pub fn run_greenplum(store: &SegmentedStore, q: &CatalogQuery, budget: Duration)
     let ctx = compile(q);
     let started = Instant::now();
     match greenplum::run(store, &ctx, Some(started + budget)) {
-        Ok(rows) => RunResult::Done { elapsed: started.elapsed(), rows: rows.len() },
+        Ok(rows) => RunResult::Done {
+            elapsed: started.elapsed(),
+            rows: rows.len(),
+        },
         Err(BaselineError::Timeout)
         | Err(BaselineError::Storage(aiql_rdb::RdbError::ResourceLimit)) => {
             RunResult::DidNotFinish { budget }
@@ -224,7 +235,10 @@ mod tests {
         let (data, _) = dataset(Scale::Small);
         let systems = Systems::build(&data);
         let budget = Duration::from_secs(20);
-        for q in catalog::case_study().iter().chain(catalog::behaviours().iter()) {
+        for q in catalog::case_study()
+            .iter()
+            .chain(catalog::behaviours().iter())
+        {
             let r = run_aiql(&systems.partitioned, q, EngineConfig::aiql(), budget);
             match r {
                 RunResult::Done { rows, .. } => {

@@ -109,14 +109,19 @@ mod tests {
     use std::time::Duration;
 
     fn done(ms: u64) -> RunResult {
-        RunResult::Done { elapsed: Duration::from_millis(ms), rows: 1 }
+        RunResult::Done {
+            elapsed: Duration::from_millis(ms),
+            rows: 1,
+        }
     }
 
     #[test]
     fn cells() {
         assert_eq!(cell(&done(1500)), "1.500");
         assert_eq!(
-            cell(&RunResult::DidNotFinish { budget: Duration::from_secs(30) }),
+            cell(&RunResult::DidNotFinish {
+                budget: Duration::from_secs(30)
+            }),
             ">30"
         );
         assert_eq!(cell(&RunResult::Unsupported), "-");
@@ -145,7 +150,12 @@ mod tests {
 
     #[test]
     fn totals_charge_budget() {
-        let rs = vec![done(500), RunResult::DidNotFinish { budget: Duration::from_secs(10) }];
+        let rs = vec![
+            done(500),
+            RunResult::DidNotFinish {
+                budget: Duration::from_secs(10),
+            },
+        ];
         assert!((total_secs(&rs) - 10.5).abs() < 1e-9);
     }
 }

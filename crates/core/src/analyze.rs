@@ -79,20 +79,30 @@ fn validate_attr(target: CstrTarget, attr: &str, span: Span) -> Result<(), AiqlE
             CstrTarget::Entity(kind) => format!("{kind} entities"),
             CstrTarget::Event => "events".to_string(),
         };
-        Err(AiqlError::at(span, format!("unknown attribute `{attr}` for {what}"))
-            .with_help(match target {
-                CstrTarget::Entity(kind) => format!(
-                    "valid attributes: id, agentid, {}",
-                    schema::entity_attrs(kind).join(", ")
-                ),
-                CstrTarget::Event => format!("valid attributes: {}", schema::EVENT_ATTRS.join(", ")),
-            }))
+        Err(
+            AiqlError::at(span, format!("unknown attribute `{attr}` for {what}")).with_help(
+                match target {
+                    CstrTarget::Entity(kind) => format!(
+                        "valid attributes: id, agentid, {}",
+                        schema::entity_attrs(kind).join(", ")
+                    ),
+                    CstrTarget::Event => {
+                        format!("valid attributes: {}", schema::EVENT_ATTRS.join(", "))
+                    }
+                },
+            ),
+        )
     }
 }
 
 fn convert_cstr(c: &AttrCstr, target: CstrTarget) -> Result<CstrNode, AiqlError> {
     Ok(match c {
-        AttrCstr::Cmp { attr, op, value, span } => {
+        AttrCstr::Cmp {
+            attr,
+            op,
+            value,
+            span,
+        } => {
             let attr = canon_attr(attr);
             validate_attr(target, &attr, *span)?;
             let v = lit_value(value);
@@ -106,7 +116,11 @@ fn convert_cstr(c: &AttrCstr, target: CstrTarget) -> Result<CstrNode, AiqlError>
                     });
                 }
             }
-            CstrNode::Cmp { attr, op: cmp_of(*op), value: v }
+            CstrNode::Cmp {
+                attr,
+                op: cmp_of(*op),
+                value: v,
+            }
         }
         AttrCstr::Bare { neg, value, span } => {
             let attr = match target {
@@ -122,7 +136,11 @@ fn convert_cstr(c: &AttrCstr, target: CstrTarget) -> Result<CstrNode, AiqlError>
             let v = lit_value(value);
             if let Value::Str(s) = &v {
                 if s.contains('%') {
-                    return Ok(CstrNode::Like { attr, pattern: s.clone(), neg: *neg });
+                    return Ok(CstrNode::Like {
+                        attr,
+                        pattern: s.clone(),
+                        neg: *neg,
+                    });
                 }
             }
             CstrNode::Cmp {
@@ -131,7 +149,12 @@ fn convert_cstr(c: &AttrCstr, target: CstrTarget) -> Result<CstrNode, AiqlError>
                 value: v,
             }
         }
-        AttrCstr::In { attr, neg, values, span } => {
+        AttrCstr::In {
+            attr,
+            neg,
+            values,
+            span,
+        } => {
             let attr = canon_attr(attr);
             validate_attr(target, &attr, *span)?;
             CstrNode::In {
@@ -141,14 +164,12 @@ fn convert_cstr(c: &AttrCstr, target: CstrTarget) -> Result<CstrNode, AiqlError>
             }
         }
         AttrCstr::Not(inner) => CstrNode::Not(Box::new(convert_cstr(inner, target)?)),
-        AttrCstr::And(a, b) => CstrNode::And(vec![
-            convert_cstr(a, target)?,
-            convert_cstr(b, target)?,
-        ]),
-        AttrCstr::Or(a, b) => CstrNode::Or(vec![
-            convert_cstr(a, target)?,
-            convert_cstr(b, target)?,
-        ]),
+        AttrCstr::And(a, b) => {
+            CstrNode::And(vec![convert_cstr(a, target)?, convert_cstr(b, target)?])
+        }
+        AttrCstr::Or(a, b) => {
+            CstrNode::Or(vec![convert_cstr(a, target)?, convert_cstr(b, target)?])
+        }
     })
 }
 
@@ -174,7 +195,11 @@ fn window_range(w: &TimeWindow) -> Result<(i64, i64), AiqlError> {
                 Ok((t.0, t.0 + aiql_model::time::NANOS_PER_SEC))
             } else {
                 let day = t.day_start();
-                Ok((day.0, day.saturating_add(Duration::of(1, aiql_model::TimeUnit::Day)).0))
+                Ok((
+                    day.0,
+                    day.saturating_add(Duration::of(1, aiql_model::TimeUnit::Day))
+                        .0,
+                ))
             }
         }
         TimeWindow::FromTo { from, to, span } => {
@@ -183,7 +208,10 @@ fn window_range(w: &TimeWindow) -> Result<(i64, i64), AiqlError> {
             let hi = Timestamp::parse(to)
                 .ok_or_else(|| AiqlError::at(*span, format!("invalid datetime `{to}`")))?;
             if hi.0 <= lo.0 {
-                return Err(AiqlError::at(*span, "empty time window: `to` is not after `from`"));
+                return Err(AiqlError::at(
+                    *span,
+                    "empty time window: `to` is not after `from`",
+                ));
             }
             Ok((lo.0, hi.0))
         }
@@ -224,7 +252,14 @@ impl Vars {
                 None => "id".to_string(),
             };
             // Event refs have no entity kind; report Process as a dummy.
-            return Ok((FieldRef { pattern, target: FieldTarget::Event, attr }, EntityKind::Process));
+            return Ok((
+                FieldRef {
+                    pattern,
+                    target: FieldTarget::Event,
+                    attr,
+                },
+                EntityKind::Process,
+            ));
         }
         if let Some(occ) = self.entities.get(&r.id) {
             let (pattern, target, kind) = occ[0];
@@ -237,10 +272,19 @@ impl Vars {
                 None if default_entity_attr => schema::default_attr(kind).to_string(),
                 None => "id".to_string(),
             };
-            return Ok((FieldRef { pattern, target, attr }, kind));
+            return Ok((
+                FieldRef {
+                    pattern,
+                    target,
+                    attr,
+                },
+                kind,
+            ));
         }
-        Err(AiqlError::at(r.span, format!("unknown identifier `{}`", r.id))
-            .with_help("identifiers must be declared in an event pattern before use"))
+        Err(
+            AiqlError::at(r.span, format!("unknown identifier `{}`", r.id))
+                .with_help("identifiers must be declared in an event pattern before use"),
+        )
     }
 }
 
@@ -253,7 +297,12 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
     let mut slide_step: Option<i64> = None;
     for g in &q.global {
         match g {
-            GlobalCstr::Attr { attr, op, value, span } => {
+            GlobalCstr::Attr {
+                attr,
+                op,
+                value,
+                span,
+            } => {
                 if !canon_attr(attr).eq("agentid") {
                     return Err(AiqlError::at(
                         *span,
@@ -271,7 +320,10 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
             }
             GlobalCstr::AttrIn { attr, values, span } => {
                 if !canon_attr(attr).eq("agentid") {
-                    return Err(AiqlError::at(*span, format!("unsupported global constraint `{attr}`")));
+                    return Err(AiqlError::at(
+                        *span,
+                        format!("unsupported global constraint `{attr}`"),
+                    ));
                 }
                 let mut ids = Vec::new();
                 for v in values {
@@ -298,35 +350,50 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
             if w <= 0 || s <= 0 {
                 return Err(AiqlError::new("window and step must be positive"));
             }
-            Some(SlideSpec { window_ns: w, step_ns: s })
+            Some(SlideSpec {
+                window_ns: w,
+                step_ns: s,
+            })
         }
         (Some(_), None) => {
-            return Err(AiqlError::new("sliding window needs a `step = ...` constraint"))
+            return Err(AiqlError::new(
+                "sliding window needs a `step = ...` constraint",
+            ))
         }
         (None, Some(_)) => {
-            return Err(AiqlError::new("sliding step needs a `window = ...` constraint"))
+            return Err(AiqlError::new(
+                "sliding step needs a `window = ...` constraint",
+            ))
         }
         (None, None) => None,
     };
 
     // --- Variable tables ----------------------------------------------------
-    let mut vars = Vars { entities: HashMap::new(), events: HashMap::new() };
+    let mut vars = Vars {
+        entities: HashMap::new(),
+        events: HashMap::new(),
+    };
     for (idx, p) in q.patterns.iter().enumerate() {
         if p.subject.kind != EntityKind::Process {
-            return Err(AiqlError::at(
-                p.subject.span,
-                "event subjects must be processes",
-            )
-            .with_help("events are {subject-operation-object} with a process subject"));
+            return Err(
+                AiqlError::at(p.subject.span, "event subjects must be processes")
+                    .with_help("events are {subject-operation-object} with a process subject"),
+            );
         }
-        for (pat, target) in [(&p.subject, FieldTarget::Subject), (&p.object, FieldTarget::Object)] {
+        for (pat, target) in [
+            (&p.subject, FieldTarget::Subject),
+            (&p.object, FieldTarget::Object),
+        ] {
             if let Some(v) = &pat.var {
                 let occ = vars.entities.entry(v.clone()).or_default();
                 if let Some(&(_, _, kind)) = occ.first() {
                     if kind != pat.kind {
                         return Err(AiqlError::at(
                             pat.span,
-                            format!("entity `{v}` was declared as {kind} but used as {}", pat.kind),
+                            format!(
+                                "entity `{v}` was declared as {kind} but used as {}",
+                                pat.kind
+                            ),
                         ));
                     }
                 }
@@ -335,7 +402,10 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
         }
         if let Some(ev) = &p.evt_var {
             if vars.events.insert(ev.clone(), idx).is_some() {
-                return Err(AiqlError::at(p.span, format!("duplicate event identifier `{ev}`")));
+                return Err(AiqlError::at(
+                    p.span,
+                    format!("duplicate event identifier `{ev}`"),
+                ));
             }
             if vars.entities.contains_key(ev) {
                 return Err(AiqlError::at(
@@ -354,15 +424,16 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
         p.op.op_names(&mut names);
         for (name, span) in &names {
             if OpType::parse_keyword(name).is_none() {
-                return Err(AiqlError::at(*span, format!("unknown operation `{name}`"))
-                    .with_help(format!(
+                return Err(
+                    AiqlError::at(*span, format!("unknown operation `{name}`")).with_help(format!(
                         "valid operations: {}",
                         aiql_model::event::ALL_OPS
                             .iter()
                             .map(|o| o.keyword())
                             .collect::<Vec<_>>()
                             .join(", ")
-                    )));
+                    )),
+                );
             }
         }
         let ops: Vec<OpType> = aiql_model::event::ALL_OPS
@@ -370,7 +441,10 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
             .filter(|op| p.op.admits(op.keyword()))
             .collect();
         if ops.is_empty() {
-            return Err(AiqlError::at(p.span, "operation expression matches no operation"));
+            return Err(AiqlError::at(
+                p.span,
+                "operation expression matches no operation",
+            ));
         }
 
         let subj_cstr = match &p.subject.cstr {
@@ -398,7 +472,12 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
         // cross-host connects target entities on *other* hosts.
         let mut pagents = agents.clone();
         for c in subj_cstr.iter().chain(&evt_cstr) {
-            if let CstrNode::Cmp { attr, op: CmpOp::Eq, value: Value::Int(i) } = c {
+            if let CstrNode::Cmp {
+                attr,
+                op: CmpOp::Eq,
+                value: Value::Int(i),
+            } = c
+            {
                 if attr == "agentid" {
                     pagents = match pagents {
                         None => Some(vec![*i]),
@@ -444,9 +523,19 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
                         "attribute relationship relates a pattern to itself",
                     ));
                 }
-                relations.push(RelationCtx::Attr { left: lref, op: *op, right: rref });
+                relations.push(RelationCtx::Attr {
+                    left: lref,
+                    op: *op,
+                    right: rref,
+                });
             }
-            Relation::Temporal { left, kind, range, right, span } => {
+            Relation::Temporal {
+                left,
+                kind,
+                range,
+                right,
+                span,
+            } => {
                 let lp = *vars.events.get(left).ok_or_else(|| {
                     AiqlError::at(*span, format!("unknown event identifier `{left}`"))
                 })?;
@@ -454,17 +543,31 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
                     AiqlError::at(*span, format!("unknown event identifier `{right}`"))
                 })?;
                 if lp == rp {
-                    return Err(AiqlError::at(*span, "temporal relationship relates an event to itself"));
+                    return Err(AiqlError::at(
+                        *span,
+                        "temporal relationship relates an event to itself",
+                    ));
                 }
                 let range_ns = range.map(|(lo, hi, unit)| {
-                    (Duration::of(lo, unit).as_nanos(), Duration::of(hi, unit).as_nanos())
+                    (
+                        Duration::of(lo, unit).as_nanos(),
+                        Duration::of(hi, unit).as_nanos(),
+                    )
                 });
                 if let Some((lo, hi)) = range_ns {
                     if lo > hi || lo < 0 {
-                        return Err(AiqlError::at(*span, "invalid time range: need 0 <= lo <= hi"));
+                        return Err(AiqlError::at(
+                            *span,
+                            "invalid time range: need 0 <= lo <= hi",
+                        ));
                     }
                 }
-                relations.push(RelationCtx::Temporal { left: lp, kind: *kind, range_ns, right: rp });
+                relations.push(RelationCtx::Temporal {
+                    left: lp,
+                    kind: *kind,
+                    range_ns,
+                    right: rp,
+                });
             }
         }
     }
@@ -478,9 +581,17 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
                 continue; // Same pattern (e.g. self-loop) needs no join.
             }
             relations.push(RelationCtx::Attr {
-                left: FieldRef { pattern: p1, target: t1, attr: "id".into() },
+                left: FieldRef {
+                    pattern: p1,
+                    target: t1,
+                    attr: "id".into(),
+                },
                 op: CmpOp::Eq,
-                right: FieldRef { pattern: p2, target: t2, attr: "id".into() },
+                right: FieldRef {
+                    pattern: p2,
+                    target: t2,
+                    attr: "id".into(),
+                },
             });
         }
     }
@@ -497,7 +608,9 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
         ret.items.push(RetItemCtx { name, expr });
     }
     if ret.items.is_empty() {
-        return Err(AiqlError::new("return clause must name at least one result"));
+        return Err(AiqlError::new(
+            "return clause must name at least one result",
+        ));
     }
 
     // --- group by / sort / having ----------------------------------------------
@@ -531,7 +644,11 @@ pub fn analyze_multievent(q: &MultieventQuery) -> Result<QueryContext, AiqlError
         ));
     }
 
-    let kind = if slide.is_some() { QueryKind::Anomaly } else { QueryKind::Multievent };
+    let kind = if slide.is_some() {
+        QueryKind::Anomaly
+    } else {
+        QueryKind::Multievent
+    };
     Ok(QueryContext {
         kind,
         patterns,
@@ -557,10 +674,22 @@ fn resolve_ret_expr(vars: &Vars, e: &RetExpr) -> Result<(String, RetExprCtx), Ai
             };
             Ok((name, RetExprCtx::Field(fref)))
         }
-        RetExpr::Agg { func, distinct, arg, .. } => {
+        RetExpr::Agg {
+            func,
+            distinct,
+            arg,
+            ..
+        } => {
             let (fref, _) = vars.resolve(arg, true)?;
             let name = format!("{func:?}").to_lowercase();
-            Ok((name, RetExprCtx::Agg { func: *func, distinct: *distinct, arg: fref }))
+            Ok((
+                name,
+                RetExprCtx::Agg {
+                    func: *func,
+                    distinct: *distinct,
+                    arg: fref,
+                },
+            ))
         }
     }
 }
@@ -584,7 +713,10 @@ fn find_item(vars: &Vars, ret: &ReturnCtx, e: &RetExpr) -> Result<usize, AiqlErr
                 RetExpr::Ref(r) => r.span,
                 RetExpr::Agg { span, .. } => *span,
             };
-            AiqlError::at(span, "group/sort expression must appear in the return clause")
+            AiqlError::at(
+                span,
+                "group/sort expression must appear in the return clause",
+            )
         })
 }
 
@@ -641,7 +773,12 @@ fn resolve_arith(vars: &Vars, ret: &ReturnCtx, a: &ArithExpr) -> Result<ArithCtx
             item: item_by_name(ret, name, *span)?,
             back: *back,
         },
-        ArithExpr::MovAvg { kind, name, param, span } => {
+        ArithExpr::MovAvg {
+            kind,
+            name,
+            param,
+            span,
+        } => {
             if matches!(kind, MaKind::Sma | MaKind::Wma) && *param < 1.0 {
                 return Err(AiqlError::at(*span, "SMA/WMA window must be at least 1"));
             }
@@ -811,8 +948,10 @@ mod tests {
         let implicit = ctx
             .relations
             .iter()
-            .filter(|r| matches!(r, RelationCtx::Attr { left, right, .. }
-                if left.attr == "id" && right.attr == "id"))
+            .filter(|r| {
+                matches!(r, RelationCtx::Attr { left, right, .. }
+                if left.attr == "id" && right.attr == "id")
+            })
             .count();
         assert_eq!(implicit, 1);
         let (a, b) = ctx.relations[0].endpoints();
@@ -821,9 +960,7 @@ mod tests {
 
     #[test]
     fn bare_value_inference() {
-        let ctx = compile(
-            r#"proc p3 read file[".viminfo" || ".bash_history"] as evt2 return p3"#,
-        );
+        let ctx = compile(r#"proc p3 read file[".viminfo" || ".bash_history"] as evt2 return p3"#);
         match &ctx.patterns[0].obj_cstr[0] {
             CstrNode::Or(parts) => {
                 assert!(matches!(&parts[0], CstrNode::Cmp { attr, .. } if attr == "name"));
@@ -880,11 +1017,22 @@ mod tests {
         let temporals: Vec<_> = ctx
             .relations
             .iter()
-            .filter(|r| matches!(r, RelationCtx::Temporal { kind: TempKind::Before, .. }))
+            .filter(|r| {
+                matches!(
+                    r,
+                    RelationCtx::Temporal {
+                        kind: TempKind::Before,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(temporals.len(), 3);
         // f1 shared between patterns 0 and 1 → implicit id join too.
-        assert!(ctx.relations.iter().any(|r| matches!(r, RelationCtx::Attr { .. })));
+        assert!(ctx
+            .relations
+            .iter()
+            .any(|r| matches!(r, RelationCtx::Attr { .. })));
         // Agent hoisting from bracket constraints: subject-side only.
         assert_eq!(ctx.patterns[0].agents, Some(vec![2]));
         // `p3[agentid = 3]` is the connect's *object* (a remote process):
@@ -895,13 +1043,14 @@ mod tests {
 
     #[test]
     fn backward_dependency_flips_temporal() {
-        let ctx = compile(
-            "backward: file f1 <-[write] proc p1 <-[start] proc p0 return f1, p1",
-        );
-        assert!(ctx
-            .relations
-            .iter()
-            .any(|r| matches!(r, RelationCtx::Temporal { kind: TempKind::After, .. })));
+        let ctx = compile("backward: file f1 <-[write] proc p1 <-[start] proc p0 return f1, p1");
+        assert!(ctx.relations.iter().any(|r| matches!(
+            r,
+            RelationCtx::Temporal {
+                kind: TempKind::After,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -943,26 +1092,24 @@ mod tests {
 
     #[test]
     fn error_window_without_step() {
-        let e = compile_err(
-            "window = 1 min proc p read ip i return p, count(i) as freq group by p",
-        );
+        let e =
+            compile_err("window = 1 min proc p read ip i return p, count(i) as freq group by p");
         assert!(e.message.contains("step"), "{e}");
     }
 
     #[test]
     fn error_anomaly_without_aggregate() {
-        let e = compile_err(
-            "window = 1 min step = 10 sec proc p read ip i return p",
-        );
+        let e = compile_err("window = 1 min step = 10 sec proc p read ip i return p");
         assert!(e.message.contains("must aggregate"), "{e}");
     }
 
     #[test]
     fn error_group_by_must_be_returned() {
-        let e = compile_err(
-            "proc p read file f return p group by f",
+        let e = compile_err("proc p read file f return p group by f");
+        assert!(
+            e.message.contains("must appear in the return clause"),
+            "{e}"
         );
-        assert!(e.message.contains("must appear in the return clause"), "{e}");
     }
 
     #[test]

@@ -36,9 +36,18 @@ pub enum Query {
 pub enum GlobalCstr {
     /// A bare attribute constraint applying to all patterns (e.g.
     /// `agentid = 1`).
-    Attr { attr: String, op: CmpOp, value: Lit, span: Span },
+    Attr {
+        attr: String,
+        op: CmpOp,
+        value: Lit,
+        span: Span,
+    },
     /// `agentid in (1, 2, 3)`.
-    AttrIn { attr: String, values: Vec<Lit>, span: Span },
+    AttrIn {
+        attr: String,
+        values: Vec<Lit>,
+        span: Span,
+    },
     /// A global time window: `(at "...")` or `(from "..." to "...")`.
     Window(TimeWindow),
     /// Sliding-window length: `window = 1 min`.
@@ -60,7 +69,11 @@ pub enum TimeWindow {
     /// `at "date"` — the whole day (or instant range) of the literal.
     At { datetime: String, span: Span },
     /// `from "datetime" to "datetime"`.
-    FromTo { from: String, to: String, span: Span },
+    FromTo {
+        from: String,
+        to: String,
+        span: Span,
+    },
 }
 
 /// A multievent query (paper Sec. 4.1).
@@ -110,12 +123,26 @@ pub enum OpExpr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrCstr {
     /// `attr op value`.
-    Cmp { attr: String, op: CmpOp, value: Lit, span: Span },
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        value: Lit,
+        span: Span,
+    },
     /// A bare (possibly negated) value with the attribute inferred, e.g.
     /// `"%cmd.exe"` or `!"svchost.exe"`.
-    Bare { neg: bool, value: Lit, span: Span },
+    Bare {
+        neg: bool,
+        value: Lit,
+        span: Span,
+    },
     /// `attr [not] in (v1, v2, ...)`.
-    In { attr: String, neg: bool, values: Vec<Lit>, span: Span },
+    In {
+        attr: String,
+        neg: bool,
+        values: Vec<Lit>,
+        span: Span,
+    },
     Not(Box<AttrCstr>),
     And(Box<AttrCstr>, Box<AttrCstr>),
     Or(Box<AttrCstr>, Box<AttrCstr>),
@@ -133,7 +160,11 @@ pub struct AttrRef {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Relation {
     /// `ref op ref`, e.g. `p1 = p3` or `p2.exe_name != p4.exe_name`.
-    Attr { left: AttrRef, op: CmpOp, right: AttrRef },
+    Attr {
+        left: AttrRef,
+        op: CmpOp,
+        right: AttrRef,
+    },
     /// `evt1 before[1-2 min] evt2` / `after` / `within`.
     Temporal {
         left: String,
@@ -196,13 +227,22 @@ pub enum RetExpr {
     /// `id` or `id.attr`.
     Ref(AttrRef),
     /// `count(distinct x)`, `avg(x)`, ...
-    Agg { func: AggFunc, distinct: bool, arg: AttrRef, span: Span },
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: AttrRef,
+        span: Span,
+    },
 }
 
 /// Having expressions: comparisons over window arithmetic (paper Query 4/5).
 #[derive(Debug, Clone, PartialEq)]
 pub enum HavingExpr {
-    Cmp { op: CmpOp, left: ArithExpr, right: ArithExpr },
+    Cmp {
+        op: CmpOp,
+        left: ArithExpr,
+        right: ArithExpr,
+    },
     And(Box<HavingExpr>, Box<HavingExpr>),
     Or(Box<HavingExpr>, Box<HavingExpr>),
     Not(Box<HavingExpr>),
@@ -216,9 +256,18 @@ pub enum ArithExpr {
     /// A named value: a return-item rename (`freq`) or `id.attr` reference.
     Ref(AttrRef),
     /// History state: `freq[2]` = the value two windows ago.
-    Hist { name: String, back: usize, span: Span },
+    Hist {
+        name: String,
+        back: usize,
+        span: Span,
+    },
     /// Moving average call: `EWMA(freq, 0.9)`, `SMA(freq, 3)`.
-    MovAvg { kind: MaKind, name: String, param: f64, span: Span },
+    MovAvg {
+        kind: MaKind,
+        name: String,
+        param: f64,
+        span: Span,
+    },
     Add(Box<ArithExpr>, Box<ArithExpr>),
     Sub(Box<ArithExpr>, Box<ArithExpr>),
     Mul(Box<ArithExpr>, Box<ArithExpr>),
@@ -315,7 +364,10 @@ mod tests {
     fn op_names_collected() {
         let e = OpExpr::And(
             Box::new(OpExpr::Op("a".into(), Span::default())),
-            Box::new(OpExpr::Not(Box::new(OpExpr::Op("b".into(), Span::default())))),
+            Box::new(OpExpr::Not(Box::new(OpExpr::Op(
+                "b".into(),
+                Span::default(),
+            )))),
         );
         let mut names = vec![];
         e.op_names(&mut names);

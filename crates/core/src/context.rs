@@ -24,9 +24,21 @@ pub struct FieldRef {
 /// expanded, `%`-values turned into LIKE patterns).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CstrNode {
-    Cmp { attr: String, op: CmpOp, value: Value },
-    Like { attr: String, pattern: String, neg: bool },
-    In { attr: String, neg: bool, values: Vec<Value> },
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        value: Value,
+    },
+    Like {
+        attr: String,
+        pattern: String,
+        neg: bool,
+    },
+    In {
+        attr: String,
+        neg: bool,
+        values: Vec<Value>,
+    },
     And(Vec<CstrNode>),
     Or(Vec<CstrNode>),
     Not(Box<CstrNode>),
@@ -194,9 +206,16 @@ pub enum ArithCtx {
     /// Current value of return item `i`.
     Item(usize),
     /// Value of return item `i`, `back` windows ago.
-    Hist { item: usize, back: usize },
+    Hist {
+        item: usize,
+        back: usize,
+    },
     /// Moving average of return item `i` over the window history.
-    MovAvg { kind: MaKind, item: usize, param: f64 },
+    MovAvg {
+        kind: MaKind,
+        item: usize,
+        param: f64,
+    },
     Add(Box<ArithCtx>, Box<ArithCtx>),
     Sub(Box<ArithCtx>, Box<ArithCtx>),
     Mul(Box<ArithCtx>, Box<ArithCtx>),
@@ -219,9 +238,10 @@ impl ArithCtx {
     fn uses_history(&self) -> bool {
         match self {
             ArithCtx::Hist { .. } | ArithCtx::MovAvg { .. } => true,
-            ArithCtx::Add(a, b) | ArithCtx::Sub(a, b) | ArithCtx::Mul(a, b) | ArithCtx::Div(a, b) => {
-                a.uses_history() || b.uses_history()
-            }
+            ArithCtx::Add(a, b)
+            | ArithCtx::Sub(a, b)
+            | ArithCtx::Mul(a, b)
+            | ArithCtx::Div(a, b) => a.uses_history() || b.uses_history(),
             ArithCtx::Neg(e) => e.uses_history(),
             ArithCtx::Num(_) | ArithCtx::Item(_) => false,
         }
@@ -275,10 +295,22 @@ mod tests {
     #[test]
     fn atom_count_nested() {
         let c = CstrNode::And(vec![
-            CstrNode::Like { attr: "a".into(), pattern: "%x".into(), neg: false },
+            CstrNode::Like {
+                attr: "a".into(),
+                pattern: "%x".into(),
+                neg: false,
+            },
             CstrNode::Or(vec![
-                CstrNode::Cmp { attr: "b".into(), op: CmpOp::Eq, value: Value::Int(1) },
-                CstrNode::Cmp { attr: "b".into(), op: CmpOp::Eq, value: Value::Int(2) },
+                CstrNode::Cmp {
+                    attr: "b".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Int(1),
+                },
+                CstrNode::Cmp {
+                    attr: "b".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Int(2),
+                },
             ]),
         ]);
         assert_eq!(c.atom_count(), 3);
@@ -291,9 +323,24 @@ mod tests {
             "pid" => Value::Int(42),
             _ => Value::Null,
         };
-        assert!(CstrNode::Like { attr: "exe_name".into(), pattern: "%cmd%".into(), neg: false }.eval(&get));
-        assert!(CstrNode::Cmp { attr: "pid".into(), op: CmpOp::Gt, value: Value::Int(10) }.eval(&get));
-        assert!(!CstrNode::Cmp { attr: "missing".into(), op: CmpOp::Eq, value: Value::Int(1) }.eval(&get));
+        assert!(CstrNode::Like {
+            attr: "exe_name".into(),
+            pattern: "%cmd%".into(),
+            neg: false
+        }
+        .eval(&get));
+        assert!(CstrNode::Cmp {
+            attr: "pid".into(),
+            op: CmpOp::Gt,
+            value: Value::Int(10)
+        }
+        .eval(&get));
+        assert!(!CstrNode::Cmp {
+            attr: "missing".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1)
+        }
+        .eval(&get));
         assert!(CstrNode::In {
             attr: "pid".into(),
             neg: false,

@@ -82,9 +82,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AiqlError> {
             '[' => push1(Tok::LBracket, 1, &mut i),
             ']' => push1(Tok::RBracket, 1, &mut i),
             ',' => push1(Tok::Comma, 1, &mut i),
-            '.' if !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
-                push1(Tok::Dot, 1, &mut i)
-            }
+            '.' if !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => push1(Tok::Dot, 1, &mut i),
             ':' => push1(Tok::Colon, 1, &mut i),
             '=' => push1(Tok::Eq, 1, &mut i),
             '+' => push1(Tok::Plus, 1, &mut i),
@@ -129,7 +127,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AiqlError> {
                 });
                 i = j + 1;
             }
-            c if c.is_ascii_digit() || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let mut j = i;
                 let mut has_dot = false;
                 while j < b.len() && (b[j].is_ascii_digit() || (b[j] == '.' && !has_dot)) {
@@ -146,9 +146,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AiqlError> {
                 let text: String = b[i..j].iter().collect();
                 let span = Span::new(start, offs[j]);
                 let tok = if has_dot {
-                    Tok::Float(text.parse().map_err(|_| AiqlError::at(span, "invalid number"))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| AiqlError::at(span, "invalid number"))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| AiqlError::at(span, "invalid number"))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| AiqlError::at(span, "invalid number"))?,
+                    )
                 };
                 out.push(Token { tok, span });
                 i = j;
@@ -270,7 +276,12 @@ mod tests {
     fn brackets_in_history_refs() {
         assert_eq!(
             kinds("freq[1]"),
-            vec![Tok::Ident("freq".into()), Tok::LBracket, Tok::Int(1), Tok::RBracket]
+            vec![
+                Tok::Ident("freq".into()),
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::RBracket
+            ]
         );
     }
 }

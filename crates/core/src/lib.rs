@@ -44,8 +44,8 @@ pub mod parse;
 pub mod print;
 
 pub use analyze::{analyze, rewrite_dependency};
-pub use ast::TempKind;
 pub use ast::Query;
+pub use ast::TempKind;
 pub use context::{
     ArithCtx, CstrNode, FieldRef, FieldTarget, HavingCtx, PatternCtx, QueryContext, QueryKind,
     RelationCtx, RetExprCtx, RetItemCtx, ReturnCtx, SlideSpec,
@@ -79,6 +79,7 @@ mod tests {
     #[test]
     fn compile_propagates_both_error_kinds() {
         assert!(super::compile("proc p1 read").is_err()); // Parse error.
-        assert!(super::compile("proc p1 frobnicate file f return p1").is_err()); // Semantic.
+        assert!(super::compile("proc p1 frobnicate file f return p1").is_err());
+        // Semantic.
     }
 }

@@ -133,7 +133,10 @@ impl Parser {
 
     fn ident(&mut self, what: &str) -> Result<(String, Span), AiqlError> {
         match self.bump() {
-            Some(Token { tok: Tok::Ident(s), span }) => Ok((s, span)),
+            Some(Token {
+                tok: Tok::Ident(s),
+                span,
+            }) => Ok((s, span)),
             other => Err(AiqlError::at(
                 other.map(|t| t.span).unwrap_or_else(|| self.prev_span()),
                 format!("expected {what}"),
@@ -163,13 +166,18 @@ impl Parser {
     fn literal(&mut self) -> Result<(Lit, Span), AiqlError> {
         let neg = self.eat(&Tok::Minus);
         match self.bump() {
-            Some(Token { tok: Tok::Str(s), span }) if !neg => Ok((Lit::Str(s), span)),
-            Some(Token { tok: Tok::Int(i), span }) => {
-                Ok((Lit::Int(if neg { -i } else { i }), span))
-            }
-            Some(Token { tok: Tok::Float(f), span }) => {
-                Ok((Lit::Float(if neg { -f } else { f }), span))
-            }
+            Some(Token {
+                tok: Tok::Str(s),
+                span,
+            }) if !neg => Ok((Lit::Str(s), span)),
+            Some(Token {
+                tok: Tok::Int(i),
+                span,
+            }) => Ok((Lit::Int(if neg { -i } else { i }), span)),
+            Some(Token {
+                tok: Tok::Float(f),
+                span,
+            }) => Ok((Lit::Float(if neg { -f } else { f }), span)),
             other => Err(AiqlError::at(
                 other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
                 "expected a literal value",
@@ -183,7 +191,9 @@ impl Parser {
         let global = self.global_cstrs()?;
 
         // Dependency with explicit direction?
-        if (self.peek_kw("forward") || self.peek_kw("backward")) && self.peek_at(1) == Some(&Tok::Colon) {
+        if (self.peek_kw("forward") || self.peek_kw("backward"))
+            && self.peek_at(1) == Some(&Tok::Colon)
+        {
             let dir = if self.eat_kw("forward") {
                 Direction::Forward
             } else {
@@ -202,7 +212,9 @@ impl Parser {
             let is_dep = matches!(self.peek(), Some(Tok::Arrow) | Some(Tok::BackArrow));
             self.pos = save;
             if is_dep {
-                return Ok(Query::Dependency(self.dependency(global, Direction::Forward)?));
+                return Ok(Query::Dependency(
+                    self.dependency(global, Direction::Forward)?,
+                ));
             }
         }
         Ok(Query::Multievent(self.multievent(global)?))
@@ -223,7 +235,8 @@ impl Parser {
                 continue;
             }
             // `window = <dur>` / `step = <dur>`.
-            if (self.peek_kw("window") || self.peek_kw("step")) && self.peek_at(1) == Some(&Tok::Eq) {
+            if (self.peek_kw("window") || self.peek_kw("step")) && self.peek_at(1) == Some(&Tok::Eq)
+            {
                 let is_window = self.peek_kw("window");
                 let (_, span) = self.ident("window/step")?;
                 self.expect(&Tok::Eq, "`=`")?;
@@ -240,15 +253,25 @@ impl Parser {
             if let Some(Tok::Ident(name)) = self.peek() {
                 let name = name.clone();
                 if self.peek_entity_kw()
-                    || ["with", "return", "forward", "backward"].iter().any(|k| name.eq_ignore_ascii_case(k))
+                    || ["with", "return", "forward", "backward"]
+                        .iter()
+                        .any(|k| name.eq_ignore_ascii_case(k))
                 {
                     break;
                 }
-                if matches!(self.peek_at(1), Some(Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)) {
+                if matches!(
+                    self.peek_at(1),
+                    Some(Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)
+                ) {
                     let (attr, span) = self.ident("attribute")?;
                     let op = self.cmp_op().expect("peeked comparison");
                     let (value, vspan) = self.literal()?;
-                    out.push(GlobalCstr::Attr { attr, op, value, span: span.merge(vspan) });
+                    out.push(GlobalCstr::Attr {
+                        attr,
+                        op,
+                        value,
+                        span: span.merge(vspan),
+                    });
                     continue;
                 }
                 if self.peek_kw_at(1, "in") {
@@ -263,7 +286,11 @@ impl Parser {
                         }
                     }
                     let end = self.expect(&Tok::RParen, "`)`")?;
-                    out.push(GlobalCstr::AttrIn { attr, values, span: span.merge(end) });
+                    out.push(GlobalCstr::AttrIn {
+                        attr,
+                        values,
+                        span: span.merge(end),
+                    });
                     continue;
                 }
             }
@@ -276,7 +303,10 @@ impl Parser {
         if self.eat_kw("at") {
             let start = self.prev_span();
             match self.bump() {
-                Some(Token { tok: Tok::Str(s), span }) => Ok(TimeWindow::At {
+                Some(Token {
+                    tok: Tok::Str(s),
+                    span,
+                }) => Ok(TimeWindow::At {
                     datetime: s,
                     span: start.merge(span),
                 }),
@@ -288,7 +318,9 @@ impl Parser {
         } else if self.eat_kw("from") {
             let start = self.prev_span();
             let from = match self.bump() {
-                Some(Token { tok: Tok::Str(s), .. }) => s,
+                Some(Token {
+                    tok: Tok::Str(s), ..
+                }) => s,
                 other => {
                     return Err(AiqlError::at(
                         other.map(|t| t.span).unwrap_or(start),
@@ -298,7 +330,10 @@ impl Parser {
             };
             self.expect_kw("to")?;
             match self.bump() {
-                Some(Token { tok: Tok::Str(s), span }) => Ok(TimeWindow::FromTo {
+                Some(Token {
+                    tok: Tok::Str(s),
+                    span,
+                }) => Ok(TimeWindow::FromTo {
                     from,
                     to: s,
                     span: start.merge(span),
@@ -318,7 +353,10 @@ impl Parser {
 
     fn duration(&mut self) -> Result<DurationLit, AiqlError> {
         let (count, span) = match self.bump() {
-            Some(Token { tok: Tok::Int(i), span }) => (i, span),
+            Some(Token {
+                tok: Tok::Int(i),
+                span,
+            }) => (i, span),
             other => {
                 return Err(AiqlError::at(
                     other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
@@ -505,7 +543,12 @@ impl Parser {
             let (attr, span) = self.ident("attribute")?;
             if let Some(op) = self.cmp_op() {
                 let (value, vspan) = self.literal()?;
-                return Ok(AttrCstr::Cmp { attr, op, value, span: span.merge(vspan) });
+                return Ok(AttrCstr::Cmp {
+                    attr,
+                    op,
+                    value,
+                    span: span.merge(vspan),
+                });
             }
             let neg = self.eat_kw("not");
             if self.eat_kw("in") {
@@ -518,7 +561,12 @@ impl Parser {
                     }
                 }
                 let end = self.expect(&Tok::RParen, "`)` after value list")?;
-                return Ok(AttrCstr::In { attr, neg, values, span: span.merge(end) });
+                return Ok(AttrCstr::In {
+                    attr,
+                    neg,
+                    values,
+                    span: span.merge(end),
+                });
             }
             return Err(AiqlError::at(
                 span,
@@ -526,7 +574,11 @@ impl Parser {
             ));
         }
         let (value, span) = self.literal()?;
-        Ok(AttrCstr::Bare { neg: false, value, span })
+        Ok(AttrCstr::Bare {
+            neg: false,
+            value,
+            span,
+        })
     }
 
     fn attr_ref(&mut self) -> Result<AttrRef, AiqlError> {
@@ -538,7 +590,11 @@ impl Parser {
             attr = Some(a);
             end = aspan;
         }
-        Ok(AttrRef { id, attr, span: span.merge(end) })
+        Ok(AttrRef {
+            id,
+            attr,
+            span: span.merge(end),
+        })
     }
 
     fn relation(&mut self) -> Result<Relation, AiqlError> {
@@ -677,7 +733,9 @@ impl Parser {
                 sort_by.extend(items.into_iter().map(|i| (i, asc)));
             } else if self.eat_kw("top") {
                 match self.bump() {
-                    Some(Token { tok: Tok::Int(n), .. }) if n >= 0 => *top = Some(n as usize),
+                    Some(Token {
+                        tok: Tok::Int(n), ..
+                    }) if n >= 0 => *top = Some(n as usize),
                     other => {
                         return Err(AiqlError::at(
                             other.map(|t| t.span).unwrap_or_else(|| self.cur_span()),
@@ -728,9 +786,9 @@ impl Parser {
             self.pos = save;
         }
         let left = self.arith()?;
-        let op = self.cmp_op().ok_or_else(|| {
-            AiqlError::at(self.cur_span(), "expected a comparison in `having`")
-        })?;
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| AiqlError::at(self.cur_span(), "expected a comparison in `having`"))?;
         let right = self.arith()?;
         Ok(HavingExpr::Cmp { op, left, right })
     }
@@ -799,8 +857,12 @@ impl Parser {
                     };
                     if self.eat(&Tok::Comma) {
                         param = match self.bump() {
-                            Some(Token { tok: Tok::Int(i), .. }) => i as f64,
-                            Some(Token { tok: Tok::Float(f), .. }) => f,
+                            Some(Token {
+                                tok: Tok::Int(i), ..
+                            }) => i as f64,
+                            Some(Token {
+                                tok: Tok::Float(f), ..
+                            }) => f,
                             other => {
                                 return Err(AiqlError::at(
                                     other.map(|t| t.span).unwrap_or(span),
@@ -822,7 +884,9 @@ impl Parser {
                     let (nm, span) = self.ident("value name")?;
                     self.expect(&Tok::LBracket, "`[`")?;
                     let back = match self.bump() {
-                        Some(Token { tok: Tok::Int(i), .. }) if i >= 0 => i as usize,
+                        Some(Token {
+                            tok: Tok::Int(i), ..
+                        }) if i >= 0 => i as usize,
                         other => {
                             return Err(AiqlError::at(
                                 other.map(|t| t.span).unwrap_or(span),
@@ -831,11 +895,18 @@ impl Parser {
                         }
                     };
                     let end = self.expect(&Tok::RBracket, "`]` after history offset")?;
-                    return Ok(ArithExpr::Hist { name: nm, back, span: span.merge(end) });
+                    return Ok(ArithExpr::Hist {
+                        name: nm,
+                        back,
+                        span: span.merge(end),
+                    });
                 }
                 Ok(ArithExpr::Ref(self.attr_ref()?))
             }
-            _ => Err(AiqlError::at(self.cur_span(), "expected an arithmetic operand")),
+            _ => Err(AiqlError::at(
+                self.cur_span(),
+                "expected an arithmetic operand",
+            )),
         }
     }
 
@@ -933,7 +1004,10 @@ mod tests {
         assert!(matches!(q.relations[0], Relation::Attr { .. }));
         assert!(matches!(
             q.relations[1],
-            Relation::Temporal { kind: TempKind::Before, .. }
+            Relation::Temporal {
+                kind: TempKind::Before,
+                ..
+            }
         ));
     }
 
@@ -1025,7 +1099,11 @@ mod tests {
         assert_eq!(q.patterns.len(), 1);
         assert_eq!(q.patterns[0].evt_var.as_deref(), Some("evt"));
         match &q.ret.items[1].expr {
-            RetExpr::Agg { func: AggFunc::Avg, arg, .. } => {
+            RetExpr::Agg {
+                func: AggFunc::Avg,
+                arg,
+                ..
+            } => {
                 assert_eq!(arg.id, "evt");
                 assert_eq!(arg.attr.as_deref(), Some("amount"));
             }
@@ -1066,20 +1144,24 @@ mod tests {
             "#,
         );
         match &q.relations[0] {
-            Relation::Temporal { range: Some((1, 2, TimeUnit::Minute)), .. } => {}
+            Relation::Temporal {
+                range: Some((1, 2, TimeUnit::Minute)),
+                ..
+            } => {}
             other => panic!("bad range: {other:?}"),
         }
         match &q.relations[1] {
-            Relation::Temporal { kind: TempKind::Within, .. } => {}
+            Relation::Temporal {
+                kind: TempKind::Within,
+                ..
+            } => {}
             other => panic!("expected within: {other:?}"),
         }
     }
 
     #[test]
     fn return_count_distinct_flags_and_top() {
-        let q = multievent(
-            "proc p1 read file f1 return count distinct p1 top 5",
-        );
+        let q = multievent("proc p1 read file f1 return count distinct p1 top 5");
         assert!(q.ret.count);
         assert!(q.ret.distinct);
         assert_eq!(q.top, Some(5));
@@ -1087,9 +1169,7 @@ mod tests {
 
     #[test]
     fn backward_dependency_and_default_direction() {
-        let q = dependency(
-            "backward: file f1 <-[write] proc p1 return f1, p1",
-        );
+        let q = dependency("backward: file f1 <-[write] proc p1 return f1, p1");
         assert_eq!(q.direction, Direction::Backward);
         let q = dependency("proc p1 ->[write] file f1 return p1, f1");
         assert_eq!(q.direction, Direction::Forward);
@@ -1139,10 +1219,20 @@ mod tests {
         );
         let h = q.having.unwrap();
         match h {
-            HavingExpr::Cmp { op: CmpOp::Gt, left, .. } => match left {
+            HavingExpr::Cmp {
+                op: CmpOp::Gt,
+                left,
+                ..
+            } => match left {
                 ArithExpr::Div(num, den) => {
                     assert!(matches!(*num, ArithExpr::Sub(_, _)));
-                    assert!(matches!(*den, ArithExpr::MovAvg { kind: MaKind::Ewma, .. }));
+                    assert!(matches!(
+                        *den,
+                        ArithExpr::MovAvg {
+                            kind: MaKind::Ewma,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected division, got {other:?}"),
             },

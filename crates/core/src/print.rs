@@ -56,7 +56,11 @@ fn dependency(q: &DependencyQuery) -> String {
             EdgeDir::Right => "->",
             EdgeDir::Left => "<-",
         };
-        out.push_str(&format!(" {arrow}[{}] {}", op_expr(op), entity(&q.entities[i + 1])));
+        out.push_str(&format!(
+            " {arrow}[{}] {}",
+            op_expr(op),
+            entity(&q.entities[i + 1])
+        ));
     }
     out.push('\n');
     out.push_str(&ret(&q.ret));
@@ -69,7 +73,11 @@ fn tail(sort_by: &[(RetExpr, bool)], top: Option<usize>) -> String {
     if !sort_by.is_empty() {
         let asc = sort_by[0].1;
         let s: Vec<String> = sort_by.iter().map(|(e, _)| ret_expr(e)).collect();
-        out.push_str(&format!("\nsort by {}{}", s.join(", "), if asc { "" } else { " desc" }));
+        out.push_str(&format!(
+            "\nsort by {}{}",
+            s.join(", "),
+            if asc { "" } else { " desc" }
+        ));
     }
     if let Some(n) = top {
         out.push_str(&format!("\ntop {n}"));
@@ -79,7 +87,9 @@ fn tail(sort_by: &[(RetExpr, bool)], top: Option<usize>) -> String {
 
 fn global(g: &GlobalCstr) -> String {
     match g {
-        GlobalCstr::Attr { attr, op, value, .. } => {
+        GlobalCstr::Attr {
+            attr, op, value, ..
+        } => {
             format!("{attr} {} {}", cmp(*op), value.to_source())
         }
         GlobalCstr::AttrIn { attr, values, .. } => {
@@ -156,15 +166,23 @@ fn op_expr(o: &OpExpr) -> String {
 
 fn cstr(c: &AttrCstr) -> String {
     match c {
-        AttrCstr::Cmp { attr, op, value, .. } => {
+        AttrCstr::Cmp {
+            attr, op, value, ..
+        } => {
             format!("{attr} {} {}", cmp(*op), value.to_source())
         }
         AttrCstr::Bare { neg, value, .. } => {
             format!("{}{}", if *neg { "!" } else { "" }, value.to_source())
         }
-        AttrCstr::In { attr, neg, values, .. } => {
+        AttrCstr::In {
+            attr, neg, values, ..
+        } => {
             let vs: Vec<String> = values.iter().map(Lit::to_source).collect();
-            format!("{attr}{} in ({})", if *neg { " not" } else { "" }, vs.join(", "))
+            format!(
+                "{attr}{} in ({})",
+                if *neg { " not" } else { "" },
+                vs.join(", ")
+            )
         }
         AttrCstr::Not(e) => format!("!({})", cstr(e)),
         AttrCstr::And(a, b) => format!("({} && {})", cstr(a), cstr(b)),
@@ -195,7 +213,13 @@ fn relation(r: &Relation) -> String {
         Relation::Attr { left, op, right } => {
             format!("{} {} {}", attr_ref(left), cmp(*op), attr_ref(right))
         }
-        Relation::Temporal { left, kind, range, right, .. } => {
+        Relation::Temporal {
+            left,
+            kind,
+            range,
+            right,
+            ..
+        } => {
             let kw = match kind {
                 TempKind::Before => "before",
                 TempKind::After => "after",
@@ -235,7 +259,12 @@ fn ret(r: &ReturnClause) -> String {
 fn ret_expr(e: &RetExpr) -> String {
     match e {
         RetExpr::Ref(r) => attr_ref(r),
-        RetExpr::Agg { func, distinct, arg, .. } => {
+        RetExpr::Agg {
+            func,
+            distinct,
+            arg,
+            ..
+        } => {
             let f = format!("{func:?}").to_lowercase();
             format!(
                 "{f}({}{})",
@@ -268,7 +297,9 @@ fn arith(a: &ArithExpr) -> String {
         }
         ArithExpr::Ref(r) => attr_ref(r),
         ArithExpr::Hist { name, back, .. } => format!("{name}[{back}]"),
-        ArithExpr::MovAvg { kind, name, param, .. } => {
+        ArithExpr::MovAvg {
+            kind, name, param, ..
+        } => {
             let f = match kind {
                 MaKind::Sma => "SMA",
                 MaKind::Cma => "CMA",
@@ -293,9 +324,8 @@ mod tests {
     fn round_trip(src: &str) {
         let q1 = parse(src).unwrap();
         let printed = to_source(&q1);
-        let q2 = parse(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\nprinted:\n{printed}")
-        });
+        let q2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\nprinted:\n{printed}"));
         let printed2 = to_source(&q2);
         assert_eq!(printed, printed2, "printer not a fixpoint for:\n{src}");
     }

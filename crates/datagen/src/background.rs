@@ -91,7 +91,13 @@ pub fn generate(
             .map(|i| em.file(agent, &format!("/home/user{h}/doc{i}.txt")))
             .collect();
         let conns: Vec<EntityId> = (0..8)
-            .map(|i| em.conn(agent, &format!("10.0.2.{}", 1 + i), [80, 443, 53, 445][i % 4]))
+            .map(|i| {
+                em.conn(
+                    agent,
+                    &format!("10.0.2.{}", 1 + i),
+                    [80, 443, 53, 445][i % 4],
+                )
+            })
             .collect();
         host_state.push(Host {
             agent,
@@ -129,7 +135,15 @@ fn emit_one(em: &mut Emitter<'_>, host: &mut Host, t: Timestamp, rng: &mut Small
         } else {
             host.cold_files[rng.gen_range(0..host.cold_files.len())]
         };
-        em.event(host.agent, subject, OpType::Read, f, EntityKind::File, t, rng.gen_range(64..65_536));
+        em.event(
+            host.agent,
+            subject,
+            OpType::Read,
+            f,
+            EntityKind::File,
+            t,
+            rng.gen_range(64..65_536),
+        );
     } else if roll < 0.60 {
         // File write, mostly cold.
         let f = if rng.gen_bool(0.2) {
@@ -137,7 +151,15 @@ fn emit_one(em: &mut Emitter<'_>, host: &mut Host, t: Timestamp, rng: &mut Small
         } else {
             host.cold_files[rng.gen_range(0..host.cold_files.len())]
         };
-        em.event(host.agent, subject, OpType::Write, f, EntityKind::File, t, rng.gen_range(64..16_384));
+        em.event(
+            host.agent,
+            subject,
+            OpType::Write,
+            f,
+            EntityKind::File,
+            t,
+            rng.gen_range(64..16_384),
+        );
     } else if roll < 0.72 {
         // Process start: user proc spawns a fresh short-lived child.
         let child = em.process_as(
@@ -147,7 +169,15 @@ fn emit_one(em: &mut Emitter<'_>, host: &mut Host, t: Timestamp, rng: &mut Small
             "user",
             true,
         );
-        em.event(host.agent, subject, OpType::Start, child, EntityKind::Process, t, 0);
+        em.event(
+            host.agent,
+            subject,
+            OpType::Start,
+            child,
+            EntityKind::Process,
+            t,
+            0,
+        );
         host.users.push(child);
         // Bound the growing pool so hosts stay realistic.
         if host.users.len() > 64 {
@@ -155,20 +185,52 @@ fn emit_one(em: &mut Emitter<'_>, host: &mut Host, t: Timestamp, rng: &mut Small
         }
     } else if roll < 0.78 {
         // Process end.
-        em.event(host.agent, subject, OpType::End, subject, EntityKind::Process, t, 0);
+        em.event(
+            host.agent,
+            subject,
+            OpType::End,
+            subject,
+            EntityKind::Process,
+            t,
+            0,
+        );
     } else if roll < 0.95 {
         // Network send/receive to a standing connection.
         let c = host.conns[rng.gen_range(0..host.conns.len())];
-        let op = if rng.gen_bool(0.6) { OpType::Write } else { OpType::Read };
-        em.event(host.agent, subject, op, c, EntityKind::NetConn, t, rng.gen_range(100..20_000));
+        let op = if rng.gen_bool(0.6) {
+            OpType::Write
+        } else {
+            OpType::Read
+        };
+        em.event(
+            host.agent,
+            subject,
+            op,
+            c,
+            EntityKind::NetConn,
+            t,
+            rng.gen_range(100..20_000),
+        );
     } else if roll < 0.98 {
         // Execute a binary image.
         let f = host.hot_files[rng.gen_range(0..host.hot_files.len())];
-        em.event(host.agent, subject, OpType::Execute, f, EntityKind::File, t, 0);
+        em.event(
+            host.agent,
+            subject,
+            OpType::Execute,
+            f,
+            EntityKind::File,
+            t,
+            0,
+        );
     } else {
         // Rename / delete housekeeping.
         let f = host.cold_files[rng.gen_range(0..host.cold_files.len())];
-        let op = if rng.gen_bool(0.5) { OpType::Rename } else { OpType::Delete };
+        let op = if rng.gen_bool(0.5) {
+            OpType::Rename
+        } else {
+            OpType::Delete
+        };
         em.event(host.agent, subject, op, f, EntityKind::File, t, 0);
     }
 }

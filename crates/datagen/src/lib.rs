@@ -30,9 +30,11 @@
 
 pub mod background;
 pub mod scenarios;
+pub mod stream;
 pub mod util;
 
 pub use scenarios::{GroundTruth, ATTACKER_IP, ATTACKER_IP2, ATTACK_DAY};
+pub use stream::{AgentSkew, StreamBatch, StreamConfig};
 
 use aiql_model::{Dataset, Timestamp};
 use util::{Emitter, Ids};

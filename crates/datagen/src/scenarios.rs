@@ -90,96 +90,334 @@ pub fn apt_case_study(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundT
     let outlook = em.process_as(wc, "outlook.exe", 2001, "bob", true);
     let mailconn = em.conn(wc, "10.0.2.25", 143);
     let xls = em.file(wc, "C:\\Users\\bob\\Downloads\\payroll.xls");
-    let e = em.event(wc, outlook, OpType::Read, mailconn, EntityKind::NetConn, at(base, d, 9.0 * h), 250_000);
+    let e = em.event(
+        wc,
+        outlook,
+        OpType::Read,
+        mailconn,
+        EntityKind::NetConn,
+        at(base, d, 9.0 * h),
+        250_000,
+    );
     record(truth, "c1", e);
-    let e = em.event(wc, outlook, OpType::Write, xls, EntityKind::File, at(base, d, 9.0 * h + 30.0), 250_000);
+    let e = em.event(
+        wc,
+        outlook,
+        OpType::Write,
+        xls,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 30.0),
+        250_000,
+    );
     record(truth, "c1", e);
     let excel = em.process_as(wc, "excel.exe", 2002, "bob", true);
-    let e = em.event(wc, outlook, OpType::Start, excel, EntityKind::Process, at(base, d, 9.0 * h + 60.0), 0);
+    let e = em.event(
+        wc,
+        outlook,
+        OpType::Start,
+        excel,
+        EntityKind::Process,
+        at(base, d, 9.0 * h + 60.0),
+        0,
+    );
     record(truth, "c1", e);
-    em.event(wc, excel, OpType::Read, xls, EntityKind::File, at(base, d, 9.0 * h + 70.0), 250_000);
+    em.event(
+        wc,
+        excel,
+        OpType::Read,
+        xls,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 70.0),
+        250_000,
+    );
 
     // --- c2: Malware infection (macro downloads and runs a backdoor) -----
     let cmd_wc = em.process_as(wc, "cmd.exe", 2003, "bob", true);
-    let e = em.event(wc, excel, OpType::Start, cmd_wc, EntityKind::Process, at(base, d, 9.0 * h + 120.0), 0);
+    let e = em.event(
+        wc,
+        excel,
+        OpType::Start,
+        cmd_wc,
+        EntityKind::Process,
+        at(base, d, 9.0 * h + 120.0),
+        0,
+    );
     record(truth, "c2", e);
     let pwsh = em.process_as(wc, "powershell.exe", 2004, "bob", true);
-    let e = em.event(wc, cmd_wc, OpType::Start, pwsh, EntityKind::Process, at(base, d, 9.0 * h + 130.0), 0);
+    let e = em.event(
+        wc,
+        cmd_wc,
+        OpType::Start,
+        pwsh,
+        EntityKind::Process,
+        at(base, d, 9.0 * h + 130.0),
+        0,
+    );
     record(truth, "c2", e);
     let dl = em.conn(wc, ATTACKER_IP, 80);
-    em.event(wc, pwsh, OpType::Read, dl, EntityKind::NetConn, at(base, d, 9.0 * h + 150.0), 1_400_000);
+    em.event(
+        wc,
+        pwsh,
+        OpType::Read,
+        dl,
+        EntityKind::NetConn,
+        at(base, d, 9.0 * h + 150.0),
+        1_400_000,
+    );
     let mal_file = em.file(wc, "C:\\Users\\bob\\AppData\\Local\\Temp\\mal.exe");
-    let e = em.event(wc, pwsh, OpType::Write, mal_file, EntityKind::File, at(base, d, 9.0 * h + 160.0), 1_400_000);
+    let e = em.event(
+        wc,
+        pwsh,
+        OpType::Write,
+        mal_file,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 160.0),
+        1_400_000,
+    );
     record(truth, "c2", e);
     let mal = em.process_as(wc, "mal.exe", 2005, "bob", false);
-    let e = em.event(wc, pwsh, OpType::Start, mal, EntityKind::Process, at(base, d, 9.0 * h + 180.0), 0);
+    let e = em.event(
+        wc,
+        pwsh,
+        OpType::Start,
+        mal,
+        EntityKind::Process,
+        at(base, d, 9.0 * h + 180.0),
+        0,
+    );
     record(truth, "c2", e);
     let backdoor = em.conn(wc, ATTACKER_IP, 4444);
-    let e = em.event(wc, mal, OpType::Connect, backdoor, EntityKind::NetConn, at(base, d, 9.0 * h + 190.0), 0);
+    let e = em.event(
+        wc,
+        mal,
+        OpType::Connect,
+        backdoor,
+        EntityKind::NetConn,
+        at(base, d, 9.0 * h + 190.0),
+        0,
+    );
     record(truth, "c2", e);
     let job = em.file(wc, "C:\\Windows\\Tasks\\mal.job");
-    em.event(wc, mal, OpType::Write, job, EntityKind::File, at(base, d, 9.0 * h + 240.0), 512);
+    em.event(
+        wc,
+        mal,
+        OpType::Write,
+        job,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 240.0),
+        512,
+    );
 
     // --- c3: Privilege escalation (port scan + credential dump) ----------
     for i in 0..20i64 {
         let c = em.conn(wc, &format!("10.0.0.{}", i + 1), 1433);
-        let e = em.event(wc, mal, OpType::Connect, c, EntityKind::NetConn, at(base, d, 10.0 * h + i as f64), 0);
+        let e = em.event(
+            wc,
+            mal,
+            OpType::Connect,
+            c,
+            EntityKind::NetConn,
+            at(base, d, 10.0 * h + i as f64),
+            0,
+        );
         if i == 0 {
             record(truth, "c3", e);
         }
     }
     let gsec = em.process_as(wc, "gsecdump.exe", 2006, "bob", false);
-    let e = em.event(wc, mal, OpType::Start, gsec, EntityKind::Process, at(base, d, 10.0 * h + 300.0), 0);
+    let e = em.event(
+        wc,
+        mal,
+        OpType::Start,
+        gsec,
+        EntityKind::Process,
+        at(base, d, 10.0 * h + 300.0),
+        0,
+    );
     record(truth, "c3", e);
     let sam = em.file(wc, "C:\\Windows\\System32\\config\\SAM");
-    em.event(wc, gsec, OpType::Read, sam, EntityKind::File, at(base, d, 10.0 * h + 310.0), 65_536);
+    em.event(
+        wc,
+        gsec,
+        OpType::Read,
+        sam,
+        EntityKind::File,
+        at(base, d, 10.0 * h + 310.0),
+        65_536,
+    );
     let creds = em.file(wc, "C:\\Users\\bob\\AppData\\creds.txt");
-    let e = em.event(wc, gsec, OpType::Write, creds, EntityKind::File, at(base, d, 10.0 * h + 320.0), 4_096);
+    let e = em.event(
+        wc,
+        gsec,
+        OpType::Write,
+        creds,
+        EntityKind::File,
+        at(base, d, 10.0 * h + 320.0),
+        4_096,
+    );
     record(truth, "c3", e);
-    em.event(wc, mal, OpType::Read, creds, EntityKind::File, at(base, d, 10.0 * h + 360.0), 4_096);
-    em.event(wc, mal, OpType::Write, backdoor, EntityKind::NetConn, at(base, d, 10.0 * h + 390.0), 4_096);
+    em.event(
+        wc,
+        mal,
+        OpType::Read,
+        creds,
+        EntityKind::File,
+        at(base, d, 10.0 * h + 360.0),
+        4_096,
+    );
+    em.event(
+        wc,
+        mal,
+        OpType::Write,
+        backdoor,
+        EntityKind::NetConn,
+        at(base, d, 10.0 * h + 390.0),
+        4_096,
+    );
 
     // --- c4: Penetration into the database server -------------------------
     let sqlservr = em.process_as(db, "sqlservr.exe", 3001, "SYSTEM", true);
     let inbound = em.conn(db, "10.0.0.11", 1433);
-    let e = em.event(db, sqlservr, OpType::Accept, inbound, EntityKind::NetConn, at(base, d, 11.0 * h), 0);
+    let e = em.event(
+        db,
+        sqlservr,
+        OpType::Accept,
+        inbound,
+        EntityKind::NetConn,
+        at(base, d, 11.0 * h),
+        0,
+    );
     record(truth, "c4", e);
     let cmd_db = em.process_as(db, "cmd.exe", 3002, "SYSTEM", true);
-    let e = em.event(db, sqlservr, OpType::Start, cmd_db, EntityKind::Process, at(base, d, 11.0 * h + 60.0), 0);
+    let e = em.event(
+        db,
+        sqlservr,
+        OpType::Start,
+        cmd_db,
+        EntityKind::Process,
+        at(base, d, 11.0 * h + 60.0),
+        0,
+    );
     record(truth, "c4", e);
     let vbs = em.file(db, "C:\\Windows\\Temp\\drop.vbs");
-    let e = em.event(db, cmd_db, OpType::Write, vbs, EntityKind::File, at(base, d, 11.0 * h + 90.0), 2_048);
+    let e = em.event(
+        db,
+        cmd_db,
+        OpType::Write,
+        vbs,
+        EntityKind::File,
+        at(base, d, 11.0 * h + 90.0),
+        2_048,
+    );
     record(truth, "c4", e);
     let wscript = em.process_as(db, "wscript.exe", 3003, "SYSTEM", true);
-    em.event(db, cmd_db, OpType::Start, wscript, EntityKind::Process, at(base, d, 11.0 * h + 120.0), 0);
-    em.event(db, wscript, OpType::Read, vbs, EntityKind::File, at(base, d, 11.0 * h + 130.0), 2_048);
+    em.event(
+        db,
+        cmd_db,
+        OpType::Start,
+        wscript,
+        EntityKind::Process,
+        at(base, d, 11.0 * h + 120.0),
+        0,
+    );
+    em.event(
+        db,
+        wscript,
+        OpType::Read,
+        vbs,
+        EntityKind::File,
+        at(base, d, 11.0 * h + 130.0),
+        2_048,
+    );
     let sbblv_file = em.file(db, "C:\\Windows\\Temp\\sbblv.exe");
-    let e = em.event(db, wscript, OpType::Write, sbblv_file, EntityKind::File, at(base, d, 11.0 * h + 150.0), 900_000);
+    let e = em.event(
+        db,
+        wscript,
+        OpType::Write,
+        sbblv_file,
+        EntityKind::File,
+        at(base, d, 11.0 * h + 150.0),
+        900_000,
+    );
     record(truth, "c4", e);
     let sbblv = em.process_as(db, "sbblv.exe", 3004, "SYSTEM", false);
-    let e = em.event(db, wscript, OpType::Start, sbblv, EntityKind::Process, at(base, d, 11.0 * h + 180.0), 0);
+    let e = em.event(
+        db,
+        wscript,
+        OpType::Start,
+        sbblv,
+        EntityKind::Process,
+        at(base, d, 11.0 * h + 180.0),
+        0,
+    );
     record(truth, "c4", e);
     let backdoor2 = em.conn(db, ATTACKER_IP, 443);
-    em.event(db, sbblv, OpType::Connect, backdoor2, EntityKind::NetConn, at(base, d, 11.0 * h + 200.0), 0);
+    em.event(
+        db,
+        sbblv,
+        OpType::Connect,
+        backdoor2,
+        EntityKind::NetConn,
+        at(base, d, 11.0 * h + 200.0),
+        0,
+    );
 
     // --- c5: Data exfiltration --------------------------------------------
     let osql = em.process_as(db, "osql.exe", 3005, "SYSTEM", true);
-    let e = em.event(db, cmd_db, OpType::Start, osql, EntityKind::Process, at(base, d, 14.0 * h), 0);
+    let e = em.event(
+        db,
+        cmd_db,
+        OpType::Start,
+        osql,
+        EntityKind::Process,
+        at(base, d, 14.0 * h),
+        0,
+    );
     record(truth, "c5", e);
     let dump = em.file(db, "C:\\MSSQL\\data\\BACKUP1.DMP");
-    let e = em.event(db, sqlservr, OpType::Write, dump, EntityKind::File, at(base, d, 14.0 * h + 300.0), 300_000_000);
+    let e = em.event(
+        db,
+        sqlservr,
+        OpType::Write,
+        dump,
+        EntityKind::File,
+        at(base, d, 14.0 * h + 300.0),
+        300_000_000,
+    );
     record(truth, "c5", e);
-    let e = em.event(db, sbblv, OpType::Read, dump, EntityKind::File, at(base, d, 14.0 * h + 600.0), 300_000_000);
+    let e = em.event(
+        db,
+        sbblv,
+        OpType::Read,
+        dump,
+        EntityKind::File,
+        at(base, d, 14.0 * h + 600.0),
+        300_000_000,
+    );
     record(truth, "c5", e);
     // Beaconing noise (small), then the exfiltration spike (huge): the
     // moving-average anomaly query (paper Query 5) must flag only the spike.
     for i in 0..120i64 {
-        em.event(db, sbblv, OpType::Write, backdoor2, EntityKind::NetConn,
-            at(base, d, 14.0 * h + 1200.0 + i as f64 * 10.0), 1_000);
+        em.event(
+            db,
+            sbblv,
+            OpType::Write,
+            backdoor2,
+            EntityKind::NetConn,
+            at(base, d, 14.0 * h + 1200.0 + i as f64 * 10.0),
+            1_000,
+        );
     }
     for i in 0..3i64 {
-        let e = em.event(db, sbblv, OpType::Write, backdoor2, EntityKind::NetConn,
-            at(base, d, 14.0 * h + 2700.0 + i as f64 * 10.0), 50_000_000);
+        let e = em.event(
+            db,
+            sbblv,
+            OpType::Write,
+            backdoor2,
+            EntityKind::NetConn,
+            at(base, d, 14.0 * h + 2700.0 + i as f64 * 10.0),
+            50_000_000,
+        );
         record(truth, "c5", e);
     }
 }
@@ -194,56 +432,184 @@ pub fn apt2(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
     // a1: drive-by download.
     let firefox = em.process_as(web, "firefox.exe", 4001, "carol", true);
     let evil = em.conn(web, ATTACKER_IP2, 80);
-    let e = em.event(web, firefox, OpType::Read, evil, EntityKind::NetConn, at(base, d, 9.5 * h), 2_000_000);
+    let e = em.event(
+        web,
+        firefox,
+        OpType::Read,
+        evil,
+        EntityKind::NetConn,
+        at(base, d, 9.5 * h),
+        2_000_000,
+    );
     record(truth, "a1", e);
     let setup = em.file(web, "C:\\Users\\carol\\Downloads\\setup_flash.exe");
-    let e = em.event(web, firefox, OpType::Write, setup, EntityKind::File, at(base, d, 9.5 * h + 20.0), 2_000_000);
+    let e = em.event(
+        web,
+        firefox,
+        OpType::Write,
+        setup,
+        EntityKind::File,
+        at(base, d, 9.5 * h + 20.0),
+        2_000_000,
+    );
     record(truth, "a1", e);
     let setup_p = em.process_as(web, "setup_flash.exe", 4002, "carol", false);
-    let e = em.event(web, firefox, OpType::Start, setup_p, EntityKind::Process, at(base, d, 9.5 * h + 60.0), 0);
+    let e = em.event(
+        web,
+        firefox,
+        OpType::Start,
+        setup_p,
+        EntityKind::Process,
+        at(base, d, 9.5 * h + 60.0),
+        0,
+    );
     record(truth, "a1", e);
 
     // a2: persistence + implant.
     let autorun = em.file(web, "C:\\autorun.inf");
-    let e = em.event(web, setup_p, OpType::Write, autorun, EntityKind::File, at(base, d, 9.7 * h), 128);
+    let e = em.event(
+        web,
+        setup_p,
+        OpType::Write,
+        autorun,
+        EntityKind::File,
+        at(base, d, 9.7 * h),
+        128,
+    );
     record(truth, "a2", e);
     let updd_file = em.file(web, "C:\\ProgramData\\updd.exe");
-    em.event(web, setup_p, OpType::Write, updd_file, EntityKind::File, at(base, d, 9.7 * h + 10.0), 1_500_000);
+    em.event(
+        web,
+        setup_p,
+        OpType::Write,
+        updd_file,
+        EntityKind::File,
+        at(base, d, 9.7 * h + 10.0),
+        1_500_000,
+    );
     let updd = em.process_as(web, "updd.exe", 4003, "carol", false);
-    let e = em.event(web, setup_p, OpType::Start, updd, EntityKind::Process, at(base, d, 9.7 * h + 30.0), 0);
+    let e = em.event(
+        web,
+        setup_p,
+        OpType::Start,
+        updd,
+        EntityKind::Process,
+        at(base, d, 9.7 * h + 30.0),
+        0,
+    );
     record(truth, "a2", e);
     let c2 = em.conn(web, ATTACKER_IP2, 8080);
-    em.event(web, updd, OpType::Connect, c2, EntityKind::NetConn, at(base, d, 9.7 * h + 40.0), 0);
+    em.event(
+        web,
+        updd,
+        OpType::Connect,
+        c2,
+        EntityKind::NetConn,
+        at(base, d, 9.7 * h + 40.0),
+        0,
+    );
 
     // a3: recon.
     let sec = em.file(web, "C:\\Windows\\System32\\config\\SECURITY");
-    let e = em.event(web, updd, OpType::Read, sec, EntityKind::File, at(base, d, 10.5 * h), 65_536);
+    let e = em.event(
+        web,
+        updd,
+        OpType::Read,
+        sec,
+        EntityKind::File,
+        at(base, d, 10.5 * h),
+        65_536,
+    );
     record(truth, "a3", e);
     for i in 0..15i64 {
         let c = em.conn(web, &format!("10.0.1.{}", i + 1), 22);
-        em.event(web, updd, OpType::Connect, c, EntityKind::NetConn, at(base, d, 10.5 * h + 60.0 + i as f64), 0);
+        em.event(
+            web,
+            updd,
+            OpType::Connect,
+            c,
+            EntityKind::NetConn,
+            at(base, d, 10.5 * h + 60.0 + i as f64),
+            0,
+        );
     }
 
     // a4: lateral movement (cross-host connect, proc → proc).
     let sshd = em.process_as(dev, "sshd", 5001, "root", true);
-    let e = em.event(web, updd, OpType::Connect, sshd, EntityKind::Process, at(base, d, 11.5 * h), 0);
+    let e = em.event(
+        web,
+        updd,
+        OpType::Connect,
+        sshd,
+        EntityKind::Process,
+        at(base, d, 11.5 * h),
+        0,
+    );
     record(truth, "a4", e);
     let bash = em.process_as(dev, "bash", 5002, "admin", true);
-    let e = em.event(dev, sshd, OpType::Start, bash, EntityKind::Process, at(base, d, 11.5 * h + 10.0), 0);
+    let e = em.event(
+        dev,
+        sshd,
+        OpType::Start,
+        bash,
+        EntityKind::Process,
+        at(base, d, 11.5 * h + 10.0),
+        0,
+    );
     record(truth, "a4", e);
     let key = em.file(dev, "/home/admin/.ssh/id_rsa");
-    let e = em.event(dev, bash, OpType::Read, key, EntityKind::File, at(base, d, 11.5 * h + 30.0), 1_700);
+    let e = em.event(
+        dev,
+        bash,
+        OpType::Read,
+        key,
+        EntityKind::File,
+        at(base, d, 11.5 * h + 30.0),
+        1_700,
+    );
     record(truth, "a4", e);
 
     // a5: staging + exfiltration.
     let stage = em.file(dev, "/tmp/stage.tgz");
-    let e = em.event(dev, bash, OpType::Write, stage, EntityKind::File, at(base, d, 13.0 * h), 80_000_000);
+    let e = em.event(
+        dev,
+        bash,
+        OpType::Write,
+        stage,
+        EntityKind::File,
+        at(base, d, 13.0 * h),
+        80_000_000,
+    );
     record(truth, "a5", e);
     let scp = em.process_as(dev, "scp", 5003, "admin", true);
-    em.event(dev, bash, OpType::Start, scp, EntityKind::Process, at(base, d, 13.0 * h + 20.0), 0);
-    em.event(dev, scp, OpType::Read, stage, EntityKind::File, at(base, d, 13.0 * h + 30.0), 80_000_000);
+    em.event(
+        dev,
+        bash,
+        OpType::Start,
+        scp,
+        EntityKind::Process,
+        at(base, d, 13.0 * h + 20.0),
+        0,
+    );
+    em.event(
+        dev,
+        scp,
+        OpType::Read,
+        stage,
+        EntityKind::File,
+        at(base, d, 13.0 * h + 30.0),
+        80_000_000,
+    );
     let out = em.conn(dev, ATTACKER_IP2, 22);
-    let e = em.event(dev, scp, OpType::Write, out, EntityKind::NetConn, at(base, d, 13.0 * h + 40.0), 80_000_000);
+    let e = em.event(
+        dev,
+        scp,
+        OpType::Write,
+        out,
+        EntityKind::NetConn,
+        at(base, d, 13.0 * h + 40.0),
+        80_000_000,
+    );
     record(truth, "a5", e);
 }
 
@@ -256,26 +622,82 @@ pub fn dependency(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth
     // d1: provenance of a Chrome update executable.
     let services = em.process_as(wc, "services.exe", 2101, "SYSTEM", true);
     let gupdate = em.process_as(wc, "GoogleUpdate.exe", 2102, "SYSTEM", true);
-    let e = em.event(wc, services, OpType::Start, gupdate, EntityKind::Process, at(base, d, 8.0 * h), 0);
+    let e = em.event(
+        wc,
+        services,
+        OpType::Start,
+        gupdate,
+        EntityKind::Process,
+        at(base, d, 8.0 * h),
+        0,
+    );
     record(truth, "d1", e);
     let gconn = em.conn(wc, "74.125.20.100", 443);
-    em.event(wc, gupdate, OpType::Read, gconn, EntityKind::NetConn, at(base, d, 8.0 * h + 10.0), 40_000_000);
+    em.event(
+        wc,
+        gupdate,
+        OpType::Read,
+        gconn,
+        EntityKind::NetConn,
+        at(base, d, 8.0 * h + 10.0),
+        40_000_000,
+    );
     let chrome_up = em.file(wc, "C:\\Program Files\\Google\\chrome_update.exe");
-    let e = em.event(wc, gupdate, OpType::Write, chrome_up, EntityKind::File, at(base, d, 8.0 * h + 30.0), 40_000_000);
+    let e = em.event(
+        wc,
+        gupdate,
+        OpType::Write,
+        chrome_up,
+        EntityKind::File,
+        at(base, d, 8.0 * h + 30.0),
+        40_000_000,
+    );
     record(truth, "d1", e);
 
     // d2: provenance of a Java update executable (services → jusched →
     // jucheck → file, so a three-edge backward walk terminates).
     let jusched = em.process_as(wc, "jusched.exe", 2103, "SYSTEM", true);
     let jucheck = em.process_as(wc, "jucheck.exe", 2104, "SYSTEM", true);
-    let e = em.event(wc, services, OpType::Start, jusched, EntityKind::Process, at(base, d, 8.15 * h), 0);
+    let e = em.event(
+        wc,
+        services,
+        OpType::Start,
+        jusched,
+        EntityKind::Process,
+        at(base, d, 8.15 * h),
+        0,
+    );
     record(truth, "d2", e);
-    let e = em.event(wc, jusched, OpType::Start, jucheck, EntityKind::Process, at(base, d, 8.2 * h), 0);
+    let e = em.event(
+        wc,
+        jusched,
+        OpType::Start,
+        jucheck,
+        EntityKind::Process,
+        at(base, d, 8.2 * h),
+        0,
+    );
     record(truth, "d2", e);
     let jconn = em.conn(wc, "23.45.67.89", 443);
-    em.event(wc, jucheck, OpType::Read, jconn, EntityKind::NetConn, at(base, d, 8.2 * h + 10.0), 60_000_000);
+    em.event(
+        wc,
+        jucheck,
+        OpType::Read,
+        jconn,
+        EntityKind::NetConn,
+        at(base, d, 8.2 * h + 10.0),
+        60_000_000,
+    );
     let jup = em.file(wc, "C:\\Program Files\\Java\\java_update.exe");
-    let e = em.event(wc, jucheck, OpType::Write, jup, EntityKind::File, at(base, d, 8.2 * h + 40.0), 60_000_000);
+    let e = em.event(
+        wc,
+        jucheck,
+        OpType::Write,
+        jup,
+        EntityKind::File,
+        at(base, d, 8.2 * h + 40.0),
+        60_000_000,
+    );
     record(truth, "d2", e);
 
     // d3: info_stealer ramification across hosts (paper Query 3, verbatim
@@ -285,16 +707,48 @@ pub fn dependency(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth
     let b = AgentId(hosts::HOST_B);
     let cp = em.process_as(a, "/bin/cp", 6001, "root", true);
     let stealer_a = em.file(a, "/var/www/html/info_stealer.sh");
-    let e = em.event(a, cp, OpType::Write, stealer_a, EntityKind::File, at(base, d, 12.0 * h), 9_000);
+    let e = em.event(
+        a,
+        cp,
+        OpType::Write,
+        stealer_a,
+        EntityKind::File,
+        at(base, d, 12.0 * h),
+        9_000,
+    );
     record(truth, "d3", e);
     let apache = em.process_as(a, "apache2", 6002, "www-data", true);
-    let e = em.event(a, apache, OpType::Read, stealer_a, EntityKind::File, at(base, d, 12.0 * h + 60.0), 9_000);
+    let e = em.event(
+        a,
+        apache,
+        OpType::Read,
+        stealer_a,
+        EntityKind::File,
+        at(base, d, 12.0 * h + 60.0),
+        9_000,
+    );
     record(truth, "d3", e);
     let wget = em.process_as(b, "wget", 6101, "dev", true);
-    let e = em.event(a, apache, OpType::Connect, wget, EntityKind::Process, at(base, d, 12.0 * h + 65.0), 9_000);
+    let e = em.event(
+        a,
+        apache,
+        OpType::Connect,
+        wget,
+        EntityKind::Process,
+        at(base, d, 12.0 * h + 65.0),
+        9_000,
+    );
     record(truth, "d3", e);
     let stealer_b = em.file(b, "/tmp/info_stealer.sh");
-    let e = em.event(b, wget, OpType::Write, stealer_b, EntityKind::File, at(base, d, 12.0 * h + 70.0), 9_000);
+    let e = em.event(
+        b,
+        wget,
+        OpType::Write,
+        stealer_b,
+        EntityKind::File,
+        at(base, d, 12.0 * h + 70.0),
+        9_000,
+    );
     record(truth, "d3", e);
 }
 
@@ -319,16 +773,48 @@ pub fn malware(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
         let d = ATTACK_DAY;
         let bot = em.process_as(agent, "sysbot.exe", base_pid, "user", false);
         let job = em.file(agent, "C:\\Windows\\Tasks\\sysbot.job");
-        let e = em.event(agent, bot, OpType::Write, job, EntityKind::File, at(base, d, t0), 512);
+        let e = em.event(
+            agent,
+            bot,
+            OpType::Write,
+            job,
+            EntityKind::File,
+            at(base, d, t0),
+            512,
+        );
         record(truth, label, e);
         let c2 = em.conn(agent, SYSBOT_C2, 6667);
-        let e = em.event(agent, bot, OpType::Connect, c2, EntityKind::NetConn, at(base, d, t0 + 10.0), 0);
+        let e = em.event(
+            agent,
+            bot,
+            OpType::Connect,
+            c2,
+            EntityKind::NetConn,
+            at(base, d, t0 + 10.0),
+            0,
+        );
         record(truth, label, e);
         for i in 0..30i64 {
-            em.event(agent, bot, OpType::Write, c2, EntityKind::NetConn, at(base, d, t0 + 30.0 + i as f64 * 60.0), 600);
+            em.event(
+                agent,
+                bot,
+                OpType::Write,
+                c2,
+                EntityKind::NetConn,
+                at(base, d, t0 + 30.0 + i as f64 * 60.0),
+                600,
+            );
         }
         let cmd = em.process_as(agent, "cmd.exe", base_pid + 1, "user", true);
-        let e = em.event(agent, bot, OpType::Start, cmd, EntityKind::Process, at(base, d, t0 + 120.0), 0);
+        let e = em.event(
+            agent,
+            bot,
+            OpType::Start,
+            cmd,
+            EntityKind::Process,
+            at(base, d, t0 + 120.0),
+            0,
+        );
         record(truth, label, e);
     }
     fn hooker(
@@ -343,16 +829,48 @@ pub fn malware(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
         let d = ATTACK_DAY;
         let hk = em.process_as(agent, "hooker.exe", base_pid, "user", false);
         let dll = em.file(agent, "C:\\Windows\\System32\\hook.dll");
-        let e = em.event(agent, hk, OpType::Write, dll, EntityKind::File, at(base, d, t0), 80_000);
+        let e = em.event(
+            agent,
+            hk,
+            OpType::Write,
+            dll,
+            EntityKind::File,
+            at(base, d, t0),
+            80_000,
+        );
         record(truth, label, e);
-        let e = em.event(agent, hk, OpType::Execute, dll, EntityKind::File, at(base, d, t0 + 5.0), 0);
+        let e = em.event(
+            agent,
+            hk,
+            OpType::Execute,
+            dll,
+            EntityKind::File,
+            at(base, d, t0 + 5.0),
+            0,
+        );
         record(truth, label, e);
         let klog = em.file(agent, "C:\\Users\\user\\AppData\\klog.txt");
         for i in 0..20i64 {
-            em.event(agent, hk, OpType::Write, klog, EntityKind::File, at(base, d, t0 + 60.0 + i as f64 * 30.0), 2_000);
+            em.event(
+                agent,
+                hk,
+                OpType::Write,
+                klog,
+                EntityKind::File,
+                at(base, d, t0 + 60.0 + i as f64 * 30.0),
+                2_000,
+            );
         }
         let c2 = em.conn(agent, HOOKER_C2, 80);
-        let e = em.event(agent, hk, OpType::Write, c2, EntityKind::NetConn, at(base, d, t0 + 700.0), 40_000);
+        let e = em.event(
+            agent,
+            hk,
+            OpType::Write,
+            c2,
+            EntityKind::NetConn,
+            at(base, d, t0 + 700.0),
+            40_000,
+        );
         record(truth, label, e);
     }
 
@@ -364,17 +882,49 @@ pub fn malware(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) {
     {
         let services = em.process_as(m2, "services.exe", 7201, "SYSTEM", true);
         let vir = em.process_as(m2, "autorun_v.exe", 7202, "user", false);
-        let e = em.event(m2, services, OpType::Start, vir, EntityKind::Process, at(base, d, 9.5 * h), 0);
+        let e = em.event(
+            m2,
+            services,
+            OpType::Start,
+            vir,
+            EntityKind::Process,
+            at(base, d, 9.5 * h),
+            0,
+        );
         record(truth, "v3", e);
         let inf = em.file(m2, "E:\\autorun.inf");
-        let e = em.event(m2, vir, OpType::Write, inf, EntityKind::File, at(base, d, 9.5 * h + 5.0), 128);
+        let e = em.event(
+            m2,
+            vir,
+            OpType::Write,
+            inf,
+            EntityKind::File,
+            at(base, d, 9.5 * h + 5.0),
+            128,
+        );
         record(truth, "v3", e);
         let self_copy = em.file(m2, "E:\\autorun_v.exe");
-        let e = em.event(m2, vir, OpType::Write, self_copy, EntityKind::File, at(base, d, 9.5 * h + 8.0), 450_000);
+        let e = em.event(
+            m2,
+            vir,
+            OpType::Write,
+            self_copy,
+            EntityKind::File,
+            at(base, d, 9.5 * h + 8.0),
+            450_000,
+        );
         record(truth, "v3", e);
         // Replicate into the Windows directory as well.
         let sys_copy = em.file(m2, "C:\\Windows\\autorun_v.exe");
-        em.event(m2, vir, OpType::Write, sys_copy, EntityKind::File, at(base, d, 9.5 * h + 12.0), 450_000);
+        em.event(
+            m2,
+            vir,
+            OpType::Write,
+            sys_copy,
+            EntityKind::File,
+            at(base, d, 9.5 * h + 12.0),
+            450_000,
+        );
     }
     // v4: Virus.Sysbot variant on host 7.
     sysbot(em, base, truth, m2, "v4", 7301, 11.0 * h);
@@ -391,29 +941,77 @@ pub fn abnormal(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) 
     // s1: command-history probing (paper Query 2's behaviour).
     let sshd = em.process_as(ab, "sshd", 8001, "root", true);
     let snoopy = em.process_as(ab, "snoopy", 8002, "intruder", false);
-    let e = em.event(ab, sshd, OpType::Start, snoopy, EntityKind::Process, at(base, d, 9.0 * h), 0);
+    let e = em.event(
+        ab,
+        sshd,
+        OpType::Start,
+        snoopy,
+        EntityKind::Process,
+        at(base, d, 9.0 * h),
+        0,
+    );
     record(truth, "s1", e);
     let hist = em.file(ab, "/home/admin/.bash_history");
     let vim = em.file(ab, "/home/admin/.viminfo");
-    let e = em.event(ab, snoopy, OpType::Read, hist, EntityKind::File, at(base, d, 9.0 * h + 20.0), 4_096);
+    let e = em.event(
+        ab,
+        snoopy,
+        OpType::Read,
+        hist,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 20.0),
+        4_096,
+    );
     record(truth, "s1", e);
-    let e = em.event(ab, snoopy, OpType::Read, vim, EntityKind::File, at(base, d, 9.0 * h + 25.0), 2_048);
+    let e = em.event(
+        ab,
+        snoopy,
+        OpType::Read,
+        vim,
+        EntityKind::File,
+        at(base, d, 9.0 * h + 25.0),
+        2_048,
+    );
     record(truth, "s1", e);
 
     // s2: suspicious web service — apache spawns a shell that reads shadow.
     let apache = em.process_as(ab, "apache2", 8003, "www-data", true);
     let sh = em.process_as(ab, "/bin/sh", 8004, "www-data", true);
-    let e = em.event(ab, apache, OpType::Start, sh, EntityKind::Process, at(base, d, 10.0 * h), 0);
+    let e = em.event(
+        ab,
+        apache,
+        OpType::Start,
+        sh,
+        EntityKind::Process,
+        at(base, d, 10.0 * h),
+        0,
+    );
     record(truth, "s2", e);
     let shadow = em.file(ab, "/etc/shadow");
-    let e = em.event(ab, sh, OpType::Read, shadow, EntityKind::File, at(base, d, 10.0 * h + 5.0), 2_048);
+    let e = em.event(
+        ab,
+        sh,
+        OpType::Read,
+        shadow,
+        EntityKind::File,
+        at(base, d, 10.0 * h + 5.0),
+        2_048,
+    );
     record(truth, "s2", e);
 
     // s3: frequent network access — 150 connects to one destination.
     let beacon = em.process_as(ab, "beacon.sh", 8005, "intruder", false);
     for i in 0..150i64 {
         let c = em.conn(ab, ABN_DST, 443);
-        let e = em.event(ab, beacon, OpType::Connect, c, EntityKind::NetConn, at(base, d, 11.0 * h + i as f64 * 20.0), 0);
+        let e = em.event(
+            ab,
+            beacon,
+            OpType::Connect,
+            c,
+            EntityKind::NetConn,
+            at(base, d, 11.0 * h + i as f64 * 20.0),
+            0,
+        );
         if i == 0 {
             record(truth, "s3", e);
         }
@@ -421,9 +1019,20 @@ pub fn abnormal(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) 
 
     // s4: erasing traces from system files.
     let cleaner = em.process_as(ab, "cleaner", 8006, "intruder", false);
-    for (i, log) in ["/var/log/auth.log", "/var/log/wtmp", "/var/log/lastlog"].iter().enumerate() {
+    for (i, log) in ["/var/log/auth.log", "/var/log/wtmp", "/var/log/lastlog"]
+        .iter()
+        .enumerate()
+    {
         let f = em.file(ab, log);
-        let e = em.event(ab, cleaner, OpType::Delete, f, EntityKind::File, at(base, d, 12.0 * h + i as f64 * 5.0), 0);
+        let e = em.event(
+            ab,
+            cleaner,
+            OpType::Delete,
+            f,
+            EntityKind::File,
+            at(base, d, 12.0 * h + i as f64 * 5.0),
+            0,
+        );
         record(truth, "s4", e);
     }
 
@@ -431,10 +1040,26 @@ pub fn abnormal(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) 
     let exfil = em.process_as(ab, "exfil.sh", 8007, "intruder", false);
     let spike_conn = em.conn(ab, SPIKE_DST, 443);
     for i in 0..120i64 {
-        em.event(ab, exfil, OpType::Write, spike_conn, EntityKind::NetConn, at(base, d, 13.0 * h + i as f64 * 10.0), 1_000);
+        em.event(
+            ab,
+            exfil,
+            OpType::Write,
+            spike_conn,
+            EntityKind::NetConn,
+            at(base, d, 13.0 * h + i as f64 * 10.0),
+            1_000,
+        );
     }
     for i in 0..3i64 {
-        let e = em.event(ab, exfil, OpType::Write, spike_conn, EntityKind::NetConn, at(base, d, 13.0 * h + 1500.0 + i as f64 * 10.0), 80_000_000);
+        let e = em.event(
+            ab,
+            exfil,
+            OpType::Write,
+            spike_conn,
+            EntityKind::NetConn,
+            at(base, d, 13.0 * h + 1500.0 + i as f64 * 10.0),
+            80_000_000,
+        );
         record(truth, "s5", e);
     }
 
@@ -443,11 +1068,27 @@ pub fn abnormal(em: &mut Emitter<'_>, base: Timestamp, truth: &mut GroundTruth) 
     let scraper = em.process_as(ab, "scraper", 8008, "intruder", false);
     for i in 0..30i64 {
         let f = em.file(ab, &format!("/home/admin/notes{i}.txt"));
-        em.event(ab, scraper, OpType::Read, f, EntityKind::File, at(base, d, 14.4 * h + i as f64 * 60.0), 2_000);
+        em.event(
+            ab,
+            scraper,
+            OpType::Read,
+            f,
+            EntityKind::File,
+            at(base, d, 14.4 * h + i as f64 * 60.0),
+            2_000,
+        );
     }
     for i in 0..80i64 {
         let f = em.file(ab, &format!("/home/admin/secret{i}.doc"));
-        let e = em.event(ab, scraper, OpType::Read, f, EntityKind::File, at(base, d, 15.0 * h + i as f64 * 0.12), 10_000);
+        let e = em.event(
+            ab,
+            scraper,
+            OpType::Read,
+            f,
+            EntityKind::File,
+            at(base, d, 15.0 * h + i as f64 * 0.12),
+            10_000,
+        );
         if i == 0 {
             record(truth, "s6", e);
         }
@@ -474,9 +1115,8 @@ mod tests {
     fn all_scenarios_recorded() {
         let (_, truth) = build();
         for label in [
-            "c1", "c2", "c3", "c4", "c5", "a1", "a2", "a3", "a4", "a5",
-            "d1", "d2", "d3", "v1", "v2", "v3", "v4", "v5",
-            "s1", "s2", "s3", "s4", "s5", "s6",
+            "c1", "c2", "c3", "c4", "c5", "a1", "a2", "a3", "a4", "a5", "d1", "d2", "d3", "v1",
+            "v2", "v3", "v4", "v5", "s1", "s2", "s3", "s4", "s5", "s6",
         ] {
             assert!(truth.contains_key(label), "missing truth for {label}");
             assert!(!truth[label].is_empty());

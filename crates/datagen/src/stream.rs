@@ -1,0 +1,308 @@
+//! Streaming scenario: turns a generated dataset into the shipment stream a
+//! live deployment would see.
+//!
+//! The batch simulator emits a finished, server-time-ordered [`Dataset`].
+//! Real agents instead ship events continuously, stamped with their own
+//! drifting clocks, and shipments arrive interleaved and slightly out of
+//! order. This module replays a dataset through that lens:
+//!
+//! 1. every agent gets a deterministic clock skew (its stamps read
+//!    `server_time - skew`);
+//! 2. arrival order is the true event order perturbed by a bounded local
+//!    shuffle (`jitter_events` controls how far an event may arrive early);
+//! 3. the perturbed stream is cut into fixed-size [`StreamBatch`]es, each
+//!    carrying the entities first referenced in it.
+//!
+//! The per-agent skews are returned as ground truth so an ingestion
+//! pipeline can feed its time synchronizer exact clock samples and the
+//! corrected stream can be compared 1:1 against the original dataset (see
+//! `tests/proptest_ingest.rs` at the workspace root).
+
+use aiql_model::{AgentId, Dataset, Duration, Entity, EntityId, Event};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Streaming replay options.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Events per shipment.
+    pub batch_events: usize,
+    /// Maximum per-agent clock skew, in nanoseconds (each agent draws a
+    /// fixed skew uniformly from `[-max_skew_ns, max_skew_ns]`).
+    pub max_skew_ns: i64,
+    /// Out-of-orderness: how many positions an event may arrive ahead of
+    /// its true order (0 = in-order delivery).
+    pub jitter_events: usize,
+    /// RNG seed (identical seeds replay identical streams).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            batch_events: 256,
+            max_skew_ns: 2_000_000_000, // ±2 s of drift
+            jitter_events: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// Ground truth for one agent's clock: `server_time - agent_time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSkew {
+    pub agent: AgentId,
+    /// The offset to *add* to the agent's stamps to recover server time.
+    pub offset_ns: i64,
+}
+
+/// One shipment: entities first referenced here plus agent-stamped events.
+#[derive(Debug, Clone, Default)]
+pub struct StreamBatch {
+    pub entities: Vec<Entity>,
+    pub events: Vec<Event>,
+}
+
+/// Replays `data` as an out-of-order, skewed shipment stream.
+///
+/// Returns the batches in arrival order plus the ground-truth skews. Every
+/// event and entity of `data` appears in exactly one batch; event stamps
+/// are shifted to each agent's local clock (subtract the skew), so applying
+/// the offsets on ingestion reconstructs the original server-time stream.
+pub fn stream(data: &Dataset, cfg: &StreamConfig) -> (Vec<StreamBatch>, Vec<AgentSkew>) {
+    assert!(cfg.batch_events > 0, "batch_events must be positive");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x057A_EA11);
+
+    // Fixed skew per agent, deterministic in agent order.
+    let mut skews: Vec<AgentSkew> = Vec::new();
+    for agent in data.agents() {
+        let offset_ns = if cfg.max_skew_ns == 0 {
+            0
+        } else {
+            rng.gen_range(-cfg.max_skew_ns..cfg.max_skew_ns + 1)
+        };
+        skews.push(AgentSkew { agent, offset_ns });
+    }
+    let skew_of: HashMap<AgentId, i64> = skews.iter().map(|s| (s.agent, s.offset_ns)).collect();
+
+    // True server-time order, then a local shuffle: each position swaps
+    // with a peer up to `jitter_events` ahead. Earliness is bounded by the
+    // window; lateness is not (an event can keep being pushed forward by
+    // later swaps), matching real delivery where a straggler can be
+    // arbitrarily late but nothing arrives before it happened.
+    let mut order: Vec<usize> = (0..data.events.len()).collect();
+    order.sort_by_key(|&i| {
+        let e = &data.events[i];
+        (e.start, e.seq, e.id)
+    });
+    if cfg.jitter_events > 0 {
+        for i in 0..order.len() {
+            let hi = (i + cfg.jitter_events + 1).min(order.len());
+            let j = rng.gen_range(i..hi);
+            order.swap(i, j);
+        }
+    }
+
+    // Entities ship with the batch that first references them; entities
+    // never referenced by an event ride along in the first batch.
+    let entity_by_id: HashMap<EntityId, &Entity> =
+        data.entities.iter().map(|e| (e.id, e)).collect();
+    let referenced: HashSet<EntityId> = data
+        .events
+        .iter()
+        .flat_map(|e| [e.subject, e.object])
+        .collect();
+    let mut shipped: HashSet<EntityId> = HashSet::new();
+
+    let mut batches = Vec::new();
+    for (b, chunk) in order.chunks(cfg.batch_events).enumerate() {
+        let mut batch = StreamBatch::default();
+        if b == 0 {
+            for e in &data.entities {
+                if !referenced.contains(&e.id) && shipped.insert(e.id) {
+                    batch.entities.push(e.clone());
+                }
+            }
+        }
+        for &i in chunk {
+            let ev = &data.events[i];
+            for id in [ev.subject, ev.object] {
+                if let Some(e) = entity_by_id.get(&id) {
+                    if shipped.insert(id) {
+                        batch.entities.push((*e).clone());
+                    }
+                }
+            }
+            // Re-stamp with the agent's local clock.
+            let skew = Duration(skew_of.get(&ev.agent).copied().unwrap_or(0));
+            let mut local = ev.clone();
+            local.start = local.start.saturating_sub(skew);
+            local.end = local.end.saturating_sub(skew);
+            batch.events.push(local);
+        }
+        batches.push(batch);
+    }
+    // An event-less dataset still ships its entities (the chunk loop above
+    // never ran, so nothing carried them).
+    if batches.is_empty() && !data.entities.is_empty() {
+        batches.push(StreamBatch {
+            entities: data.entities.clone(),
+            events: Vec::new(),
+        });
+    }
+    (batches, skews)
+}
+
+/// Generates a fresh micro-enterprise and streams it — the one-call entry
+/// point for live-ingestion demos and benchmarks.
+pub fn scenario(
+    hosts: u32,
+    days: u32,
+    events_per_host_per_day: u32,
+    cfg: &StreamConfig,
+) -> (Dataset, Vec<StreamBatch>, Vec<AgentSkew>) {
+    let data = crate::EnterpriseSim::builder()
+        .hosts(hosts)
+        .days(days)
+        .seed(cfg.seed)
+        .events_per_host_per_day(events_per_host_per_day)
+        .attacks(hosts >= 10 && days >= 2)
+        .build()
+        .generate();
+    let (batches, skews) = stream(&data, cfg);
+    (data, batches, skews)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::Timestamp;
+
+    fn small() -> Dataset {
+        crate::EnterpriseSim::builder()
+            .hosts(3)
+            .days(2)
+            .seed(9)
+            .events_per_host_per_day(200)
+            .build()
+            .generate()
+    }
+
+    #[test]
+    fn stream_preserves_every_event_and_entity_once() {
+        let data = small();
+        let (batches, _) = stream(&data, &StreamConfig::default());
+        let mut event_ids: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.events.iter().map(|e| e.id.0))
+            .collect();
+        event_ids.sort_unstable();
+        let mut want: Vec<u64> = data.events.iter().map(|e| e.id.0).collect();
+        want.sort_unstable();
+        assert_eq!(event_ids, want);
+
+        let mut entity_ids: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.entities.iter().map(|e| e.id.0))
+            .collect();
+        entity_ids.sort_unstable();
+        let mut want: Vec<u64> = data.entities.iter().map(|e| e.id.0).collect();
+        want.sort_unstable();
+        assert_eq!(entity_ids, want, "each entity ships exactly once");
+    }
+
+    #[test]
+    fn skew_correction_recovers_server_time() {
+        let data = small();
+        let cfg = StreamConfig {
+            jitter_events: 0,
+            ..StreamConfig::default()
+        };
+        let (batches, skews) = stream(&data, &cfg);
+        let skew_of: std::collections::HashMap<_, _> =
+            skews.iter().map(|s| (s.agent, s.offset_ns)).collect();
+        let original: std::collections::HashMap<u64, Timestamp> =
+            data.events.iter().map(|e| (e.id.0, e.start)).collect();
+        assert!(skews.iter().any(|s| s.offset_ns != 0), "some agent drifts");
+        for b in &batches {
+            for e in &b.events {
+                let corrected = e.start.saturating_add(Duration(skew_of[&e.agent]));
+                assert_eq!(corrected, original[&e.id.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_out_of_orderness() {
+        let data = small();
+        let cfg = StreamConfig {
+            jitter_events: 16,
+            max_skew_ns: 0,
+            batch_events: 1_000_000, // one giant batch
+            ..StreamConfig::default()
+        };
+        let (batches, _) = stream(&data, &cfg);
+        let arrived: Vec<&Event> = batches.iter().flat_map(|b| &b.events).collect();
+        let inversions = arrived
+            .windows(2)
+            .filter(|w| w[0].start > w[1].start)
+            .count();
+        assert!(inversions > 0, "jitter produces out-of-order arrivals");
+    }
+
+    #[test]
+    fn event_less_dataset_still_ships_entities() {
+        let mut data = Dataset::new();
+        data.add_entity(aiql_model::Entity::process(
+            1.into(),
+            aiql_model::AgentId(0),
+            "p",
+            1,
+        ));
+        data.add_entity(aiql_model::Entity::file(
+            2.into(),
+            aiql_model::AgentId(0),
+            "/f",
+        ));
+        let (batches, _) = stream(&data, &StreamConfig::default());
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].entities.len(), 2);
+        assert!(batches[0].events.is_empty());
+
+        // Fully empty datasets produce no batches at all.
+        let (batches, _) = stream(&Dataset::new(), &StreamConfig::default());
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = small();
+        let cfg = StreamConfig::default();
+        let (a, sa) = stream(&data, &cfg);
+        let (b, sb) = stream(&data, &cfg);
+        assert_eq!(sa, sb);
+        let ids = |bs: &[StreamBatch]| -> Vec<u64> {
+            bs.iter()
+                .flat_map(|x| x.events.iter().map(|e| e.id.0))
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+        let (c, _) = stream(&data, &StreamConfig { seed: 7, ..cfg });
+        assert_ne!(ids(&a), ids(&c));
+    }
+
+    #[test]
+    fn batch_sizes_respect_config() {
+        let data = small();
+        let cfg = StreamConfig {
+            batch_events: 100,
+            ..StreamConfig::default()
+        };
+        let (batches, _) = stream(&data, &cfg);
+        assert_eq!(batches.len(), data.events.len().div_ceil(100));
+        assert!(batches[..batches.len() - 1]
+            .iter()
+            .all(|b| b.events.len() == 100));
+    }
+}

@@ -1,7 +1,9 @@
 //! ID allocation and a tiny deterministic workload-building toolkit shared
 //! by the background generator and the attack scenarios.
 
-use aiql_model::{AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp};
+use aiql_model::{
+    AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp,
+};
 use std::collections::HashMap;
 
 /// Monotone allocators for entity/event IDs, unique across the simulation.
@@ -115,6 +117,7 @@ impl<'a> Emitter<'a> {
     }
 
     /// Emits an event, returning its ID.
+    #[allow(clippy::too_many_arguments)] // mirrors Event::new's field order
     pub fn event(
         &mut self,
         agent: AgentId,
@@ -172,7 +175,10 @@ mod tests {
         assert_eq!(data.entities.len(), 2);
         assert_eq!(data.events.len(), 1);
         assert_eq!(data.events[0].amount, 42);
-        assert_eq!(data.entity(p).unwrap().attr("user"), aiql_model::Value::str("alice"));
+        assert_eq!(
+            data.entity(p).unwrap().attr("user"),
+            aiql_model::Value::str("alice")
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub fn run_anomaly(
     // Resolve return items to match-row positions.
     enum Item {
         Field(usize),
-        Agg { func: AggFunc, distinct: bool, col: usize },
+        Agg {
+            func: AggFunc,
+            distinct: bool,
+            col: usize,
+        },
     }
     let items: Vec<(Item, String)> = ctx
         .ret
@@ -50,7 +54,11 @@ pub fn run_anomaly(
         .map(|it| {
             let item = match &it.expr {
                 RetExprCtx::Field(f) => Item::Field(resolve_field(f, p.object_kind)?),
-                RetExprCtx::Agg { func, distinct, arg } => Item::Agg {
+                RetExprCtx::Agg {
+                    func,
+                    distinct,
+                    arg,
+                } => Item::Agg {
                     func: *func,
                     distinct: *distinct,
                     col: resolve_field(arg, p.object_kind)?,
@@ -202,9 +210,7 @@ fn eval_having(h: &HavingCtx, values: &[Value], history: &[Vec<f64>]) -> bool {
                 AstCmp::Ge => a >= b,
             }
         }
-        HavingCtx::And(x, y) => {
-            eval_having(x, values, history) && eval_having(y, values, history)
-        }
+        HavingCtx::And(x, y) => eval_having(x, values, history) && eval_having(y, values, history),
         HavingCtx::Or(x, y) => eval_having(x, values, history) || eval_having(y, values, history),
         HavingCtx::Not(x) => !eval_having(x, values, history),
     }
@@ -251,7 +257,11 @@ mod tests {
         // Only 2 windows recorded: back=2 needs 3.
         assert!(!eval_having(&h, &values, &[vec![1.0], vec![10.0]]));
         // 3 windows: compare 10 > 1.
-        assert!(eval_having(&h, &values, &[vec![1.0], vec![5.0], vec![10.0]]));
+        assert!(eval_having(
+            &h,
+            &values,
+            &[vec![1.0], vec![5.0], vec![10.0]]
+        ));
     }
 
     #[test]
@@ -262,9 +272,17 @@ mod tests {
             left: ArithCtx::Div(
                 Box::new(ArithCtx::Sub(
                     Box::new(ArithCtx::Item(0)),
-                    Box::new(ArithCtx::MovAvg { kind: MaKind::Ewma, item: 0, param: 0.9 }),
+                    Box::new(ArithCtx::MovAvg {
+                        kind: MaKind::Ewma,
+                        item: 0,
+                        param: 0.9,
+                    }),
                 )),
-                Box::new(ArithCtx::MovAvg { kind: MaKind::Ewma, item: 0, param: 0.9 }),
+                Box::new(ArithCtx::MovAvg {
+                    kind: MaKind::Ewma,
+                    item: 0,
+                    param: 0.9,
+                }),
             ),
             right: ArithCtx::Num(0.5),
         };

@@ -13,8 +13,8 @@
 
 use aiql_core::{AiqlError, FieldRef, FieldTarget};
 use aiql_model::EntityKind;
-use aiql_storage::schema;
 use aiql_rdb::Row;
+use aiql_storage::schema;
 
 /// Offset of the event columns.
 pub const EV_OFF: usize = 0;
@@ -89,23 +89,62 @@ mod tests {
 
     #[test]
     fn field_resolution() {
-        let f = FieldRef { pattern: 0, target: FieldTarget::Subject, attr: "exe_name".into() };
-        assert_eq!(resolve_field(&f, EntityKind::File).unwrap(), SUBJ_OFF + schema::proc::EXE_NAME);
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Subject,
+            attr: "exe_name".into(),
+        };
+        assert_eq!(
+            resolve_field(&f, EntityKind::File).unwrap(),
+            SUBJ_OFF + schema::proc::EXE_NAME
+        );
 
-        let f = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "name".into() };
-        assert_eq!(resolve_field(&f, EntityKind::File).unwrap(), OBJ_OFF + schema::file::NAME);
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Object,
+            attr: "name".into(),
+        };
+        assert_eq!(
+            resolve_field(&f, EntityKind::File).unwrap(),
+            OBJ_OFF + schema::file::NAME
+        );
 
-        let f = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "dst_ip".into() };
-        assert_eq!(resolve_field(&f, EntityKind::NetConn).unwrap(), OBJ_OFF + schema::net::DST_IP);
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Object,
+            attr: "dst_ip".into(),
+        };
+        assert_eq!(
+            resolve_field(&f, EntityKind::NetConn).unwrap(),
+            OBJ_OFF + schema::net::DST_IP
+        );
 
-        let f = FieldRef { pattern: 0, target: FieldTarget::Event, attr: "amount".into() };
-        assert_eq!(resolve_field(&f, EntityKind::File).unwrap(), schema::ev::AMOUNT);
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Event,
+            attr: "amount".into(),
+        };
+        assert_eq!(
+            resolve_field(&f, EntityKind::File).unwrap(),
+            schema::ev::AMOUNT
+        );
 
         // `group` maps to the `grp` column.
-        let f = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "group".into() };
-        assert_eq!(resolve_field(&f, EntityKind::File).unwrap(), OBJ_OFF + schema::file::GRP);
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Object,
+            attr: "group".into(),
+        };
+        assert_eq!(
+            resolve_field(&f, EntityKind::File).unwrap(),
+            OBJ_OFF + schema::file::GRP
+        );
 
-        let f = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "name".into() };
+        let f = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Object,
+            attr: "name".into(),
+        };
         assert!(resolve_field(&f, EntityKind::NetConn).is_err());
     }
 }

@@ -55,7 +55,7 @@ pub use schedule::Scheduler;
 pub use scoring::ScoreModel;
 
 use aiql_core::{compile, QueryContext, QueryKind};
-use aiql_storage::{EventStore, SegmentedStore};
+use aiql_storage::{EventStore, SegmentedStore, SharedStore, StoreStamp};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -202,6 +202,35 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// A query outcome over a live store, tagged with the snapshot it saw.
+#[derive(Debug, Clone)]
+pub struct LiveOutcome {
+    /// Result, statistics, and elapsed time of the run.
+    pub outcome: Outcome,
+    /// The store version the whole query observed: the read guard is held
+    /// for the duration of the run, so start and end stamps coincide.
+    pub stamp: StoreStamp,
+}
+
+/// Runs a query against a [`SharedStore`] at one consistent snapshot.
+///
+/// The engine pins a read guard for the whole run — appends submitted
+/// concurrently (e.g. by an `aiql-ingest` ingestor on another thread) queue
+/// behind the lock and become visible to the *next* query, never mid-query.
+/// The returned [`LiveOutcome::stamp`] records exactly which prefix of the
+/// stream the result reflects.
+pub fn run_live(
+    store: &SharedStore,
+    config: EngineConfig,
+    source: &str,
+) -> Result<LiveOutcome, EngineError> {
+    let guard = store.read();
+    let stamp = guard.stamp();
+    let outcome = Engine::with_config(&guard, config).run_outcome(source)?;
+    debug_assert_eq!(guard.stamp(), stamp, "snapshot held for the whole run");
+    Ok(LiveOutcome { outcome, stamp })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,23 +250,68 @@ mod tests {
         let sql = d.add_entity(Entity::process(3.into(), a, "sqlservr.exe", 12));
         let sbblv = d.add_entity(Entity::process(4.into(), a, "sbblv.exe", 13));
         let dump = d.add_entity(Entity::file(5.into(), a, "C:\\db\\BACKUP1.DMP"));
-        let evil = d.add_entity(Entity::netconn(6.into(), a, "10.1.1.2", 49999, "10.10.1.129", 443));
+        let evil = d.add_entity(Entity::netconn(
+            6.into(),
+            a,
+            "10.1.1.2",
+            49999,
+            "10.10.1.129",
+            443,
+        ));
 
         let mut eid = 0u64;
         let mut ev = |d: &mut Dataset, s_, op, o, k, t: i64, amount: i64| {
             eid += 1;
-            d.add_event(
-                Event::new(eid.into(), a, s_, op, o, k, Timestamp(t)).with_amount(amount),
-            );
+            d.add_event(Event::new(eid.into(), a, s_, op, o, k, Timestamp(t)).with_amount(amount));
         };
-        ev(&mut d, cmd, OpType::Start, osql, EntityKind::Process, t0 + 10 * s, 0);
-        ev(&mut d, sql, OpType::Write, dump, EntityKind::File, t0 + 20 * s, 1 << 20);
-        ev(&mut d, sbblv, OpType::Read, dump, EntityKind::File, t0 + 30 * s, 1 << 20);
+        ev(
+            &mut d,
+            cmd,
+            OpType::Start,
+            osql,
+            EntityKind::Process,
+            t0 + 10 * s,
+            0,
+        );
+        ev(
+            &mut d,
+            sql,
+            OpType::Write,
+            dump,
+            EntityKind::File,
+            t0 + 20 * s,
+            1 << 20,
+        );
+        ev(
+            &mut d,
+            sbblv,
+            OpType::Read,
+            dump,
+            EntityKind::File,
+            t0 + 30 * s,
+            1 << 20,
+        );
         // Beaconing: small transfers every 10 s, then a big exfil spike.
         for i in 0..60i64 {
-            ev(&mut d, sbblv, OpType::Write, evil, EntityKind::NetConn, t0 + 40 * s + i * 10 * s, 1_000);
+            ev(
+                &mut d,
+                sbblv,
+                OpType::Write,
+                evil,
+                EntityKind::NetConn,
+                t0 + 40 * s + i * 10 * s,
+                1_000,
+            );
         }
-        ev(&mut d, sbblv, OpType::Write, evil, EntityKind::NetConn, t0 + 700 * s, 50_000_000);
+        ev(
+            &mut d,
+            sbblv,
+            OpType::Write,
+            evil,
+            EntityKind::NetConn,
+            t0 + 700 * s,
+            50_000_000,
+        );
         // Background noise on another agent/day.
         let b = AgentId(3);
         let t1 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
@@ -245,7 +319,12 @@ mod tests {
         for i in 0..40u64 {
             let f = d.add_entity(Entity::file((200 + i).into(), b, format!("/var/tmp/n{i}")));
             d.add_event(Event::new(
-                (1000 + i).into(), b, bash, OpType::Write, f, EntityKind::File,
+                (1000 + i).into(),
+                b,
+                bash,
+                OpType::Write,
+                f,
+                EntityKind::File,
                 Timestamp(t1 + i as i64 * s),
             ));
         }
@@ -310,7 +389,10 @@ mod tests {
         assert!(!r.rows.is_empty(), "the 50 MB burst must alert");
         assert!(r.rows.iter().all(|row| row[0] == Value::str("sbblv.exe")));
         // Alerted averages are far above the 1 kB beacon noise.
-        assert!(r.rows.iter().all(|row| row[1].as_f64().unwrap() > 100_000.0));
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| row[1].as_f64().unwrap() > 100_000.0));
         // And the number of alerting windows is small (the spike region
         // only: 6 sliding windows cover any instant at step 10 s / 1 min).
         assert!(r.rows.len() <= 8, "got {} alert rows", r.rows.len());
@@ -380,7 +462,12 @@ mod tests {
         for i in 0..3000u64 {
             let f = d.add_entity(Entity::file((10_000 + i).into(), a, format!("/n/{i}")));
             d.add_event(Event::new(
-                (50_000 + i).into(), a, p, OpType::Read, f, EntityKind::File,
+                (50_000 + i).into(),
+                a,
+                p,
+                OpType::Read,
+                f,
+                EntityKind::File,
                 Timestamp(t0 + i as i64 * s / 100),
             ));
         }
@@ -411,13 +498,43 @@ mod tests {
     }
 
     #[test]
+    fn run_live_sees_growing_store_between_queries() {
+        let shared = SharedStore::new(store());
+        let q = r#"(at "01/02/2017") agentid = 9 proc p4["%sbblv.exe"] read file f1 return p4, f1"#;
+        let first = run_live(&shared, EngineConfig::aiql(), q).unwrap();
+        assert_eq!(first.outcome.result.rows.len(), 1);
+
+        // Append a second qualifying read; the next query sees it, and the
+        // stamps prove the two queries ran at different store versions.
+        {
+            let mut w = shared.write();
+            let t = Timestamp::from_ymd(2017, 1, 2).unwrap();
+            w.append_event(&Event::new(
+                9_999.into(),
+                AgentId(9),
+                4.into(),
+                OpType::Read,
+                5.into(),
+                EntityKind::File,
+                Timestamp(t.0 + 60 * 1_000_000_000),
+            ))
+            .unwrap();
+        }
+        let second = run_live(&shared, EngineConfig::aiql(), q).unwrap();
+        assert!(second.stamp > first.stamp);
+        assert_eq!(second.outcome.result.rows.len(), 2);
+    }
+
+    #[test]
     fn segmented_engine_matches_single_node() {
         let d = dataset();
         let single = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
         let seg = SegmentedStore::ingest(&d, 4, true).unwrap();
         let q = r#"(at "01/02/2017") proc p4["%sbblv.exe"] read file f1 return p4, f1"#;
         let a = Engine::new(&single).run(q).unwrap();
-        let b = Engine::segmented(&seg, EngineConfig::aiql()).run(q).unwrap();
+        let b = Engine::segmented(&seg, EngineConfig::aiql())
+            .run(q)
+            .unwrap();
         let norm = |mut r: EngineResult| {
             r.rows.sort();
             r.rows

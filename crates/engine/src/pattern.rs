@@ -11,8 +11,8 @@ use crate::layout;
 use crate::synth::{apply_extra, synthesize, DataQuery, ExtraCstr};
 use aiql_core::PatternCtx;
 use aiql_model::EntityKind;
-use aiql_storage::{schema, EventStore, SegmentedStore};
 use aiql_rdb::{CmpOp, Expr, Prune, Row, Value};
+use aiql_storage::{schema, EventStore, SegmentedStore};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -57,12 +57,7 @@ impl Deadline {
 }
 
 impl<'a> StoreRef<'a> {
-    fn scan_entities(
-        &self,
-        kind: EntityKind,
-        conjuncts: &[Expr],
-        scanned: &mut u64,
-    ) -> Vec<Row> {
+    fn scan_entities(&self, kind: EntityKind, conjuncts: &[Expr], scanned: &mut u64) -> Vec<Row> {
         match self {
             StoreRef::Single(s) => s.scan_entities(kind, conjuncts, scanned),
             StoreRef::Segmented(s) => {
@@ -74,7 +69,12 @@ impl<'a> StoreRef<'a> {
                             .expect("entity tables are plain");
                         let mut local = 0u64;
                         let (_, pos) = t.select(conjuncts, &mut local);
-                        Ok((local, pos.into_iter().map(|p| t.row(p).clone()).collect::<Vec<Row>>()))
+                        Ok((
+                            local,
+                            pos.into_iter()
+                                .map(|p| t.row(p).clone())
+                                .collect::<Vec<Row>>(),
+                        ))
                     })
                     .expect("entity scan cannot fail");
                 let mut out = Vec::new();
@@ -223,7 +223,12 @@ pub fn execute_pattern(
     let subj_map = if q.subject.is_empty() {
         None
     } else {
-        Some(scan_entity_map(&store, EntityKind::Process, &q.subject, stats))
+        Some(scan_entity_map(
+            &store,
+            EntityKind::Process,
+            &q.subject,
+            stats,
+        ))
     };
     let obj_map = if q.object.is_empty() {
         None
@@ -362,13 +367,31 @@ mod tests {
         let dump = d.add_entity(Entity::file(4.into(), a, "c:\\backup1.dmp"));
         let t0 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
         d.add_event(Event::new(
-            1.into(), a, cmd, OpType::Start, osql, EntityKind::Process, Timestamp(t0 + 100),
+            1.into(),
+            a,
+            cmd,
+            OpType::Start,
+            osql,
+            EntityKind::Process,
+            Timestamp(t0 + 100),
         ));
         d.add_event(Event::new(
-            2.into(), a, osql, OpType::Write, dump, EntityKind::File, Timestamp(t0 + 200),
+            2.into(),
+            a,
+            osql,
+            OpType::Write,
+            dump,
+            EntityKind::File,
+            Timestamp(t0 + 200),
         ));
         d.add_event(Event::new(
-            3.into(), a, svchost, OpType::Read, dump, EntityKind::File, Timestamp(t0 + 300),
+            3.into(),
+            a,
+            svchost,
+            OpType::Read,
+            dump,
+            EntityKind::File,
+            Timestamp(t0 + 300),
         ));
         d
     }
@@ -396,8 +419,14 @@ mod tests {
         );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].len(), layout::MATCH_WIDTH);
-        assert_eq!(rows[0][layout::SUBJ_OFF + schema::proc::EXE_NAME], Value::str("osql.exe"));
-        assert_eq!(rows[0][layout::OBJ_OFF + schema::file::NAME], Value::str("c:\\backup1.dmp"));
+        assert_eq!(
+            rows[0][layout::SUBJ_OFF + schema::proc::EXE_NAME],
+            Value::str("osql.exe")
+        );
+        assert_eq!(
+            rows[0][layout::OBJ_OFF + schema::file::NAME],
+            Value::str("c:\\backup1.dmp")
+        );
     }
 
     #[test]
@@ -429,10 +458,7 @@ mod tests {
 
     #[test]
     fn window_prunes_everything_outside() {
-        let rows = run(
-            r#"(at "06/01/2019") proc p write file f return p"#,
-            false,
-        );
+        let rows = run(r#"(at "06/01/2019") proc p write file f return p"#, false);
         assert!(rows.is_empty());
     }
 
@@ -441,7 +467,11 @@ mod tests {
         let store = EventStore::ingest(&dataset(), StoreConfig::partitioned()).unwrap();
         let ctx = compile("proc p read || write file f return p, f").unwrap();
         let extra = ExtraCstr {
-            in_lists: vec![(crate::synth::Side::Event, schema::ev::SUBJECT, vec![Value::Int(3)])],
+            in_lists: vec![(
+                crate::synth::Side::Event,
+                schema::ev::SUBJECT,
+                vec![Value::Int(3)],
+            )],
             time_lo: None,
             time_hi: None,
         };
@@ -467,13 +497,23 @@ mod tests {
         let mut s1 = EngineStats::default();
         let mut s2 = EngineStats::default();
         let mut a = execute_pattern(
-            StoreRef::Single(&single), &ctx.patterns[0], &ExtraCstr::default(),
-            false, Deadline::none(), &mut s1,
-        ).unwrap();
+            StoreRef::Single(&single),
+            &ctx.patterns[0],
+            &ExtraCstr::default(),
+            false,
+            Deadline::none(),
+            &mut s1,
+        )
+        .unwrap();
         let mut b = execute_pattern(
-            StoreRef::Segmented(&seg), &ctx.patterns[0], &ExtraCstr::default(),
-            false, Deadline::none(), &mut s2,
-        ).unwrap();
+            StoreRef::Segmented(&seg),
+            &ctx.patterns[0],
+            &ExtraCstr::default(),
+            false,
+            Deadline::none(),
+            &mut s2,
+        )
+        .unwrap();
         let key = |r: &Row| r[schema::ev::ID].clone();
         a.sort_by_key(key);
         b.sort_by_key(key);

@@ -48,7 +48,10 @@ pub fn eval_arith_simple(a: &ArithCtx, items: &[Value]) -> f64 {
 pub fn eval_having_simple(h: &HavingCtx, items: &[Value]) -> bool {
     match h {
         HavingCtx::Cmp { op, left, right } => {
-            let (a, b) = (eval_arith_simple(left, items), eval_arith_simple(right, items));
+            let (a, b) = (
+                eval_arith_simple(left, items),
+                eval_arith_simple(right, items),
+            );
             if a.is_nan() || b.is_nan() {
                 return false;
             }
@@ -179,8 +182,16 @@ pub fn assemble(
 ) -> Result<EngineResult, EngineError> {
     // Resolve items to (pattern, col) / aggregate specs.
     enum Item {
-        Field { pattern: usize, col: usize },
-        Agg { func: AggFunc, distinct: bool, pattern: usize, col: usize },
+        Field {
+            pattern: usize,
+            col: usize,
+        },
+        Agg {
+            func: AggFunc,
+            distinct: bool,
+            pattern: usize,
+            col: usize,
+        },
     }
     let items: Vec<(Item, String)> = ctx
         .ret
@@ -192,7 +203,11 @@ pub fn assemble(
                     pattern: f.pattern,
                     col: resolve_field(f, ctx.patterns[f.pattern].object_kind)?,
                 },
-                RetExprCtx::Agg { func, distinct, arg } => Item::Agg {
+                RetExprCtx::Agg {
+                    func,
+                    distinct,
+                    arg,
+                } => Item::Agg {
                     func: *func,
                     distinct: *distinct,
                     pattern: arg.pattern,
@@ -241,7 +256,13 @@ pub fn assemble(
                 (fields, agg_idx.iter().map(|_| Accum::default()).collect())
             });
             for (slot, &k) in agg_idx.iter().enumerate() {
-                if let Item::Agg { distinct, pattern, col, .. } = &items[k].0 {
+                if let Item::Agg {
+                    distinct,
+                    pattern,
+                    col,
+                    ..
+                } = &items[k].0
+                {
                     entry.1[slot].update(&value_of(t, *pattern, *col), *distinct);
                 }
             }
@@ -345,7 +366,10 @@ mod tests {
     fn moving_averages() {
         let h = [1.0, 2.0, 3.0, 4.0];
         assert!((moving_average(MaKind::Sma, &h, 2.0) - 3.5).abs() < 1e-9);
-        assert!((moving_average(MaKind::Sma, &h, 10.0) - 2.5).abs() < 1e-9, "clamped to len");
+        assert!(
+            (moving_average(MaKind::Sma, &h, 10.0) - 2.5).abs() < 1e-9,
+            "clamped to len"
+        );
         assert!((moving_average(MaKind::Cma, &h, 0.0) - 2.5).abs() < 1e-9);
         // WMA over last 3: (1*2 + 2*3 + 3*4) / 6 = 20/6.
         assert!((moving_average(MaKind::Wma, &h, 3.0) - 20.0 / 6.0).abs() < 1e-9);
@@ -375,7 +399,10 @@ mod tests {
         let h = HavingCtx::Cmp {
             op: AstCmp::Eq,
             left: ArithCtx::Div(
-                Box::new(ArithCtx::Mul(Box::new(ArithCtx::Item(1)), Box::new(ArithCtx::Num(3.0)))),
+                Box::new(ArithCtx::Mul(
+                    Box::new(ArithCtx::Item(1)),
+                    Box::new(ArithCtx::Num(3.0)),
+                )),
                 Box::new(ArithCtx::Num(2.0)),
             ),
             right: ArithCtx::Num(15.0),

@@ -14,7 +14,7 @@
 //!   relationships).
 
 use crate::error::EngineError;
-use crate::layout::{resolve_field, START_COL, SUBJ_OFF, OBJ_OFF};
+use crate::layout::{resolve_field, OBJ_OFF, START_COL, SUBJ_OFF};
 use crate::pattern::{execute_pattern, Deadline, EngineStats, StoreRef};
 use crate::synth::{ExtraCstr, Side};
 use crate::tupleset::{Matches, RelEval, TupleSet};
@@ -73,7 +73,10 @@ pub fn fetch_and_filter(
             .collect();
         ts = ts.extend(&matches, j, &applicable, deadline, stats)?;
     }
-    Ok(Joined { matches, tuples: ts })
+    Ok(Joined {
+        matches,
+        tuples: ts,
+    })
 }
 
 /// Relationship sort key (Algorithm 1, step 2): process/network-event
@@ -107,11 +110,17 @@ fn derive_extra(
     if known_rows.is_empty() {
         // No results on the known side: the target query can still run, the
         // join will produce nothing. Constrain maximally with an empty IN.
-        extra.in_lists.push((Side::Event, aiql_storage::schema::ev::ID, Vec::new()));
+        extra
+            .in_lists
+            .push((Side::Event, aiql_storage::schema::ev::ID, Vec::new()));
         return Ok(extra);
     }
     match rel {
-        RelationCtx::Attr { left, op: AstCmp::Eq, right } => {
+        RelationCtx::Attr {
+            left,
+            op: AstCmp::Eq,
+            right,
+        } => {
             let (known_ref, target_ref): (&FieldRef, &FieldRef) = if left.pattern == known {
                 (left, right)
             } else {
@@ -137,7 +146,12 @@ fn derive_extra(
             // Non-equality attribute relationships do not constrain the scan;
             // they filter during the join.
         }
-        RelationCtx::Temporal { left, kind, range_ns, right } => {
+        RelationCtx::Temporal {
+            left,
+            kind,
+            range_ns,
+            right,
+        } => {
             let times: Vec<i64> = known_rows
                 .iter()
                 .filter_map(|r| r[START_COL].as_int())
@@ -149,7 +163,11 @@ fn derive_extra(
             // Orient: does the known side come first (`before`) w.r.t. the
             // target?
             let known_is_left = *left == known;
-            debug_assert!(if known_is_left { *right == target } else { *left == target });
+            debug_assert!(if known_is_left {
+                *right == target
+            } else {
+                *left == target
+            });
             let target_after_known = match kind {
                 TempKind::Before => known_is_left,
                 TempKind::After => !known_is_left,
@@ -239,11 +257,18 @@ pub fn relationship_based_scored(
                 } else {
                     (j0, i0)
                 };
-                let hi_rows =
-                    execute_pattern(store, &ctx.patterns[hi], &ExtraCstr::default(), parallel, deadline, stats)?;
+                let hi_rows = execute_pattern(
+                    store,
+                    &ctx.patterns[hi],
+                    &ExtraCstr::default(),
+                    parallel,
+                    deadline,
+                    stats,
+                )?;
                 let extra = derive_extra(rel_ctx, ctx, hi, &hi_rows, lo)?;
                 matches.per_pattern[hi] = Some(hi_rows);
-                let lo_rows = execute_pattern(store, &ctx.patterns[lo], &extra, parallel, deadline, stats)?;
+                let lo_rows =
+                    execute_pattern(store, &ctx.patterns[lo], &extra, parallel, deadline, stats)?;
                 matches.per_pattern[lo] = Some(lo_rows);
                 let ts = TupleSet::create(&matches, i0, j0, &[rel], deadline, stats)?;
                 let id = arena.len();
@@ -252,7 +277,11 @@ pub fn relationship_based_scored(
                 set_of[j0] = Some(id);
             }
             (true, false) | (false, true) => {
-                let (known, fresh) = if matches.executed(i0) { (i0, j0) } else { (j0, i0) };
+                let (known, fresh) = if matches.executed(i0) {
+                    (i0, j0)
+                } else {
+                    (j0, i0)
+                };
                 // Constrain the fresh query with the known side's *joined*
                 // rows (those still present in the tuple set, when one
                 // exists — a tighter bound than the raw matches).
@@ -273,7 +302,14 @@ pub fn relationship_based_scored(
                     };
                     derive_extra(rel_ctx, ctx, known, &known_rows, fresh)?
                 };
-                let fresh_rows = execute_pattern(store, &ctx.patterns[fresh], &extra, parallel, deadline, stats)?;
+                let fresh_rows = execute_pattern(
+                    store,
+                    &ctx.patterns[fresh],
+                    &extra,
+                    parallel,
+                    deadline,
+                    stats,
+                )?;
                 matches.per_pattern[fresh] = Some(fresh_rows);
                 match set_of[known] {
                     Some(id) => {
@@ -318,7 +354,8 @@ pub fn relationship_based_scored(
                         } else {
                             let ta = arena[ga].take().expect("live set");
                             let tb = arena[gb].take().expect("live set");
-                            let merged = TupleSet::merge(&ta, &tb, &matches, &[rel], deadline, stats)?;
+                            let merged =
+                                TupleSet::merge(&ta, &tb, &matches, &[rel], deadline, stats)?;
                             let id = arena.len();
                             for p in &merged.patterns {
                                 set_of[*p] = Some(id);
@@ -352,7 +389,7 @@ pub fn relationship_based_scored(
         .filter_map(|(i, s)| s.as_ref().map(|_| i))
         .collect();
     // Only keep sets actually referenced by patterns.
-    live.retain(|&id| set_of.iter().any(|s| *s == Some(id)));
+    live.retain(|&id| set_of.contains(&Some(id)));
     while live.len() > 1 {
         deadline.check()?;
         let b = live.pop().expect("len > 1");
@@ -410,21 +447,63 @@ mod tests {
         let sql = d.add_entity(Entity::process(3.into(), a, "sqlservr.exe", 3));
         let sbblv = d.add_entity(Entity::process(4.into(), a, "sbblv.exe", 4));
         let dump = d.add_entity(Entity::file(5.into(), a, "c:\\backup1.dmp"));
-        let ip = d.add_entity(Entity::netconn(6.into(), a, "10.0.0.5", 999, "10.10.1.129", 443));
+        let ip = d.add_entity(Entity::netconn(
+            6.into(),
+            a,
+            "10.0.0.5",
+            999,
+            "10.10.1.129",
+            443,
+        ));
         let mut eid = 1u64;
         let mut ev = |d: &mut Dataset, s, op, o, k, t: i64| {
             let id = eid;
             eid += 1;
             d.add_event(Event::new(id.into(), a, s, op, o, k, Timestamp(t0 + t)));
         };
-        ev(&mut d, cmd, OpType::Start, osql, aiql_model::EntityKind::Process, 1_000_000_000);
-        ev(&mut d, sql, OpType::Write, dump, aiql_model::EntityKind::File, 2_000_000_000);
-        ev(&mut d, sbblv, OpType::Read, dump, aiql_model::EntityKind::File, 3_000_000_000);
-        ev(&mut d, sbblv, OpType::Write, ip, aiql_model::EntityKind::NetConn, 4_000_000_000);
+        ev(
+            &mut d,
+            cmd,
+            OpType::Start,
+            osql,
+            aiql_model::EntityKind::Process,
+            1_000_000_000,
+        );
+        ev(
+            &mut d,
+            sql,
+            OpType::Write,
+            dump,
+            aiql_model::EntityKind::File,
+            2_000_000_000,
+        );
+        ev(
+            &mut d,
+            sbblv,
+            OpType::Read,
+            dump,
+            aiql_model::EntityKind::File,
+            3_000_000_000,
+        );
+        ev(
+            &mut d,
+            sbblv,
+            OpType::Write,
+            ip,
+            aiql_model::EntityKind::NetConn,
+            4_000_000_000,
+        );
         // Background noise.
         for i in 0..50u64 {
             let f = d.add_entity(Entity::file((100 + i).into(), a, format!("/tmp/noise{i}")));
-            ev(&mut d, sbblv, OpType::Read, f, aiql_model::EntityKind::File, 10_000_000_000 + i as i64);
+            ev(
+                &mut d,
+                sbblv,
+                OpType::Read,
+                f,
+                aiql_model::EntityKind::File,
+                10_000_000_000 + i as i64,
+            );
         }
         d
     }
@@ -444,12 +523,20 @@ mod tests {
         let ctx = compile(QUERY7).unwrap();
         let mut stats = EngineStats::default();
         let j = match sched {
-            Scheduler::Relationship => {
-                relationship_based(StoreRef::Single(&store), &ctx, false, Deadline::none(), &mut stats)
-            }
-            Scheduler::FetchFilter => {
-                fetch_and_filter(StoreRef::Single(&store), &ctx, false, Deadline::none(), &mut stats)
-            }
+            Scheduler::Relationship => relationship_based(
+                StoreRef::Single(&store),
+                &ctx,
+                false,
+                Deadline::none(),
+                &mut stats,
+            ),
+            Scheduler::FetchFilter => fetch_and_filter(
+                StoreRef::Single(&store),
+                &ctx,
+                false,
+                Deadline::none(),
+                &mut stats,
+            ),
         }
         .unwrap();
         (j, stats)
@@ -459,7 +546,11 @@ mod tests {
     fn both_schedulers_find_the_attack_chain() {
         for sched in [Scheduler::Relationship, Scheduler::FetchFilter] {
             let (j, _) = joined(sched);
-            assert_eq!(j.tuples.tuples.len(), 1, "{sched:?} finds exactly the chain");
+            assert_eq!(
+                j.tuples.tuples.len(),
+                1,
+                "{sched:?} finds exactly the chain"
+            );
             assert_eq!(j.tuples.patterns.len(), 4);
         }
     }
@@ -492,8 +583,14 @@ mod tests {
         )
         .unwrap();
         let mut stats = EngineStats::default();
-        let j = relationship_based(StoreRef::Single(&store), &ctx, false, Deadline::none(), &mut stats)
-            .unwrap();
+        let j = relationship_based(
+            StoreRef::Single(&store),
+            &ctx,
+            false,
+            Deadline::none(),
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(j.tuples.tuples.len(), 1, "1 x 1 cartesian");
         assert_eq!(j.tuples.patterns.len(), 2);
     }
@@ -514,9 +611,19 @@ mod tests {
             let mut stats = EngineStats::default();
             let j = match sched {
                 Scheduler::Relationship => relationship_based(
-                    StoreRef::Single(&store), &ctx, false, Deadline::none(), &mut stats),
+                    StoreRef::Single(&store),
+                    &ctx,
+                    false,
+                    Deadline::none(),
+                    &mut stats,
+                ),
                 Scheduler::FetchFilter => fetch_and_filter(
-                    StoreRef::Single(&store), &ctx, false, Deadline::none(), &mut stats),
+                    StoreRef::Single(&store),
+                    &ctx,
+                    false,
+                    Deadline::none(),
+                    &mut stats,
+                ),
             }
             .unwrap();
             assert!(j.tuples.tuples.is_empty(), "{sched:?}");
@@ -531,7 +638,11 @@ mod tests {
         // process pattern and a file pattern... all involve files except
         // none. Verify at least that keys are computed and orderable.
         let scores: Vec<u32> = ctx.patterns.iter().map(|p| p.score).collect();
-        let keys: Vec<_> = ctx.relations.iter().map(|r| rel_sort_key(r, &ctx, &scores)).collect();
+        let keys: Vec<_> = ctx
+            .relations
+            .iter()
+            .map(|r| rel_sort_key(r, &ctx, &scores))
+            .collect();
         assert_eq!(keys.len(), ctx.relations.len());
         // evt1 (process-event) + evt2 (file-event) → class 1.
         assert_eq!(keys[0].0, 1);

@@ -20,8 +20,8 @@ use crate::pattern::{EngineStats, StoreRef};
 use crate::synth::synthesize;
 use aiql_core::QueryContext;
 use aiql_model::EntityKind;
-use aiql_storage::schema;
 use aiql_rdb::Prune;
+use aiql_storage::schema;
 
 /// How the scheduler estimates pattern pruning power.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,9 +47,8 @@ fn statistical_scores(store: StoreRef<'_>, ctx: &QueryContext) -> Vec<u32> {
     // Total entity counts, for selectivity denominators (entity tables are
     // small; a full count scan is cheap and runs once per query).
     let mut throwaway = EngineStats::default();
-    let mut total = |kind: EntityKind| -> f64 {
-        entity_count(&store, kind, &[], &mut throwaway).max(1) as f64
-    };
+    let mut total =
+        |kind: EntityKind| -> f64 { entity_count(&store, kind, &[], &mut throwaway).max(1) as f64 };
     let totals = [
         total(EntityKind::File),
         total(EntityKind::Process),
@@ -64,8 +63,7 @@ fn statistical_scores(store: StoreRef<'_>, ctx: &QueryContext) -> Vec<u32> {
             // Events in the admitted partitions.
             let base = estimate_events(&store, &q.prune) as f64;
             // Operation-mix fraction: assume a uniform mix over op codes.
-            let op_frac =
-                p.ops.len() as f64 / aiql_model::event::ALL_OPS.len() as f64;
+            let op_frac = p.ops.len() as f64 / aiql_model::event::ALL_OPS.len() as f64;
             // Entity-side selectivities, measured for real against the
             // (indexed) entity tables.
             let subj_frac = if q.subject.is_empty() {
@@ -121,7 +119,10 @@ fn store_scan_entities(
                         .expect("entity tables are plain");
                     let mut local = 0u64;
                     let (_, pos) = t.select(conjuncts, &mut local);
-                    Ok(pos.into_iter().map(|p| t.row(p).clone()).collect::<Vec<_>>())
+                    Ok(pos
+                        .into_iter()
+                        .map(|p| t.row(p).clone())
+                        .collect::<Vec<_>>())
                 })
                 .expect("entity scan");
             parts.into_iter().flatten().collect()
@@ -173,10 +174,17 @@ mod tests {
         let mut d = Dataset::new();
         let a = AgentId(1);
         let t0 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
-        let rare = d.add_entity(Entity::process(1.into(), a, "rare.exe", 5).with_attr("user", "svc"));
+        let rare =
+            d.add_entity(Entity::process(1.into(), a, "rare.exe", 5).with_attr("user", "svc"));
         let f = d.add_entity(Entity::file(2.into(), a, "/data/x"));
         d.add_event(Event::new(
-            1.into(), a, rare, OpType::Write, f, aiql_model::EntityKind::File, Timestamp(t0),
+            1.into(),
+            a,
+            rare,
+            OpType::Write,
+            f,
+            aiql_model::EntityKind::File,
+            Timestamp(t0),
         ));
         for i in 0..200u64 {
             let p = d.add_entity(
@@ -185,7 +193,12 @@ mod tests {
             );
             let g = d.add_entity(Entity::file((1000 + i).into(), a, format!("/tmp/{i}")));
             d.add_event(Event::new(
-                (10 + i).into(), a, p, OpType::Read, g, aiql_model::EntityKind::File,
+                (10 + i).into(),
+                a,
+                p,
+                OpType::Read,
+                g,
+                aiql_model::EntityKind::File,
                 Timestamp(t0 + i as i64 * 1_000),
             ));
         }
@@ -216,10 +229,7 @@ mod tests {
     fn statistics_reflect_partition_pruning() {
         let store = EventStore::ingest(&misleading(), StoreConfig::partitioned()).unwrap();
         // A pattern on an empty day estimates ~0 matches → max-ish score.
-        let ctx = compile(
-            r#"(at "06/01/2019") proc p read file f as e1 return p"#,
-        )
-        .unwrap();
+        let ctx = compile(r#"(at "06/01/2019") proc p read file f as e1 return p"#).unwrap();
         let s = scores(ScoreModel::DataStatistics, StoreRef::Single(&store), &ctx);
         assert!(s[0] >= 39, "empty window should score near the cap: {s:?}");
     }

@@ -8,11 +8,11 @@
 //! keys, narrowed time bounds) before execution — the "leveraging existing
 //! results to narrow the search scope" of Algorithm 1.
 
-use aiql_core::{CstrNode, PatternCtx};
 use aiql_core::ast::CmpOp as AstCmp;
+use aiql_core::{CstrNode, PatternCtx};
 use aiql_model::{EntityKind, Value};
-use aiql_storage::schema;
 use aiql_rdb::{CmpOp, Expr, Prune, Schema};
+use aiql_storage::schema;
 
 /// The synthesized data query for one event pattern.
 #[derive(Debug, Clone, Default)]
@@ -114,8 +114,13 @@ pub fn synthesize(p: &PatternCtx) -> DataQuery {
 
     // Operation set: an IN over the op codes (omitted when all ops match).
     if p.ops.len() < aiql_model::event::ALL_OPS.len() {
-        let codes: Vec<Value> = p.ops.iter().map(|o| Value::Int(schema::opcode(*o))).collect();
-        q.event.push(Expr::In(Box::new(Expr::Col(schema::ev::OPTYPE)), codes));
+        let codes: Vec<Value> = p
+            .ops
+            .iter()
+            .map(|o| Value::Int(schema::opcode(*o)))
+            .collect();
+        q.event
+            .push(Expr::In(Box::new(Expr::Col(schema::ev::OPTYPE)), codes));
     }
     // Object kind discriminator.
     q.event.push(Expr::cmp_lit(
@@ -125,15 +130,18 @@ pub fn synthesize(p: &PatternCtx) -> DataQuery {
     ));
     // Time window → conjuncts + partition pruning.
     if let Some((lo, hi)) = p.window {
-        q.event.push(Expr::cmp_lit(schema::ev::START, CmpOp::Ge, lo));
-        q.event.push(Expr::cmp_lit(schema::ev::START, CmpOp::Lt, hi));
+        q.event
+            .push(Expr::cmp_lit(schema::ev::START, CmpOp::Ge, lo));
+        q.event
+            .push(Expr::cmp_lit(schema::ev::START, CmpOp::Lt, hi));
         q.prune.day_lo = Some(lo.div_euclid(aiql_rdb::partition::NANOS_PER_DAY));
         q.prune.day_hi = Some((hi - 1).div_euclid(aiql_rdb::partition::NANOS_PER_DAY));
     }
     // Agent set.
     if let Some(agents) = &p.agents {
         if agents.len() == 1 {
-            q.event.push(Expr::cmp_lit(schema::ev::AGENT, CmpOp::Eq, agents[0]));
+            q.event
+                .push(Expr::cmp_lit(schema::ev::AGENT, CmpOp::Eq, agents[0]));
         } else {
             q.event.push(Expr::In(
                 Box::new(Expr::Col(schema::ev::AGENT)),
@@ -168,10 +176,7 @@ pub fn synthesize(p: &PatternCtx) -> DataQuery {
 /// Applies scheduler-injected extra constraints to a synthesized query.
 pub fn apply_extra(q: &mut DataQuery, extra: &ExtraCstr) {
     for (side, col, values) in &extra.in_lists {
-        let e = Expr::In(
-            Box::new(Expr::Col(*col)),
-            values.clone(),
-        );
+        let e = Expr::In(Box::new(Expr::Col(*col)), values.clone());
         match side {
             Side::Event => q.event.push(e),
             Side::Subject => q.subject.push(e),
@@ -179,12 +184,14 @@ pub fn apply_extra(q: &mut DataQuery, extra: &ExtraCstr) {
         }
     }
     if let Some(lo) = extra.time_lo {
-        q.event.push(Expr::cmp_lit(schema::ev::START, CmpOp::Ge, lo));
+        q.event
+            .push(Expr::cmp_lit(schema::ev::START, CmpOp::Ge, lo));
         let day = lo.div_euclid(aiql_rdb::partition::NANOS_PER_DAY);
         q.prune.day_lo = Some(q.prune.day_lo.map_or(day, |d| d.max(day)));
     }
     if let Some(hi) = extra.time_hi {
-        q.event.push(Expr::cmp_lit(schema::ev::START, CmpOp::Le, hi));
+        q.event
+            .push(Expr::cmp_lit(schema::ev::START, CmpOp::Le, hi));
         let day = hi.div_euclid(aiql_rdb::partition::NANOS_PER_DAY);
         q.prune.day_hi = Some(q.prune.day_hi.map_or(day, |d| d.min(day)));
     }
@@ -247,7 +254,11 @@ mod tests {
     fn cstr_to_expr_handles_connectives() {
         let s = schema::processes_schema();
         let c = CstrNode::Or(vec![
-            CstrNode::Like { attr: "exe_name".into(), pattern: "%a%".into(), neg: false },
+            CstrNode::Like {
+                attr: "exe_name".into(),
+                pattern: "%a%".into(),
+                neg: false,
+            },
             CstrNode::Not(Box::new(CstrNode::Cmp {
                 attr: "pid".into(),
                 op: AstCmp::Eq,
@@ -270,7 +281,11 @@ mod tests {
     #[test]
     fn unknown_attr_returns_none() {
         let s = schema::processes_schema();
-        let c = CstrNode::Cmp { attr: "nonexistent".into(), op: AstCmp::Eq, value: Value::Int(1) };
+        let c = CstrNode::Cmp {
+            attr: "nonexistent".into(),
+            op: AstCmp::Eq,
+            value: Value::Int(1),
+        };
         assert!(cstr_to_expr(&c, &s).is_none());
     }
 }

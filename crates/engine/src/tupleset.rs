@@ -57,7 +57,12 @@ impl RelEval {
                 right_pattern: right.pattern,
                 right_col: resolve_field(right, ctx.patterns[right.pattern].object_kind)?,
             },
-            RelationCtx::Temporal { left, kind, range_ns, right } => RelEval::Temporal {
+            RelationCtx::Temporal {
+                left,
+                kind,
+                range_ns,
+                right,
+            } => RelEval::Temporal {
                 left_pattern: *left,
                 kind: *kind,
                 range_ns: *range_ns,
@@ -69,10 +74,16 @@ impl RelEval {
     /// The two patterns this relationship connects.
     pub fn endpoints(&self) -> (usize, usize) {
         match self {
-            RelEval::Attr { left_pattern, right_pattern, .. } => (*left_pattern, *right_pattern),
-            RelEval::Temporal { left_pattern, right_pattern, .. } => {
-                (*left_pattern, *right_pattern)
-            }
+            RelEval::Attr {
+                left_pattern,
+                right_pattern,
+                ..
+            } => (*left_pattern, *right_pattern),
+            RelEval::Temporal {
+                left_pattern,
+                right_pattern,
+                ..
+            } => (*left_pattern, *right_pattern),
         }
     }
 
@@ -80,7 +91,12 @@ impl RelEval {
     /// relationship.
     pub fn holds(&self, l: &Row, r: &Row) -> bool {
         match self {
-            RelEval::Attr { left_col, op, right_col, .. } => {
+            RelEval::Attr {
+                left_col,
+                op,
+                right_col,
+                ..
+            } => {
                 let (a, b) = (&l[*left_col], &r[*right_col]);
                 if a.is_null() || b.is_null() {
                     return false;
@@ -198,9 +214,12 @@ impl TupleSet {
         // Hash join on the first equi-relationship; residual-check the rest.
         if let Some(equi) = rels.iter().find(|r| r.is_equi()) {
             let (lcol, rcol, lp) = match equi {
-                RelEval::Attr { left_col, right_col, left_pattern, .. } => {
-                    (*left_col, *right_col, *left_pattern)
-                }
+                RelEval::Attr {
+                    left_col,
+                    right_col,
+                    left_pattern,
+                    ..
+                } => (*left_col, *right_col, *left_pattern),
                 RelEval::Temporal { .. } => unreachable!("is_equi"),
             };
             // Orient: which side of the rel is pattern i?
@@ -255,7 +274,14 @@ impl TupleSet {
         };
         // Hash path: an equi-rel between a pattern of this set and j.
         let equi = rels.iter().find(|r| r.is_equi());
-        if let Some(RelEval::Attr { left_pattern, left_col, right_col, right_pattern, .. }) = equi {
+        if let Some(RelEval::Attr {
+            left_pattern,
+            left_col,
+            right_col,
+            right_pattern,
+            ..
+        }) = equi
+        {
             let (in_set_pat, in_set_col, jcol) = if *right_pattern == j {
                 (*left_pattern, *left_col, *right_col)
             } else {
@@ -335,9 +361,8 @@ impl TupleSet {
         };
         let lrows = matches.rows(l);
         let rrows = matches.rows(r);
-        self.tuples.retain(|t| {
-            rel.holds(&lrows[t[ls] as usize], &rrows[t[rs] as usize])
-        });
+        self.tuples
+            .retain(|t| rel.holds(&lrows[t[ls] as usize], &rrows[t[rs] as usize]));
     }
 
     /// Merges two disjoint tuple sets, filtering by `rels` (which may be
@@ -498,10 +523,26 @@ mod tests {
         let mut stats = EngineStats::default();
         let ts = TupleSet::create(&m, 0, 1, &[&r01], Deadline::none(), &mut stats).unwrap();
         // Extend with pattern 2 under: evt0 before evt2 AND evt2 before evt1.
-        let r02 = RelEval::Temporal { left_pattern: 0, kind: TempKind::Before, range_ns: None, right_pattern: 2 };
-        let r21 = RelEval::Temporal { left_pattern: 2, kind: TempKind::Before, range_ns: None, right_pattern: 1 };
-        let ts2 = ts.extend(&m, 2, &[&r02, &r21], Deadline::none(), &mut stats).unwrap();
-        assert_eq!(ts2.tuples, vec![vec![0, 0, 0]], "only t=3 sits between 1 and 5");
+        let r02 = RelEval::Temporal {
+            left_pattern: 0,
+            kind: TempKind::Before,
+            range_ns: None,
+            right_pattern: 2,
+        };
+        let r21 = RelEval::Temporal {
+            left_pattern: 2,
+            kind: TempKind::Before,
+            range_ns: None,
+            right_pattern: 1,
+        };
+        let ts2 = ts
+            .extend(&m, 2, &[&r02, &r21], Deadline::none(), &mut stats)
+            .unwrap();
+        assert_eq!(
+            ts2.tuples,
+            vec![vec![0, 0, 0]],
+            "only t=3 sits between 1 and 5"
+        );
     }
 
     #[test]
@@ -528,7 +569,12 @@ mod tests {
         let a = TupleSet::create(&m, 0, 1, &[], Deadline::none(), &mut stats).unwrap();
         let b = TupleSet::create(&m, 2, 3, &[], Deadline::none(), &mut stats).unwrap();
         // Require evt1 (t=2) before evt3.
-        let rel = RelEval::Temporal { left_pattern: 1, kind: TempKind::Before, range_ns: None, right_pattern: 3 };
+        let rel = RelEval::Temporal {
+            left_pattern: 1,
+            kind: TempKind::Before,
+            range_ns: None,
+            right_pattern: 3,
+        };
         let merged = TupleSet::merge(&a, &b, &m, &[&rel], Deadline::none(), &mut stats).unwrap();
         assert_eq!(merged.patterns, vec![0, 1, 2, 3]);
         assert_eq!(merged.tuples, vec![vec![0, 0, 0, 1]], "only t3=9 qualifies");

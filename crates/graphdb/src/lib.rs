@@ -90,11 +90,7 @@ impl GraphDb {
     }
 
     /// Adds a node and returns its ID.
-    pub fn add_node(
-        &mut self,
-        label: &str,
-        props: Vec<(&str, Value)>,
-    ) -> NodeId {
+    pub fn add_node(&mut self, label: &str, props: Vec<(&str, Value)>) -> NodeId {
         let id = self.nodes.len() as NodeId;
         let props: BTreeMap<String, Value> =
             props.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
@@ -246,7 +242,10 @@ mod tests {
         let mut g = tiny();
         g.create_node_index("proc", "exe_name");
         assert!(g.has_index("proc", "exe_name"));
-        assert_eq!(g.index_lookup("proc", "exe_name", &Value::str("bash")), Some(&[0u32][..]));
+        assert_eq!(
+            g.index_lookup("proc", "exe_name", &Value::str("bash")),
+            Some(&[0u32][..])
+        );
         // New nodes are indexed on insert.
         let c = g.add_node("proc", vec![("exe_name", Value::str("bash"))]);
         assert_eq!(
@@ -254,7 +253,10 @@ mod tests {
             Some(&[0u32, c][..])
         );
         // Missing value → empty slice, missing index → None.
-        assert_eq!(g.index_lookup("proc", "exe_name", &Value::str("nope")), Some(&[][..]));
+        assert_eq!(
+            g.index_lookup("proc", "exe_name", &Value::str("nope")),
+            Some(&[][..])
+        );
         assert_eq!(g.index_lookup("file", "name", &Value::str("/tmp/x")), None);
         // Idempotent.
         g.create_node_index("proc", "exe_name");

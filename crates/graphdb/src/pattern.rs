@@ -81,9 +81,7 @@ impl PropPred {
                 .get(p)
                 .is_some_and(|v| !v.is_null() && op.eval(v, lit)),
             PropPred::Like(p, pat) => props.get(p).is_some_and(|v| v.like(pat)),
-            PropPred::NotLike(p, pat) => {
-                props.get(p).is_some_and(|v| !v.is_null() && !v.like(pat))
-            }
+            PropPred::NotLike(p, pat) => props.get(p).is_some_and(|v| !v.is_null() && !v.like(pat)),
             PropPred::In(p, list) => props
                 .get(p)
                 .is_some_and(|v| list.iter().any(|x| x.loose_eq(v))),
@@ -159,7 +157,7 @@ impl EdgePat {
 
     fn admits(&self, g: &GraphDb, e: EdgeId) -> bool {
         let edge = g.edge(e);
-        (self.labels.is_empty() || self.labels.iter().any(|l| *l == edge.label))
+        (self.labels.is_empty() || self.labels.contains(&edge.label))
             && self.time_lo.is_none_or(|lo| edge.time >= lo)
             && self.time_hi.is_none_or(|hi| edge.time <= hi)
             && self.preds.iter().all(|p| p.matches(&edge.props))
@@ -262,7 +260,11 @@ impl PatternQuery {
     }
 
     /// Runs the query, returning projected rows.
-    pub fn run(&self, g: &GraphDb, deadline: Option<Instant>) -> Result<Vec<Vec<Value>>, MatchError> {
+    pub fn run(
+        &self,
+        g: &GraphDb,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Vec<Value>>, MatchError> {
         self.run_stats(g, deadline).map(|(rows, _)| rows)
     }
 
@@ -443,7 +445,11 @@ impl PatternQuery {
         true
     }
 
-    fn project(&self, g: &GraphDb, env: &BTreeMap<String, Binding>) -> Result<Vec<Value>, MatchError> {
+    fn project(
+        &self,
+        g: &GraphDb,
+        env: &BTreeMap<String, Binding>,
+    ) -> Result<Vec<Value>, MatchError> {
         self.returns
             .iter()
             .map(|(var, prop)| {
@@ -586,15 +592,27 @@ mod tests {
         });
         assert_eq!(q.run(&g, None).unwrap().len(), 1, "within ignores order");
         q.temporal[0].gap = Some((11, 15));
-        assert!(q.run(&g, None).unwrap().is_empty(), "gap 10 below lower bound");
+        assert!(
+            q.run(&g, None).unwrap().is_empty(),
+            "gap 10 below lower bound"
+        );
     }
 
     #[test]
     fn cross_variable_property_comparison() {
         let mut g = GraphDb::new();
-        let a = g.add_node("proc", vec![("exe_name", Value::str("x")), ("user", Value::str("root"))]);
-        let b = g.add_node("proc", vec![("exe_name", Value::str("y")), ("user", Value::str("root"))]);
-        let c = g.add_node("proc", vec![("exe_name", Value::str("z")), ("user", Value::str("web"))]);
+        let a = g.add_node(
+            "proc",
+            vec![("exe_name", Value::str("x")), ("user", Value::str("root"))],
+        );
+        let b = g.add_node(
+            "proc",
+            vec![("exe_name", Value::str("y")), ("user", Value::str("root"))],
+        );
+        let c = g.add_node(
+            "proc",
+            vec![("exe_name", Value::str("z")), ("user", Value::str("web"))],
+        );
         let f = g.add_node("file", vec![("name", Value::str("f"))]);
         g.add_edge(a, f, "write", 1, vec![]);
         g.add_edge(b, f, "read", 2, vec![]);
@@ -662,7 +680,12 @@ mod tests {
         let rows = q.run(&g, None).unwrap();
         assert_eq!(
             rows[0],
-            vec![Value::str("bash"), Value::str("start"), Value::Int(10), Value::Null]
+            vec![
+                Value::str("bash"),
+                Value::str("start"),
+                Value::Int(10),
+                Value::Null
+            ]
         );
     }
 

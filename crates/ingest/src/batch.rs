@@ -1,0 +1,121 @@
+//! The unit of streaming ingestion: one agent shipment of entities, events,
+//! and clock samples.
+
+use aiql_model::{AgentId, Entity, EntityId, Event, EventId, Timestamp};
+use aiql_storage::timesync::ClockSample;
+
+/// One shipment from the collection pipeline.
+///
+/// Batches carry whatever an agent (or a fan-in relay) accumulated since its
+/// last send: new entities, events referencing them (or entities shipped
+/// earlier), and optionally fresh clock samples for server-side time
+/// synchronization. Events inside a batch need not be time-ordered, and
+/// batches from different agents may interleave arbitrarily — the ingestor
+/// tolerates both.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    /// Entities first referenced by this shipment.
+    pub entities: Vec<Entity>,
+    /// Events, stamped with the *agent's* clock (correction happens
+    /// server-side at apply time).
+    pub events: Vec<Event>,
+    /// Clock samples to fold into the per-agent offset estimate before this
+    /// batch's events are applied.
+    pub clock_samples: Vec<(AgentId, ClockSample)>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> EventBatch {
+        EventBatch::default()
+    }
+
+    /// Adds an entity, returning its ID (mirrors
+    /// [`Dataset::add_entity`](aiql_model::Dataset::add_entity)).
+    pub fn add_entity(&mut self, entity: Entity) -> EntityId {
+        let id = entity.id;
+        self.entities.push(entity);
+        id
+    }
+
+    /// Adds an event, returning its ID.
+    pub fn add_event(&mut self, event: Event) -> EventId {
+        let id = event.id;
+        self.events.push(event);
+        id
+    }
+
+    /// Adds a clock sample for `agent`.
+    pub fn add_clock_sample(&mut self, agent: AgentId, sample: ClockSample) {
+        self.clock_samples.push((agent, sample));
+    }
+
+    /// Number of events in the batch (named to avoid the `len`/`is_empty`
+    /// convention — an entity-only batch has zero events but is not empty).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Rows this batch adds to the append queue — events plus entities,
+    /// the unit the ingestor's high-water mark counts.
+    pub fn weight(&self) -> usize {
+        self.events.len() + self.entities.len()
+    }
+
+    /// Whether the batch carries nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty() && self.events.is_empty() && self.clock_samples.is_empty()
+    }
+
+    /// The batch's event-time span on the agent clock, if it has events.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let lo = self.events.iter().map(|e| e.start).min()?;
+        let hi = self.events.iter().map(|e| e.start).max()?;
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{EntityKind, OpType};
+
+    #[test]
+    fn builders_and_span() {
+        let mut b = EventBatch::new();
+        assert!(b.is_empty());
+        let a = AgentId(3);
+        let p = b.add_entity(Entity::process(1.into(), a, "p", 1));
+        let f = b.add_entity(Entity::file(2.into(), a, "/x"));
+        b.add_event(Event::new(
+            1.into(),
+            a,
+            p,
+            OpType::Write,
+            f,
+            EntityKind::File,
+            Timestamp(500),
+        ));
+        b.add_event(Event::new(
+            2.into(),
+            a,
+            p,
+            OpType::Read,
+            f,
+            EntityKind::File,
+            Timestamp(100),
+        ));
+        b.add_clock_sample(
+            a,
+            ClockSample {
+                agent_time: 0,
+                server_time: 10,
+            },
+        );
+        assert_eq!(b.event_count(), 2);
+        assert_eq!(b.weight(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.time_span(), Some((Timestamp(100), Timestamp(500))));
+        assert!(EventBatch::new().time_span().is_none());
+    }
+}

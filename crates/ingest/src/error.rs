@@ -1,0 +1,50 @@
+//! Ingestion errors.
+
+use crate::batch::EventBatch;
+use aiql_rdb::RdbError;
+use std::fmt;
+
+/// Why a submit or flush failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The bounded append queue is full: accepting the batch would push the
+    /// queued-event count past the high-water mark. The rejected batch is
+    /// handed back untouched (the `mpsc::TrySendError` pattern) — the
+    /// caller should flush (or slow down) and resubmit it.
+    Backpressure {
+        /// The shipment that was not enqueued, returned for resubmission.
+        batch: EventBatch,
+        /// Rows (events + entities) already queued.
+        queued_rows: usize,
+        /// The configured limit.
+        high_water_mark: usize,
+    },
+    /// The storage layer rejected a row.
+    Storage(RdbError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Backpressure {
+                batch,
+                queued_rows,
+                high_water_mark,
+            } => write!(
+                f,
+                "back-pressure: {queued_rows} rows queued + {} submitted \
+                 exceeds high-water mark {high_water_mark}",
+                batch.weight()
+            ),
+            IngestError::Storage(e) => write!(f, "storage error during ingest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<RdbError> for IngestError {
+    fn from(e: RdbError) -> IngestError {
+        IngestError::Storage(e)
+    }
+}

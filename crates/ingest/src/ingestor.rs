@@ -1,0 +1,550 @@
+//! The streaming ingestor: bounded queue, on-the-fly timesync, partition
+//! rollover, incremental indexes.
+
+use crate::batch::EventBatch;
+use crate::error::IngestError;
+use aiql_model::Timestamp;
+use aiql_rdb::PartKey;
+use aiql_storage::timesync::Synchronizer;
+use aiql_storage::{EventStore, SharedStore, StoreConfig, StoreStamp};
+use std::collections::VecDeque;
+
+/// Ingestor construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Layout and index options of the backing store.
+    pub store: StoreConfig,
+    /// Maximum number of queued (submitted but unflushed) rows — events
+    /// plus entities. A submit that would exceed it is rejected with
+    /// [`IngestError::Backpressure`].
+    pub high_water_mark: usize,
+}
+
+impl IngestConfig {
+    /// The live default: AIQL's partitioned, indexed layout with a 64 Ki
+    /// row queue bound.
+    pub fn live() -> IngestConfig {
+        IngestConfig {
+            store: StoreConfig::partitioned(),
+            high_water_mark: 64 * 1024,
+        }
+    }
+
+    /// Sets the high-water mark, builder style.
+    pub fn with_high_water_mark(mut self, rows: usize) -> IngestConfig {
+        self.high_water_mark = rows;
+        self
+    }
+
+    /// Sets the store configuration, builder style.
+    pub fn with_store(mut self, store: StoreConfig) -> IngestConfig {
+        self.store = store;
+        self
+    }
+}
+
+/// Running totals over an ingestor's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches accepted into the queue.
+    pub batches_submitted: u64,
+    /// Batches rejected by back-pressure.
+    pub batches_rejected: u64,
+    /// Batches applied to the store.
+    pub batches_applied: u64,
+    /// Events applied.
+    pub events_applied: u64,
+    /// Entities applied.
+    pub entities_applied: u64,
+    /// Events whose corrected start time was behind the watermark when
+    /// applied (late / out-of-order arrivals).
+    pub out_of_order_events: u64,
+    /// Partitions materialized by rollover.
+    pub rollovers: u64,
+    /// Rows the storage layer rejected and the flush dead-lettered.
+    pub failed_rows: u64,
+    /// Deepest the queue has been, in rows (events + entities).
+    pub max_queue_depth: usize,
+}
+
+/// What one [`Ingestor::flush`] applied.
+#[derive(Debug, Clone, Default)]
+pub struct FlushReport {
+    /// Batches drained from the queue.
+    pub batches: usize,
+    /// Events appended.
+    pub events: usize,
+    /// Entities appended.
+    pub entities: usize,
+    /// Events applied behind the watermark (out of order).
+    pub out_of_order_events: usize,
+    /// Every `(day, agent group)` partition this flush rolled over into,
+    /// in creation order.
+    pub new_partitions: Vec<PartKey>,
+    /// Rows the storage layer rejected (dead-lettered: counted, skipped,
+    /// first error kept — see [`Ingestor::flush`]).
+    pub failed_rows: usize,
+    /// The first storage error behind [`FlushReport::failed_rows`].
+    pub first_error: Option<aiql_rdb::RdbError>,
+    /// Store version after the flush.
+    pub stamp: StoreStamp,
+}
+
+impl FlushReport {
+    /// Folds a later flush's report into this one (counts add, partition
+    /// lists concatenate, the stamp advances to the later one).
+    pub fn merge(&mut self, later: FlushReport) {
+        self.batches += later.batches;
+        self.events += later.events;
+        self.entities += later.entities;
+        self.out_of_order_events += later.out_of_order_events;
+        self.new_partitions.extend(later.new_partitions);
+        self.failed_rows += later.failed_rows;
+        if self.first_error.is_none() {
+            self.first_error = later.first_error;
+        }
+        self.stamp = self.stamp.max(later.stamp);
+    }
+}
+
+/// Streaming front door of the event store.
+///
+/// `submit` enqueues shipments cheaply (bounded by the high-water mark);
+/// `flush` drains the queue into the store under a single write guard,
+/// correcting timestamps per agent as it goes. Readers holding the
+/// [`SharedStore`] handle (from [`Ingestor::shared`]) observe flushes
+/// atomically.
+#[derive(Debug)]
+pub struct Ingestor {
+    shared: SharedStore,
+    sync: Synchronizer,
+    queue: VecDeque<EventBatch>,
+    queued_rows: usize,
+    watermark: Option<Timestamp>,
+    config: IngestConfig,
+    stats: IngestStats,
+}
+
+impl Ingestor {
+    /// An ingestor over a fresh, empty store.
+    pub fn new(config: IngestConfig) -> Result<Ingestor, IngestError> {
+        Ok(Ingestor::over(
+            SharedStore::new(EventStore::empty(config.store)?),
+            config,
+        ))
+    }
+
+    /// An ingestor appending to an existing shared store (e.g. one seeded by
+    /// a batch load).
+    pub fn over(shared: SharedStore, config: IngestConfig) -> Ingestor {
+        Ingestor {
+            shared,
+            sync: Synchronizer::new(),
+            queue: VecDeque::new(),
+            queued_rows: 0,
+            watermark: None,
+            config,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// A cloneable handle for concurrent readers (`aiql_engine::run_live`
+    /// is the query side).
+    pub fn shared(&self) -> SharedStore {
+        self.shared.clone()
+    }
+
+    /// The construction options.
+    pub fn config(&self) -> IngestConfig {
+        self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Rows (events + entities) submitted but not yet flushed — what the
+    /// high-water mark bounds.
+    pub fn queued_rows(&self) -> usize {
+        self.queued_rows
+    }
+
+    /// The highest corrected event start time applied so far — the point up
+    /// to which the stored stream is (modulo late arrivals) complete.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Enqueues a shipment, applying back-pressure at the high-water mark
+    /// (which bounds queued *rows*: events plus entities, so entity-heavy
+    /// shipments cannot buffer without bound either).
+    ///
+    /// The rejected batch is returned untouched inside
+    /// [`IngestError::Backpressure`] — the caller may [`Ingestor::flush`]
+    /// and resubmit it.
+    pub fn submit(&mut self, batch: EventBatch) -> Result<(), IngestError> {
+        if self.queued_rows + batch.weight() > self.config.high_water_mark {
+            self.stats.batches_rejected += 1;
+            return Err(IngestError::Backpressure {
+                queued_rows: self.queued_rows,
+                high_water_mark: self.config.high_water_mark,
+                batch,
+            });
+        }
+        self.enqueue(batch);
+        Ok(())
+    }
+
+    fn enqueue(&mut self, batch: EventBatch) {
+        self.queued_rows += batch.weight();
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queued_rows);
+        self.stats.batches_submitted += 1;
+        self.queue.push_back(batch);
+    }
+
+    /// Submits unconditionally, flushing when the shipment pushes the queue
+    /// past the high-water mark.
+    ///
+    /// The batch is enqueued first, so it is never dropped — not on
+    /// back-pressure (the queue may transiently exceed the mark within this
+    /// call) and not when the flush dead-letters rows. A batch larger than
+    /// the mark on its own is simply written through by the immediate
+    /// flush. Returns the flush report when one happened.
+    pub fn submit_with_flush(
+        &mut self,
+        batch: EventBatch,
+    ) -> Result<Option<FlushReport>, IngestError> {
+        self.enqueue(batch);
+        if self.queued_rows > self.config.high_water_mark {
+            return Ok(Some(self.flush()?));
+        }
+        Ok(None)
+    }
+
+    /// Drains the queue into the store under one write guard.
+    ///
+    /// Per batch, in arrival order: clock samples are folded into the
+    /// per-agent offset estimates first, then entities are appended, then
+    /// events — each event's start/end shifted by its agent's current
+    /// offset and routed to its `(day, agent group)` partition. Rollover
+    /// into new partitions (e.g. when a batch crosses a day boundary) is
+    /// collected in the report; new partitions inherit every secondary
+    /// index, keeping live stores plan-identical to batch-loaded ones.
+    ///
+    /// Rows the storage layer rejects are **dead-lettered**: counted in
+    /// [`FlushReport::failed_rows`] (with the first error kept) and
+    /// skipped, so one malformed row can neither block the pipeline nor
+    /// poison retries. The flush itself still drains the whole queue, the
+    /// watermark only advances over rows that actually landed, and
+    /// [`IngestStats`] stays consistent with the store's row counts.
+    pub fn flush(&mut self) -> Result<FlushReport, IngestError> {
+        let mut report = FlushReport::default();
+        let mut store = self.shared.write();
+        while let Some(batch) = self.queue.pop_front() {
+            self.queued_rows -= batch.weight();
+            for (agent, sample) in &batch.clock_samples {
+                self.sync.record(*agent, *sample);
+            }
+            for entity in &batch.entities {
+                match store.append_entity(entity) {
+                    Ok(()) => report.entities += 1,
+                    Err(e) => {
+                        report.failed_rows += 1;
+                        report.first_error.get_or_insert(e);
+                    }
+                }
+            }
+            // The batch is owned: correct timestamps in place, no per-row clone.
+            for mut corrected in batch.events {
+                let offset = self.sync.offset(corrected.agent);
+                corrected.start = corrected.start.saturating_add(offset);
+                corrected.end = corrected.end.saturating_add(offset);
+                match store.append_event(&corrected) {
+                    Ok(outcome) => {
+                        if self.watermark.is_some_and(|w| corrected.start < w) {
+                            report.out_of_order_events += 1;
+                        }
+                        self.watermark = Some(match self.watermark {
+                            Some(w) => w.max(corrected.start),
+                            None => corrected.start,
+                        });
+                        if let Some(key) = outcome.created_partition {
+                            report.new_partitions.push(key);
+                        }
+                        report.events += 1;
+                    }
+                    Err(e) => {
+                        report.failed_rows += 1;
+                        report.first_error.get_or_insert(e);
+                    }
+                }
+            }
+            report.batches += 1;
+        }
+        report.stamp = store.stamp();
+        drop(store);
+
+        self.stats.batches_applied += report.batches as u64;
+        self.stats.events_applied += report.events as u64;
+        self.stats.entities_applied += report.entities as u64;
+        self.stats.out_of_order_events += report.out_of_order_events as u64;
+        self.stats.rollovers += report.new_partitions.len() as u64;
+        self.stats.failed_rows += report.failed_rows as u64;
+        Ok(report)
+    }
+
+    /// Flushes whatever is queued and hands back the shared store handle
+    /// plus final statistics.
+    pub fn finish(mut self) -> Result<(SharedStore, IngestStats), IngestError> {
+        self.flush()?;
+        Ok((self.shared, self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{AgentId, Entity, EntityKind, Event, OpType};
+    use aiql_storage::timesync::ClockSample;
+
+    fn event(id: u64, agent: u32, t: i64) -> Event {
+        Event::new(
+            id.into(),
+            AgentId(agent),
+            1.into(),
+            OpType::Write,
+            2.into(),
+            EntityKind::File,
+            Timestamp(t),
+        )
+    }
+
+    fn batch_of(events: Vec<Event>) -> EventBatch {
+        EventBatch {
+            events,
+            ..EventBatch::default()
+        }
+    }
+
+    const DAY: i64 = aiql_rdb::partition::NANOS_PER_DAY;
+
+    #[test]
+    fn backpressure_rejects_then_flush_recovers() {
+        let cfg = IngestConfig::live().with_high_water_mark(3);
+        let mut ing = Ingestor::new(cfg).unwrap();
+        ing.submit(batch_of(vec![event(1, 0, 0), event(2, 0, 1)]))
+            .unwrap();
+        let err = ing
+            .submit(batch_of(vec![event(3, 0, 2), event(4, 0, 3)]))
+            .unwrap_err();
+        // The rejected batch comes back untouched for resubmission.
+        let rejected = match err {
+            IngestError::Backpressure {
+                batch,
+                queued_rows: 2,
+                high_water_mark: 3,
+            } => batch,
+            other => panic!("unexpected error: {other:?}"),
+        };
+        assert_eq!(rejected.event_count(), 2);
+        assert_eq!(ing.stats().batches_rejected, 1);
+        assert_eq!(ing.queued_rows(), 2);
+
+        ing.flush().unwrap();
+        assert_eq!(ing.queued_rows(), 0);
+        ing.submit(rejected).unwrap();
+        let report = ing.flush().unwrap();
+        assert_eq!(report.events, 2);
+        assert_eq!(ing.shared().read().event_count(), 4);
+        assert_eq!(ing.stats().max_queue_depth, 2);
+    }
+
+    #[test]
+    fn submit_with_flush_auto_drains() {
+        let mut ing = Ingestor::new(IngestConfig::live().with_high_water_mark(2)).unwrap();
+        assert!(ing
+            .submit_with_flush(batch_of(vec![event(1, 0, 0), event(2, 0, 1)]))
+            .unwrap()
+            .is_none());
+        let report = ing
+            .submit_with_flush(batch_of(vec![event(3, 0, 2)]))
+            .unwrap()
+            .expect("crossing the mark flushes everything queued");
+        assert_eq!(report.events, 3);
+        assert_eq!(ing.queued_rows(), 0);
+    }
+
+    #[test]
+    fn oversized_batch_writes_through() {
+        // A single shipment larger than the high-water mark must still land
+        // (the mark bounds buffering, not shipment size).
+        let mut ing = Ingestor::new(IngestConfig::live().with_high_water_mark(2)).unwrap();
+        ing.submit(batch_of(vec![event(1, 0, 0)])).unwrap();
+        let big = batch_of(vec![event(2, 0, 1), event(3, 0, 2), event(4, 0, 3)]);
+        assert!(matches!(
+            ing.submit(big.clone()),
+            Err(IngestError::Backpressure { .. })
+        ));
+        let report = ing
+            .submit_with_flush(big)
+            .unwrap()
+            .expect("write-through flush");
+        assert_eq!(report.events, 4, "queued + oversized batch both land");
+        assert_eq!(report.batches, 2);
+        assert_eq!(ing.queued_rows(), 0);
+        assert_eq!(ing.shared().read().event_count(), 4);
+    }
+
+    #[test]
+    fn entity_only_batches_count_against_the_mark() {
+        let mut ing = Ingestor::new(IngestConfig::live().with_high_water_mark(3)).unwrap();
+        let entities = |lo: u64, n: u64| EventBatch {
+            entities: (lo..lo + n)
+                .map(|i| Entity::file(i.into(), AgentId(0), format!("/f{i}")))
+                .collect(),
+            ..EventBatch::default()
+        };
+        ing.submit(entities(1, 2)).unwrap();
+        assert_eq!(ing.queued_rows(), 2, "entities weigh in");
+        assert!(matches!(
+            ing.submit(entities(10, 2)),
+            Err(IngestError::Backpressure { .. })
+        ));
+        ing.flush().unwrap();
+        ing.submit(entities(10, 2)).unwrap();
+        ing.flush().unwrap();
+        assert_eq!(ing.shared().read().entity_count(), 4);
+    }
+
+    #[test]
+    fn malformed_rows_are_dead_lettered_not_poisonous() {
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        // A process entity with a string where the schema wants an Int.
+        let poison = Entity::process(1.into(), AgentId(0), "p", 1).with_attr("pid", "not-a-pid");
+        let mut b = EventBatch::new();
+        b.add_entity(poison);
+        b.add_entity(Entity::file(2.into(), AgentId(0), "/fine"));
+        b.add_event(event(1, 0, 100));
+        ing.submit(b).unwrap();
+
+        let report = ing.flush().unwrap();
+        assert_eq!(report.failed_rows, 1);
+        assert!(matches!(
+            report.first_error,
+            Some(aiql_rdb::RdbError::SchemaMismatch(_))
+        ));
+        // Everything else in the batch landed; nothing is stuck in the queue.
+        assert_eq!(report.entities, 1);
+        assert_eq!(report.events, 1);
+        assert_eq!(ing.queued_rows(), 0);
+        assert_eq!(ing.stats().failed_rows, 1);
+        let shared = ing.shared();
+        let store = shared.read();
+        assert_eq!((store.entity_count(), store.event_count()), (1, 1));
+
+        // The store's stats stay consistent with its contents.
+        assert_eq!(ing.stats().events_applied, 1);
+        assert_eq!(ing.stats().entities_applied, 1);
+    }
+
+    #[test]
+    fn timesync_corrects_on_the_fly() {
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        // Agent 1's clock runs 1000 ns behind the server.
+        let mut b = EventBatch::new();
+        b.add_clock_sample(
+            AgentId(1),
+            ClockSample {
+                agent_time: 0,
+                server_time: 1_000,
+            },
+        );
+        b.add_event(event(1, 1, 500));
+        b.add_event(event(2, 2, 1_400)); // agent 2: no samples, no shift
+        ing.submit(b).unwrap();
+        ing.flush().unwrap();
+
+        let shared = ing.shared();
+        let store = shared.read();
+        let mut scanned = 0;
+        let rows = store.scan_events(&[], &aiql_rdb::Prune::all(), &mut scanned);
+        let mut starts: Vec<i64> = rows
+            .iter()
+            .map(|r| r[aiql_storage::schema::ev::START].as_int().unwrap())
+            .collect();
+        starts.sort();
+        assert_eq!(starts, vec![1_400, 1_500], "agent 1 shifted by +1000");
+        assert_eq!(ing.watermark(), Some(Timestamp(1_500)));
+    }
+
+    #[test]
+    fn day_boundary_rollover_is_reported() {
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        // One batch spanning the day-0 → day-1 boundary for agent 0.
+        ing.submit(batch_of(vec![event(1, 0, DAY - 10), event(2, 0, DAY + 10)]))
+            .unwrap();
+        let report = ing.flush().unwrap();
+        assert_eq!(report.new_partitions, vec![(0, 0), (1, 0)]);
+        assert_eq!(ing.stats().rollovers, 2);
+
+        // Same days again: no new partitions.
+        ing.submit(batch_of(vec![event(3, 0, DAY - 5), event(4, 0, DAY + 5)]))
+            .unwrap();
+        assert!(ing.flush().unwrap().new_partitions.is_empty());
+
+        // A different agent group rolls over on both days.
+        ing.submit(batch_of(vec![event(5, 9, DAY - 5), event(6, 9, DAY + 5)]))
+            .unwrap();
+        let report = ing.flush().unwrap();
+        assert_eq!(report.new_partitions, vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn out_of_order_counted_not_lost() {
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        ing.submit(batch_of(vec![event(1, 0, 5_000), event(2, 0, 1_000)]))
+            .unwrap();
+        let report = ing.flush().unwrap();
+        assert_eq!(report.out_of_order_events, 1);
+        assert_eq!(report.events, 2);
+        assert_eq!(ing.watermark(), Some(Timestamp(5_000)));
+        assert_eq!(ing.shared().read().event_count(), 2);
+    }
+
+    #[test]
+    fn streaming_matches_batch_counts_and_partitions() {
+        use aiql_model::Dataset;
+        let mut data = Dataset::new();
+        let a = AgentId(2);
+        data.add_entity(Entity::process(1.into(), a, "p", 1));
+        data.add_entity(Entity::file(2.into(), a, "/f"));
+        for i in 0..20 {
+            data.add_event(event(100 + i, 2, i as i64 * (DAY / 7)));
+        }
+        let batch_store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        // Stream it in 3 shipments, entities first.
+        let mut first = EventBatch::new();
+        first.entities = data.entities.clone();
+        first.events = data.events[..7].to_vec();
+        ing.submit(first).unwrap();
+        ing.submit(batch_of(data.events[7..15].to_vec())).unwrap();
+        ing.submit(batch_of(data.events[15..].to_vec())).unwrap();
+        let (shared, stats) = ing.finish().unwrap();
+
+        let live = shared.read();
+        assert_eq!(live.event_count(), batch_store.event_count());
+        assert_eq!(live.entity_count(), batch_store.entity_count());
+        assert_eq!(
+            live.events_partitioned().unwrap().partition_count(),
+            batch_store.events_partitioned().unwrap().partition_count(),
+        );
+        assert_eq!(
+            stats.rollovers as usize,
+            live.events_partitioned().unwrap().partition_count()
+        );
+        assert_eq!(stats.batches_applied, 3);
+    }
+}

@@ -101,12 +101,28 @@ mod tests {
         let p = d.add_entity(Entity::process(1.into(), a, "bash", 10));
         let f = d.add_entity(Entity::file(2.into(), a, "/tmp/x"));
         d.add_event(
-            Event::new(1.into(), a, p, OpType::Write, f, EntityKind::File, Timestamp::from_secs(5))
-                .with_seq(2),
+            Event::new(
+                1.into(),
+                a,
+                p,
+                OpType::Write,
+                f,
+                EntityKind::File,
+                Timestamp::from_secs(5),
+            )
+            .with_seq(2),
         );
         d.add_event(
-            Event::new(2.into(), AgentId(2), p, OpType::Read, f, EntityKind::File, Timestamp::from_secs(3))
-                .with_seq(1),
+            Event::new(
+                2.into(),
+                AgentId(2),
+                p,
+                OpType::Read,
+                f,
+                EntityKind::File,
+                Timestamp::from_secs(3),
+            )
+            .with_seq(1),
         );
         d
     }

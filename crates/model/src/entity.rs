@@ -138,7 +138,10 @@ mod tests {
         for k in [EntityKind::File, EntityKind::Process, EntityKind::NetConn] {
             assert_eq!(EntityKind::parse_keyword(k.keyword()), Some(k));
         }
-        assert_eq!(EntityKind::parse_keyword("process"), Some(EntityKind::Process));
+        assert_eq!(
+            EntityKind::parse_keyword("process"),
+            Some(EntityKind::Process)
+        );
         assert_eq!(EntityKind::parse_keyword("socket"), None);
     }
 

@@ -63,12 +63,27 @@ pub fn is_event_attr(attr: &str) -> bool {
 pub fn describe() -> String {
     let mut out = String::new();
     out.push_str("Table 1: Representative attributes of system entities\n");
-    out.push_str(&format!("  File               : {}\n", FILE_ATTRS.join(", ")));
-    out.push_str(&format!("  Process            : {}\n", PROCESS_ATTRS.join(", ")));
-    out.push_str(&format!("  Network Connection : {}\n", NETCONN_ATTRS.join(", ")));
-    out.push_str(&format!("  (common)           : {}\n", COMMON_ENTITY_ATTRS.join(", ")));
+    out.push_str(&format!(
+        "  File               : {}\n",
+        FILE_ATTRS.join(", ")
+    ));
+    out.push_str(&format!(
+        "  Process            : {}\n",
+        PROCESS_ATTRS.join(", ")
+    ));
+    out.push_str(&format!(
+        "  Network Connection : {}\n",
+        NETCONN_ATTRS.join(", ")
+    ));
+    out.push_str(&format!(
+        "  (common)           : {}\n",
+        COMMON_ENTITY_ATTRS.join(", ")
+    ));
     out.push_str("Table 2: Representative attributes of system events\n");
-    out.push_str(&format!("  Event              : {}\n", EVENT_ATTRS.join(", ")));
+    out.push_str(&format!(
+        "  Event              : {}\n",
+        EVENT_ATTRS.join(", ")
+    ));
     out
 }
 

@@ -252,11 +252,7 @@ impl fmt::Display for Timestamp {
         if sub == 0 {
             write!(f, "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}")
         } else {
-            write!(
-                f,
-                "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{:09}",
-                sub
-            )
+            write!(f, "{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{:09}", sub)
         }
     }
 }
@@ -350,7 +346,10 @@ mod tests {
         assert_eq!(TimeUnit::parse("minutes"), Some(TimeUnit::Minute));
         assert_eq!(TimeUnit::parse("SEC"), Some(TimeUnit::Second));
         assert_eq!(TimeUnit::parse("fortnight"), None);
-        assert_eq!(Duration::of(2, TimeUnit::Minute).as_nanos(), 120 * NANOS_PER_SEC);
+        assert_eq!(
+            Duration::of(2, TimeUnit::Minute).as_nanos(),
+            120 * NANOS_PER_SEC
+        );
         let t = Timestamp::from_secs(100);
         assert_eq!(
             t.saturating_add(Duration::of(1, TimeUnit::Second)),

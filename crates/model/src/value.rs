@@ -115,7 +115,11 @@ impl Value {
 /// Case-insensitive `%`-wildcard matching.
 pub fn like_match(text: &str, pattern: &str) -> bool {
     let t: Vec<char> = text.to_lowercase().chars().collect();
-    let parts: Vec<String> = pattern.to_lowercase().split('%').map(String::from).collect();
+    let parts: Vec<String> = pattern
+        .to_lowercase()
+        .split('%')
+        .map(String::from)
+        .collect();
     if parts.len() == 1 {
         return t.iter().collect::<String>() == parts[0];
     }

@@ -135,11 +135,7 @@ fn join(
             for b in &new_rows {
                 ctx.stats.loop_iterations += 1;
                 ctx.tick()?;
-                if step
-                    .residual
-                    .iter()
-                    .all(|p| matches_concat(p, a, b))
-                {
+                if step.residual.iter().all(|p| matches_concat(p, a, b)) {
                     let mut row = a.clone();
                     row.extend_from_slice(b);
                     push_guarded!(row);
@@ -150,20 +146,24 @@ fn join(
         // Hash join: build on the new (right) side, probe with accumulated.
         let mut built: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
         for b in &new_rows {
-            let key: Vec<Value> = step.hash_keys.iter().map(|(_, nc)| b[*nc].clone()).collect();
+            let key: Vec<Value> = step
+                .hash_keys
+                .iter()
+                .map(|(_, nc)| b[*nc].clone())
+                .collect();
             built.entry(key).or_default().push(b);
         }
         for a in &acc {
             ctx.stats.hash_probes += 1;
             ctx.tick()?;
-            let key: Vec<Value> = step.hash_keys.iter().map(|(ac, _)| a[*ac].clone()).collect();
+            let key: Vec<Value> = step
+                .hash_keys
+                .iter()
+                .map(|(ac, _)| a[*ac].clone())
+                .collect();
             if let Some(matches) = built.get(&key) {
                 for b in matches {
-                    if step
-                        .residual
-                        .iter()
-                        .all(|p| matches_concat(p, a, b))
-                    {
+                    if step.residual.iter().all(|p| matches_concat(p, a, b)) {
                         let mut row = a.clone();
                         row.extend_from_slice(b);
                         push_guarded!(row);
@@ -279,7 +279,10 @@ pub fn execute(db: &Database, plan: &SelectPlan, ctx: &mut ExecCtx) -> Result<Re
             ctx.tick()?;
             let key: Vec<Value> = plan.group_by.iter().map(|&c| r[c].clone()).collect();
             let entry = groups.entry(key).or_insert_with(|| {
-                (r.clone(), agg_positions.iter().map(|_| AggState::new()).collect())
+                (
+                    r.clone(),
+                    agg_positions.iter().map(|_| AggState::new()).collect(),
+                )
             });
             for (slot, &item_idx) in agg_positions.iter().enumerate() {
                 if let OutputExpr::Agg(_, col, distinct) = &plan.items[item_idx].0 {
@@ -292,7 +295,7 @@ pub fn execute(db: &Database, plan: &SelectPlan, ctx: &mut ExecCtx) -> Result<Re
             }
         }
         // Deterministic group order: sort groups by key.
-        let mut grouped: Vec<(Vec<Value>, (Row, Vec<AggState>))> = groups.into_iter().collect();
+        let mut grouped: Vec<_> = groups.into_iter().collect();
         grouped.sort_by(|a, b| a.0.cmp(&b.0));
         grouped
             .into_iter()
@@ -398,8 +401,11 @@ mod tests {
         )
         .unwrap();
         for (id, exe, agent) in [(1, "cmd.exe", 1), (2, "osql.exe", 1), (3, "svchost.exe", 2)] {
-            db.insert("procs", vec![Value::Int(id), Value::str(exe), Value::Int(agent)])
-                .unwrap();
+            db.insert(
+                "procs",
+                vec![Value::Int(id), Value::str(exe), Value::Int(agent)],
+            )
+            .unwrap();
         }
         // cmd(1) starts osql(2) at t=100; svchost(3) reads obj 9 at t=50, 150.
         for (id, s, o, t) in [(1, 1, 2, 100), (2, 3, 9, 50), (3, 3, 9, 150)] {
@@ -421,7 +427,11 @@ mod tests {
         assert_eq!(rs.columns, vec!["id"]);
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(3)], vec![Value::Int(2)], vec![Value::Int(1)]]
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(2)],
+                vec![Value::Int(1)]
+            ]
         );
     }
 
@@ -468,7 +478,10 @@ mod tests {
                  ON e.subject_id = p.id GROUP BY p.exe_name HAVING n > 1",
             )
             .unwrap();
-        assert_eq!(rs.rows, vec![vec![Value::str("svchost.exe"), Value::Int(2)]]);
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::str("svchost.exe"), Value::Int(2)]]
+        );
     }
 
     #[test]
@@ -528,7 +541,8 @@ mod tests {
     #[test]
     fn timeout_fires_on_large_nested_loop() {
         let mut db = Database::new();
-        db.create_table("t", Schema::new(&[("a", ColumnType::Int)])).unwrap();
+        db.create_table("t", Schema::new(&[("a", ColumnType::Int)]))
+            .unwrap();
         for i in 0..3000 {
             db.insert("t", vec![Value::Int(i)]).unwrap();
         }

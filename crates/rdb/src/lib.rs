@@ -53,7 +53,7 @@ pub use aiql_model::Value;
 pub use error::RdbError;
 pub use exec::{ExecCtx, ExecStats, ResultSet};
 pub use expr::{CmpOp, Expr};
-pub use partition::{PartitionSpec, PartitionedTable, Prune};
+pub use partition::{InsertReport, PartKey, PartitionSpec, PartitionedTable, Prune};
 pub use schema::{ColumnType, Row, Schema};
 pub use segment::{Placement, SegmentedDb};
 pub use table::Table;
@@ -141,9 +141,16 @@ impl Database {
     /// Inserts a row into `table`, routing to the right partition if the
     /// table is partitioned.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<(), RdbError> {
+        self.insert_reporting(table, row).map(|_| ())
+    }
+
+    /// Inserts a row, reporting partition creation (see
+    /// [`PartitionedTable::insert_reporting`]); plain tables always report
+    /// no rollover.
+    pub fn insert_reporting(&mut self, table: &str, row: Row) -> Result<InsertReport, RdbError> {
         match self.slot_mut(table)? {
-            TableSlot::Plain(t) => t.insert(row),
-            TableSlot::Partitioned(t) => t.insert(row),
+            TableSlot::Plain(t) => t.insert(row).map(|_| InsertReport::default()),
+            TableSlot::Partitioned(t) => t.insert_reporting(row),
         }
     }
 
@@ -229,8 +236,12 @@ mod tests {
             ("agentid", ColumnType::Int),
             ("start_time", ColumnType::Int),
         ]);
-        db.create_partitioned_table("events", schema, PartitionSpec::new("start_time", "agentid", 1))
-            .unwrap();
+        db.create_partitioned_table(
+            "events",
+            schema,
+            PartitionSpec::new("start_time", "agentid", 1),
+        )
+        .unwrap();
         let day = partition::NANOS_PER_DAY;
         for i in 0..10i64 {
             db.insert(
@@ -261,7 +272,8 @@ mod tests {
     #[test]
     fn plain_and_partitioned_accessors() {
         let mut db = Database::new();
-        db.create_table("p", Schema::new(&[("a", ColumnType::Int)])).unwrap();
+        db.create_table("p", Schema::new(&[("a", ColumnType::Int)]))
+            .unwrap();
         db.create_partitioned_table(
             "q",
             Schema::new(&[("t", ColumnType::Int), ("g", ColumnType::Int)]),

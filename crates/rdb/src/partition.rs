@@ -40,6 +40,15 @@ impl PartitionSpec {
 /// Partition key: (day index, agent group).
 pub type PartKey = (i64, u32);
 
+/// What one row insert did to the physical layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertReport {
+    /// The partition key materialized by this insert, if the row was the
+    /// first of its `(day, agent group)` — `None` for plain tables and for
+    /// rows landing in an existing partition.
+    pub created_partition: Option<PartKey>,
+}
+
 /// Pruning constraints for a partitioned scan.
 #[derive(Debug, Clone, Default)]
 pub struct Prune {
@@ -134,10 +143,16 @@ impl PartitionedTable {
 
     fn key_of(&self, row: &Row) -> Result<PartKey, RdbError> {
         let t = row[self.time_idx].as_int().ok_or_else(|| {
-            RdbError::SchemaMismatch(format!("partition time column must be Int, got {:?}", row[self.time_idx]))
+            RdbError::SchemaMismatch(format!(
+                "partition time column must be Int, got {:?}",
+                row[self.time_idx]
+            ))
         })?;
         let a = row[self.agent_idx].as_int().ok_or_else(|| {
-            RdbError::SchemaMismatch(format!("partition agent column must be Int, got {:?}", row[self.agent_idx]))
+            RdbError::SchemaMismatch(format!(
+                "partition agent column must be Int, got {:?}",
+                row[self.agent_idx]
+            ))
         })?;
         Ok((
             t.div_euclid(NANOS_PER_DAY),
@@ -148,8 +163,20 @@ impl PartitionedTable {
     /// Routes a row to its partition, creating it (with the configured
     /// indexes) on first use.
     pub fn insert(&mut self, row: Row) -> Result<(), RdbError> {
+        self.insert_reporting(row).map(|_| ())
+    }
+
+    /// Like [`PartitionedTable::insert`], but reports whether the insert
+    /// rolled over into a freshly created partition — the signal live
+    /// ingestion uses to detect day-boundary/agent-group rollover.
+    ///
+    /// A new partition is born with every index in
+    /// [`PartitionedTable::indexed_columns`] already in place, so rows
+    /// appended later are index-maintained identically to batch-loaded ones.
+    pub fn insert_reporting(&mut self, row: Row) -> Result<InsertReport, RdbError> {
         self.schema.check_row(&row)?;
         let key = self.key_of(&row)?;
+        let mut created = None;
         let table = match self.partitions.entry(key) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(e) => {
@@ -157,12 +184,21 @@ impl PartitionedTable {
                 for c in &self.index_columns {
                     t.create_index(c)?;
                 }
+                created = Some(key);
                 e.insert(t)
             }
         };
         table.insert(row)?;
         self.len += 1;
-        Ok(())
+        Ok(InsertReport {
+            created_partition: created,
+        })
+    }
+
+    /// Columns carrying secondary indexes (every current partition has them;
+    /// every future partition is created with them).
+    pub fn indexed_columns(&self) -> &[String] {
+        &self.index_columns
     }
 
     /// Creates an index on every existing partition and remembers it for
@@ -200,12 +236,7 @@ impl PartitionedTable {
 
     /// Scans all admitted partitions sequentially, applying `conjuncts` with
     /// per-partition index selection; returns matching rows (cloned).
-    pub fn select(
-        &self,
-        conjuncts: &[Expr],
-        prune: &Prune,
-        scanned: &mut u64,
-    ) -> Vec<Row> {
+    pub fn select(&self, conjuncts: &[Expr], prune: &Prune, scanned: &mut u64) -> Vec<Row> {
         let mut out = Vec::new();
         for (_, t) in self.partitions_for(prune) {
             let (_, positions) = t.select(conjuncts, scanned);
@@ -236,7 +267,8 @@ mod tests {
             ("start_time", ColumnType::Int),
             ("name", ColumnType::Str),
         ]);
-        let mut pt = PartitionedTable::new(schema, PartitionSpec::new("start_time", "agentid", 2)).unwrap();
+        let mut pt =
+            PartitionedTable::new(schema, PartitionSpec::new("start_time", "agentid", 2)).unwrap();
         pt.create_index("name").unwrap();
         // Two days, four agents (groups {0,1} and {2,3}).
         for day in 0..2i64 {
@@ -269,13 +301,25 @@ mod tests {
         let all = pt.partitions_for(&Prune::all());
         assert_eq!(all.len(), 4);
 
-        let day0 = Prune { day_lo: Some(0), day_hi: Some(0), agents: None };
+        let day0 = Prune {
+            day_lo: Some(0),
+            day_hi: Some(0),
+            agents: None,
+        };
         assert_eq!(pt.partitions_for(&day0).len(), 2);
 
-        let agent3 = Prune { day_lo: None, day_hi: None, agents: Some(vec![3]) };
+        let agent3 = Prune {
+            day_lo: None,
+            day_hi: None,
+            agents: Some(vec![3]),
+        };
         assert_eq!(pt.partitions_for(&agent3).len(), 2, "group 1, both days");
 
-        let both = Prune { day_lo: Some(1), day_hi: Some(1), agents: Some(vec![0]) };
+        let both = Prune {
+            day_lo: Some(1),
+            day_hi: Some(1),
+            agents: Some(vec![0]),
+        };
         assert_eq!(pt.partitions_for(&both).len(), 1);
     }
 
@@ -297,7 +341,11 @@ mod tests {
     fn select_with_prune_reduces_work() {
         let pt = pt();
         let mut scanned = 0;
-        let prune = Prune { day_lo: Some(0), day_hi: Some(0), agents: Some(vec![0]) };
+        let prune = Prune {
+            day_lo: Some(0),
+            day_hi: Some(0),
+            agents: Some(vec![0]),
+        };
         let rows = pt.select(&[], &prune, &mut scanned);
         assert_eq!(rows.len(), 6, "one group (agents 0,1) on day 0");
     }
@@ -316,9 +364,53 @@ mod tests {
     }
 
     #[test]
+    fn insert_reports_rollover_and_new_partitions_carry_indexes() {
+        let schema = Schema::new(&[
+            ("agentid", ColumnType::Int),
+            ("start_time", ColumnType::Int),
+            ("name", ColumnType::Str),
+        ]);
+        let mut pt =
+            PartitionedTable::new(schema, PartitionSpec::new("start_time", "agentid", 2)).unwrap();
+        pt.create_index("name").unwrap();
+        let row = |agent: i64, t: i64| vec![Value::Int(agent), Value::Int(t), Value::str("f")];
+
+        // First row of (day 0, group 0) creates the partition.
+        let r = pt.insert_reporting(row(0, 0)).unwrap();
+        assert_eq!(r.created_partition, Some((0, 0)));
+        // Same partition: no rollover.
+        let r = pt.insert_reporting(row(1, 1_000)).unwrap();
+        assert_eq!(r.created_partition, None);
+        // Crossing the day boundary rolls over.
+        let r = pt.insert_reporting(row(0, NANOS_PER_DAY)).unwrap();
+        assert_eq!(r.created_partition, Some((1, 0)));
+        // New agent group rolls over too.
+        let r = pt.insert_reporting(row(2, 500)).unwrap();
+        assert_eq!(r.created_partition, Some((0, 1)));
+
+        // Every partition (including rolled-over ones) has the index: an
+        // equality probe touches only matching rows.
+        assert_eq!(pt.indexed_columns(), &["name".to_string()]);
+        let mut scanned = 0;
+        let name_col = pt.schema().position("name").unwrap();
+        let rows = pt.select(
+            &[Expr::cmp_lit(name_col, CmpOp::Eq, "f")],
+            &Prune::all(),
+            &mut scanned,
+        );
+        assert_eq!(rows.len(), 4);
+        assert_eq!(scanned, 4, "index probes only");
+    }
+
+    #[test]
     fn insert_rejects_bad_partition_values() {
         let mut pt = pt();
-        let r = pt.insert(vec![Value::Int(1), Value::str("x"), Value::Int(0), Value::str("f")]);
+        let r = pt.insert(vec![
+            Value::Int(1),
+            Value::str("x"),
+            Value::Int(0),
+            Value::str("f"),
+        ]);
         assert!(r.is_err());
     }
 }

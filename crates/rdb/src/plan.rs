@@ -84,7 +84,12 @@ impl<'a> Binder<'a> {
             if aliases.iter().any(|(a, _, _, _)| a == &tref.alias) {
                 return Err(RdbError::Plan(format!("duplicate alias: {}", tref.alias)));
             }
-            aliases.push((tref.alias.clone(), tref.table.clone(), offset, schema.arity()));
+            aliases.push((
+                tref.alias.clone(),
+                tref.table.clone(),
+                offset,
+                schema.arity(),
+            ));
             offset += schema.arity();
         }
         Ok(Binder { aliases, db })
@@ -107,10 +112,7 @@ impl<'a> Binder<'a> {
                 for (_, table, offset, _) in &self.aliases {
                     if let Some(pos) = self.db.schema_of(table)?.position(&c.column) {
                         if found.is_some() {
-                            return Err(RdbError::Plan(format!(
-                                "ambiguous column: {}",
-                                c.column
-                            )));
+                            return Err(RdbError::Plan(format!("ambiguous column: {}", c.column)));
                         }
                         found = Some(offset + pos);
                     }
@@ -163,10 +165,14 @@ impl<'a> Binder<'a> {
                 }
             }
             SqlExpr::And(es) => Expr::And(
-                es.iter().map(|x| self.resolve_expr(x)).collect::<Result<_, _>>()?,
+                es.iter()
+                    .map(|x| self.resolve_expr(x))
+                    .collect::<Result<_, _>>()?,
             ),
             SqlExpr::Or(es) => Expr::Or(
-                es.iter().map(|x| self.resolve_expr(x)).collect::<Result<_, _>>()?,
+                es.iter()
+                    .map(|x| self.resolve_expr(x))
+                    .collect::<Result<_, _>>()?,
             ),
             SqlExpr::Not(x) => Expr::Not(Box::new(self.resolve_expr(x)?)),
             SqlExpr::Add(a, b) => Expr::Add(
@@ -177,9 +183,7 @@ impl<'a> Binder<'a> {
                 Box::new(self.resolve_expr(a)?),
                 Box::new(self.resolve_expr(b)?),
             ),
-            SqlExpr::Agg(..) => {
-                return Err(RdbError::Plan("aggregate not allowed here".into()))
-            }
+            SqlExpr::Agg(..) => return Err(RdbError::Plan("aggregate not allowed here".into())),
         })
     }
 }
@@ -228,6 +232,7 @@ pub fn plan_select(db: &Database, stmt: &SelectStmt) -> Result<SelectPlan, RdbEr
 
     // Build join steps.
     let mut joins = Vec::new();
+    #[allow(clippy::needless_range_loop)] // k indexes aliases and per_step in lockstep
     for k in 1..nfrom {
         let (_, table, offset, arity) = binder.aliases[k].clone();
         let acc_width = offset;
@@ -237,7 +242,9 @@ pub fn plan_select(db: &Database, stmt: &SelectStmt) -> Result<SelectPlan, RdbEr
         for c in std::mem::take(&mut per_step[k]) {
             let mut cols = Vec::new();
             c.columns(&mut cols);
-            let only_new = cols.iter().all(|&col| col >= offset && col < offset + arity);
+            let only_new = cols
+                .iter()
+                .all(|&col| col >= offset && col < offset + arity);
             if only_new {
                 // Shift to the new table's local layout.
                 scan_conjuncts.push(c.map_columns(&|i| i - offset));
@@ -273,7 +280,10 @@ pub fn plan_select(db: &Database, stmt: &SelectStmt) -> Result<SelectPlan, RdbEr
         for (alias, table, offset, _) in &binder.aliases {
             let schema = db.schema_of(table)?;
             for i in 0..schema.arity() {
-                items.push((OutputExpr::Col(offset + i), format!("{alias}.{}", schema.name(i))));
+                items.push((
+                    OutputExpr::Col(offset + i),
+                    format!("{alias}.{}", schema.name(i)),
+                ));
             }
         }
     } else {
@@ -302,7 +312,10 @@ pub fn plan_select(db: &Database, stmt: &SelectStmt) -> Result<SelectPlan, RdbEr
         None => None,
     };
     if items.len() > visible {
-        has_aggs = has_aggs || items[visible..].iter().any(|(e, _)| matches!(e, OutputExpr::Agg(..)));
+        has_aggs = has_aggs
+            || items[visible..]
+                .iter()
+                .any(|(e, _)| matches!(e, OutputExpr::Agg(..)));
     }
 
     // ORDER BY: resolve against item aliases/names first, then as columns.
@@ -583,15 +596,17 @@ mod tests {
         let plan = plan_select(&db, &stmt).unwrap();
         assert_eq!(plan.visible, 1);
         assert_eq!(plan.items.len(), 2);
-        assert!(matches!(plan.items[1].0, OutputExpr::Agg(AggFunc::Count, None, false)));
+        assert!(matches!(
+            plan.items[1].0,
+            OutputExpr::Agg(AggFunc::Count, None, false)
+        ));
         assert!(plan.having.is_some());
     }
 
     #[test]
     fn order_by_alias_and_hidden_column() {
         let db = db();
-        let stmt =
-            parse_select("SELECT e1.id AS eid FROM events e1 ORDER BY eid DESC").unwrap();
+        let stmt = parse_select("SELECT e1.id AS eid FROM events e1 ORDER BY eid DESC").unwrap();
         let plan = plan_select(&db, &stmt).unwrap();
         assert_eq!(plan.order_by, vec![(0, false)]);
 

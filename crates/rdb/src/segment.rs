@@ -108,9 +108,7 @@ impl SegmentedDb {
                 let schema = self.segments[0].schema_of(table)?;
                 let idx = schema.require(agent_col)?;
                 let agent = row[idx].as_int().ok_or_else(|| {
-                    RdbError::SchemaMismatch(format!(
-                        "placement column {agent_col} must be Int"
-                    ))
+                    RdbError::SchemaMismatch(format!("placement column {agent_col} must be Int"))
                 })?;
                 agent.rem_euclid(k as i64) as usize
             }
@@ -123,7 +121,11 @@ impl SegmentedDb {
     /// re-applying ORDER BY and LIMIT at the coordinator. Rejects aggregate /
     /// GROUP BY / DISTINCT queries (their partial results cannot be merged by
     /// concatenation).
-    pub fn query_local(&self, sql_text: &str, deadline: Option<Instant>) -> Result<ResultSet, RdbError> {
+    pub fn query_local(
+        &self,
+        sql_text: &str,
+        deadline: Option<Instant>,
+    ) -> Result<ResultSet, RdbError> {
         let stmt = sql::parse_select(sql_text)?;
         let has_agg = !stmt.group_by.is_empty()
             || stmt.distinct
@@ -133,7 +135,8 @@ impl SegmentedDb {
                 .any(|i| matches!(i.expr, sql::SqlExpr::Agg(..)));
         if has_agg {
             return Err(RdbError::Plan(
-                "aggregate/DISTINCT queries are not mergeable in local mode; use query_gather".into(),
+                "aggregate/DISTINCT queries are not mergeable in local mode; use query_gather"
+                    .into(),
             ));
         }
         let results = self.run_on_all(|seg| {
@@ -182,7 +185,11 @@ impl SegmentedDb {
     /// database, and runs the full query there. This is the honest cost
     /// model for non-co-located placement: the gathered rows are physically
     /// copied, and the join runs single-threaded at the coordinator.
-    pub fn query_gather(&self, sql_text: &str, deadline: Option<Instant>) -> Result<ResultSet, RdbError> {
+    pub fn query_gather(
+        &self,
+        sql_text: &str,
+        deadline: Option<Instant>,
+    ) -> Result<ResultSet, RdbError> {
         let stmt = sql::parse_select(sql_text)?;
         // Learn per-table pushdown by planning against segment 0 (schemas are
         // identical on all segments).
@@ -203,7 +210,9 @@ impl SegmentedDb {
                 let rows = match seg.slot(table)? {
                     crate::TableSlot::Plain(t) => {
                         let (_, pos) = t.select(conjuncts, &mut scanned);
-                        pos.into_iter().map(|p| t.row(p).clone()).collect::<Vec<Row>>()
+                        pos.into_iter()
+                            .map(|p| t.row(p).clone())
+                            .collect::<Vec<Row>>()
                     }
                     crate::TableSlot::Partitioned(pt) => {
                         let prune = pt.prune_from_conjuncts(conjuncts);
@@ -274,8 +283,11 @@ mod tests {
         )
         .unwrap();
         for i in 0..30i64 {
-            db.insert("events", vec![Value::Int(i), Value::Int(i % 5), Value::Int(i * 2)])
-                .unwrap();
+            db.insert(
+                "events",
+                vec![Value::Int(i), Value::Int(i % 5), Value::Int(i * 2)],
+            )
+            .unwrap();
         }
         db
     }
@@ -290,7 +302,9 @@ mod tests {
 
     #[test]
     fn by_agent_colocates_rows() {
-        let db = seed(Placement::ByAgent { agent_col: "agentid".into() });
+        let db = seed(Placement::ByAgent {
+            agent_col: "agentid".into(),
+        });
         // Agent a lands on segment a mod 3; each segment sees only its agents.
         for seg in 0..3 {
             let t = db.segment(seg).plain("events").unwrap();
@@ -305,18 +319,27 @@ mod tests {
     fn local_query_merges_and_reorders() {
         let db = seed(Placement::RoundRobin);
         let rs = db
-            .query_local("SELECT e.id FROM events e WHERE e.val >= 40 ORDER BY e.id DESC LIMIT 3", None)
+            .query_local(
+                "SELECT e.id FROM events e WHERE e.val >= 40 ORDER BY e.id DESC LIMIT 3",
+                None,
+            )
             .unwrap();
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(29)], vec![Value::Int(28)], vec![Value::Int(27)]]
+            vec![
+                vec![Value::Int(29)],
+                vec![Value::Int(28)],
+                vec![Value::Int(27)]
+            ]
         );
     }
 
     #[test]
     fn local_query_rejects_aggregates() {
         let db = seed(Placement::RoundRobin);
-        assert!(db.query_local("SELECT COUNT(*) FROM events e", None).is_err());
+        assert!(db
+            .query_local("SELECT COUNT(*) FROM events e", None)
+            .is_err());
         assert!(db
             .query_local("SELECT DISTINCT e.agentid FROM events e", None)
             .is_err());
@@ -338,7 +361,9 @@ mod tests {
 
     #[test]
     fn gather_self_join_is_correct() {
-        let db = seed(Placement::ByAgent { agent_col: "agentid".into() });
+        let db = seed(Placement::ByAgent {
+            agent_col: "agentid".into(),
+        });
         // Pairs of events of the same agent with increasing val.
         let rs = db
             .query_gather(
@@ -353,12 +378,20 @@ mod tests {
 
     #[test]
     fn gather_matches_local_on_colocated_query() {
-        let local = seed(Placement::ByAgent { agent_col: "agentid".into() });
+        let local = seed(Placement::ByAgent {
+            agent_col: "agentid".into(),
+        });
         let mut a = local
-            .query_local("SELECT e.id FROM events e WHERE e.agentid = 1 ORDER BY e.id", None)
+            .query_local(
+                "SELECT e.id FROM events e WHERE e.agentid = 1 ORDER BY e.id",
+                None,
+            )
             .unwrap();
         let mut b = local
-            .query_gather("SELECT e.id FROM events e WHERE e.agentid = 1 ORDER BY e.id", None)
+            .query_gather(
+                "SELECT e.id FROM events e WHERE e.agentid = 1 ORDER BY e.id",
+                None,
+            )
             .unwrap();
         a.rows.sort();
         b.rows.sort();

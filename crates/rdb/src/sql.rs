@@ -211,13 +211,15 @@ fn lex(input: &str) -> Result<Vec<Tok>, RdbError> {
                 }
                 let text: String = b[start..i].iter().collect();
                 if text.contains('.') {
-                    out.push(Tok::Float(text.parse().map_err(|_| {
-                        RdbError::Parse(format!("bad number: {text}"))
-                    })?));
+                    out.push(Tok::Float(
+                        text.parse()
+                            .map_err(|_| RdbError::Parse(format!("bad number: {text}")))?,
+                    ));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| {
-                        RdbError::Parse(format!("bad number: {text}"))
-                    })?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|_| RdbError::Parse(format!("bad number: {text}")))?,
+                    ));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -304,7 +306,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, RdbError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(RdbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(RdbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -319,7 +323,11 @@ impl Parser {
         } else {
             loop {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 stmt.items.push(SelectItem { expr, alias });
                 if !self.eat_opt(&Tok::Comma) {
                     break;
@@ -379,7 +387,11 @@ impl Parser {
         if self.eat_kw("limit") {
             match self.next() {
                 Some(Tok::Int(n)) if n >= 0 => stmt.limit = Some(n as usize),
-                other => return Err(RdbError::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(RdbError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         }
         Ok(stmt)
@@ -410,15 +422,25 @@ impl Parser {
         } else {
             table.clone()
         };
-        Ok(TableRef { table, alias, on: None })
+        Ok(TableRef {
+            table,
+            alias,
+            on: None,
+        })
     }
 
     fn col_ref(&mut self) -> Result<ColRef, RdbError> {
         let first = self.ident()?;
         if self.eat_opt(&Tok::Dot) {
-            Ok(ColRef { table: Some(first), column: self.ident()? })
+            Ok(ColRef {
+                table: Some(first),
+                column: self.ident()?,
+            })
         } else {
-            Ok(ColRef { table: None, column: first })
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
         }
     }
 
@@ -513,7 +535,9 @@ impl Parser {
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
-            other => Err(RdbError::Parse(format!("expected literal, found {other:?}"))),
+            other => Err(RdbError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -571,7 +595,9 @@ impl Parser {
                 }
                 Ok(SqlExpr::Col(self.col_ref()?))
             }
-            other => Err(RdbError::Parse(format!("expected operand, found {other:?}"))),
+            other => Err(RdbError::Parse(format!(
+                "expected operand, found {other:?}"
+            ))),
         }
     }
 }
@@ -586,7 +612,10 @@ mod tests {
         assert!(toks.contains(&Tok::Str("it's".into())));
         assert!(toks.contains(&Tok::Cmp(CmpOp::Le)));
         assert!(toks.contains(&Tok::Float(3.5)));
-        assert_eq!(toks.iter().filter(|t| **t == Tok::Cmp(CmpOp::Ne)).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Cmp(CmpOp::Ne)).count(),
+            2
+        );
         assert!(lex("'unterminated").is_err());
         assert!(lex("a @ b").is_err());
     }
@@ -666,15 +695,16 @@ mod tests {
 
     #[test]
     fn parse_additive_operands() {
-        let s = parse_select(
-            "SELECT a FROM t WHERE t.x >= t.y + 100 AND t.x - 5 < t.z",
-        )
-        .unwrap();
+        let s = parse_select("SELECT a FROM t WHERE t.x >= t.y + 100 AND t.x - 5 < t.z").unwrap();
         let w = s.where_.unwrap();
         match w {
             SqlExpr::And(parts) => {
-                assert!(matches!(&parts[0], SqlExpr::Cmp(_, _, rhs) if matches!(rhs.as_ref(), SqlExpr::Add(_, _))));
-                assert!(matches!(&parts[1], SqlExpr::Cmp(_, lhs, _) if matches!(lhs.as_ref(), SqlExpr::Sub(_, _))));
+                assert!(
+                    matches!(&parts[0], SqlExpr::Cmp(_, _, rhs) if matches!(rhs.as_ref(), SqlExpr::Add(_, _)))
+                );
+                assert!(
+                    matches!(&parts[1], SqlExpr::Cmp(_, lhs, _) if matches!(lhs.as_ref(), SqlExpr::Sub(_, _)))
+                );
             }
             other => panic!("expected AND, got {other:?}"),
         }

@@ -142,11 +142,7 @@ impl Table {
     /// chosen access path alongside the row positions. `scanned` is
     /// incremented by the number of rows the scan *touched* (not returned),
     /// so callers can account I/O-like cost.
-    pub fn select(
-        &self,
-        conjuncts: &[Expr],
-        scanned: &mut u64,
-    ) -> (AccessPath, Vec<u32>) {
+    pub fn select(&self, conjuncts: &[Expr], scanned: &mut u64) -> (AccessPath, Vec<u32>) {
         // Find an index-usable conjunct.
         let mut best: Option<(usize, IndexProbe)> = None;
         for (ci, c) in conjuncts.iter().enumerate() {
@@ -193,7 +189,7 @@ impl Table {
                     conjuncts
                         .iter()
                         .enumerate()
-                        .all(|(i, c)| (i != ci || recheck) && c.matches(row) || (i == ci && !recheck))
+                        .all(|(i, c)| (i == ci && !recheck) || c.matches(row))
                 });
                 (path, candidates)
             }
@@ -213,7 +209,10 @@ impl Table {
 
 enum ProbeKind {
     Eq(Vec<Value>),
-    Range { lo: Option<Value>, hi: Option<Value> },
+    Range {
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
 }
 
 struct IndexProbe {
@@ -233,8 +232,14 @@ fn index_probe(e: &Expr) -> Option<IndexProbe> {
             };
             let kind = match op {
                 CmpOp::Eq => ProbeKind::Eq(vec![lit]),
-                CmpOp::Le | CmpOp::Lt => ProbeKind::Range { lo: None, hi: Some(lit) },
-                CmpOp::Ge | CmpOp::Gt => ProbeKind::Range { lo: Some(lit), hi: None },
+                CmpOp::Le | CmpOp::Lt => ProbeKind::Range {
+                    lo: None,
+                    hi: Some(lit),
+                },
+                CmpOp::Ge | CmpOp::Gt => ProbeKind::Range {
+                    lo: Some(lit),
+                    hi: None,
+                },
                 CmpOp::Ne => return None,
             };
             Some(IndexProbe { col, kind })

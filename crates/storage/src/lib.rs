@@ -36,11 +36,14 @@
 //! assert_eq!(store.event_count(), 1);
 //! ```
 
+pub mod live;
 pub mod schema;
 pub mod timesync;
 
+pub use live::{SharedStore, StoreStamp};
+
 use aiql_model::{Dataset, Entity, EntityKind, Event, Timestamp, Value};
-use aiql_rdb::{Database, Placement, PartitionSpec, Prune, RdbError, Row, SegmentedDb};
+use aiql_rdb::{Database, PartKey, PartitionSpec, Placement, Prune, RdbError, Row, SegmentedDb};
 
 /// Physical layout of the event store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +69,9 @@ impl StoreConfig {
     /// AIQL's layout: partitioned with groups of 5 agents, indexed.
     pub fn partitioned() -> StoreConfig {
         StoreConfig {
-            layout: Layout::Partitioned { agent_group_size: 5 },
+            layout: Layout::Partitioned {
+                agent_group_size: 5,
+            },
             with_indexes: true,
         }
     }
@@ -142,13 +147,29 @@ fn create_tables(
     Ok(())
 }
 
+/// What appending one event did to the store's physical layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendOutcome {
+    /// The `(day, agent group)` partition this append rolled over into, if
+    /// it was the first row of that partition. `None` on the monolithic
+    /// layout and for rows landing in existing partitions.
+    pub created_partition: Option<PartKey>,
+}
+
 /// The single-node event store (monolithic or partitioned layout).
+///
+/// Construct-and-query via [`EventStore::ingest`], or grow a live store via
+/// the append hooks ([`EventStore::append_entity`] /
+/// [`EventStore::append_event`]) — both paths maintain the same secondary
+/// indexes and partitions, so queries plan identically either way.
 #[derive(Debug)]
 pub struct EventStore {
     db: Database,
     config: StoreConfig,
     event_count: usize,
     entity_count: usize,
+    /// Mutation counter backing [`EventStore::stamp`].
+    epoch: u64,
 }
 
 impl EventStore {
@@ -156,12 +177,11 @@ impl EventStore {
     pub fn empty(config: StoreConfig) -> Result<EventStore, RdbError> {
         let mut db = Database::new();
         create_tables(|name, sch, is_events| match config.layout {
-            Layout::Partitioned { agent_group_size } if is_events => db
-                .create_partitioned_table(
-                    name,
-                    sch,
-                    PartitionSpec::new("start_time", "agentid", agent_group_size),
-                ),
+            Layout::Partitioned { agent_group_size } if is_events => db.create_partitioned_table(
+                name,
+                sch,
+                PartitionSpec::new("start_time", "agentid", agent_group_size),
+            ),
             _ => db.create_table(name, sch),
         })?;
         if config.with_indexes {
@@ -174,33 +194,62 @@ impl EventStore {
             config,
             event_count: 0,
             entity_count: 0,
+            epoch: 0,
         })
     }
 
-    /// Builds a store from a dataset.
+    /// Builds a store from a dataset (the batch path; runs through the same
+    /// append hooks live ingestion uses).
     pub fn ingest(data: &Dataset, config: StoreConfig) -> Result<EventStore, RdbError> {
         let mut store = EventStore::empty(config)?;
         for e in &data.entities {
-            store.insert_entity(e)?;
+            store.append_entity(e)?;
         }
         for ev in &data.events {
-            store.insert_event(ev)?;
+            store.append_event(ev)?;
         }
         Ok(store)
     }
 
-    /// Inserts one entity.
-    pub fn insert_entity(&mut self, e: &Entity) -> Result<(), RdbError> {
-        self.db.insert(schema::entity_table(e.kind), entity_row(e))?;
+    /// Appends one entity to its kind's table (indexes maintained).
+    pub fn append_entity(&mut self, e: &Entity) -> Result<(), RdbError> {
+        self.db
+            .insert(schema::entity_table(e.kind), entity_row(e))?;
         self.entity_count += 1;
+        self.epoch += 1;
         Ok(())
     }
 
-    /// Inserts one event.
-    pub fn insert_event(&mut self, ev: &Event) -> Result<(), RdbError> {
-        self.db.insert(schema::EVENTS, event_row(ev))?;
+    /// Appends one event, routing it to its `(day, agent group)` partition
+    /// and reporting rollover when the row materializes a new partition.
+    /// Newly created partitions carry every configured secondary index.
+    pub fn append_event(&mut self, ev: &Event) -> Result<AppendOutcome, RdbError> {
+        let report = self.db.insert_reporting(schema::EVENTS, event_row(ev))?;
         self.event_count += 1;
-        Ok(())
+        self.epoch += 1;
+        Ok(AppendOutcome {
+            created_partition: report.created_partition,
+        })
+    }
+
+    /// Backwards-compatible alias of [`EventStore::append_entity`].
+    pub fn insert_entity(&mut self, e: &Entity) -> Result<(), RdbError> {
+        self.append_entity(e)
+    }
+
+    /// Backwards-compatible alias of [`EventStore::append_event`],
+    /// discarding the rollover report.
+    pub fn insert_event(&mut self, ev: &Event) -> Result<(), RdbError> {
+        self.append_event(ev).map(|_| ())
+    }
+
+    /// The store's current version stamp (see [`StoreStamp`]).
+    pub fn stamp(&self) -> StoreStamp {
+        StoreStamp {
+            epoch: self.epoch,
+            events: self.event_count,
+            entities: self.entity_count,
+        }
     }
 
     /// The underlying database (SQL entry point for baselines).
@@ -274,8 +323,14 @@ impl EventStore {
     pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
         let mut scanned = 0u64;
         let rows = self.scan_events(&[], &Prune::all(), &mut scanned);
-        let lo = rows.iter().map(|r| r[schema::ev::START].as_int().unwrap_or(0)).min()?;
-        let hi = rows.iter().map(|r| r[schema::ev::START].as_int().unwrap_or(0)).max()?;
+        let lo = rows
+            .iter()
+            .map(|r| r[schema::ev::START].as_int().unwrap_or(0))
+            .min()?;
+        let hi = rows
+            .iter()
+            .map(|r| r[schema::ev::START].as_int().unwrap_or(0))
+            .max()?;
         Some((Timestamp(lo), Timestamp(hi)))
     }
 }
@@ -305,9 +360,15 @@ impl SegmentedStore {
     /// Creates an empty segmented store. `by_host` selects AIQL's
     /// semantics-aware placement; otherwise rows are spread round-robin in
     /// arrival order (Greenplum's default on this data).
-    pub fn empty(segments: usize, by_host: bool, with_indexes: bool) -> Result<SegmentedStore, RdbError> {
+    pub fn empty(
+        segments: usize,
+        by_host: bool,
+        with_indexes: bool,
+    ) -> Result<SegmentedStore, RdbError> {
         let placement = if by_host {
-            Placement::ByAgent { agent_col: "agentid".into() }
+            Placement::ByAgent {
+                agent_col: "agentid".into(),
+            }
         } else {
             Placement::RoundRobin
         };
@@ -316,7 +377,11 @@ impl SegmentedStore {
             if is_events {
                 // Segments keep day partitioning locally (both systems get
                 // the paper's storage optimizations in Sec. 6.3.3).
-                sdb.create_partitioned_table(name, sch, PartitionSpec::new("start_time", "agentid", 5))
+                sdb.create_partitioned_table(
+                    name,
+                    sch,
+                    PartitionSpec::new("start_time", "agentid", 5),
+                )
             } else {
                 sdb.create_table(name, sch)
             }
@@ -326,14 +391,23 @@ impl SegmentedStore {
                 sdb.create_index(table, col)?;
             }
         }
-        Ok(SegmentedStore { sdb, event_count: 0 })
+        Ok(SegmentedStore {
+            sdb,
+            event_count: 0,
+        })
     }
 
     /// Builds a segmented store from a dataset.
-    pub fn ingest(data: &Dataset, segments: usize, by_host: bool) -> Result<SegmentedStore, RdbError> {
+    pub fn ingest(
+        data: &Dataset,
+        segments: usize,
+        by_host: bool,
+    ) -> Result<SegmentedStore, RdbError> {
         let mut store = SegmentedStore::empty(segments, by_host, true)?;
         for e in &data.entities {
-            store.sdb.insert(schema::entity_table(e.kind), entity_row(e))?;
+            store
+                .sdb
+                .insert(schema::entity_table(e.kind), entity_row(e))?;
         }
         for ev in &data.events {
             store.sdb.insert(schema::EVENTS, event_row(ev))?;
@@ -364,18 +438,38 @@ mod tests {
         for agent in 0..4u32 {
             let a = AgentId(agent);
             let base = (agent as u64 + 1) * 100;
-            let p = d.add_entity(Entity::process((base + 1).into(), a, format!("proc{agent}"), 10));
+            let p = d.add_entity(Entity::process(
+                (base + 1).into(),
+                a,
+                format!("proc{agent}"),
+                10,
+            ));
             let f = d.add_entity(Entity::file((base + 2).into(), a, format!("/tmp/f{agent}")));
-            let c = d.add_entity(Entity::netconn((base + 3).into(), a, "10.0.0.1", 1000, "10.0.0.99", 443));
+            let c = d.add_entity(Entity::netconn(
+                (base + 3).into(),
+                a,
+                "10.0.0.1",
+                1000,
+                "10.0.0.99",
+                443,
+            ));
             for i in 0..5u64 {
                 let t = Timestamp::from_ymd(2017, 1, 1 + (i as u32 % 2)).unwrap();
                 d.add_event(Event::new(
                     (base + 10 + i).into(),
                     a,
                     p,
-                    if i % 2 == 0 { OpType::Write } else { OpType::Read },
+                    if i % 2 == 0 {
+                        OpType::Write
+                    } else {
+                        OpType::Read
+                    },
                     if i == 4 { c } else { f },
-                    if i == 4 { EntityKind::NetConn } else { EntityKind::File },
+                    if i == 4 {
+                        EntityKind::NetConn
+                    } else {
+                        EntityKind::File
+                    },
                     Timestamp(t.0 + i as i64 * 1_000),
                 ));
             }
@@ -410,7 +504,11 @@ mod tests {
         let day0 = Timestamp::from_ymd(2017, 1, 1).unwrap();
         let conjuncts = vec![
             Expr::cmp_lit(schema::ev::START, CmpOp::Ge, day0.0),
-            Expr::cmp_lit(schema::ev::START, CmpOp::Lt, day0.0 + aiql_rdb::partition::NANOS_PER_DAY),
+            Expr::cmp_lit(
+                schema::ev::START,
+                CmpOp::Lt,
+                day0.0 + aiql_rdb::partition::NANOS_PER_DAY,
+            ),
             Expr::cmp_lit(schema::ev::AGENT, CmpOp::Eq, 2i64),
         ];
         let mut scanned = 0;
@@ -432,6 +530,47 @@ mod tests {
         );
         assert_eq!(rows.len(), 1);
         assert_eq!(scanned, 1, "index probe");
+    }
+
+    #[test]
+    fn append_reports_day_and_group_rollover() {
+        let mut s = EventStore::empty(StoreConfig::partitioned()).unwrap();
+        let day0 = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        let day1 = Timestamp::from_ymd(2017, 1, 2).unwrap();
+        let ev = |id: u64, agent: u32, t: Timestamp| {
+            Event::new(
+                id.into(),
+                AgentId(agent),
+                1.into(),
+                OpType::Read,
+                2.into(),
+                EntityKind::File,
+                t,
+            )
+        };
+        let day_idx = day0.0.div_euclid(aiql_rdb::partition::NANOS_PER_DAY);
+
+        let o = s.append_event(&ev(1, 0, day0)).unwrap();
+        assert_eq!(o.created_partition, Some((day_idx, 0)));
+        let o = s.append_event(&ev(2, 1, day0)).unwrap();
+        assert_eq!(o.created_partition, None, "same day, same group of 5");
+        let o = s.append_event(&ev(3, 0, day1)).unwrap();
+        assert_eq!(o.created_partition, Some((day_idx + 1, 0)), "day rollover");
+        let o = s.append_event(&ev(4, 7, day0)).unwrap();
+        assert_eq!(
+            o.created_partition,
+            Some((day_idx, 1)),
+            "agent-group rollover"
+        );
+
+        // Monolithic stores never roll over.
+        let mut m = EventStore::empty(StoreConfig::monolithic()).unwrap();
+        let o = m.append_event(&ev(1, 0, day0)).unwrap();
+        assert_eq!(o.created_partition, None);
+
+        // The stamp tracks every append.
+        assert_eq!(s.stamp().epoch, 4);
+        assert_eq!(s.stamp().events, 4);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Shared handles for stores that grow while being queried.
+//!
+//! Batch evaluation builds an [`EventStore`](crate::EventStore) once and
+//! borrows it immutably for the lifetime of the experiment. A live
+//! deployment interleaves appends (the ingestor) with reads (investigators
+//! running queries), so the store sits behind a [`SharedStore`] —
+//! `Arc<RwLock<EventStore>>` with a small protocol on top:
+//!
+//! - writers take the lock through [`SharedStore::write`] and append;
+//! - readers take a snapshot guard through [`SharedStore::read`]; the guard
+//!   pins the store for the duration of one query, so the query sees a
+//!   point-in-time prefix of the stream (appends queue behind the lock);
+//! - every mutation bumps the store's [`StoreStamp`]; comparing the stamps
+//!   observed before and after a read proves the snapshot was stable.
+
+use crate::EventStore;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A point-in-time version of a store: mutation epoch plus row counts.
+///
+/// Stamps are totally ordered by `epoch` (each append bumps it), so two
+/// equal stamps guarantee no append happened in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct StoreStamp {
+    /// Number of mutations applied since the store was created.
+    pub epoch: u64,
+    /// Events visible at this stamp.
+    pub events: usize,
+    /// Entities visible at this stamp.
+    pub entities: usize,
+}
+
+/// A cloneable, thread-safe handle to a growing [`EventStore`].
+#[derive(Debug, Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<EventStore>>,
+}
+
+impl SharedStore {
+    /// Wraps a store for shared live access.
+    pub fn new(store: EventStore) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// A read guard pinning one consistent snapshot; queries run against
+    /// `&*guard` see no concurrent appends.
+    pub fn read(&self) -> RwLockReadGuard<'_, EventStore> {
+        self.inner.read().expect("store lock poisoned")
+    }
+
+    /// A write guard for appending.
+    pub fn write(&self) -> RwLockWriteGuard<'_, EventStore> {
+        self.inner.write().expect("store lock poisoned")
+    }
+
+    /// The current stamp (acquires and releases a read lock).
+    pub fn stamp(&self) -> StoreStamp {
+        self.read().stamp()
+    }
+
+    /// Unwraps the store if this is the last handle; returns `self`
+    /// otherwise.
+    pub fn try_unwrap(self) -> Result<EventStore, SharedStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner().expect("store lock poisoned")),
+            Err(inner) => Err(SharedStore { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+    use aiql_model::{AgentId, Entity, EntityKind, Event, OpType, Timestamp};
+
+    fn event(id: u64, t: i64) -> Event {
+        Event::new(
+            id.into(),
+            AgentId(1),
+            1.into(),
+            OpType::Write,
+            2.into(),
+            EntityKind::File,
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn stamps_advance_with_appends() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+        let s0 = shared.stamp();
+        assert_eq!(
+            s0,
+            StoreStamp {
+                epoch: 0,
+                events: 0,
+                entities: 0
+            }
+        );
+        {
+            let mut w = shared.write();
+            w.append_entity(&Entity::process(1.into(), AgentId(1), "p", 1))
+                .unwrap();
+            w.append_event(&event(1, 0)).unwrap();
+        }
+        let s1 = shared.stamp();
+        assert!(s1 > s0);
+        assert_eq!((s1.events, s1.entities), (1, 1));
+    }
+
+    #[test]
+    fn read_guard_pins_a_snapshot() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+        shared.write().append_event(&event(1, 0)).unwrap();
+
+        let clone = shared.clone();
+        let guard = shared.read();
+        let before = guard.stamp();
+        // A writer on another thread blocks until the guard drops.
+        let writer = std::thread::spawn(move || {
+            clone.write().append_event(&event(2, 1)).unwrap();
+        });
+        // The snapshot is stable while we hold the guard.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(guard.stamp(), before);
+        drop(guard);
+        writer.join().unwrap();
+        assert_eq!(shared.stamp().events, 2);
+    }
+
+    #[test]
+    fn try_unwrap_recovers_the_store() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::monolithic()).unwrap());
+        let clone = shared.clone();
+        let shared = shared.try_unwrap().expect_err("clone still alive");
+        drop(clone);
+        let store = shared.try_unwrap().expect("sole handle");
+        assert_eq!(store.event_count(), 0);
+    }
+}

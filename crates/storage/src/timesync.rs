@@ -18,10 +18,21 @@ pub struct ClockSample {
     pub server_time: i64,
 }
 
+/// Running mean of one agent's `server - agent` clock differences.
+///
+/// Samples are folded into a `(sum, count)` pair as they arrive, so
+/// [`Synchronizer::offset`] is O(1) and memory stays O(agents) no matter
+/// how long an ingestion pipeline keeps reporting samples.
+#[derive(Debug, Default, Clone, Copy)]
+struct OffsetEstimate {
+    sum_diff: i64,
+    count: i64,
+}
+
 /// Per-agent clock-offset estimator and corrector.
 #[derive(Debug, Default)]
 pub struct Synchronizer {
-    samples: HashMap<AgentId, Vec<ClockSample>>,
+    estimates: HashMap<AgentId, OffsetEstimate>,
 }
 
 impl Synchronizer {
@@ -32,19 +43,18 @@ impl Synchronizer {
 
     /// Records a clock sample for `agent`.
     pub fn record(&mut self, agent: AgentId, sample: ClockSample) {
-        self.samples.entry(agent).or_default().push(sample);
+        let e = self.estimates.entry(agent).or_default();
+        e.sum_diff += sample.server_time - sample.agent_time;
+        e.count += 1;
     }
 
     /// The estimated offset to *add* to an agent's timestamps (mean of
     /// `server_time - agent_time`); zero for agents with no samples.
     pub fn offset(&self, agent: AgentId) -> Duration {
-        match self.samples.get(&agent) {
+        match self.estimates.get(&agent) {
             None => Duration::ZERO,
-            Some(v) if v.is_empty() => Duration::ZERO,
-            Some(v) => {
-                let sum: i64 = v.iter().map(|s| s.server_time - s.agent_time).sum();
-                Duration(sum / v.len() as i64)
-            }
+            Some(e) if e.count == 0 => Duration::ZERO,
+            Some(e) => Duration(e.sum_diff / e.count),
         }
     }
 
@@ -81,8 +91,20 @@ mod tests {
     fn offset_is_mean_of_samples() {
         let mut s = Synchronizer::new();
         let a = AgentId(1);
-        s.record(a, ClockSample { agent_time: 100, server_time: 150 });
-        s.record(a, ClockSample { agent_time: 200, server_time: 230 });
+        s.record(
+            a,
+            ClockSample {
+                agent_time: 100,
+                server_time: 150,
+            },
+        );
+        s.record(
+            a,
+            ClockSample {
+                agent_time: 200,
+                server_time: 230,
+            },
+        );
         assert_eq!(s.offset(a), Duration(40));
         assert_eq!(s.offset(AgentId(9)), Duration::ZERO);
     }
@@ -102,7 +124,13 @@ mod tests {
         assert_eq!(data.events[0].id.0, 1, "uncorrected order is wrong");
 
         let mut s = Synchronizer::new();
-        s.record(AgentId(1), ClockSample { agent_time: 0, server_time: 1000 });
+        s.record(
+            AgentId(1),
+            ClockSample {
+                agent_time: 0,
+                server_time: 1000,
+            },
+        );
         s.apply(&mut data);
         assert_eq!(data.events[0].id.0, 2, "corrected order is right");
         assert_eq!(data.events[1].start, Timestamp(1500));

@@ -28,7 +28,7 @@ fn cmp(op: CmpOp) -> &'static str {
 /// Converts a `%`-wildcard pattern into a Cypher regular expression:
 /// wildcard segments join with `.*`.
 fn like_regex(pattern: &str) -> String {
-    let parts: Vec<String> = pattern.split('%').map(|p| regex_escape(p)).collect();
+    let parts: Vec<String> = pattern.split('%').map(regex_escape).collect();
     format!("(?i){}", parts.join(".*"))
 }
 
@@ -60,18 +60,28 @@ fn cstr_cy(alias: &str, c: &CstrNode) -> String {
         ),
         CstrNode::And(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_cy(alias, x)).collect::<Vec<_>>().join(" AND ")
+            cs.iter()
+                .map(|x| cstr_cy(alias, x))
+                .collect::<Vec<_>>()
+                .join(" AND ")
         ),
         CstrNode::Or(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_cy(alias, x)).collect::<Vec<_>>().join(" OR ")
+            cs.iter()
+                .map(|x| cstr_cy(alias, x))
+                .collect::<Vec<_>>()
+                .join(" OR ")
         ),
         CstrNode::Not(inner) => format!("NOT ({})", cstr_cy(alias, inner)),
     }
 }
 
 fn field_cy(names: &[crate::names::PatternNames], f: &FieldRef) -> String {
-    let prop = if f.attr == "id" { "id" } else { f.attr.as_str() };
+    let prop = if f.attr == "id" {
+        "id"
+    } else {
+        f.attr.as_str()
+    };
     format!("{}.{}", alias_of(names, f), prop)
 }
 
@@ -133,7 +143,12 @@ pub fn to_cypher(ctx: &QueryContext) -> Result<String, TranslateError> {
                 }
                 preds.push(format!("{l} {} {r}", cmp(*op)));
             }
-            RelationCtx::Temporal { left, kind, range_ns, right } => {
+            RelationCtx::Temporal {
+                left,
+                kind,
+                range_ns,
+                right,
+            } => {
                 let (l, r) = (&names[*left].event, &names[*right].event);
                 match (kind, range_ns) {
                     (TempKind::Before, None) => {
@@ -173,7 +188,11 @@ pub fn to_cypher(ctx: &QueryContext) -> Result<String, TranslateError> {
                 field_cy(&names, f),
                 item.name.replace('.', "_")
             )),
-            RetExprCtx::Agg { func, distinct, arg } => {
+            RetExprCtx::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
                 let fname = format!("{func:?}").to_lowercase();
                 items.push(format!(
                     "{fname}({}{}) AS {}",

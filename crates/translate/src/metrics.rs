@@ -52,7 +52,11 @@ fn count_constraints(text: &str) -> usize {
             '=' => {
                 // `=`, `==`, `=~` count once; skip the suffix char.
                 count += 1;
-                i += if matches!(b.get(i + 1), Some('=') | Some('~')) { 2 } else { 1 };
+                i += if matches!(b.get(i + 1), Some('=') | Some('~')) {
+                    2
+                } else {
+                    1
+                };
             }
             '!' if b.get(i + 1) == Some(&'=') => {
                 count += 1;
@@ -67,7 +71,11 @@ fn count_constraints(text: &str) -> usize {
                     continue;
                 }
                 count += 1;
-                i += if matches!(next, Some('=') | Some('>')) { 2 } else { 1 };
+                i += if matches!(next, Some('=') | Some('>')) {
+                    2
+                } else {
+                    1
+                };
             }
             c if c.is_alphabetic() => {
                 let start = i;
@@ -146,8 +154,12 @@ mod tests {
         let spl = cmp.spl.unwrap();
         // The paper's headline: every other language needs materially more
         // constraints, words, and characters.
-        assert!(sql.constraints as f64 >= 1.5 * cmp.aiql.constraints as f64,
-            "sql {} vs aiql {}", sql.constraints, cmp.aiql.constraints);
+        assert!(
+            sql.constraints as f64 >= 1.5 * cmp.aiql.constraints as f64,
+            "sql {} vs aiql {}",
+            sql.constraints,
+            cmp.aiql.constraints
+        );
         assert!(sql.words > cmp.aiql.words);
         assert!(sql.characters > 2 * cmp.aiql.characters);
         assert!(cy.characters > 2 * cmp.aiql.characters);

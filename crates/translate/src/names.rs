@@ -84,9 +84,17 @@ mod tests {
     fn alias_of_targets() {
         let ctx = compile("proc p1 read file f as ev return p1, f").unwrap();
         let names = pattern_names(&ctx);
-        let fr = FieldRef { pattern: 0, target: FieldTarget::Object, attr: "name".into() };
+        let fr = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Object,
+            attr: "name".into(),
+        };
         assert_eq!(alias_of(&names, &fr), "f");
-        let fr = FieldRef { pattern: 0, target: FieldTarget::Event, attr: "amount".into() };
+        let fr = FieldRef {
+            pattern: 0,
+            target: FieldTarget::Event,
+            attr: "amount".into(),
+        };
         assert_eq!(alias_of(&names, &fr), "ev");
     }
 }

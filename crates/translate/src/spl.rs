@@ -57,11 +57,17 @@ fn cstr_spl(pfx: &str, c: &CstrNode) -> String {
         ),
         CstrNode::And(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_spl(pfx, x)).collect::<Vec<_>>().join(" ")
+            cs.iter()
+                .map(|x| cstr_spl(pfx, x))
+                .collect::<Vec<_>>()
+                .join(" ")
         ),
         CstrNode::Or(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_spl(pfx, x)).collect::<Vec<_>>().join(" OR ")
+            cs.iter()
+                .map(|x| cstr_spl(pfx, x))
+                .collect::<Vec<_>>()
+                .join(" OR ")
         ),
         CstrNode::Not(inner) => format!("NOT ({})", cstr_spl(pfx, inner)),
     }
@@ -72,7 +78,11 @@ fn search_of(ctx: &QueryContext, i: usize) -> String {
     let p = &ctx.patterns[i];
     let mut terms = vec!["index=sysmon".to_string()];
     if p.ops.len() < aiql_model::event::ALL_OPS.len() {
-        let ops: Vec<String> = p.ops.iter().map(|o| format!("\"{}\"", o.keyword())).collect();
+        let ops: Vec<String> = p
+            .ops
+            .iter()
+            .map(|o| format!("\"{}\"", o.keyword()))
+            .collect();
         terms.push(format!("optype IN ({})", ops.join(", ")));
     }
     terms.push(format!("object_type=\"{}\"", p.object_kind.keyword()));
@@ -111,6 +121,7 @@ pub fn to_spl(ctx: &QueryContext) -> Result<String, TranslateError> {
     // their fields with the pattern's event alias as a prefix.
     let mut out = format!("search {}", search_of(ctx, 0));
     out.push_str(&format!(" | rename * AS {}_*", names[0].event));
+    #[allow(clippy::needless_range_loop)] // i indexes patterns and names in lockstep
     for i in 1..ctx.patterns.len() {
         out.push_str(&format!(
             " | join type=inner max=0 [search {} | rename * AS {}_*]",
@@ -134,7 +145,12 @@ pub fn to_spl(ctx: &QueryContext) -> Result<String, TranslateError> {
                     right.attr,
                 ));
             }
-            RelationCtx::Temporal { left, kind, range_ns, right } => {
+            RelationCtx::Temporal {
+                left,
+                kind,
+                range_ns,
+                right,
+            } => {
                 let (l, r) = (&names[*left].event, &names[*right].event);
                 match (kind, range_ns) {
                     (TempKind::Before, None) => {
@@ -177,7 +193,11 @@ pub fn to_spl(ctx: &QueryContext) -> Result<String, TranslateError> {
         let mut bys = Vec::new();
         for (k, item) in ctx.ret.items.iter().enumerate() {
             match &item.expr {
-                RetExprCtx::Agg { func, distinct, arg } => {
+                RetExprCtx::Agg {
+                    func,
+                    distinct,
+                    arg,
+                } => {
                     let fname = match (func, distinct) {
                         (aiql_core::ast::AggFunc::Count, true) => "dc".to_string(),
                         (f, _) => format!("{f:?}").to_lowercase(),
@@ -254,10 +274,9 @@ mod tests {
 
     #[test]
     fn stats_for_aggregates() {
-        let ctx = compile(
-            "proc p read file f return p, count(distinct f) as n group by p having n > 5",
-        )
-        .unwrap();
+        let ctx =
+            compile("proc p read file f return p, count(distinct f) as n group by p having n > 5")
+                .unwrap();
         let spl = to_spl(&ctx).unwrap();
         assert!(spl.contains("| stats dc("));
         assert!(spl.contains(" BY "));

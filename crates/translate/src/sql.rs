@@ -55,18 +55,28 @@ fn cstr_sql(alias: &str, c: &CstrNode) -> String {
         ),
         CstrNode::And(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_sql(alias, x)).collect::<Vec<_>>().join(" AND ")
+            cs.iter()
+                .map(|x| cstr_sql(alias, x))
+                .collect::<Vec<_>>()
+                .join(" AND ")
         ),
         CstrNode::Or(cs) => format!(
             "({})",
-            cs.iter().map(|x| cstr_sql(alias, x)).collect::<Vec<_>>().join(" OR ")
+            cs.iter()
+                .map(|x| cstr_sql(alias, x))
+                .collect::<Vec<_>>()
+                .join(" OR ")
         ),
         CstrNode::Not(inner) => format!("NOT ({})", cstr_sql(alias, inner)),
     }
 }
 
 fn field_sql(names: &[PatternNames], f: &FieldRef) -> String {
-    format!("{}.{}", alias_of(names, f), schema::column_for_attr(&f.attr))
+    format!(
+        "{}.{}",
+        alias_of(names, f),
+        schema::column_for_attr(&f.attr)
+    )
 }
 
 /// Translates a (multievent or compiled-dependency) context into one big
@@ -110,7 +120,11 @@ pub fn to_sql(ctx: &QueryContext) -> Result<String, TranslateError> {
     for (i, p) in ctx.patterns.iter().enumerate() {
         let n = &names[i];
         if p.ops.len() < aiql_model::event::ALL_OPS.len() {
-            let codes: Vec<String> = p.ops.iter().map(|o| schema::opcode(*o).to_string()).collect();
+            let codes: Vec<String> = p
+                .ops
+                .iter()
+                .map(|o| schema::opcode(*o).to_string())
+                .collect();
             preds.push(format!("{}.optype IN ({})", n.event, codes.join(", ")));
         }
         preds.push(format!(
@@ -150,7 +164,12 @@ pub fn to_sql(ctx: &QueryContext) -> Result<String, TranslateError> {
                     field_sql(&names, right)
                 ));
             }
-            RelationCtx::Temporal { left, kind, range_ns, right } => {
+            RelationCtx::Temporal {
+                left,
+                kind,
+                range_ns,
+                right,
+            } => {
                 let (l, r) = (&names[*left].event, &names[*right].event);
                 match (kind, range_ns) {
                     (TempKind::Before, None) => {
@@ -193,7 +212,11 @@ pub fn to_sql(ctx: &QueryContext) -> Result<String, TranslateError> {
             RetExprCtx::Field(f) => {
                 items.push(format!("{} AS {}", field_sql(&names, f), ident(&item.name)));
             }
-            RetExprCtx::Agg { func, distinct, arg } => {
+            RetExprCtx::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
                 let fname = format!("{func:?}").to_uppercase();
                 items.push(format!(
                     "{fname}({}{}) AS {}",
@@ -232,7 +255,11 @@ pub fn to_sql(ctx: &QueryContext) -> Result<String, TranslateError> {
             .sort_by
             .iter()
             .map(|(i, asc)| {
-                format!("{}{}", ident(&ctx.ret.items[*i].name), if *asc { "" } else { " DESC" })
+                format!(
+                    "{}{}",
+                    ident(&ctx.ret.items[*i].name),
+                    if *asc { "" } else { " DESC" }
+                )
             })
             .collect();
         sql.push_str(&format!(" ORDER BY {}", cols.join(", ")));
@@ -270,7 +297,10 @@ fn having_sql(h: &aiql_core::HavingCtx, ctx: &QueryContext) -> Result<String, Tr
             // multievent queries only compare against literals, which is
             // what the catalog uses. Render arithmetic for documentation
             // but reject it for execution.
-            ArithCtx::Add(..) | ArithCtx::Sub(..) | ArithCtx::Mul(..) | ArithCtx::Div(..)
+            ArithCtx::Add(..)
+            | ArithCtx::Sub(..)
+            | ArithCtx::Mul(..)
+            | ArithCtx::Div(..)
             | ArithCtx::Neg(..) => {
                 return Err(TranslateError::Unsupported(
                     "arithmetic HAVING is not in the executable SQL subset".into(),
@@ -279,11 +309,22 @@ fn having_sql(h: &aiql_core::HavingCtx, ctx: &QueryContext) -> Result<String, Tr
         })
     }
     match h {
-        HavingCtx::Cmp { op, left, right } => {
-            Ok(format!("{} {} {}", arith(left, ctx)?, cmp(*op), arith(right, ctx)?))
-        }
-        HavingCtx::And(a, b) => Ok(format!("{} AND {}", having_sql(a, ctx)?, having_sql(b, ctx)?)),
-        HavingCtx::Or(a, b) => Ok(format!("({} OR {})", having_sql(a, ctx)?, having_sql(b, ctx)?)),
+        HavingCtx::Cmp { op, left, right } => Ok(format!(
+            "{} {} {}",
+            arith(left, ctx)?,
+            cmp(*op),
+            arith(right, ctx)?
+        )),
+        HavingCtx::And(a, b) => Ok(format!(
+            "{} AND {}",
+            having_sql(a, ctx)?,
+            having_sql(b, ctx)?
+        )),
+        HavingCtx::Or(a, b) => Ok(format!(
+            "({} OR {})",
+            having_sql(a, ctx)?,
+            having_sql(b, ctx)?
+        )),
         HavingCtx::Not(e) => Ok(format!("NOT ({})", having_sql(e, ctx)?)),
     }
 }

@@ -36,7 +36,10 @@ fn main() {
     println!("== SMA spike model: windows where the average transfer explodes ==");
     print!("{r}");
     assert!(!r.rows.is_empty(), "the burst must alert");
-    assert!(r.rows.iter().all(|row| row[1].as_f64().unwrap() > 1_000_000.0));
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[1].as_f64().unwrap() > 1_000_000.0));
     println!("--> {} alerting window(s), all on exfil.sh\n", r.rows.len());
 
     // The EWMA variant with a normalized-deviation threshold (paper

@@ -23,7 +23,11 @@ fn main() {
         .generate();
     let store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
     let engine = Engine::new(&store);
-    println!("{} events across {} hosts\n", data.events.len(), data.agents().len());
+    println!(
+        "{} events across {} hosts\n",
+        data.events.len(),
+        data.agents().len()
+    );
 
     // Step 1 — the network detector on the DB server (agent 9) reported
     // abnormally large transfers to 192.168.66.129. Find which process,
@@ -53,7 +57,10 @@ fn main() {
     let r = engine.run(q6).expect("starter query");
     println!("== starter query (paper Query 6): sbblv.exe's data sources ==");
     print!("{r}");
-    assert!(r.rows.iter().any(|row| row[1].to_string().contains("BACKUP1.DMP")));
+    assert!(r
+        .rows
+        .iter()
+        .any(|row| row[1].to_string().contains("BACKUP1.DMP")));
     println!("--> suspicious file: BACKUP1.DMP\n");
 
     // Step 3 — the complete chain (paper Query 7): who dumped the database,

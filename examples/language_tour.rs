@@ -27,7 +27,8 @@ fn main() {
         "{} patterns, {} relationships (incl. inferred), window {:?}\n",
         ctx.patterns.len(),
         ctx.relations.len(),
-        ctx.window.map(|(lo, hi)| (lo / 1_000_000_000, hi / 1_000_000_000)),
+        ctx.window
+            .map(|(lo, hi)| (lo / 1_000_000_000, hi / 1_000_000_000)),
     );
 
     // Context-aware shortcuts at work: canonical form after inference.
@@ -56,7 +57,11 @@ fn main() {
     "#;
     let ctx = lang::compile(behaviour).expect("compiles");
     println!("== the same behaviour in four languages ==\n");
-    println!("AIQL ({} chars):\n{}\n", compact_len(behaviour), behaviour.trim());
+    println!(
+        "AIQL ({} chars):\n{}\n",
+        compact_len(behaviour),
+        behaviour.trim()
+    );
     let sql = translate::sql::to_sql(&ctx).expect("sql");
     println!("SQL ({} chars):\n{sql}\n", compact_len(&sql));
     let cypher = translate::cypher::to_cypher(&ctx).expect("cypher");

@@ -1,0 +1,127 @@
+//! Live monitoring walkthrough: agents stream audit events into the store
+//! *while* an investigator runs the paper's APT queries against it.
+//!
+//! The enterprise of `apt_investigation.rs` is replayed as a shipment
+//! stream — out-of-order arrivals, per-agent clock skew, day-boundary
+//! rollover — through `aiql-ingest`. Between flushes the investigator polls
+//! the paper's Query 7 (the complete exfiltration chain); the chain
+//! assembles only once the day-2 attack events have streamed in, and every
+//! read observes one consistent snapshot of the growing store.
+//!
+//! ```text
+//! cargo run --release --example live_monitoring
+//! ```
+
+use aiql::datagen::stream::{stream, StreamConfig};
+use aiql::datagen::EnterpriseSim;
+use aiql::engine::{run_live, EngineConfig};
+use aiql::ingest::{EventBatch, IngestConfig, Ingestor};
+use aiql::storage::timesync::ClockSample;
+
+const QUERY7: &str = r#"
+    (at "01/02/2017") agentid = 9
+    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+    proc p4["%sbblv.exe"] read file f1 as evt3
+    proc p4 read || write ip i1[dstip = "192.168.66.129"] as evt4
+    with evt1 before evt2, evt2 before evt3, evt3 before evt4
+    return distinct p1, p2, p3, f1, p4, i1
+"#;
+
+fn main() {
+    println!("generating the monitored enterprise ...");
+    let data = EnterpriseSim::builder()
+        .hosts(10)
+        .days(2)
+        .seed(2017)
+        .events_per_host_per_day(2_000)
+        .attacks(true)
+        .build()
+        .generate();
+
+    // Replay as a live stream: 1024-event shipments, ±2 s clock skew,
+    // arrivals up to 64 positions out of order.
+    let cfg = StreamConfig {
+        batch_events: 1024,
+        max_skew_ns: 2_000_000_000,
+        jitter_events: 64,
+        seed: 2017,
+    };
+    let (batches, skews) = stream(&data, &cfg);
+    println!(
+        "{} events from {} hosts, arriving in {} shipments\n",
+        data.events.len(),
+        data.agents().len(),
+        batches.len()
+    );
+
+    let mut ingestor = Ingestor::new(IngestConfig::live()).expect("empty live store");
+    let shared = ingestor.shared();
+
+    let total = batches.len();
+    for (i, sb) in batches.into_iter().enumerate() {
+        let mut eb = EventBatch {
+            entities: sb.entities,
+            events: sb.events,
+            clock_samples: Vec::new(),
+        };
+        if i == 0 {
+            // Each agent reports a clock sample with its first shipment; the
+            // ingestor corrects all later stamps server-side.
+            for s in &skews {
+                eb.add_clock_sample(
+                    s.agent,
+                    ClockSample {
+                        agent_time: 0,
+                        server_time: s.offset_ns,
+                    },
+                );
+            }
+        }
+        ingestor.submit(eb).expect("within high-water mark");
+
+        // Flush every few shipments and let the investigator poll.
+        if (i + 1) % 8 == 0 || i + 1 == total {
+            let report = ingestor.flush().expect("flush");
+            let live = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("query");
+            let chain = live.outcome.result.rows.len();
+            println!(
+                "shipment {:>3}/{total}: +{:>5} events, {:>2} partition rollover(s), \
+                 watermark {}, store@{:>6} events -> exfiltration chains found: {}",
+                i + 1,
+                report.events,
+                report.new_partitions.len(),
+                ingestor
+                    .watermark()
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                live.stamp.events,
+                chain,
+            );
+            if chain > 0 && i + 1 < total {
+                println!("  --> chain visible before the stream even ends");
+            }
+        }
+    }
+
+    let stats = ingestor.stats();
+    println!(
+        "\ningested {} events / {} entities in {} batches \
+         ({} out-of-order arrivals, {} partition rollovers)",
+        stats.events_applied,
+        stats.entities_applied,
+        stats.batches_applied,
+        stats.out_of_order_events,
+        stats.rollovers
+    );
+
+    let final_result = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("final query");
+    println!("\n== paper Query 7 against the live store ==");
+    print!("{}", final_result.outcome.result);
+    assert_eq!(final_result.outcome.result.rows.len(), 1);
+    println!(
+        "\nverdict: cmd.exe ran osql.exe; sqlservr.exe dumped BACKUP1.DMP; \
+         sbblv.exe read the dump and exfiltrated it to 192.168.66.129 — \
+         reconstructed without ever taking the store offline."
+    );
+}

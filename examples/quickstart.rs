@@ -16,18 +16,49 @@ fn main() {
     let sshd = data.add_entity(Entity::process(1.into(), agent, "sshd", 800));
     let bash = data.add_entity(Entity::process(2.into(), agent, "bash", 801));
     let hist = data.add_entity(Entity::file(3.into(), agent, "/home/alice/.bash_history"));
-    let c2 = data.add_entity(Entity::netconn(4.into(), agent, "10.0.0.5", 50011, "203.0.113.9", 443));
+    let c2 = data.add_entity(Entity::netconn(
+        4.into(),
+        agent,
+        "10.0.0.5",
+        50011,
+        "203.0.113.9",
+        443,
+    ));
 
     let mut t = t0.0;
     let mut next = |secs: i64| {
         t += secs * 1_000_000_000;
         Timestamp(t)
     };
-    data.add_event(Event::new(1.into(), agent, sshd, OpType::Start, bash, EntityKind::Process, next(1)));
-    data.add_event(Event::new(2.into(), agent, bash, OpType::Read, hist, EntityKind::File, next(5)));
+    data.add_event(Event::new(
+        1.into(),
+        agent,
+        sshd,
+        OpType::Start,
+        bash,
+        EntityKind::Process,
+        next(1),
+    ));
+    data.add_event(Event::new(
+        2.into(),
+        agent,
+        bash,
+        OpType::Read,
+        hist,
+        EntityKind::File,
+        next(5),
+    ));
     data.add_event(
-        Event::new(3.into(), agent, bash, OpType::Write, c2, EntityKind::NetConn, next(2))
-            .with_amount(4096),
+        Event::new(
+            3.into(),
+            agent,
+            bash,
+            OpType::Write,
+            c2,
+            EntityKind::NetConn,
+            next(2),
+        )
+        .with_amount(4096),
     );
 
     // 2. Ingest into the partitioned event store.

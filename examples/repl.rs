@@ -11,8 +11,8 @@
 //! Commands: `:help`, `:stats`, `:sql` (show the big-join translation of
 //! the last query), `:quit`.
 
-use aiql::engine::{Engine, EngineConfig};
 use aiql::datagen::EnterpriseSim;
+use aiql::engine::{Engine, EngineConfig};
 use aiql::storage::{EventStore, StoreConfig};
 use std::io::{BufRead, Write};
 
@@ -53,17 +53,19 @@ fn main() {
                     Some(s) => println!("{s}"),
                     None => println!("no query has run yet"),
                 },
-                ":sql" => match &last_query {
-                    Some(q) => match aiql::lang::compile(q)
-                        .map_err(|e| e.to_string())
-                        .and_then(|ctx| {
-                            aiql::translate::sql::to_sql(&ctx).map_err(|e| e.to_string())
-                        }) {
-                        Ok(sql) => println!("{sql}"),
-                        Err(e) => println!("cannot translate: {e}"),
-                    },
-                    None => println!("no query has run yet"),
-                },
+                ":sql" => {
+                    match &last_query {
+                        Some(q) => {
+                            match aiql::lang::compile(q).map_err(|e| e.to_string()).and_then(
+                                |ctx| aiql::translate::sql::to_sql(&ctx).map_err(|e| e.to_string()),
+                            ) {
+                                Ok(sql) => println!("{sql}"),
+                                Err(e) => println!("cannot translate: {e}"),
+                            }
+                        }
+                        None => println!("no query has run yet"),
+                    }
+                }
                 other => println!("unknown command {other} (try :help)"),
             }
             print_prompt(&buffer);

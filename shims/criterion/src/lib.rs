@@ -1,0 +1,126 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The bench sources keep criterion's API (`criterion_group!`,
+//! `criterion_main!`, groups, `Bencher::iter`) but run on this minimal
+//! harness: each benchmark executes `sample_size` timed iterations (after
+//! one warm-up) and prints min/mean per iteration. There is no statistical
+//! analysis, HTML report, or command-line filtering — the numbers are
+//! indicative, and the real value under `cargo test`/CI is that the bench
+//! code keeps compiling and running.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let samples = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        run_one(&name.into(), samples, f);
+        self
+    }
+}
+
+/// A named group sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    let n = b.times.len().max(1);
+    let mean = b.times.iter().sum::<Duration>() / n as u32;
+    let min = b.times.iter().min().copied().unwrap_or_default();
+    println!("bench {label}: mean {mean:?}, min {min:?} ({n} samples)");
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (plus one
+    /// untimed warm-up).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Re-export so bench sources may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

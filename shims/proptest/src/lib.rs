@@ -1,0 +1,104 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This workspace builds with no crates.io access, so the property tests run
+//! on this self-contained mini-implementation. It keeps proptest's shape —
+//! [`Strategy`] values composed with `prop_map`/`prop_filter`, the
+//! [`proptest!`] macro, regex-like string strategies, collection/sample/
+//! option combinators — but simplifies the runner:
+//!
+//! - cases are sampled from a SplitMix64 stream seeded by the test's module
+//!   path and case index, so every run of a given test is deterministic;
+//! - there is **no shrinking**: a failing case panics with the assertion
+//!   message (`prop_assert*` are plain `assert*`), and the failing case
+//!   index is printed so it can be replayed by reading the seed derivation;
+//! - string strategies support the regex subset the tests use: sequences of
+//!   literals and character classes (`[a-z0-9_./-]`, ranges, `\n`-style
+//!   escapes) with optional `{lo,hi}` / `{n}` repetition.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop` namespace mirrored from real proptest
+/// (`prop::collection::vec`, `prop::sample::select`, `prop::option::of`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// Everything the tests glob-import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// once per sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( @cfg($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let guard = $crate::test_runner::CasePrinter::new(
+                        stringify!($name),
+                        case,
+                    );
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,167 @@
+//! Regex-subset string generation: literals and character classes with
+//! optional `{n}` / `{lo,hi}` repetition.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut class = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                // Decode the class body into (char, was_escaped) items, then
+                // resolve `a-z` ranges (`-` as first/last item is a literal).
+                let mut items: Vec<(char, bool)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                        items.push((unescape(chars[i]), true));
+                    } else {
+                        items.push((chars[i], false));
+                    }
+                    i += 1;
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // consume ']'
+                let mut k = 0;
+                while k < items.len() {
+                    let is_range = k + 2 < items.len() && items[k + 1] == ('-', false);
+                    if is_range {
+                        let (lo, hi) = (items[k].0, items[k + 2].0);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                        class.extend(lo..=hi);
+                        k += 3;
+                    } else {
+                        class.push(items[k].0);
+                        k += 1;
+                    }
+                }
+            }
+            '\\' => {
+                i += 1;
+                class.push(unescape(chars[i]));
+                i += 1;
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                    "proptest shim: unsupported regex construct {c:?} in {pattern:?}"
+                );
+                class.push(c);
+                i += 1;
+            }
+        }
+        // Optional repetition: `{n}` or `{lo,hi}`.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {} quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {lo,hi}"),
+                    hi.trim().parse().expect("bad {lo,hi}"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n}");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!class.is_empty(), "empty character class in {pattern:?}");
+        atoms.push(Atom {
+            chars: class,
+            lo,
+            hi,
+        });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.lo + rng.below((atom.hi - atom.lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::for_case(pattern, 0);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in sample("[a-d]{1,3}") {
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_single_class_then_quantified() {
+        for s in sample("[a-z][a-z0-9_]{0,6}") {
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_escape() {
+        for s in sample("[ -~\\n]{0,200}") {
+            assert!(s.len() <= 200);
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let all: String = sample("[a-zA-Z0-9_./-]{1,12}").concat();
+        assert!(all
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "_./-".contains(c)));
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(sample("abc")[0], "abc");
+    }
+}

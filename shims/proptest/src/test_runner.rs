@@ -1,0 +1,99 @@
+//! Deterministic case runner: configuration, RNG, and failure reporting.
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// SplitMix64 stream seeded from the test's identity and case index, so a
+/// property's inputs are identical on every run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drop guard that reports the failing case index when a property body
+/// panics (no shrinking: the report is the whole diagnosis aid).
+pub struct CasePrinter {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CasePrinter {
+    /// Arms the printer for one case.
+    pub fn new(name: &'static str, case: u32) -> CasePrinter {
+        CasePrinter {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// The case passed; do not report.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePrinter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property `{}` failed at case {} (inputs are \
+                 deterministic per case index)",
+                self.name, self.case
+            );
+        }
+    }
+}

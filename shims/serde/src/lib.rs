@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the sibling
+//! `serde_derive` shim so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without a registry. See the
+//! shim crate's docs for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

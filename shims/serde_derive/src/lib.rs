@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! `Serialize`/`Deserialize` derives used throughout `aiql-model` are
+//! provided by this zero-dependency proc-macro crate. The derives accept the
+//! usual `#[serde(...)]` helper attributes and expand to nothing: the data
+//! model keeps its serialization annotations (and will pick up real serde
+//! wholesale if the workspace is ever pointed at a live registry), while the
+//! offline build stays self-contained.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -11,6 +11,9 @@
 //!   (paper Sec. 4).
 //! - [`engine`] — the optimized query execution engine: relationship-based
 //!   scheduling, parallel partitions, anomaly windows (paper Sec. 5).
+//! - [`ingest`] — live streaming ingestion: bounded append queue with
+//!   back-pressure, on-the-fly time synchronization, partition rollover,
+//!   incremental index maintenance.
 //! - [`rdb`] / [`graphdb`] — the relational and property-graph substrates
 //!   standing in for PostgreSQL/Greenplum and Neo4j.
 //! - [`baselines`] — the comparison systems of the paper's evaluation.
@@ -52,6 +55,7 @@ pub use aiql_core as lang;
 pub use aiql_datagen as datagen;
 pub use aiql_engine as engine;
 pub use aiql_graphdb as graphdb;
+pub use aiql_ingest as ingest;
 pub use aiql_model as model;
 pub use aiql_rdb as rdb;
 pub use aiql_storage as storage;
@@ -60,9 +64,10 @@ pub use aiql_translate as translate;
 /// Commonly used types, for glob import in examples and tests.
 pub mod prelude {
     pub use aiql_core::{parse_query, QueryContext};
-    pub use aiql_engine::{Engine, EngineConfig};
+    pub use aiql_engine::{run_live, Engine, EngineConfig};
+    pub use aiql_ingest::{EventBatch, IngestConfig, Ingestor};
     pub use aiql_model::{
         AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp, Value,
     };
-    pub use aiql_storage::{EventStore, StoreConfig};
+    pub use aiql_storage::{EventStore, SharedStore, StoreConfig};
 }

@@ -5,8 +5,8 @@
 
 use aiql::baselines::{neo4j, normalize, postgres};
 use aiql::bench::catalog::{self, QueryKind};
-use aiql::engine::{Engine, EngineConfig};
 use aiql::datagen::EnterpriseSim;
+use aiql::engine::{Engine, EngineConfig};
 use aiql::storage::{EventStore, SegmentedStore, StoreConfig};
 use aiql_model::Value;
 
@@ -57,7 +57,11 @@ fn all_multievent_queries_agree_across_five_systems() {
         let ff = aiql_rows(
             &w,
             q.source,
-            EngineConfig { scheduler: aiql::engine::Scheduler::FetchFilter, parallel: false, ..EngineConfig::aiql() },
+            EngineConfig {
+                scheduler: aiql::engine::Scheduler::FetchFilter,
+                parallel: false,
+                ..EngineConfig::aiql()
+            },
         );
         assert_eq!(relationship, ff, "{}: schedulers disagree", q.id);
 
@@ -66,12 +70,22 @@ fn all_multievent_queries_agree_across_five_systems() {
         assert_eq!(relationship, seg, "{}: segmented engine disagrees", q.id);
 
         let (pg, _) = postgres::run(&w.monolithic, &ctx, None).unwrap();
-        assert_eq!(relationship, normalize(pg), "{}: big-join SQL disagrees", q.id);
+        assert_eq!(
+            relationship,
+            normalize(pg),
+            "{}: big-join SQL disagrees",
+            q.id
+        );
 
         // The traversal baseline skips aggregate queries (s3) by design.
         match neo4j::run(&w.graph, &ctx, None) {
             Ok((n4, _)) => {
-                assert_eq!(relationship, normalize(n4), "{}: graph traversal disagrees", q.id)
+                assert_eq!(
+                    relationship,
+                    normalize(n4),
+                    "{}: graph traversal disagrees",
+                    q.id
+                )
             }
             Err(aiql::baselines::BaselineError::Untranslatable(_)) => {}
             Err(e) => panic!("{}: neo4j failed: {e}", q.id),
@@ -100,7 +114,12 @@ fn greenplum_gather_agrees_with_postgres() {
         let ctx = aiql::lang::compile(q.source).unwrap();
         let gp = aiql::baselines::greenplum::run(&rr_segmented, &ctx, None).unwrap();
         let (pg, _) = postgres::run(&w.monolithic, &ctx, None).unwrap();
-        assert_eq!(normalize(gp), normalize(pg), "{}: MPP gather disagrees", q.id);
+        assert_eq!(
+            normalize(gp),
+            normalize(pg),
+            "{}: MPP gather disagrees",
+            q.id
+        );
     }
 }
 
@@ -152,7 +171,10 @@ fn parallel_partitions_do_not_change_results() {
         let seq = aiql_rows(
             &w,
             q.source,
-            EngineConfig { parallel: false, ..EngineConfig::aiql() },
+            EngineConfig {
+                parallel: false,
+                ..EngineConfig::aiql()
+            },
         );
         let par = aiql_rows(&w, q.source, EngineConfig::aiql());
         assert_eq!(seq, par, "{}: partition parallelism changed results", q.id);

@@ -24,7 +24,10 @@ fn world() -> (Dataset, GroundTruth, EventStore) {
 fn every_catalog_query_returns_rows() {
     let (_, _, store) = world();
     let engine = Engine::new(&store);
-    for q in catalog::case_study().iter().chain(catalog::behaviours().iter()) {
+    for q in catalog::case_study()
+        .iter()
+        .chain(catalog::behaviours().iter())
+    {
         let r = engine
             .run(q.source)
             .unwrap_or_else(|e| panic!("{} failed: {e}", q.id));
@@ -54,9 +57,15 @@ fn final_queries_recover_the_planted_actors() {
         ("s5", &["exfil.sh"]),
         ("s6", &["scraper"]),
     ];
-    let all: Vec<_> = catalog::case_study().into_iter().chain(catalog::behaviours()).collect();
+    let all: Vec<_> = catalog::case_study()
+        .into_iter()
+        .chain(catalog::behaviours())
+        .collect();
     for (id, needles) in expectations {
-        let q = all.iter().find(|q| q.id == *id).unwrap_or_else(|| panic!("{id} in catalog"));
+        let q = all
+            .iter()
+            .find(|q| q.id == *id)
+            .unwrap_or_else(|| panic!("{id} in catalog"));
         let r = engine.run(q.source).unwrap();
         let haystack: String = r
             .rows
@@ -78,7 +87,9 @@ fn truth_events_are_inside_query_windows() {
     // Sanity: the ground-truth labels the scenarios promise all exist and
     // sit on the attack day.
     let (data, truth, _) = world();
-    let attack_day = aiql_model::Timestamp::from_ymd(2017, 1, 2).unwrap().day_index();
+    let attack_day = aiql_model::Timestamp::from_ymd(2017, 1, 2)
+        .unwrap()
+        .day_index();
     for (label, ids) in &truth {
         assert!(!ids.is_empty(), "{label} has no truth events");
         for id in ids {
@@ -87,7 +98,11 @@ fn truth_events_are_inside_query_windows() {
                 .iter()
                 .find(|e| e.id == *id)
                 .unwrap_or_else(|| panic!("{label}: event {id} missing"));
-            assert_eq!(ev.start.day_index(), attack_day, "{label}: off the attack day");
+            assert_eq!(
+                ev.start.day_index(),
+                attack_day,
+                "{label}: off the attack day"
+            );
         }
     }
 }
@@ -125,6 +140,10 @@ fn negative_control_queries_stay_empty() {
         ),
     ] {
         let r = engine.run(src).unwrap();
-        assert!(r.rows.is_empty(), "{name}: expected no rows, got {}", r.rows.len());
+        assert!(
+            r.rows.is_empty(),
+            "{name}: expected no rows, got {}",
+            r.rows.len()
+        );
     }
 }

@@ -37,7 +37,14 @@ fn build(events: &[MicroEvent]) -> (Dataset, Vec<String>, Vec<String>) {
     let proc_ids: Vec<_> = procs
         .iter()
         .enumerate()
-        .map(|(i, name)| data.add_entity(Entity::process((i as u64 + 1).into(), agent, name, i as i64)))
+        .map(|(i, name)| {
+            data.add_entity(Entity::process(
+                (i as u64 + 1).into(),
+                agent,
+                name,
+                i as i64,
+            ))
+        })
         .collect();
     let file_ids: Vec<_> = files
         .iter()
@@ -103,7 +110,11 @@ fn run_engine(
     );
     let engine = Engine::with_config(
         &store,
-        EngineConfig { scheduler, parallel: false, ..EngineConfig::aiql() },
+        EngineConfig {
+            scheduler,
+            parallel: false,
+            ..EngineConfig::aiql()
+        },
     );
     let mut rows: Vec<(String, String, String)> = engine
         .run(&src)

@@ -1,0 +1,262 @@
+//! Differential property test: streaming a shuffled, skewed, batched event
+//! stream through `aiql_ingest::Ingestor` must yield the same query results
+//! as batch `EventStore::ingest` of the corrected dataset — for the paper's
+//! three query classes (pattern, dependency, anomaly), including streams
+//! that arrive out of timestamp order and cross a partition-day boundary.
+
+use aiql::engine::{self, Engine, EngineConfig};
+use aiql::storage::timesync::ClockSample;
+use aiql::storage::{EventStore, StoreConfig};
+use aiql_datagen::stream::{stream, StreamConfig};
+use aiql_ingest::{EventBatch, IngestConfig, Ingestor};
+use aiql_model::{AgentId, Dataset, Entity, EntityKind, Event, OpType, Timestamp, Value};
+use proptest::prelude::*;
+
+const OPS: [OpType; 3] = [OpType::Read, OpType::Write, OpType::Execute];
+const NANOS_PER_DAY: i64 = 86_400 * 1_000_000_000;
+
+/// One random micro-event: `(agent, proc, op, file, millis)` where `millis`
+/// spans a 4-second window centered on the day-0 → day-1 midnight, so
+/// streams routinely cross the partition-day boundary.
+#[derive(Debug, Clone)]
+struct MicroEvent {
+    agent: u32,
+    subj: usize,
+    op: usize,
+    obj: usize,
+    ms: i64,
+}
+
+fn micro_events() -> impl Strategy<Value = Vec<MicroEvent>> {
+    prop::collection::vec(
+        (0u32..2, 0usize..2, 0usize..3, 0usize..3, 0i64..4_000).prop_map(
+            |(agent, subj, op, obj, ms)| MicroEvent {
+                agent,
+                subj,
+                op,
+                obj,
+                ms,
+            },
+        ),
+        1..80,
+    )
+}
+
+/// Builds the true (server-time) dataset: per agent, 2 processes + 3 files,
+/// events stamped around midnight of Jan 1→2.
+fn build(events: &[MicroEvent]) -> Dataset {
+    let mut data = Dataset::new();
+    let boundary = Timestamp::from_ymd(2017, 1, 1).unwrap().0 + NANOS_PER_DAY;
+    let mut proc_ids = Vec::new();
+    let mut file_ids = Vec::new();
+    for agent in 0..2u32 {
+        let a = AgentId(agent);
+        let base = (agent as u64 + 1) * 100;
+        proc_ids.push(
+            (0..2u64)
+                .map(|i| {
+                    data.add_entity(Entity::process(
+                        (base + i).into(),
+                        a,
+                        format!("proc{agent}_{i}.exe"),
+                        i as i64,
+                    ))
+                })
+                .collect::<Vec<_>>(),
+        );
+        file_ids.push(
+            (0..3u64)
+                .map(|i| {
+                    data.add_entity(Entity::file(
+                        (base + 10 + i).into(),
+                        a,
+                        format!("/a{agent}/f{i}"),
+                    ))
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    for (k, ev) in events.iter().enumerate() {
+        let t = boundary - 2_000_000_000 + ev.ms * 1_000_000;
+        data.add_event(
+            Event::new(
+                (k as u64 + 1_000).into(),
+                AgentId(ev.agent),
+                proc_ids[ev.agent as usize][ev.subj],
+                OPS[ev.op],
+                file_ids[ev.agent as usize][ev.obj],
+                EntityKind::File,
+                Timestamp(t),
+            )
+            .with_seq(k as u64),
+        );
+    }
+    data.sort_events();
+    data
+}
+
+/// The paper's three query classes over this micro-schema.
+fn tier1_queries() -> [&'static str; 3] {
+    [
+        // Pattern (multievent) with a temporal relation.
+        "proc p1 read file f1 as e1\n proc p1 write file f2 as e2\n \
+         with e1 before e2\n return distinct p1, f1, f2",
+        // Dependency (forward tracking), compiled to multievent form.
+        "forward: proc p1 ->[write] file f1 <-[read] proc p2\n return distinct p1, f1, p2",
+        // Anomaly: sliding windows with a per-process frequency aggregate.
+        "window = 1 sec step = 1 sec\n proc p read file f\n \
+         return p, count(distinct f) as freq\n group by p\n having freq > 0",
+    ]
+}
+
+fn sorted_rows(rows: Vec<Vec<Value>>) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .into_iter()
+        .map(|r| {
+            r.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Streams `data` through an `Ingestor` (skewed stamps, bounded queue,
+/// interleaved flushes) and returns the resulting live store handle.
+fn stream_ingest(
+    data: &Dataset,
+    batch_events: usize,
+    jitter: usize,
+    seed: u64,
+) -> aiql::storage::SharedStore {
+    let cfg = StreamConfig {
+        batch_events,
+        jitter_events: jitter,
+        max_skew_ns: 1_500_000_000,
+        seed,
+    };
+    let (batches, skews) = stream(data, &cfg);
+    // A small queue bound forces back-pressure-driven flushes mid-stream.
+    let mut ing =
+        Ingestor::new(IngestConfig::live().with_high_water_mark(batch_events.max(8) * 2)).unwrap();
+    for (i, sb) in batches.into_iter().enumerate() {
+        let mut eb = EventBatch {
+            entities: sb.entities,
+            events: sb.events,
+            clock_samples: Vec::new(),
+        };
+        if i == 0 {
+            // Agents report one exact clock sample up front, so the on-the-fly
+            // correction reconstructs server time exactly.
+            for s in &skews {
+                eb.add_clock_sample(
+                    s.agent,
+                    ClockSample {
+                        agent_time: 0,
+                        server_time: s.offset_ns,
+                    },
+                );
+            }
+        }
+        ing.submit_with_flush(eb).unwrap();
+    }
+    let (shared, stats) = ing.finish().unwrap();
+    assert_eq!(stats.events_applied as usize, data.events.len());
+    shared
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_equals_batch_for_tier1_queries(
+        events in micro_events(),
+        batch_events in 1usize..12,
+        jitter in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let data = build(&events);
+        let batch_store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+        let shared = stream_ingest(&data, batch_events, jitter, seed);
+
+        {
+            let live = shared.read();
+            prop_assert_eq!(live.event_count(), batch_store.event_count());
+            prop_assert_eq!(live.entity_count(), batch_store.entity_count());
+            // Identical physical layout: same partitions materialized.
+            prop_assert_eq!(
+                live.events_partitioned().unwrap().partition_count(),
+                batch_store.events_partitioned().unwrap().partition_count()
+            );
+            prop_assert_eq!(
+                live.events_partitioned().unwrap().days(),
+                batch_store.events_partitioned().unwrap().days()
+            );
+        }
+
+        let batch_engine = Engine::new(&batch_store);
+        for q in tier1_queries() {
+            let want = sorted_rows(batch_engine.run(q).unwrap().rows);
+            let got = sorted_rows(
+                engine::run_live(&shared, EngineConfig::aiql(), q).unwrap().outcome.result.rows,
+            );
+            prop_assert_eq!(&got, &want, "query diverged: {}", q);
+        }
+    }
+
+    #[test]
+    fn streaming_count_is_stable_under_any_batching(
+        events in micro_events(),
+        split_a in 1usize..12,
+        split_b in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // The same stream cut two different ways lands in identical stores.
+        let data = build(&events);
+        let a = stream_ingest(&data, split_a, split_a * 2, seed);
+        let b = stream_ingest(&data, split_b, split_b, seed.wrapping_add(1));
+        let q = "proc p read file f return p, count(f) as n group by p";
+        let ra = sorted_rows(engine::run_live(&a, EngineConfig::aiql(), q).unwrap().outcome.result.rows);
+        let rb = sorted_rows(engine::run_live(&b, EngineConfig::aiql(), q).unwrap().outcome.result.rows);
+        prop_assert_eq!(ra, rb);
+    }
+}
+
+/// Deterministic companion: a hand-built stream that provably crosses the
+/// day boundary out of order still matches batch ingestion.
+#[test]
+fn boundary_crossing_out_of_order_stream_matches_batch() {
+    let events: Vec<MicroEvent> = (0..40)
+        .map(|k| MicroEvent {
+            agent: k % 2,
+            subj: (k as usize) % 2,
+            op: (k as usize) % 3,
+            obj: (k as usize) % 3,
+            // Alternate sides of midnight so consecutive arrivals straddle it.
+            ms: if k % 2 == 0 {
+                500 + k as i64
+            } else {
+                3_200 + k as i64
+            },
+        })
+        .collect();
+    let data = build(&events);
+    let batch_store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+    let pt = batch_store.events_partitioned().unwrap();
+    assert!(pt.days().len() >= 2, "events span both days");
+
+    let shared = stream_ingest(&data, 7, 13, 99);
+    let live = shared.read();
+    assert_eq!(
+        live.events_partitioned().unwrap().partition_count(),
+        pt.partition_count()
+    );
+    let engine = Engine::new(&batch_store);
+    for q in tier1_queries() {
+        let want = sorted_rows(engine.run(q).unwrap().rows);
+        let got = sorted_rows(Engine::new(&live).run(q).unwrap().rows);
+        assert_eq!(got, want, "query diverged: {q}");
+    }
+}

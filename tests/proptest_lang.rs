@@ -8,17 +8,50 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a reserved word", |s| {
         !matches!(
             s.as_str(),
-            "proc" | "file" | "ip" | "as" | "with" | "return" | "count" | "distinct"
-                | "group" | "by" | "having" | "sort" | "top" | "before" | "after"
-                | "within" | "at" | "from" | "to" | "window" | "step" | "in" | "not"
-                | "forward" | "backward" | "read" | "write" | "execute" | "start"
-                | "end" | "rename" | "delete" | "connect" | "accept" | "asc" | "desc"
+            "proc"
+                | "file"
+                | "ip"
+                | "as"
+                | "with"
+                | "return"
+                | "count"
+                | "distinct"
+                | "group"
+                | "by"
+                | "having"
+                | "sort"
+                | "top"
+                | "before"
+                | "after"
+                | "within"
+                | "at"
+                | "from"
+                | "to"
+                | "window"
+                | "step"
+                | "in"
+                | "not"
+                | "forward"
+                | "backward"
+                | "read"
+                | "write"
+                | "execute"
+                | "start"
+                | "end"
+                | "rename"
+                | "delete"
+                | "connect"
+                | "accept"
+                | "asc"
+                | "desc"
         )
     })
 }
 
 fn op() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec!["read", "write", "start", "execute", "delete", "connect"])
+    prop::sample::select(vec![
+        "read", "write", "start", "execute", "delete", "connect",
+    ])
 }
 
 fn string_value() -> impl Strategy<Value = String> {
@@ -56,26 +89,34 @@ fn pattern(idx: usize) -> impl Strategy<Value = (String, String, String, String)
 }
 
 fn query() -> impl Strategy<Value = String> {
-    (pattern(0), pattern(1), any::<bool>(), any::<bool>(), 1usize..20)
-        .prop_map(|((p0, s0, _o0, e0), (p1, _s1, o1, e1), distinct, sorted, top)| {
-            let mut q = String::new();
-            q.push_str("agentid = 1\n(at \"01/01/2017\")\n");
-            q.push_str(&p0);
-            q.push('\n');
-            q.push_str(&p1);
-            q.push('\n');
-            q.push_str(&format!("with {e0} before {e1}\n"));
-            q.push_str("return ");
-            if distinct {
-                q.push_str("distinct ");
-            }
-            q.push_str(&format!("{s0}, {o1}"));
-            if sorted {
-                q.push_str(&format!("\nsort by {s0}"));
-            }
-            q.push_str(&format!("\ntop {top}"));
-            q
-        })
+    (
+        pattern(0),
+        pattern(1),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..20,
+    )
+        .prop_map(
+            |((p0, s0, _o0, e0), (p1, _s1, o1, e1), distinct, sorted, top)| {
+                let mut q = String::new();
+                q.push_str("agentid = 1\n(at \"01/01/2017\")\n");
+                q.push_str(&p0);
+                q.push('\n');
+                q.push_str(&p1);
+                q.push('\n');
+                q.push_str(&format!("with {e0} before {e1}\n"));
+                q.push_str("return ");
+                if distinct {
+                    q.push_str("distinct ");
+                }
+                q.push_str(&format!("{s0}, {o1}"));
+                if sorted {
+                    q.push_str(&format!("\nsort by {s0}"));
+                }
+                q.push_str(&format!("\ntop {top}"));
+                q
+            },
+        )
 }
 
 proptest! {

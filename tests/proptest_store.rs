@@ -6,10 +6,7 @@ use aiql::rdb::{CmpOp, ColumnType, Database, Expr, Prune, Schema, Value};
 use proptest::prelude::*;
 
 fn rows() -> impl Strategy<Value = Vec<(i64, i64, String)>> {
-    prop::collection::vec(
-        (0i64..50, 0i64..4, "[a-d]{1,3}"),
-        1..80,
-    )
+    prop::collection::vec((0i64..50, 0i64..4, "[a-d]{1,3}"), 1..80)
 }
 
 fn build_dbs(rows: &[(i64, i64, String)]) -> (Database, Database) {

@@ -70,7 +70,10 @@ fn synchronizer_restores_the_chain() {
     let mut sync = Synchronizer::new();
     sync.record(
         AgentId(1),
-        ClockSample { agent_time: 10 * 60 * 1_000_000_000, server_time: 0 },
+        ClockSample {
+            agent_time: 10 * 60 * 1_000_000_000,
+            server_time: 0,
+        },
     );
     sync.apply(&mut data);
 
@@ -87,7 +90,10 @@ fn correction_is_per_agent() {
     let mut sync = Synchronizer::new();
     sync.record(
         AgentId(1),
-        ClockSample { agent_time: 10 * 60 * 1_000_000_000, server_time: 0 },
+        ClockSample {
+            agent_time: 10 * 60 * 1_000_000_000,
+            server_time: 0,
+        },
     );
     sync.apply(&mut data);
     // Host B's event is untouched.
