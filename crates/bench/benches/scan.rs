@@ -1,0 +1,181 @@
+//! Columnar scan-path benchmark: the same selective time-window +
+//! attribute-predicate event scan against (a) the pure row store, (b) the
+//! columnar projections built at batch load, and (c) columnar projections
+//! grown live through the ingestor — plus an end-to-end engine query on
+//! both layouts.
+//!
+//! Run with `--test` (the CI smoke mode) to skip the speedup assertion and
+//! shrink sample counts; a full run asserts the columnar path is at least
+//! 3x faster than the row store on this workload.
+
+use aiql_bench::experiments::scan_conjuncts;
+use aiql_bench::harness::{self, Scale};
+use aiql_engine::Engine;
+use aiql_ingest::{EventBatch, IngestConfig, Ingestor};
+use aiql_rdb::Prune;
+use aiql_storage::{EventStore, SharedStore, StoreConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--smoke")
+}
+
+/// Builds a live store by streaming the dataset through the ingestor, so
+/// the columnar blocks under test were maintained incrementally (sorted
+/// inserts + sealing), not bulk-built.
+fn live_store(data: &aiql_model::Dataset) -> SharedStore {
+    let mut ing = Ingestor::new(IngestConfig::live()).expect("empty store");
+    let mut batch = EventBatch::new();
+    batch.entities = data.entities.clone();
+    ing.submit_with_flush(batch).expect("entities land");
+    for chunk in data.events.chunks(2048) {
+        let mut b = EventBatch::new();
+        b.events = chunk.to_vec();
+        ing.submit_with_flush(b).expect("bounded queue");
+    }
+    let (shared, _) = ing.finish().expect("final flush");
+    shared
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let (data, _) = harness::dataset(Scale::Small);
+    let row_store =
+        EventStore::ingest(&data, StoreConfig::partitioned().with_columnar(false)).expect("ingest");
+    let col_store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
+    let live = live_store(&data);
+    let live_guard = live.read();
+    let conjuncts = scan_conjuncts(&data);
+
+    // Correctness before speed: all three layouts agree on the workload.
+    let scan = |s: &EventStore| {
+        let mut local = 0u64;
+        let mut rows = s.scan_events(&conjuncts, &Prune::all(), &mut local);
+        rows.sort();
+        rows
+    };
+    let want = scan(&row_store);
+    assert!(!want.is_empty(), "workload must select rows");
+    assert_eq!(scan(&col_store), want, "columnar batch diverged");
+    assert_eq!(scan(&live_guard), want, "columnar live diverged");
+
+    let samples = if smoke { 3 } else { 15 };
+    let (row_s, row_n) = harness::best_of(samples, || {
+        let mut local = 0u64;
+        black_box(
+            row_store
+                .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                .len(),
+        )
+    });
+    let (col_s, col_n) = harness::best_of(samples, || {
+        let mut local = 0u64;
+        black_box(
+            col_store
+                .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                .len(),
+        )
+    });
+    let (live_s, _) = harness::best_of(samples, || {
+        let mut local = 0u64;
+        black_box(
+            live_guard
+                .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                .len(),
+        )
+    });
+    assert_eq!(row_n, col_n);
+    let speedup = row_s / col_s.max(1e-12);
+    println!(
+        "scan speedup: columnar {speedup:.1}x over row store \
+         (row {:.3} ms, columnar {:.3} ms, columnar-live {:.3} ms, {} rows)",
+        row_s * 1e3,
+        col_s * 1e3,
+        live_s * 1e3,
+        row_n
+    );
+    if !smoke {
+        assert!(
+            speedup >= 3.0,
+            "columnar scan must be >= 3x the row store, got {speedup:.1}x"
+        );
+    }
+
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(samples);
+    g.bench_function("row-store", |b| {
+        b.iter(|| {
+            let mut local = 0u64;
+            black_box(
+                row_store
+                    .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("columnar", |b| {
+        b.iter(|| {
+            let mut local = 0u64;
+            black_box(
+                col_store
+                    .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("columnar-live", |b| {
+        b.iter(|| {
+            let mut local = 0u64;
+            black_box(
+                live_guard
+                    .scan_events_ref(&conjuncts, &Prune::all(), &mut local)
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+
+    // End-to-end: the paper's pattern/anomaly shapes on both layouts.
+    let queries = [
+        (
+            "pattern",
+            r#"(at "01/01/2017") proc p write file f return distinct p, f"#,
+        ),
+        (
+            "anomaly",
+            r#"(at "01/01/2017") window = 10 min, step = 10 min
+               proc p write file f as evt
+               return p, count(evt) as n group by p having n > 0"#,
+        ),
+    ];
+    let mut g = c.benchmark_group("query");
+    g.sample_size(if smoke { 2 } else { 5 });
+    for (name, q) in queries {
+        let row_engine = Engine::new(&row_store);
+        let col_engine = Engine::new(&col_store);
+        assert_eq!(
+            {
+                let mut r = row_engine.run(q).expect("runs").rows;
+                r.sort();
+                r
+            },
+            {
+                let mut r = col_engine.run(q).expect("runs").rows;
+                r.sort();
+                r
+            },
+            "engine results diverged on {name}"
+        );
+        g.bench_function(format!("{name}/row-store"), |b| {
+            b.iter(|| black_box(row_engine.run(q).expect("runs").rows.len()))
+        });
+        g.bench_function(format!("{name}/columnar"), |b| {
+            b.iter(|| black_box(col_engine.run(q).expect("runs").rows.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,8 +1,11 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|all] [--scale small|medium|large] [--budget SECS]
 //! ```
+//!
+//! `scan` compares the columnar scan path against the row store and writes
+//! a `BENCH_scan.json` snapshot next to the working directory.
 //!
 //! `table3` also emits the Fig. 5 per-query series (they share runs).
 
@@ -43,6 +46,12 @@ fn main() {
         "fig6" => print!("{}", experiments::fig6(opts)),
         "fig7" => print!("{}", experiments::fig7(opts)),
         "fig8" | "table5" => print!("{}", experiments::fig8()),
+        "scan" => {
+            let (table, json) = experiments::scan_bench(opts);
+            print!("{table}");
+            std::fs::write("BENCH_scan.json", json).expect("write BENCH_scan.json");
+            eprintln!("[snapshot written to BENCH_scan.json]");
+        }
         "all" => {
             print!("{}", experiments::schema());
             println!();
@@ -65,7 +74,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

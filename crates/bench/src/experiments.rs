@@ -223,6 +223,90 @@ pub fn fig7(opts: Options) -> String {
     out
 }
 
+/// The selective time-window + attribute-predicate event-scan workload
+/// shared by `benches/scan.rs` and the `repro scan` snapshot: a two-hour
+/// window inside the observed span plus an operation-type equality.
+pub fn scan_conjuncts(data: &aiql_model::Dataset) -> Vec<aiql_rdb::Expr> {
+    use aiql_rdb::{CmpOp, Expr};
+    use aiql_storage::schema;
+    let lo = data.events.iter().map(|e| e.start.0).min().unwrap_or(0);
+    let hi = data.events.iter().map(|e| e.start.0).max().unwrap_or(0);
+    let span = (hi - lo).max(1);
+    let w_lo = lo + span / 4;
+    let w_hi = w_lo + (2 * 3600 * 1_000_000_000).min(span / 10);
+    vec![
+        Expr::cmp_lit(schema::ev::START, CmpOp::Ge, w_lo),
+        Expr::cmp_lit(schema::ev::START, CmpOp::Lt, w_hi),
+        Expr::cmp_lit(
+            schema::ev::OPTYPE,
+            CmpOp::Eq,
+            schema::opcode(aiql_model::OpType::Write),
+        ),
+    ]
+}
+
+/// Columnar-vs-row scan comparison backing the `repro scan` target. Returns
+/// the rendered table and a `BENCH_scan.json` snapshot body.
+pub fn scan_bench(opts: Options) -> (String, String) {
+    use aiql_rdb::Prune;
+    use aiql_storage::{EventStore, StoreConfig};
+
+    let (data, _) = harness::dataset(opts.scale);
+    let row_store =
+        EventStore::ingest(&data, StoreConfig::partitioned().with_columnar(false)).expect("ingest");
+    let col_store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
+    let conjuncts = scan_conjuncts(&data);
+
+    let time_scan = |store: &EventStore| {
+        let (best, (matched, scanned)) = harness::best_of(7, || {
+            let mut local = 0u64;
+            let rows = store.scan_events_ref(&conjuncts, &Prune::all(), &mut local);
+            (rows.len(), local)
+        });
+        (best, matched, scanned)
+    };
+    let (row_s, row_n, row_scanned) = time_scan(&row_store);
+    let (col_s, col_n, col_scanned) = time_scan(&col_store);
+    assert_eq!(row_n, col_n, "columnar scan must agree with the row store");
+    let speedup = row_s / col_s.max(1e-12);
+
+    let mut out = format!(
+        "Scan path: row store vs columnar ({} events, {:?} scale)\n\n",
+        data.events.len(),
+        opts.scale
+    );
+    let mut t = TextTable::new(&["path", "time (ms)", "rows matched", "rows touched"]);
+    t.row(vec![
+        "row store".into(),
+        format!("{:.3}", row_s * 1e3),
+        row_n.to_string(),
+        row_scanned.to_string(),
+    ]);
+    t.row(vec![
+        "columnar".into(),
+        format!("{:.3}", col_s * 1e3),
+        col_n.to_string(),
+        col_scanned.to_string(),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!("\nColumnar speedup: {speedup:.1}x\n"));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"scan\",\n  \"scale\": \"{:?}\",\n  \"events\": {},\n  \
+         \"row_store_ms\": {:.4},\n  \"columnar_ms\": {:.4},\n  \"speedup\": {:.2},\n  \
+         \"rows_matched\": {},\n  \"rows_touched_row\": {},\n  \"rows_touched_columnar\": {}\n}}\n",
+        opts.scale,
+        data.events.len(),
+        row_s * 1e3,
+        col_s * 1e3,
+        speedup,
+        row_n,
+        row_scanned,
+        col_scanned,
+    );
+    (out, json)
+}
+
 /// Fig. 8 + Table 5: conciseness of the 19 behaviours across languages.
 pub fn fig8() -> String {
     let queries = catalog::behaviours();

@@ -56,6 +56,14 @@ impl Deadline {
     }
 }
 
+/// Event rows produced by a scan: borrowed straight out of the store on the
+/// single-node path (no per-row clone), owned only when they had to cross a
+/// segment boundary.
+enum EventRows<'a> {
+    Borrowed(Vec<&'a Row>),
+    Owned(Vec<Row>),
+}
+
 impl<'a> StoreRef<'a> {
     fn scan_entities(&self, kind: EntityKind, conjuncts: &[Expr], scanned: &mut u64) -> Vec<Row> {
         match self {
@@ -94,16 +102,19 @@ impl<'a> StoreRef<'a> {
         parallel: bool,
         deadline: Deadline,
         scanned: &mut u64,
-    ) -> Result<Vec<Row>, EngineError> {
+    ) -> Result<EventRows<'a>, EngineError> {
         deadline.check()?;
         match self {
             StoreRef::Single(s) => {
                 if parallel {
                     if let Some(pt) = s.events_partitioned() {
-                        return parallel_partition_scan(pt, conjuncts, prune, deadline, scanned);
+                        return parallel_partition_scan(pt, conjuncts, prune, deadline, scanned)
+                            .map(EventRows::Borrowed);
                     }
                 }
-                Ok(s.scan_events(conjuncts, prune, scanned))
+                Ok(EventRows::Borrowed(
+                    s.scan_events_ref(conjuncts, prune, scanned),
+                ))
             }
             StoreRef::Segmented(s) => {
                 // Segments scan in parallel; within each, partitions prune.
@@ -122,7 +133,7 @@ impl<'a> StoreRef<'a> {
                     *scanned += local;
                     out.extend(rows);
                 }
-                Ok(out)
+                Ok(EventRows::Owned(out))
             }
         }
     }
@@ -143,19 +154,21 @@ fn merge_prune(a: &Prune, b: &Prune) -> Prune {
 }
 
 /// Scans the admitted partitions of a partitioned table on scoped threads.
-fn parallel_partition_scan(
-    pt: &aiql_rdb::PartitionedTable,
+/// Rows are returned borrowed: workers collect `&Row` into per-chunk
+/// vectors, so no event row is cloned regardless of parallelism.
+fn parallel_partition_scan<'a>(
+    pt: &'a aiql_rdb::PartitionedTable,
     conjuncts: &[Expr],
     prune: &Prune,
     deadline: Deadline,
     scanned: &mut u64,
-) -> Result<Vec<Row>, EngineError> {
+) -> Result<Vec<&'a Row>, EngineError> {
     let derived = pt.prune_from_conjuncts(conjuncts);
     let merged = merge_prune(prune, &derived);
     let parts = pt.partitions_for(&merged);
     if parts.len() <= 1 {
         let mut local = 0u64;
-        let rows = pt.select(conjuncts, &merged, &mut local);
+        let rows = pt.select_refs(conjuncts, &merged, &mut local);
         *scanned += local;
         return Ok(rows);
     }
@@ -171,7 +184,7 @@ fn parallel_partition_scan(
         }
         cs
     };
-    let results: Vec<(u64, Vec<Row>)> = std::thread::scope(|scope| {
+    let results: Vec<(u64, Vec<&'a Row>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
@@ -180,7 +193,7 @@ fn parallel_partition_scan(
                     let mut rows = Vec::new();
                     for t in chunk {
                         let (_, pos) = t.select(conjuncts, &mut local);
-                        rows.extend(pos.into_iter().map(|p| t.row(p).clone()));
+                        rows.extend(pos.into_iter().map(|p| t.row(p)));
                     }
                     (local, rows)
                 })
@@ -264,13 +277,22 @@ pub fn execute_pattern(
         }
     }
 
-    // 3. Events scan.
+    // 3. Events scan. Rows stay borrowed from the store (or the segment
+    //    gather buffer) — they are only read and flattened, never kept.
     let mut scanned = 0u64;
-    let events = store.scan_events(&event_conjuncts, &q.prune, parallel, deadline, &mut scanned)?;
+    let scan = store.scan_events(&event_conjuncts, &q.prune, parallel, deadline, &mut scanned)?;
+    let owned_events: Vec<Row>;
+    let events: Vec<&Row> = match scan {
+        EventRows::Borrowed(v) => v,
+        EventRows::Owned(o) => {
+            owned_events = o;
+            owned_events.iter().collect()
+        }
+    };
     stats.rows_scanned += scanned;
 
     // 4. Filter by entity maps and resolve missing entity rows in batches.
-    let mut kept: Vec<Row> = Vec::with_capacity(events.len());
+    let mut kept: Vec<&Row> = Vec::with_capacity(events.len());
     let mut need_subj: Vec<i64> = Vec::new();
     let mut need_obj: Vec<i64> = Vec::new();
     for ev in events {
@@ -307,7 +329,7 @@ pub fn execute_pattern(
             // Entity row missing (dangling reference) — drop the event.
             continue;
         };
-        out.push(layout::flatten(&ev, s, o));
+        out.push(layout::flatten(ev, s, o));
     }
     stats.matches.push((p.idx, out.len()));
     Ok(out)

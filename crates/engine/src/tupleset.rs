@@ -28,6 +28,17 @@ fn push_tuple(tuples: &mut Vec<Vec<u32>>, t: Vec<u32>) -> Result<(), EngineError
     Ok(())
 }
 
+/// `t ++ [j]` allocated at exact capacity — the per-probe-hit tuple copy of
+/// `extend`. A `clone()` followed by `push` would allocate `t.len()` and
+/// immediately reallocate; this does one allocation and one memcpy.
+#[inline]
+fn extended(t: &[u32], j: u32) -> Vec<u32> {
+    let mut nt = Vec::with_capacity(t.len() + 1);
+    nt.extend_from_slice(t);
+    nt.push(j);
+    nt
+}
+
 /// Evaluable form of a relationship: match-row column positions resolved.
 #[derive(Debug, Clone)]
 pub enum RelEval {
@@ -300,9 +311,7 @@ impl TupleSet {
                     for &jj in cands {
                         stats.join_work += 1;
                         if self.tuple_matches(matches, t, j, &sj[jj as usize], rels) {
-                            let mut nt = t.clone();
-                            nt.push(jj);
-                            push_tuple(&mut out.tuples, nt)?;
+                            push_tuple(&mut out.tuples, extended(t, jj))?;
                         }
                     }
                 }
@@ -313,9 +322,7 @@ impl TupleSet {
                 for (jj, jrow) in sj.iter().enumerate() {
                     stats.join_work += 1;
                     if self.tuple_matches(matches, t, j, jrow, rels) {
-                        let mut nt = t.clone();
-                        nt.push(jj as u32);
-                        push_tuple(&mut out.tuples, nt)?;
+                        push_tuple(&mut out.tuples, extended(t, jj as u32))?;
                     }
                 }
             }
@@ -399,7 +406,8 @@ impl TupleSet {
                         continue 'next;
                     }
                 }
-                let mut nt = ta.clone();
+                let mut nt = Vec::with_capacity(ta.len() + tb.len());
+                nt.extend_from_slice(ta);
                 nt.extend_from_slice(tb);
                 push_tuple(&mut out.tuples, nt)?;
             }

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod dataset;
+pub mod dict;
 pub mod entity;
 pub mod event;
 pub mod ids;
@@ -38,6 +39,7 @@ pub mod time;
 pub mod value;
 
 pub use dataset::Dataset;
+pub use dict::{Dict, SharedDict, Sym, NULL_SYM};
 pub use entity::{AttrMap, Entity, EntityKind};
 pub use event::{Event, EventCategory, OpType};
 pub use ids::{AgentId, EntityId, EventId};

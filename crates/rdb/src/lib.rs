@@ -39,6 +39,7 @@
 //! assert_eq!(rs.rows, vec![vec![Value::Int(2)]]);
 //! ```
 
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -49,7 +50,8 @@ pub mod segment;
 pub mod sql;
 pub mod table;
 
-pub use aiql_model::Value;
+pub use aiql_model::{SharedDict, Sym, Value};
+pub use columnar::{Columnar, ColumnarSpec, Kernel};
 pub use error::RdbError;
 pub use exec::{ExecCtx, ExecStats, ResultSet};
 pub use expr::{CmpOp, Expr};
@@ -130,11 +132,27 @@ impl Database {
     }
 
     /// Creates a secondary index on `column` of `table` (on every partition
-    /// for partitioned tables).
+    /// for partitioned tables). Columnar projections, when enabled, project
+    /// the column too.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RdbError> {
         match self.slot_mut(table)? {
             TableSlot::Plain(t) => t.create_index(column),
             TableSlot::Partitioned(t) => t.create_index(column),
+        }
+    }
+
+    /// Enables a columnar projection on `table` (on every partition — and
+    /// every future partition — for partitioned tables), interning strings
+    /// into `dict`.
+    pub fn enable_columnar(
+        &mut self,
+        table: &str,
+        spec: ColumnarSpec,
+        dict: SharedDict,
+    ) -> Result<(), RdbError> {
+        match self.slot_mut(table)? {
+            TableSlot::Plain(t) => t.enable_columnar(&spec, dict),
+            TableSlot::Partitioned(t) => t.enable_columnar(spec, dict),
         }
     }
 

@@ -7,10 +7,12 @@
 //! partitions from the query's temporal/spatial constraints, and the query
 //! engine parallelizes across partitions.
 
+use crate::columnar::ColumnarSpec;
 use crate::error::RdbError;
 use crate::expr::Expr;
 use crate::schema::{Row, Schema};
 use crate::table::Table;
+use aiql_model::SharedDict;
 
 /// Nanoseconds per day (partition granularity).
 pub const NANOS_PER_DAY: i64 = 86_400 * 1_000_000_000;
@@ -91,6 +93,9 @@ pub struct PartitionedTable {
     time_idx: usize,
     agent_idx: usize,
     index_columns: Vec<String>,
+    /// Columnar configuration applied to every partition (and every future
+    /// partition) once [`PartitionedTable::enable_columnar`] is called.
+    columnar: Option<(ColumnarSpec, SharedDict)>,
     partitions: std::collections::BTreeMap<PartKey, Table>,
     len: usize,
 }
@@ -106,9 +111,36 @@ impl PartitionedTable {
             time_idx,
             agent_idx,
             index_columns: Vec::new(),
+            columnar: None,
             partitions: std::collections::BTreeMap::new(),
             len: 0,
         })
+    }
+
+    /// Enables a columnar projection on every existing partition and
+    /// remembers the configuration for partitions created by rollover.
+    /// Defaults the sort column to this table's partition time column.
+    pub fn enable_columnar(
+        &mut self,
+        mut spec: ColumnarSpec,
+        dict: SharedDict,
+    ) -> Result<(), RdbError> {
+        if spec.time_col.is_none() {
+            spec.time_col = Some(self.spec.time_col.clone());
+        }
+        // Validate the spec against the schema even when no partition
+        // exists yet, so misconfiguration fails at enable time.
+        crate::columnar::Columnar::build(&self.schema, &spec, dict.clone(), &[])?;
+        for t in self.partitions.values_mut() {
+            t.enable_columnar(&spec, dict.clone())?;
+        }
+        self.columnar = Some((spec, dict));
+        Ok(())
+    }
+
+    /// Whether partitions carry columnar projections.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar.is_some()
     }
 
     /// The table schema.
@@ -181,6 +213,11 @@ impl PartitionedTable {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(e) => {
                 let mut t = Table::new(self.schema.clone());
+                // Columnar first: `create_index` then projects each indexed
+                // column, so both layouts cover `indexed_columns`.
+                if let Some((spec, dict)) = &self.columnar {
+                    t.enable_columnar(spec, dict.clone())?;
+                }
                 for c in &self.index_columns {
                     t.create_index(c)?;
                 }
@@ -202,7 +239,10 @@ impl PartitionedTable {
     }
 
     /// Creates an index on every existing partition and remembers it for
-    /// future partitions.
+    /// future partitions. Partitions with columnar projections also project
+    /// the column (see [`Table::create_index`]), keeping
+    /// [`PartitionedTable::indexed_columns`] the single source of truth for
+    /// both layouts.
     pub fn create_index(&mut self, column: &str) -> Result<(), RdbError> {
         self.schema.require(column)?;
         if !self.index_columns.iter().any(|c| c == column) {
@@ -235,12 +275,22 @@ impl PartitionedTable {
     }
 
     /// Scans all admitted partitions sequentially, applying `conjuncts` with
-    /// per-partition index selection; returns matching rows (cloned).
+    /// per-partition access-path selection; returns matching rows (cloned).
     pub fn select(&self, conjuncts: &[Expr], prune: &Prune, scanned: &mut u64) -> Vec<Row> {
+        self.select_refs(conjuncts, prune, scanned)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Like [`PartitionedTable::select`], but returns borrowed rows — the
+    /// hot path for engine scans, which flatten matches into fresh rows and
+    /// never need the clones.
+    pub fn select_refs(&self, conjuncts: &[Expr], prune: &Prune, scanned: &mut u64) -> Vec<&Row> {
         let mut out = Vec::new();
         for (_, t) in self.partitions_for(prune) {
             let (_, positions) = t.select(conjuncts, scanned);
-            out.extend(positions.into_iter().map(|p| t.row(p).clone()));
+            out.extend(positions.into_iter().map(|p| t.row(p)));
         }
         out
     }
@@ -400,6 +450,57 @@ mod tests {
         );
         assert_eq!(rows.len(), 4);
         assert_eq!(scanned, 4, "index probes only");
+    }
+
+    #[test]
+    fn columnar_follows_rollover_and_index_creation() {
+        let mut pt = pt();
+        // Project only the partition columns; "name" and "id" stay row-only.
+        pt.enable_columnar(
+            ColumnarSpec::all().with_columns(&["start_time", "agentid"]),
+            SharedDict::new(),
+        )
+        .unwrap();
+        assert!(pt.is_columnar());
+        // Existing indexes ("name") are projected on enable; a later index
+        // ("id") joins the projection on every partition too.
+        pt.create_index("id").unwrap();
+        for (_, t) in pt.partitions_for(&Prune::all()) {
+            let c = t.columnar().expect("projection enabled");
+            let name_col = t.schema().position("name").unwrap();
+            let id_col = t.schema().position("id").unwrap();
+            assert!(c.is_projected(name_col), "pre-existing index covered");
+            assert!(c.is_projected(id_col), "new index covered");
+        }
+        // Rollover into a fresh partition carries projection + indexes.
+        pt.insert(vec![
+            Value::Int(999),
+            Value::Int(0),
+            Value::Int(5 * NANOS_PER_DAY),
+            Value::str("late"),
+        ])
+        .unwrap();
+        let fresh = pt
+            .partitions_for(&Prune {
+                day_lo: Some(5),
+                day_hi: Some(5),
+                agents: None,
+            })
+            .pop()
+            .expect("rolled-over partition")
+            .1;
+        let c = fresh.columnar().expect("rollover keeps columnar");
+        assert!(c.is_projected(fresh.schema().position("name").unwrap()));
+        assert_eq!(c.len(), 1);
+        // And scans through the columnar path agree with the row path.
+        let mut scanned = 0;
+        let rows = pt.select(
+            &[Expr::cmp_lit(2, CmpOp::Ge, 5 * NANOS_PER_DAY)],
+            &Prune::all(),
+            &mut scanned,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][3], Value::str("late"));
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Row-store tables with secondary B-tree indexes.
+//! Row-store tables with secondary B-tree indexes and an optional columnar
+//! projection (see [`crate::columnar`]).
 
+use crate::columnar::{compile_conjuncts, Columnar, ColumnarSpec};
 use crate::error::RdbError;
 use crate::expr::{CmpOp, Expr};
 use crate::schema::{Row, Schema};
-use aiql_model::Value;
+use aiql_model::{SharedDict, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -40,12 +42,14 @@ impl Index {
     }
 }
 
-/// A table: schema, rows, and any secondary indexes.
+/// A table: schema, rows, any secondary indexes, and an optional columnar
+/// projection maintained alongside the rows.
 #[derive(Debug)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
     indexes: BTreeMap<usize, Index>,
+    columnar: Option<Columnar>,
 }
 
 /// How a scan located its rows — reported in [`crate::exec::ExecStats`] and
@@ -58,6 +62,8 @@ pub enum AccessPath {
     IndexEq,
     /// Index range scan.
     IndexRange,
+    /// Vectorized scan of the columnar projection (zone-map pruned).
+    Columnar,
 }
 
 impl Table {
@@ -67,6 +73,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             indexes: BTreeMap::new(),
+            columnar: None,
         }
     }
 
@@ -95,19 +102,47 @@ impl Table {
         &self.rows[idx as usize]
     }
 
-    /// Validates and appends a row, maintaining indexes.
+    /// Validates and appends a row, maintaining indexes and the columnar
+    /// projection (sorted insert into its open block).
     pub fn insert(&mut self, row: Row) -> Result<(), RdbError> {
         self.schema.check_row(&row)?;
         let pos = self.rows.len() as u32;
         for (&col, index) in self.indexes.iter_mut() {
             index.insert(row[col].clone(), pos);
         }
+        if let Some(c) = &mut self.columnar {
+            c.append(&row, pos);
+        }
         self.rows.push(row);
         Ok(())
     }
 
+    /// Builds (or rebuilds) a columnar projection over the current rows;
+    /// future inserts maintain it incrementally. Indexed columns join the
+    /// projection automatically, so [`Table::indexed_columns`] stays the
+    /// single source of truth for both layouts.
+    pub fn enable_columnar(
+        &mut self,
+        spec: &ColumnarSpec,
+        dict: SharedDict,
+    ) -> Result<(), RdbError> {
+        let mut c = Columnar::build(&self.schema, spec, dict, &self.rows)?;
+        for &col in self.indexes.keys() {
+            c.project_column(&self.schema, col, &self.rows);
+        }
+        self.columnar = Some(c);
+        Ok(())
+    }
+
+    /// The columnar projection, if one is enabled.
+    pub fn columnar(&self) -> Option<&Columnar> {
+        self.columnar.as_ref()
+    }
+
     /// Creates a secondary index on `column`, back-filling existing rows.
-    /// Creating an index twice is a no-op.
+    /// Creating an index twice is a no-op. When a columnar projection is
+    /// enabled, the column also joins the projection so it stays
+    /// kernel-evaluable on both access paths.
     pub fn create_index(&mut self, column: &str) -> Result<(), RdbError> {
         let col = self.schema.require(column)?;
         if self.indexes.contains_key(&col) {
@@ -118,6 +153,9 @@ impl Table {
             index.insert(row[col].clone(), pos as u32);
         }
         self.indexes.insert(col, index);
+        if let Some(c) = &mut self.columnar {
+            c.project_column(&self.schema, col, &self.rows);
+        }
         Ok(())
     }
 
@@ -138,10 +176,14 @@ impl Table {
     /// - `col >=/<=/</> lit` (possibly two conjuncts forming a range) on an
     ///   indexed column → range scan,
     ///
-    /// with the remaining conjuncts applied as a residual filter. Returns the
-    /// chosen access path alongside the row positions. `scanned` is
-    /// incremented by the number of rows the scan *touched* (not returned),
-    /// so callers can account I/O-like cost.
+    /// with the remaining conjuncts applied as a residual filter. When no
+    /// equality probe applies but a columnar projection can compile at least
+    /// one conjunct into a vectorized kernel, the scan runs columnar
+    /// (zone-map block skipping + time-window binary search) with the
+    /// uncompilable conjuncts as residual row filters. Returns the chosen
+    /// access path alongside the row positions. `scanned` is incremented by
+    /// the number of rows the scan *touched* (not returned), so callers can
+    /// account I/O-like cost.
     pub fn select(&self, conjuncts: &[Expr], scanned: &mut u64) -> (AccessPath, Vec<u32>) {
         // Find an index-usable conjunct.
         let mut best: Option<(usize, IndexProbe)> = None;
@@ -158,6 +200,16 @@ impl Table {
                         best = Some((ci, probe));
                     }
                 }
+            }
+        }
+
+        // Point probes touch only matching rows and beat any scan; short of
+        // one, a columnar projection beats interpreting the AST per row and
+        // beats an index range scan (which materializes candidate lists).
+        let have_eq_probe = matches!(&best, Some((_, p)) if matches!(p.kind, ProbeKind::Eq(_)));
+        if !have_eq_probe {
+            if let Some(hit) = self.columnar_select(conjuncts, scanned) {
+                return hit;
             }
         }
 
@@ -204,6 +256,31 @@ impl Table {
                 (AccessPath::Seq, rows)
             }
         }
+    }
+
+    /// Attempts the vectorized path: compile conjuncts into kernels, scan
+    /// the projection, then row-filter the residual conjuncts. `None` when
+    /// no projection exists or no conjunct compiles (nothing vectorizable).
+    fn columnar_select(
+        &self,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+    ) -> Option<(AccessPath, Vec<u32>)> {
+        let col = self.columnar.as_ref()?;
+        let (kernels, residual) = compile_conjuncts(&self.schema, col, conjuncts);
+        if kernels.is_empty() {
+            return None;
+        }
+        let mut positions = col.select(&kernels, scanned);
+        if !residual.is_empty() {
+            positions.retain(|&p| {
+                let row = &self.rows[p as usize];
+                residual.iter().all(|&ci| conjuncts[ci].matches(row))
+            });
+        }
+        // Row order, matching the sequential scan exactly.
+        positions.sort_unstable();
+        Some((AccessPath::Columnar, positions))
     }
 }
 
@@ -350,6 +427,44 @@ mod tests {
         assert_eq!(idx.get_eq(&Value::str("alpha")), &[0, 2, 4]);
         assert_eq!(idx.distinct_keys(), 3);
         assert!(t.create_index("bogus").is_err());
+    }
+
+    #[test]
+    fn columnar_path_matches_seq_scan() {
+        let mut t = table();
+        t.enable_columnar(&ColumnarSpec::all(), SharedDict::new())
+            .unwrap();
+        let mut scanned = 0;
+        let conjuncts = vec![Expr::cmp_lit(1, CmpOp::Eq, "alpha")];
+        let (path, rows) = t.select(&conjuncts, &mut scanned);
+        assert_eq!(path, AccessPath::Columnar);
+        assert_eq!(rows, vec![0, 2], "row order, like the seq scan");
+        // Incremental maintenance: appended rows are visible.
+        t.insert(vec![Value::Int(5), Value::str("alpha"), Value::Int(50)])
+            .unwrap();
+        let (_, rows) = t.select(&conjuncts, &mut scanned);
+        assert_eq!(rows, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn columnar_residual_and_index_priority() {
+        let mut t = table();
+        t.create_index("name").unwrap();
+        t.enable_columnar(&ColumnarSpec::all(), SharedDict::new())
+            .unwrap();
+        let mut scanned = 0;
+        // Equality probe still wins over the columnar scan.
+        let (path, rows) = t.select(&[Expr::cmp_lit(1, CmpOp::Eq, "alpha")], &mut scanned);
+        assert_eq!(path, AccessPath::IndexEq);
+        assert_eq!(rows, vec![0, 2]);
+        // LIKE is residual: the range kernel narrows, the row filter decides.
+        let conjuncts = vec![Expr::cmp_lit(2, CmpOp::Ge, 20i64), Expr::like(1, "%mm%")];
+        let (path, rows) = t.select(&conjuncts, &mut scanned);
+        assert_eq!(path, AccessPath::Columnar);
+        assert_eq!(rows, vec![3], "gamma");
+        // All-residual conjuncts fall back to the row store.
+        let (path, _) = t.select(&[Expr::like(1, "%a%")], &mut scanned);
+        assert_eq!(path, AccessPath::Seq);
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub mod timesync;
 
 pub use live::{SharedStore, StoreStamp};
 
-use aiql_model::{Dataset, Entity, EntityKind, Event, Timestamp, Value};
-use aiql_rdb::{Database, PartKey, PartitionSpec, Placement, Prune, RdbError, Row, SegmentedDb};
+use aiql_model::{Dataset, Entity, EntityKind, Event, SharedDict, Timestamp, Value};
+use aiql_rdb::{
+    ColumnarSpec, Database, PartKey, PartitionSpec, Placement, Prune, RdbError, Row, SegmentedDb,
+};
 
 /// Physical layout of the event store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,25 +65,41 @@ pub struct StoreConfig {
     pub layout: Layout,
     /// Whether to build the secondary indexes of [`schema::index_plan`].
     pub with_indexes: bool,
+    /// Whether to build columnar projections (dictionary-interned values,
+    /// time-sorted zone-mapped blocks) alongside the row store.
+    pub columnar: bool,
 }
 
 impl StoreConfig {
-    /// AIQL's layout: partitioned with groups of 5 agents, indexed.
+    /// AIQL's layout: partitioned with groups of 5 agents, indexed, with
+    /// columnar projections on the scan-heavy tables.
     pub fn partitioned() -> StoreConfig {
         StoreConfig {
             layout: Layout::Partitioned {
                 agent_group_size: 5,
             },
             with_indexes: true,
+            columnar: true,
         }
     }
 
-    /// Baseline layout: monolithic tables, indexed.
+    /// Baseline layout: monolithic tables, indexed, row-store only (the
+    /// configuration the end-to-end PostgreSQL comparison stores).
     pub fn monolithic() -> StoreConfig {
         StoreConfig {
             layout: Layout::Monolithic,
             with_indexes: true,
+            columnar: false,
         }
+    }
+
+    /// Toggles columnar projections, builder style.
+    /// `StoreConfig::partitioned().with_columnar(false)` is the pure
+    /// row-store configuration — the correctness oracle the differential
+    /// tests compare the columnar path against.
+    pub fn with_columnar(mut self, columnar: bool) -> StoreConfig {
+        self.columnar = columnar;
+        self
     }
 }
 
@@ -166,6 +184,8 @@ pub struct AppendOutcome {
 pub struct EventStore {
     db: Database,
     config: StoreConfig,
+    /// The store-wide string dictionary backing every columnar projection.
+    dict: SharedDict,
     event_count: usize,
     entity_count: usize,
     /// Mutation counter backing [`EventStore::stamp`].
@@ -173,7 +193,8 @@ pub struct EventStore {
 }
 
 impl EventStore {
-    /// Creates an empty store with the schema and (optionally) indexes set up.
+    /// Creates an empty store with the schema, (optionally) indexes, and
+    /// (optionally) columnar projections set up.
     pub fn empty(config: StoreConfig) -> Result<EventStore, RdbError> {
         let mut db = Database::new();
         create_tables(|name, sch, is_events| match config.layout {
@@ -184,6 +205,34 @@ impl EventStore {
             ),
             _ => db.create_table(name, sch),
         })?;
+        let dict = SharedDict::new();
+        if config.columnar {
+            // Events: all columns (all Int), kept sorted on start_time so
+            // window scans binary-search instead of filtering.
+            db.enable_columnar(
+                schema::EVENTS,
+                ColumnarSpec::time_sorted("start_time"),
+                dict.clone(),
+            )?;
+            // Entity tables: the hot predicate columns — ids plus every
+            // string attribute (exe names, paths, IPs) interned into the
+            // shared dictionary. `create_index` extends the projections if
+            // more columns get indexed later.
+            for (table, sch) in [
+                (schema::PROCESSES, schema::processes_schema()),
+                (schema::FILES, schema::files_schema()),
+                (schema::NETCONNS, schema::netconns_schema()),
+            ] {
+                let hot: Vec<&str> = sch
+                    .iter()
+                    .filter(|(n, t)| {
+                        *t == aiql_rdb::ColumnType::Str || *n == "id" || *n == "agentid"
+                    })
+                    .map(|(n, _)| n)
+                    .collect();
+                db.enable_columnar(table, ColumnarSpec::all().with_columns(&hot), dict.clone())?;
+            }
+        }
         if config.with_indexes {
             for (table, col) in schema::index_plan() {
                 db.create_index(table, col)?;
@@ -192,6 +241,7 @@ impl EventStore {
         Ok(EventStore {
             db,
             config,
+            dict,
             event_count: 0,
             entity_count: 0,
             epoch: 0,
@@ -277,14 +327,35 @@ impl EventStore {
         self.db.partitioned(schema::EVENTS)
     }
 
+    /// The store-wide string dictionary (populated only when the columnar
+    /// layout is enabled).
+    pub fn dict(&self) -> &SharedDict {
+        &self.dict
+    }
+
     /// Scans events with conjuncts over the events layout, applying
-    /// partition pruning when partitioned. Returns matching rows.
+    /// partition pruning when partitioned. Returns matching rows (cloned);
+    /// prefer [`EventStore::scan_events_ref`] on hot paths.
     pub fn scan_events(
         &self,
         conjuncts: &[aiql_rdb::Expr],
         prune: &Prune,
         scanned: &mut u64,
     ) -> Vec<Row> {
+        self.scan_events_ref(conjuncts, prune, scanned)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Like [`EventStore::scan_events`], but returns borrowed rows — the
+    /// engine flattens matches into fresh rows, so cloning here is wasted.
+    pub fn scan_events_ref(
+        &self,
+        conjuncts: &[aiql_rdb::Expr],
+        prune: &Prune,
+        scanned: &mut u64,
+    ) -> Vec<&Row> {
         match self.db.partitioned(schema::EVENTS) {
             Some(pt) => {
                 // Merge caller pruning with conjunct-derived pruning.
@@ -294,12 +365,12 @@ impl EventStore {
                     day_hi: min_opt(prune.day_hi, derived.day_hi),
                     agents: prune.agents.clone().or(derived.agents),
                 };
-                pt.select(conjuncts, &merged, scanned)
+                pt.select_refs(conjuncts, &merged, scanned)
             }
             None => {
                 let t = self.db.plain(schema::EVENTS).expect("events table exists");
                 let (_, pos) = t.select(conjuncts, scanned);
-                pos.into_iter().map(|p| t.row(p).clone()).collect()
+                pos.into_iter().map(|p| t.row(p)).collect()
             }
         }
     }
@@ -516,6 +587,39 @@ mod tests {
         assert_eq!(rows.len(), 3, "agent 2's day-0 events (i = 0, 2, 4)");
         // All rows from agent 2.
         assert!(rows.iter().all(|r| r[schema::ev::AGENT] == Value::Int(2)));
+    }
+
+    #[test]
+    fn columnar_scan_matches_row_store_oracle() {
+        let d = dataset();
+        let col = EventStore::ingest(&d, StoreConfig::partitioned()).unwrap();
+        let row = EventStore::ingest(&d, StoreConfig::partitioned().with_columnar(false)).unwrap();
+        assert!(!col.dict().is_empty(), "entity strings interned");
+        assert!(row.dict().is_empty(), "oracle keeps no dictionary");
+        let day0 = Timestamp::from_ymd(2017, 1, 1).unwrap();
+        let conjuncts = vec![
+            Expr::cmp_lit(schema::ev::START, CmpOp::Ge, day0.0),
+            Expr::cmp_lit(
+                schema::ev::START,
+                CmpOp::Lt,
+                day0.0 + aiql_rdb::partition::NANOS_PER_DAY,
+            ),
+            Expr::cmp_lit(schema::ev::OPTYPE, CmpOp::Eq, schema::opcode(OpType::Write)),
+        ];
+        let (mut s1, mut s2) = (0, 0);
+        let mut a = col.scan_events(&conjuncts, &Prune::all(), &mut s1);
+        let mut b = row.scan_events(&conjuncts, &Prune::all(), &mut s2);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "columnar and row scans agree");
+        assert!(!a.is_empty());
+        // Entity-side string predicate through the dictionary kernels: the
+        // `user` column is projected but unindexed.
+        let (mut s1, mut s2) = (0, 0);
+        let cstr = [Expr::cmp_lit(schema::proc::USER, CmpOp::Eq, "missing-user")];
+        let pa = col.scan_entities(EntityKind::Process, &cstr, &mut s1);
+        let pb = row.scan_entities(EntityKind::Process, &cstr, &mut s2);
+        assert_eq!(pa, pb);
     }
 
     #[test]

@@ -1,8 +1,14 @@
-//! Differential property test: streaming a shuffled, skewed, batched event
-//! stream through `aiql_ingest::Ingestor` must yield the same query results
-//! as batch `EventStore::ingest` of the corrected dataset — for the paper's
-//! three query classes (pattern, dependency, anomaly), including streams
-//! that arrive out of timestamp order and cross a partition-day boundary.
+//! Differential property tests:
+//!
+//! 1. Streaming a shuffled, skewed, batched event stream through
+//!    `aiql_ingest::Ingestor` must yield the same query results as batch
+//!    `EventStore::ingest` of the corrected dataset — for the paper's three
+//!    query classes (pattern, dependency, anomaly), including streams that
+//!    arrive out of timestamp order and cross a partition-day boundary.
+//! 2. The columnar scan path (dictionary kernels, zone maps, time-sorted
+//!    blocks) must be result-equivalent to the pure row store — with the
+//!    columnar projections built in batch *and* grown live by appends that
+//!    cross the day boundary.
 
 use aiql::engine::{self, Engine, EngineConfig};
 use aiql::storage::timesync::ClockSample;
@@ -207,6 +213,39 @@ proptest! {
     }
 
     #[test]
+    fn columnar_equals_row_store_for_tier1_queries(
+        events in micro_events(),
+        batch_events in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let data = build(&events);
+        // The row store is the correctness oracle: same partitioning and
+        // indexes, no columnar projections.
+        let oracle =
+            EventStore::ingest(&data, StoreConfig::partitioned().with_columnar(false)).unwrap();
+        // Columnar, built two ways: batch-loaded, and grown live through the
+        // ingestor (sorted inserts into open blocks, sealing, rollover).
+        let batch = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+        let live = stream_ingest(&data, batch_events, batch_events * 2, seed);
+
+        let oracle_engine = Engine::new(&oracle);
+        let batch_engine = Engine::new(&batch);
+        // The tier-1 classes plus a window-constrained pattern that drives
+        // the time-sorted block narrowing and a LIKE residual.
+        let windowed = r#"(at "01/01/2017") proc p1["%proc%"] write file f1
+                          return distinct p1, f1"#;
+        for q in tier1_queries().into_iter().chain([windowed]) {
+            let want = sorted_rows(oracle_engine.run(q).unwrap().rows);
+            let got_batch = sorted_rows(batch_engine.run(q).unwrap().rows);
+            prop_assert_eq!(&got_batch, &want, "columnar batch diverged: {}", q);
+            let got_live = sorted_rows(
+                engine::run_live(&live, EngineConfig::aiql(), q).unwrap().outcome.result.rows,
+            );
+            prop_assert_eq!(&got_live, &want, "columnar live diverged: {}", q);
+        }
+    }
+
+    #[test]
     fn streaming_count_is_stable_under_any_batching(
         events in micro_events(),
         split_a in 1usize..12,
@@ -253,10 +292,16 @@ fn boundary_crossing_out_of_order_stream_matches_batch() {
         live.events_partitioned().unwrap().partition_count(),
         pt.partition_count()
     );
+    // Row-store oracle: the same data without columnar projections.
+    let oracle =
+        EventStore::ingest(&data, StoreConfig::partitioned().with_columnar(false)).unwrap();
     let engine = Engine::new(&batch_store);
+    let oracle_engine = Engine::new(&oracle);
     for q in tier1_queries() {
         let want = sorted_rows(engine.run(q).unwrap().rows);
         let got = sorted_rows(Engine::new(&live).run(q).unwrap().rows);
         assert_eq!(got, want, "query diverged: {q}");
+        let row_want = sorted_rows(oracle_engine.run(q).unwrap().rows);
+        assert_eq!(want, row_want, "columnar diverged from row store: {q}");
     }
 }
