@@ -1,17 +1,37 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|all] [--scale small|medium|large] [--budget SECS]
 //! ```
 //!
 //! `scan` compares the columnar scan path against the row store and writes
-//! a `BENCH_scan.json` snapshot next to the working directory.
+//! a `BENCH_scan.json` snapshot in the working directory; `recovery` times
+//! crash recovery (snapshot load vs WAL replay) and writes
+//! `BENCH_recovery.json`. `all` runs every experiment in one invocation
+//! and writes every `BENCH_*.json` — what CI and trajectory tracking call.
 //!
 //! `table3` also emits the Fig. 5 per-query series (they share runs).
 
 use aiql_bench::experiments::{self, Options};
 use aiql_bench::harness::Scale;
 use std::time::Duration;
+
+fn write_snapshot_file(name: &str, json: &str) {
+    std::fs::write(name, json).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    eprintln!("[snapshot written to {name}]");
+}
+
+fn run_scan(opts: Options) {
+    let (table, json) = experiments::scan_bench(opts);
+    print!("{table}");
+    write_snapshot_file("BENCH_scan.json", &json);
+}
+
+fn run_recovery(opts: Options) {
+    let (table, json) = experiments::recovery_bench(opts);
+    print!("{table}");
+    write_snapshot_file("BENCH_recovery.json", &json);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,12 +66,8 @@ fn main() {
         "fig6" => print!("{}", experiments::fig6(opts)),
         "fig7" => print!("{}", experiments::fig7(opts)),
         "fig8" | "table5" => print!("{}", experiments::fig8()),
-        "scan" => {
-            let (table, json) = experiments::scan_bench(opts);
-            print!("{table}");
-            std::fs::write("BENCH_scan.json", json).expect("write BENCH_scan.json");
-            eprintln!("[snapshot written to BENCH_scan.json]");
-        }
+        "scan" => run_scan(opts),
+        "recovery" => run_recovery(opts),
         "all" => {
             print!("{}", experiments::schema());
             println!();
@@ -62,6 +78,10 @@ fn main() {
             print!("{}", experiments::fig7(opts));
             println!();
             print!("{}", experiments::fig8());
+            println!();
+            run_scan(opts);
+            println!();
+            run_recovery(opts);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -74,7 +94,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

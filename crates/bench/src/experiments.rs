@@ -307,6 +307,94 @@ pub fn scan_bench(opts: Options) -> (String, String) {
     (out, json)
 }
 
+/// Builds a durable store under `dir` by streaming the dataset through a
+/// durable ingestor; `checkpoint` decides whether everything lands in the
+/// snapshot (true) or stays in the WAL tail (false). Shared by
+/// `benches/recovery.rs` and the `repro recovery` snapshot.
+pub fn build_durable_store(data: &aiql_model::Dataset, dir: &std::path::Path, checkpoint: bool) {
+    use aiql_ingest::{EventBatch, IngestConfig, Ingestor};
+    let _ = std::fs::remove_dir_all(dir);
+    let (mut ing, _) = Ingestor::durable(IngestConfig::live(), dir).expect("durable ingestor");
+    let mut first = EventBatch::new();
+    first.entities = data.entities.clone();
+    ing.submit_with_flush(first).expect("entities land");
+    for chunk in data.events.chunks(4096) {
+        let mut b = EventBatch::new();
+        b.events = chunk.to_vec();
+        ing.submit_with_flush(b).expect("bounded queue");
+    }
+    if checkpoint {
+        ing.checkpoint().expect("checkpoint");
+    } else {
+        ing.flush().expect("final flush");
+    }
+}
+
+/// Crash-recovery benchmark backing the `repro recovery` target: how fast
+/// a killed store comes back via `EventStore::open`, for the two extremes
+/// of the snapshot/WAL protocol — everything checkpointed (pure snapshot
+/// load) and everything in the log tail (pure WAL replay). Returns the
+/// rendered table and a `BENCH_recovery.json` snapshot body.
+pub fn recovery_bench(opts: Options) -> (String, String) {
+    use aiql_storage::EventStore;
+
+    let (data, _) = harness::dataset(opts.scale);
+    let base = std::env::temp_dir().join(format!("aiql-recovery-bench-{}", std::process::id()));
+    let snap_dir = base.join("all-snapshot");
+    let replay_dir = base.join("all-wal");
+    build_durable_store(&data, &snap_dir, true);
+    build_durable_store(&data, &replay_dir, false);
+
+    let events = data.events.len();
+    let entities = data.entities.len();
+    let reopen = |dir: &std::path::Path| {
+        let (best, store) = harness::best_of(3, || EventStore::open(dir).expect("recovery"));
+        assert_eq!(store.event_count(), events, "every event recovered");
+        assert_eq!(store.entity_count(), entities, "every entity recovered");
+        best
+    };
+    let snap_s = reopen(&snap_dir);
+    let replay_s = reopen(&replay_dir);
+    let snap_rate = events as f64 / snap_s.max(1e-12);
+    let replay_rate = events as f64 / replay_s.max(1e-12);
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut out = format!(
+        "Crash recovery: EventStore::open on a {} event / {} entity store ({:?} scale)\n\n",
+        events, entities, opts.scale
+    );
+    let mut t = TextTable::new(&["recovery path", "open time (ms)", "recovered events/sec"]);
+    t.row(vec![
+        "snapshot load (checkpointed)".into(),
+        format!("{:.2}", snap_s * 1e3),
+        format!("{:.0}", snap_rate),
+    ]);
+    t.row(vec![
+        "WAL replay (no checkpoint)".into(),
+        format!("{:.2}", replay_s * 1e3),
+        format!("{:.0}", replay_rate),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nBoth paths rebuild partitions, secondary indexes, columnar blocks, \
+         and the shared dictionary; mixed checkpoint points fall between them.\n",
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"recovery\",\n  \"scale\": \"{:?}\",\n  \"events\": {},\n  \
+         \"entities\": {},\n  \"snapshot_open_ms\": {:.4},\n  \"wal_replay_open_ms\": {:.4},\n  \
+         \"snapshot_events_per_sec\": {:.0},\n  \"replay_events_per_sec\": {:.0}\n}}\n",
+        opts.scale,
+        events,
+        entities,
+        snap_s * 1e3,
+        replay_s * 1e3,
+        snap_rate,
+        replay_rate,
+    );
+    (out, json)
+}
+
 /// Fig. 8 + Table 5: conciseness of the 19 behaviours across languages.
 pub fn fig8() -> String {
     let queries = catalog::behaviours();

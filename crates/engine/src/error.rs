@@ -2,6 +2,7 @@
 
 use aiql_core::AiqlError;
 use aiql_rdb::RdbError;
+use aiql_storage::PersistError;
 use std::fmt;
 
 /// Errors from compiling or executing an AIQL query.
@@ -11,6 +12,11 @@ pub enum EngineError {
     Compile(AiqlError),
     /// The storage layer failed.
     Storage(RdbError),
+    /// Opening a persisted store failed (missing directory, corrupt
+    /// snapshot, unreadable log). Carries the rendered cause —
+    /// [`PersistError`] holds `io::Error`, which is neither `Clone` nor
+    /// `PartialEq`.
+    Recovery(String),
     /// The execution deadline elapsed.
     Timeout,
     /// A tuple set or intermediate result exceeded the memory budget —
@@ -25,6 +31,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Compile(e) => write!(f, "compile error: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Recovery(m) => write!(f, "recovery error: {m}"),
             EngineError::Timeout => write!(f, "query exceeded its execution deadline"),
             EngineError::Resource => write!(f, "query exceeded its intermediate-result budget"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
@@ -37,6 +44,12 @@ impl std::error::Error for EngineError {}
 impl From<AiqlError> for EngineError {
     fn from(e: AiqlError) -> Self {
         EngineError::Compile(e)
+    }
+}
+
+impl From<PersistError> for EngineError {
+    fn from(e: PersistError) -> Self {
+        EngineError::Recovery(e.to_string())
     }
 }
 

@@ -231,6 +231,27 @@ pub fn run_live(
     Ok(LiveOutcome { outcome, stamp })
 }
 
+/// Opens the store persisted at `dir` — newest snapshot plus write-ahead
+/// log tail, tolerating a torn final record — ready to query.
+///
+/// The open-from-disk entrypoint: wrap the result in [`Engine::new`] (or
+/// [`Engine::with_config`]) to investigate a store directory left behind
+/// by a stopped or crashed ingestion pipeline.
+pub fn open_store(dir: impl AsRef<std::path::Path>) -> Result<EventStore, EngineError> {
+    Ok(EventStore::open(dir)?)
+}
+
+/// Opens the store persisted at `dir` and runs one query against it — the
+/// one-shot post-mortem combinator over [`open_store`].
+pub fn run_persisted(
+    dir: impl AsRef<std::path::Path>,
+    config: EngineConfig,
+    source: &str,
+) -> Result<Outcome, EngineError> {
+    let store = open_store(dir)?;
+    Engine::with_config(&store, config).run_outcome(source)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@
 //!   `(node)-[edge]->(node)` triples with property predicates, shared
 //!   variables, cross-variable property comparisons, and temporal
 //!   constraints between edge variables,
-//! - the [`pattern::match_pattern`] evaluator performs depth-first binding
+//! - the [`pattern::PatternQuery::run`] evaluator performs depth-first binding
 //!   expansion *in pattern order* — connected steps traverse adjacency,
 //!   disconnected steps fall back to scans/cartesian expansion, exactly the
 //!   weakness the paper measures.

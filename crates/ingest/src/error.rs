@@ -2,6 +2,7 @@
 
 use crate::batch::EventBatch;
 use aiql_rdb::RdbError;
+use aiql_storage::PersistError;
 use std::fmt;
 
 /// Why a submit or flush failed.
@@ -21,6 +22,11 @@ pub enum IngestError {
     },
     /// The storage layer rejected a row.
     Storage(RdbError),
+    /// The durability layer failed: the write-ahead log could not be
+    /// written/synced, or recovery/checkpointing failed. Unlike a
+    /// dead-lettered row this aborts the flush — rows past this point were
+    /// never acknowledged.
+    Durable(PersistError),
 }
 
 impl fmt::Display for IngestError {
@@ -37,6 +43,7 @@ impl fmt::Display for IngestError {
                 batch.weight()
             ),
             IngestError::Storage(e) => write!(f, "storage error during ingest: {e}"),
+            IngestError::Durable(e) => write!(f, "durability error during ingest: {e}"),
         }
     }
 }
@@ -46,5 +53,11 @@ impl std::error::Error for IngestError {}
 impl From<RdbError> for IngestError {
     fn from(e: RdbError) -> IngestError {
         IngestError::Storage(e)
+    }
+}
+
+impl From<PersistError> for IngestError {
+    fn from(e: PersistError) -> IngestError {
+        IngestError::Durable(e)
     }
 }

@@ -1,13 +1,18 @@
 //! The streaming ingestor: bounded queue, on-the-fly timesync, partition
-//! rollover, incremental indexes.
+//! rollover, incremental indexes, optional write-ahead durability.
 
 use crate::batch::EventBatch;
 use crate::error::IngestError;
 use aiql_model::Timestamp;
 use aiql_rdb::PartKey;
 use aiql_storage::timesync::Synchronizer;
-use aiql_storage::{EventStore, SharedStore, StoreConfig, StoreStamp};
+use aiql_storage::{
+    DurableStore, DurableWrite, EventStore, PersistError, RecoveryReport, SharedStore, StoreConfig,
+    StoreStamp,
+};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::RwLockWriteGuard;
 
 /// Ingestor construction options.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +112,21 @@ impl FlushReport {
     }
 }
 
+/// Where flushed rows land: a plain in-memory store, or a durable store
+/// that write-ahead-logs every row before inserting it.
+#[derive(Debug)]
+enum Backend {
+    Plain(SharedStore),
+    Durable(DurableStore),
+}
+
+/// One flush's write path, matching the backend: a single store write
+/// guard either way, plus the WAL handle when durable.
+enum Session<'a> {
+    Plain(RwLockWriteGuard<'a, EventStore>),
+    Durable(DurableWrite<'a>),
+}
+
 /// Streaming front door of the event store.
 ///
 /// `submit` enqueues shipments cheaply (bounded by the high-water mark);
@@ -114,9 +134,16 @@ impl FlushReport {
 /// correcting timestamps per agent as it goes. Readers holding the
 /// [`SharedStore`] handle (from [`Ingestor::shared`]) observe flushes
 /// atomically.
+///
+/// A **durable** ingestor ([`Ingestor::durable`]) additionally write-ahead
+/// logs every corrected row before the in-memory insert and fsyncs the log
+/// before `flush` returns — an append is acknowledged only once it is on
+/// disk. Back-pressure is unchanged: the high-water mark still bounds the
+/// (in-memory, unacknowledged) queue. [`Ingestor::checkpoint`] snapshots
+/// the store and truncates the log.
 #[derive(Debug)]
 pub struct Ingestor {
-    shared: SharedStore,
+    backend: Backend,
     sync: Synchronizer,
     queue: VecDeque<EventBatch>,
     queued_rows: usize,
@@ -138,7 +165,7 @@ impl Ingestor {
     /// a batch load).
     pub fn over(shared: SharedStore, config: IngestConfig) -> Ingestor {
         Ingestor {
-            shared,
+            backend: Backend::Plain(shared),
             sync: Synchronizer::new(),
             queue: VecDeque::new(),
             queued_rows: 0,
@@ -148,10 +175,47 @@ impl Ingestor {
         }
     }
 
+    /// A durable ingestor over the store directory `dir`.
+    ///
+    /// A fresh directory is initialized (empty baseline snapshot + empty
+    /// log). An existing one is **recovered** first — newest snapshot plus
+    /// WAL-tail replay, tolerating a torn final record — and ingestion
+    /// resumes exactly where the acknowledged stream left off: same store
+    /// contents, same per-agent clock-offset estimates, watermark re-derived
+    /// from the recovered events. The recovery report is returned for
+    /// existing directories (`None` when freshly initialized).
+    pub fn durable(
+        config: IngestConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Ingestor, Option<RecoveryReport>), IngestError> {
+        let opened = DurableStore::open(dir, config.store)?;
+        let watermark = opened.store.shared().read().time_span().map(|(_, hi)| hi);
+        Ok((
+            Ingestor {
+                backend: Backend::Durable(opened.store),
+                sync: opened.sync,
+                queue: VecDeque::new(),
+                queued_rows: 0,
+                watermark,
+                config,
+                stats: IngestStats::default(),
+            },
+            opened.report,
+        ))
+    }
+
     /// A cloneable handle for concurrent readers (`aiql_engine::run_live`
     /// is the query side).
     pub fn shared(&self) -> SharedStore {
-        self.shared.clone()
+        match &self.backend {
+            Backend::Plain(s) => s.clone(),
+            Backend::Durable(d) => d.shared(),
+        }
+    }
+
+    /// Whether appends are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, Backend::Durable(_))
     }
 
     /// The construction options.
@@ -238,16 +302,85 @@ impl Ingestor {
     /// poison retries. The flush itself still drains the whole queue, the
     /// watermark only advances over rows that actually landed, and
     /// [`IngestStats`] stays consistent with the store's row counts.
+    ///
+    /// On a durable ingestor every row (and clock sample) is appended to
+    /// the write-ahead log before its in-memory insert, and the log is
+    /// fsynced before this returns — the returned report is the
+    /// acknowledgement. A log I/O failure aborts the flush with
+    /// [`IngestError::Durable`]: the unprocessed remainder of the queue
+    /// (including the row that failed to log) is put back for a retry
+    /// after the fault clears, and whatever was applied before the fault
+    /// is folded into [`IngestStats`], so the stats stay consistent with
+    /// the store's row counts even on the error path.
     pub fn flush(&mut self) -> Result<FlushReport, IngestError> {
+        /// Puts an unprocessed remainder back at the head of the queue
+        /// (the durability-failure path). A free function over the two
+        /// fields, because the write session borrows `self.backend` for
+        /// the whole drain.
+        fn requeue_front(
+            queue: &mut VecDeque<EventBatch>,
+            queued_rows: &mut usize,
+            remainder: EventBatch,
+        ) {
+            *queued_rows += remainder.weight();
+            queue.push_front(remainder);
+        }
+
         let mut report = FlushReport::default();
-        let mut store = self.shared.write();
-        while let Some(batch) = self.queue.pop_front() {
+        let mut failure: Option<PersistError> = None;
+        let mut session = match &mut self.backend {
+            Backend::Plain(shared) => Session::Plain(shared.write()),
+            Backend::Durable(d) => Session::Durable(d.begin()),
+        };
+        'drain: while let Some(batch) = self.queue.pop_front() {
             self.queued_rows -= batch.weight();
-            for (agent, sample) in &batch.clock_samples {
+            let EventBatch {
+                entities,
+                events,
+                clock_samples,
+            } = batch;
+            for (si, (agent, sample)) in clock_samples.iter().enumerate() {
+                if let Session::Durable(w) = &mut session {
+                    if let Err(e) =
+                        w.record_clock_sample(*agent, sample.agent_time, sample.server_time)
+                    {
+                        failure = Some(e);
+                        requeue_front(
+                            &mut self.queue,
+                            &mut self.queued_rows,
+                            EventBatch {
+                                entities,
+                                events,
+                                clock_samples: clock_samples[si..].to_vec(),
+                            },
+                        );
+                        break 'drain;
+                    }
+                }
                 self.sync.record(*agent, *sample);
             }
-            for entity in &batch.entities {
-                match store.append_entity(entity) {
+            for (ei, entity) in entities.iter().enumerate() {
+                let res = match &mut session {
+                    Session::Plain(store) => store.append_entity(entity),
+                    Session::Durable(w) => match w.append_entity(entity) {
+                        Ok(()) => Ok(()),
+                        Err(PersistError::Storage(e)) => Err(e),
+                        Err(e) => {
+                            failure = Some(e);
+                            requeue_front(
+                                &mut self.queue,
+                                &mut self.queued_rows,
+                                EventBatch {
+                                    entities: entities[ei..].to_vec(),
+                                    events,
+                                    clock_samples: Vec::new(),
+                                },
+                            );
+                            break 'drain;
+                        }
+                    },
+                };
+                match res {
                     Ok(()) => report.entities += 1,
                     Err(e) => {
                         report.failed_rows += 1;
@@ -255,12 +388,34 @@ impl Ingestor {
                     }
                 }
             }
-            // The batch is owned: correct timestamps in place, no per-row clone.
-            for mut corrected in batch.events {
-                let offset = self.sync.offset(corrected.agent);
+            // Events are plain-old-data (no heap fields), so the corrected
+            // copy per row is cheap.
+            for (vi, ev) in events.iter().enumerate() {
+                let offset = self.sync.offset(ev.agent);
+                let mut corrected = ev.clone();
                 corrected.start = corrected.start.saturating_add(offset);
                 corrected.end = corrected.end.saturating_add(offset);
-                match store.append_event(&corrected) {
+                let res = match &mut session {
+                    Session::Plain(store) => store.append_event(&corrected),
+                    Session::Durable(w) => match w.append_event(&corrected) {
+                        Ok(outcome) => Ok(outcome),
+                        Err(PersistError::Storage(e)) => Err(e),
+                        Err(e) => {
+                            failure = Some(e);
+                            requeue_front(
+                                &mut self.queue,
+                                &mut self.queued_rows,
+                                EventBatch {
+                                    entities: Vec::new(),
+                                    events: events[vi..].to_vec(),
+                                    clock_samples: Vec::new(),
+                                },
+                            );
+                            break 'drain;
+                        }
+                    },
+                };
+                match res {
                     Ok(outcome) => {
                         if self.watermark.is_some_and(|w| corrected.start < w) {
                             report.out_of_order_events += 1;
@@ -282,23 +437,64 @@ impl Ingestor {
             }
             report.batches += 1;
         }
-        report.stamp = store.stamp();
-        drop(store);
 
+        match session {
+            Session::Plain(store) => {
+                if failure.is_none() {
+                    report.stamp = store.stamp();
+                }
+            }
+            Session::Durable(w) => {
+                if failure.is_none() {
+                    // The acknowledgement point: fsync the log first.
+                    match w.commit() {
+                        Ok(stamp) => report.stamp = stamp,
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                // On failure the session drops uncommitted: nothing past
+                // the fault was acknowledged.
+            }
+        }
+
+        // Applied rows are in the store either way; keep the stats honest.
         self.stats.batches_applied += report.batches as u64;
         self.stats.events_applied += report.events as u64;
         self.stats.entities_applied += report.entities as u64;
         self.stats.out_of_order_events += report.out_of_order_events as u64;
         self.stats.rollovers += report.new_partitions.len() as u64;
         self.stats.failed_rows += report.failed_rows as u64;
-        Ok(report)
+        match failure {
+            Some(e) => Err(IngestError::Durable(e)),
+            None => Ok(report),
+        }
+    }
+
+    /// Flushes, then snapshots the store and truncates the write-ahead log
+    /// (carrying the current clock-offset estimates into the fresh log).
+    /// The snapshot boundary: recovery afterwards loads the snapshot and
+    /// replays only post-checkpoint records. Returns the snapshot path, or
+    /// `None` on a non-durable ingestor (which has nothing to checkpoint).
+    pub fn checkpoint(&mut self) -> Result<Option<PathBuf>, IngestError> {
+        self.flush()?;
+        match &mut self.backend {
+            Backend::Plain(_) => Ok(None),
+            Backend::Durable(d) => Ok(Some(d.checkpoint_with(&self.sync)?)),
+        }
     }
 
     /// Flushes whatever is queued and hands back the shared store handle
-    /// plus final statistics.
+    /// plus final statistics. On a durable ingestor the log is fsynced (by
+    /// the flush) but deliberately *not* checkpointed — reopening the
+    /// directory replays the tail; call [`Ingestor::checkpoint`] first for
+    /// a snapshot-only handoff.
     pub fn finish(mut self) -> Result<(SharedStore, IngestStats), IngestError> {
         self.flush()?;
-        Ok((self.shared, self.stats))
+        let shared = match self.backend {
+            Backend::Plain(s) => s,
+            Backend::Durable(d) => d.into_shared(),
+        };
+        Ok((shared, self.stats))
     }
 }
 
@@ -510,6 +706,53 @@ mod tests {
         assert_eq!(report.events, 2);
         assert_eq!(ing.watermark(), Some(Timestamp(5_000)));
         assert_eq!(ing.shared().read().event_count(), 2);
+    }
+
+    #[test]
+    fn durable_ingestor_survives_restart_mid_stream() {
+        let dir = std::env::temp_dir().join(format!("aiql-ingest-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = IngestConfig::live();
+
+        // First life: clock sample for agent 1, a checkpoint, then more
+        // events that stay in the WAL tail.
+        let (mut ing, report) = Ingestor::durable(cfg, &dir).unwrap();
+        assert!(report.is_none(), "fresh directory");
+        let mut b = EventBatch::new();
+        b.add_clock_sample(
+            AgentId(1),
+            ClockSample {
+                agent_time: 0,
+                server_time: 1_000,
+            },
+        );
+        b.add_entity(Entity::file(50.into(), AgentId(1), "/f"));
+        b.add_event(event(1, 1, 500)); // corrected to 1_500
+        ing.submit(b).unwrap();
+        ing.checkpoint().unwrap().expect("durable checkpoint");
+        ing.submit(batch_of(vec![event(2, 1, 2_000), event(3, 2, 100)]))
+            .unwrap();
+        ing.flush().unwrap();
+        let watermark_before = ing.watermark();
+        drop(ing); // crash: no final checkpoint
+
+        // Second life: recovery restores rows, sync state, and watermark.
+        let (mut ing, report) = Ingestor::durable(cfg, &dir).unwrap();
+        let report = report.expect("recovered");
+        assert_eq!(report.snapshot_events, 1);
+        assert_eq!(report.replayed_events, 2);
+        assert_eq!(ing.watermark(), watermark_before);
+        {
+            let shared = ing.shared();
+            let store = shared.read();
+            assert_eq!(store.event_count(), 3);
+            assert_eq!(store.entity_count(), 1);
+        }
+        // The pre-checkpoint clock sample still corrects agent 1's stamps.
+        ing.submit(batch_of(vec![event(4, 1, 9_000)])).unwrap();
+        ing.flush().unwrap();
+        assert_eq!(ing.watermark(), Some(Timestamp(10_000)), "offset +1000");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -74,6 +74,13 @@ impl Dict {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// All interned strings in code order (`strings()[i]` has code `i`) —
+    /// the snapshot form of a dictionary. Re-interning them in order into
+    /// an empty dictionary reproduces the exact code assignment.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
 }
 
 /// A cloneable, thread-safe dictionary handle — the "one shared dictionary
@@ -118,6 +125,16 @@ impl SharedDict {
     /// Whether nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A snapshot of every interned string in code order (cloned out of
+    /// the lock) — what the durable store persists.
+    pub fn strings(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .expect("dict lock poisoned")
+            .strings()
+            .to_vec()
     }
 }
 

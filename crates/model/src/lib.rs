@@ -29,6 +29,7 @@
 //! assert_eq!(evt.category(), aiql_model::EventCategory::File);
 //! ```
 
+pub mod codec;
 pub mod dataset;
 pub mod dict;
 pub mod entity;

@@ -378,6 +378,34 @@ impl Columnar {
         Ok(c)
     }
 
+    /// Rebuilds a projection from snapshotted block metadata: `perm` is the
+    /// projection order a previous instance reached (see
+    /// [`Columnar::perm`]). Rows are appended in exactly that order, so the
+    /// restored projection reproduces the original block boundaries and
+    /// zone maps without re-sorting — including the block *overlap* a
+    /// live-grown projection accumulates from out-of-order appends, which
+    /// a bulk [`Columnar::build`] would have merged away.
+    pub fn restore(
+        schema: &Schema,
+        spec: &ColumnarSpec,
+        dict: SharedDict,
+        rows: &[Row],
+        perm: &[u32],
+    ) -> Result<Columnar, RdbError> {
+        if perm.len() != rows.len() || perm.iter().any(|&p| p as usize >= rows.len()) {
+            return Err(RdbError::SchemaMismatch(format!(
+                "columnar permutation covers {} rows, table has {}",
+                perm.len(),
+                rows.len()
+            )));
+        }
+        let mut c = Columnar::build(schema, spec, dict, &[])?;
+        for &p in perm {
+            c.append(&rows[p as usize], p);
+        }
+        Ok(c)
+    }
+
     /// Whether `col` is materialized in this projection.
     pub fn is_projected(&self, col: usize) -> bool {
         self.slots.get(col).is_some_and(Option::is_some)
@@ -396,6 +424,19 @@ impl Columnar {
     /// Number of sealed (zone-mapped) blocks.
     pub fn sealed_blocks(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// The projection order: `perm()[i]` is the row-store position of the
+    /// row at projection position `i`. Together with the block size this is
+    /// the complete block metadata of the projection — persisting it lets
+    /// [`Columnar::restore`] rebuild identical blocks without re-sorting.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Rows per sealed block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
     }
 
     /// The shared dictionary this projection interns into.

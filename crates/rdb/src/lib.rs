@@ -47,6 +47,7 @@ pub mod partition;
 pub mod plan;
 pub mod schema;
 pub mod segment;
+pub mod snapshot;
 pub mod sql;
 pub mod table;
 
@@ -170,6 +171,16 @@ impl Database {
             TableSlot::Plain(t) => t.insert(row).map(|_| InsertReport::default()),
             TableSlot::Partitioned(t) => t.insert_reporting(row),
         }
+    }
+
+    /// Attaches a fully-built table under `name` — the deserialization path
+    /// of the durable store (see [`snapshot`]). Fails if the name is taken.
+    pub fn attach(&mut self, name: &str, slot: TableSlot) -> Result<(), RdbError> {
+        if self.tables.contains_key(name) {
+            return Err(RdbError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), slot);
+        Ok(())
     }
 
     /// The storage slot for `table`.

@@ -232,6 +232,30 @@ impl PartitionedTable {
         })
     }
 
+    /// Attaches a fully-built partition under `key` — the deserialization
+    /// path of the durable store. The table must match this table's schema
+    /// arity and must carry whatever indexes/projections the caller wants;
+    /// nothing is rebuilt here. Fails if the key is already materialized.
+    pub fn restore_partition(&mut self, key: PartKey, table: Table) -> Result<(), RdbError> {
+        if table.schema().arity() != self.schema.arity() {
+            return Err(RdbError::SchemaMismatch(format!(
+                "partition arity {} does not match table arity {}",
+                table.schema().arity(),
+                self.schema.arity()
+            )));
+        }
+        match self.partitions.entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => Err(RdbError::SchemaMismatch(
+                format!("partition {key:?} restored twice"),
+            )),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.len += table.len();
+                e.insert(table);
+                Ok(())
+            }
+        }
+    }
+
     /// Columns carrying secondary indexes (every current partition has them;
     /// every future partition is created with them).
     pub fn indexed_columns(&self) -> &[String] {

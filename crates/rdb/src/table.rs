@@ -134,6 +134,24 @@ impl Table {
         Ok(())
     }
 
+    /// Restores a columnar projection from snapshotted block metadata
+    /// (`perm`, see [`Columnar::perm`]) instead of re-sorting the rows —
+    /// the deserialization path of the durable store. Indexed columns join
+    /// the projection exactly as they do on [`Table::enable_columnar`].
+    pub fn restore_columnar(
+        &mut self,
+        spec: &ColumnarSpec,
+        dict: SharedDict,
+        perm: &[u32],
+    ) -> Result<(), RdbError> {
+        let mut c = Columnar::restore(&self.schema, spec, dict, &self.rows, perm)?;
+        for &col in self.indexes.keys() {
+            c.project_column(&self.schema, col, &self.rows);
+        }
+        self.columnar = Some(c);
+        Ok(())
+    }
+
     /// The columnar projection, if one is enabled.
     pub fn columnar(&self) -> Option<&Columnar> {
         self.columnar.as_ref()

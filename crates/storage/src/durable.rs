@@ -1,0 +1,411 @@
+//! The durable store: write-ahead logging in front of the in-memory store,
+//! snapshots at checkpoint boundaries.
+//!
+//! [`DurableStore`] wraps a [`SharedStore`] and an `aiql-wal` log under one
+//! protocol:
+//!
+//! - **append**: every entity/event is appended to the WAL *before* the
+//!   in-memory insert ([`DurableWrite`]); the write is acknowledged —
+//!   durable — once [`DurableWrite::commit`] (or [`DurableStore::sync`])
+//!   has fsynced the log.
+//! - **checkpoint**: [`DurableStore::checkpoint`] fsyncs the log, writes a
+//!   full snapshot tagged with the last logged sequence number, truncates
+//!   the log, re-seeds it with the current time-synchronizer state, and
+//!   prunes older snapshots. Because snapshots record the WAL sequence
+//!   they cover and replay skips records at or below it, a crash at *any*
+//!   point in that protocol recovers exactly the acknowledged stream —
+//!   never a duplicate, never a loss.
+//! - **recover**: [`DurableStore::open`] on an existing directory loads
+//!   the newest valid snapshot, replays the WAL tail (tolerating a torn
+//!   final record), and hands back the rebuilt synchronizer so ingestion
+//!   resumes with the same per-agent clock offsets.
+//!
+//! Readers are untouched: [`DurableStore::shared`] exposes the same
+//! [`SharedStore`] handle live queries already use.
+
+use crate::persist::{self, PersistError, RecoveryReport};
+use crate::timesync::Synchronizer;
+use crate::{AppendOutcome, EventStore, SharedStore, StoreConfig, StoreStamp};
+use aiql_model::{AgentId, Entity, Event};
+use aiql_wal::{Wal, WalOptions, WalRecord};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::RwLockWriteGuard;
+
+/// A [`DurableStore`] freshly opened, with whatever recovery produced.
+#[derive(Debug)]
+pub struct DurableOpen {
+    /// The store, ready for appends and checkpoints.
+    pub store: DurableStore,
+    /// Time-synchronization state replayed from the log (empty for a
+    /// brand-new store).
+    pub sync: Synchronizer,
+    /// Recovery details; `None` when the directory was freshly initialized.
+    pub report: Option<RecoveryReport>,
+}
+
+/// A write-ahead-logged event store (see the module docs for the protocol).
+#[derive(Debug)]
+pub struct DurableStore {
+    shared: SharedStore,
+    wal: Wal,
+    dir: PathBuf,
+}
+
+impl DurableStore {
+    /// Opens the store at `dir`, initializing a fresh one (empty baseline
+    /// snapshot + empty log) if the directory holds none. For an existing
+    /// store the persisted configuration wins over `config` — the snapshot
+    /// is self-describing.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<DurableOpen, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let (shared, sync, report) = if persist::snapshot_files(&dir)?.is_empty() {
+            let store = EventStore::empty(config)?;
+            persist::write_snapshot(&store, &dir, 0)?;
+            (SharedStore::new(store), Synchronizer::new(), None)
+        } else {
+            let rec = persist::recover(&dir)?;
+            (SharedStore::new(rec.store), rec.sync, Some(rec.report))
+        };
+        let mut wal = Wal::open(persist::wal_dir(&dir), WalOptions::default())?;
+        // The log alone cannot remember how far the sequence got when a
+        // checkpoint left it empty — continue past the snapshot's covered
+        // sequence, or recovery would skip freshly acknowledged records.
+        let covered = report.as_ref().map_or(0, |r| r.snapshot_wal_seq);
+        wal.reserve_seq(covered + 1);
+        Ok(DurableOpen {
+            store: DurableStore { shared, wal, dir },
+            sync,
+            report,
+        })
+    }
+
+    /// The live read handle (snapshot-consistent queries, as ever).
+    pub fn shared(&self) -> SharedStore {
+        self.shared.clone()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number of the last logged record.
+    pub fn last_wal_seq(&self) -> u64 {
+        self.wal.last_seq()
+    }
+
+    /// Current on-disk size of the write-ahead log.
+    pub fn wal_size_bytes(&self) -> Result<u64, PersistError> {
+        Ok(self.wal.size_bytes()?)
+    }
+
+    /// Starts a batched write session: one store write guard, WAL-append
+    /// before every insert, one fsync at [`DurableWrite::commit`].
+    pub fn begin(&mut self) -> DurableWrite<'_> {
+        DurableWrite {
+            store: self.shared.write(),
+            wal: &mut self.wal,
+        }
+    }
+
+    /// Appends one entity (WAL first). Durable after [`DurableStore::sync`].
+    pub fn append_entity(&mut self, e: &Entity) -> Result<(), PersistError> {
+        self.begin().append_entity(e)
+    }
+
+    /// Appends one event (WAL first). Durable after [`DurableStore::sync`].
+    pub fn append_event(&mut self, ev: &Event) -> Result<AppendOutcome, PersistError> {
+        self.begin().append_event(ev)
+    }
+
+    /// Fsyncs the log — the acknowledgement point for appends made outside
+    /// a [`DurableWrite`] session.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Checkpoints with no time-synchronization state to carry over.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, PersistError> {
+        self.checkpoint_with(&Synchronizer::new())
+    }
+
+    /// Writes a snapshot covering everything logged so far, truncates the
+    /// log, re-seeds it with `sync`'s per-agent estimates, and prunes
+    /// older snapshots. Returns the new snapshot's path.
+    ///
+    /// Ordering matters for crash safety: the log is *rotated* (old
+    /// segments kept) and the synchronizer seed is written and fsynced
+    /// into the fresh segment **before** the old segments are deleted. A
+    /// crash anywhere in between therefore still recovers the clock
+    /// estimates — from the seed if it landed, from the original
+    /// clock-sample records otherwise; replaying both is harmless because
+    /// the estimate is a mean and `(2·sum)/(2·count)` equals `sum/count`.
+    pub fn checkpoint_with(&mut self, sync: &Synchronizer) -> Result<PathBuf, PersistError> {
+        self.wal.sync()?;
+        let covered = self.wal.last_seq();
+        let path = {
+            let guard = self.shared.read();
+            persist::write_snapshot(&guard, &self.dir, covered)?
+        };
+        self.wal.rotate()?;
+        for (agent, sum_diff, count) in sync.state() {
+            self.wal.append(&WalRecord::SyncState {
+                agent,
+                sum_diff,
+                count,
+            })?;
+        }
+        self.wal.sync()?;
+        self.wal.prune_segments_before_current()?;
+        for (seq, old) in persist::snapshot_files(&self.dir)? {
+            if seq < covered {
+                fs::remove_file(old)?;
+            }
+        }
+        Ok(path)
+    }
+
+    /// Hands back the shared store handle, dropping the log writer (an
+    /// already-synced log replays identically on the next open).
+    pub fn into_shared(self) -> SharedStore {
+        self.shared
+    }
+}
+
+/// A batched durable write session: WAL-append before in-memory insert,
+/// under one store write guard, fsynced once at commit.
+#[derive(Debug)]
+pub struct DurableWrite<'a> {
+    store: RwLockWriteGuard<'a, EventStore>,
+    wal: &'a mut Wal,
+}
+
+impl DurableWrite<'_> {
+    /// Logs then inserts one entity. A [`PersistError::Storage`] error
+    /// means the WAL accepted the record but the store rejected the row
+    /// (the dead-letter case); any other error means the log write itself
+    /// failed and durability is not guaranteed.
+    pub fn append_entity(&mut self, e: &Entity) -> Result<(), PersistError> {
+        self.wal.append_entity(e)?;
+        self.store.append_entity(e).map_err(PersistError::Storage)
+    }
+
+    /// Logs then inserts one event (timestamps must already be corrected —
+    /// the log holds server time). Errors as [`DurableWrite::append_entity`].
+    pub fn append_event(&mut self, ev: &Event) -> Result<AppendOutcome, PersistError> {
+        self.wal.append_event(ev)?;
+        self.store.append_event(ev).map_err(PersistError::Storage)
+    }
+
+    /// Logs one raw clock sample (log-only; the caller folds it into its
+    /// synchronizer).
+    pub fn record_clock_sample(
+        &mut self,
+        agent: AgentId,
+        agent_time: i64,
+        server_time: i64,
+    ) -> Result<(), PersistError> {
+        self.wal.append(&WalRecord::ClockSample {
+            agent,
+            agent_time,
+            server_time,
+        })?;
+        Ok(())
+    }
+
+    /// The store stamp as of this session.
+    pub fn stamp(&self) -> StoreStamp {
+        self.store.stamp()
+    }
+
+    /// Fsyncs the log and releases the write guard — the acknowledgement
+    /// point. Returns the stamp the session reached.
+    pub fn commit(self) -> Result<StoreStamp, PersistError> {
+        self.wal.sync()?;
+        Ok(self.store.stamp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timesync::ClockSample;
+    use aiql_model::{EntityKind, OpType, Timestamp};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aiql-durable-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event(id: u64, agent: u32, t: i64) -> Event {
+        Event::new(
+            id.into(),
+            AgentId(agent),
+            1.into(),
+            OpType::Write,
+            2.into(),
+            EntityKind::File,
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn fresh_open_append_reopen() {
+        let dir = tmp("fresh");
+        let opened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        assert!(opened.report.is_none(), "fresh directory");
+        let mut d = opened.store;
+        let mut w = d.begin();
+        w.append_entity(&Entity::process(1.into(), AgentId(0), "bash", 7))
+            .unwrap();
+        w.append_event(&event(1, 0, 100)).unwrap();
+        w.append_event(&event(2, 0, 200)).unwrap();
+        let stamp = w.commit().unwrap();
+        assert_eq!((stamp.events, stamp.entities), (2, 1));
+        drop(d);
+
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        let report = reopened.report.expect("recovered");
+        assert_eq!(report.replayed_events, 2);
+        assert_eq!(report.replayed_entities, 1);
+        assert_eq!(report.torn_bytes, 0);
+        let shared = reopened.store.shared();
+        let store = shared.read();
+        assert_eq!(store.event_count(), 2);
+        assert_eq!(store.entity_count(), 1);
+        assert_eq!(store.stamp().epoch, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_prunes_snapshots() {
+        let dir = tmp("checkpoint");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        for i in 1..=10 {
+            d.append_event(&event(i, 0, i as i64 * 1_000)).unwrap();
+        }
+        d.sync().unwrap();
+        let before = d.wal_size_bytes().unwrap();
+        assert!(before > 0);
+
+        let mut sync = Synchronizer::new();
+        sync.record(
+            AgentId(3),
+            ClockSample {
+                agent_time: 0,
+                server_time: 500,
+            },
+        );
+        d.checkpoint_with(&sync).unwrap();
+        assert!(
+            d.wal_size_bytes().unwrap() < before,
+            "log truncated to the sync-state seed"
+        );
+        assert_eq!(persist::snapshot_files(&dir).unwrap().len(), 1);
+
+        // Post-checkpoint appends land after the snapshot.
+        d.append_event(&event(11, 0, 99_000)).unwrap();
+        d.sync().unwrap();
+        drop(d);
+
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        let report = reopened.report.expect("recovered");
+        assert_eq!(report.snapshot_events, 10);
+        assert_eq!(report.replayed_events, 1);
+        assert_eq!(reopened.store.shared().read().event_count(), 11);
+        // The checkpoint carried the synchronizer estimate across truncation.
+        assert_eq!(
+            reopened.sync.offset(AgentId(3)),
+            aiql_model::Duration(500),
+            "sync state survives checkpoint + reopen"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_survives_a_checkpoint_that_leaves_the_log_empty() {
+        // Regression: a checkpoint with no synchronizer state leaves the
+        // WAL with zero records, so a reopened Wal cannot infer the
+        // sequence from disk. Without explicit reservation the sequence
+        // restarted at 1 and recovery discarded freshly acknowledged
+        // records as "already covered by the snapshot".
+        let dir = tmp("seq-continuity");
+        // Life 1: ten events, then a checkpoint (empty sync → empty log).
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        for i in 1..=10 {
+            d.append_event(&event(i, 0, i as i64)).unwrap();
+        }
+        d.sync().unwrap();
+        d.checkpoint().unwrap();
+        drop(d);
+
+        // Life 2: three more acknowledged events, no checkpoint.
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        assert!(d.last_wal_seq() >= 10, "sequence continues past snapshot");
+        for i in 11..=13 {
+            d.append_event(&event(i, 0, i as i64)).unwrap();
+        }
+        d.sync().unwrap();
+        drop(d);
+
+        // Life 3: every acknowledged event is recovered.
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        assert_eq!(reopened.store.shared().read().event_count(), 13);
+        let report = reopened.report.unwrap();
+        assert_eq!(report.snapshot_events, 10);
+        assert_eq!(report.replayed_events, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_config_wins_on_reopen() {
+        let dir = tmp("config");
+        let d = DurableStore::open(&dir, StoreConfig::monolithic())
+            .unwrap()
+            .store;
+        drop(d);
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        let shared = reopened.shared();
+        let store = shared.read();
+        assert!(store.events_partitioned().is_none(), "snapshot config wins");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dead_lettered_row_is_skipped_identically_on_replay() {
+        let dir = tmp("dead-letter");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        let poison = Entity::process(1.into(), AgentId(0), "p", 1).with_attr("pid", "not-a-number");
+        let mut w = d.begin();
+        assert!(matches!(
+            w.append_entity(&poison),
+            Err(PersistError::Storage(_))
+        ));
+        w.append_event(&event(1, 0, 5)).unwrap();
+        w.commit().unwrap();
+        drop(d);
+
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        let report = reopened.report.expect("recovered");
+        assert_eq!(report.skipped_rows, 1, "poison row skipped on replay too");
+        assert_eq!(report.replayed_events, 1);
+        let shared = reopened.store.shared();
+        assert_eq!(shared.read().entity_count(), 0);
+        assert_eq!(shared.read().event_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,6 +1,6 @@
 //! Shared handles for stores that grow while being queried.
 //!
-//! Batch evaluation builds an [`EventStore`](crate::EventStore) once and
+//! Batch evaluation builds an [`EventStore`] once and
 //! borrows it immutably for the lifetime of the experiment. A live
 //! deployment interleaves appends (the ingestor) with reads (investigators
 //! running queries), so the store sits behind a [`SharedStore`] —

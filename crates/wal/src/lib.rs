@@ -1,0 +1,519 @@
+//! Append-only, CRC-checksummed, segmented write-ahead log.
+//!
+//! The durable store logs every accepted append here *before* applying it
+//! in memory, so a crash loses at most the un-synced tail of the log. The
+//! format is deliberately simple and self-describing:
+//!
+//! - the log is a directory of fixed-prefix segment files
+//!   (`seg-00000001.wal`, `seg-00000002.wal`, …), rolled over when the
+//!   active segment exceeds [`WalOptions::segment_bytes`];
+//! - each record is framed as `[u32 payload length][u32 CRC-32 of the
+//!   payload][payload]`, where the payload is a `u64` monotone sequence
+//!   number followed by a tagged [`WalRecord`] body (length-prefixed
+//!   binary encoding, see [`aiql_model::codec`]);
+//! - recovery ([`replay`]) reads segments in order and stops at the first
+//!   frame that fails validation — a torn final record (partial header,
+//!   short payload, CRC mismatch, or a non-monotone sequence number) is
+//!   *tolerated*: everything before it is returned, the damage is
+//!   reported in [`Replay::torn_bytes`], and reopening the log for writing
+//!   truncates the torn bytes away so the next append lands on a clean
+//!   boundary.
+//!
+//! Sequence numbers never reset, even across [`Wal::truncate`] (the
+//! snapshot-boundary operation that deletes all segments): a snapshot
+//! records the sequence number it covers, and replay skips records at or
+//! below it, so a crash *between* writing a snapshot and truncating the
+//! log cannot double-apply records.
+
+mod crc;
+mod record;
+
+pub use crc::crc32;
+pub use record::WalRecord;
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard cap on one record's payload, guarding recovery against a corrupt
+/// length field.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Bytes of framing per record (length + CRC).
+const FRAME_HEADER: usize = 8;
+
+const SEGMENT_PREFIX: &str = "seg-";
+const SEGMENT_SUFFIX: &str = ".wal";
+
+/// Write-ahead log tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Roll to a new segment file once the active one exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// The outcome of scanning a log directory.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// All valid records in append order, with their sequence numbers.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Bytes discarded after the last valid record (0 on a clean log).
+    pub torn_bytes: u64,
+    /// Segment files scanned.
+    pub segments: usize,
+}
+
+impl Replay {
+    /// Whether the log ended mid-record (the crash case recovery tolerates).
+    pub fn is_torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+
+    /// The highest sequence number seen (0 when the log is empty).
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map(|(s, _)| *s).unwrap_or(0)
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{index:08}{SEGMENT_SUFFIX}"))
+}
+
+/// Sorted `(index, path)` list of the segment files in `dir`.
+fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(idx) = name
+            .strip_prefix(SEGMENT_PREFIX)
+            .and_then(|s| s.strip_suffix(SEGMENT_SUFFIX))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((idx, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans one segment's bytes. Returns the records found, the byte offset
+/// just past the last valid record, and whether scanning stopped early
+/// (torn/corrupt tail). `prev_seq` enforces cross-segment monotonicity.
+fn scan_segment(bytes: &[u8], prev_seq: &mut u64) -> (Vec<(u64, WalRecord)>, usize, bool) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at + FRAME_HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD || at + FRAME_HEADER + len as usize > bytes.len() {
+            return (records, at, true);
+        }
+        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len as usize];
+        if crc32(payload) != crc {
+            return (records, at, true);
+        }
+        let mut cursor = payload;
+        let seq = match aiql_model::codec::read_u64(&mut cursor) {
+            Ok(s) => s,
+            Err(_) => return (records, at, true),
+        };
+        if seq <= *prev_seq {
+            return (records, at, true);
+        }
+        let rec = match WalRecord::decode(&mut cursor) {
+            Ok(r) => r,
+            Err(_) => return (records, at, true),
+        };
+        *prev_seq = seq;
+        records.push((seq, rec));
+        at += FRAME_HEADER + len as usize;
+    }
+    let torn = at < bytes.len();
+    (records, at, torn)
+}
+
+/// Reads every valid record from the log directory, in order.
+///
+/// A missing directory is an empty log. Validation stops at the first bad
+/// frame; everything after it (including later segments) counts toward
+/// [`Replay::torn_bytes`].
+pub fn replay(dir: impl AsRef<Path>) -> io::Result<Replay> {
+    let dir = dir.as_ref();
+    let segments = segment_files(dir)?;
+    let mut out = Replay {
+        segments: segments.len(),
+        ..Replay::default()
+    };
+    let mut prev_seq = 0u64;
+    let mut stopped = false;
+    for (_, path) in &segments {
+        let bytes = fs::read(path)?;
+        if stopped {
+            // Everything after a torn segment is unreachable.
+            out.torn_bytes += bytes.len() as u64;
+            continue;
+        }
+        let (records, valid_end, torn) = scan_segment(&bytes, &mut prev_seq);
+        out.records.extend(records);
+        if torn {
+            out.torn_bytes += (bytes.len() - valid_end) as u64;
+            stopped = true;
+        }
+    }
+    Ok(out)
+}
+
+/// The append handle of a write-ahead log directory.
+///
+/// Opening positions the writer after the last *valid* record (truncating
+/// any torn tail), appends frame records into the active segment, and
+/// [`Wal::sync`] is the durability point: a record is acknowledged only
+/// once the segment has been fsynced past it.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    file: File,
+    segment_index: u64,
+    segment_len: u64,
+    next_seq: u64,
+    /// Reusable frame assembly buffer.
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `dir` for appending.
+    pub fn open(dir: impl AsRef<Path>, options: WalOptions) -> io::Result<Wal> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let segments = segment_files(&dir)?;
+
+        // Find the end of the valid prefix: scan segments in order, stop at
+        // the first torn one, truncate it, and drop anything after it.
+        let mut prev_seq = 0u64;
+        let mut open_at: Option<(u64, u64)> = None; // (index, valid length)
+        let mut torn_from: Option<usize> = None;
+        for (i, (idx, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path)?;
+            let (_, valid_end, torn) = scan_segment(&bytes, &mut prev_seq);
+            open_at = Some((*idx, valid_end as u64));
+            if torn {
+                if valid_end < bytes.len() {
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(valid_end as u64)?;
+                    f.sync_data()?;
+                }
+                torn_from = Some(i + 1);
+                break;
+            }
+        }
+        if let Some(from) = torn_from {
+            for (_, path) in &segments[from..] {
+                fs::remove_file(path)?;
+            }
+        }
+
+        let (segment_index, segment_len) = open_at.unwrap_or((1, 0));
+        let path = segment_path(&dir, segment_index);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            dir,
+            options,
+            file,
+            segment_index,
+            segment_len,
+            next_seq: prev_seq + 1,
+            buf: Vec::with_capacity(256),
+        })
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sequence number of the last appended record (0 if none ever).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Ensures the next append's sequence number is at least `min_next`.
+    ///
+    /// [`Wal::open`] infers the sequence from the records on disk, which
+    /// is wrong after a checkpoint that left the log *empty*: nothing on
+    /// disk remembers how far the stream got, the sequence would restart
+    /// at 1, and recovery would then skip the "new" records as already
+    /// covered by the snapshot. The durable store therefore reserves
+    /// `snapshot's covered seq + 1` right after opening.
+    pub fn reserve_seq(&mut self, min_next: u64) {
+        self.next_seq = self.next_seq.max(min_next);
+    }
+
+    /// Appends one record, returning its sequence number. The record is
+    /// durable only after the next [`Wal::sync`].
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<u64> {
+        self.append_with(|buf| rec.encode(buf))
+    }
+
+    /// Appends one event record straight from a reference — the hot
+    /// ingestion path, skipping the owned [`WalRecord`] intermediary.
+    pub fn append_event(&mut self, ev: &aiql_model::Event) -> io::Result<u64> {
+        self.append_with(|buf| WalRecord::encode_event_body(buf, ev))
+    }
+
+    /// Appends one entity record straight from a reference.
+    pub fn append_entity(&mut self, e: &aiql_model::Entity) -> io::Result<u64> {
+        self.append_with(|buf| WalRecord::encode_entity_body(buf, e))
+    }
+
+    fn append_with(
+        &mut self,
+        encode: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+    ) -> io::Result<u64> {
+        if self.segment_len >= self.options.segment_bytes && self.segment_len > 0 {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        self.buf.clear();
+        self.buf.extend_from_slice(&[0u8; FRAME_HEADER]); // patched below
+        aiql_model::codec::write_u64(&mut self.buf, seq)?;
+        encode(&mut self.buf)?;
+        let payload_len = (self.buf.len() - FRAME_HEADER) as u32;
+        let crc = crc32(&self.buf[FRAME_HEADER..]);
+        self.buf[..4].copy_from_slice(&payload_len.to_le_bytes());
+        self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&self.buf)?;
+        self.segment_len += self.buf.len() as u64;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Makes every appended record durable (fsync of the active segment).
+    /// Rolled-over segments are synced at roll time.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Syncs the active segment and starts a new one, keeping the old
+    /// segments on disk. Half of the snapshot-boundary protocol: rotate,
+    /// write whatever must seed the fresh segment, sync, and only then
+    /// [`Wal::prune_segments_before_current`] — so a crash at any point
+    /// leaves either the old records or their durable replacement.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.segment_index += 1;
+        let path = segment_path(&self.dir, self.segment_index);
+        self.file = OpenOptions::new().create(true).append(true).open(path)?;
+        self.segment_len = 0;
+        Ok(())
+    }
+
+    /// Deletes every segment older than the active one (the second half of
+    /// the snapshot-boundary protocol; see [`Wal::rotate`]).
+    pub fn prune_segments_before_current(&mut self) -> io::Result<()> {
+        for (idx, path) in segment_files(&self.dir)? {
+            if idx < self.segment_index {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes every old segment and starts a fresh one — `rotate` +
+    /// `prune_segments_before_current` in one step, for callers with
+    /// nothing to seed into the new segment first. Sequence numbers
+    /// continue monotonically, so records appended after the truncation
+    /// sort after every snapshot taken before it.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.rotate()?;
+        self.prune_segments_before_current()
+    }
+
+    /// Total bytes currently on disk across segments.
+    pub fn size_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for (_, path) in segment_files(&self.dir)? {
+            total += fs::metadata(path)?.len();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{AgentId, Entity, EntityKind, Event, OpType, Timestamp};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aiql-wal-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event(id: u64, t: i64) -> WalRecord {
+        WalRecord::Event(Event::new(
+            id.into(),
+            AgentId(1),
+            2.into(),
+            OpType::Write,
+            3.into(),
+            EntityKind::File,
+            Timestamp(t),
+        ))
+    }
+
+    #[test]
+    fn append_sync_replay_round_trip() {
+        let dir = tmp("round-trip");
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        let recs = vec![
+            event(1, 100),
+            WalRecord::Entity(Entity::file(9.into(), AgentId(1), "/x")),
+            WalRecord::ClockSample {
+                agent: AgentId(1),
+                agent_time: 0,
+                server_time: 50,
+            },
+            event(2, 200),
+        ];
+        for r in &recs {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let replay = replay(&dir).unwrap();
+        assert!(!replay.is_torn());
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(
+            replay.records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        let got: Vec<&WalRecord> = replay.records.iter().map(|(_, r)| r).collect();
+        assert_eq!(got, recs.iter().collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_an_empty_log() {
+        let replay = replay(tmp("missing")).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.segments, 0);
+    }
+
+    #[test]
+    fn segment_rollover_preserves_order() {
+        let dir = tmp("rollover");
+        let mut wal = Wal::open(&dir, WalOptions { segment_bytes: 128 }).unwrap();
+        for i in 1..=20 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let replay = replay(&dir).unwrap();
+        assert!(replay.segments > 1, "small segments must roll over");
+        assert_eq!(replay.records.len(), 20);
+        assert_eq!(replay.last_seq(), 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated_on_reopen() {
+        let dir = tmp("torn");
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 1..=5 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Tear the final record: chop a few bytes off the segment.
+        let seg = segment_files(&dir).unwrap().pop().unwrap().1;
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let r = replay(&dir).unwrap();
+        assert!(r.is_torn());
+        assert_eq!(r.records.len(), 4, "only the torn final record is lost");
+
+        // Reopening truncates the tear; the next append continues cleanly.
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(wal.next_seq(), 5, "seq resumes after the last valid record");
+        wal.append(&event(99, 99)).unwrap();
+        wal.sync().unwrap();
+        let r = replay(&dir).unwrap();
+        assert!(!r.is_torn());
+        assert_eq!(r.records.len(), 5);
+        assert_eq!(r.last_seq(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let dir = tmp("crc");
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 1..=3 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Flip one byte in the middle of the last record's payload.
+        let seg = segment_files(&dir).unwrap().pop().unwrap().1;
+        let mut bytes = fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+
+        let r = replay(&dir).unwrap();
+        assert!(r.is_torn());
+        assert_eq!(r.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_keeps_sequence_monotone() {
+        let dir = tmp("truncate");
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 1..=3 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(replay(&dir).unwrap().records.len(), 0);
+        let seq = wal.append(&event(4, 4)).unwrap();
+        assert_eq!(seq, 4, "sequence numbers survive truncation");
+        wal.sync().unwrap();
+        drop(wal);
+        let r = replay(&dir).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.last_seq(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Log record types and their length-prefixed binary encoding.
+
+use aiql_model::codec;
+use aiql_model::{AgentId, Entity, Event};
+use std::io::{self, Read, Write};
+
+/// One logical append to the durable store.
+///
+/// Events and entities are logged *after* server-side timestamp correction
+/// (the log is the source of truth for what the store accepted, not for
+/// raw agent clocks). Clock samples and synchronizer state are logged so a
+/// recovered ingestion pipeline resumes with the same per-agent offset
+/// estimates it crashed with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A system event, timestamps already corrected.
+    Event(Event),
+    /// A system entity.
+    Entity(Entity),
+    /// One raw clock sample reported by an agent.
+    ClockSample {
+        agent: AgentId,
+        agent_time: i64,
+        server_time: i64,
+    },
+    /// A folded per-agent offset estimate (`sum of server-agent diffs`,
+    /// sample count) — written at checkpoint so truncating the log does not
+    /// forget pre-checkpoint clock samples.
+    SyncState {
+        agent: AgentId,
+        sum_diff: i64,
+        count: i64,
+    },
+}
+
+const TAG_EVENT: u8 = 1;
+const TAG_ENTITY: u8 = 2;
+const TAG_CLOCK: u8 = 3;
+const TAG_SYNC: u8 = 4;
+
+impl WalRecord {
+    /// Encodes an event record body from a reference — the hot append path
+    /// of [`crate::Wal::append_event`], which skips building an owned
+    /// `WalRecord` just to serialize it.
+    pub(crate) fn encode_event_body<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
+        codec::write_u8(w, TAG_EVENT)?;
+        codec::write_event(w, ev)
+    }
+
+    /// Encodes an entity record body from a reference (see
+    /// [`WalRecord::encode_event_body`]).
+    pub(crate) fn encode_entity_body<W: Write>(w: &mut W, e: &Entity) -> io::Result<()> {
+        codec::write_u8(w, TAG_ENTITY)?;
+        codec::write_entity(w, e)
+    }
+    /// Encodes the record body (tag + payload) into `w`.
+    pub fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            WalRecord::Event(ev) => {
+                codec::write_u8(w, TAG_EVENT)?;
+                codec::write_event(w, ev)
+            }
+            WalRecord::Entity(e) => {
+                codec::write_u8(w, TAG_ENTITY)?;
+                codec::write_entity(w, e)
+            }
+            WalRecord::ClockSample {
+                agent,
+                agent_time,
+                server_time,
+            } => {
+                codec::write_u8(w, TAG_CLOCK)?;
+                codec::write_u32(w, agent.0)?;
+                codec::write_i64(w, *agent_time)?;
+                codec::write_i64(w, *server_time)
+            }
+            WalRecord::SyncState {
+                agent,
+                sum_diff,
+                count,
+            } => {
+                codec::write_u8(w, TAG_SYNC)?;
+                codec::write_u32(w, agent.0)?;
+                codec::write_i64(w, *sum_diff)?;
+                codec::write_i64(w, *count)
+            }
+        }
+    }
+
+    /// Decodes a record body (tag + payload).
+    pub fn decode<R: Read>(r: &mut R) -> io::Result<WalRecord> {
+        Ok(match codec::read_u8(r)? {
+            TAG_EVENT => WalRecord::Event(codec::read_event(r)?),
+            TAG_ENTITY => WalRecord::Entity(codec::read_entity(r)?),
+            TAG_CLOCK => WalRecord::ClockSample {
+                agent: AgentId(codec::read_u32(r)?),
+                agent_time: codec::read_i64(r)?,
+                server_time: codec::read_i64(r)?,
+            },
+            TAG_SYNC => WalRecord::SyncState {
+                agent: AgentId(codec::read_u32(r)?),
+                sum_diff: codec::read_i64(r)?,
+                count: codec::read_i64(r)?,
+            },
+            tag => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown WAL record tag {tag}"),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{EntityKind, OpType, Timestamp};
+    use std::io::Cursor;
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            WalRecord::Event(Event::new(
+                1.into(),
+                AgentId(4),
+                2.into(),
+                OpType::Write,
+                3.into(),
+                EntityKind::File,
+                Timestamp(1_000),
+            )),
+            WalRecord::Entity(Entity::process(9.into(), AgentId(4), "bash", 42)),
+            WalRecord::ClockSample {
+                agent: AgentId(7),
+                agent_time: -5,
+                server_time: 1_000,
+            },
+            WalRecord::SyncState {
+                agent: AgentId(7),
+                sum_diff: 3_000,
+                count: 3,
+            },
+        ];
+        for rec in records {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf).unwrap();
+            assert_eq!(WalRecord::decode(&mut Cursor::new(&buf)).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_invalid_data() {
+        let err = WalRecord::decode(&mut Cursor::new(&[0u8])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,12 +1,18 @@
-//! Live monitoring walkthrough: agents stream audit events into the store
-//! *while* an investigator runs the paper's APT queries against it.
+//! Live monitoring walkthrough: agents stream audit events into a
+//! **durable** store *while* an investigator runs the paper's APT queries
+//! against it — and the whole investigation survives a restart.
 //!
 //! The enterprise of `apt_investigation.rs` is replayed as a shipment
 //! stream — out-of-order arrivals, per-agent clock skew, day-boundary
-//! rollover — through `aiql-ingest`. Between flushes the investigator polls
-//! the paper's Query 7 (the complete exfiltration chain); the chain
-//! assembles only once the day-2 attack events have streamed in, and every
-//! read observes one consistent snapshot of the growing store.
+//! rollover — through `aiql-ingest` in durable mode: every acknowledged
+//! row is write-ahead logged before it is applied, and a mid-stream
+//! checkpoint snapshots the store and truncates the log. Between flushes
+//! the investigator polls the paper's Query 7 (the complete exfiltration
+//! chain); the chain assembles only once the day-2 attack events have
+//! streamed in, and every read observes one consistent snapshot of the
+//! growing store. At the end the process "restarts": the ingestor is
+//! dropped without a final checkpoint and the store is reopened from disk
+//! (snapshot + WAL tail), where the chain is still exactly where it was.
 //!
 //! ```text
 //! cargo run --release --example live_monitoring
@@ -14,7 +20,7 @@
 
 use aiql::datagen::stream::{stream, StreamConfig};
 use aiql::datagen::EnterpriseSim;
-use aiql::engine::{run_live, EngineConfig};
+use aiql::engine::{open_store, run_live, Engine, EngineConfig};
 use aiql::ingest::{EventBatch, IngestConfig, Ingestor};
 use aiql::storage::timesync::ClockSample;
 
@@ -55,7 +61,11 @@ fn main() {
         batches.len()
     );
 
-    let mut ingestor = Ingestor::new(IngestConfig::live()).expect("empty live store");
+    // The durable scratch store (gitignored); wiped for a fresh run.
+    let store_dir = std::path::Path::new("live_monitoring.store");
+    let _ = std::fs::remove_dir_all(store_dir);
+    let (mut ingestor, _) =
+        Ingestor::durable(IngestConfig::live(), store_dir).expect("durable live store");
     let shared = ingestor.shared();
 
     let total = batches.len();
@@ -102,6 +112,17 @@ fn main() {
                 println!("  --> chain visible before the stream even ends");
             }
         }
+        // Mid-stream checkpoint: snapshot the store, truncate the WAL.
+        if i + 1 == total / 2 {
+            let path = ingestor
+                .checkpoint()
+                .expect("checkpoint")
+                .expect("durable ingestor");
+            println!(
+                "  [checkpoint: snapshot {} written, WAL truncated]",
+                path.file_name().unwrap().to_string_lossy()
+            );
+        }
     }
 
     let stats = ingestor.stats();
@@ -119,9 +140,44 @@ fn main() {
     println!("\n== paper Query 7 against the live store ==");
     print!("{}", final_result.outcome.result);
     assert_eq!(final_result.outcome.result.rows.len(), 1);
+    let live_events = shared.read().event_count();
+
+    // "Restart": drop the pipeline without a final checkpoint — the tail
+    // since the mid-stream checkpoint lives only in the write-ahead log —
+    // and reopen the store from disk.
+    drop(ingestor);
+    drop(shared);
+    println!(
+        "\n== restart: reopening {} from snapshot + WAL tail ==",
+        store_dir.display()
+    );
+    let reopened = open_store(store_dir).expect("recovery");
+    assert_eq!(
+        reopened.event_count(),
+        live_events,
+        "every acknowledged event recovered"
+    );
+    let after = Engine::new(&reopened)
+        .run(QUERY7)
+        .expect("query after restart");
+    assert_eq!(
+        after.rows.len(),
+        1,
+        "the exfiltration chain survives restart"
+    );
+    println!(
+        "recovered {} events; Query 7 still finds the chain: {}",
+        reopened.event_count(),
+        after.rows[0]
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
     println!(
         "\nverdict: cmd.exe ran osql.exe; sqlservr.exe dumped BACKUP1.DMP; \
          sbblv.exe read the dump and exfiltrated it to 192.168.66.129 — \
-         reconstructed without ever taking the store offline."
+         reconstructed without ever taking the store offline, and again \
+         after a restart from disk."
     );
 }

@@ -2,7 +2,7 @@
 //!
 //! This workspace builds with no crates.io access, so the property tests run
 //! on this self-contained mini-implementation. It keeps proptest's shape —
-//! [`Strategy`] values composed with `prop_map`/`prop_filter`, the
+//! [`strategy::Strategy`] values composed with `prop_map`/`prop_filter`, the
 //! [`proptest!`] macro, regex-like string strategies, collection/sample/
 //! option combinators — but simplifies the runner:
 //!

@@ -13,7 +13,9 @@
 //!   scheduling, parallel partitions, anomaly windows (paper Sec. 5).
 //! - [`ingest`] — live streaming ingestion: bounded append queue with
 //!   back-pressure, on-the-fly time synchronization, partition rollover,
-//!   incremental index maintenance.
+//!   incremental index maintenance, optional write-ahead durability.
+//! - [`wal`] — the append-only, CRC-checksummed, segmented write-ahead
+//!   log beneath the durable store.
 //! - [`rdb`] / [`graphdb`] — the relational and property-graph substrates
 //!   standing in for PostgreSQL/Greenplum and Neo4j.
 //! - [`baselines`] — the comparison systems of the paper's evaluation.
@@ -22,7 +24,7 @@
 //! - [`datagen`] — the deterministic enterprise workload simulator and
 //!   attack-scenario catalog used in place of the paper's 150-host
 //!   deployment.
-//! - [`bench`] — the experiment harness reproducing every evaluation table
+//! - [`bench`](mod@bench) — the experiment harness reproducing every evaluation table
 //!   and figure.
 //!
 //! # Examples
@@ -60,6 +62,7 @@ pub use aiql_model as model;
 pub use aiql_rdb as rdb;
 pub use aiql_storage as storage;
 pub use aiql_translate as translate;
+pub use aiql_wal as wal;
 
 /// Commonly used types, for glob import in examples and tests.
 pub mod prelude {
@@ -69,5 +72,5 @@ pub mod prelude {
     pub use aiql_model::{
         AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp, Value,
     };
-    pub use aiql_storage::{EventStore, SharedStore, StoreConfig};
+    pub use aiql_storage::{DurableStore, EventStore, SharedStore, StoreConfig};
 }
