@@ -48,20 +48,10 @@ fn bench(c: &mut Criterion) {
 
     // A torn final record (crash mid-write) must not block recovery: chop
     // bytes off the last WAL segment and reopen.
-    let wal_dir = replay_dir.join("wal");
-    let mut segs: Vec<_> = std::fs::read_dir(&wal_dir)
-        .expect("wal dir")
-        .map(|e| e.expect("entry").path())
-        .collect();
-    segs.sort();
-    let last = segs.pop().expect("at least one segment");
-    let len = std::fs::metadata(&last).expect("meta").len();
-    std::fs::OpenOptions::new()
-        .write(true)
-        .open(&last)
-        .expect("open segment")
-        .set_len(len - 5)
-        .expect("tear the tail");
+    assert!(
+        aiql_wal::testing::tear_last_segment(replay_dir.join("wal"), 5).expect("tear the tail"),
+        "tail segment holds records to tear"
+    );
     let torn = EventStore::open(&replay_dir).expect("torn-tail recovery");
     assert_eq!(
         torn.event_count(),

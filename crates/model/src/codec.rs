@@ -74,9 +74,14 @@ pub fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
     Ok(i64::from_le_bytes(b))
 }
 
-/// Writes a string as `u32` length + UTF-8 bytes.
+/// Writes a string as `u32` length + UTF-8 bytes. Enforces the same
+/// [`MAX_LEN`] cap as [`read_str`] — a record the reader would reject must
+/// never be written (and acknowledged) in the first place.
 pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
-    let len = u32::try_from(s.len()).map_err(|_| bad("string too long"))?;
+    let len = u32::try_from(s.len())
+        .ok()
+        .filter(|len| *len <= MAX_LEN)
+        .ok_or_else(|| bad(format!("string length {} exceeds cap", s.len())))?;
     write_u32(w, len)?;
     w.write_all(s.as_bytes())
 }
@@ -214,7 +219,10 @@ pub fn write_entity<W: Write>(w: &mut W, e: &Entity) -> io::Result<()> {
     write_u64(w, e.id.0)?;
     write_u32(w, e.agent.0)?;
     write_u8(w, kind_code(e.kind))?;
-    let n = u32::try_from(e.attrs.len()).map_err(|_| bad("too many attributes"))?;
+    let n = u32::try_from(e.attrs.len())
+        .ok()
+        .filter(|n| *n <= MAX_LEN)
+        .ok_or_else(|| bad("too many attributes"))?;
     write_u32(w, n)?;
     for (name, value) in &e.attrs {
         write_str(w, name)?;

@@ -8,13 +8,15 @@
 //!   in-memory insert ([`DurableWrite`]); the write is acknowledged —
 //!   durable — once [`DurableWrite::commit`] (or [`DurableStore::sync`])
 //!   has fsynced the log.
-//! - **checkpoint**: [`DurableStore::checkpoint`] fsyncs the log, writes a
-//!   full snapshot tagged with the last logged sequence number, truncates
-//!   the log, re-seeds it with the current time-synchronizer state, and
-//!   prunes older snapshots. Because snapshots record the WAL sequence
-//!   they cover and replay skips records at or below it, a crash at *any*
-//!   point in that protocol recovers exactly the acknowledged stream —
-//!   never a duplicate, never a loss.
+//! - **checkpoint**: [`DurableStore::checkpoint_with`] fsyncs the log,
+//!   writes a full snapshot tagged with the last logged sequence number
+//!   (durable to the directory entry before anything old is pruned),
+//!   truncates the log, re-seeds it with the current time-synchronizer
+//!   state, and prunes older snapshots. Because snapshots record the WAL
+//!   sequence they cover and replay skips event/entity records at or below
+//!   it (clock records are always re-folded), a crash at *any* point in
+//!   that protocol recovers exactly the acknowledged stream — never a
+//!   duplicate, never a loss.
 //! - **recover**: [`DurableStore::open`] on an existing directory loads
 //!   the newest valid snapshot, replays the WAL tail (tolerating a torn
 //!   final record), and hands back the rebuilt synchronizer so ingestion
@@ -27,10 +29,27 @@ use crate::persist::{self, PersistError, RecoveryReport};
 use crate::timesync::Synchronizer;
 use crate::{AppendOutcome, EventStore, SharedStore, StoreConfig, StoreStamp};
 use aiql_model::{AgentId, Entity, Event};
+use aiql_rdb::RdbError;
 use aiql_wal::{Wal, WalOptions, WalRecord};
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::RwLockWriteGuard;
+
+/// Classifies a WAL append failure. Oversized payloads and fields over the
+/// codec caps are rejected *before any byte reaches the log*, so they
+/// condemn the record, not the log — mapped into the same dead-letter
+/// channel as a store-rejected row (retrying them can never succeed, and
+/// requeueing would wedge ingestion on the poison record forever). Real
+/// log I/O failures stay fatal durability errors.
+fn classify_wal_append(e: io::Error) -> PersistError {
+    match e.kind() {
+        io::ErrorKind::InvalidInput | io::ErrorKind::InvalidData => PersistError::Storage(
+            RdbError::SchemaMismatch(format!("record rejected by wal codec: {e}")),
+        ),
+        _ => PersistError::Io(e),
+    }
+}
 
 /// A [`DurableStore`] freshly opened, with whatever recovery produced.
 #[derive(Debug)]
@@ -60,6 +79,14 @@ impl DurableStore {
     pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<DurableOpen, PersistError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        // Take the single-writer lock (inside Wal::open) *before* touching
+        // any store file: two concurrent openers racing through the
+        // baseline-snapshot write would interleave into the shared
+        // .snapshot.tmp and rename a corrupt snapshot-0 into place. The
+        // loser now fails here, having written nothing. (Opening the log
+        // first also truncates any torn tail, which recovery tolerates
+        // either way.)
+        let mut wal = Wal::open(persist::wal_dir(&dir), WalOptions::default())?;
         let (shared, sync, report) = if persist::snapshot_files(&dir)?.is_empty() {
             let store = EventStore::empty(config)?;
             persist::write_snapshot(&store, &dir, 0)?;
@@ -68,7 +95,6 @@ impl DurableStore {
             let rec = persist::recover(&dir)?;
             (SharedStore::new(rec.store), rec.sync, Some(rec.report))
         };
-        let mut wal = Wal::open(persist::wal_dir(&dir), WalOptions::default())?;
         // The log alone cannot remember how far the sequence got when a
         // checkpoint left it empty — continue past the snapshot's covered
         // sequence, or recovery would skip freshly acknowledged records.
@@ -126,8 +152,13 @@ impl DurableStore {
         Ok(self.wal.sync()?)
     }
 
-    /// Checkpoints with no time-synchronization state to carry over.
-    pub fn checkpoint(&mut self) -> Result<PathBuf, PersistError> {
+    /// Checkpoints while **discarding** any time-synchronization state the
+    /// caller tracks outside this store: the snapshot carries none and the
+    /// truncated log is re-seeded with nothing, so per-agent clock-offset
+    /// estimates are gone after the next recovery. Callers that ingest
+    /// clock samples want [`DurableStore::checkpoint_with`]; the name makes
+    /// dropping the estimates an explicit choice.
+    pub fn checkpoint_discarding_sync(&mut self) -> Result<PathBuf, PersistError> {
         self.checkpoint_with(&Synchronizer::new())
     }
 
@@ -135,13 +166,17 @@ impl DurableStore {
     /// log, re-seeds it with `sync`'s per-agent estimates, and prunes
     /// older snapshots. Returns the new snapshot's path.
     ///
-    /// Ordering matters for crash safety: the log is *rotated* (old
-    /// segments kept) and the synchronizer seed is written and fsynced
-    /// into the fresh segment **before** the old segments are deleted. A
-    /// crash anywhere in between therefore still recovers the clock
-    /// estimates — from the seed if it landed, from the original
-    /// clock-sample records otherwise; replaying both is harmless because
-    /// the estimate is a mean and `(2·sum)/(2·count)` equals `sum/count`.
+    /// Ordering matters for crash safety: the snapshot's directory entry
+    /// is made durable (rename + dir fsync, inside
+    /// [`persist::write_snapshot`]) before anything is deleted, the log is
+    /// *rotated* (old segments kept) and the synchronizer seed is written
+    /// and fsynced into the fresh segment **before** the old segments are
+    /// deleted, and recovery replays clock records regardless of the
+    /// snapshot boundary. A crash anywhere in the protocol therefore still
+    /// recovers the clock estimates — from the seed if it landed, from the
+    /// original clock-sample records otherwise; replaying both is exact
+    /// because the seed already folds every earlier clock record in the
+    /// log and [`Synchronizer::restore`] replaces, never adds.
     pub fn checkpoint_with(&mut self, sync: &Synchronizer) -> Result<PathBuf, PersistError> {
         self.wal.sync()?;
         let covered = self.wal.last_seq();
@@ -159,10 +194,15 @@ impl DurableStore {
         }
         self.wal.sync()?;
         self.wal.prune_segments_before_current()?;
+        let mut removed = false;
         for (seq, old) in persist::snapshot_files(&self.dir)? {
             if seq < covered {
                 fs::remove_file(old)?;
+                removed = true;
             }
+        }
+        if removed {
+            aiql_wal::fsync_dir(&self.dir)?;
         }
         Ok(path)
     }
@@ -184,18 +224,19 @@ pub struct DurableWrite<'a> {
 
 impl DurableWrite<'_> {
     /// Logs then inserts one entity. A [`PersistError::Storage`] error
-    /// means the WAL accepted the record but the store rejected the row
-    /// (the dead-letter case); any other error means the log write itself
+    /// means the *record* was rejected — by the store after the WAL
+    /// accepted it, or by the WAL codec caps before a byte was logged
+    /// (the dead-letter cases); any other error means the log write itself
     /// failed and durability is not guaranteed.
     pub fn append_entity(&mut self, e: &Entity) -> Result<(), PersistError> {
-        self.wal.append_entity(e)?;
+        self.wal.append_entity(e).map_err(classify_wal_append)?;
         self.store.append_entity(e).map_err(PersistError::Storage)
     }
 
     /// Logs then inserts one event (timestamps must already be corrected —
     /// the log holds server time). Errors as [`DurableWrite::append_entity`].
     pub fn append_event(&mut self, ev: &Event) -> Result<AppendOutcome, PersistError> {
-        self.wal.append_event(ev)?;
+        self.wal.append_event(ev).map_err(classify_wal_append)?;
         self.store.append_event(ev).map_err(PersistError::Storage)
     }
 
@@ -220,11 +261,20 @@ impl DurableWrite<'_> {
         self.store.stamp()
     }
 
-    /// Fsyncs the log and releases the write guard — the acknowledgement
+    /// Releases the write guard, then fsyncs the log — the acknowledgement
     /// point. Returns the stamp the session reached.
+    ///
+    /// The guard is dropped *before* the fsync so live queries are not
+    /// stalled behind the disk sync. Readers may therefore briefly observe
+    /// rows whose durability is still in flight — the same window the
+    /// non-batched [`DurableStore::append_event`] + [`DurableStore::sync`]
+    /// path always has. This store acknowledges durability to the
+    /// *writer*; it does not gate reads on it.
     pub fn commit(self) -> Result<StoreStamp, PersistError> {
+        let stamp = self.store.stamp();
+        drop(self.store);
         self.wal.sync()?;
-        Ok(self.store.stamp())
+        Ok(stamp)
     }
 }
 
@@ -344,7 +394,7 @@ mod tests {
             d.append_event(&event(i, 0, i as i64)).unwrap();
         }
         d.sync().unwrap();
-        d.checkpoint().unwrap();
+        d.checkpoint_discarding_sync().unwrap();
         drop(d);
 
         // Life 2: three more acknowledged events, no checkpoint.
@@ -364,6 +414,154 @@ mod tests {
         let report = reopened.report.unwrap();
         assert_eq!(report.snapshot_events, 10);
         assert_eq!(report.replayed_events, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_renamed_before_sync_seed_keeps_clock_estimates() {
+        // The checkpoint protocol renames the snapshot into place before
+        // the SyncState seed reaches the fresh WAL segment. Simulate a
+        // crash in exactly that window: a durable snapshot covering every
+        // logged record, with the log still holding only the raw clock
+        // samples — recovery must re-fold them despite their sequence
+        // numbers sitting at or below the snapshot's.
+        let dir = tmp("crash-window");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        let mut w = d.begin();
+        w.record_clock_sample(AgentId(7), 0, 400).unwrap();
+        w.record_clock_sample(AgentId(7), 100, 700).unwrap();
+        w.append_event(&event(1, 7, 100)).unwrap();
+        w.commit().unwrap();
+
+        // The first half of checkpoint_with, then "power loss".
+        let covered = d.last_wal_seq();
+        let shared = d.shared();
+        persist::write_snapshot(&shared.read(), d.dir(), covered).unwrap();
+        drop(shared);
+        drop(d);
+
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        assert_eq!(
+            reopened.sync.offset(AgentId(7)),
+            aiql_model::Duration(500),
+            "clock estimates survive a crash between snapshot rename and seed"
+        );
+        let store = reopened.store.shared();
+        assert_eq!(
+            store.read().event_count(),
+            1,
+            "snapshot-covered events are not double-applied"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_newest_snapshot_falls_back_while_the_log_covers_it() {
+        let dir = tmp("fallback");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        for i in 1..=5 {
+            d.append_event(&event(i, 0, i as i64)).unwrap();
+        }
+        d.sync().unwrap();
+        // Crash mid-checkpoint: the new snapshot renamed into place, the
+        // log not yet truncated — then the snapshot file rots.
+        let covered = d.last_wal_seq();
+        let shared = d.shared();
+        let snap = persist::write_snapshot(&shared.read(), d.dir(), covered).unwrap();
+        drop(shared);
+        drop(d);
+        let mut bytes = fs::read(&snap).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        fs::write(&snap, &bytes).unwrap();
+
+        let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
+        let report = reopened.report.unwrap();
+        assert_eq!(report.corrupt_snapshots, 1, "rotten snapshot passed over");
+        assert_eq!(report.replayed_events, 5, "older snapshot + full log tail");
+        assert_eq!(reopened.store.shared().read().event_count(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_codec_rejections_dead_letter_but_io_failures_stay_fatal() {
+        // Oversized records must not masquerade as durability failures —
+        // the ingestor requeues those, and a record the codec can never
+        // encode would wedge the queue forever.
+        for kind in [io::ErrorKind::InvalidInput, io::ErrorKind::InvalidData] {
+            assert!(matches!(
+                classify_wal_append(io::Error::new(kind, "too big")),
+                PersistError::Storage(RdbError::SchemaMismatch(_))
+            ));
+        }
+        assert!(matches!(
+            classify_wal_append(io::Error::new(io::ErrorKind::StorageFull, "disk full")),
+            PersistError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn unreadable_newest_snapshot_with_torn_log_fails_loudly() {
+        // Double fault: the newest snapshot rots *and* the log is torn
+        // before reaching that snapshot's covered seq. The records from
+        // the tear to the snapshot exist nowhere — recovery must refuse
+        // rather than silently return a store missing acknowledged data.
+        let dir = tmp("fallback-torn");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        for i in 1..=5 {
+            d.append_event(&event(i, 0, i as i64)).unwrap();
+        }
+        d.sync().unwrap();
+        let covered = d.last_wal_seq();
+        let shared = d.shared();
+        let snap = persist::write_snapshot(&shared.read(), d.dir(), covered).unwrap();
+        drop(shared);
+        drop(d);
+        let mut bytes = fs::read(&snap).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        fs::write(&snap, &bytes).unwrap();
+        assert!(aiql_wal::testing::tear_last_segment(persist::wal_dir(&dir), 5).unwrap());
+
+        let err = DurableStore::open(&dir, StoreConfig::partitioned())
+            .expect_err("torn log cannot cover the unreadable snapshot");
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_newest_snapshot_with_pruned_log_fails_loudly() {
+        let dir = tmp("fallback-gap");
+        let mut d = DurableStore::open(&dir, StoreConfig::partitioned())
+            .unwrap()
+            .store;
+        for i in 1..=5 {
+            d.append_event(&event(i, 0, i as i64)).unwrap();
+        }
+        d.sync().unwrap();
+        // Stash the baseline snapshot the checkpoint is about to prune.
+        let (_, old_snap) = persist::snapshot_files(&dir).unwrap().pop().unwrap();
+        let stash = dir.join("stash.bin");
+        fs::copy(&old_snap, &stash).unwrap();
+        let new_snap = d.checkpoint_discarding_sync().unwrap();
+        drop(d);
+        // Simulate a crash between WAL prune and old-snapshot removal,
+        // followed by the new snapshot rotting: the events live nowhere.
+        fs::rename(&stash, &old_snap).unwrap();
+        let mut bytes = fs::read(&new_snap).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        fs::write(&new_snap, &bytes).unwrap();
+
+        let err = DurableStore::open(&dir, StoreConfig::partitioned())
+            .expect_err("silently dropping acknowledged events is not recovery");
+        assert!(matches!(err, PersistError::Corrupt(_)), "got {err:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

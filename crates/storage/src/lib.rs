@@ -429,7 +429,7 @@ impl EventStore {
     /// The time span (min/max event start) present in the store, if any.
     pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
         let mut scanned = 0u64;
-        let rows = self.scan_events(&[], &Prune::all(), &mut scanned);
+        let rows = self.scan_events_ref(&[], &Prune::all(), &mut scanned);
         let lo = rows
             .iter()
             .map(|r| r[schema::ev::START].as_int().unwrap_or(0))

@@ -17,13 +17,16 @@
 //! the write-ahead-log sequence number the snapshot covers.
 //!
 //! **Recovery** ([`recover`]) loads the newest snapshot that validates,
-//! then replays the WAL tail: records with a sequence number at or below
-//! the snapshot's are skipped (they are already folded in — this is what
-//! makes a crash *between* snapshot and log truncation harmless), events
-//! and entities are re-applied through the ordinary append path (so
+//! then replays the WAL tail: *event and entity* records with a sequence
+//! number at or below the snapshot's are skipped (they are already folded
+//! in — this is what makes a crash *between* snapshot and log truncation
+//! harmless), the rest are re-applied through the ordinary append path (so
 //! partitions, indexes, and projections rebuild through the same
-//! single-source-of-truth machinery as live ingestion), and clock-sample /
-//! synchronizer-state records rebuild the time-synchronization estimates.
+//! single-source-of-truth machinery as live ingestion). Clock-sample /
+//! synchronizer-state records rebuild the time-synchronization estimates
+//! and are replayed regardless of the snapshot boundary — the snapshot
+//! carries no synchronizer state, and a checkpointed seed *replaces* the
+//! estimate it already folds, so replaying both is exact.
 //! A torn final WAL record — the signature of a crash mid-write — is
 //! tolerated and reported, never fatal.
 
@@ -203,6 +206,10 @@ pub fn write_snapshot(
     }
     let path = snapshot_path(dir, wal_seq);
     fs::rename(&tmp, &path)?;
+    // The rename is not durable until the directory entry is; without this
+    // a power loss could keep later deletions (old snapshots, pruned WAL
+    // segments) while dropping the snapshot they were deleted in favor of.
+    aiql_wal::fsync_dir(dir)?;
     Ok(path)
 }
 
@@ -301,9 +308,10 @@ pub fn load_snapshot(path: &Path) -> Result<(EventStore, u64), PersistError> {
 pub struct RecoveryReport {
     /// Mutation epoch of the snapshot the recovery started from.
     pub snapshot_epoch: u64,
-    /// WAL sequence number the snapshot covers — WAL records at or below
-    /// it were skipped; the durable store reserves the sequence past it so
-    /// an empty post-checkpoint log cannot restart numbering.
+    /// WAL sequence number the snapshot covers — event/entity WAL records
+    /// at or below it were skipped (clock records are always re-folded);
+    /// the durable store reserves the sequence past it so an empty
+    /// post-checkpoint log cannot restart numbering.
     pub snapshot_wal_seq: u64,
     /// Events already in the snapshot.
     pub snapshot_events: usize,
@@ -341,6 +349,7 @@ pub struct Recovered {
 /// Recovers the store persisted at `dir`: newest valid snapshot + WAL tail.
 pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
     let mut candidates = snapshot_files(dir)?;
+    let newest_covered = candidates.last().map_or(0, |(seq, _)| *seq);
     let mut corrupt_snapshots = 0;
     let mut loaded = None;
     while let Some((_, path)) = candidates.pop() {
@@ -349,7 +358,18 @@ pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
                 loaded = Some(x);
                 break;
             }
-            Err(PersistError::Io(e)) => return Err(PersistError::Io(e)),
+            // Decode failures surface as Io too (codec and rdb readers
+            // return InvalidData/UnexpectedEof) — those mean *this file*
+            // is malformed, and an older snapshot may still be loadable.
+            // Only genuine filesystem errors abort the recovery.
+            Err(PersistError::Io(e))
+                if !matches!(
+                    e.kind(),
+                    io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                ) =>
+            {
+                return Err(PersistError::Io(e));
+            }
             Err(_) => corrupt_snapshots += 1,
         }
     }
@@ -366,19 +386,38 @@ pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
     let mut sync = Synchronizer::new();
     let replay = aiql_wal::replay(wal_dir(dir))?;
     report.torn_bytes = replay.torn_bytes;
-    for (seq, rec) in replay.records {
-        if seq <= snap_seq {
-            continue;
+    // Falling back past an unreadable newer snapshot is only safe while
+    // the log still holds every record from the snapshot we *did* load up
+    // to at least the unreadable one's covered seq — the crash-mid-
+    // checkpoint case. If the newer snapshot's checkpoint pruned the log
+    // (first surviving seq leaves a gap) or the log is itself torn before
+    // reaching that seq, records known to have been acknowledged exist
+    // nowhere else, and returning a store silently missing them would be
+    // worse than failing loudly.
+    if corrupt_snapshots > 0 {
+        let covered_by_log = match (replay.records.first(), replay.records.last()) {
+            (Some((first, _)), Some((last, _))) => {
+                *first <= snap_seq + 1 && *last >= newest_covered
+            }
+            _ => newest_covered <= snap_seq,
+        };
+        if !covered_by_log {
+            return Err(corrupt(format!(
+                "snapshot covering seq {newest_covered} is unreadable and the log no longer \
+                 holds every record after seq {snap_seq}; records in between are unrecoverable"
+            )));
         }
+    }
+    for (seq, rec) in replay.records {
         match rec {
-            WalRecord::Event(ev) => match store.append_event(&ev) {
-                Ok(_) => report.replayed_events += 1,
-                Err(_) => report.skipped_rows += 1,
-            },
-            WalRecord::Entity(e) => match store.append_entity(&e) {
-                Ok(()) => report.replayed_entities += 1,
-                Err(_) => report.skipped_rows += 1,
-            },
+            // Clock records ignore the snapshot boundary: the snapshot
+            // itself carries no synchronizer state (it lives only in the
+            // log), and a checkpoint renames the snapshot into place
+            // *before* the SyncState seed is durable — skipping records at
+            // or below the snapshot's seq would lose every estimate in
+            // that crash window. Replaying a sample alongside its seed is
+            // harmless: the seed already folds every earlier clock record
+            // in the log, and restore() *replaces* the estimate with it.
             WalRecord::ClockSample {
                 agent,
                 agent_time,
@@ -401,6 +440,15 @@ pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
                 sync.restore(agent, sum_diff, count);
                 report.replayed_clock_samples += 1;
             }
+            _ if seq <= snap_seq => continue,
+            WalRecord::Event(ev) => match store.append_event(&ev) {
+                Ok(_) => report.replayed_events += 1,
+                Err(_) => report.skipped_rows += 1,
+            },
+            WalRecord::Entity(e) => match store.append_entity(&e) {
+                Ok(()) => report.replayed_entities += 1,
+                Err(_) => report.skipped_rows += 1,
+            },
         }
     }
     Ok(Recovered {

@@ -48,13 +48,19 @@ impl Synchronizer {
         e.count += 1;
     }
 
-    /// Folds a previously exported estimate back in (recovery path: the
-    /// durable store checkpoints `(sum, count)` pairs into the write-ahead
-    /// log so truncation does not forget pre-checkpoint clock samples).
+    /// Installs a previously exported estimate (recovery path: the durable
+    /// store checkpoints `(sum, count)` pairs into the write-ahead log so
+    /// truncation does not forget pre-checkpoint clock samples).
+    ///
+    /// The seed **replaces** whatever was folded for the agent so far: a
+    /// SyncState record is only ever written after every earlier clock
+    /// record in the log is already folded into it, so replaying a seed on
+    /// top of those records must reset, not add — adding would double the
+    /// weight of history, under-weighting every future sample, and a
+    /// crash that leaves two seeds in the log would skew the mean itself.
     pub fn restore(&mut self, agent: AgentId, sum_diff: i64, count: i64) {
-        let e = self.estimates.entry(agent).or_default();
-        e.sum_diff += sum_diff;
-        e.count += count;
+        self.estimates
+            .insert(agent, OffsetEstimate { sum_diff, count });
     }
 
     /// Exports the per-agent estimates as `(agent, sum of diffs, sample
@@ -131,11 +137,12 @@ mod tests {
     }
 
     #[test]
-    fn replaying_samples_and_their_folded_state_preserves_the_offset() {
-        // The checkpoint crash-window guarantee rests on this: if recovery
-        // replays both the original clock samples *and* the checkpoint's
-        // folded SyncState seed, sum and count double together and the
-        // mean — the offset — is unchanged.
+    fn replaying_samples_and_their_folded_state_restores_exactly() {
+        // The checkpoint crash-window guarantee rests on this: a SyncState
+        // seed is written only after every earlier clock record in the log
+        // is folded into it, so recovery that replays the original samples
+        // *and then* the seed must end up with exactly the seed's state —
+        // same mean, same sample count (no doubled weight of history).
         let a = AgentId(1);
         let mut s = Synchronizer::new();
         for (at, st) in [(100, 150), (200, 230), (0, 10)] {
@@ -152,7 +159,12 @@ mod tests {
         assert_eq!(state.len(), 1);
         let (agent, sum, count) = state[0];
         s.restore(agent, sum, count);
-        assert_eq!(s.offset(a), offset, "double-folded mean is invariant");
+        assert_eq!(s.offset(a), offset, "seed replaces, mean unchanged");
+        assert_eq!(s.state(), state, "no doubled sample weight");
+        // Two seeds in the log (a crash between the new seed's fsync and
+        // the old segment's pruning): the newer one simply wins.
+        s.restore(agent, sum, count);
+        assert_eq!(s.state(), state);
         // And a fresh synchronizer seeded from the state alone agrees too.
         let mut fresh = Synchronizer::new();
         fresh.restore(agent, sum, count);

@@ -24,6 +24,17 @@
 //! records the sequence number it covers, and replay skips records at or
 //! below it, so a crash *between* writing a snapshot and truncating the
 //! log cannot double-apply records.
+//!
+//! A *failed* append on a live handle gets the same treatment as a torn
+//! tail on disk: a short `write` may have left part of a frame in the
+//! segment, so the writer truncates back to the last clean record boundary
+//! before any retry — otherwise the retried (and later fsync-acknowledged)
+//! record would land behind the tear, where replay never reaches it. If
+//! the repair itself fails the handle is poisoned and refuses appends.
+//!
+//! Directory entries are fsynced ([`fsync_dir`]) whenever segments are
+//! created or removed, so an acknowledged record cannot vanish with its
+//! segment's dir entry after power loss while a later deletion survives.
 
 mod crc;
 mod record;
@@ -44,6 +55,9 @@ const FRAME_HEADER: usize = 8;
 
 const SEGMENT_PREFIX: &str = "seg-";
 const SEGMENT_SUFFIX: &str = ".wal";
+
+/// Advisory lock file guarding single-writer access to a log directory.
+const LOCK_FILE: &str = "wal.lock";
 
 /// Write-ahead log tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +95,18 @@ impl Replay {
     pub fn last_seq(&self) -> u64 {
         self.records.last().map(|(s, _)| *s).unwrap_or(0)
     }
+}
+
+/// Fsyncs a directory, making creations, removals, and renames of its
+/// entries durable. Syncing file *data* alone does not cover the directory
+/// entry: after power loss a fully-synced segment or snapshot could simply
+/// not be in the directory any more, while a deletion made after it sticks.
+pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(dir.as_ref())?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir; // directories cannot be opened for fsync here
+    Ok(())
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -194,13 +220,50 @@ pub struct Wal {
     next_seq: u64,
     /// Reusable frame assembly buffer.
     buf: Vec<u8>,
+    /// Set when a failed append left torn bytes in the segment and the
+    /// repair truncation also failed; every later append is refused.
+    poisoned: bool,
+    /// Advisory single-writer lock, held for the handle's lifetime (the
+    /// OS releases it on drop or process death, so a crash never leaves a
+    /// stale lock behind).
+    _lock: File,
 }
 
 impl Wal {
     /// Opens (or creates) the log at `dir` for appending.
+    ///
+    /// Fails with [`io::ErrorKind::WouldBlock`] when another live handle —
+    /// in this process or any other — already has the log open for
+    /// writing: two writers interleaving frames in one append-mode segment
+    /// would produce duplicate sequence numbers, which replay treats as a
+    /// tear, silently discarding fsync-acknowledged records behind it.
     pub fn open(dir: impl AsRef<Path>, options: WalOptions) -> io::Result<Wal> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        // The log directory's own entry must be durable in its parent, or
+        // a store's very first life could lose every acknowledged record
+        // with the unsynced `wal/` entry itself.
+        if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fsync_dir(parent)?;
+        }
+        let lock = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(LOCK_FILE))?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(fs::TryLockError::WouldBlock) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "write-ahead log at {} is locked by another writer",
+                        dir.display()
+                    ),
+                ));
+            }
+            Err(fs::TryLockError::Error(e)) => return Err(e),
+        }
         let segments = segment_files(&dir)?;
 
         // Find the end of the valid prefix: scan segments in order, stop at
@@ -232,6 +295,9 @@ impl Wal {
         let path = segment_path(&dir, segment_index);
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         file.seek(SeekFrom::End(0))?;
+        // Make the active segment's directory entry (and any torn-tail
+        // removals above) durable before a single record is acknowledged.
+        fsync_dir(&dir)?;
         Ok(Wal {
             dir,
             options,
@@ -240,6 +306,8 @@ impl Wal {
             segment_len,
             next_seq: prev_seq + 1,
             buf: Vec::with_capacity(256),
+            poisoned: false,
+            _lock: lock,
         })
     }
 
@@ -291,6 +359,11 @@ impl Wal {
         &mut self,
         encode: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
     ) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal handle poisoned: a failed append left the segment torn and repair failed",
+            ));
+        }
         if self.segment_len >= self.options.segment_bytes && self.segment_len > 0 {
             self.rotate()?;
         }
@@ -299,20 +372,65 @@ impl Wal {
         self.buf.extend_from_slice(&[0u8; FRAME_HEADER]); // patched below
         aiql_model::codec::write_u64(&mut self.buf, seq)?;
         encode(&mut self.buf)?;
+        // Enforce the replay-side cap at write time: an oversized frame
+        // would be fsync-acknowledged yet read back as a tear, and reopen
+        // would then destroy it and every acknowledged record after it.
+        if self.buf.len() - FRAME_HEADER > MAX_PAYLOAD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "wal record payload of {} bytes exceeds the {MAX_PAYLOAD}-byte cap",
+                    self.buf.len() - FRAME_HEADER
+                ),
+            ));
+        }
         let payload_len = (self.buf.len() - FRAME_HEADER) as u32;
         let crc = crc32(&self.buf[FRAME_HEADER..]);
         self.buf[..4].copy_from_slice(&payload_len.to_le_bytes());
         self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&self.buf)?;
+        if let Err(e) = self.file.write_all(&self.buf) {
+            self.repair_torn_tail();
+            return Err(e);
+        }
         self.segment_len += self.buf.len() as u64;
         self.next_seq = seq + 1;
         Ok(seq)
     }
 
+    /// A failed `write_all` may have left part of a frame in the segment.
+    /// Replay and reopen both stop at such a tear, so letting a *retried*
+    /// append land behind it would silently discard the retry even after
+    /// its fsync was acknowledged. Truncate back to the last clean record
+    /// boundary before any further append; if even that fails, poison the
+    /// handle so retries error out instead of corrupting the log.
+    fn repair_torn_tail(&mut self) {
+        let repaired = self
+            .file
+            .set_len(self.segment_len)
+            .and_then(|()| self.file.sync_data());
+        if repaired.is_err() {
+            self.poisoned = true;
+        }
+    }
+
     /// Makes every appended record durable (fsync of the active segment).
     /// Rolled-over segments are synced at roll time.
+    ///
+    /// A failed fsync poisons the handle: the kernel may discard the dirty
+    /// pages and clear the error flag, so a *retried* fsync can report Ok
+    /// without the records ever reaching disk — acknowledging data a crash
+    /// would lose. Reopening re-reads what is actually durable.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal handle poisoned: a previous failure may have lost appended records",
+            ));
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Syncs the active segment and starts a new one, keeping the old
@@ -321,10 +439,11 @@ impl Wal {
     /// [`Wal::prune_segments_before_current`] — so a crash at any point
     /// leaves either the old records or their durable replacement.
     pub fn rotate(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        self.sync()?;
         self.segment_index += 1;
         let path = segment_path(&self.dir, self.segment_index);
         self.file = OpenOptions::new().create(true).append(true).open(path)?;
+        fsync_dir(&self.dir)?;
         self.segment_len = 0;
         Ok(())
     }
@@ -332,10 +451,15 @@ impl Wal {
     /// Deletes every segment older than the active one (the second half of
     /// the snapshot-boundary protocol; see [`Wal::rotate`]).
     pub fn prune_segments_before_current(&mut self) -> io::Result<()> {
+        let mut removed = false;
         for (idx, path) in segment_files(&self.dir)? {
             if idx < self.segment_index {
                 fs::remove_file(path)?;
+                removed = true;
             }
+        }
+        if removed {
+            fsync_dir(&self.dir)?;
         }
         Ok(())
     }
@@ -357,6 +481,30 @@ impl Wal {
             total += fs::metadata(path)?.len();
         }
         Ok(total)
+    }
+}
+
+/// Crash-simulation support for tests and benches — not part of the
+/// durability API.
+pub mod testing {
+    use super::*;
+
+    /// Chops `bite` bytes off the end of the newest segment in `dir`,
+    /// simulating a crash mid-append (a torn final record). Returns
+    /// `false` — having torn nothing — when the log has no segments or the
+    /// newest one is too short to survive the bite.
+    pub fn tear_last_segment(dir: impl AsRef<Path>, bite: u64) -> io::Result<bool> {
+        let Some((_, path)) = segment_files(dir.as_ref())?.pop() else {
+            return Ok(false);
+        };
+        let len = fs::metadata(&path)?.len();
+        if len <= bite {
+            return Ok(false);
+        }
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(len - bite)?;
+        f.sync_data()?;
+        Ok(true)
     }
 }
 
@@ -494,6 +642,51 @@ mod tests {
         let r = replay(&dir).unwrap();
         assert!(r.is_torn());
         assert_eq!(r.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_writer_is_locked_out_until_the_first_drops() {
+        let dir = tmp("lock");
+        let wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        let err = Wal::open(&dir, WalOptions::default()).expect_err("second writer");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(wal);
+        Wal::open(&dir, WalOptions::default()).expect("lock released on drop");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_repair_truncates_torn_bytes() {
+        // A short write leaves part of a frame in the segment. The repair
+        // path must cut the segment back to the last clean record boundary
+        // so a retried append lands where replay can reach it.
+        let dir = tmp("repair");
+        let mut wal = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 1..=3 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+
+        // Simulate the torn bytes a failed write_all leaves behind, via a
+        // second handle (the Wal's own position/len bookkeeping unchanged).
+        let seg = segment_files(&dir).unwrap().pop().unwrap().1;
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert!(replay(&dir).unwrap().is_torn(), "garbage tears the log");
+
+        wal.repair_torn_tail();
+        assert!(!wal.poisoned);
+        wal.append(&event(4, 4)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let r = replay(&dir).unwrap();
+        assert!(!r.is_torn(), "repair removed the tear");
+        assert_eq!(r.records.len(), 4, "the retried append is reachable");
+        assert_eq!(r.last_seq(), 4);
         fs::remove_dir_all(&dir).unwrap();
     }
 

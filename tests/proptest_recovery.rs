@@ -131,26 +131,7 @@ fn scratch() -> PathBuf {
 /// Tears the newest WAL segment by `bite` bytes if it is big enough to
 /// tear; returns whether a tear actually happened.
 fn tear_tail(dir: &std::path::Path, bite: u64) -> bool {
-    let wal = dir.join("wal");
-    let mut segments: Vec<PathBuf> = match std::fs::read_dir(&wal) {
-        Ok(rd) => rd.map(|e| e.unwrap().path()).collect(),
-        Err(_) => return false,
-    };
-    segments.sort();
-    let Some(last) = segments.pop() else {
-        return false;
-    };
-    let len = std::fs::metadata(&last).unwrap().len();
-    if len <= bite {
-        return false;
-    }
-    std::fs::OpenOptions::new()
-        .write(true)
-        .open(&last)
-        .unwrap()
-        .set_len(len - bite)
-        .unwrap();
-    true
+    aiql_wal::testing::tear_last_segment(dir.join("wal"), bite).unwrap()
 }
 
 proptest! {

@@ -179,21 +179,10 @@ fn torn_final_wal_record_loses_exactly_the_unacknowledged_tail() {
     durable_stream(&data, &dir, 512, 4);
 
     // Tear the final WAL record: a crash mid-write leaves a partial frame.
-    let wal_dir = dir.join("wal");
-    let mut segments: Vec<PathBuf> = std::fs::read_dir(&wal_dir)
-        .unwrap()
-        .map(|e| e.unwrap().path())
-        .collect();
-    segments.sort();
-    let last = segments.pop().unwrap();
-    let len = std::fs::metadata(&last).unwrap().len();
-    assert!(len > 5, "tail segment holds post-checkpoint records");
-    std::fs::OpenOptions::new()
-        .write(true)
-        .open(&last)
-        .unwrap()
-        .set_len(len - 5)
-        .unwrap();
+    assert!(
+        aiql_wal::testing::tear_last_segment(dir.join("wal"), 5).unwrap(),
+        "tail segment holds post-checkpoint records"
+    );
 
     let recovered = EventStore::open(&dir).unwrap();
     let n = recovered.event_count();
