@@ -1,14 +1,17 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|all] [--scale small|medium|large] [--budget SECS]
 //! ```
 //!
 //! `scan` compares the columnar scan path against the row store and writes
 //! a `BENCH_scan.json` snapshot in the working directory; `recovery` times
 //! crash recovery (snapshot load vs WAL replay) and writes
-//! `BENCH_recovery.json`. `all` runs every experiment in one invocation
-//! and writes every `BENCH_*.json` — what CI and trajectory tracking call.
+//! `BENCH_recovery.json`; `concurrent` measures multi-reader query serving
+//! under live ingestion (snapshot store vs the lock-based baseline) and
+//! writes `BENCH_concurrent.json`. `all` runs every experiment in one
+//! invocation and writes every `BENCH_*.json` — what CI and trajectory
+//! tracking call.
 //!
 //! `table3` also emits the Fig. 5 per-query series (they share runs).
 
@@ -31,6 +34,12 @@ fn run_recovery(opts: Options) {
     let (table, json) = experiments::recovery_bench(opts);
     print!("{table}");
     write_snapshot_file("BENCH_recovery.json", &json);
+}
+
+fn run_concurrent(opts: Options) {
+    let (table, json) = aiql_bench::concurrent::concurrent_bench(opts);
+    print!("{table}");
+    write_snapshot_file("BENCH_concurrent.json", &json);
 }
 
 fn main() {
@@ -68,6 +77,7 @@ fn main() {
         "fig8" | "table5" => print!("{}", experiments::fig8()),
         "scan" => run_scan(opts),
         "recovery" => run_recovery(opts),
+        "concurrent" => run_concurrent(opts),
         "all" => {
             print!("{}", experiments::schema());
             println!();
@@ -82,6 +92,8 @@ fn main() {
             run_scan(opts);
             println!();
             run_recovery(opts);
+            println!();
+            run_concurrent(opts);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -94,7 +106,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

@@ -8,6 +8,8 @@
 //!   budget enforcement (the analogue of the paper's one-hour cutoff).
 //! - [`experiments`] — one driver per table/figure, rendering paper-style
 //!   text reports.
+//! - [`concurrent`] — multi-reader serving under live ingestion: the
+//!   epoch-swapped snapshot store vs the lock-based baseline.
 //! - [`report`] — table formatting and speedup statistics.
 //!
 //! The `repro` binary exposes each experiment:
@@ -17,6 +19,7 @@
 //! ```
 
 pub mod catalog;
+pub mod concurrent;
 pub mod experiments;
 pub mod harness;
 pub mod report;

@@ -207,27 +207,32 @@ impl<'a> Engine<'a> {
 pub struct LiveOutcome {
     /// Result, statistics, and elapsed time of the run.
     pub outcome: Outcome,
-    /// The store version the whole query observed: the read guard is held
-    /// for the duration of the run, so start and end stamps coincide.
+    /// The store version the whole query observed: the query pins one
+    /// immutable snapshot for the duration of the run.
     pub stamp: StoreStamp,
 }
 
 /// Runs a query against a [`SharedStore`] at one consistent snapshot.
 ///
-/// The engine pins a read guard for the whole run — appends submitted
-/// concurrently (e.g. by an `aiql-ingest` ingestor on another thread) queue
-/// behind the lock and become visible to the *next* query, never mid-query.
-/// The returned [`LiveOutcome::stamp`] records exactly which prefix of the
-/// stream the result reflects.
+/// The engine pins the currently published [`aiql_storage::StoreSnapshot`]
+/// — a wait-free `Arc` clone — and every scan of the run borrows from that
+/// pinned snapshot. Appends submitted concurrently (e.g. by an
+/// `aiql-ingest` ingestor on another thread) publish *new* snapshots and
+/// never mutate the pinned one, so they become visible to the *next*
+/// query, never mid-query — and, symmetrically, a long-running query never
+/// delays a flush. N reader threads can call this against the same handle
+/// with zero lock contention while ingestion runs. The returned
+/// [`LiveOutcome::stamp`] records exactly which prefix of the stream the
+/// result reflects.
 pub fn run_live(
     store: &SharedStore,
     config: EngineConfig,
     source: &str,
 ) -> Result<LiveOutcome, EngineError> {
-    let guard = store.read();
-    let stamp = guard.stamp();
-    let outcome = Engine::with_config(&guard, config).run_outcome(source)?;
-    debug_assert_eq!(guard.stamp(), stamp, "snapshot held for the whole run");
+    let snapshot = store.read();
+    let stamp = snapshot.stamp();
+    let outcome = Engine::with_config(&snapshot, config).run_outcome(source)?;
+    debug_assert_eq!(snapshot.stamp(), stamp, "pinned snapshots are immutable");
     Ok(LiveOutcome { outcome, stamp })
 }
 

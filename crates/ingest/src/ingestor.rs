@@ -8,11 +8,10 @@ use aiql_rdb::PartKey;
 use aiql_storage::timesync::Synchronizer;
 use aiql_storage::{
     DurableStore, DurableWrite, EventStore, PersistError, RecoveryReport, SharedStore, StoreConfig,
-    StoreStamp,
+    StoreStamp, StoreWriter,
 };
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::RwLockWriteGuard;
 
 /// Ingestor construction options.
 #[derive(Debug, Clone, Copy)]
@@ -121,19 +120,144 @@ enum Backend {
 }
 
 /// One flush's write path, matching the backend: a single store write
-/// guard either way, plus the WAL handle when durable.
+/// session either way, plus the WAL handle when durable. Appends go to the
+/// writer's private head store; readers keep serving the previously
+/// published snapshot until the session publishes — on drop for the plain
+/// path, after the acknowledging fsync ([`DurableWrite::commit`]) for the
+/// durable one.
 enum Session<'a> {
-    Plain(RwLockWriteGuard<'a, EventStore>),
+    Plain(StoreWriter<'a>),
     Durable(DurableWrite<'a>),
+}
+
+impl Session<'_> {
+    fn append_entity(&mut self, e: &aiql_model::Entity) -> Result<(), PersistError> {
+        match self {
+            Session::Plain(store) => store.append_entity(e).map_err(PersistError::Storage),
+            Session::Durable(w) => w.append_entity(e),
+        }
+    }
+
+    fn append_event(
+        &mut self,
+        ev: &aiql_model::Event,
+    ) -> Result<aiql_storage::AppendOutcome, PersistError> {
+        match self {
+            Session::Plain(store) => store.append_event(ev).map_err(PersistError::Storage),
+            Session::Durable(w) => w.append_event(ev),
+        }
+    }
+}
+
+/// Applies one batch through the write session, folding clock samples into
+/// `sync`, appending entities then offset-corrected events, and advancing
+/// `watermark` over the rows that landed.
+///
+/// Two failure channels, deliberately distinct:
+///
+/// - rows the storage layer (or the WAL codec) rejects are
+///   **dead-lettered** — counted in [`FlushReport::failed_rows`] with the
+///   first error kept, then skipped, because retrying them can never
+///   succeed;
+/// - a log I/O failure is a **durability fault** — the unprocessed
+///   remainder of the batch is returned for requeueing (the single requeue
+///   point lives in [`Ingestor::flush`]) and retried once the fault
+///   clears.
+fn apply_batch(
+    session: &mut Session<'_>,
+    sync: &mut Synchronizer,
+    watermark: &mut Option<Timestamp>,
+    report: &mut FlushReport,
+    batch: EventBatch,
+) -> Result<(), (PersistError, EventBatch)> {
+    let EventBatch {
+        entities,
+        events,
+        clock_samples,
+    } = batch;
+    for (si, (agent, sample)) in clock_samples.iter().enumerate() {
+        if let Session::Durable(w) = session {
+            if let Err(e) = w.record_clock_sample(*agent, sample.agent_time, sample.server_time) {
+                return Err((
+                    e,
+                    EventBatch {
+                        entities,
+                        events,
+                        clock_samples: clock_samples[si..].to_vec(),
+                    },
+                ));
+            }
+        }
+        sync.record(*agent, *sample);
+    }
+    for (ei, entity) in entities.iter().enumerate() {
+        match session.append_entity(entity) {
+            Ok(()) => report.entities += 1,
+            Err(PersistError::Storage(e)) => {
+                report.failed_rows += 1;
+                report.first_error.get_or_insert(e);
+            }
+            Err(e) => {
+                return Err((
+                    e,
+                    EventBatch {
+                        entities: entities[ei..].to_vec(),
+                        events,
+                        clock_samples: Vec::new(),
+                    },
+                ));
+            }
+        }
+    }
+    // Events are plain-old-data (no heap fields), so the corrected copy
+    // per row is cheap.
+    for (vi, ev) in events.iter().enumerate() {
+        let offset = sync.offset(ev.agent);
+        let mut corrected = ev.clone();
+        corrected.start = corrected.start.saturating_add(offset);
+        corrected.end = corrected.end.saturating_add(offset);
+        match session.append_event(&corrected) {
+            Ok(outcome) => {
+                if watermark.is_some_and(|w| corrected.start < w) {
+                    report.out_of_order_events += 1;
+                }
+                *watermark = Some(match *watermark {
+                    Some(w) => w.max(corrected.start),
+                    None => corrected.start,
+                });
+                if let Some(key) = outcome.created_partition {
+                    report.new_partitions.push(key);
+                }
+                report.events += 1;
+            }
+            Err(PersistError::Storage(e)) => {
+                report.failed_rows += 1;
+                report.first_error.get_or_insert(e);
+            }
+            Err(e) => {
+                return Err((
+                    e,
+                    EventBatch {
+                        entities: Vec::new(),
+                        events: events[vi..].to_vec(),
+                        clock_samples: Vec::new(),
+                    },
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Streaming front door of the event store.
 ///
 /// `submit` enqueues shipments cheaply (bounded by the high-water mark);
-/// `flush` drains the queue into the store under a single write guard,
+/// `flush` drains the queue into the store under a single write session,
 /// correcting timestamps per agent as it goes. Readers holding the
 /// [`SharedStore`] handle (from [`Ingestor::shared`]) observe flushes
-/// atomically.
+/// atomically — each flush publishes one new immutable snapshot, and
+/// queries pin whichever snapshot was current when they started, so reads
+/// never wait behind a flush and a flush never waits for readers.
 ///
 /// A **durable** ingestor ([`Ingestor::durable`]) additionally write-ahead
 /// logs every corrected row before the in-memory insert and fsyncs the log
@@ -286,7 +410,9 @@ impl Ingestor {
         Ok(None)
     }
 
-    /// Drains the queue into the store under one write guard.
+    /// Drains the queue into the store under one write session, publishing
+    /// one new reader-visible snapshot at the end (after the acknowledging
+    /// fsync, on a durable ingestor).
     ///
     /// Per batch, in arrival order: clock samples are folded into the
     /// per-agent offset estimates first, then entities are appended, then
@@ -313,129 +439,34 @@ impl Ingestor {
     /// is folded into [`IngestStats`], so the stats stay consistent with
     /// the store's row counts even on the error path.
     pub fn flush(&mut self) -> Result<FlushReport, IngestError> {
-        /// Puts an unprocessed remainder back at the head of the queue
-        /// (the durability-failure path). A free function over the two
-        /// fields, because the write session borrows `self.backend` for
-        /// the whole drain.
-        fn requeue_front(
-            queue: &mut VecDeque<EventBatch>,
-            queued_rows: &mut usize,
-            remainder: EventBatch,
-        ) {
-            *queued_rows += remainder.weight();
-            queue.push_front(remainder);
-        }
-
         let mut report = FlushReport::default();
         let mut failure: Option<PersistError> = None;
         let mut session = match &mut self.backend {
             Backend::Plain(shared) => Session::Plain(shared.write()),
             Backend::Durable(d) => Session::Durable(d.begin()),
         };
-        'drain: while let Some(batch) = self.queue.pop_front() {
+        while let Some(batch) = self.queue.pop_front() {
             self.queued_rows -= batch.weight();
-            let EventBatch {
-                entities,
-                events,
-                clock_samples,
-            } = batch;
-            for (si, (agent, sample)) in clock_samples.iter().enumerate() {
-                if let Session::Durable(w) = &mut session {
-                    if let Err(e) =
-                        w.record_clock_sample(*agent, sample.agent_time, sample.server_time)
-                    {
-                        failure = Some(e);
-                        requeue_front(
-                            &mut self.queue,
-                            &mut self.queued_rows,
-                            EventBatch {
-                                entities,
-                                events,
-                                clock_samples: clock_samples[si..].to_vec(),
-                            },
-                        );
-                        break 'drain;
-                    }
-                }
-                self.sync.record(*agent, *sample);
-            }
-            for (ei, entity) in entities.iter().enumerate() {
-                let res = match &mut session {
-                    Session::Plain(store) => store.append_entity(entity),
-                    Session::Durable(w) => match w.append_entity(entity) {
-                        Ok(()) => Ok(()),
-                        Err(PersistError::Storage(e)) => Err(e),
-                        Err(e) => {
-                            failure = Some(e);
-                            requeue_front(
-                                &mut self.queue,
-                                &mut self.queued_rows,
-                                EventBatch {
-                                    entities: entities[ei..].to_vec(),
-                                    events,
-                                    clock_samples: Vec::new(),
-                                },
-                            );
-                            break 'drain;
-                        }
-                    },
-                };
-                match res {
-                    Ok(()) => report.entities += 1,
-                    Err(e) => {
-                        report.failed_rows += 1;
-                        report.first_error.get_or_insert(e);
-                    }
+            match apply_batch(
+                &mut session,
+                &mut self.sync,
+                &mut self.watermark,
+                &mut report,
+                batch,
+            ) {
+                Ok(()) => report.batches += 1,
+                // The single requeue point — durability (log I/O) failures
+                // only. Dead-lettered rows never reach here: `apply_batch`
+                // counts and skips them. The unprocessed remainder goes
+                // back to the queue head for a retry after the fault
+                // clears.
+                Err((e, remainder)) => {
+                    failure = Some(e);
+                    self.queued_rows += remainder.weight();
+                    self.queue.push_front(remainder);
+                    break;
                 }
             }
-            // Events are plain-old-data (no heap fields), so the corrected
-            // copy per row is cheap.
-            for (vi, ev) in events.iter().enumerate() {
-                let offset = self.sync.offset(ev.agent);
-                let mut corrected = ev.clone();
-                corrected.start = corrected.start.saturating_add(offset);
-                corrected.end = corrected.end.saturating_add(offset);
-                let res = match &mut session {
-                    Session::Plain(store) => store.append_event(&corrected),
-                    Session::Durable(w) => match w.append_event(&corrected) {
-                        Ok(outcome) => Ok(outcome),
-                        Err(PersistError::Storage(e)) => Err(e),
-                        Err(e) => {
-                            failure = Some(e);
-                            requeue_front(
-                                &mut self.queue,
-                                &mut self.queued_rows,
-                                EventBatch {
-                                    entities: Vec::new(),
-                                    events: events[vi..].to_vec(),
-                                    clock_samples: Vec::new(),
-                                },
-                            );
-                            break 'drain;
-                        }
-                    },
-                };
-                match res {
-                    Ok(outcome) => {
-                        if self.watermark.is_some_and(|w| corrected.start < w) {
-                            report.out_of_order_events += 1;
-                        }
-                        self.watermark = Some(match self.watermark {
-                            Some(w) => w.max(corrected.start),
-                            None => corrected.start,
-                        });
-                        if let Some(key) = outcome.created_partition {
-                            report.new_partitions.push(key);
-                        }
-                        report.events += 1;
-                    }
-                    Err(e) => {
-                        report.failed_rows += 1;
-                        report.first_error.get_or_insert(e);
-                    }
-                }
-            }
-            report.batches += 1;
         }
 
         match session {
@@ -443,17 +474,21 @@ impl Ingestor {
                 if failure.is_none() {
                     report.stamp = store.stamp();
                 }
+                // Dropping the plain session publishes: the whole flush
+                // becomes visible to readers atomically, never mid-drain.
             }
             Session::Durable(w) => {
                 if failure.is_none() {
-                    // The acknowledgement point: fsync the log first.
+                    // The acknowledgement point: fsync the log, then
+                    // publish — readers can never see unacknowledged rows.
                     match w.commit() {
                         Ok(stamp) => report.stamp = stamp,
                         Err(e) => failure = Some(e),
                     }
                 }
-                // On failure the session drops uncommitted: nothing past
-                // the fault was acknowledged.
+                // On failure the session drops uncommitted and
+                // unpublished: nothing past the fault was acknowledged,
+                // and readers keep the last acknowledged snapshot.
             }
         }
 

@@ -26,10 +26,12 @@
 //!   — `tests/proptest_ingest.rs` at the workspace root proves result
 //!   equivalence for pattern, dependency, and anomaly queries.
 //! - **Snapshot-consistent reads**: the store lives behind a
-//!   [`SharedStore`](aiql_storage::SharedStore); a flush applies the whole
-//!   queue under one write guard, so queries (e.g. via
-//!   `aiql_engine::run_live`) see batch boundaries, never half-applied
-//!   batches.
+//!   [`SharedStore`](aiql_storage::SharedStore) — an epoch-swapped
+//!   snapshot store. A flush applies the whole queue to the writer's
+//!   private head and publishes one new immutable snapshot at the end, so
+//!   queries (e.g. via `aiql_engine::run_live`) pin a point-in-time view
+//!   and see flush boundaries, never half-applied batches — without
+//!   readers and the flush ever waiting on each other.
 //!
 //! # Example
 //!

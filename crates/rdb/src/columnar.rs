@@ -79,7 +79,7 @@ impl ColumnarSpec {
 }
 
 /// One projected column as a flat typed vector.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ColumnData {
     /// `i64` values with a parallel null flag (events are never null, so
     /// the flag vector is all-false there; entity attributes may be null).
@@ -287,7 +287,11 @@ impl Kernel {
 }
 
 /// A columnar projection of one table (or one partition).
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the flat vectors — it backs the copy-on-write step
+/// that unseals a snapshot-shared partition for further appends (see
+/// [`crate::partition::PartitionedTable`]).
+#[derive(Debug, Clone)]
 pub struct Columnar {
     time_idx: Option<usize>,
     block_rows: usize,

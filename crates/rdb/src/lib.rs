@@ -62,11 +62,22 @@ pub use segment::{Placement, SegmentedDb};
 pub use table::Table;
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Storage backing one named table: monolithic or partitioned.
-#[derive(Debug)]
+///
+/// Plain tables sit behind `Arc` for the same copy-on-write sharing as
+/// partitions (see [`PartitionedTable`]): cloning a [`Database`] — the
+/// snapshot-publication step of the live store — shares every table by
+/// reference, and a table is deep-copied only when the writer next mutates
+/// it while a published snapshot still holds the previous version.
+// A database holds a handful of slots (one per named table), so the size
+// spread between the boxed plain variant and the inline partitioned one
+// costs nothing worth an extra indirection on every partitioned access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
 pub enum TableSlot {
-    Plain(Table),
+    Plain(Arc<Table>),
     Partitioned(PartitionedTable),
 }
 
@@ -94,7 +105,11 @@ impl TableSlot {
 }
 
 /// A named collection of tables with a SQL front end.
-#[derive(Debug, Default)]
+///
+/// `Clone` is cheap by design: every table is `Arc`-shared with the clone
+/// (copy-on-write), which is what lets the live store publish an immutable
+/// snapshot per flush without copying row data.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: BTreeMap<String, TableSlot>,
 }
@@ -110,8 +125,10 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(RdbError::TableExists(name.to_string()));
         }
-        self.tables
-            .insert(name.to_string(), TableSlot::Plain(Table::new(schema)));
+        self.tables.insert(
+            name.to_string(),
+            TableSlot::Plain(Arc::new(Table::new(schema))),
+        );
         Ok(())
     }
 
@@ -137,7 +154,7 @@ impl Database {
     /// the column too.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), RdbError> {
         match self.slot_mut(table)? {
-            TableSlot::Plain(t) => t.create_index(column),
+            TableSlot::Plain(t) => Arc::make_mut(t).create_index(column),
             TableSlot::Partitioned(t) => t.create_index(column),
         }
     }
@@ -152,7 +169,7 @@ impl Database {
         dict: SharedDict,
     ) -> Result<(), RdbError> {
         match self.slot_mut(table)? {
-            TableSlot::Plain(t) => t.enable_columnar(&spec, dict),
+            TableSlot::Plain(t) => Arc::make_mut(t).enable_columnar(&spec, dict),
             TableSlot::Partitioned(t) => t.enable_columnar(spec, dict),
         }
     }
@@ -168,7 +185,11 @@ impl Database {
     /// no rollover.
     pub fn insert_reporting(&mut self, table: &str, row: Row) -> Result<InsertReport, RdbError> {
         match self.slot_mut(table)? {
-            TableSlot::Plain(t) => t.insert(row).map(|_| InsertReport::default()),
+            // The copy-on-write step: a plain table shared with a published
+            // snapshot is detached before the first post-publish insert.
+            TableSlot::Plain(t) => Arc::make_mut(t)
+                .insert(row)
+                .map(|_| InsertReport::default()),
             TableSlot::Partitioned(t) => t.insert_reporting(row),
         }
     }
@@ -204,9 +225,26 @@ impl Database {
     /// The monolithic table `name`, if stored plain.
     pub fn plain(&self, name: &str) -> Option<&Table> {
         match self.tables.get(name) {
-            Some(TableSlot::Plain(t)) => Some(t),
+            Some(TableSlot::Plain(t)) => Some(t.as_ref()),
             _ => None,
         }
+    }
+
+    /// How many tables (plain tables plus individual partitions) are
+    /// physically shared — same `Arc` allocation — between `self` and
+    /// `other`. The copy-on-write observable behind snapshot publication;
+    /// diagnostic for tests and benches.
+    pub fn tables_shared_with(&self, other: &Database) -> usize {
+        self.tables
+            .iter()
+            .map(|(name, slot)| match (slot, other.tables.get(name)) {
+                (TableSlot::Plain(t), Some(TableSlot::Plain(o))) => Arc::ptr_eq(t, o) as usize,
+                (TableSlot::Partitioned(t), Some(TableSlot::Partitioned(o))) => {
+                    t.partitions_shared_with(o)
+                }
+                _ => 0,
+            })
+            .sum()
     }
 
     /// The partitioned table `name`, if stored partitioned.

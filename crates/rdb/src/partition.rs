@@ -13,6 +13,7 @@ use crate::expr::Expr;
 use crate::schema::{Row, Schema};
 use crate::table::Table;
 use aiql_model::SharedDict;
+use std::sync::Arc;
 
 /// Nanoseconds per day (partition granularity).
 pub const NANOS_PER_DAY: i64 = 86_400 * 1_000_000_000;
@@ -86,7 +87,16 @@ impl Prune {
 }
 
 /// A table partitioned by (day, agent group).
-#[derive(Debug)]
+///
+/// Partitions are held behind `Arc` so a cloned `PartitionedTable` (the
+/// snapshot-publication step of `aiql-storage`'s epoch-swapped store)
+/// shares every partition by reference instead of copying rows. A
+/// partition stays **sealed** — immutable, shared with every snapshot that
+/// pinned it — until the writer next routes a row into it, at which point
+/// [`Arc::make_mut`] detaches a private copy (copy-on-write). Partitions
+/// the stream has moved past (older days, other agent groups) are never
+/// touched again, so they are shared by all snapshots forever at zero cost.
+#[derive(Debug, Clone)]
 pub struct PartitionedTable {
     schema: Schema,
     spec: PartitionSpec,
@@ -96,7 +106,7 @@ pub struct PartitionedTable {
     /// Columnar configuration applied to every partition (and every future
     /// partition) once [`PartitionedTable::enable_columnar`] is called.
     columnar: Option<(ColumnarSpec, SharedDict)>,
-    partitions: std::collections::BTreeMap<PartKey, Table>,
+    partitions: std::collections::BTreeMap<PartKey, Arc<Table>>,
     len: usize,
 }
 
@@ -132,7 +142,7 @@ impl PartitionedTable {
         // exists yet, so misconfiguration fails at enable time.
         crate::columnar::Columnar::build(&self.schema, &spec, dict.clone(), &[])?;
         for t in self.partitions.values_mut() {
-            t.enable_columnar(&spec, dict.clone())?;
+            Arc::make_mut(t).enable_columnar(&spec, dict.clone())?;
         }
         self.columnar = Some((spec, dict));
         Ok(())
@@ -210,7 +220,11 @@ impl PartitionedTable {
         let key = self.key_of(&row)?;
         let mut created = None;
         let table = match self.partitions.entry(key) {
-            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            // `make_mut` is the unseal step: a partition shared with a
+            // published snapshot is detached into a private copy before
+            // the first post-publish append touches it; an unshared one
+            // is mutated in place.
+            std::collections::btree_map::Entry::Occupied(e) => Arc::make_mut(e.into_mut()),
             std::collections::btree_map::Entry::Vacant(e) => {
                 let mut t = Table::new(self.schema.clone());
                 // Columnar first: `create_index` then projects each indexed
@@ -222,7 +236,7 @@ impl PartitionedTable {
                     t.create_index(c)?;
                 }
                 created = Some(key);
-                e.insert(t)
+                Arc::make_mut(e.insert(Arc::new(t)))
             }
         };
         table.insert(row)?;
@@ -250,7 +264,7 @@ impl PartitionedTable {
             )),
             std::collections::btree_map::Entry::Vacant(e) => {
                 self.len += table.len();
-                e.insert(table);
+                e.insert(Arc::new(table));
                 Ok(())
             }
         }
@@ -273,7 +287,7 @@ impl PartitionedTable {
             self.index_columns.push(column.to_string());
         }
         for t in self.partitions.values_mut() {
-            t.create_index(column)?;
+            Arc::make_mut(t).create_index(column)?;
         }
         Ok(())
     }
@@ -283,8 +297,20 @@ impl PartitionedTable {
         self.partitions
             .iter()
             .filter(|(k, _)| prune.admits(k, self.spec.agent_group_size))
-            .map(|(k, t)| (*k, t))
+            .map(|(k, t)| (*k, t.as_ref()))
             .collect()
+    }
+
+    /// How many of this table's partitions are physically shared (same
+    /// `Arc` allocation) with `other` — the observable of the seal-and-swap
+    /// protocol: after a snapshot is published, every partition the writer
+    /// has not touched since stays shared rather than copied. Diagnostic
+    /// for tests and benches; not a query API.
+    pub fn partitions_shared_with(&self, other: &PartitionedTable) -> usize {
+        self.partitions
+            .iter()
+            .filter(|(k, t)| other.partitions.get(k).is_some_and(|o| Arc::ptr_eq(t, o)))
+            .count()
     }
 
     /// Derives pruning hints from scan conjuncts over this table's layout.

@@ -44,7 +44,12 @@ impl Index {
 
 /// A table: schema, rows, any secondary indexes, and an optional columnar
 /// projection maintained alongside the rows.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies rows, indexes, and the projection. Tables are
+/// shared between store snapshots behind `Arc`; the clone is the
+/// copy-on-write step that detaches a sealed (snapshot-shared) table so
+/// the writer can keep appending without disturbing published readers.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,

@@ -19,22 +19,25 @@
 //!   duplicate, never a loss.
 //! - **recover**: [`DurableStore::open`] on an existing directory loads
 //!   the newest valid snapshot, replays the WAL tail (tolerating a torn
-//!   final record), and hands back the rebuilt synchronizer so ingestion
+//!   final record — from the same single segment scan that positions the
+//!   log writer), and hands back the rebuilt synchronizer so ingestion
 //!   resumes with the same per-agent clock offsets.
 //!
-//! Readers are untouched: [`DurableStore::shared`] exposes the same
-//! [`SharedStore`] handle live queries already use.
+//! Readers go through the same epoch-swapped [`SharedStore`] handle live
+//! queries already use — with one durable-specific refinement: appends are
+//! made to the writer's private head store and **published** (made visible
+//! to readers) only after the WAL fsync that acknowledges them. A reader
+//! can therefore never observe a row whose durability is still in flight.
 
 use crate::persist::{self, PersistError, RecoveryReport};
 use crate::timesync::Synchronizer;
-use crate::{AppendOutcome, EventStore, SharedStore, StoreConfig, StoreStamp};
+use crate::{AppendOutcome, EventStore, SharedStore, StoreConfig, StoreStamp, StoreWriter};
 use aiql_model::{AgentId, Entity, Event};
 use aiql_rdb::RdbError;
 use aiql_wal::{Wal, WalOptions, WalRecord};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::RwLockWriteGuard;
 
 /// Classifies a WAL append failure. Oversized payloads and fields over the
 /// codec caps are rejected *before any byte reaches the log*, so they
@@ -83,16 +86,18 @@ impl DurableStore {
         // any store file: two concurrent openers racing through the
         // baseline-snapshot write would interleave into the shared
         // .snapshot.tmp and rename a corrupt snapshot-0 into place. The
-        // loser now fails here, having written nothing. (Opening the log
-        // first also truncates any torn tail, which recovery tolerates
-        // either way.)
-        let mut wal = Wal::open(persist::wal_dir(&dir), WalOptions::default())?;
+        // loser now fails here, having written nothing. Opening the log
+        // must scan every segment anyway (to position the writer and
+        // truncate any torn tail); recovery reuses the records from that
+        // one pass instead of reading the segments a second time.
+        let (mut wal, replay) =
+            Wal::open_with_replay(persist::wal_dir(&dir), WalOptions::default())?;
         let (shared, sync, report) = if persist::snapshot_files(&dir)?.is_empty() {
             let store = EventStore::empty(config)?;
             persist::write_snapshot(&store, &dir, 0)?;
             (SharedStore::new(store), Synchronizer::new(), None)
         } else {
-            let rec = persist::recover(&dir)?;
+            let rec = persist::recover_with_replay(&dir, replay)?;
             (SharedStore::new(rec.store), rec.sync, Some(rec.report))
         };
         // The log alone cannot remember how far the sequence got when a
@@ -127,29 +132,37 @@ impl DurableStore {
         Ok(self.wal.size_bytes()?)
     }
 
-    /// Starts a batched write session: one store write guard, WAL-append
-    /// before every insert, one fsync at [`DurableWrite::commit`].
+    /// Starts a batched write session: one store write session, WAL-append
+    /// before every insert, one fsync at [`DurableWrite::commit`] — which
+    /// then publishes the appended rows to readers. A session dropped
+    /// without committing publishes nothing (the rows stay in the private
+    /// head store and surface with the next acknowledged publish).
     pub fn begin(&mut self) -> DurableWrite<'_> {
         DurableWrite {
-            store: self.shared.write(),
+            store: self.shared.write_deferred(),
             wal: &mut self.wal,
         }
     }
 
-    /// Appends one entity (WAL first). Durable after [`DurableStore::sync`].
+    /// Appends one entity (WAL first). Durable — and visible to readers —
+    /// after [`DurableStore::sync`].
     pub fn append_entity(&mut self, e: &Entity) -> Result<(), PersistError> {
         self.begin().append_entity(e)
     }
 
-    /// Appends one event (WAL first). Durable after [`DurableStore::sync`].
+    /// Appends one event (WAL first). Durable — and visible to readers —
+    /// after [`DurableStore::sync`].
     pub fn append_event(&mut self, ev: &Event) -> Result<AppendOutcome, PersistError> {
         self.begin().append_event(ev)
     }
 
     /// Fsyncs the log — the acknowledgement point for appends made outside
-    /// a [`DurableWrite`] session.
+    /// a [`DurableWrite`] session — then publishes the acknowledged rows
+    /// to readers.
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        Ok(self.wal.sync()?)
+        self.wal.sync()?;
+        self.shared.write_deferred().publish();
+        Ok(())
     }
 
     /// Checkpoints while **discarding** any time-synchronization state the
@@ -181,8 +194,14 @@ impl DurableStore {
         self.wal.sync()?;
         let covered = self.wal.last_seq();
         let path = {
-            let guard = self.shared.read();
-            persist::write_snapshot(&guard, &self.dir, covered)?
+            // Everything in the head was logged before it was inserted and
+            // the log is now fsynced, so the head is fully acknowledged:
+            // publish it (any appends still unpublished become readable)
+            // and snapshot that state. Readers are not blocked — the write
+            // session locks out other writers only.
+            let mut w = self.shared.write_deferred();
+            w.publish();
+            persist::write_snapshot(&w, &self.dir, covered)?
         };
         self.wal.rotate()?;
         for (agent, sum_diff, count) in sync.state() {
@@ -214,11 +233,12 @@ impl DurableStore {
     }
 }
 
-/// A batched durable write session: WAL-append before in-memory insert,
-/// under one store write guard, fsynced once at commit.
+/// A batched durable write session: WAL-append before in-memory insert
+/// into the private head store, fsynced once at commit, **published** to
+/// readers only after that fsync.
 #[derive(Debug)]
 pub struct DurableWrite<'a> {
-    store: RwLockWriteGuard<'a, EventStore>,
+    store: StoreWriter<'a>,
     wal: &'a mut Wal,
 }
 
@@ -261,20 +281,19 @@ impl DurableWrite<'_> {
         self.store.stamp()
     }
 
-    /// Releases the write guard, then fsyncs the log — the acknowledgement
-    /// point. Returns the stamp the session reached.
+    /// Fsyncs the log — the acknowledgement point — and only then
+    /// publishes the session's appends as the new reader-visible snapshot.
+    /// Returns the stamp the session reached.
     ///
-    /// The guard is dropped *before* the fsync so live queries are not
-    /// stalled behind the disk sync. Readers may therefore briefly observe
-    /// rows whose durability is still in flight — the same window the
-    /// non-batched [`DurableStore::append_event`] + [`DurableStore::sync`]
-    /// path always has. This store acknowledges durability to the
-    /// *writer*; it does not gate reads on it.
-    pub fn commit(self) -> Result<StoreStamp, PersistError> {
-        let stamp = self.store.stamp();
-        drop(self.store);
+    /// Readers are never stalled behind the disk sync (they keep serving
+    /// the previous snapshot throughout), and they can never observe a row
+    /// before it is durable: publication happens strictly after the fsync,
+    /// closing the pre-ack visibility window the lock-based store had. If
+    /// the fsync fails nothing is published — the un-acknowledged rows
+    /// stay confined to the writer's head store.
+    pub fn commit(mut self) -> Result<StoreStamp, PersistError> {
         self.wal.sync()?;
-        Ok(stamp)
+        Ok(self.store.publish())
     }
 }
 

@@ -43,7 +43,7 @@ pub mod schema;
 pub mod timesync;
 
 pub use durable::{DurableOpen, DurableStore, DurableWrite};
-pub use live::{SharedStore, StoreStamp};
+pub use live::{SharedStore, StoreSnapshot, StoreStamp, StoreWriter};
 pub use persist::{PersistError, RecoveryReport};
 
 use aiql_model::{Dataset, Entity, EntityKind, Event, SharedDict, Timestamp, Value};
@@ -213,7 +213,11 @@ pub struct AppendOutcome {
 /// the append hooks ([`EventStore::append_entity`] /
 /// [`EventStore::append_event`]) — both paths maintain the same secondary
 /// indexes and partitions, so queries plan identically either way.
-#[derive(Debug)]
+///
+/// `Clone` is copy-on-write (every table is `Arc`-shared with the clone,
+/// see [`aiql_rdb::Database`]): it is how [`SharedStore`] publishes an
+/// immutable snapshot per flush without copying row data.
+#[derive(Debug, Clone)]
 pub struct EventStore {
     db: Database,
     config: StoreConfig,

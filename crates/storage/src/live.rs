@@ -1,20 +1,40 @@
 //! Shared handles for stores that grow while being queried.
 //!
-//! Batch evaluation builds an [`EventStore`] once and
-//! borrows it immutably for the lifetime of the experiment. A live
-//! deployment interleaves appends (the ingestor) with reads (investigators
-//! running queries), so the store sits behind a [`SharedStore`] —
-//! `Arc<RwLock<EventStore>>` with a small protocol on top:
+//! Batch evaluation builds an [`EventStore`] once and borrows it immutably
+//! for the lifetime of the experiment. A live deployment interleaves
+//! appends (the ingestor) with reads (investigators running queries), so
+//! the store sits behind a [`SharedStore`] — an **epoch-swapped snapshot
+//! store**:
 //!
-//! - writers take the lock through [`SharedStore::write`] and append;
-//! - readers take a snapshot guard through [`SharedStore::read`]; the guard
-//!   pins the store for the duration of one query, so the query sees a
-//!   point-in-time prefix of the stream (appends queue behind the lock);
-//! - every mutation bumps the store's [`StoreStamp`]; comparing the stamps
-//!   observed before and after a read proves the snapshot was stable.
+//! - one **head** store is owned by the writer (guarded by a mutex that
+//!   only writers ever take); appends mutate it privately and are
+//!   invisible to readers until published;
+//! - a **published** snapshot — an `Arc<EventStore>` — is swapped in
+//!   atomically when the writer [`StoreWriter::publish`]es (every
+//!   [`SharedStore::write`] session publishes when it ends; durable
+//!   writers publish after the WAL fsync instead);
+//! - readers call [`SharedStore::read`] and get a [`StoreSnapshot`]: an
+//!   `Arc` clone of the published store. Taking it is a pointer copy —
+//!   readers never wait on a flush, and a flush never waits on readers.
+//!   The snapshot pins one immutable point-in-time store for as long as
+//!   the reader holds it, regardless of how many flushes land meanwhile.
+//!
+//! Publishing costs one [`EventStore::clone`], which is cheap by
+//! construction: every table and partition is `Arc`-shared with the head
+//! (copy-on-write in `aiql-rdb`), so the clone copies pointers, not rows.
+//! The writer pays the real copy lazily and only where it writes — the
+//! first post-publish append into a partition detaches that partition
+//! ("unseals" it) while every partition the stream has moved past stays
+//! physically shared with all snapshots forever. Sealed partitions are
+//! therefore owned jointly by the snapshots that pinned them; the last
+//! snapshot to drop frees them.
+//!
+//! Every mutation bumps the store's [`StoreStamp`]; a snapshot's stamp
+//! identifies exactly which prefix of the stream it reflects.
 
 use crate::EventStore;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// A point-in-time version of a store: mutation epoch plus row counts.
 ///
@@ -33,39 +53,149 @@ pub struct StoreStamp {
 /// A cloneable, thread-safe handle to a growing [`EventStore`].
 #[derive(Debug, Clone)]
 pub struct SharedStore {
-    inner: Arc<RwLock<EventStore>>,
+    /// The writer's mutable head; the mutex serializes writers only.
+    head: Arc<Mutex<EventStore>>,
+    /// The published snapshot readers clone. The lock is held just long
+    /// enough to copy or swap one `Arc` pointer — never for a query, never
+    /// for a flush.
+    published: Arc<RwLock<Arc<EventStore>>>,
+}
+
+/// A pinned, immutable point-in-time view of a [`SharedStore`].
+///
+/// Obtained from [`SharedStore::read`]; derefs to [`EventStore`]. The view
+/// is stable for as long as the snapshot is held: concurrent flushes
+/// publish *new* snapshots and never mutate this one. Cloning is an `Arc`
+/// bump, so a snapshot can be handed to worker threads freely.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    inner: Arc<EventStore>,
+}
+
+impl Deref for StoreSnapshot {
+    type Target = EventStore;
+
+    fn deref(&self) -> &EventStore {
+        &self.inner
+    }
 }
 
 impl SharedStore {
-    /// Wraps a store for shared live access.
+    /// Wraps a store for shared live access. The initial published
+    /// snapshot is the store as given.
     pub fn new(store: EventStore) -> SharedStore {
+        let published = Arc::new(RwLock::new(Arc::new(store.clone())));
         SharedStore {
-            inner: Arc::new(RwLock::new(store)),
+            head: Arc::new(Mutex::new(store)),
+            published,
         }
     }
 
-    /// A read guard pinning one consistent snapshot; queries run against
-    /// `&*guard` see no concurrent appends.
-    pub fn read(&self) -> RwLockReadGuard<'_, EventStore> {
-        self.inner.read().expect("store lock poisoned")
+    /// Pins the currently published snapshot — a wait-free `Arc` clone.
+    /// Queries running against it see no concurrent appends, and no append
+    /// ever waits for the snapshot to be dropped.
+    pub fn read(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            inner: self.published.read().expect("store lock poisoned").clone(),
+        }
     }
 
-    /// A write guard for appending.
-    pub fn write(&self) -> RwLockWriteGuard<'_, EventStore> {
-        self.inner.write().expect("store lock poisoned")
+    /// A write session for appending. Appends go to the private head store
+    /// and become visible to readers when the session **publishes** — on
+    /// drop, for this entry point.
+    pub fn write(&self) -> StoreWriter<'_> {
+        self.writer(true)
     }
 
-    /// The current stamp (acquires and releases a read lock).
+    /// A write session that does **not** publish on drop: appends stay
+    /// invisible to readers until [`StoreWriter::publish`] is called. The
+    /// durable store uses this to order publication *after* the WAL fsync,
+    /// so a reader can never observe a row whose durability is still in
+    /// flight.
+    pub fn write_deferred(&self) -> StoreWriter<'_> {
+        self.writer(false)
+    }
+
+    fn writer(&self, publish_on_drop: bool) -> StoreWriter<'_> {
+        StoreWriter {
+            head: self.head.lock().expect("store lock poisoned"),
+            published: &self.published,
+            publish_on_drop,
+        }
+    }
+
+    /// The stamp of the currently published snapshot (what readers see —
+    /// not the head, which may hold unpublished appends).
     pub fn stamp(&self) -> StoreStamp {
-        self.read().stamp()
+        self.published.read().expect("store lock poisoned").stamp()
     }
 
-    /// Unwraps the store if this is the last handle; returns `self`
-    /// otherwise.
+    /// Unwraps the head store if this is the last handle; returns `self`
+    /// otherwise. Unpublished appends are part of the head and survive the
+    /// unwrap; outstanding [`StoreSnapshot`]s keep their pinned view alive
+    /// independently (sealed tables are unshared lazily, on next write).
     pub fn try_unwrap(self) -> Result<EventStore, SharedStore> {
-        match Arc::try_unwrap(self.inner) {
+        let SharedStore { head, published } = self;
+        match Arc::try_unwrap(head) {
             Ok(lock) => Ok(lock.into_inner().expect("store lock poisoned")),
-            Err(inner) => Err(SharedStore { inner }),
+            Err(head) => Err(SharedStore { head, published }),
+        }
+    }
+}
+
+/// An exclusive write session on a [`SharedStore`]'s head store.
+///
+/// Derefs to [`EventStore`], so the append hooks are available directly.
+/// Mutations are private to the session until published: either explicitly
+/// via [`StoreWriter::publish`] (the durable store's post-fsync
+/// acknowledgement point) or on drop when the session came from
+/// [`SharedStore::write`].
+#[derive(Debug)]
+pub struct StoreWriter<'a> {
+    head: MutexGuard<'a, EventStore>,
+    published: &'a RwLock<Arc<EventStore>>,
+    publish_on_drop: bool,
+}
+
+impl StoreWriter<'_> {
+    /// Publishes the head as the new reader-visible snapshot and returns
+    /// its stamp. Costs one copy-on-write [`EventStore::clone`] (pointer
+    /// copies; row data stays shared) plus an `Arc` swap under a lock held
+    /// for nanoseconds. Publishing with nothing new is a no-op.
+    pub fn publish(&mut self) -> StoreStamp {
+        let stamp = self.head.stamp();
+        let mut slot = self.published.write().expect("store lock poisoned");
+        if slot.stamp() != stamp {
+            *slot = Arc::new(self.head.clone());
+        }
+        stamp
+    }
+
+    /// The head's stamp — includes appends this session has not yet
+    /// published.
+    pub fn stamp(&self) -> StoreStamp {
+        self.head.stamp()
+    }
+}
+
+impl Deref for StoreWriter<'_> {
+    type Target = EventStore;
+
+    fn deref(&self) -> &EventStore {
+        &self.head
+    }
+}
+
+impl DerefMut for StoreWriter<'_> {
+    fn deref_mut(&mut self) -> &mut EventStore {
+        &mut self.head
+    }
+}
+
+impl Drop for StoreWriter<'_> {
+    fn drop(&mut self) {
+        if self.publish_on_drop {
+            self.publish();
         }
     }
 }
@@ -112,23 +242,65 @@ mod tests {
     }
 
     #[test]
-    fn read_guard_pins_a_snapshot() {
+    fn snapshot_pins_a_stable_view_while_writers_proceed() {
         let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
         shared.write().append_event(&event(1, 0)).unwrap();
 
         let clone = shared.clone();
-        let guard = shared.read();
-        let before = guard.stamp();
-        // A writer on another thread blocks until the guard drops.
+        let snap = shared.read();
+        let before = snap.stamp();
+        // A writer on another thread does NOT block behind the snapshot —
+        // it appends, publishes, and finishes while the snapshot is held.
         let writer = std::thread::spawn(move || {
             clone.write().append_event(&event(2, 1)).unwrap();
         });
-        // The snapshot is stable while we hold the guard.
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(guard.stamp(), before);
-        drop(guard);
         writer.join().unwrap();
+        // The published store moved on; the pinned snapshot did not.
         assert_eq!(shared.stamp().events, 2);
+        assert_eq!(snap.stamp(), before);
+        assert_eq!(snap.event_count(), 1);
+    }
+
+    #[test]
+    fn unpublished_appends_are_invisible_until_publish() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+        let mut w = shared.write_deferred();
+        w.append_event(&event(1, 0)).unwrap();
+        assert_eq!(shared.stamp().events, 0, "not yet published");
+        assert_eq!(w.stamp().events, 1, "but in the head");
+        w.publish();
+        assert_eq!(shared.stamp().events, 1);
+        drop(w);
+        // A deferred session dropped without publishing leaves readers on
+        // the old snapshot; the appends surface with the next publish.
+        let mut w = shared.write_deferred();
+        w.append_event(&event(2, 1)).unwrap();
+        drop(w);
+        assert_eq!(shared.stamp().events, 1);
+        shared.write().publish();
+        assert_eq!(shared.stamp().events, 2);
+    }
+
+    #[test]
+    fn snapshots_share_sealed_partitions_with_the_head() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+        let day = aiql_rdb::partition::NANOS_PER_DAY;
+        // Two day partitions.
+        {
+            let mut w = shared.write();
+            w.append_event(&event(1, 10)).unwrap();
+            w.append_event(&event(2, day + 10)).unwrap();
+        }
+        let snap = shared.read();
+        // Appending into day 1 unseals (copies) only that partition; the
+        // day-0 partition and all three entity tables stay shared.
+        shared.write().append_event(&event(3, day + 20)).unwrap();
+        let after = shared.read();
+        assert_eq!(snap.db().tables_shared_with(after.db()), 4);
+        // A fresh publish with no appends swaps nothing at all.
+        shared.write().publish();
+        let again = shared.read();
+        assert_eq!(after.db().tables_shared_with(again.db()), 5);
     }
 
     #[test]

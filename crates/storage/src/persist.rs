@@ -263,12 +263,12 @@ pub fn load_snapshot(path: &Path) -> Result<(EventStore, u64), PersistError> {
         let columnar = spec_holder.as_ref().map(|s| (s, &dict));
         let indexes = indexes_for(config, table);
         let slot = match codec::read_u8(&mut r)? {
-            0 => TableSlot::Plain(rsnap::read_table(
+            0 => TableSlot::Plain(std::sync::Arc::new(rsnap::read_table(
                 &mut r,
                 schema_for(table),
                 &indexes,
                 columnar,
-            )?),
+            )?)),
             1 => {
                 let Layout::Partitioned { agent_group_size } = config.layout else {
                     return Err(corrupt("partitioned table in a monolithic snapshot"));
@@ -348,6 +348,19 @@ pub struct Recovered {
 
 /// Recovers the store persisted at `dir`: newest valid snapshot + WAL tail.
 pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
+    let replay = aiql_wal::replay(wal_dir(dir))?;
+    recover_with_replay(dir, replay)
+}
+
+/// Like [`recover`], but reuses an already-scanned [`aiql_wal::Replay`] of
+/// the store's log instead of reading every segment again. The durable
+/// store opens its write-ahead log first (which must scan the segments to
+/// position the writer and truncate any torn tail) and hands the records
+/// from that single pass here.
+pub fn recover_with_replay(
+    dir: &Path,
+    replay: aiql_wal::Replay,
+) -> Result<Recovered, PersistError> {
     let mut candidates = snapshot_files(dir)?;
     let newest_covered = candidates.last().map_or(0, |(seq, _)| *seq);
     let mut corrupt_snapshots = 0;
@@ -384,7 +397,6 @@ pub fn recover(dir: &Path) -> Result<Recovered, PersistError> {
         ..RecoveryReport::default()
     };
     let mut sync = Synchronizer::new();
-    let replay = aiql_wal::replay(wal_dir(dir))?;
     report.torn_bytes = replay.torn_bytes;
     // Falling back past an unreadable newer snapshot is only safe while
     // the log still holds every record from the snapshot we *did* load up

@@ -238,6 +238,21 @@ impl Wal {
     /// would produce duplicate sequence numbers, which replay treats as a
     /// tear, silently discarding fsync-acknowledged records behind it.
     pub fn open(dir: impl AsRef<Path>, options: WalOptions) -> io::Result<Wal> {
+        Wal::open_with_replay(dir, options).map(|(wal, _)| wal)
+    }
+
+    /// Like [`Wal::open`], but also returns the [`Replay`] of every valid
+    /// record found while positioning the writer. Opening must scan the
+    /// segments anyway (to find the valid prefix and truncate any torn
+    /// tail), so callers that recover *and* keep writing — the durable
+    /// store — get the records from that single pass instead of paying a
+    /// second full read via [`replay`]. `torn_bytes` reports what the open
+    /// truncated away (a crash mid-write); a post-open [`replay`] would
+    /// see a clean log.
+    pub fn open_with_replay(
+        dir: impl AsRef<Path>,
+        options: WalOptions,
+    ) -> io::Result<(Wal, Replay)> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         // The log directory's own entry must be durable in its parent, or
@@ -267,15 +282,23 @@ impl Wal {
         let segments = segment_files(&dir)?;
 
         // Find the end of the valid prefix: scan segments in order, stop at
-        // the first torn one, truncate it, and drop anything after it.
+        // the first torn one, truncate it, and drop anything after it. The
+        // records seen along the way are collected into the returned replay
+        // so recovery never reads the segments a second time.
+        let mut found = Replay {
+            segments: segments.len(),
+            ..Replay::default()
+        };
         let mut prev_seq = 0u64;
         let mut open_at: Option<(u64, u64)> = None; // (index, valid length)
         let mut torn_from: Option<usize> = None;
         for (i, (idx, path)) in segments.iter().enumerate() {
             let bytes = fs::read(path)?;
-            let (_, valid_end, torn) = scan_segment(&bytes, &mut prev_seq);
+            let (records, valid_end, torn) = scan_segment(&bytes, &mut prev_seq);
+            found.records.extend(records);
             open_at = Some((*idx, valid_end as u64));
             if torn {
+                found.torn_bytes += (bytes.len() - valid_end) as u64;
                 if valid_end < bytes.len() {
                     let f = OpenOptions::new().write(true).open(path)?;
                     f.set_len(valid_end as u64)?;
@@ -287,6 +310,7 @@ impl Wal {
         }
         if let Some(from) = torn_from {
             for (_, path) in &segments[from..] {
+                found.torn_bytes += fs::metadata(path)?.len();
                 fs::remove_file(path)?;
             }
         }
@@ -298,17 +322,20 @@ impl Wal {
         // Make the active segment's directory entry (and any torn-tail
         // removals above) durable before a single record is acknowledged.
         fsync_dir(&dir)?;
-        Ok(Wal {
-            dir,
-            options,
-            file,
-            segment_index,
-            segment_len,
-            next_seq: prev_seq + 1,
-            buf: Vec::with_capacity(256),
-            poisoned: false,
-            _lock: lock,
-        })
+        Ok((
+            Wal {
+                dir,
+                options,
+                file,
+                segment_index,
+                segment_len,
+                next_seq: prev_seq + 1,
+                buf: Vec::with_capacity(256),
+                poisoned: false,
+                _lock: lock,
+            },
+            found,
+        ))
     }
 
     /// The sequence number the next append will receive.
@@ -687,6 +714,30 @@ mod tests {
         assert!(!r.is_torn(), "repair removed the tear");
         assert_eq!(r.records.len(), 4, "the retried append is reachable");
         assert_eq!(r.last_seq(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_with_replay_matches_standalone_replay() {
+        let dir = tmp("open-replay");
+        let mut wal = Wal::open(&dir, WalOptions { segment_bytes: 128 }).unwrap();
+        for i in 1..=12 {
+            wal.append(&event(i, i as i64)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Tear the tail so the open has damage to report and repair.
+        assert!(testing::tear_last_segment(&dir, 3).unwrap());
+        let before = replay(&dir).unwrap();
+        assert!(before.is_torn());
+
+        let (wal, found) = Wal::open_with_replay(&dir, WalOptions::default()).unwrap();
+        assert_eq!(found.records, before.records, "one pass, same records");
+        assert_eq!(found.torn_bytes, before.torn_bytes);
+        assert_eq!(found.segments, before.segments);
+        assert_eq!(wal.next_seq(), found.last_seq() + 1);
+        drop(wal);
+        assert!(!replay(&dir).unwrap().is_torn(), "open repaired the tear");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,13 +6,16 @@
 //! stream — out-of-order arrivals, per-agent clock skew, day-boundary
 //! rollover — through `aiql-ingest` in durable mode: every acknowledged
 //! row is write-ahead logged before it is applied, and a mid-stream
-//! checkpoint snapshots the store and truncates the log. Between flushes
-//! the investigator polls the paper's Query 7 (the complete exfiltration
-//! chain); the chain assembles only once the day-2 attack events have
-//! streamed in, and every read observes one consistent snapshot of the
-//! growing store. At the end the process "restarts": the ingestor is
-//! dropped without a final checkpoint and the store is reopened from disk
-//! (snapshot + WAL tail), where the chain is still exactly where it was.
+//! checkpoint snapshots the store and truncates the log. Two investigators
+//! watch the stream: the pipeline thread polls the paper's Query 7 (the
+//! complete exfiltration chain) between flushes, and a **second thread**
+//! polls it continuously *while* flushes run — each poll pins one
+//! published snapshot of the epoch-swapped store, so it never waits for a
+//! flush and never sees a half-applied batch. The chain assembles only
+//! once the day-2 attack events have streamed in. At the end the process
+//! "restarts": the ingestor is dropped without a final checkpoint and the
+//! store is reopened from disk (snapshot + WAL tail), where the chain is
+//! still exactly where it was.
 //!
 //! ```text
 //! cargo run --release --example live_monitoring
@@ -68,6 +71,72 @@ fn main() {
         Ingestor::durable(IngestConfig::live(), store_dir).expect("durable live store");
     let shared = ingestor.shared();
 
+    // The second investigator: polls Query 7 on its own thread for the
+    // whole stream. Every poll pins one published snapshot — it runs in
+    // parallel with flushes, checkpoints, and the pipeline's own queries,
+    // and observes only whole acknowledged flushes.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (polls, first_chain) = std::thread::scope(|scope| {
+        let investigator = scope.spawn(|| {
+            let mut polls = 0u64;
+            let mut first: Option<aiql::storage::StoreStamp> = None;
+            loop {
+                // Read the stop flag *before* polling: a poll started after
+                // the flag was set necessarily pins the final published
+                // snapshot (the pipeline's last flush publishes before the
+                // flag is stored), so the thread always gets one guaranteed
+                // look at the complete stream before returning.
+                let stopping = stop.load(std::sync::atomic::Ordering::Relaxed);
+                let live = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("poll");
+                polls += 1;
+                if first.is_none() && !live.outcome.result.rows.is_empty() {
+                    first = Some(live.stamp);
+                }
+                if stopping {
+                    return (polls, first);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+
+        stream_pipeline(&mut ingestor, &shared, batches, &skews);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        investigator.join().expect("investigator thread")
+    });
+    // Poll count and first-sighting version depend on thread timing, so
+    // they go to stderr — stdout stays deterministic (diffable across
+    // runs). The investigator's guaranteed post-stop poll sees the final
+    // published store, so the chain is always visible by then.
+    let first = first_chain.expect("chain eventually visible");
+    eprintln!(
+        "[concurrent investigator: {polls} polls served while the stream ran; \
+         first saw the chain at store version {} events]",
+        first.events,
+    );
+    println!("\nconcurrent investigator saw the chain while the stream ran: true");
+
+    let stats = ingestor.stats();
+    println!(
+        "ingested {} events / {} entities in {} batches \
+         ({} out-of-order arrivals, {} partition rollovers)",
+        stats.events_applied,
+        stats.entities_applied,
+        stats.batches_applied,
+        stats.out_of_order_events,
+        stats.rollovers
+    );
+
+    finish_and_restart(ingestor, shared, store_dir);
+}
+
+/// The ingestion pipeline: streams every shipment, flushing every few and
+/// letting the pipeline's own investigator poll between flushes.
+fn stream_pipeline(
+    ingestor: &mut Ingestor,
+    shared: &aiql::storage::SharedStore,
+    batches: Vec<aiql::datagen::StreamBatch>,
+    skews: &[aiql::datagen::AgentSkew],
+) {
     let total = batches.len();
     for (i, sb) in batches.into_iter().enumerate() {
         let mut eb = EventBatch {
@@ -78,7 +147,7 @@ fn main() {
         if i == 0 {
             // Each agent reports a clock sample with its first shipment; the
             // ingestor corrects all later stamps server-side.
-            for s in &skews {
+            for s in skews {
                 eb.add_clock_sample(
                     s.agent,
                     ClockSample {
@@ -93,7 +162,7 @@ fn main() {
         // Flush every few shipments and let the investigator poll.
         if (i + 1) % 8 == 0 || i + 1 == total {
             let report = ingestor.flush().expect("flush");
-            let live = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("query");
+            let live = run_live(shared, EngineConfig::aiql(), QUERY7).expect("query");
             let chain = live.outcome.result.rows.len();
             println!(
                 "shipment {:>3}/{total}: +{:>5} events, {:>2} partition rollover(s), \
@@ -124,18 +193,15 @@ fn main() {
             );
         }
     }
+}
 
-    let stats = ingestor.stats();
-    println!(
-        "\ningested {} events / {} entities in {} batches \
-         ({} out-of-order arrivals, {} partition rollovers)",
-        stats.events_applied,
-        stats.entities_applied,
-        stats.batches_applied,
-        stats.out_of_order_events,
-        stats.rollovers
-    );
-
+/// Final live query, then the simulated restart: reopen from disk and
+/// check the chain survived.
+fn finish_and_restart(
+    ingestor: Ingestor,
+    shared: aiql::storage::SharedStore,
+    store_dir: &std::path::Path,
+) {
     let final_result = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("final query");
     println!("\n== paper Query 7 against the live store ==");
     print!("{}", final_result.outcome.result);

@@ -9,6 +9,12 @@
 //!    blocks) must be result-equivalent to the pure row store — with the
 //!    columnar projections built in batch *and* grown live by appends that
 //!    cross the day boundary.
+//! 3. Snapshot isolation of the epoch-swapped store: a snapshot pinned
+//!    before a flush sees exactly the pre-flush store no matter how much
+//!    streams in afterwards, and concurrent readers racing one writer only
+//!    ever observe published flush boundaries — every result equals what
+//!    the same query computes single-threaded on the snapshot with the
+//!    same stamp, and the final state equals the batch oracle.
 
 use aiql::engine::{self, Engine, EngineConfig};
 use aiql::storage::timesync::ClockSample;
@@ -243,6 +249,139 @@ proptest! {
             );
             prop_assert_eq!(&got_live, &want, "columnar live diverged: {}", q);
         }
+    }
+
+    #[test]
+    fn pinned_snapshot_sees_exactly_the_pre_flush_store(
+        events in micro_events(),
+        batch_events in 1usize..12,
+        pin_after in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let data = build(&events);
+        let cfg = StreamConfig {
+            batch_events,
+            jitter_events: batch_events,
+            max_skew_ns: 0,
+            seed,
+        };
+        let (batches, _) = stream(&data, &cfg);
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        let shared = ing.shared();
+
+        // Stream a prefix, flushing as we go, then pin a snapshot.
+        let pin_at = pin_after.min(batches.len());
+        let mut it = batches.into_iter();
+        for sb in it.by_ref().take(pin_at) {
+            ing.submit(EventBatch { entities: sb.entities, events: sb.events, clock_samples: Vec::new() }).unwrap();
+            ing.flush().unwrap();
+        }
+        let pinned = shared.read();
+        let stamp = pinned.stamp();
+        let q = tier1_queries()[0];
+        let before = sorted_rows(Engine::new(&pinned).run(q).unwrap().rows);
+        let events_before = pinned.event_count();
+
+        // Stream the rest — every flush publishes a new snapshot.
+        for sb in it {
+            ing.submit(EventBatch { entities: sb.entities, events: sb.events, clock_samples: Vec::new() }).unwrap();
+            ing.flush().unwrap();
+        }
+
+        // The pinned snapshot is byte-for-byte where it was...
+        prop_assert_eq!(pinned.stamp(), stamp);
+        prop_assert_eq!(pinned.event_count(), events_before);
+        prop_assert_eq!(sorted_rows(Engine::new(&pinned).run(q).unwrap().rows), before);
+        // ...while a fresh read sees the whole stream.
+        let (final_shared, _) = ing.finish().unwrap();
+        let live = final_shared.read();
+        prop_assert_eq!(live.event_count(), data.events.len());
+        prop_assert!(live.stamp() >= stamp);
+    }
+
+    #[test]
+    fn concurrent_readers_and_one_writer_match_the_batch_oracle(
+        events in micro_events(),
+        batch_events in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+
+        /// What one reader thread observed: (stamp, query result) pairs.
+        type Observations = Vec<(aiql::storage::StoreStamp, Vec<String>)>;
+
+        let data = build(&events);
+        let cfg = StreamConfig {
+            batch_events,
+            jitter_events: batch_events * 2,
+            max_skew_ns: 0,
+            seed,
+        };
+        let (batches, _) = stream(&data, &cfg);
+        let mut ing = Ingestor::new(IngestConfig::live()).unwrap();
+        let shared = ing.shared();
+        // Partition-parallel scans off: reader parallelism is the subject.
+        let econfig = EngineConfig { parallel: false, ..EngineConfig::aiql() };
+        let q = tier1_queries()[0];
+
+        let done = AtomicBool::new(false);
+        let observations: Mutex<Vec<Observations>> = Mutex::new(Vec::new());
+        // Snapshots retained at every publish point, for the post-hoc oracle.
+        let published = std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut seen = Vec::new();
+                    while !done.load(Ordering::Relaxed) {
+                        let lo = engine::run_live(&shared, econfig, q).unwrap();
+                        seen.push((lo.stamp, sorted_rows(lo.outcome.result.rows)));
+                    }
+                    observations.lock().unwrap().push(seen);
+                });
+            }
+            let mut published = vec![shared.read()];
+            for sb in batches {
+                ing.submit(EventBatch {
+                    entities: sb.entities,
+                    events: sb.events,
+                    clock_samples: Vec::new(),
+                }).unwrap();
+                ing.flush().unwrap();
+                published.push(shared.read());
+            }
+            done.store(true, Ordering::Relaxed);
+            published
+        });
+
+        // Post-hoc oracle: for each published snapshot, what the query
+        // answers single-threaded.
+        let mut oracle = std::collections::HashMap::new();
+        for snap in &published {
+            oracle.insert(
+                snap.stamp().epoch,
+                sorted_rows(Engine::new(snap).run(q).unwrap().rows),
+            );
+        }
+        for seen in observations.into_inner().unwrap() {
+            let mut last = aiql::storage::StoreStamp::default();
+            for (stamp, rows) in seen {
+                // Readers only ever observe published flush boundaries...
+                let want = oracle.get(&stamp.epoch);
+                prop_assert!(want.is_some(), "unpublished stamp observed: {:?}", stamp);
+                // ...with exactly the result that snapshot computes...
+                prop_assert_eq!(Some(&rows), want);
+                // ...and time never runs backwards for one reader.
+                prop_assert!(stamp >= last, "stamps regressed: {:?} < {:?}", stamp, last);
+                last = stamp;
+            }
+        }
+
+        // The end state is the batch oracle.
+        let batch_store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+        let want = sorted_rows(Engine::new(&batch_store).run(q).unwrap().rows);
+        let (final_shared, _) = ing.finish().unwrap();
+        let got = sorted_rows(Engine::new(&final_shared.read()).run(q).unwrap().rows);
+        prop_assert_eq!(got, want);
     }
 
     #[test]
