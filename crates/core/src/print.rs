@@ -118,9 +118,18 @@ fn unit(u: aiql_model::TimeUnit) -> &'static str {
 }
 
 fn window(w: &TimeWindow) -> String {
+    // A `$name` datetime is a prepared-statement placeholder and prints in
+    // its unquoted source spelling.
+    let dt = |s: &str| {
+        if s.starts_with('$') {
+            s.to_string()
+        } else {
+            format!("\"{s}\"")
+        }
+    };
     match w {
-        TimeWindow::At { datetime, .. } => format!("at \"{datetime}\""),
-        TimeWindow::FromTo { from, to, .. } => format!("from \"{from}\" to \"{to}\""),
+        TimeWindow::At { datetime, .. } => format!("at {}", dt(datetime)),
+        TimeWindow::FromTo { from, to, .. } => format!("from {} to {}", dt(from), dt(to)),
     }
 }
 

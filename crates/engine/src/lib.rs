@@ -45,18 +45,30 @@ pub mod pattern;
 pub mod result;
 pub mod schedule;
 pub mod scoring;
+pub mod session;
 pub mod synth;
 pub mod tupleset;
 
 pub use error::EngineError;
-pub use pattern::{Deadline, EngineStats, StoreRef};
+pub use pattern::{Deadline, EngineStats, ScanRecord, ScanTarget, StoreRef};
 pub use result::EngineResult;
 pub use schedule::Scheduler;
 pub use scoring::ScoreModel;
+pub use session::{Bound, Cursor, Explain, Params, PatternPlan, Prepared, Session};
 
-use aiql_core::{compile, QueryContext, QueryKind};
+use aiql_core::{PlanCache, QueryContext, QueryKind};
 use aiql_storage::{EventStore, SegmentedStore, SharedStore, StoreStamp};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The process-wide plan cache behind the legacy one-shot entry points
+/// ([`Engine::run`] / [`run_live`]): repeated identical source text is
+/// lexed, parsed, and analyzed once, then served from the cache — the
+/// session API's amortization without a session.
+fn legacy_plan_cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PlanCache::new(session::SESSION_PLAN_CACHE_CAPACITY)))
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -110,10 +122,34 @@ impl EngineConfig {
     }
 }
 
+/// A cached physical plan for one statement: the relationship scheduler's
+/// pattern-ordering scores.
+///
+/// Scores decide only the *order* patterns execute in (any order is
+/// correct), so reusing them across bindings of a prepared statement is
+/// the classic generic-plan tradeoff: skip per-call planning — which under
+/// [`ScoreModel::DataStatistics`] measures real selectivities against the
+/// store — at the cost of an ordering tuned to the first binding.
+#[derive(Debug, Default)]
+pub struct PlanSlot(std::sync::Mutex<Option<Vec<u32>>>);
+
+impl PlanSlot {
+    /// An empty slot; the first run through it plans and fills it.
+    pub fn new() -> PlanSlot {
+        PlanSlot::default()
+    }
+
+    /// Whether a plan has been cached.
+    pub fn is_planned(&self) -> bool {
+        self.0.lock().expect("plan slot poisoned").is_some()
+    }
+}
+
 /// The query engine, bound to a store.
 pub struct Engine<'a> {
     store: StoreRef<'a>,
     config: EngineConfig,
+    plan: Option<&'a PlanSlot>,
 }
 
 /// A query outcome: result plus execution statistics and elapsed time.
@@ -131,6 +167,7 @@ impl<'a> Engine<'a> {
         Engine {
             store: StoreRef::Single(store),
             config: EngineConfig::aiql(),
+            plan: None,
         }
     }
 
@@ -139,6 +176,7 @@ impl<'a> Engine<'a> {
         Engine {
             store: StoreRef::Single(store),
             config,
+            plan: None,
         }
     }
 
@@ -147,18 +185,60 @@ impl<'a> Engine<'a> {
         Engine {
             store: StoreRef::Segmented(store),
             config,
+            plan: None,
         }
     }
 
+    /// Attaches a [`PlanSlot`]: the first query through this engine plans
+    /// and fills it, later queries reuse the cached plan instead of
+    /// re-scoring. Prepared statements attach their statement-level slot
+    /// here.
+    pub fn with_plan_slot(mut self, slot: &'a PlanSlot) -> Engine<'a> {
+        self.plan = Some(slot);
+        self
+    }
+
     /// Compiles and runs an AIQL query, returning just the result.
+    ///
+    /// A thin back-compat wrapper over the prepared-statement machinery:
+    /// compilation goes through the process-wide plan cache, so re-running
+    /// identical source costs a lookup instead of a parse. For
+    /// parameterized, iterated investigations use [`Session`] /
+    /// [`Session::prepare`] instead.
     pub fn run(&self, source: &str) -> Result<EngineResult, EngineError> {
         self.run_outcome(source).map(|o| o.result)
     }
 
     /// Compiles and runs an AIQL query, returning result + statistics.
+    /// Cached like [`Engine::run`].
     pub fn run_outcome(&self, source: &str) -> Result<Outcome, EngineError> {
-        let ctx = compile(source)?;
-        self.run_ctx(&ctx)
+        let stmt = legacy_plan_cache()
+            .lock()
+            .expect("plan cache lock poisoned")
+            .get_or_compile(source)?;
+        match stmt.static_ctx() {
+            Some(ctx) => self.run_ctx(ctx),
+            // `$name` placeholders need a binding — surface the analyzer's
+            // unbound-parameter error rather than executing nonsense.
+            None => self.run_ctx(&stmt.bind(&aiql_core::ParamValues::new())?),
+        }
+    }
+
+    /// The scheduler scores for `ctx`: from the attached [`PlanSlot`] when
+    /// one is present and filled, computing (and caching) them otherwise.
+    fn plan_scores(&self, ctx: &QueryContext) -> Vec<u32> {
+        let Some(slot) = self.plan else {
+            return scoring::scores(self.config.scorer, self.store, ctx);
+        };
+        let mut guard = slot.0.lock().expect("plan slot poisoned");
+        match &*guard {
+            Some(s) if s.len() == ctx.patterns.len() => s.clone(),
+            _ => {
+                let s = scoring::scores(self.config.scorer, self.store, ctx);
+                *guard = Some(s.clone());
+                s
+            }
+        }
     }
 
     /// Runs a pre-compiled query context.
@@ -173,7 +253,7 @@ impl<'a> Engine<'a> {
             QueryKind::Multievent | QueryKind::Dependency => {
                 let joined = match self.config.scheduler {
                     Scheduler::Relationship => {
-                        let scores = scoring::scores(self.config.scorer, self.store, ctx);
+                        let scores = self.plan_scores(ctx);
                         schedule::relationship_based_scored(
                             self.store,
                             ctx,

@@ -34,6 +34,44 @@ pub struct EngineStats {
     pub matches: Vec<(usize, usize)>,
     /// Tuples considered during joins.
     pub join_work: u64,
+    /// Per-scan access-path and pruning accounting, in execution order —
+    /// the raw material of the session API's `EXPLAIN`.
+    pub scans: Vec<ScanRecord>,
+}
+
+/// Which side of a pattern's data query a scan served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanTarget {
+    /// The events-table scan.
+    Events,
+    /// The subject entity table (constrained scan or batch ID lookup).
+    Subject,
+    /// The object entity table (constrained scan or batch ID lookup).
+    Object,
+}
+
+impl ScanTarget {
+    /// Display name used in EXPLAIN output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanTarget::Events => "events",
+            ScanTarget::Subject => "subject",
+            ScanTarget::Object => "object",
+        }
+    }
+}
+
+/// One storage scan issued while executing a pattern's data query.
+#[derive(Debug, Clone)]
+pub struct ScanRecord {
+    /// Pattern index the scan served.
+    pub pattern: usize,
+    /// Which side of the data query it was.
+    pub target: ScanTarget,
+    /// The table scanned.
+    pub table: String,
+    /// Access paths, partition pruning, zone-map skips, rows touched.
+    pub profile: aiql_rdb::ScanProfile,
 }
 
 /// Deadline wrapper shared across the engine.
@@ -65,9 +103,15 @@ enum EventRows<'a> {
 }
 
 impl<'a> StoreRef<'a> {
-    fn scan_entities(&self, kind: EntityKind, conjuncts: &[Expr], scanned: &mut u64) -> Vec<Row> {
+    fn scan_entities_profiled(
+        &self,
+        kind: EntityKind,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+        profile: &mut aiql_rdb::ScanProfile,
+    ) -> Vec<Row> {
         match self {
-            StoreRef::Single(s) => s.scan_entities(kind, conjuncts, scanned),
+            StoreRef::Single(s) => s.scan_entities_profiled(kind, conjuncts, scanned, profile),
             StoreRef::Segmented(s) => {
                 let parts = s
                     .sdb()
@@ -76,9 +120,15 @@ impl<'a> StoreRef<'a> {
                             .plain(schema::entity_table(kind))
                             .expect("entity tables are plain");
                         let mut local = 0u64;
-                        let (_, pos) = t.select(conjuncts, &mut local);
+                        let mut prof = aiql_rdb::ScanProfile {
+                            partitions_total: 1,
+                            partitions_scanned: 1,
+                            ..Default::default()
+                        };
+                        let (_, pos) = t.select_profiled(conjuncts, &mut local, &mut prof);
                         Ok((
                             local,
+                            prof,
                             pos.into_iter()
                                 .map(|p| t.row(p).clone())
                                 .collect::<Vec<Row>>(),
@@ -86,8 +136,9 @@ impl<'a> StoreRef<'a> {
                     })
                     .expect("entity scan cannot fail");
                 let mut out = Vec::new();
-                for (local, rows) in parts {
+                for (local, prof, rows) in parts {
                     *scanned += local;
+                    profile.merge(&prof);
                     out.extend(rows);
                 }
                 out
@@ -102,18 +153,21 @@ impl<'a> StoreRef<'a> {
         parallel: bool,
         deadline: Deadline,
         scanned: &mut u64,
+        profile: &mut aiql_rdb::ScanProfile,
     ) -> Result<EventRows<'a>, EngineError> {
         deadline.check()?;
         match self {
             StoreRef::Single(s) => {
                 if parallel {
                     if let Some(pt) = s.events_partitioned() {
-                        return parallel_partition_scan(pt, conjuncts, prune, deadline, scanned)
-                            .map(EventRows::Borrowed);
+                        return parallel_partition_scan(
+                            pt, conjuncts, prune, deadline, scanned, profile,
+                        )
+                        .map(EventRows::Borrowed);
                     }
                 }
                 Ok(EventRows::Borrowed(
-                    s.scan_events_ref(conjuncts, prune, scanned),
+                    s.scan_events_profiled(conjuncts, prune, scanned, profile),
                 ))
             }
             StoreRef::Segmented(s) => {
@@ -125,12 +179,18 @@ impl<'a> StoreRef<'a> {
                     let derived = pt.prune_from_conjuncts(conjuncts);
                     let merged = merge_prune(prune, &derived);
                     let mut local = 0u64;
-                    let rows = pt.select(conjuncts, &merged, &mut local);
-                    Ok((local, rows))
+                    let mut prof = aiql_rdb::ScanProfile::default();
+                    let rows: Vec<Row> = pt
+                        .select_refs_profiled(conjuncts, &merged, &mut local, &mut prof)
+                        .into_iter()
+                        .cloned()
+                        .collect();
+                    Ok((local, prof, rows))
                 })?;
                 let mut out = Vec::new();
-                for (local, rows) in parts {
+                for (local, prof, rows) in parts {
                     *scanned += local;
+                    profile.merge(&prof);
                     out.extend(rows);
                 }
                 Ok(EventRows::Owned(out))
@@ -162,16 +222,19 @@ fn parallel_partition_scan<'a>(
     prune: &Prune,
     deadline: Deadline,
     scanned: &mut u64,
+    profile: &mut aiql_rdb::ScanProfile,
 ) -> Result<Vec<&'a Row>, EngineError> {
     let derived = pt.prune_from_conjuncts(conjuncts);
     let merged = merge_prune(prune, &derived);
     let parts = pt.partitions_for(&merged);
     if parts.len() <= 1 {
         let mut local = 0u64;
-        let rows = pt.select_refs(conjuncts, &merged, &mut local);
+        let rows = pt.select_refs_profiled(conjuncts, &merged, &mut local, profile);
         *scanned += local;
         return Ok(rows);
     }
+    profile.partitions_total += pt.partition_count() as u32;
+    profile.partitions_scanned += parts.len() as u32;
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -184,18 +247,19 @@ fn parallel_partition_scan<'a>(
         }
         cs
     };
-    let results: Vec<(u64, Vec<&'a Row>)> = std::thread::scope(|scope| {
+    let results: Vec<(u64, aiql_rdb::ScanProfile, Vec<&'a Row>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
                 scope.spawn(move || {
                     let mut local = 0u64;
+                    let mut prof = aiql_rdb::ScanProfile::default();
                     let mut rows = Vec::new();
                     for t in chunk {
-                        let (_, pos) = t.select(conjuncts, &mut local);
+                        let (_, pos) = t.select_profiled(conjuncts, &mut local, &mut prof);
                         rows.extend(pos.into_iter().map(|p| t.row(p)));
                     }
-                    (local, rows)
+                    (local, prof, rows)
                 })
             })
             .collect();
@@ -206,8 +270,9 @@ fn parallel_partition_scan<'a>(
     });
     deadline.check()?;
     let mut out = Vec::new();
-    for (local, rows) in results {
+    for (local, prof, rows) in results {
         *scanned += local;
+        profile.merge(&prof);
         out.extend(rows);
     }
     Ok(out)
@@ -240,13 +305,22 @@ pub fn execute_pattern(
             &store,
             EntityKind::Process,
             &q.subject,
+            p.idx,
+            ScanTarget::Subject,
             stats,
         ))
     };
     let obj_map = if q.object.is_empty() {
         None
     } else {
-        Some(scan_entity_map(&store, p.object_kind, &q.object, stats))
+        Some(scan_entity_map(
+            &store,
+            p.object_kind,
+            &q.object,
+            p.idx,
+            ScanTarget::Object,
+            stats,
+        ))
     };
     deadline.check()?;
 
@@ -280,7 +354,21 @@ pub fn execute_pattern(
     // 3. Events scan. Rows stay borrowed from the store (or the segment
     //    gather buffer) — they are only read and flattened, never kept.
     let mut scanned = 0u64;
-    let scan = store.scan_events(&event_conjuncts, &q.prune, parallel, deadline, &mut scanned)?;
+    let mut profile = aiql_rdb::ScanProfile::default();
+    let scan = store.scan_events(
+        &event_conjuncts,
+        &q.prune,
+        parallel,
+        deadline,
+        &mut scanned,
+        &mut profile,
+    )?;
+    stats.scans.push(ScanRecord {
+        pattern: p.idx,
+        target: ScanTarget::Events,
+        table: schema::EVENTS.to_string(),
+        profile,
+    });
     let owned_events: Vec<Row>;
     let events: Vec<&Row> = match scan {
         EventRows::Borrowed(v) => v,
@@ -312,11 +400,25 @@ pub fn execute_pattern(
     }
     let subj_map = match subj_map {
         Some(m) => m,
-        None => batch_lookup(&store, EntityKind::Process, need_subj, stats),
+        None => batch_lookup(
+            &store,
+            EntityKind::Process,
+            need_subj,
+            p.idx,
+            ScanTarget::Subject,
+            stats,
+        ),
     };
     let obj_map = match obj_map {
         Some(m) => m,
-        None => batch_lookup(&store, p.object_kind, need_obj, stats),
+        None => batch_lookup(
+            &store,
+            p.object_kind,
+            need_obj,
+            p.idx,
+            ScanTarget::Object,
+            stats,
+        ),
     };
     deadline.check()?;
 
@@ -339,11 +441,20 @@ fn scan_entity_map(
     store: &StoreRef<'_>,
     kind: EntityKind,
     conjuncts: &[Expr],
+    pattern: usize,
+    target: ScanTarget,
     stats: &mut EngineStats,
 ) -> HashMap<i64, Row> {
     let mut scanned = 0u64;
-    let rows = store.scan_entities(kind, conjuncts, &mut scanned);
+    let mut profile = aiql_rdb::ScanProfile::default();
+    let rows = store.scan_entities_profiled(kind, conjuncts, &mut scanned, &mut profile);
     stats.rows_scanned += scanned;
+    stats.scans.push(ScanRecord {
+        pattern,
+        target,
+        table: schema::entity_table(kind).to_string(),
+        profile,
+    });
     rows.into_iter()
         .filter_map(|r| r[0].as_int().map(|id| (id, r)))
         .collect()
@@ -353,6 +464,8 @@ fn batch_lookup(
     store: &StoreRef<'_>,
     kind: EntityKind,
     mut ids: Vec<i64>,
+    pattern: usize,
+    target: ScanTarget,
     stats: &mut EngineStats,
 ) -> HashMap<i64, Row> {
     ids.sort_unstable();
@@ -364,7 +477,7 @@ fn batch_lookup(
         Box::new(Expr::Col(0)),
         ids.iter().map(|&i| Value::Int(i)).collect(),
     )];
-    scan_entity_map(store, kind, &conjuncts, stats)
+    scan_entity_map(store, kind, &conjuncts, pattern, target, stats)
 }
 
 /// Convenience: the event-start lower/upper bound conjunct positions used in

@@ -47,46 +47,67 @@ fn statistical_scores(store: StoreRef<'_>, ctx: &QueryContext) -> Vec<u32> {
     // Total entity counts, for selectivity denominators (entity tables are
     // small; a full count scan is cheap and runs once per query).
     let mut throwaway = EngineStats::default();
-    let mut total =
-        |kind: EntityKind| -> f64 { entity_count(&store, kind, &[], &mut throwaway).max(1) as f64 };
-    let totals = [
-        total(EntityKind::File),
-        total(EntityKind::Process),
-        total(EntityKind::NetConn),
-    ];
-    let total_procs = totals[1];
-
+    let totals = entity_totals(&store, &mut throwaway);
     ctx.patterns
         .iter()
         .map(|p| {
-            let q = synthesize(p);
-            // Events in the admitted partitions.
-            let base = estimate_events(&store, &q.prune) as f64;
-            // Operation-mix fraction: assume a uniform mix over op codes.
-            let op_frac = p.ops.len() as f64 / aiql_model::event::ALL_OPS.len() as f64;
-            // Entity-side selectivities, measured for real against the
-            // (indexed) entity tables.
-            let subj_frac = if q.subject.is_empty() {
-                1.0
-            } else {
-                entity_count(&store, EntityKind::Process, &q.subject, &mut throwaway) as f64
-                    / total_procs
-            };
-            let kind_idx = match p.object_kind {
-                EntityKind::File => 0,
-                EntityKind::Process => 1,
-                EntityKind::NetConn => 2,
-            };
-            let obj_frac = if q.object.is_empty() {
-                1.0
-            } else {
-                entity_count(&store, p.object_kind, &q.object, &mut throwaway) as f64
-                    / totals[kind_idx]
-            };
-            let est = (base * op_frac * subj_frac.max(1e-6) * obj_frac.max(1e-6)).max(0.0);
+            let est = pattern_estimate(&store, p, &totals, &mut throwaway);
             // Fewer estimated matches ⇒ higher score. log2(2^40) headroom.
             (40.0 - (est + 1.0).log2()).max(0.0).round() as u32
         })
+        .collect()
+}
+
+/// Total rows per entity kind, ordered `[File, Process, NetConn]`.
+fn entity_totals(store: &StoreRef<'_>, stats: &mut EngineStats) -> [f64; 3] {
+    let mut total =
+        |kind: EntityKind| -> f64 { entity_count(store, kind, &[], stats).max(1) as f64 };
+    [
+        total(EntityKind::File),
+        total(EntityKind::Process),
+        total(EntityKind::NetConn),
+    ]
+}
+
+/// Estimated match cardinality of one pattern's data query: events in the
+/// admitted partitions × uniform operation-mix fraction × measured
+/// entity-filter selectivities.
+fn pattern_estimate(
+    store: &StoreRef<'_>,
+    p: &aiql_core::PatternCtx,
+    totals: &[f64; 3],
+    stats: &mut EngineStats,
+) -> f64 {
+    let q = synthesize(p);
+    let base = estimate_events(store, &q.prune) as f64;
+    let op_frac = p.ops.len() as f64 / aiql_model::event::ALL_OPS.len() as f64;
+    let subj_frac = if q.subject.is_empty() {
+        1.0
+    } else {
+        entity_count(store, EntityKind::Process, &q.subject, stats) as f64 / totals[1]
+    };
+    let kind_idx = match p.object_kind {
+        EntityKind::File => 0,
+        EntityKind::Process => 1,
+        EntityKind::NetConn => 2,
+    };
+    let obj_frac = if q.object.is_empty() {
+        1.0
+    } else {
+        entity_count(store, p.object_kind, &q.object, stats) as f64 / totals[kind_idx]
+    };
+    (base * op_frac * subj_frac.max(1e-6) * obj_frac.max(1e-6)).max(0.0)
+}
+
+/// Estimated match rows for every pattern of `ctx`, from the same store
+/// statistics the [`ScoreModel::DataStatistics`] scorer uses — the
+/// "estimated rows" column of the session API's `EXPLAIN`.
+pub fn estimate_rows(store: StoreRef<'_>, ctx: &QueryContext) -> Vec<u64> {
+    let mut throwaway = EngineStats::default();
+    let totals = entity_totals(&store, &mut throwaway);
+    ctx.patterns
+        .iter()
+        .map(|p| pattern_estimate(&store, p, &totals, &mut throwaway).round() as u64)
         .collect()
 }
 

@@ -513,6 +513,20 @@ impl Columnar {
     /// Returns matching row-store positions (unordered); `scanned` counts
     /// rows actually evaluated.
     pub fn select(&self, kernels: &[Kernel], scanned: &mut u64) -> Vec<u32> {
+        let (mut pruned, mut visited) = (0, 0);
+        self.select_stats(kernels, scanned, &mut pruned, &mut visited)
+    }
+
+    /// [`Columnar::select`] with zone-map accounting: `blocks_pruned` counts
+    /// blocks skipped purely by their zone maps, `blocks_total` every block
+    /// (sealed or open tail) the scan considered.
+    pub fn select_stats(
+        &self,
+        kernels: &[Kernel],
+        scanned: &mut u64,
+        blocks_pruned: &mut u64,
+        blocks_total: &mut u64,
+    ) -> Vec<u32> {
         if kernels.iter().any(|k| matches!(k, Kernel::Never)) {
             return Vec::new();
         }
@@ -560,6 +574,7 @@ impl Columnar {
         let mut block = 0usize;
         while base < n {
             let len = self.block_rows.min(n - base);
+            *blocks_total += 1;
             // Zone test (sealed blocks only; the open tail is scanned).
             if block < self.sealed.len() {
                 let zones = &self.sealed[block];
@@ -569,6 +584,7 @@ impl Columnar {
                         .is_some_and(|slot| k.excluded_by(zones[slot]))
                 });
                 if excluded {
+                    *blocks_pruned += 1;
                     base += len;
                     block += 1;
                     continue;

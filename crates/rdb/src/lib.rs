@@ -59,7 +59,7 @@ pub use expr::{CmpOp, Expr};
 pub use partition::{InsertReport, PartKey, PartitionSpec, PartitionedTable, Prune};
 pub use schema::{ColumnType, Row, Schema};
 pub use segment::{Placement, SegmentedDb};
-pub use table::Table;
+pub use table::{AccessPath, ScanProfile, Table};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -337,9 +337,25 @@ impl PartitionedTable {
     /// hot path for engine scans, which flatten matches into fresh rows and
     /// never need the clones.
     pub fn select_refs(&self, conjuncts: &[Expr], prune: &Prune, scanned: &mut u64) -> Vec<&Row> {
+        let mut profile = crate::table::ScanProfile::default();
+        self.select_refs_profiled(conjuncts, prune, scanned, &mut profile)
+    }
+
+    /// [`PartitionedTable::select_refs`] with full accounting: partition
+    /// pruning, per-partition access paths, and zone-map block skips land
+    /// in `profile` (see [`crate::table::ScanProfile`]).
+    pub fn select_refs_profiled(
+        &self,
+        conjuncts: &[Expr],
+        prune: &Prune,
+        scanned: &mut u64,
+        profile: &mut crate::table::ScanProfile,
+    ) -> Vec<&Row> {
+        profile.partitions_total += self.partition_count() as u32;
         let mut out = Vec::new();
         for (_, t) in self.partitions_for(prune) {
-            let (_, positions) = t.select(conjuncts, scanned);
+            profile.partitions_scanned += 1;
+            let (_, positions) = t.select_profiled(conjuncts, scanned, profile);
             out.extend(positions.into_iter().map(|p| t.row(p)));
         }
         out

@@ -71,6 +71,85 @@ pub enum AccessPath {
     Columnar,
 }
 
+impl AccessPath {
+    /// Human-readable name, as EXPLAIN output prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPath::Seq => "seq-scan",
+            AccessPath::IndexEq => "index-probe",
+            AccessPath::IndexRange => "index-range",
+            AccessPath::Columnar => "columnar",
+        }
+    }
+}
+
+/// Accounting for one logical scan (possibly spanning many partitions):
+/// which access paths ran, how much partition and zone-map pruning paid
+/// off, and how many rows were touched vs returned. The raw material of
+/// the session API's `EXPLAIN` output.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// Partitions the table holds (1 for plain tables).
+    pub partitions_total: u32,
+    /// Partitions admitted by pruning and actually scanned.
+    pub partitions_scanned: u32,
+    /// Per-access-path counts, one increment per (partition) scan.
+    pub seq_scans: u32,
+    pub index_eq_probes: u32,
+    pub index_range_scans: u32,
+    pub columnar_scans: u32,
+    /// Columnar blocks considered / skipped purely by zone maps.
+    pub blocks_total: u64,
+    pub blocks_pruned: u64,
+    /// Rows the scan touched (candidate evaluations).
+    pub rows_scanned: u64,
+    /// Rows that satisfied every conjunct.
+    pub rows_matched: u64,
+}
+
+impl ScanProfile {
+    /// Folds another profile into this one (parallel partition workers).
+    pub fn merge(&mut self, o: &ScanProfile) {
+        self.partitions_total += o.partitions_total;
+        self.partitions_scanned += o.partitions_scanned;
+        self.seq_scans += o.seq_scans;
+        self.index_eq_probes += o.index_eq_probes;
+        self.index_range_scans += o.index_range_scans;
+        self.columnar_scans += o.columnar_scans;
+        self.blocks_total += o.blocks_total;
+        self.blocks_pruned += o.blocks_pruned;
+        self.rows_scanned += o.rows_scanned;
+        self.rows_matched += o.rows_matched;
+    }
+
+    fn record_path(&mut self, path: AccessPath) {
+        match path {
+            AccessPath::Seq => self.seq_scans += 1,
+            AccessPath::IndexEq => self.index_eq_probes += 1,
+            AccessPath::IndexRange => self.index_range_scans += 1,
+            AccessPath::Columnar => self.columnar_scans += 1,
+        }
+    }
+
+    /// The access paths that ran, in priority order, as `name` strings.
+    pub fn paths(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.index_eq_probes > 0 {
+            out.push(AccessPath::IndexEq.name());
+        }
+        if self.columnar_scans > 0 {
+            out.push(AccessPath::Columnar.name());
+        }
+        if self.index_range_scans > 0 {
+            out.push(AccessPath::IndexRange.name());
+        }
+        if self.seq_scans > 0 {
+            out.push(AccessPath::Seq.name());
+        }
+        out
+    }
+}
+
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Table {
@@ -208,6 +287,32 @@ impl Table {
     /// the number of rows the scan *touched* (not returned), so callers can
     /// account I/O-like cost.
     pub fn select(&self, conjuncts: &[Expr], scanned: &mut u64) -> (AccessPath, Vec<u32>) {
+        let mut profile = ScanProfile::default();
+        self.select_profiled(conjuncts, scanned, &mut profile)
+    }
+
+    /// [`Table::select`] with full accounting into `profile`: the chosen
+    /// access path, zone-map block pruning, and touched/matched row counts.
+    pub fn select_profiled(
+        &self,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+        profile: &mut ScanProfile,
+    ) -> (AccessPath, Vec<u32>) {
+        let before = *scanned;
+        let (path, rows) = self.select_inner(conjuncts, scanned, profile);
+        profile.record_path(path);
+        profile.rows_scanned += *scanned - before;
+        profile.rows_matched += rows.len() as u64;
+        (path, rows)
+    }
+
+    fn select_inner(
+        &self,
+        conjuncts: &[Expr],
+        scanned: &mut u64,
+        profile: &mut ScanProfile,
+    ) -> (AccessPath, Vec<u32>) {
         // Find an index-usable conjunct.
         let mut best: Option<(usize, IndexProbe)> = None;
         for (ci, c) in conjuncts.iter().enumerate() {
@@ -231,7 +336,7 @@ impl Table {
         // beats an index range scan (which materializes candidate lists).
         let have_eq_probe = matches!(&best, Some((_, p)) if matches!(p.kind, ProbeKind::Eq(_)));
         if !have_eq_probe {
-            if let Some(hit) = self.columnar_select(conjuncts, scanned) {
+            if let Some(hit) = self.columnar_select(conjuncts, scanned, profile) {
                 return hit;
             }
         }
@@ -288,13 +393,19 @@ impl Table {
         &self,
         conjuncts: &[Expr],
         scanned: &mut u64,
+        profile: &mut ScanProfile,
     ) -> Option<(AccessPath, Vec<u32>)> {
         let col = self.columnar.as_ref()?;
         let (kernels, residual) = compile_conjuncts(&self.schema, col, conjuncts);
         if kernels.is_empty() {
             return None;
         }
-        let mut positions = col.select(&kernels, scanned);
+        let mut positions = col.select_stats(
+            &kernels,
+            scanned,
+            &mut profile.blocks_pruned,
+            &mut profile.blocks_total,
+        );
         if !residual.is_empty() {
             positions.retain(|&p| {
                 let row = &self.rows[p as usize];

@@ -48,7 +48,8 @@ pub use persist::{PersistError, RecoveryReport};
 
 use aiql_model::{Dataset, Entity, EntityKind, Event, SharedDict, Timestamp, Value};
 use aiql_rdb::{
-    ColumnarSpec, Database, PartKey, PartitionSpec, Placement, Prune, RdbError, Row, SegmentedDb,
+    ColumnarSpec, Database, PartKey, PartitionSpec, Placement, Prune, RdbError, Row, ScanProfile,
+    SegmentedDb,
 };
 use std::path::{Path, PathBuf};
 
@@ -396,6 +397,20 @@ impl EventStore {
         prune: &Prune,
         scanned: &mut u64,
     ) -> Vec<&Row> {
+        let mut profile = ScanProfile::default();
+        self.scan_events_profiled(conjuncts, prune, scanned, &mut profile)
+    }
+
+    /// [`EventStore::scan_events_ref`] with access-path and pruning
+    /// accounting into `profile` — the storage hook behind the session
+    /// API's `EXPLAIN`.
+    pub fn scan_events_profiled(
+        &self,
+        conjuncts: &[aiql_rdb::Expr],
+        prune: &Prune,
+        scanned: &mut u64,
+        profile: &mut ScanProfile,
+    ) -> Vec<&Row> {
         match self.db.partitioned(schema::EVENTS) {
             Some(pt) => {
                 // Merge caller pruning with conjunct-derived pruning.
@@ -405,11 +420,13 @@ impl EventStore {
                     day_hi: min_opt(prune.day_hi, derived.day_hi),
                     agents: prune.agents.clone().or(derived.agents),
                 };
-                pt.select_refs(conjuncts, &merged, scanned)
+                pt.select_refs_profiled(conjuncts, &merged, scanned, profile)
             }
             None => {
                 let t = self.db.plain(schema::EVENTS).expect("events table exists");
-                let (_, pos) = t.select(conjuncts, scanned);
+                profile.partitions_total += 1;
+                profile.partitions_scanned += 1;
+                let (_, pos) = t.select_profiled(conjuncts, scanned, profile);
                 pos.into_iter().map(|p| t.row(p)).collect()
             }
         }
@@ -422,11 +439,26 @@ impl EventStore {
         conjuncts: &[aiql_rdb::Expr],
         scanned: &mut u64,
     ) -> Vec<Row> {
+        let mut profile = ScanProfile::default();
+        self.scan_entities_profiled(kind, conjuncts, scanned, &mut profile)
+    }
+
+    /// [`EventStore::scan_entities`] with access-path accounting into
+    /// `profile`.
+    pub fn scan_entities_profiled(
+        &self,
+        kind: EntityKind,
+        conjuncts: &[aiql_rdb::Expr],
+        scanned: &mut u64,
+        profile: &mut ScanProfile,
+    ) -> Vec<Row> {
         let t = self
             .db
             .plain(schema::entity_table(kind))
             .expect("entity tables are plain");
-        let (_, pos) = t.select(conjuncts, scanned);
+        profile.partitions_total += 1;
+        profile.partitions_scanned += 1;
+        let (_, pos) = t.select_profiled(conjuncts, scanned, profile);
         pos.into_iter().map(|p| t.row(p).clone()).collect()
     }
 

@@ -6,7 +6,9 @@
 //! stream — out-of-order arrivals, per-agent clock skew, day-boundary
 //! rollover — through `aiql-ingest` in durable mode: every acknowledged
 //! row is write-ahead logged before it is applied, and a mid-stream
-//! checkpoint snapshots the store and truncates the log. Two investigators
+//! checkpoint snapshots the store and truncates the log (the scratch
+//! store lives under the system temp dir and is cleaned up on exit). Two
+//! investigators
 //! watch the stream: the pipeline thread polls the paper's Query 7 (the
 //! complete exfiltration chain) between flushes, and a **second thread**
 //! polls it continuously *while* flushes run — each poll pins one
@@ -23,7 +25,7 @@
 
 use aiql::datagen::stream::{stream, StreamConfig};
 use aiql::datagen::EnterpriseSim;
-use aiql::engine::{open_store, run_live, Engine, EngineConfig};
+use aiql::engine::{open_store, run_live, Engine, EngineConfig, Session};
 use aiql::ingest::{EventBatch, IngestConfig, Ingestor};
 use aiql::storage::timesync::ClockSample;
 
@@ -64,9 +66,12 @@ fn main() {
         batches.len()
     );
 
-    // The durable scratch store (gitignored); wiped for a fresh run.
-    let store_dir = std::path::Path::new("live_monitoring.store");
-    let _ = std::fs::remove_dir_all(store_dir);
+    // The durable scratch store lives under the system temp directory —
+    // never in the repository — and is removed again on exit.
+    let store_dir =
+        std::env::temp_dir().join(format!("aiql-live-monitoring-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_dir = store_dir.as_path();
     let (mut ingestor, _) =
         Ingestor::durable(IngestConfig::live(), store_dir).expect("durable live store");
     let shared = ingestor.shared();
@@ -78,6 +83,12 @@ fn main() {
     let stop = std::sync::atomic::AtomicBool::new(false);
     let (polls, first_chain) = std::thread::scope(|scope| {
         let investigator = scope.spawn(|| {
+            // The investigator is a session client: Query 7 is prepared
+            // once (parse + analysis paid up front), then re-executed per
+            // poll. Each execute pins the freshest published snapshot —
+            // the session's default per-statement pinning policy.
+            let session = Session::open(&shared);
+            let stmt = session.prepare(QUERY7).expect("prepare");
             let mut polls = 0u64;
             let mut first: Option<aiql::storage::StoreStamp> = None;
             loop {
@@ -87,10 +98,10 @@ fn main() {
                 // flag is stored), so the thread always gets one guaranteed
                 // look at the complete stream before returning.
                 let stopping = stop.load(std::sync::atomic::Ordering::Relaxed);
-                let live = run_live(&shared, EngineConfig::aiql(), QUERY7).expect("poll");
+                let cursor = stmt.execute().expect("poll");
                 polls += 1;
-                if first.is_none() && !live.outcome.result.rows.is_empty() {
-                    first = Some(live.stamp);
+                if first.is_none() && cursor.remaining() > 0 {
+                    first = Some(cursor.stamp());
                 }
                 if stopping {
                     return (polls, first);
@@ -246,4 +257,6 @@ fn finish_and_restart(
          reconstructed without ever taking the store offline, and again \
          after a restart from disk."
     );
+    // Clean up the temp-dir scratch store.
+    let _ = std::fs::remove_dir_all(store_dir);
 }

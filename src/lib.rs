@@ -10,7 +10,9 @@
 //! - [`lang`] — the AIQL language: lexer, parser, semantic analysis
 //!   (paper Sec. 4).
 //! - [`engine`] — the optimized query execution engine: relationship-based
-//!   scheduling, parallel partitions, anomaly windows (paper Sec. 5).
+//!   scheduling, parallel partitions, anomaly windows (paper Sec. 5), and
+//!   the investigation session API — prepared parameterized statements,
+//!   plan caching, `EXPLAIN`, streaming cursors.
 //! - [`ingest`] — live streaming ingestion: bounded append queue with
 //!   back-pressure, on-the-fly time synchronization, partition rollover,
 //!   incremental index maintenance, optional write-ahead durability.
@@ -66,8 +68,8 @@ pub use aiql_wal as wal;
 
 /// Commonly used types, for glob import in examples and tests.
 pub mod prelude {
-    pub use aiql_core::{parse_query, QueryContext};
-    pub use aiql_engine::{run_live, Engine, EngineConfig};
+    pub use aiql_core::{parse_query, PreparedQuery, QueryContext};
+    pub use aiql_engine::{run_live, Engine, EngineConfig, Params, Session};
     pub use aiql_ingest::{EventBatch, IngestConfig, Ingestor};
     pub use aiql_model::{
         AgentId, Dataset, Entity, EntityId, EntityKind, Event, EventId, OpType, Timestamp, Value,

@@ -1,12 +1,15 @@
 //! Every numbered query in the paper (Queries 1–7) compiles, and those with
-//! a planted scenario recover it end to end.
+//! a planted scenario recover it end to end — issued the way an analyst
+//! would: through an investigation [`Session`], prepared once and executed
+//! via cursors, with the iterated queries (5–7) bound from `$name`
+//! parameters instead of re-sent as fresh text.
 
 use aiql::datagen::EnterpriseSim;
-use aiql::engine::Engine;
+use aiql::engine::{EngineResult, Params, Session};
 use aiql::lang;
-use aiql::storage::{EventStore, StoreConfig};
+use aiql::storage::{EventStore, SharedStore, StoreConfig};
 
-fn store() -> EventStore {
+fn session() -> Session {
     let data = EnterpriseSim::builder()
         .hosts(10)
         .days(2)
@@ -15,7 +18,17 @@ fn store() -> EventStore {
         .attacks(true)
         .build()
         .generate();
-    EventStore::ingest(&data, StoreConfig::partitioned()).unwrap()
+    let store = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+    Session::open(&SharedStore::new(store))
+}
+
+fn run(session: &Session, src: &str) -> EngineResult {
+    session
+        .prepare(src)
+        .expect("prepares")
+        .execute()
+        .expect("runs")
+        .into_result()
 }
 
 #[test]
@@ -41,39 +54,37 @@ fn query1_cve_2010_2075_compiles() {
 #[test]
 fn query2_command_history_probing_runs() {
     // Paper Query 2, adapted to the scenario host (agent 8, attack day).
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
-            r#"
-            agentid = 8
-            (at "01/02/2017")
-            proc p2 start proc p1 as evt1
-            proc p3 read file["%.viminfo" || "%.bash_history"] as evt2
-            with p1 = p3, evt1 before evt2
-            return p2, p1
-            sort by p2, p1
-            "#,
-        )
-        .unwrap();
+    let s = session();
+    let r = run(
+        &s,
+        r#"
+        agentid = 8
+        (at "01/02/2017")
+        proc p2 start proc p1 as evt1
+        proc p3 read file["%.viminfo" || "%.bash_history"] as evt2
+        with p1 = p3, evt1 before evt2
+        return p2, p1
+        sort by p2, p1
+        "#,
+    );
     assert!(r.rows.iter().any(|row| row[1].to_string() == "snoopy"));
     assert!(r.rows.iter().any(|row| row[0].to_string() == "sshd"));
 }
 
 #[test]
 fn query3_forward_dependency_runs() {
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
-            r#"
-            (at "01/02/2017")
-            forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
-            <-[read] proc p2["%apache%"]
-            ->[connect] proc p3[agentid = 3]
-            ->[write] file f2["%info_stealer%"]
-            return f1, p1, p2, p3, f2
-            "#,
-        )
-        .unwrap();
+    let s = session();
+    let r = run(
+        &s,
+        r#"
+        (at "01/02/2017")
+        forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
+        <-[read] proc p2["%apache%"]
+        ->[connect] proc p3[agentid = 3]
+        ->[write] file f2["%info_stealer%"]
+        return f1, p1, p2, p3, f2
+        "#,
+    );
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][3].to_string(), "wget");
     assert_eq!(r.rows[0][4].to_string(), "/tmp/info_stealer.sh");
@@ -82,60 +93,82 @@ fn query3_forward_dependency_runs() {
 #[test]
 fn query4_sma_network_frequency_compiles_and_runs() {
     // Paper Query 4 shape: count distinct destinations per process.
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
-            r#"
-            (at "01/02/2017")
-            agentid = 1
-            window = 1 min
-            step = 10 sec
-            proc p read ip ipp
-            return p, count(distinct ipp) as freq
-            group by p
-            having freq > 2 * (freq + freq[1] + freq[2]) / 3
-            "#,
-        )
-        .unwrap();
+    let s = session();
+    let r = run(
+        &s,
+        r#"
+        (at "01/02/2017")
+        agentid = 1
+        window = 1 min
+        step = 10 sec
+        proc p read ip ipp
+        return p, count(distinct ipp) as freq
+        group by p
+        having freq > 2 * (freq + freq[1] + freq[2]) / 3
+        "#,
+    );
     // May or may not alert on background noise; it must simply execute.
     assert_eq!(r.columns, vec!["p", "freq"]);
 }
 
 #[test]
 fn query5_anomaly_flags_sbblv() {
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
+    // The anomaly template an analyst would iterate on: host, day, and
+    // destination bound as parameters.
+    let s = session();
+    let stmt = s
+        .prepare(
             r#"
-            (at "01/02/2017")
-            agentid = 9
+            (at $day)
+            agentid = $agent
             window = 1 min, step = 10 sec
-            proc p write ip i[dstip = "192.168.66.129"] as evt
+            proc p write ip i[dstip = $ip] as evt
             return p, avg(evt.amount) as amt
             group by p
             having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
             "#,
         )
         .unwrap();
+    let r = stmt
+        .bind(
+            Params::new()
+                .set("day", "01/02/2017")
+                .set("agent", 9)
+                .set("ip", "192.168.66.129"),
+        )
+        .unwrap()
+        .execute()
+        .unwrap()
+        .into_result();
     assert!(!r.rows.is_empty());
     assert!(r.rows.iter().all(|row| row[0].to_string() == "sbblv.exe"));
 }
 
 #[test]
 fn query6_starter_finds_dump() {
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
+    let s = session();
+    let stmt = s
+        .prepare(
             r#"
             (at "01/02/2017")
             agentid = 9
-            proc p1["%sbblv.exe"] read || write file f1 as evt1
-            proc p1 read || write ip i1[dstip = "192.168.66.129"] as evt2
+            proc p1[$suspect] read || write file f1 as evt1
+            proc p1 read || write ip i1[dstip = $ip] as evt2
             with evt1 before evt2
             return distinct p1, f1, i1, evt1.optype
             "#,
         )
         .unwrap();
+    let r = stmt
+        .bind(
+            Params::new()
+                .set("suspect", "%sbblv.exe")
+                .set("ip", "192.168.66.129"),
+        )
+        .unwrap()
+        .execute()
+        .unwrap()
+        .into_result();
     assert!(r
         .rows
         .iter()
@@ -144,50 +177,71 @@ fn query6_starter_finds_dump() {
 
 #[test]
 fn query7_complete_c5_chain() {
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
+    // The full chain, prepared once and re-executed for two of the
+    // analyst's iterations (wildcard and exact process constants) — both
+    // recover the same chain, without re-parsing the statement.
+    let s = session();
+    let stmt = s
+        .prepare(
             r#"
-            (at "01/02/2017")
-            agentid = 9
-            proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
-            proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
-            proc p4["%sbblv.exe"] read file f1 as evt3
-            proc p4 read || write ip i1[dstip = "192.168.66.129"] as evt4
+            (at $day)
+            agentid = $agent
+            proc p1[$launcher] start proc p2[$client] as evt1
+            proc p3[$server] write file f1[$dump] as evt2
+            proc p4[$exfil] read file f1 as evt3
+            proc p4 read || write ip i1[dstip = $ip] as evt4
             with evt1 before evt2, evt2 before evt3, evt3 before evt4
             return distinct p1, p2, p3, f1, p4, i1
             "#,
         )
         .unwrap();
-    assert_eq!(r.rows.len(), 1);
-    let row: Vec<String> = r.rows[0].iter().map(|v| v.to_string()).collect();
-    assert_eq!(
-        row,
-        vec![
-            "cmd.exe",
-            "osql.exe",
-            "sqlservr.exe",
-            "C:\\MSSQL\\data\\BACKUP1.DMP",
-            "sbblv.exe",
-            "192.168.66.129",
-        ]
-    );
+    assert_eq!(stmt.params().len(), 8);
+    for (launcher, dump) in [("%cmd.exe", "%backup1.dmp"), ("cmd.exe", "%BACKUP1.DMP")] {
+        let r = stmt
+            .bind(
+                Params::new()
+                    .set("day", "01/02/2017")
+                    .set("agent", 9)
+                    .set("launcher", launcher)
+                    .set("client", "%osql.exe")
+                    .set("server", "%sqlservr.exe")
+                    .set("dump", dump)
+                    .set("exfil", "%sbblv.exe")
+                    .set("ip", "192.168.66.129"),
+            )
+            .unwrap()
+            .execute()
+            .unwrap()
+            .into_result();
+        assert_eq!(r.rows.len(), 1);
+        let row: Vec<String> = r.rows[0].iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            row,
+            vec![
+                "cmd.exe",
+                "osql.exe",
+                "sqlservr.exe",
+                "C:\\MSSQL\\data\\BACKUP1.DMP",
+                "sbblv.exe",
+                "192.168.66.129",
+            ]
+        );
+    }
 }
 
 #[test]
 fn ewma_variant_from_section_4_3() {
-    let store = store();
-    let r = Engine::new(&store)
-        .run(
-            r#"
-            (at "01/02/2017") agentid = 9
-            window = 1 min, step = 10 sec
-            proc p write ip i[dstip = "192.168.66.129"] as evt
-            return p, avg(evt.amount) as freq
-            group by p
-            having (freq - EWMA(freq, 0.9)) / EWMA(freq, 0.9) > 0.2
-            "#,
-        )
-        .unwrap();
+    let s = session();
+    let r = run(
+        &s,
+        r#"
+        (at "01/02/2017") agentid = 9
+        window = 1 min, step = 10 sec
+        proc p write ip i[dstip = "192.168.66.129"] as evt
+        return p, avg(evt.amount) as freq
+        group by p
+        having (freq - EWMA(freq, 0.9)) / EWMA(freq, 0.9) > 0.2
+        "#,
+    );
     assert!(!r.rows.is_empty(), "the exfil burst deviates from its EWMA");
 }
