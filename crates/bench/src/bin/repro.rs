@@ -1,9 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|service|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|service|all] [--scale small|medium|large] [--budget SECS]
 //! ```
 //!
+//! `ingestion` measures batch vs durable-streaming ingest (with WAL fsync
+//! tails, snapshot-publish write amplification, and plan-cache hit rate
+//! read from the telemetry registry) and writes `BENCH_ingestion.json`;
 //! `scan` compares the columnar scan path against the row store and writes
 //! a `BENCH_scan.json` snapshot in the working directory; `recovery` times
 //! crash recovery (snapshot load vs WAL replay) and writes
@@ -15,6 +18,11 @@
 //! invocation and writes every `BENCH_*.json` — what CI and trajectory
 //! tracking call.
 //!
+//! Every `BENCH_*.json` embeds a `"telemetry"` section: the process-wide
+//! metrics registry at write time. The registry is cumulative, so `all`
+//! runs `ingestion` first — every snapshot written afterwards carries
+//! non-empty WAL-fsync and snapshot-publish histograms.
+//!
 //! `table3` also emits the Fig. 5 per-query series (they share runs).
 
 use aiql_bench::experiments::{self, Options};
@@ -22,8 +30,30 @@ use aiql_bench::harness::Scale;
 use std::time::Duration;
 
 fn write_snapshot_file(name: &str, json: &str) {
-    std::fs::write(name, json).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    let json = experiments::with_telemetry(json);
+    std::fs::write(name, &json).unwrap_or_else(|e| panic!("write {name}: {e}"));
     eprintln!("[snapshot written to {name}]");
+}
+
+/// `ingestion` (and therefore `all`) must leave the registry with live
+/// fsync and publish histograms — the guarantee the CI bench-smoke
+/// validation step relies on for every snapshot written after it.
+fn assert_telemetry_live() {
+    let snap = aiql_telemetry::global().snapshot();
+    for name in ["aiql_wal_fsync_micros", "aiql_storage_publish_micros"] {
+        let count = snap.histogram(name).map_or(0, |h| h.count);
+        assert!(
+            count > 0,
+            "telemetry histogram {name} is empty after ingestion"
+        );
+    }
+}
+
+fn run_ingestion(opts: Options) {
+    let (table, json) = experiments::ingestion_bench(opts);
+    print!("{table}");
+    write_snapshot_file("BENCH_ingestion.json", &json);
+    assert_telemetry_live();
 }
 
 fn run_scan(opts: Options) {
@@ -83,11 +113,17 @@ fn main() {
         "fig6" => print!("{}", experiments::fig6(opts)),
         "fig7" => print!("{}", experiments::fig7(opts)),
         "fig8" | "table5" => print!("{}", experiments::fig8()),
+        "ingestion" => run_ingestion(opts),
         "scan" => run_scan(opts),
         "recovery" => run_recovery(opts),
         "concurrent" => run_concurrent(opts),
         "service" => run_service(opts),
         "all" => {
+            // Ingestion first: it seeds the cumulative telemetry registry,
+            // so every later BENCH snapshot embeds non-empty WAL/publish
+            // histograms (the CI validation contract).
+            run_ingestion(opts);
+            println!();
             print!("{}", experiments::schema());
             println!();
             print!("{}", experiments::table3_fig5(opts));
@@ -117,7 +153,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|scan|recovery|concurrent|service|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|service|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

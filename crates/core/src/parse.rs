@@ -12,7 +12,13 @@ use aiql_model::{EntityKind, OpType, TimeUnit};
 
 /// Parses one AIQL query.
 pub fn parse(src: &str) -> Result<Query, AiqlError> {
-    let toks = lex(src)?;
+    let toks = {
+        // A phase leaf in the session trace tree; inert unless the
+        // calling thread is collecting (see `aiql_telemetry::trace`).
+        let _lex = aiql_telemetry::trace::span("lex");
+        lex(src)?
+    };
+    let _parse = aiql_telemetry::trace::span("parse");
     let mut p = Parser { toks, pos: 0 };
     let q = p.query()?;
     if !p.at_end() {

@@ -94,6 +94,27 @@ impl ParamValues {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.vals.iter().map(|(n, _)| n.as_str())
     }
+
+    /// Renders the binding as `$name = value` pairs — `(none)` when empty
+    /// — for logs and the slow-query log.
+    pub fn render(&self) -> String {
+        if self.vals.is_empty() {
+            return "(none)".to_string();
+        }
+        self.vals
+            .iter()
+            .map(|(n, v)| {
+                let val = match v {
+                    Lit::Str(s) => format!("{s:?}"),
+                    Lit::Int(i) => i.to_string(),
+                    Lit::Float(f) => f.to_string(),
+                    Lit::Param(p) => format!("${p}"),
+                };
+                format!("${n} = {val}")
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 impl From<i64> for Lit {
@@ -163,6 +184,9 @@ impl PreparedQuery {
     pub fn compile(source: &str) -> Result<PreparedQuery, AiqlError> {
         let ast = parse(source)?;
         let params = collect_params(&ast)?;
+        // The analysis phase of the session trace tree (lex and parse are
+        // recorded inside `parse`); inert when no collection is active.
+        let _analyze = aiql_telemetry::trace::span("analyze");
         let static_ctx = if params.is_empty() {
             Some(analyze(&ast)?)
         } else {
@@ -253,6 +277,7 @@ impl PreparedQuery {
             }
         }
         let bound = substitute(&self.ast, values);
+        let _analyze = aiql_telemetry::trace::span("analyze");
         analyze(&bound)
     }
 }
@@ -587,6 +612,25 @@ pub fn normalize_source(src: &str) -> String {
     out
 }
 
+/// Process-wide plan-cache counters, aggregated across every
+/// [`PlanCache`] instance (each session's private cache plus the legacy
+/// process-wide one) so the global hit rate is observable from outside
+/// any one session.
+struct PlanCacheMetrics {
+    /// `aiql_core_plan_cache_hits_total`.
+    hits: aiql_telemetry::Counter,
+    /// `aiql_core_plan_cache_misses_total`.
+    misses: aiql_telemetry::Counter,
+}
+
+fn cache_metrics() -> &'static PlanCacheMetrics {
+    static METRICS: std::sync::OnceLock<PlanCacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| PlanCacheMetrics {
+        hits: aiql_telemetry::global().counter("aiql_core_plan_cache_hits_total"),
+        misses: aiql_telemetry::global().counter("aiql_core_plan_cache_misses_total"),
+    })
+}
+
 /// Cumulative cache counters, as surfaced in `EXPLAIN` output.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -647,9 +691,11 @@ impl PlanCache {
         if let Some(e) = self.map.get_mut(&key) {
             e.last_used = self.tick;
             self.hits += 1;
+            cache_metrics().hits.inc();
             return Ok(e.stmt.clone());
         }
         self.misses += 1;
+        cache_metrics().misses.inc();
         let stmt = Arc::new(PreparedQuery::compile(source)?);
         if self.map.len() >= self.capacity {
             if let Some(lru) = self

@@ -41,6 +41,7 @@
 pub mod anomaly;
 pub mod error;
 pub mod layout;
+mod metrics;
 pub mod pattern;
 pub mod result;
 pub mod schedule;
@@ -68,6 +69,19 @@ use std::time::{Duration, Instant};
 fn legacy_plan_cache() -> &'static Mutex<PlanCache> {
     static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(PlanCache::new(session::SESSION_PLAN_CACHE_CAPACITY)))
+}
+
+/// Counters of the process-wide plan cache behind [`Engine::run`] /
+/// [`run_live`] (hits, misses, entries, capacity) — the legacy path's
+/// counterpart of [`Session::cache_stats`]. Hits and misses also feed the
+/// global registry's `aiql_core_plan_cache_*` counters; the resident entry
+/// count is mirrored into the `aiql_engine_legacy_plan_cache_entries`
+/// gauge on every legacy-path compile.
+pub fn legacy_cache_stats() -> aiql_core::CacheStats {
+    legacy_plan_cache()
+        .lock()
+        .expect("plan cache lock poisoned")
+        .stats()
 }
 
 /// Engine configuration.
@@ -212,10 +226,16 @@ impl<'a> Engine<'a> {
     /// Compiles and runs an AIQL query, returning result + statistics.
     /// Cached like [`Engine::run`].
     pub fn run_outcome(&self, source: &str) -> Result<Outcome, EngineError> {
-        let stmt = legacy_plan_cache()
-            .lock()
-            .expect("plan cache lock poisoned")
-            .get_or_compile(source)?;
+        let stmt = {
+            let mut cache = legacy_plan_cache()
+                .lock()
+                .expect("plan cache lock poisoned");
+            let stmt = cache.get_or_compile(source)?;
+            metrics::metrics()
+                .legacy_cache_entries
+                .set(cache.stats().entries as i64);
+            stmt
+        };
         match stmt.static_ctx() {
             Some(ctx) => self.run_ctx(ctx),
             // `$name` placeholders need a binding — surface the analyzer's
@@ -243,17 +263,22 @@ impl<'a> Engine<'a> {
 
     /// Runs a pre-compiled query context.
     pub fn run_ctx(&self, ctx: &QueryContext) -> Result<Outcome, EngineError> {
+        metrics::metrics().statements.inc();
         let started = Instant::now();
         let deadline = Deadline(self.config.budget.map(|b| started + b));
         let mut stats = EngineStats::default();
         let result = match ctx.kind {
             QueryKind::Anomaly => {
+                let _anomaly = aiql_telemetry::trace::span("anomaly");
                 anomaly::run_anomaly(self.store, ctx, self.config.parallel, deadline, &mut stats)?
             }
             QueryKind::Multievent | QueryKind::Dependency => {
                 let joined = match self.config.scheduler {
                     Scheduler::Relationship => {
-                        let scores = self.plan_scores(ctx);
+                        let scores = {
+                            let _plan = aiql_telemetry::trace::span("plan");
+                            self.plan_scores(ctx)
+                        };
                         schedule::relationship_based_scored(
                             self.store,
                             ctx,
@@ -271,6 +296,7 @@ impl<'a> Engine<'a> {
                         &mut stats,
                     )?,
                 };
+                let _score = aiql_telemetry::trace::span("score");
                 result::assemble(ctx, &joined, &mut stats)?
             }
         };

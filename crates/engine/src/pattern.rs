@@ -292,6 +292,12 @@ pub fn execute_pattern(
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<Vec<Row>, EngineError> {
+    // Trace the whole data query as one `scan:<pattern>` phase, named by
+    // the event variable when the query declared one (`as evt1`).
+    let _scan = aiql_telemetry::trace::span(&match &p.evt_var {
+        Some(v) => format!("scan:{v}"),
+        None => format!("scan:p{}", p.idx),
+    });
     let mut q: DataQuery = synthesize(p);
     apply_extra(&mut q, extra);
     stats.data_queries += 1;

@@ -61,6 +61,7 @@ use crate::{Engine, EngineConfig, Outcome, PlanSlot};
 use aiql_core::{CacheStats, ParamSpec, PlanCache, PreparedQuery, QueryContext, QueryKind};
 use aiql_rdb::{Row, ScanProfile};
 use aiql_storage::{SharedStore, StoreSnapshot, StoreStamp};
+use aiql_telemetry::trace::SpanNode;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -175,12 +176,21 @@ impl Session {
     /// plan cache makes re-preparing identical (whitespace-normalized)
     /// text a lookup.
     pub fn prepare(&self, source: &str) -> Result<Prepared, EngineError> {
-        let stmt = self
+        // Collect the compile-phase tree (lex/parse/analyze — empty on a
+        // plan-cache hit). `finish` runs before `?` so a compile error
+        // never leaves an armed collector on this thread.
+        aiql_telemetry::trace::begin("prepare");
+        let compiled = self
             .core
             .cache
             .lock()
             .expect("plan cache lock poisoned")
-            .get_or_compile(source)?;
+            .get_or_compile(source);
+        let trace = aiql_telemetry::trace::finish();
+        let stmt = compiled?;
+        if let Some(t) = &trace {
+            crate::metrics::metrics().prepare_micros.record(t.micros);
+        }
         // Share the statement's physical-plan slot across re-prepares of
         // the same (normalized) text, so cache hits skip planning too.
         let plan = {
@@ -197,6 +207,7 @@ impl Session {
             stmt,
             core: self.core.clone(),
             plan,
+            trace: trace.map(Arc::new),
         })
     }
 
@@ -242,12 +253,21 @@ pub struct Prepared {
     /// selectivities against the store), every later execution — any
     /// binding — reuses the cached ordering. Clones share the slot.
     plan: Arc<PlanSlot>,
+    /// Compile-phase trace collected by [`Session::prepare`].
+    trace: Option<Arc<SpanNode>>,
 }
 
 impl Prepared {
     /// The original source text.
     pub fn source(&self) -> &str {
         self.stmt.source()
+    }
+
+    /// The compile-phase trace of the `prepare` call that produced this
+    /// statement: a `prepare` root with `lex`/`parse`/`analyze` children
+    /// on a compile, and no children on a plan-cache hit.
+    pub fn trace(&self) -> Option<&SpanNode> {
+        self.trace.as_deref()
     }
 
     /// The declared `$name` parameters, in first-occurrence order.
@@ -273,6 +293,8 @@ impl Prepared {
             ctx: Arc::new(ctx),
             core: self.core.clone(),
             plan: self.plan.clone(),
+            source: self.stmt.source().to_string(),
+            params: params.render(),
             offset: 0,
             limit: None,
         })
@@ -298,6 +320,9 @@ pub struct Bound {
     ctx: Arc<QueryContext>,
     core: Arc<SessionCore>,
     plan: Arc<PlanSlot>,
+    /// Source text and rendered parameters, kept for the slow-query log.
+    source: String,
+    params: String,
     offset: usize,
     limit: Option<usize>,
 }
@@ -322,13 +347,40 @@ impl Bound {
 
     /// Executes under the session's pinning policy and returns a pull-based
     /// [`Cursor`] over the result rows.
+    ///
+    /// The execution is traced: the cursor carries an `execute`-rooted
+    /// phase tree ([`Cursor::trace`]) whose children are the scheduler's
+    /// `plan`, one `scan:<pattern>` per data query, the `join` steps, and
+    /// the final `score` (result assembly). Statements at or above the
+    /// [`aiql_telemetry::slowlog`] threshold are recorded there with their
+    /// source, bound parameters, and scan profile.
     pub fn execute(self) -> Result<Cursor, EngineError> {
         let snapshot = self.core.snapshot();
         let stamp = snapshot.stamp();
-        let outcome = Engine::with_config(&snapshot, self.core.config)
+        aiql_telemetry::trace::begin("execute");
+        let ran = Engine::with_config(&snapshot, self.core.config)
             .with_plan_slot(&self.plan)
-            .run_ctx(&self.ctx)?;
-        Ok(Cursor::new(outcome, stamp, self.offset, self.limit))
+            .run_ctx(&self.ctx);
+        let trace = aiql_telemetry::trace::finish();
+        let outcome = ran?;
+        let m = crate::metrics::metrics();
+        let elapsed_micros = outcome.elapsed.as_micros() as u64;
+        m.execute_micros.record(elapsed_micros);
+        if let Some(t) = &trace {
+            crate::metrics::record_phases(m, t);
+        }
+        let slowlog = aiql_telemetry::slowlog::global();
+        if slowlog.is_slow(elapsed_micros) {
+            m.slow_queries.inc();
+            slowlog.record(aiql_telemetry::slowlog::SlowQueryEntry {
+                source: self.source.clone(),
+                params: self.params.clone(),
+                elapsed_micros,
+                rows: outcome.result.rows.len() as u64,
+                profile: render_profile(&outcome.stats),
+            });
+        }
+        Ok(Cursor::new(outcome, stamp, self.offset, self.limit, trace))
     }
 
     /// Executes with instrumentation and reports the physical plan that
@@ -415,10 +467,17 @@ pub struct Cursor {
     stats: EngineStats,
     stamp: StoreStamp,
     elapsed: Duration,
+    trace: Option<SpanNode>,
 }
 
 impl Cursor {
-    fn new(outcome: Outcome, stamp: StoreStamp, offset: usize, limit: Option<usize>) -> Cursor {
+    fn new(
+        outcome: Outcome,
+        stamp: StoreStamp,
+        offset: usize,
+        limit: Option<usize>,
+        trace: Option<SpanNode>,
+    ) -> Cursor {
         let Outcome {
             result,
             stats,
@@ -441,6 +500,7 @@ impl Cursor {
             stats,
             stamp,
             elapsed,
+            trace,
         }
     }
 
@@ -451,6 +511,7 @@ impl Cursor {
 
     /// Pulls up to `n` rows in one batch (fewer at the end of the result).
     pub fn fetch(&mut self, n: usize) -> Vec<Row> {
+        crate::metrics::metrics().cursor_fetches.inc();
         let mut out = Vec::with_capacity(n.min(self.remaining));
         for _ in 0..n {
             match self.next() {
@@ -481,6 +542,13 @@ impl Cursor {
         self.elapsed
     }
 
+    /// The execution's phase tree: an `execute` root over the scheduler's
+    /// `plan`, per-pattern `scan:<name>` phases, `join` steps, and the
+    /// final `score` (see [`aiql_telemetry::trace`]).
+    pub fn trace(&self) -> Option<&SpanNode> {
+        self.trace.as_ref()
+    }
+
     /// Drains the remaining rows into a materialized [`EngineResult`].
     pub fn into_result(mut self) -> EngineResult {
         let mut rows = Vec::with_capacity(self.remaining);
@@ -500,12 +568,35 @@ impl Iterator for Cursor {
             return None;
         }
         self.remaining -= 1;
+        crate::metrics::metrics().cursor_rows.inc();
         self.rows.next()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (self.remaining, Some(self.remaining))
     }
+}
+
+/// Renders a one-line scan profile for the slow-query log: per scan, the
+/// access paths taken and the scanned→matched row funnel.
+fn render_profile(stats: &EngineStats) -> String {
+    stats
+        .scans
+        .iter()
+        .map(|s| {
+            let paths = s.profile.paths().join("+");
+            format!(
+                "p{} {}({}): {} · rows {}→{}",
+                s.pattern,
+                s.table,
+                s.target.name(),
+                if paths.is_empty() { "no-scan" } else { &paths },
+                s.profile.rows_scanned,
+                s.profile.rows_matched,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
 }
 
 /// The physical plan of one pattern's data query, with estimation error
@@ -894,6 +985,57 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 2);
         assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn execution_traces_expose_the_phase_tree() {
+        let store = shared(StoreConfig::partitioned());
+        let session = Session::open(&store);
+        // Force a real compile (unique source) so prepare has children.
+        let src = r#"(at "01/01/2017") proc p write file f as tracedevt return p, f"#;
+        let stmt = session.prepare(src).unwrap();
+        let ptrace = stmt.trace().expect("prepare is traced");
+        assert_eq!(ptrace.name, "prepare");
+        for phase in ["lex", "parse", "analyze"] {
+            assert!(ptrace.child(phase).is_some(), "missing {phase}");
+        }
+        // A cache hit still yields a tree, just without compile phases.
+        let hit = session.prepare(src).unwrap();
+        assert!(hit.trace().unwrap().children.is_empty());
+
+        let cursor = stmt.execute().unwrap();
+        let etrace = cursor.trace().expect("execute is traced");
+        assert_eq!(etrace.name, "execute");
+        assert!(etrace.child("plan").is_some());
+        assert!(!etrace.children_with_prefix("scan:").is_empty());
+        assert!(etrace.child("score").is_some());
+    }
+
+    #[test]
+    fn slow_queries_land_in_the_global_log() {
+        let store = shared(StoreConfig::partitioned());
+        let session = Session::open(&store);
+        let log = aiql_telemetry::slowlog::global();
+        let saved = log.threshold_micros();
+        log.set_threshold_micros(0); // everything is slow
+        let src = r#"agentid = $agent proc p write file f as slowevt return p, f"#;
+        session
+            .prepare(src)
+            .unwrap()
+            .bind(Params::new().set("agent", 1))
+            .unwrap()
+            .execute()
+            .unwrap()
+            .count();
+        log.set_threshold_micros(saved);
+        let entry = log
+            .entries()
+            .into_iter()
+            .rev()
+            .find(|e| e.source.contains("slowevt"))
+            .expect("slow execution recorded");
+        assert!(entry.params.contains("$agent = 1"), "{}", entry.params);
+        assert!(entry.profile.contains("rows"), "{}", entry.profile);
     }
 
     #[test]

@@ -216,6 +216,7 @@ impl TupleSet {
         deadline: Deadline,
         stats: &mut EngineStats,
     ) -> Result<TupleSet, EngineError> {
+        let _join = aiql_telemetry::trace::span("join");
         let si = matches.rows(i);
         let sj = matches.rows(j);
         let mut out = TupleSet {
@@ -274,6 +275,7 @@ impl TupleSet {
         deadline: Deadline,
         stats: &mut EngineStats,
     ) -> Result<TupleSet, EngineError> {
+        let _join = aiql_telemetry::trace::span("join");
         let sj = matches.rows(j);
         let mut out = TupleSet {
             patterns: {
@@ -382,6 +384,7 @@ impl TupleSet {
         deadline: Deadline,
         stats: &mut EngineStats,
     ) -> Result<TupleSet, EngineError> {
+        let _join = aiql_telemetry::trace::span("join");
         let mut out = TupleSet {
             patterns: a.patterns.iter().chain(&b.patterns).copied().collect(),
             tuples: Vec::new(),

@@ -374,6 +374,7 @@ impl Ingestor {
     pub fn submit(&mut self, batch: EventBatch) -> Result<(), IngestError> {
         if self.queued_rows + batch.weight() > self.config.high_water_mark {
             self.stats.batches_rejected += 1;
+            crate::metrics::metrics().backpressure_rejections.inc();
             return Err(IngestError::Backpressure {
                 queued_rows: self.queued_rows,
                 high_water_mark: self.config.high_water_mark,
@@ -389,6 +390,9 @@ impl Ingestor {
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queued_rows);
         self.stats.batches_submitted += 1;
         self.queue.push_back(batch);
+        crate::metrics::metrics()
+            .queue_rows
+            .set(self.queued_rows as i64);
     }
 
     /// Submits unconditionally, flushing when the shipment pushes the queue
@@ -439,6 +443,7 @@ impl Ingestor {
     /// is folded into [`IngestStats`], so the stats stay consistent with
     /// the store's row counts even on the error path.
     pub fn flush(&mut self) -> Result<FlushReport, IngestError> {
+        let started = std::time::Instant::now();
         let mut report = FlushReport::default();
         let mut failure: Option<PersistError> = None;
         let mut session = match &mut self.backend {
@@ -499,6 +504,12 @@ impl Ingestor {
         self.stats.out_of_order_events += report.out_of_order_events as u64;
         self.stats.rollovers += report.new_partitions.len() as u64;
         self.stats.failed_rows += report.failed_rows as u64;
+        let m = crate::metrics::metrics();
+        m.queue_rows.set(self.queued_rows as i64);
+        m.flush_micros.record_duration(started.elapsed());
+        m.flush_rows
+            .record((report.events + report.entities) as u64);
+        m.dead_letter_rows.add(report.failed_rows as u64);
         match failure {
             Some(e) => Err(IngestError::Durable(e)),
             None => Ok(report),

@@ -57,6 +57,7 @@
 pub mod batch;
 pub mod error;
 pub mod ingestor;
+mod metrics;
 
 pub use batch::EventBatch;
 pub use error::IngestError;

@@ -1,0 +1,33 @@
+//! The ingestion pipeline's handles into the process-wide telemetry
+//! registry.
+
+use aiql_telemetry::{global, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct IngestMetrics {
+    /// `aiql_ingest_queue_rows` — rows (events + entities) currently
+    /// queued, the level the high-water mark bounds.
+    pub queue_rows: Gauge,
+    /// `aiql_ingest_backpressure_rejections_total` — submits refused at
+    /// the high-water mark.
+    pub backpressure_rejections: Counter,
+    /// `aiql_ingest_flush_micros` — full flush latency, including the
+    /// acknowledging fsync on durable ingestors.
+    pub flush_micros: Histogram,
+    /// `aiql_ingest_flush_rows` — rows applied per flush.
+    pub flush_rows: Histogram,
+    /// `aiql_ingest_dead_letter_rows_total` — rows the storage layer
+    /// rejected and the flush counted, skipped, and moved past.
+    pub dead_letter_rows: Counter,
+}
+
+pub(crate) fn metrics() -> &'static IngestMetrics {
+    static METRICS: OnceLock<IngestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| IngestMetrics {
+        queue_rows: global().gauge("aiql_ingest_queue_rows"),
+        backpressure_rejections: global().counter("aiql_ingest_backpressure_rejections_total"),
+        flush_micros: global().histogram("aiql_ingest_flush_micros"),
+        flush_rows: global().histogram("aiql_ingest_flush_rows"),
+        dead_letter_rows: global().counter("aiql_ingest_dead_letter_rows_total"),
+    })
+}

@@ -112,6 +112,9 @@ impl TableSlot {
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: BTreeMap<String, TableSlot>,
+    /// Copy-on-write bytes charged by plain-table detaches (partitioned
+    /// tables carry their own counter; see [`Database::copied_bytes`]).
+    plain_copied_bytes: u64,
 }
 
 impl Database {
@@ -184,14 +187,40 @@ impl Database {
     /// [`PartitionedTable::insert_reporting`]); plain tables always report
     /// no rollover.
     pub fn insert_reporting(&mut self, table: &str, row: Row) -> Result<InsertReport, RdbError> {
-        match self.slot_mut(table)? {
+        let mut copied = 0;
+        let report = match self.slot_mut(table)? {
             // The copy-on-write step: a plain table shared with a published
             // snapshot is detached before the first post-publish insert.
-            TableSlot::Plain(t) => Arc::make_mut(t)
-                .insert(row)
-                .map(|_| InsertReport::default()),
+            TableSlot::Plain(t) => {
+                if Arc::strong_count(t) > 1 {
+                    copied = t.approx_bytes();
+                }
+                Arc::make_mut(t)
+                    .insert(row)
+                    .map(|_| InsertReport::default())
+            }
             TableSlot::Partitioned(t) => t.insert_reporting(row),
-        }
+        };
+        self.plain_copied_bytes += copied;
+        report
+    }
+
+    /// Cumulative bytes deep-copied by copy-on-write detaches on the
+    /// insert path, across every table — the write amplification the
+    /// epoch-swapped live store pays for snapshot isolation. Snapshots
+    /// (clones) freeze the value at clone time, so `head.copied_bytes() -
+    /// snapshot.copied_bytes()` is exactly what publishing after the next
+    /// batch cost. Units are [`Table::approx_bytes`] estimates.
+    pub fn copied_bytes(&self) -> u64 {
+        self.plain_copied_bytes
+            + self
+                .tables
+                .values()
+                .map(|s| match s {
+                    TableSlot::Plain(_) => 0,
+                    TableSlot::Partitioned(t) => t.copied_bytes(),
+                })
+                .sum::<u64>()
     }
 
     /// Attaches a fully-built table under `name` — the deserialization path

@@ -108,6 +108,9 @@ pub struct PartitionedTable {
     columnar: Option<(ColumnarSpec, SharedDict)>,
     partitions: std::collections::BTreeMap<PartKey, Arc<Table>>,
     len: usize,
+    /// Cumulative bytes deep-copied by copy-on-write unseals on the
+    /// append path (see [`PartitionedTable::copied_bytes`]).
+    copied_bytes: u64,
 }
 
 impl PartitionedTable {
@@ -124,6 +127,7 @@ impl PartitionedTable {
             columnar: None,
             partitions: std::collections::BTreeMap::new(),
             len: 0,
+            copied_bytes: 0,
         })
     }
 
@@ -183,6 +187,17 @@ impl PartitionedTable {
         self.partitions.len()
     }
 
+    /// Cumulative bytes deep-copied because an append had to unseal a
+    /// partition still `Arc`-shared with a published snapshot — the write
+    /// amplification of copy-on-write snapshot isolation, in
+    /// [`Table::approx_bytes`] units. Clones (snapshots) carry the value
+    /// at clone time, so `head - snapshot` deltas give the bytes copied
+    /// between two publishes. One-time schema detaches (index creation,
+    /// columnar enablement) are deliberately not counted.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes
+    }
+
     fn key_of(&self, row: &Row) -> Result<PartKey, RdbError> {
         let t = row[self.time_idx].as_int().ok_or_else(|| {
             RdbError::SchemaMismatch(format!(
@@ -224,7 +239,16 @@ impl PartitionedTable {
             // published snapshot is detached into a private copy before
             // the first post-publish append touches it; an unshared one
             // is mutated in place.
-            std::collections::btree_map::Entry::Occupied(e) => Arc::make_mut(e.into_mut()),
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let slot = e.into_mut();
+                if Arc::strong_count(slot) > 1 {
+                    // The write amplification the live store pays for
+                    // snapshot isolation: charge the detach before it
+                    // happens so `copied_bytes` deltas quantify it.
+                    self.copied_bytes += slot.approx_bytes();
+                }
+                Arc::make_mut(slot)
+            }
             std::collections::btree_map::Entry::Vacant(e) => {
                 let mut t = Table::new(self.schema.clone());
                 // Columnar first: `create_index` then projects each indexed
@@ -401,6 +425,35 @@ mod tests {
             }
         }
         pt
+    }
+
+    #[test]
+    fn copied_bytes_counts_only_shared_unseals() {
+        let mut head = pt();
+        assert_eq!(head.copied_bytes(), 0, "building alone copies nothing");
+        let snapshot = head.clone();
+        // First append into a snapshot-shared partition detaches (copies)
+        // it; the charge is the partition's size at detach time.
+        head.insert(vec![
+            Value::Int(900),
+            Value::Int(0),
+            Value::Int(500_000),
+            Value::str("f9"),
+        ])
+        .unwrap();
+        let after_first = head.copied_bytes();
+        assert!(after_first > 0, "shared partition unsealed");
+        // The partition is now private: further appends copy nothing.
+        head.insert(vec![
+            Value::Int(901),
+            Value::Int(0),
+            Value::Int(600_000),
+            Value::str("f9"),
+        ])
+        .unwrap();
+        assert_eq!(head.copied_bytes(), after_first);
+        // The snapshot froze the counter at clone time.
+        assert_eq!(snapshot.copied_bytes(), 0);
     }
 
     #[test]

@@ -181,6 +181,21 @@ impl Table {
         &self.rows
     }
 
+    /// A cheap structural estimate of the table's resident size: row
+    /// storage as `rows × arity × size_of::<Value>()` plus the per-row
+    /// vector headers. Deliberately O(1) — it ignores heap-allocated
+    /// string payloads and index/projection overhead — because its one
+    /// consumer is the copy-on-write accounting in
+    /// [`crate::PartitionedTable`], which charges this amount every time
+    /// a snapshot-shared table is detached for writing. Relative
+    /// comparisons (bytes copied per publish across configurations) stay
+    /// meaningful; absolute heap truth is not the goal.
+    pub fn approx_bytes(&self) -> u64 {
+        let per_row =
+            self.schema.arity() * std::mem::size_of::<Value>() + std::mem::size_of::<Row>();
+        (self.rows.len() * per_row) as u64
+    }
+
     /// One row by position.
     pub fn row(&self, idx: u32) -> &Row {
         &self.rows[idx as usize]

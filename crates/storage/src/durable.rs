@@ -80,6 +80,7 @@ impl DurableStore {
     /// store the persisted configuration wins over `config` — the snapshot
     /// is self-describing.
     pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<DurableOpen, PersistError> {
+        let opened = std::time::Instant::now();
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         // Take the single-writer lock (inside Wal::open) *before* touching
@@ -105,6 +106,12 @@ impl DurableStore {
         // sequence, or recovery would skip freshly acknowledged records.
         let covered = report.as_ref().map_or(0, |r| r.snapshot_wal_seq);
         wal.reserve_seq(covered + 1);
+        // Recovery time covers the whole open: lock, snapshot load (when
+        // one exists), and WAL tail replay. Fresh inits count too — their
+        // near-zero cost is the baseline the recovery path is judged by.
+        crate::metrics::metrics()
+            .recovery_micros
+            .record_duration(opened.elapsed());
         Ok(DurableOpen {
             store: DurableStore { shared, wal, dir },
             sync,
@@ -191,6 +198,7 @@ impl DurableStore {
     /// because the seed already folds every earlier clock record in the
     /// log and [`Synchronizer::restore`] replaces, never adds.
     pub fn checkpoint_with(&mut self, sync: &Synchronizer) -> Result<PathBuf, PersistError> {
+        let started = std::time::Instant::now();
         self.wal.sync()?;
         let covered = self.wal.last_seq();
         let path = {
@@ -223,6 +231,9 @@ impl DurableStore {
         if removed {
             aiql_wal::fsync_dir(&self.dir)?;
         }
+        crate::metrics::metrics()
+            .checkpoint_micros
+            .record_duration(started.elapsed());
         Ok(path)
     }
 

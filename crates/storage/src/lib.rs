@@ -38,6 +38,7 @@
 
 pub mod durable;
 pub mod live;
+mod metrics;
 pub mod persist;
 pub mod schema;
 pub mod timesync;

@@ -166,7 +166,21 @@ impl StoreWriter<'_> {
         let stamp = self.head.stamp();
         let mut slot = self.published.write().expect("store lock poisoned");
         if slot.stamp() != stamp {
+            let start = std::time::Instant::now();
+            // The head's copy-on-write counter minus the outgoing
+            // snapshot's (frozen at its own publish) is exactly the bytes
+            // unseals copied since then — the write amplification this
+            // publish interval paid.
+            let copied = self
+                .head
+                .db()
+                .copied_bytes()
+                .saturating_sub(slot.db().copied_bytes());
             *slot = Arc::new(self.head.clone());
+            let m = crate::metrics::metrics();
+            m.publishes.inc();
+            m.publish_micros.record_duration(start.elapsed());
+            m.publish_bytes_copied.record(copied);
         }
         stamp
     }

@@ -1,0 +1,34 @@
+//! The storage layer's handles into the process-wide telemetry registry.
+
+use aiql_telemetry::{global, Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct StorageMetrics {
+    /// `aiql_storage_publishes_total` — snapshots actually swapped in
+    /// (no-op publishes with nothing new are not counted).
+    pub publishes: Counter,
+    /// `aiql_storage_publish_micros` — time to clone the head and swap
+    /// the published `Arc`.
+    pub publish_micros: Histogram,
+    /// `aiql_storage_publish_bytes_copied` — bytes deep-copied by
+    /// copy-on-write unseals since the previous publish: the write
+    /// amplification each publish made the writer pay (ROADMAP item 1).
+    pub publish_bytes_copied: Histogram,
+    /// `aiql_storage_checkpoint_micros` — full checkpoint duration
+    /// (snapshot write + WAL rotate + prune).
+    pub checkpoint_micros: Histogram,
+    /// `aiql_storage_recovery_micros` — durable-store open time
+    /// (snapshot load + WAL tail replay).
+    pub recovery_micros: Histogram,
+}
+
+pub(crate) fn metrics() -> &'static StorageMetrics {
+    static METRICS: OnceLock<StorageMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StorageMetrics {
+        publishes: global().counter("aiql_storage_publishes_total"),
+        publish_micros: global().histogram("aiql_storage_publish_micros"),
+        publish_bytes_copied: global().histogram("aiql_storage_publish_bytes_copied"),
+        checkpoint_micros: global().histogram("aiql_storage_checkpoint_micros"),
+        recovery_micros: global().histogram("aiql_storage_recovery_micros"),
+    })
+}

@@ -37,6 +37,7 @@
 //! segment's dir entry after power loss while a later deletion survives.
 
 mod crc;
+mod metrics;
 mod record;
 
 pub use crc::crc32;
@@ -421,6 +422,9 @@ impl Wal {
         }
         self.segment_len += self.buf.len() as u64;
         self.next_seq = seq + 1;
+        let m = metrics::metrics();
+        m.appends.inc();
+        m.append_bytes.record(self.buf.len() as u64);
         Ok(seq)
     }
 
@@ -453,10 +457,14 @@ impl Wal {
                 "wal handle poisoned: a previous failure may have lost appended records",
             ));
         }
+        let start = std::time::Instant::now();
         if let Err(e) = self.file.sync_data() {
             self.poisoned = true;
             return Err(e);
         }
+        metrics::metrics()
+            .fsync_micros
+            .record_duration(start.elapsed());
         Ok(())
     }
 
@@ -472,6 +480,7 @@ impl Wal {
         self.file = OpenOptions::new().create(true).append(true).open(path)?;
         fsync_dir(&self.dir)?;
         self.segment_len = 0;
+        metrics::metrics().rollovers.inc();
         Ok(())
     }
 

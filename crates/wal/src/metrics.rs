@@ -1,0 +1,30 @@
+//! The WAL's handles into the process-wide telemetry registry.
+//!
+//! Resolved once (first use) and recorded into lock-free afterwards, so
+//! the per-record append path pays a few relaxed atomic ops and nothing
+//! else.
+
+use aiql_telemetry::{global, Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct WalMetrics {
+    /// `aiql_wal_appends_total` — records appended (durable or not yet).
+    pub appends: Counter,
+    /// `aiql_wal_append_bytes` — framed record sizes, bytes.
+    pub append_bytes: Histogram,
+    /// `aiql_wal_fsync_micros` — [`crate::Wal::sync`] latency.
+    pub fsync_micros: Histogram,
+    /// `aiql_wal_segment_rollovers_total` — segments started after the
+    /// first, whether by size cap or checkpoint rotation.
+    pub rollovers: Counter,
+}
+
+pub(crate) fn metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| WalMetrics {
+        appends: global().counter("aiql_wal_appends_total"),
+        append_bytes: global().histogram("aiql_wal_append_bytes"),
+        fsync_micros: global().histogram("aiql_wal_fsync_micros"),
+        rollovers: global().counter("aiql_wal_segment_rollovers_total"),
+    })
+}

@@ -257,6 +257,50 @@ fn finish_and_restart(
          reconstructed without ever taking the store offline, and again \
          after a restart from disk."
     );
+    telemetry_summary();
     // Clean up the temp-dir scratch store.
     let _ = std::fs::remove_dir_all(store_dir);
+}
+
+/// Exit telemetry: what the run cost end to end, read back from the
+/// process-wide registry. Values are timing- and machine-dependent, so
+/// they go to stderr — stdout stays deterministic.
+fn telemetry_summary() {
+    let snap = aiql::telemetry::global().snapshot();
+    let quantile = |name: &str, q: f64| snap.histogram(name).map_or(0.0, |h| h.quantile(q));
+    let sum = |name: &str| snap.histogram(name).map_or(0, |h| h.sum);
+    let count = |name: &str| snap.histogram(name).map_or(0, |h| h.count);
+    eprintln!("\n[telemetry: ingestion-to-query, from the global registry]");
+    eprintln!(
+        "[  wal: {} fsyncs, p99 {:.1} ms; {} segment rollover(s)]",
+        count("aiql_wal_fsync_micros"),
+        quantile("aiql_wal_fsync_micros", 0.99) / 1e3,
+        snap.counter("aiql_wal_segment_rollovers_total")
+            .unwrap_or(0),
+    );
+    eprintln!(
+        "[  ingest: {} flushes, p99 {:.1} ms]",
+        count("aiql_ingest_flush_micros"),
+        quantile("aiql_ingest_flush_micros", 0.99) / 1e3,
+    );
+    eprintln!(
+        "[  storage: {} publishes amplified {:.2} MiB copied at unseal (ROADMAP item 1)]",
+        snap.counter("aiql_storage_publishes_total").unwrap_or(0),
+        sum("aiql_storage_publish_bytes_copied") as f64 / (1 << 20) as f64,
+    );
+    eprintln!(
+        "[  engine: {} statements, execute p99 {:.1} ms, {} slow; {} cursor rows]",
+        snap.counter("aiql_engine_statements_total").unwrap_or(0),
+        quantile("aiql_engine_execute_micros", 0.99) / 1e3,
+        snap.counter("aiql_engine_slow_queries_total").unwrap_or(0),
+        snap.counter("aiql_engine_cursor_rows_total").unwrap_or(0),
+    );
+    let hits = snap.counter("aiql_core_plan_cache_hits_total").unwrap_or(0);
+    let misses = snap
+        .counter("aiql_core_plan_cache_misses_total")
+        .unwrap_or(0);
+    eprintln!(
+        "[  plan cache: {hits} hits / {misses} misses ({:.0}% hit rate)]",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+    );
 }

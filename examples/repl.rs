@@ -8,12 +8,15 @@
 //! ```
 //!
 //! End a query with an empty line (queries may span several lines).
-//! Commands: `:help`, `:stats`, `:sql` (show the big-join translation of
-//! the last query), `:quit`.
+//! Commands (`:` and `\` prefixes are interchangeable): `:help`,
+//! `:stats`, `:trace` (phase tree of the last query), `:metrics`
+//! (process-wide telemetry registry), `:slow` (the slow-query log;
+//! `:slow <ms>` sets the threshold), `:sql` (show the big-join
+//! translation of the last query), `:quit`.
 
 use aiql::datagen::EnterpriseSim;
-use aiql::engine::{Engine, EngineConfig};
-use aiql::storage::{EventStore, StoreConfig};
+use aiql::engine::Session;
+use aiql::storage::{EventStore, SharedStore, StoreConfig};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -26,8 +29,9 @@ fn main() {
         .attacks(true)
         .build()
         .generate();
-    let store = EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest");
-    let engine = Engine::with_config(&store, EngineConfig::aiql());
+    let store =
+        SharedStore::new(EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest"));
+    let session = Session::open(&store);
     println!(
         "{} events, {} entities. Type an AIQL query (blank line to run), :help for help.\n",
         data.events.len(),
@@ -38,6 +42,7 @@ fn main() {
     let mut buffer = String::new();
     let mut last_query: Option<String> = None;
     let mut last_stats: Option<String> = None;
+    let mut last_trace: Option<String> = None;
     print_prompt(&buffer);
     for line in stdin.lock().lines() {
         let line = match line {
@@ -45,15 +50,22 @@ fn main() {
             Err(_) => break,
         };
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with(':') {
-            match trimmed {
-                ":quit" | ":q" | ":exit" => break,
-                ":help" | ":h" => help(),
-                ":stats" => match &last_stats {
+        if buffer.is_empty() && (trimmed.starts_with(':') || trimmed.starts_with('\\')) {
+            let mut words = trimmed[1..].split_whitespace();
+            match words.next().unwrap_or("") {
+                "quit" | "q" | "exit" => break,
+                "help" | "h" => help(),
+                "stats" => match &last_stats {
                     Some(s) => println!("{s}"),
                     None => println!("no query has run yet"),
                 },
-                ":sql" => {
+                "trace" => match &last_trace {
+                    Some(t) => print!("{t}"),
+                    None => println!("no query has run yet"),
+                },
+                "metrics" => print!("{}", aiql::telemetry::global().snapshot().to_prometheus()),
+                "slow" => slow(words.next()),
+                "sql" => {
                     match &last_query {
                         Some(q) => {
                             match aiql::lang::compile(q).map_err(|e| e.to_string()).and_then(
@@ -81,19 +93,24 @@ fn main() {
             print_prompt(&buffer);
             continue;
         }
-        // Blank line: run the buffered query.
+        // Blank line: run the buffered query through the session, so the
+        // plan cache, telemetry registry, and slow-query log all see it.
         let src = std::mem::take(&mut buffer);
-        match engine.run_outcome(&src) {
-            Ok(out) => {
-                print!("{}", out.result);
+        match session.prepare(&src).and_then(|stmt| stmt.execute()) {
+            Ok(cursor) => {
+                let elapsed = cursor.elapsed();
+                let stats = cursor.stats().clone();
+                last_trace = cursor.trace().map(|t| t.render());
+                let result = cursor.into_result();
+                print!("{result}");
                 println!(
                     "({} rows, {:.1} ms, {} data queries, {} rows scanned)",
-                    out.result.rows.len(),
-                    out.elapsed.as_secs_f64() * 1e3,
-                    out.stats.data_queries,
-                    out.stats.rows_scanned
+                    result.rows.len(),
+                    elapsed.as_secs_f64() * 1e3,
+                    stats.data_queries,
+                    stats.rows_scanned
                 );
-                last_stats = Some(format!("{:#?}", out.stats));
+                last_stats = Some(format!("{stats:#?}"));
                 last_query = Some(src);
             }
             Err(aiql::engine::EngineError::Compile(e)) => print!("{}", e.render(&src)),
@@ -102,6 +119,37 @@ fn main() {
         print_prompt(&buffer);
     }
     println!("bye.");
+}
+
+/// `:slow` — list the slow-query log; `:slow <ms>` sets the threshold.
+fn slow(arg: Option<&str>) {
+    let log = aiql::telemetry::slowlog::global();
+    if let Some(ms) = arg {
+        match ms.parse::<u64>() {
+            Ok(ms) => {
+                log.set_threshold_micros(ms * 1_000);
+                println!("slow-query threshold set to {ms} ms");
+            }
+            Err(_) => println!("usage: :slow [threshold-ms]"),
+        }
+        return;
+    }
+    let entries = log.entries();
+    println!(
+        "slow-query log: {} entries (threshold {:.1} ms)",
+        entries.len(),
+        log.threshold_micros() as f64 / 1e3
+    );
+    for e in entries {
+        println!(
+            "  {:.1} ms · {} rows · {} · params {}\n    {}",
+            e.elapsed_micros as f64 / 1e3,
+            e.rows,
+            e.source.split_whitespace().collect::<Vec<_>>().join(" "),
+            e.params,
+            e.profile
+        );
+    }
 }
 
 fn print_prompt(buffer: &str) {
@@ -122,6 +170,6 @@ fn help() {
          \x20 (at \"01/02/2017\") agentid = 9\n\
          \x20 proc p1[\"%sbblv.exe\"] read file f1 as e1\n\
          \x20 return p1, f1\n\
-         Commands: :help :stats :sql :quit"
+         Commands (`:` or `\\` prefix): :help :stats :trace :metrics :slow [ms] :sql :quit"
     );
 }

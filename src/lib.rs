@@ -26,6 +26,8 @@
 //! - [`datagen`] — the deterministic enterprise workload simulator and
 //!   attack-scenario catalog used in place of the paper's 150-host
 //!   deployment.
+//! - [`telemetry`] — process-wide metrics registry, per-query trace
+//!   spans, and the slow-query log, wired through every layer above.
 //! - [`bench`](mod@bench) — the experiment harness reproducing every evaluation table
 //!   and figure.
 //!
@@ -63,6 +65,7 @@ pub use aiql_ingest as ingest;
 pub use aiql_model as model;
 pub use aiql_rdb as rdb;
 pub use aiql_storage as storage;
+pub use aiql_telemetry as telemetry;
 pub use aiql_translate as translate;
 pub use aiql_wal as wal;
 
