@@ -357,6 +357,7 @@ pub fn recovery_bench(opts: Options) -> (String, String) {
     let replay_s = reopen(&replay_dir);
     let snap_rate = events as f64 / snap_s.max(1e-12);
     let replay_rate = events as f64 / replay_s.max(1e-12);
+    let drill = fault_drill(&data, &base.join("fault-drill"));
     let _ = std::fs::remove_dir_all(&base);
 
     let mut out = format!(
@@ -379,11 +380,18 @@ pub fn recovery_bench(opts: Options) -> (String, String) {
         "\nBoth paths rebuild partitions, secondary indexes, columnar blocks, \
          and the shared dictionary; mixed checkpoint points fall between them.\n",
     );
+    out.push_str(&format!(
+        "\nFault drill (injected via aiql-fault): {} faults injected, {} flush \
+         retries, {} degraded entries; every acknowledged row recovered.\n",
+        drill.faults_injected, drill.flush_retries, drill.degraded_entries,
+    ));
 
     let json = format!(
         "{{\n  \"experiment\": \"recovery\",\n  \"scale\": \"{:?}\",\n  \"events\": {},\n  \
          \"entities\": {},\n  \"snapshot_open_ms\": {:.4},\n  \"wal_replay_open_ms\": {:.4},\n  \
-         \"snapshot_events_per_sec\": {:.0},\n  \"replay_events_per_sec\": {:.0}\n}}\n",
+         \"snapshot_events_per_sec\": {:.0},\n  \"replay_events_per_sec\": {:.0},\n  \
+         \"fault_drill\": {{\n    \"faults_injected\": {},\n    \"flush_retries\": {},\n    \
+         \"degraded_entries\": {},\n    \"recovered_events\": {}\n  }}\n}}\n",
         opts.scale,
         events,
         entities,
@@ -391,8 +399,92 @@ pub fn recovery_bench(opts: Options) -> (String, String) {
         replay_s * 1e3,
         snap_rate,
         replay_rate,
+        drill.faults_injected,
+        drill.flush_retries,
+        drill.degraded_entries,
+        drill.recovered_events,
     );
     (out, json)
+}
+
+/// Outcome of the [`fault_drill`] leg of the recovery benchmark.
+struct FaultDrill {
+    faults_injected: usize,
+    flush_retries: u64,
+    degraded_entries: u64,
+    recovered_events: usize,
+}
+
+/// Streams the dataset through a durable ingestor while `aiql-fault`
+/// injects one transient write error (absorbed by the bounded retry) and a
+/// temporary out-of-space window (degraded mode + back-pressure until the
+/// "disk" clears), then reopens and verifies every acknowledged row came
+/// back. Exercises the retry/degradation policies end to end so the
+/// telemetry counters (`aiql_fault_injected_total`,
+/// `aiql_ingest_flush_retries_total`,
+/// `aiql_ingest_degraded_transitions_total`) appear in the
+/// `BENCH_recovery.json` snapshot.
+fn fault_drill(data: &aiql_model::Dataset, dir: &std::path::Path) -> FaultDrill {
+    use aiql_fault::{control, FaultKind, FaultPlan};
+    use aiql_ingest::{EventBatch, IngestConfig, IngestError, Ingestor, RetryPolicy};
+    use aiql_storage::EventStore;
+    use std::io::ErrorKind;
+
+    let ctl = control();
+    let _ = std::fs::remove_dir_all(dir);
+    let config = IngestConfig::live().with_retry(RetryPolicy {
+        max_retries: 2,
+        backoff: std::time::Duration::ZERO,
+    });
+    let (mut ing, _) = Ingestor::durable(config, dir).expect("durable ingestor");
+    let mut first = EventBatch::new();
+    first.entities = data.entities.clone();
+    ing.submit_with_flush(first).expect("entities land");
+
+    let half = data.events.len() / 2;
+    // Leg 1: a transient EIO in the middle of the stream — the flush retry
+    // must absorb it without the caller seeing an error.
+    ctl.arm(FaultPlan::new().fail("wal.segment.write", 2, FaultKind::Errno(ErrorKind::Other)));
+    for chunk in data.events[..half].chunks(4096) {
+        let mut b = EventBatch::new();
+        b.events = chunk.to_vec();
+        ing.submit(b).expect("within the mark");
+        ing.flush().expect("transient faults are retried");
+    }
+    // Leg 2: the disk fills mid-stream; the ingestor degrades and
+    // back-pressures, then drains once space frees.
+    ctl.arm(FaultPlan::new().fail(
+        "wal.segment.write",
+        0,
+        FaultKind::Errno(ErrorKind::StorageFull),
+    ));
+    let mut b = EventBatch::new();
+    b.events = data.events[half..].to_vec();
+    ing.submit(b).expect("within the mark");
+    match ing.flush() {
+        Err(IngestError::Degraded { .. }) => {}
+        other => panic!("full disk must degrade, got {other:?}"),
+    }
+    ctl.disarm();
+    ing.flush().expect("space freed, queue drains");
+
+    let faults_injected = ctl.injected().len();
+    let stats = ing.stats();
+    drop(ing);
+    drop(ctl);
+
+    let store = EventStore::open(dir).expect("reopen after drill");
+    assert_eq!(
+        store.event_count(),
+        data.events.len(),
+        "acknowledged rows survive"
+    );
+    FaultDrill {
+        faults_injected,
+        flush_retries: stats.flush_retries,
+        degraded_entries: stats.degraded_entries,
+        recovered_events: store.event_count(),
+    }
 }
 
 /// Embeds the process-wide telemetry registry into a `BENCH_*.json` body:

@@ -347,9 +347,13 @@ pub fn run_live(
 ///
 /// The open-from-disk entrypoint: wrap the result in [`Engine::new`] (or
 /// [`Engine::with_config`]) to investigate a store directory left behind
-/// by a stopped or crashed ingestion pipeline.
+/// by a stopped or crashed ingestion pipeline. Open/recovery failures name
+/// the directory — an investigator pointed at the wrong path (or a
+/// corrupted store) sees *which* store refused to open, not a bare errno.
 pub fn open_store(dir: impl AsRef<std::path::Path>) -> Result<EventStore, EngineError> {
-    Ok(EventStore::open(dir)?)
+    let dir = dir.as_ref();
+    EventStore::open(dir)
+        .map_err(|e| EngineError::Recovery(format!("opening store at `{}`: {e}", dir.display())))
 }
 
 /// Opens the store persisted at `dir` and runs one query against it — the
@@ -672,5 +676,19 @@ mod tests {
             r.rows
         };
         assert_eq!(norm(a), norm(b));
+    }
+
+    #[test]
+    fn open_store_errors_name_the_directory() {
+        let missing = std::env::temp_dir().join("aiql-engine-no-such-store");
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = open_store(&missing).expect_err("nothing persisted there");
+        match err {
+            EngineError::Recovery(msg) => assert!(
+                msg.contains("aiql-engine-no-such-store"),
+                "error must name the directory: {msg}"
+            ),
+            other => panic!("expected a recovery error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,324 @@
+//! Fault-aware file operations: [`FaultFile`] for long-lived handles
+//! (WAL segments, snapshot temp files) and [`fs`] for one-shot operations
+//! (read, rename, remove, truncate, directory sync).
+//!
+//! Every operation crosses a faultpoint named `{label}.{op}` (e.g.
+//! `wal.segment.write`, `persist.snapshot.sync`). Disarmed, the crossing
+//! is one relaxed atomic load — the point name is never even assembled.
+
+use crate::{armed, crossing, FaultKind};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+
+/// Consults the armed plan for `{label}.{op}`, allocating the point name
+/// only when injection is on.
+fn check(label: &str, op: &str) -> Option<(FaultKind, String)> {
+    if !armed() {
+        return None;
+    }
+    let point = format!("{label}.{op}");
+    crossing(&point).map(|kind| (kind, point))
+}
+
+fn fail(label: &str, op: &str) -> io::Result<()> {
+    match check(label, op) {
+        Some((kind, point)) => Err(kind.error(&point)),
+        None => Ok(()),
+    }
+}
+
+/// A [`File`] whose operations cross faultpoints and which models the
+/// on-disk consequences of the injected fault, not just the errno:
+///
+/// * [`FaultKind::PartialWrite`] writes a prefix of the buffer before
+///   erroring — the torn bytes really land in the file.
+/// * [`FaultKind::FsyncLoss`] reports the sync failure **and discards**
+///   every byte written since the last successful sync (truncating back
+///   to the synced length), so a caller that shrugs and retries reads
+///   back a file that silently lost its tail — the fsyncgate scenario.
+///
+/// The dirty-page model assumes append-style writing (all writes extend
+/// the file), which is how the WAL and snapshot writer use files; that is
+/// what makes "lost dirty pages" expressible as a truncation.
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: File,
+    label: String,
+    /// Current logical length, tracked through writes and truncations.
+    len: u64,
+    /// Length as of the last successful sync — the prefix that survives
+    /// an injected [`FaultKind::FsyncLoss`].
+    synced_len: u64,
+}
+
+impl FaultFile {
+    /// Opens `path` with `options`, crossing `{label}.open`. Bytes already
+    /// in the file are treated as durable (only writes through this
+    /// handle are at risk from an injected fsync loss).
+    pub fn open(path: &Path, options: &OpenOptions, label: &str) -> io::Result<FaultFile> {
+        fail(label, "open")?;
+        let inner = options.open(path)?;
+        let len = inner.metadata()?.len();
+        Ok(FaultFile {
+            inner,
+            label: label.to_string(),
+            len,
+            synced_len: len,
+        })
+    }
+
+    /// Creates (truncating) `path` for writing, crossing `{label}.create`.
+    pub fn create(path: &Path, label: &str) -> io::Result<FaultFile> {
+        fail(label, "create")?;
+        let inner = File::create(path)?;
+        Ok(FaultFile {
+            inner,
+            label: label.to_string(),
+            len: 0,
+            synced_len: 0,
+        })
+    }
+
+    /// Writes the whole buffer, crossing `{label}.write`. An injected
+    /// [`FaultKind::PartialWrite`] lands `buf.len() / 2` torn bytes
+    /// before the error.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match check(&self.label, "write") {
+            None => {
+                self.inner.write_all(buf)?;
+                self.len += buf.len() as u64;
+                Ok(())
+            }
+            Some((FaultKind::PartialWrite, point)) => {
+                let torn = &buf[..buf.len() / 2];
+                self.inner.write_all(torn)?;
+                self.len += torn.len() as u64;
+                Err(FaultKind::PartialWrite.error(&point))
+            }
+            Some((kind, point)) => Err(kind.error(&point)),
+        }
+    }
+
+    /// Syncs file data, crossing `{label}.sync`. An injected
+    /// [`FaultKind::FsyncLoss`] errors **and** drops all bytes written
+    /// since the last successful sync.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.sync_at("sync", false)
+    }
+
+    /// Syncs data and metadata, crossing `{label}.sync` (same point as
+    /// [`FaultFile::sync_data`]: one fsync seam per handle).
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        self.sync_at("sync", true)
+    }
+
+    fn sync_at(&mut self, op: &str, all: bool) -> io::Result<()> {
+        match check(&self.label, op) {
+            None => {
+                if all {
+                    self.inner.sync_all()?;
+                } else {
+                    self.inner.sync_data()?;
+                }
+                self.synced_len = self.len;
+                Ok(())
+            }
+            Some((FaultKind::FsyncLoss, point)) => {
+                // The kernel dropped the dirty pages and cleared the error
+                // flag: the unsynced suffix is gone for good.
+                let _ = self.inner.set_len(self.synced_len);
+                self.len = self.synced_len;
+                Err(FaultKind::FsyncLoss.error(&point))
+            }
+            Some((kind, point)) => Err(kind.error(&point)),
+        }
+    }
+
+    /// Truncates (or extends) the file, crossing `{label}.truncate`.
+    pub fn set_len(&mut self, size: u64) -> io::Result<()> {
+        fail(&self.label, "truncate")?;
+        self.inner.set_len(size)?;
+        self.len = size;
+        self.synced_len = self.synced_len.min(size);
+        Ok(())
+    }
+
+    /// Seeks the underlying file (no faultpoint: seeks do no I/O that the
+    /// fault model distinguishes).
+    pub fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.inner.seek(pos)
+    }
+
+    /// Reads to the end of the file from the current position, crossing
+    /// `{label}.read`.
+    pub fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        fail(&self.label, "read")?;
+        self.inner.read_to_end(buf)
+    }
+}
+
+/// Whether a directory-entry fsync actually reached the kernel — the
+/// typed replacement for the old silent no-op fallback on platforms
+/// without directory handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirSync {
+    /// The directory was opened and fsynced.
+    Synced,
+    /// This platform cannot fsync directories; renames and file creations
+    /// may not be durable across power loss. Callers should surface this
+    /// (counter + once-logged warning) rather than swallow it.
+    Unsupported,
+}
+
+/// One-shot fault-aware filesystem operations, each crossing the caller's
+/// named point.
+pub mod fs {
+    use super::{armed, crossing, DirSync};
+    use std::fs::OpenOptions;
+    use std::io;
+    use std::path::Path;
+
+    fn fail(point: &str) -> io::Result<()> {
+        if !armed() {
+            return Ok(());
+        }
+        match crossing(point) {
+            Some(kind) => Err(kind.error(point)),
+            None => Ok(()),
+        }
+    }
+
+    /// Reads a whole file, crossing `point`.
+    pub fn read(path: &Path, point: &str) -> io::Result<Vec<u8>> {
+        fail(point)?;
+        std::fs::read(path)
+    }
+
+    /// Renames `from` to `to`, crossing `point`.
+    pub fn rename(from: &Path, to: &Path, point: &str) -> io::Result<()> {
+        fail(point)?;
+        std::fs::rename(from, to)
+    }
+
+    /// Removes a file, crossing `point`.
+    pub fn remove_file(path: &Path, point: &str) -> io::Result<()> {
+        fail(point)?;
+        std::fs::remove_file(path)
+    }
+
+    /// Truncates `path` to `len` and syncs it, crossing `point` once (the
+    /// open/set_len/sync triple is one repair step to the fault model).
+    pub fn truncate(path: &Path, len: u64, point: &str) -> io::Result<()> {
+        fail(point)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    /// Fsyncs a directory entry so renames/creations in it are durable,
+    /// crossing `point`. On platforms without directory handles this is
+    /// [`DirSync::Unsupported`] — a capability signal, not an error.
+    pub fn fsync_dir(dir: &Path, point: &str) -> io::Result<DirSync> {
+        fail(point)?;
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)?.sync_all()?;
+            Ok(DirSync::Synced)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(DirSync::Unsupported)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::scratch_dir;
+    use crate::{control, FaultPlan};
+
+    #[test]
+    fn partial_write_leaves_torn_prefix() {
+        let dir = scratch_dir("fault-partial");
+        let path = dir.join("f.bin");
+        let ctl = control();
+        let mut file = FaultFile::create(&path, "t").unwrap();
+        ctl.arm(FaultPlan::new().fail("t.write", 2, FaultKind::PartialWrite));
+        file.write_all(b"aaaa").unwrap();
+        let err = file.write_all(b"bbbb").expect_err("second write torn");
+        assert!(err.to_string().contains("partial write"), "{err}");
+        file.sync_data().unwrap();
+        drop(ctl);
+        assert_eq!(std::fs::read(&path).unwrap(), b"aaaabb");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_loss_discards_unsynced_tail() {
+        let dir = scratch_dir("fault-fsyncloss");
+        let path = dir.join("f.bin");
+        let ctl = control();
+        let mut file = FaultFile::create(&path, "t").unwrap();
+        file.write_all(b"durable:").unwrap();
+        file.sync_data().unwrap();
+        ctl.arm(FaultPlan::new().fail("t.sync", 1, FaultKind::FsyncLoss));
+        file.write_all(b"doomed").unwrap();
+        let err = file.sync_data().expect_err("fsync reports the loss");
+        assert!(err.to_string().contains("page loss"), "{err}");
+        ctl.disarm();
+        // A shrug-and-retry sync succeeds but the tail is already gone.
+        file.sync_data().unwrap();
+        drop(ctl);
+        assert_eq!(std::fs::read(&path).unwrap(), b"durable:");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disarmed_passthrough_round_trips() {
+        let dir = scratch_dir("fault-passthrough");
+        let path = dir.join("f.bin");
+        let mut options = OpenOptions::new();
+        options.read(true).write(true).create(true);
+        let mut file = FaultFile::open(&path, &options, "t").unwrap();
+        file.write_all(b"hello").unwrap();
+        file.sync_all().unwrap();
+        file.set_len(4).unwrap();
+        file.seek(SeekFrom::Start(0)).unwrap();
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hell");
+        assert_eq!(fs::read(&path, "t.read").unwrap(), b"hell");
+        fs::fsync_dir(&dir, "t.dirsync").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_ops_fault_and_recover() {
+        let dir = scratch_dir("fault-fsops");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        std::fs::write(&a, b"payload").unwrap();
+        let ctl = control();
+        ctl.arm(
+            FaultPlan::new()
+                .fail("p.rename", 1, FaultKind::Errno(io::ErrorKind::Other))
+                .fail(
+                    "p.truncate",
+                    1,
+                    FaultKind::Errno(io::ErrorKind::StorageFull),
+                ),
+        );
+        fs::rename(&a, &b, "p.rename").expect_err("rename faulted");
+        assert!(a.exists() && !b.exists(), "faulted rename did not happen");
+        fs::rename(&a, &b, "p.rename").expect("second crossing clean");
+        let err = fs::truncate(&b, 3, "p.truncate").expect_err("truncate faulted");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        fs::truncate(&b, 3, "p.truncate").unwrap();
+        drop(ctl);
+        assert_eq!(std::fs::read(&b).unwrap(), b"pay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

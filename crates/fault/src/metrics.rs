@@ -1,0 +1,21 @@
+//! The fault layer's handles into the process-wide telemetry registry.
+
+use aiql_telemetry::{global, Counter};
+use std::sync::OnceLock;
+
+pub(crate) struct FaultMetrics {
+    /// `aiql_fault_injected_total` — faults an armed plan actually fired
+    /// (crossings that returned an error instead of proceeding).
+    pub injected: Counter,
+    /// `aiql_fault_crashes_total` — [`crate::FaultKind::Crash`] faults
+    /// fired (each puts the process into fail-everything mode).
+    pub crashes: Counter,
+}
+
+pub(crate) fn metrics() -> &'static FaultMetrics {
+    static METRICS: OnceLock<FaultMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| FaultMetrics {
+        injected: global().counter("aiql_fault_injected_total"),
+        crashes: global().counter("aiql_fault_crashes_total"),
+    })
+}

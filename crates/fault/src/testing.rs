@@ -1,0 +1,59 @@
+//! Shared helpers for fault-tolerance tests across the workspace: scratch
+//! directories and the corrupt-a-file pattern previously copy-pasted into
+//! each crate's durability tests.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh, empty scratch directory under the system temp dir, unique per
+/// process and call. Callers own cleanup (tests usually
+/// `fs::remove_dir_all` on success and leave the directory behind on
+/// failure for inspection).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("aiql-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Flips one byte in the middle of `path` — the canonical "bit rot /
+/// corrupt snapshot" mutation the CRC layers must catch.
+pub fn corrupt_file(path: &std::path::Path) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::other("cannot corrupt an empty file"));
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_empty() {
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b);
+        assert_eq!(fs::read_dir(&a).unwrap().count(), 0);
+        fs::remove_dir_all(&a).unwrap();
+        fs::remove_dir_all(&b).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_flips_one_middle_byte() {
+        let dir = scratch_dir("corrupt");
+        let path = dir.join("f.bin");
+        fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        corrupt_file(&path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), [1u8, 2, 3 ^ 0xff, 4, 5]);
+        assert!(corrupt_file(&dir.join("missing")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

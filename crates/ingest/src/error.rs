@@ -25,8 +25,21 @@ pub enum IngestError {
     /// The durability layer failed: the write-ahead log could not be
     /// written/synced, or recovery/checkpointing failed. Unlike a
     /// dead-lettered row this aborts the flush — rows past this point were
-    /// never acknowledged.
+    /// never acknowledged. Transient log I/O faults are retried (bounded,
+    /// with backoff — see [`crate::RetryPolicy`]) before surfacing here.
     Durable(PersistError),
+    /// The storage stack reported it is out of space (`ENOSPC`) and the
+    /// ingestor entered degraded mode: the unacknowledged remainder stays
+    /// queued, new submits are back-pressured, and the next successful
+    /// flush — after the operator frees space — returns to healthy.
+    /// Readable without an error in hand via
+    /// [`Ingestor::state`](crate::Ingestor::state).
+    Degraded {
+        /// Rows still queued, unacknowledged, awaiting space.
+        queued_rows: usize,
+        /// The out-of-space fault that forced the transition.
+        cause: PersistError,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -44,6 +57,11 @@ impl fmt::Display for IngestError {
             ),
             IngestError::Storage(e) => write!(f, "storage error during ingest: {e}"),
             IngestError::Durable(e) => write!(f, "durability error during ingest: {e}"),
+            IngestError::Degraded { queued_rows, cause } => write!(
+                f,
+                "ingestion degraded (out of space, {queued_rows} rows queued \
+                 unacknowledged): {cause}"
+            ),
         }
     }
 }

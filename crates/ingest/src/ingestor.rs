@@ -3,15 +3,55 @@
 
 use crate::batch::EventBatch;
 use crate::error::IngestError;
-use aiql_model::Timestamp;
-use aiql_rdb::PartKey;
+use aiql_model::{Entity, Event, Timestamp};
+use aiql_rdb::{PartKey, RdbError};
 use aiql_storage::timesync::Synchronizer;
 use aiql_storage::{
     DurableStore, DurableWrite, EventStore, PersistError, RecoveryReport, SharedStore, StoreConfig,
     StoreStamp, StoreWriter,
 };
 use std::collections::VecDeque;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How [`Ingestor::flush`] treats *transient* durability faults (a log
+/// write failing with a retryable I/O error): the flush re-attempts the
+/// remaining queue up to `max_retries` times, sleeping an exponentially
+/// growing backoff between attempts.
+///
+/// Fatal faults are never retried here: a poisoned log handle (failed
+/// fsync — the acknowledgement itself is untrustworthy) surfaces as
+/// [`IngestError::Durable`], and out-of-space degrades instead
+/// ([`IngestError::Degraded`]) because retrying into a full disk is just
+/// load.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubled per subsequent attempt,
+    /// capped at 100 ms. `Duration::ZERO` retries immediately
+    /// (deterministic tests).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.backoff
+            .saturating_mul(factor)
+            .min(Duration::from_millis(100))
+    }
+}
 
 /// Ingestor construction options.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +62,9 @@ pub struct IngestConfig {
     /// plus entities. A submit that would exceed it is rejected with
     /// [`IngestError::Backpressure`].
     pub high_water_mark: usize,
+    /// Bounded retry-with-backoff for transient durability faults during
+    /// flush.
+    pub retry: RetryPolicy,
 }
 
 impl IngestConfig {
@@ -31,6 +74,7 @@ impl IngestConfig {
         IngestConfig {
             store: StoreConfig::partitioned(),
             high_water_mark: 64 * 1024,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -45,6 +89,55 @@ impl IngestConfig {
         self.store = store;
         self
     }
+
+    /// Sets the transient-fault retry policy, builder style.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> IngestConfig {
+        self.retry = retry;
+        self
+    }
+}
+
+/// The ingestor's health, readable via [`Ingestor::state`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IngestState {
+    /// Appends flow normally.
+    #[default]
+    Healthy = 0,
+    /// The storage stack ran out of space. Submits are back-pressured and
+    /// the unacknowledged remainder stays queued; the first successful
+    /// flush (after the operator frees space) returns to [`Healthy`].
+    ///
+    /// [`Healthy`]: IngestState::Healthy
+    Degraded = 1,
+    /// The log handle is poisoned (a failed fsync may have silently lost
+    /// acknowledged-in-flight records). Terminal for this ingestor:
+    /// reopen the directory ([`Ingestor::durable`]) to resume with a
+    /// writer whose acknowledgements are trustworthy again.
+    Poisoned = 2,
+}
+
+/// Upper bound on retained dead letters; older entries are dropped (and
+/// counted in [`IngestStats::dead_letters_dropped`]) once it is reached.
+pub const DEAD_LETTER_CAP: usize = 1024;
+
+/// The row inside a [`DeadLetter`].
+#[derive(Debug, Clone)]
+pub enum DeadRow {
+    /// A rejected event, as attempted (timestamps already corrected).
+    Event(Event),
+    /// A rejected entity.
+    Entity(Entity),
+}
+
+/// One row the storage layer rejected during a flush, retained for
+/// inspection ([`Ingestor::dead_letters`]) and draining
+/// ([`Ingestor::drain_dead_letters`]).
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The rejected row.
+    pub row: DeadRow,
+    /// Why the storage layer refused it.
+    pub error: RdbError,
 }
 
 /// Running totals over an ingestor's lifetime.
@@ -67,6 +160,13 @@ pub struct IngestStats {
     pub rollovers: u64,
     /// Rows the storage layer rejected and the flush dead-lettered.
     pub failed_rows: u64,
+    /// Flush attempts re-run after a transient durability fault.
+    pub flush_retries: u64,
+    /// Transitions into [`IngestState::Degraded`] (out-of-space events).
+    pub degraded_entries: u64,
+    /// Dead letters evicted unseen because the bounded dead-letter queue
+    /// ([`DEAD_LETTER_CAP`]) was full.
+    pub dead_letters_dropped: u64,
     /// Deepest the queue has been, in rows (events + entities).
     pub max_queue_depth: usize,
 }
@@ -168,6 +268,7 @@ fn apply_batch(
     sync: &mut Synchronizer,
     watermark: &mut Option<Timestamp>,
     report: &mut FlushReport,
+    dead: &mut Vec<DeadLetter>,
     batch: EventBatch,
 ) -> Result<(), (PersistError, EventBatch)> {
     let EventBatch {
@@ -195,7 +296,11 @@ fn apply_batch(
             Ok(()) => report.entities += 1,
             Err(PersistError::Storage(e)) => {
                 report.failed_rows += 1;
-                report.first_error.get_or_insert(e);
+                report.first_error.get_or_insert(e.clone());
+                dead.push(DeadLetter {
+                    row: DeadRow::Entity(entity.clone()),
+                    error: e,
+                });
             }
             Err(e) => {
                 return Err((
@@ -232,7 +337,11 @@ fn apply_batch(
             }
             Err(PersistError::Storage(e)) => {
                 report.failed_rows += 1;
-                report.first_error.get_or_insert(e);
+                report.first_error.get_or_insert(e.clone());
+                dead.push(DeadLetter {
+                    row: DeadRow::Event(corrected),
+                    error: e,
+                });
             }
             Err(e) => {
                 return Err((
@@ -274,6 +383,8 @@ pub struct Ingestor {
     watermark: Option<Timestamp>,
     config: IngestConfig,
     stats: IngestStats,
+    state: IngestState,
+    dead_letters: VecDeque<DeadLetter>,
 }
 
 impl Ingestor {
@@ -296,6 +407,8 @@ impl Ingestor {
             watermark: None,
             config,
             stats: IngestStats::default(),
+            state: IngestState::Healthy,
+            dead_letters: VecDeque::new(),
         }
     }
 
@@ -323,6 +436,8 @@ impl Ingestor {
                 watermark,
                 config,
                 stats: IngestStats::default(),
+                state: IngestState::Healthy,
+                dead_letters: VecDeque::new(),
             },
             opened.report,
         ))
@@ -364,6 +479,37 @@ impl Ingestor {
         self.watermark
     }
 
+    /// The ingestor's current health (see [`IngestState`]).
+    pub fn state(&self) -> IngestState {
+        self.state
+    }
+
+    /// The retained dead letters, oldest first, without consuming them.
+    pub fn dead_letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.dead_letters.iter()
+    }
+
+    /// Takes every retained dead letter, oldest first. Each letter is
+    /// returned exactly once; a second drain (with no flushes in between)
+    /// is empty.
+    pub fn drain_dead_letters(&mut self) -> Vec<DeadLetter> {
+        let letters: Vec<DeadLetter> = self.dead_letters.drain(..).collect();
+        crate::metrics::metrics().dead_letter_queue_depth.set(0);
+        letters
+    }
+
+    fn set_state(&mut self, next: IngestState) {
+        if self.state == next {
+            return;
+        }
+        if next == IngestState::Degraded {
+            self.stats.degraded_entries += 1;
+            crate::metrics::metrics().degraded_transitions.inc();
+        }
+        self.state = next;
+        crate::metrics::metrics().state.set(next as i64);
+    }
+
     /// Enqueues a shipment, applying back-pressure at the high-water mark
     /// (which bounds queued *rows*: events plus entities, so entity-heavy
     /// shipments cannot buffer without bound either).
@@ -371,8 +517,15 @@ impl Ingestor {
     /// The rejected batch is returned untouched inside
     /// [`IngestError::Backpressure`] — the caller may [`Ingestor::flush`]
     /// and resubmit it.
+    ///
+    /// While [`IngestState::Degraded`] (out of space) every submit is
+    /// back-pressured the same way, regardless of queue depth: buffering
+    /// more rows the disk cannot take only widens the loss window. A
+    /// successful flush clears the state.
     pub fn submit(&mut self, batch: EventBatch) -> Result<(), IngestError> {
-        if self.queued_rows + batch.weight() > self.config.high_water_mark {
+        if self.state == IngestState::Degraded
+            || self.queued_rows + batch.weight() > self.config.high_water_mark
+        {
             self.stats.batches_rejected += 1;
             crate::metrics::metrics().backpressure_rejections.inc();
             return Err(IngestError::Backpressure {
@@ -436,15 +589,76 @@ impl Ingestor {
     /// On a durable ingestor every row (and clock sample) is appended to
     /// the write-ahead log before its in-memory insert, and the log is
     /// fsynced before this returns — the returned report is the
-    /// acknowledgement. A log I/O failure aborts the flush with
-    /// [`IngestError::Durable`]: the unprocessed remainder of the queue
-    /// (including the row that failed to log) is put back for a retry
-    /// after the fault clears, and whatever was applied before the fault
-    /// is folded into [`IngestStats`], so the stats stay consistent with
-    /// the store's row counts even on the error path.
+    /// acknowledgement. A log I/O failure aborts the attempt: the
+    /// unprocessed remainder of the queue (including the row that failed
+    /// to log) is put back for a retry, and whatever was applied before
+    /// the fault is folded into [`IngestStats`], so the stats stay
+    /// consistent with the store's row counts even on the error path.
+    /// What happens next depends on the fault:
+    ///
+    /// - **transient** log I/O faults are retried here, up to
+    ///   [`RetryPolicy::max_retries`] times with exponential backoff,
+    ///   before surfacing as [`IngestError::Durable`];
+    /// - **out of space** (`ENOSPC`) transitions to
+    ///   [`IngestState::Degraded`] and returns [`IngestError::Degraded`]
+    ///   immediately — retrying into a full disk is just load; the next
+    ///   successful flush (after space is freed) returns to healthy;
+    /// - a **poisoned log handle** (failed fsync; see
+    ///   [`DurableStore::is_poisoned`]) is fatal for this ingestor:
+    ///   [`IngestState::Poisoned`], no retry — the acknowledgement channel
+    ///   itself can no longer be trusted, reopen the directory instead.
     pub fn flush(&mut self) -> Result<FlushReport, IngestError> {
+        let mut total = FlushReport::default();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.flush_attempt(&mut total) {
+                Ok(()) => {
+                    if self.state == IngestState::Degraded {
+                        self.set_state(IngestState::Healthy);
+                    }
+                    return Ok(total);
+                }
+                Err(e) => {
+                    let poisoned = match &self.backend {
+                        Backend::Durable(d) => d.is_poisoned(),
+                        Backend::Plain(_) => false,
+                    };
+                    if poisoned {
+                        self.set_state(IngestState::Poisoned);
+                        return Err(IngestError::Durable(e));
+                    }
+                    match &e {
+                        PersistError::Io(io) if io.kind() == io::ErrorKind::StorageFull => {
+                            self.set_state(IngestState::Degraded);
+                            return Err(IngestError::Degraded {
+                                queued_rows: self.queued_rows,
+                                cause: e,
+                            });
+                        }
+                        PersistError::Io(_) if attempt < self.config.retry.max_retries => {
+                            attempt += 1;
+                            self.stats.flush_retries += 1;
+                            crate::metrics::metrics().flush_retries.inc();
+                            let delay = self.config.retry.delay(attempt);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        _ => return Err(IngestError::Durable(e)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt at draining the queue: the write session, the single
+    /// requeue point, stats folding, and dead-letter retention. Progress
+    /// (applied batches, dead letters) is merged into `total` whether the
+    /// attempt succeeds or not.
+    fn flush_attempt(&mut self, total: &mut FlushReport) -> Result<(), PersistError> {
         let started = std::time::Instant::now();
         let mut report = FlushReport::default();
+        let mut dead = Vec::new();
         let mut failure: Option<PersistError> = None;
         let mut session = match &mut self.backend {
             Backend::Plain(shared) => Session::Plain(shared.write()),
@@ -457,6 +671,7 @@ impl Ingestor {
                 &mut self.sync,
                 &mut self.watermark,
                 &mut report,
+                &mut dead,
                 batch,
             ) {
                 Ok(()) => report.batches += 1,
@@ -510,9 +725,19 @@ impl Ingestor {
         m.flush_rows
             .record((report.events + report.entities) as u64);
         m.dead_letter_rows.add(report.failed_rows as u64);
+        for letter in dead {
+            if self.dead_letters.len() >= DEAD_LETTER_CAP {
+                self.dead_letters.pop_front();
+                self.stats.dead_letters_dropped += 1;
+            }
+            self.dead_letters.push_back(letter);
+        }
+        m.dead_letter_queue_depth
+            .set(self.dead_letters.len() as i64);
+        total.merge(report);
         match failure {
-            Some(e) => Err(IngestError::Durable(e)),
-            None => Ok(report),
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 

@@ -61,4 +61,7 @@ mod metrics;
 
 pub use batch::EventBatch;
 pub use error::IngestError;
-pub use ingestor::{FlushReport, IngestConfig, IngestStats, Ingestor};
+pub use ingestor::{
+    DeadLetter, DeadRow, FlushReport, IngestConfig, IngestState, IngestStats, Ingestor,
+    RetryPolicy, DEAD_LETTER_CAP,
+};

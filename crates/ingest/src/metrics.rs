@@ -19,6 +19,19 @@ pub(crate) struct IngestMetrics {
     /// `aiql_ingest_dead_letter_rows_total` — rows the storage layer
     /// rejected and the flush counted, skipped, and moved past.
     pub dead_letter_rows: Counter,
+    /// `aiql_ingest_dead_letter_queue_depth` — dead letters currently
+    /// retained for inspection/draining (bounded by
+    /// [`crate::ingestor::DEAD_LETTER_CAP`]).
+    pub dead_letter_queue_depth: Gauge,
+    /// `aiql_ingest_flush_retries_total` — flush attempts re-run after a
+    /// transient durability fault.
+    pub flush_retries: Counter,
+    /// `aiql_ingest_degraded_transitions_total` — entries into degraded
+    /// (out-of-space) mode.
+    pub degraded_transitions: Counter,
+    /// `aiql_ingest_state` — current [`crate::IngestState`] as its
+    /// discriminant (0 healthy, 1 degraded, 2 poisoned).
+    pub state: Gauge,
 }
 
 pub(crate) fn metrics() -> &'static IngestMetrics {
@@ -29,5 +42,9 @@ pub(crate) fn metrics() -> &'static IngestMetrics {
         flush_micros: global().histogram("aiql_ingest_flush_micros"),
         flush_rows: global().histogram("aiql_ingest_flush_rows"),
         dead_letter_rows: global().counter("aiql_ingest_dead_letter_rows_total"),
+        dead_letter_queue_depth: global().gauge("aiql_ingest_dead_letter_queue_depth"),
+        flush_retries: global().counter("aiql_ingest_flush_retries_total"),
+        degraded_transitions: global().counter("aiql_ingest_degraded_transitions_total"),
+        state: global().gauge("aiql_ingest_state"),
     })
 }

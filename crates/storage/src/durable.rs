@@ -134,6 +134,15 @@ impl DurableStore {
         self.wal.last_seq()
     }
 
+    /// Whether the underlying log handle has been poisoned by a failed
+    /// fsync or failed torn-tail repair. A poisoned store refuses appends
+    /// and syncs; reopening the directory is the only way back to a
+    /// writer whose acknowledgements can be trusted (the reopen re-reads
+    /// what is actually durable).
+    pub fn is_poisoned(&self) -> bool {
+        self.wal.is_poisoned()
+    }
+
     /// Current on-disk size of the write-ahead log.
     pub fn wal_size_bytes(&self) -> Result<u64, PersistError> {
         Ok(self.wal.size_bytes()?)
@@ -224,12 +233,12 @@ impl DurableStore {
         let mut removed = false;
         for (seq, old) in persist::snapshot_files(&self.dir)? {
             if seq < covered {
-                fs::remove_file(old)?;
+                aiql_fault::fs::remove_file(&old, "persist.snapshot.remove")?;
                 removed = true;
             }
         }
         if removed {
-            aiql_wal::fsync_dir(&self.dir)?;
+            aiql_wal::fsync_dir_at(&self.dir, "persist.dir.sync")?;
         }
         crate::metrics::metrics()
             .checkpoint_micros
@@ -504,10 +513,7 @@ mod tests {
         let snap = persist::write_snapshot(&shared.read(), d.dir(), covered).unwrap();
         drop(shared);
         drop(d);
-        let mut bytes = fs::read(&snap).unwrap();
-        let n = bytes.len();
-        bytes[n / 2] ^= 0xff;
-        fs::write(&snap, &bytes).unwrap();
+        aiql_fault::testing::corrupt_file(&snap).unwrap();
 
         let reopened = DurableStore::open(&dir, StoreConfig::partitioned()).unwrap();
         let report = reopened.report.unwrap();
@@ -553,10 +559,7 @@ mod tests {
         let snap = persist::write_snapshot(&shared.read(), d.dir(), covered).unwrap();
         drop(shared);
         drop(d);
-        let mut bytes = fs::read(&snap).unwrap();
-        let n = bytes.len();
-        bytes[n / 2] ^= 0xff;
-        fs::write(&snap, &bytes).unwrap();
+        aiql_fault::testing::corrupt_file(&snap).unwrap();
         assert!(aiql_wal::testing::tear_last_segment(persist::wal_dir(&dir), 5).unwrap());
 
         let err = DurableStore::open(&dir, StoreConfig::partitioned())
@@ -584,10 +587,7 @@ mod tests {
         // Simulate a crash between WAL prune and old-snapshot removal,
         // followed by the new snapshot rotting: the events live nowhere.
         fs::rename(&stash, &old_snap).unwrap();
-        let mut bytes = fs::read(&new_snap).unwrap();
-        let n = bytes.len();
-        bytes[n / 2] ^= 0xff;
-        fs::write(&new_snap, &bytes).unwrap();
+        aiql_fault::testing::corrupt_file(&new_snap).unwrap();
 
         let err = DurableStore::open(&dir, StoreConfig::partitioned())
             .expect_err("silently dropping acknowledged events is not recovery");

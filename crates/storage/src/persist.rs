@@ -39,7 +39,7 @@ use aiql_rdb::{
 use aiql_wal::{crc32, WalRecord};
 use std::fmt;
 use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file (format version 1).
@@ -200,16 +200,16 @@ pub fn write_snapshot(
 
     let tmp = dir.join(".snapshot.tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
+        let mut f = aiql_fault::FaultFile::create(&tmp, "persist.snapshot")?;
         f.write_all(&buf)?;
         f.sync_data()?;
     }
     let path = snapshot_path(dir, wal_seq);
-    fs::rename(&tmp, &path)?;
+    aiql_fault::fs::rename(&tmp, &path, "persist.snapshot.rename")?;
     // The rename is not durable until the directory entry is; without this
     // a power loss could keep later deletions (old snapshots, pruned WAL
     // segments) while dropping the snapshot they were deleted in favor of.
-    aiql_wal::fsync_dir(dir)?;
+    aiql_wal::fsync_dir_at(dir, "persist.dir.sync")?;
     Ok(path)
 }
 
@@ -220,7 +220,7 @@ fn corrupt(msg: impl Into<String>) -> PersistError {
 /// Loads one snapshot file, returning the rebuilt store and the WAL
 /// sequence number it covers.
 pub fn load_snapshot(path: &Path) -> Result<(EventStore, u64), PersistError> {
-    let bytes = fs::read(path)?;
+    let bytes = aiql_fault::fs::read(path, "persist.snapshot.read")?;
     if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
         return Err(corrupt("file shorter than header"));
     }

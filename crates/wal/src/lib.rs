@@ -40,11 +40,13 @@ mod crc;
 mod metrics;
 mod record;
 
+pub use aiql_fault::DirSync;
 pub use crc::crc32;
 pub use record::WalRecord;
 
+use aiql_fault::FaultFile;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::io::{self, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Hard cap on one record's payload, guarding recovery against a corrupt
@@ -102,12 +104,33 @@ impl Replay {
 /// entries durable. Syncing file *data* alone does not cover the directory
 /// entry: after power loss a fully-synced segment or snapshot could simply
 /// not be in the directory any more, while a deletion made after it sticks.
-pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
-    #[cfg(unix)]
-    File::open(dir.as_ref())?.sync_all()?;
-    #[cfg(not(unix))]
-    let _ = dir; // directories cannot be opened for fsync here
-    Ok(())
+///
+/// On platforms where directories cannot be opened for fsync this returns
+/// [`DirSync::Unsupported`] instead of silently succeeding — the degraded
+/// durability is counted (`aiql_wal_dir_sync_unsupported_total`) and warned
+/// about once per process, and callers that need stronger guarantees can
+/// inspect the returned capability signal.
+pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<DirSync> {
+    fsync_dir_at(dir, "wal.dir.sync")
+}
+
+/// [`fsync_dir`] crossing a caller-named faultpoint — the storage layer
+/// uses this to distinguish its directory syncs (`persist.dir.sync`) from
+/// the WAL's own (`wal.dir.sync`) under fault injection.
+pub fn fsync_dir_at(dir: impl AsRef<Path>, point: &str) -> io::Result<DirSync> {
+    let outcome = aiql_fault::fs::fsync_dir(dir.as_ref(), point)?;
+    if outcome == DirSync::Unsupported {
+        metrics::metrics().dir_sync_unsupported.inc();
+        static WARN: std::sync::Once = std::sync::Once::new();
+        WARN.call_once(|| {
+            eprintln!(
+                "aiql-wal: this platform cannot fsync directories; \
+                 segment/snapshot creations and removals may not be durable \
+                 across power loss"
+            );
+        });
+    }
+    Ok(outcome)
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -189,7 +212,7 @@ pub fn replay(dir: impl AsRef<Path>) -> io::Result<Replay> {
     let mut prev_seq = 0u64;
     let mut stopped = false;
     for (_, path) in &segments {
-        let bytes = fs::read(path)?;
+        let bytes = aiql_fault::fs::read(path, "wal.segment.read")?;
         if stopped {
             // Everything after a torn segment is unreachable.
             out.torn_bytes += bytes.len() as u64;
@@ -215,7 +238,7 @@ pub fn replay(dir: impl AsRef<Path>) -> io::Result<Replay> {
 pub struct Wal {
     dir: PathBuf,
     options: WalOptions,
-    file: File,
+    file: FaultFile,
     segment_index: u64,
     segment_len: u64,
     next_seq: u64,
@@ -294,16 +317,14 @@ impl Wal {
         let mut open_at: Option<(u64, u64)> = None; // (index, valid length)
         let mut torn_from: Option<usize> = None;
         for (i, (idx, path)) in segments.iter().enumerate() {
-            let bytes = fs::read(path)?;
+            let bytes = aiql_fault::fs::read(path, "wal.segment.read")?;
             let (records, valid_end, torn) = scan_segment(&bytes, &mut prev_seq);
             found.records.extend(records);
             open_at = Some((*idx, valid_end as u64));
             if torn {
                 found.torn_bytes += (bytes.len() - valid_end) as u64;
                 if valid_end < bytes.len() {
-                    let f = OpenOptions::new().write(true).open(path)?;
-                    f.set_len(valid_end as u64)?;
-                    f.sync_data()?;
+                    aiql_fault::fs::truncate(path, valid_end as u64, "wal.segment.truncate")?;
                 }
                 torn_from = Some(i + 1);
                 break;
@@ -312,13 +333,15 @@ impl Wal {
         if let Some(from) = torn_from {
             for (_, path) in &segments[from..] {
                 found.torn_bytes += fs::metadata(path)?.len();
-                fs::remove_file(path)?;
+                aiql_fault::fs::remove_file(path, "wal.segment.remove")?;
             }
         }
 
         let (segment_index, segment_len) = open_at.unwrap_or((1, 0));
         let path = segment_path(&dir, segment_index);
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut segment_options = OpenOptions::new();
+        segment_options.create(true).append(true);
+        let mut file = FaultFile::open(&path, &segment_options, "wal.segment")?;
         file.seek(SeekFrom::End(0))?;
         // Make the active segment's directory entry (and any torn-tail
         // removals above) durable before a single record is acknowledged.
@@ -352,6 +375,20 @@ impl Wal {
     /// The log directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Whether a failed repair or fsync has poisoned this handle (every
+    /// later append/sync is refused; reopening the log is the only way
+    /// back to a trustworthy writer).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn poison(&mut self) {
+        if !self.poisoned {
+            self.poisoned = true;
+            metrics::metrics().poisoned.inc();
+        }
     }
 
     /// Ensures the next append's sequence number is at least `min_next`.
@@ -440,7 +477,7 @@ impl Wal {
             .set_len(self.segment_len)
             .and_then(|()| self.file.sync_data());
         if repaired.is_err() {
-            self.poisoned = true;
+            self.poison();
         }
     }
 
@@ -459,7 +496,7 @@ impl Wal {
         }
         let start = std::time::Instant::now();
         if let Err(e) = self.file.sync_data() {
-            self.poisoned = true;
+            self.poison();
             return Err(e);
         }
         metrics::metrics()
@@ -477,7 +514,9 @@ impl Wal {
         self.sync()?;
         self.segment_index += 1;
         let path = segment_path(&self.dir, self.segment_index);
-        self.file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut segment_options = OpenOptions::new();
+        segment_options.create(true).append(true);
+        self.file = FaultFile::open(&path, &segment_options, "wal.segment")?;
         fsync_dir(&self.dir)?;
         self.segment_len = 0;
         metrics::metrics().rollovers.inc();
@@ -490,7 +529,7 @@ impl Wal {
         let mut removed = false;
         for (idx, path) in segment_files(&self.dir)? {
             if idx < self.segment_index {
-                fs::remove_file(path)?;
+                aiql_fault::fs::remove_file(&path, "wal.segment.remove")?;
                 removed = true;
             }
         }
@@ -548,6 +587,7 @@ pub mod testing {
 mod tests {
     use super::*;
     use aiql_model::{AgentId, Entity, EntityKind, Event, OpType, Timestamp};
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("aiql-wal-test-{}-{name}", std::process::id()));

@@ -17,6 +17,13 @@ pub(crate) struct WalMetrics {
     /// `aiql_wal_segment_rollovers_total` — segments started after the
     /// first, whether by size cap or checkpoint rotation.
     pub rollovers: Counter,
+    /// `aiql_wal_poisoned_total` — handles poisoned by a failed fsync or
+    /// failed torn-tail repair (each one forces a reopen to keep writing).
+    pub poisoned: Counter,
+    /// `aiql_wal_dir_sync_unsupported_total` — directory fsyncs skipped
+    /// because the platform cannot open directories for fsync (degraded
+    /// durability, see [`crate::fsync_dir`]).
+    pub dir_sync_unsupported: Counter,
 }
 
 pub(crate) fn metrics() -> &'static WalMetrics {
@@ -26,5 +33,7 @@ pub(crate) fn metrics() -> &'static WalMetrics {
         append_bytes: global().histogram("aiql_wal_append_bytes"),
         fsync_micros: global().histogram("aiql_wal_fsync_micros"),
         rollovers: global().counter("aiql_wal_segment_rollovers_total"),
+        poisoned: global().counter("aiql_wal_poisoned_total"),
+        dir_sync_unsupported: global().counter("aiql_wal_dir_sync_unsupported_total"),
     })
 }

@@ -18,6 +18,9 @@
 //!   incremental index maintenance, optional write-ahead durability.
 //! - [`wal`] — the append-only, CRC-checksummed, segmented write-ahead
 //!   log beneath the durable store.
+//! - [`fault`] — deterministic fault injection under the storage stack:
+//!   failpoints, scriptable fault plans, fault-aware file operations —
+//!   the substrate of the crash-at-every-step chaos harness in `tests/`.
 //! - [`rdb`] / [`graphdb`] — the relational and property-graph substrates
 //!   standing in for PostgreSQL/Greenplum and Neo4j.
 //! - [`baselines`] — the comparison systems of the paper's evaluation.
@@ -60,6 +63,7 @@ pub use aiql_bench as bench;
 pub use aiql_core as lang;
 pub use aiql_datagen as datagen;
 pub use aiql_engine as engine;
+pub use aiql_fault as fault;
 pub use aiql_graphdb as graphdb;
 pub use aiql_ingest as ingest;
 pub use aiql_model as model;

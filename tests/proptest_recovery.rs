@@ -11,7 +11,6 @@ use aiql::model::{AgentId, Dataset, Entity, EntityKind, Event, OpType, Timestamp
 use aiql::storage::{EventStore, StoreConfig};
 use proptest::prelude::*;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 const OPS: [OpType; 3] = [OpType::Read, OpType::Write, OpType::Execute];
 const NANOS_PER_DAY: i64 = 86_400 * 1_000_000_000;
@@ -118,14 +117,7 @@ fn sorted_rows(rows: Vec<Vec<Value>>) -> Vec<String> {
 }
 
 fn scratch() -> PathBuf {
-    static CASE: AtomicUsize = AtomicUsize::new(0);
-    let dir = std::env::temp_dir().join(format!(
-        "aiql-proptest-recovery-{}-{}",
-        std::process::id(),
-        CASE.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    aiql::fault::testing::scratch_dir("proptest-recovery")
 }
 
 /// Tears the newest WAL segment by `bite` bytes if it is big enough to

@@ -95,9 +95,7 @@ fn run_suite(store: &EventStore) -> Vec<Vec<String>> {
 }
 
 fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("aiql-recovery-it-{}-{name}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    aiql::fault::testing::scratch_dir(&format!("recovery-it-{name}"))
 }
 
 /// Streams the dataset through a durable ingestor in `chunk`-event
