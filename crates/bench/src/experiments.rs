@@ -615,8 +615,8 @@ pub fn ingestion_bench(opts: Options) -> (String, String) {
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nfsync p99 {:.2} ms over {} syncs; flush p99 {:.2} ms over {} flushes\n\
-         {} publishes copied {:.2} MiB at unseal ({:.2}x the {:.2} MiB WAL-appended) \
-         — ROADMAP item 1's write amplification, measured\n\
+         {} publishes copied {:.2} MiB of open tail ({:.2}x the {:.2} MiB WAL-appended) \
+         — sealed chunks are shared, so ROADMAP item 1's write amplification is gone\n\
          plan cache: {} hits / {} misses ({:.0}% hit rate)\n",
         fsync.quantile(0.99) / 1e3,
         fsync.count,

@@ -304,6 +304,10 @@ pub struct Columnar {
     perm: Vec<u32>,
     /// Zone maps of the sealed blocks, aligned with `cols`.
     sealed: Vec<Vec<Zone>>,
+    /// Rows covered by sealed blocks. Equal to `sealed.len() * block_rows`
+    /// until [`Columnar::seal_tail_block`] seals a partial final block —
+    /// after which the projection is frozen (no further appends).
+    sealed_rows: usize,
 }
 
 impl Columnar {
@@ -367,6 +371,7 @@ impl Columnar {
             cols,
             perm: Vec::new(),
             sealed: Vec::new(),
+            sealed_rows: 0,
         };
 
         // Bulk load: sort positions by time (stable on insertion order) and
@@ -461,18 +466,44 @@ impl Columnar {
         for (at, &p) in self.perm.iter().enumerate() {
             data.insert(at, &rows[p as usize][col], &self.dict);
         }
-        // Extend every sealed block's zone list with the new column.
+        // Extend every sealed block's zone list with the new column (the
+        // final sealed block may be partial after `seal_tail_block`).
         for (b, zones) in self.sealed.iter_mut().enumerate() {
-            zones.push(data.zone(b * self.block_rows..(b + 1) * self.block_rows));
+            let end = ((b + 1) * self.block_rows).min(self.perm.len());
+            zones.push(data.zone(b * self.block_rows..end));
         }
         self.slots[col] = Some(self.cols.len());
         self.cols.push((col, data));
     }
 
+    /// Seals the open tail block (zone maps over the partial remainder)
+    /// even though it holds fewer than [`Columnar::block_rows`] rows. The
+    /// chunked table calls this when it seals a chunk, so every block of a
+    /// sealed chunk is zone-prunable. The projection must take no further
+    /// appends afterwards: the positional block stride in
+    /// [`Columnar::select_stats`] assumes only the *final* block can be
+    /// partial. No-op on an empty tail block.
+    pub fn seal_tail_block(&mut self) {
+        if self.perm.len() > self.sealed_rows {
+            let range = self.sealed_rows..self.perm.len();
+            let zones = self
+                .cols
+                .iter()
+                .map(|(_, d)| d.zone(range.clone()))
+                .collect();
+            self.sealed.push(zones);
+            self.sealed_rows = self.perm.len();
+        }
+    }
+
     /// Appends row-store row `pos` (contents `row`), sorted-inserting into
     /// the open tail block and sealing it when full.
     pub fn append(&mut self, row: &Row, pos: u32) {
-        let sealed_rows = self.sealed.len() * self.block_rows;
+        debug_assert!(
+            self.sealed.len() * self.block_rows == self.sealed_rows,
+            "no appends after seal_tail_block froze the projection"
+        );
+        let sealed_rows = self.sealed_rows;
         let at = match self.time_idx {
             Some(t) => {
                 let key = row[t].as_int().unwrap_or(i64::MIN);
@@ -505,6 +536,7 @@ impl Columnar {
                 .map(|(_, d)| d.zone(range.clone()))
                 .collect();
             self.sealed.push(zones);
+            self.sealed_rows = self.perm.len();
         }
     }
 

@@ -59,7 +59,7 @@ pub use expr::{CmpOp, Expr};
 pub use partition::{InsertReport, PartKey, PartitionSpec, PartitionedTable, Prune};
 pub use schema::{ColumnType, Row, Schema};
 pub use segment::{Placement, SegmentedDb};
-pub use table::{AccessPath, ScanProfile, Table};
+pub use table::{AccessPath, ScanProfile, SealedChunk, Table, DEFAULT_CHUNK_ROWS};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -193,7 +193,9 @@ impl Database {
             // snapshot is detached before the first post-publish insert.
             TableSlot::Plain(t) => {
                 if Arc::strong_count(t) > 1 {
-                    copied = t.approx_bytes();
+                    // Chunked tables make the detach O(tail): sealed chunks
+                    // stay shared with the snapshot.
+                    copied = t.tail_bytes();
                 }
                 Arc::make_mut(t)
                     .insert(row)
@@ -257,6 +259,50 @@ impl Database {
             Some(TableSlot::Plain(t)) => Some(t.as_ref()),
             _ => None,
         }
+    }
+
+    /// Seals every table tail holding at least `min_rows` rows, across
+    /// plain and partitioned tables (see [`Table::freeze_tail`] /
+    /// [`PartitionedTable::freeze_tails`]); returns how many tails sealed.
+    /// The live store calls this right before cloning the head into a
+    /// snapshot so the clone shares the sealed chunks and the next
+    /// publish's copy-on-write detaches cost ~nothing.
+    pub fn freeze_tails(&mut self, min_rows: usize) -> usize {
+        let mut sealed = 0;
+        for slot in self.tables.values_mut() {
+            match slot {
+                TableSlot::Plain(t) => {
+                    if t.tail_chunk().len() >= min_rows.max(1) {
+                        if Arc::strong_count(t) > 1 {
+                            self.plain_copied_bytes += t.tail_bytes();
+                        }
+                        if Arc::make_mut(t).freeze_tail(min_rows) {
+                            sealed += 1;
+                        }
+                    }
+                }
+                TableSlot::Partitioned(t) => sealed += t.freeze_tails(min_rows),
+            }
+        }
+        sealed
+    }
+
+    /// How many sealed chunks are physically shared with `other`, summed
+    /// over name-matched tables and key-matched partitions (see
+    /// [`Table::chunks_shared_with`]). The chunk-level observable of
+    /// snapshot publication: sealed history stays shared even after hot
+    /// tails are detached.
+    pub fn sealed_chunks_shared_with(&self, other: &Database) -> usize {
+        self.tables
+            .iter()
+            .map(|(name, slot)| match (slot, other.tables.get(name)) {
+                (TableSlot::Plain(t), Some(TableSlot::Plain(o))) => t.chunks_shared_with(o),
+                (TableSlot::Partitioned(t), Some(TableSlot::Partitioned(o))) => {
+                    t.sealed_chunks_shared_with(o)
+                }
+                _ => 0,
+            })
+            .sum()
     }
 
     /// How many tables (plain tables plus individual partitions) are

@@ -96,6 +96,13 @@ impl Prune {
 /// [`Arc::make_mut`] detaches a private copy (copy-on-write). Partitions
 /// the stream has moved past (older days, other agent groups) are never
 /// touched again, so they are shared by all snapshots forever at zero cost.
+///
+/// Since tables went chunked (see [`crate::table`]), the detach itself is
+/// cheap too: [`Table::clone`] shares the partition's sealed chunks by
+/// reference and deep-copies only the open tail, so unsealing a hot
+/// partition costs O(tail) — not O(partition). The publish path can drive
+/// that cost to ~zero by [`PartitionedTable::freeze_tails`]-ing before it
+/// clones.
 #[derive(Debug, Clone)]
 pub struct PartitionedTable {
     schema: Schema,
@@ -190,10 +197,12 @@ impl PartitionedTable {
     /// Cumulative bytes deep-copied because an append had to unseal a
     /// partition still `Arc`-shared with a published snapshot — the write
     /// amplification of copy-on-write snapshot isolation, in
-    /// [`Table::approx_bytes`] units. Clones (snapshots) carry the value
-    /// at clone time, so `head - snapshot` deltas give the bytes copied
-    /// between two publishes. One-time schema detaches (index creation,
-    /// columnar enablement) are deliberately not counted.
+    /// [`Table::approx_bytes`] units. With chunked tables the charge per
+    /// detach is [`Table::tail_bytes`]: sealed chunks are shared by
+    /// reference, only the open tail is copied. Clones (snapshots) carry
+    /// the value at clone time, so `head - snapshot` deltas give the bytes
+    /// copied between two publishes. One-time schema detaches (index
+    /// creation, columnar enablement) are deliberately not counted.
     pub fn copied_bytes(&self) -> u64 {
         self.copied_bytes
     }
@@ -244,8 +253,9 @@ impl PartitionedTable {
                 if Arc::strong_count(slot) > 1 {
                     // The write amplification the live store pays for
                     // snapshot isolation: charge the detach before it
-                    // happens so `copied_bytes` deltas quantify it.
-                    self.copied_bytes += slot.approx_bytes();
+                    // happens so `copied_bytes` deltas quantify it. The
+                    // clone shares sealed chunks, so only the tail counts.
+                    self.copied_bytes += slot.tail_bytes();
                 }
                 Arc::make_mut(slot)
             }
@@ -335,6 +345,41 @@ impl PartitionedTable {
             .iter()
             .filter(|(k, t)| other.partitions.get(k).is_some_and(|o| Arc::ptr_eq(t, o)))
             .count()
+    }
+
+    /// How many sealed chunks, summed over key-matched partitions, are
+    /// physically shared with `other` — the finer-grained observable of
+    /// chunked publication: even after the writer detached a hot
+    /// partition's tail, its sealed history stays shared with every
+    /// snapshot (see [`Table::chunks_shared_with`]).
+    pub fn sealed_chunks_shared_with(&self, other: &PartitionedTable) -> usize {
+        self.partitions
+            .iter()
+            .filter_map(|(k, t)| other.partitions.get(k).map(|o| t.chunks_shared_with(o)))
+            .sum()
+    }
+
+    /// Seals every partition tail holding at least `min_rows` rows (see
+    /// [`Table::freeze_tail`]); returns how many partitions sealed. The
+    /// publish path calls this right before cloning the head so the clone
+    /// shares the freshly sealed chunks and copies at most `min_rows`-sized
+    /// tails per partition. Sealing a still-snapshot-shared partition must
+    /// detach it first, so the tail copy is charged to `copied_bytes`
+    /// exactly as an append-driven unseal would be.
+    pub fn freeze_tails(&mut self, min_rows: usize) -> usize {
+        let mut sealed = 0;
+        for t in self.partitions.values_mut() {
+            if t.tail_chunk().len() < min_rows.max(1) {
+                continue;
+            }
+            if Arc::strong_count(t) > 1 {
+                self.copied_bytes += t.tail_bytes();
+            }
+            if Arc::make_mut(t).freeze_tail(min_rows) {
+                sealed += 1;
+            }
+        }
+        sealed
     }
 
     /// Derives pruning hints from scan conjuncts over this table's layout.

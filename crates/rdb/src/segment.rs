@@ -308,7 +308,7 @@ mod tests {
         // Agent a lands on segment a mod 3; each segment sees only its agents.
         for seg in 0..3 {
             let t = db.segment(seg).plain("events").unwrap();
-            for row in t.rows() {
+            for row in t.iter_rows() {
                 let agent = row[1].as_int().unwrap();
                 assert_eq!(agent.rem_euclid(3) as usize, seg);
             }

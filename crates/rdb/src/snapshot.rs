@@ -1,16 +1,19 @@
 //! Binary (de)serialization of tables and partitions — the storage half of
 //! durable snapshots.
 //!
-//! A snapshot persists the **row store** (the source of truth) plus the
-//! columnar *block metadata*: the projection order
-//! ([`Columnar::perm`](crate::Columnar::perm)) and
-//! block size. Columns, zone maps, and dictionary codes are rebuilt from
-//! the rows on load via [`Table::restore_columnar`] — cheap, deterministic,
-//! and exact, because appending the rows in the persisted order reproduces
-//! the original block boundaries (including the overlap a live-grown
-//! projection accumulates) without re-running the sort. Secondary indexes
-//! are likewise rebuilt, not persisted: the index set travels as
-//! configuration and every row insert maintains it.
+//! A snapshot persists the **row store** (the source of truth), the
+//! **chunk layout** (chunk size plus each sealed chunk's row count, so a
+//! restored table reproduces the seal boundaries of the live one exactly —
+//! see [`Table::chunk_boundaries`]), and the columnar *block metadata*:
+//! the per-chunk projection orders
+//! ([`Columnar::perm`](crate::Columnar::perm)) and block size. Columns,
+//! zone maps, and dictionary codes are rebuilt from the rows on load via
+//! [`Table::restore_columnar`] — cheap, deterministic, and exact, because
+//! appending the rows in the persisted order reproduces the original block
+//! boundaries (including the overlap a live-grown projection accumulates)
+//! without re-running the sort. Secondary indexes are likewise rebuilt, not
+//! persisted: the index set travels as configuration and every row insert
+//! maintains it.
 //!
 //! Encoding is the length-prefixed little-endian scheme of
 //! [`aiql_model::codec`]; framing integrity (CRC, torn-write handling) is
@@ -43,10 +46,16 @@ fn checked_count(n: u64, what: &str) -> io::Result<usize> {
     Ok(n as usize)
 }
 
-/// Writes one table: row data plus columnar block metadata.
+/// Writes one table: chunk layout, row data, and columnar block metadata.
 pub fn write_table<W: Write>(w: &mut W, t: &Table) -> io::Result<()> {
+    codec::write_u64(w, t.chunk_rows() as u64)?;
     codec::write_u64(w, t.len() as u64)?;
-    for row in t.rows() {
+    let sealed = t.sealed_chunks();
+    codec::write_u64(w, sealed.len() as u64)?;
+    for chunk in sealed {
+        codec::write_u64(w, chunk.len() as u64)?;
+    }
+    for row in t.iter_rows() {
         for v in row {
             codec::write_value(w, v)?;
         }
@@ -55,8 +64,19 @@ pub fn write_table<W: Write>(w: &mut W, t: &Table) -> io::Result<()> {
         Some(c) => {
             codec::write_u8(w, 1)?;
             codec::write_u64(w, c.block_rows() as u64)?;
+            // Per-chunk projection orders, concatenated in chunk order with
+            // chunk-local positions lifted to global ones — the layout
+            // `Table::restore_columnar` consumes.
+            let mut base = 0u32;
+            for chunk in sealed {
+                let cc = chunk.columnar().expect("projection is table-wide");
+                for &p in cc.perm() {
+                    codec::write_u32(w, p + base)?;
+                }
+                base += chunk.len() as u32;
+            }
             for &p in c.perm() {
-                codec::write_u32(w, p)?;
+                codec::write_u32(w, p + base)?;
             }
         }
         None => codec::write_u8(w, 0)?,
@@ -64,9 +84,10 @@ pub fn write_table<W: Write>(w: &mut W, t: &Table) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads one table written by [`write_table`], rebuilding the given
-/// secondary indexes and (when `columnar` is configured) the projection
-/// from the persisted block metadata.
+/// Reads one table written by [`write_table`], sealing chunks at exactly
+/// the persisted boundaries and rebuilding the given secondary indexes and
+/// (when `columnar` is configured) the projection from the persisted block
+/// metadata.
 pub fn read_table<R: Read>(
     r: &mut R,
     schema: Schema,
@@ -74,17 +95,53 @@ pub fn read_table<R: Read>(
     columnar: Option<(&ColumnarSpec, &SharedDict)>,
 ) -> io::Result<Table> {
     let arity = schema.arity();
+    let chunk_rows = checked_count(codec::read_u64(r)?, "chunk-row")?;
+    if chunk_rows == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero chunk size",
+        ));
+    }
     let nrows = checked_count(codec::read_u64(r)?, "row")?;
-    let mut table = Table::new(schema);
+    let nsealed = checked_count(codec::read_u64(r)?, "sealed-chunk")?;
+    // Global row positions at which the tail must seal. A live table's
+    // chunks never exceed `chunk_rows` (the tail auto-seals there) and its
+    // tail is always shorter, so anything else is corruption.
+    let mut boundaries = Vec::with_capacity(nsealed);
+    let mut covered = 0usize;
+    for _ in 0..nsealed {
+        let len = checked_count(codec::read_u64(r)?, "chunk-len")?;
+        if len == 0 || len > chunk_rows || nrows - covered < len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid sealed-chunk length {len}"),
+            ));
+        }
+        covered += len;
+        boundaries.push(covered);
+    }
+    if nrows - covered >= chunk_rows {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("open tail of {} rows exceeds chunk size", nrows - covered),
+        ));
+    }
+    let mut table = Table::with_chunk_rows(schema, chunk_rows);
     for name in indexes {
         table.create_index(name).map_err(rdb_io)?;
     }
-    for _ in 0..nrows {
+    let mut next_boundary = 0usize;
+    for i in 0..nrows {
         let mut row: Row = Vec::with_capacity(arity);
         for _ in 0..arity {
             row.push(codec::read_value(r)?);
         }
         table.insert(row).map_err(rdb_io)?;
+        if next_boundary < boundaries.len() && i + 1 == boundaries[next_boundary] {
+            // A no-op when the chunk auto-sealed at exactly `chunk_rows`.
+            table.seal_tail();
+            next_boundary += 1;
+        }
     }
     let has_columnar = codec::read_u8(r)? != 0;
     if has_columnar {
@@ -230,7 +287,7 @@ mod tests {
         )
         .unwrap();
 
-        assert_eq!(got.rows(), orig.rows());
+        assert!(got.iter_rows().eq(orig.iter_rows()));
         let (oc, gc) = (orig.columnar().unwrap(), got.columnar().unwrap());
         assert_eq!(gc.perm(), oc.perm(), "block metadata reproduced exactly");
         assert_eq!(gc.sealed_blocks(), oc.sealed_blocks());
@@ -268,8 +325,77 @@ mod tests {
             None,
         )
         .unwrap();
-        assert_eq!(got.rows(), orig.rows());
+        assert!(got.iter_rows().eq(orig.iter_rows()));
         assert!(got.columnar().is_none());
+    }
+
+    #[test]
+    fn chunked_table_round_trips_seal_boundaries_exactly() {
+        let dict = SharedDict::new();
+        let mut orig = Table::with_chunk_rows(schema(), 4);
+        orig.create_index("name").unwrap();
+        orig.enable_columnar(
+            &ColumnarSpec::time_sorted("start_time").with_block_rows(4),
+            dict.clone(),
+        )
+        .unwrap();
+        for (i, t_ns) in [50i64, 10, 40, 20, 30, 5, 60, 25, 70, 15]
+            .iter()
+            .enumerate()
+        {
+            orig.insert(vec![
+                Value::Int(i as i64),
+                Value::Int((i % 3) as i64),
+                Value::Int(*t_ns),
+                Value::str(format!("f{}", i % 4)),
+            ])
+            .unwrap();
+        }
+        // A publish-style early seal leaves a 2-row chunk and an empty tail.
+        assert!(orig.freeze_tail(1));
+        assert_eq!(orig.chunk_boundaries(), vec![4, 4, 2]);
+
+        let mut buf = Vec::new();
+        write_table(&mut buf, &orig).unwrap();
+        let dict2 = SharedDict::new();
+        for s in dict.strings() {
+            dict2.intern(&s);
+        }
+        let got = read_table(
+            &mut Cursor::new(&buf),
+            schema(),
+            &["name".to_string()],
+            Some((
+                &ColumnarSpec::time_sorted("start_time").with_block_rows(4),
+                &dict2,
+            )),
+        )
+        .unwrap();
+
+        assert_eq!(got.chunk_rows(), orig.chunk_rows());
+        assert_eq!(got.chunk_boundaries(), orig.chunk_boundaries());
+        assert!(got.iter_rows().eq(orig.iter_rows()));
+        for (gc, oc) in got.sealed_chunks().iter().zip(orig.sealed_chunks()) {
+            assert!(gc.rows().iter().eq(oc.rows()));
+            let (g, o) = (gc.columnar().unwrap(), oc.columnar().unwrap());
+            assert_eq!(g.perm(), o.perm(), "chunk-local block metadata exact");
+            assert_eq!(g.sealed_blocks(), o.sealed_blocks());
+        }
+
+        // Scans agree path-for-path and block-for-block.
+        let window = [
+            Expr::cmp_lit(2, CmpOp::Ge, 15i64),
+            Expr::cmp_lit(2, CmpOp::Le, 45i64),
+        ];
+        let (mut s1, mut s2) = (0, 0);
+        let (p1, r1) = orig.select(&window, &mut s1);
+        let (p2, r2) = got.select(&window, &mut s2);
+        assert_eq!(p1, AccessPath::Columnar);
+        assert_eq!((p1, r1, s1), (p2, r2, s2), "same blocks touched");
+        let probe = [Expr::cmp_lit(3, CmpOp::Eq, "f1")];
+        let (mut s1, mut s2) = (0, 0);
+        assert_eq!(orig.select(&probe, &mut s1), got.select(&probe, &mut s2));
+        assert_eq!(s1, s2);
     }
 
     #[test]

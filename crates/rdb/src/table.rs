@@ -1,5 +1,31 @@
-//! Row-store tables with secondary B-tree indexes and an optional columnar
-//! projection (see [`crate::columnar`]).
+//! Chunked row-store tables with secondary B-tree indexes and optional
+//! columnar projections (see [`crate::columnar`]).
+//!
+//! A [`Table`] is physically a sequence of **chunks**: zero or more
+//! immutable [`SealedChunk`]s held behind `Arc`, plus one small mutable
+//! **tail** chunk that absorbs every insert. Each chunk privately carries
+//! its slice of rows together with the secondary indexes and the columnar
+//! blocks/zone maps over exactly those rows (all positions chunk-local), so
+//! a sealed chunk is a self-contained, immutable scan unit.
+//!
+//! The payoff is the cost of [`Table::clone`] — the copy-on-write step that
+//! publishes a store snapshot: sealed chunks are shared by reference
+//! (refcount bumps), only the open tail is deep-copied, making publication
+//! O(tail) instead of O(table). The invariants:
+//!
+//! - rows keep global insertion order: chunk boundaries split `0..len()`
+//!   into consecutive ranges, sealed chunks first, the tail last;
+//! - a sealed chunk's row content never changes (the rare schema
+//!   operations — [`Table::create_index`], [`Table::enable_columnar`] —
+//!   rebuild auxiliary structures through `Arc::make_mut`, which is why
+//!   they are deliberately not charged as copy-on-write);
+//! - every chunk carries the same index set and columnar configuration, so
+//!   access-path selection is decided **once per table** and applied chunk
+//!   by chunk.
+//!
+//! The tail seals automatically when it reaches [`Table::chunk_rows`] rows;
+//! [`Table::seal_tail`] / [`Table::freeze_tail`] seal it early (the
+//! snapshot-restore and publication paths respectively).
 
 use crate::columnar::{compile_conjuncts, Columnar, ColumnarSpec};
 use crate::error::RdbError;
@@ -8,8 +34,14 @@ use crate::schema::{Row, Schema};
 use aiql_model::{SharedDict, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
-/// A secondary index: column value → row positions.
+/// Default rows per chunk. Matches
+/// [`crate::columnar::DEFAULT_BLOCK_ROWS`] so a full chunk is exactly one
+/// fully zone-mapped columnar block.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// A secondary index: column value → row positions (chunk-local).
 #[derive(Debug, Default, Clone)]
 pub struct Index {
     map: BTreeMap<Value, Vec<u32>>,
@@ -42,19 +74,113 @@ impl Index {
     }
 }
 
-/// A table: schema, rows, any secondary indexes, and an optional columnar
-/// projection maintained alongside the rows.
+/// One chunk of a [`Table`]: a consecutive run of rows with the secondary
+/// indexes and optional columnar projection over exactly those rows.
 ///
-/// `Clone` deep-copies rows, indexes, and the projection. Tables are
-/// shared between store snapshots behind `Arc`; the clone is the
-/// copy-on-write step that detaches a sealed (snapshot-shared) table so
-/// the writer can keep appending without disturbing published readers.
+/// All positions inside a chunk are **chunk-local**: `rows()[0]` is global
+/// position `base` where `base` is the sum of the preceding chunks'
+/// lengths. The same struct backs both sealed chunks (immutable, shared
+/// behind `Arc` with every snapshot that pinned them) and the open tail
+/// (mutable, privately owned by the table).
+///
+/// Invariants of a *sealed* chunk:
+///
+/// - row content, indexes, and columnar blocks never change after sealing
+///   (schema operations rebuild them via `Arc::make_mut`, producing a new
+///   chunk value rather than mutating a shared one);
+/// - its columnar projection, when present, is fully zone-mapped: the final
+///   partial block is sealed at chunk-seal time
+///   ([`Columnar::seal_tail_block`]), so scans can zone-prune every block.
 #[derive(Debug, Clone)]
-pub struct Table {
-    schema: Schema,
+pub struct SealedChunk {
     rows: Vec<Row>,
     indexes: BTreeMap<usize, Index>,
     columnar: Option<Columnar>,
+}
+
+impl SealedChunk {
+    fn empty() -> SealedChunk {
+        SealedChunk {
+            rows: Vec::new(),
+            indexes: BTreeMap::new(),
+            columnar: None,
+        }
+    }
+
+    /// The chunk's rows (chunk-local order = global insertion order).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The chunk's columnar projection, if the table has one enabled.
+    pub fn columnar(&self) -> Option<&Columnar> {
+        self.columnar.as_ref()
+    }
+
+    /// Builds the index on `col` over this chunk's rows and, when a
+    /// projection exists, projects the column so it stays kernel-evaluable.
+    fn build_index(&mut self, schema: &Schema, col: usize) {
+        let mut index = Index::default();
+        for (pos, row) in self.rows.iter().enumerate() {
+            index.insert(row[col].clone(), pos as u32);
+        }
+        self.indexes.insert(col, index);
+        if let Some(c) = &mut self.columnar {
+            c.project_column(schema, col, &self.rows);
+        }
+    }
+}
+
+/// A table: schema plus a list of sealed chunks and one open tail chunk
+/// (see the [module docs](self) for the chunk lifecycle).
+///
+/// `Clone` is the copy-on-write step that detaches a snapshot-shared table
+/// for further writes: sealed chunks are shared by reference, only the open
+/// tail (rows, tail indexes, open columnar block) is deep-copied.
+///
+/// # Examples
+///
+/// Sealed chunks are physically shared between a table and its clones —
+/// only the tail is copied:
+///
+/// ```
+/// use aiql_rdb::{ColumnType, Schema, Table, Value};
+///
+/// let schema = Schema::new(&[("x", ColumnType::Int)]);
+/// let mut t = Table::with_chunk_rows(schema, 2);
+/// for i in 0..5 {
+///     t.insert(vec![Value::Int(i)]).unwrap();
+/// }
+/// assert_eq!(t.chunk_boundaries(), vec![2, 2, 1]);
+/// let snapshot = t.clone(); // O(tail): both sealed chunks shared by reference
+/// assert_eq!(t.chunks_shared_with(&snapshot), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    /// Rows at which the tail auto-seals.
+    chunk_rows: usize,
+    /// Immutable history, oldest first.
+    sealed: Vec<Arc<SealedChunk>>,
+    /// Global start position of `sealed[i]` (parallel to `sealed`).
+    starts: Vec<u32>,
+    /// Total rows across sealed chunks (= the tail's global base).
+    sealed_len: usize,
+    /// The open chunk absorbing inserts.
+    tail: SealedChunk,
+    /// Columnar configuration applied to every chunk (and every future
+    /// tail) once [`Table::enable_columnar`] ran.
+    columnar_cfg: Option<(ColumnarSpec, SharedDict)>,
 }
 
 /// How a scan located its rows — reported in [`crate::exec::ExecStats`] and
@@ -87,6 +213,11 @@ impl AccessPath {
 /// which access paths ran, how much partition and zone-map pruning paid
 /// off, and how many rows were touched vs returned. The raw material of
 /// the session API's `EXPLAIN` output.
+///
+/// A chunked table still records **one** access path per table scan (the
+/// path is chosen once and applied to every chunk), so per-partition path
+/// counts are unchanged by chunking; only `blocks_total`/`blocks_pruned`
+/// accumulate across all chunks' columnar blocks.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScanProfile {
     /// Partitions the table holds (1 for plain tables).
@@ -151,13 +282,21 @@ impl ScanProfile {
 }
 
 impl Table {
-    /// Creates an empty table.
+    /// Creates an empty table sealing chunks at [`DEFAULT_CHUNK_ROWS`].
     pub fn new(schema: Schema) -> Table {
+        Table::with_chunk_rows(schema, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Creates an empty table sealing chunks at `chunk_rows` rows (min 1).
+    pub fn with_chunk_rows(schema: Schema, chunk_rows: usize) -> Table {
         Table {
             schema,
-            rows: Vec::new(),
-            indexes: BTreeMap::new(),
-            columnar: None,
+            chunk_rows: chunk_rows.max(1),
+            sealed: Vec::new(),
+            starts: Vec::new(),
+            sealed_len: 0,
+            tail: SealedChunk::empty(),
+            columnar_cfg: None,
         }
     }
 
@@ -168,122 +307,294 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.sealed_len + self.tail.rows.len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// All rows (read-only).
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// Rows at which the tail auto-seals.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// The sealed chunks, oldest first.
+    pub fn sealed_chunks(&self) -> &[Arc<SealedChunk>] {
+        &self.sealed
+    }
+
+    /// The open tail chunk (possibly empty).
+    pub fn tail_chunk(&self) -> &SealedChunk {
+        &self.tail
+    }
+
+    /// Row counts per chunk in global order: sealed chunks first, then the
+    /// tail if it holds rows. Persisted by snapshots so a restored table
+    /// reproduces seal boundaries exactly.
+    pub fn chunk_boundaries(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.sealed.iter().map(|c| c.rows.len()).collect();
+        if !self.tail.rows.is_empty() {
+            v.push(self.tail.rows.len());
+        }
+        v
+    }
+
+    /// How many sealed chunks are physically shared (same `Arc` allocation)
+    /// with `other`. Chunks are compared positionally: a table and its
+    /// clone share a common sealed prefix until a schema operation rebuilds
+    /// chunks on one side. Diagnostic for tests and benches.
+    pub fn chunks_shared_with(&self, other: &Table) -> usize {
+        self.sealed
+            .iter()
+            .zip(other.sealed.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// All rows in global insertion order, across chunks.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Row> {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.rows.iter())
+            .chain(self.tail.rows.iter())
     }
 
     /// A cheap structural estimate of the table's resident size: row
     /// storage as `rows × arity × size_of::<Value>()` plus the per-row
     /// vector headers. Deliberately O(1) — it ignores heap-allocated
-    /// string payloads and index/projection overhead — because its one
-    /// consumer is the copy-on-write accounting in
-    /// [`crate::PartitionedTable`], which charges this amount every time
-    /// a snapshot-shared table is detached for writing. Relative
-    /// comparisons (bytes copied per publish across configurations) stay
-    /// meaningful; absolute heap truth is not the goal.
+    /// string payloads and index/projection overhead. See
+    /// [`Table::tail_bytes`] for the copy-on-write charge.
     pub fn approx_bytes(&self) -> u64 {
-        let per_row =
-            self.schema.arity() * std::mem::size_of::<Value>() + std::mem::size_of::<Row>();
-        (self.rows.len() * per_row) as u64
+        (self.len() * self.per_row_bytes()) as u64
     }
 
-    /// One row by position.
+    /// The [`Table::approx_bytes`]-style size of the open tail chunk —
+    /// exactly what [`Table::clone`] deep-copies, since sealed chunks are
+    /// shared by reference. This is the amount
+    /// [`crate::PartitionedTable`]'s copy-on-write accounting charges per
+    /// detach of a snapshot-shared table: O(tail), not O(table).
+    pub fn tail_bytes(&self) -> u64 {
+        (self.tail.rows.len() * self.per_row_bytes()) as u64
+    }
+
+    fn per_row_bytes(&self) -> usize {
+        self.schema.arity() * std::mem::size_of::<Value>() + std::mem::size_of::<Row>()
+    }
+
+    /// One row by global position.
     pub fn row(&self, idx: u32) -> &Row {
-        &self.rows[idx as usize]
+        let i = idx as usize;
+        if i >= self.sealed_len {
+            return &self.tail.rows[i - self.sealed_len];
+        }
+        let k = self.starts.partition_point(|&s| (s as usize) <= i) - 1;
+        &self.sealed[k].rows[i - self.starts[k] as usize]
     }
 
-    /// Validates and appends a row, maintaining indexes and the columnar
-    /// projection (sorted insert into its open block).
+    /// Every chunk with its global base position, tail last.
+    fn chunks_with_base(&self) -> impl Iterator<Item = (&SealedChunk, u32)> {
+        self.sealed
+            .iter()
+            .zip(self.starts.iter())
+            .map(|(c, &s)| (c.as_ref(), s))
+            .chain(std::iter::once((&self.tail, self.sealed_len as u32)))
+    }
+
+    /// Validates and appends a row into the open tail, maintaining the
+    /// tail's indexes and columnar projection (sorted insert into its open
+    /// block). Seals the tail into an immutable chunk when it reaches
+    /// [`Table::chunk_rows`] rows.
     pub fn insert(&mut self, row: Row) -> Result<(), RdbError> {
         self.schema.check_row(&row)?;
-        let pos = self.rows.len() as u32;
-        for (&col, index) in self.indexes.iter_mut() {
+        let pos = self.tail.rows.len() as u32;
+        for (&col, index) in self.tail.indexes.iter_mut() {
             index.insert(row[col].clone(), pos);
         }
-        if let Some(c) = &mut self.columnar {
+        if let Some(c) = &mut self.tail.columnar {
             c.append(&row, pos);
         }
-        self.rows.push(row);
+        self.tail.rows.push(row);
+        if self.tail.rows.len() >= self.chunk_rows {
+            self.seal_tail();
+        }
         Ok(())
     }
 
-    /// Builds (or rebuilds) a columnar projection over the current rows;
-    /// future inserts maintain it incrementally. Indexed columns join the
-    /// projection automatically, so [`Table::indexed_columns`] stays the
-    /// single source of truth for both layouts.
+    /// Seals the open tail into an immutable chunk and opens a fresh empty
+    /// tail carrying the same index set and columnar configuration. The
+    /// sealed chunk's final partial columnar block is zone-mapped
+    /// ([`Columnar::seal_tail_block`]) — safe because sealed chunks never
+    /// take another append. No-op on an empty tail.
+    ///
+    /// The snapshot-restore path calls this at each persisted chunk
+    /// boundary so a reopened table reproduces the pre-shutdown layout.
+    pub fn seal_tail(&mut self) {
+        if self.tail.rows.is_empty() {
+            return;
+        }
+        if let Some(c) = &mut self.tail.columnar {
+            c.seal_tail_block();
+        }
+        let fresh = self.fresh_tail();
+        let sealed = std::mem::replace(&mut self.tail, fresh);
+        self.starts.push(self.sealed_len as u32);
+        self.sealed_len += sealed.rows.len();
+        self.sealed.push(Arc::new(sealed));
+    }
+
+    /// Seals the tail only if it holds at least `min_rows` rows (min 1);
+    /// returns whether it sealed. The snapshot-publication path freezes
+    /// tails this way before cloning the head, so sealed history is shared
+    /// with the snapshot and the publish copies at most `min_rows`-sized
+    /// open tails — without fragmenting hot partitions into dust chunks.
+    ///
+    /// ```
+    /// use aiql_rdb::{ColumnType, Schema, Table, Value};
+    ///
+    /// let mut t = Table::new(Schema::new(&[("x", ColumnType::Int)]));
+    /// t.insert(vec![Value::Int(1)]).unwrap();
+    /// assert!(!t.freeze_tail(2), "below the minimum: tail stays open");
+    /// t.insert(vec![Value::Int(2)]).unwrap();
+    /// assert!(t.freeze_tail(2));
+    /// assert_eq!(t.tail_bytes(), 0, "cloning now copies no row data");
+    /// ```
+    pub fn freeze_tail(&mut self, min_rows: usize) -> bool {
+        if self.tail.rows.len() >= min_rows.max(1) {
+            self.seal_tail();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A fresh empty tail with the table's index set and columnar
+    /// configuration (columnar first, then indexes project into it —
+    /// mirroring partition rollover).
+    fn fresh_tail(&self) -> SealedChunk {
+        let mut chunk = SealedChunk::empty();
+        if let Some((spec, dict)) = &self.columnar_cfg {
+            let mut c = Columnar::build(&self.schema, spec, dict.clone(), &[])
+                .expect("spec validated when columnar was enabled");
+            for &col in self.tail.indexes.keys() {
+                c.project_column(&self.schema, col, &[]);
+            }
+            chunk.columnar = Some(c);
+        }
+        for &col in self.tail.indexes.keys() {
+            chunk.indexes.insert(col, Index::default());
+        }
+        chunk
+    }
+
+    /// Builds (or rebuilds) a columnar projection over every chunk; future
+    /// inserts maintain the tail's incrementally and every future tail
+    /// inherits the configuration. Indexed columns join the projection
+    /// automatically, so [`Table::indexed_columns`] stays the single source
+    /// of truth for both layouts. Rebuilding sealed chunks goes through
+    /// `Arc::make_mut` (a rare schema operation, not charged as
+    /// copy-on-write).
     pub fn enable_columnar(
         &mut self,
         spec: &ColumnarSpec,
         dict: SharedDict,
     ) -> Result<(), RdbError> {
-        let mut c = Columnar::build(&self.schema, spec, dict, &self.rows)?;
-        for &col in self.indexes.keys() {
-            c.project_column(&self.schema, col, &self.rows);
+        // The tail's projection is built first: it validates the spec
+        // before any sealed chunk is rebuilt.
+        let tail_col = build_projection(&self.schema, spec, &dict, &self.tail)?;
+        for chunk in &mut self.sealed {
+            let c = Arc::make_mut(chunk);
+            let mut col = build_projection(&self.schema, spec, &dict, c)
+                .expect("spec already validated against this schema");
+            col.seal_tail_block();
+            c.columnar = Some(col);
         }
-        self.columnar = Some(c);
+        self.tail.columnar = Some(tail_col);
+        self.columnar_cfg = Some((spec.clone(), dict));
         Ok(())
     }
 
-    /// Restores a columnar projection from snapshotted block metadata
-    /// (`perm`, see [`Columnar::perm`]) instead of re-sorting the rows —
-    /// the deserialization path of the durable store. Indexed columns join
-    /// the projection exactly as they do on [`Table::enable_columnar`].
+    /// Restores columnar projections from snapshotted block metadata
+    /// instead of re-sorting the rows — the deserialization path of the
+    /// durable store. `perm` is the concatenation of each chunk's
+    /// projection order in chunk order (sealed chunks, then the tail), with
+    /// entries as **global** row positions (see [`Columnar::perm`] for the
+    /// chunk-local order). Indexed columns join the projection exactly as
+    /// they do on [`Table::enable_columnar`].
     pub fn restore_columnar(
         &mut self,
         spec: &ColumnarSpec,
         dict: SharedDict,
         perm: &[u32],
     ) -> Result<(), RdbError> {
-        let mut c = Columnar::restore(&self.schema, spec, dict, &self.rows, perm)?;
-        for &col in self.indexes.keys() {
-            c.project_column(&self.schema, col, &self.rows);
+        if perm.len() != self.len() {
+            return Err(RdbError::SchemaMismatch(format!(
+                "columnar permutation covers {} rows, table has {}",
+                perm.len(),
+                self.len()
+            )));
         }
-        self.columnar = Some(c);
+        // Rebuild per chunk: slice the global permutation at chunk
+        // boundaries and shift to chunk-local positions
+        // (`Columnar::restore` validates the local range).
+        let mut rebuilt = Vec::with_capacity(self.sealed.len() + 1);
+        let mut off = 0usize;
+        for (chunk, base) in self.chunks_with_base() {
+            let len = chunk.rows.len();
+            let mut local = Vec::with_capacity(len);
+            for &p in &perm[off..off + len] {
+                local.push(p.checked_sub(base).ok_or_else(|| {
+                    RdbError::SchemaMismatch(format!(
+                        "columnar permutation entry {p} before chunk base {base}"
+                    ))
+                })?);
+            }
+            let mut col = Columnar::restore(&self.schema, spec, dict.clone(), &chunk.rows, &local)?;
+            for &ic in chunk.indexes.keys() {
+                col.project_column(&self.schema, ic, &chunk.rows);
+            }
+            rebuilt.push(col);
+            off += len;
+        }
+        let tail_col = rebuilt.pop().expect("the tail chunk always exists");
+        for (chunk, mut col) in self.sealed.iter_mut().zip(rebuilt) {
+            col.seal_tail_block();
+            Arc::make_mut(chunk).columnar = Some(col);
+        }
+        self.tail.columnar = Some(tail_col);
+        self.columnar_cfg = Some((spec.clone(), dict));
         Ok(())
     }
 
-    /// The columnar projection, if one is enabled.
+    /// The open tail's columnar projection, if one is enabled. Presence is
+    /// table-wide: every chunk carries a projection under the same
+    /// configuration (per-chunk blocks are reached via
+    /// [`Table::sealed_chunks`]).
     pub fn columnar(&self) -> Option<&Columnar> {
-        self.columnar.as_ref()
+        self.tail.columnar.as_ref()
     }
 
-    /// Creates a secondary index on `column`, back-filling existing rows.
-    /// Creating an index twice is a no-op. When a columnar projection is
-    /// enabled, the column also joins the projection so it stays
-    /// kernel-evaluable on both access paths.
+    /// Creates a secondary index on `column`, back-filling every chunk
+    /// (sealed chunks through `Arc::make_mut` — a rare schema operation,
+    /// not charged as copy-on-write). Creating an index twice is a no-op.
+    /// When a columnar projection is enabled, the column also joins the
+    /// projection so it stays kernel-evaluable on both access paths.
     pub fn create_index(&mut self, column: &str) -> Result<(), RdbError> {
         let col = self.schema.require(column)?;
-        if self.indexes.contains_key(&col) {
+        if self.tail.indexes.contains_key(&col) {
             return Ok(());
         }
-        let mut index = Index::default();
-        for (pos, row) in self.rows.iter().enumerate() {
-            index.insert(row[col].clone(), pos as u32);
+        for chunk in &mut self.sealed {
+            Arc::make_mut(chunk).build_index(&self.schema, col);
         }
-        self.indexes.insert(col, index);
-        if let Some(c) = &mut self.columnar {
-            c.project_column(&self.schema, col, &self.rows);
-        }
+        self.tail.build_index(&self.schema, col);
         Ok(())
     }
 
-    /// The index on column position `col`, if one exists.
-    pub fn index(&self, col: usize) -> Option<&Index> {
-        self.indexes.get(&col)
-    }
-
-    /// Column positions that have indexes.
+    /// Column positions that have indexes (identical on every chunk).
     pub fn indexed_columns(&self) -> Vec<usize> {
-        self.indexes.keys().copied().collect()
+        self.tail.indexes.keys().copied().collect()
     }
 
     /// Selects row positions satisfying all `conjuncts`, choosing an index
@@ -297,10 +608,11 @@ impl Table {
     /// equality probe applies but a columnar projection can compile at least
     /// one conjunct into a vectorized kernel, the scan runs columnar
     /// (zone-map block skipping + time-window binary search) with the
-    /// uncompilable conjuncts as residual row filters. Returns the chosen
-    /// access path alongside the row positions. `scanned` is incremented by
-    /// the number of rows the scan *touched* (not returned), so callers can
-    /// account I/O-like cost.
+    /// uncompilable conjuncts as residual row filters. The access path is
+    /// chosen once and applied to every chunk in order. Returns the chosen
+    /// access path alongside the (global) row positions. `scanned` is
+    /// incremented by the number of rows the scan *touched* (not returned),
+    /// so callers can account I/O-like cost.
     pub fn select(&self, conjuncts: &[Expr], scanned: &mut u64) -> (AccessPath, Vec<u32>) {
         let mut profile = ScanProfile::default();
         self.select_profiled(conjuncts, scanned, &mut profile)
@@ -328,11 +640,12 @@ impl Table {
         scanned: &mut u64,
         profile: &mut ScanProfile,
     ) -> (AccessPath, Vec<u32>) {
-        // Find an index-usable conjunct.
+        // Find an index-usable conjunct. The index set is identical on
+        // every chunk, so the probe decision is made once per table.
         let mut best: Option<(usize, IndexProbe)> = None;
         for (ci, c) in conjuncts.iter().enumerate() {
             if let Some(probe) = index_probe(c) {
-                if self.indexes.contains_key(&probe.col) {
+                if self.tail.indexes.contains_key(&probe.col) {
                     // Prefer equality probes over ranges.
                     let better = match (&best, &probe.kind) {
                         (None, _) => true,
@@ -358,79 +671,118 @@ impl Table {
 
         match best {
             Some((ci, probe)) => {
-                let index = &self.indexes[&probe.col];
-                let (path, mut candidates) = match &probe.kind {
-                    ProbeKind::Eq(values) => {
-                        let mut rows = Vec::new();
-                        for v in values {
-                            rows.extend_from_slice(index.get_eq(v));
-                        }
-                        rows.sort_unstable();
-                        rows.dedup();
-                        (AccessPath::IndexEq, rows)
-                    }
-                    ProbeKind::Range { lo, hi } => (
-                        AccessPath::IndexRange,
-                        index.get_range(lo.as_ref(), hi.as_ref()),
-                    ),
+                let path = match probe.kind {
+                    ProbeKind::Eq(_) => AccessPath::IndexEq,
+                    ProbeKind::Range { .. } => AccessPath::IndexRange,
                 };
-                *scanned += candidates.len() as u64;
                 // Residual filter: all conjuncts except the probe (the probe
                 // is re-checked only for ranges with exclusive bounds, which
                 // `index_probe` encodes inclusively — re-check keeps it exact).
                 let recheck = matches!(probe.kind, ProbeKind::Range { .. });
-                candidates.retain(|&pos| {
-                    let row = &self.rows[pos as usize];
-                    conjuncts
-                        .iter()
-                        .enumerate()
-                        .all(|(i, c)| (i == ci && !recheck) || c.matches(row))
-                });
-                (path, candidates)
+                let mut out = Vec::new();
+                for (chunk, base) in self.chunks_with_base() {
+                    let index = chunk
+                        .indexes
+                        .get(&probe.col)
+                        .expect("every chunk carries the table's index set");
+                    let mut candidates = match &probe.kind {
+                        ProbeKind::Eq(values) => {
+                            let mut rows = Vec::new();
+                            for v in values {
+                                rows.extend_from_slice(index.get_eq(v));
+                            }
+                            rows.sort_unstable();
+                            rows.dedup();
+                            rows
+                        }
+                        ProbeKind::Range { lo, hi } => index.get_range(lo.as_ref(), hi.as_ref()),
+                    };
+                    *scanned += candidates.len() as u64;
+                    candidates.retain(|&pos| {
+                        let row = &chunk.rows[pos as usize];
+                        conjuncts
+                            .iter()
+                            .enumerate()
+                            .all(|(i, c)| (i == ci && !recheck) || c.matches(row))
+                    });
+                    out.extend(candidates.into_iter().map(|p| p + base));
+                }
+                (path, out)
             }
             None => {
-                *scanned += self.rows.len() as u64;
-                let rows = (0..self.rows.len() as u32)
-                    .filter(|&pos| {
-                        let row = &self.rows[pos as usize];
-                        conjuncts.iter().all(|c| c.matches(row))
-                    })
-                    .collect();
-                (AccessPath::Seq, rows)
+                let mut out = Vec::new();
+                for (chunk, base) in self.chunks_with_base() {
+                    *scanned += chunk.rows.len() as u64;
+                    out.extend(
+                        (0..chunk.rows.len() as u32)
+                            .filter(|&pos| {
+                                let row = &chunk.rows[pos as usize];
+                                conjuncts.iter().all(|c| c.matches(row))
+                            })
+                            .map(|p| p + base),
+                    );
+                }
+                (AccessPath::Seq, out)
             }
         }
     }
 
-    /// Attempts the vectorized path: compile conjuncts into kernels, scan
-    /// the projection, then row-filter the residual conjuncts. `None` when
-    /// no projection exists or no conjunct compiles (nothing vectorizable).
+    /// Attempts the vectorized path: compile conjuncts into kernels once
+    /// (the projected-column set and the dictionary are table-wide), scan
+    /// every chunk's blocks, then row-filter the residual conjuncts per
+    /// chunk. `None` when no projection exists or no conjunct compiles
+    /// (nothing vectorizable).
     fn columnar_select(
         &self,
         conjuncts: &[Expr],
         scanned: &mut u64,
         profile: &mut ScanProfile,
     ) -> Option<(AccessPath, Vec<u32>)> {
-        let col = self.columnar.as_ref()?;
-        let (kernels, residual) = compile_conjuncts(&self.schema, col, conjuncts);
+        let tail_col = self.tail.columnar.as_ref()?;
+        let (kernels, residual) = compile_conjuncts(&self.schema, tail_col, conjuncts);
         if kernels.is_empty() {
             return None;
         }
-        let mut positions = col.select_stats(
-            &kernels,
-            scanned,
-            &mut profile.blocks_pruned,
-            &mut profile.blocks_total,
-        );
-        if !residual.is_empty() {
-            positions.retain(|&p| {
-                let row = &self.rows[p as usize];
-                residual.iter().all(|&ci| conjuncts[ci].matches(row))
-            });
+        let mut out = Vec::new();
+        for (chunk, base) in self.chunks_with_base() {
+            let col = chunk
+                .columnar
+                .as_ref()
+                .expect("every chunk carries the table's columnar configuration");
+            let mut positions = col.select_stats(
+                &kernels,
+                scanned,
+                &mut profile.blocks_pruned,
+                &mut profile.blocks_total,
+            );
+            if !residual.is_empty() {
+                positions.retain(|&p| {
+                    let row = &chunk.rows[p as usize];
+                    residual.iter().all(|&ci| conjuncts[ci].matches(row))
+                });
+            }
+            // Chunk-local row order; chunks are visited in global order, so
+            // the concatenation matches the sequential scan exactly.
+            positions.sort_unstable();
+            out.extend(positions.into_iter().map(|p| p + base));
         }
-        // Row order, matching the sequential scan exactly.
-        positions.sort_unstable();
-        Some((AccessPath::Columnar, positions))
+        Some((AccessPath::Columnar, out))
     }
+}
+
+/// Builds a chunk's projection under `spec`, projecting its indexed
+/// columns.
+fn build_projection(
+    schema: &Schema,
+    spec: &ColumnarSpec,
+    dict: &SharedDict,
+    chunk: &SealedChunk,
+) -> Result<Columnar, RdbError> {
+    let mut col = Columnar::build(schema, spec, dict.clone(), &chunk.rows)?;
+    for &ic in chunk.indexes.keys() {
+        col.project_column(schema, ic, &chunk.rows);
+    }
+    Ok(col)
 }
 
 enum ProbeKind {
@@ -572,9 +924,11 @@ mod tests {
         t.create_index("name").unwrap();
         t.insert(vec![Value::Int(5), Value::str("alpha"), Value::Int(50)])
             .unwrap();
-        let idx = t.index(t.schema().position("name").unwrap()).unwrap();
-        assert_eq!(idx.get_eq(&Value::str("alpha")), &[0, 2, 4]);
-        assert_eq!(idx.distinct_keys(), 3);
+        let mut scanned = 0;
+        let (path, rows) = t.select(&[Expr::cmp_lit(1, CmpOp::Eq, "alpha")], &mut scanned);
+        assert_eq!(path, AccessPath::IndexEq);
+        assert_eq!(rows, vec![0, 2, 4], "backfill plus index-maintained append");
+        assert_eq!(scanned, 3);
         assert!(t.create_index("bogus").is_err());
     }
 
@@ -629,5 +983,133 @@ mod tests {
         let (path, rows) = t.select(&conjuncts, &mut scanned);
         assert_eq!(path, AccessPath::IndexEq);
         assert_eq!(rows, vec![1]);
+    }
+
+    // ------------------------------------------------------------------
+    // Chunked layout
+    // ------------------------------------------------------------------
+
+    /// A chunked table (3-row chunks) and a monolithic oracle (one big
+    /// chunk) over the same 10 rows, with a "name" index on both.
+    fn chunked_and_oracle() -> (Table, Table) {
+        let schema = Schema::new(&[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]);
+        let mut chunked = Table::with_chunk_rows(schema.clone(), 3);
+        let mut oracle = Table::with_chunk_rows(schema, 1000);
+        for t in [&mut chunked, &mut oracle] {
+            t.create_index("name").unwrap();
+        }
+        for i in 0..10i64 {
+            let row = vec![
+                Value::Int(i),
+                Value::str(["alpha", "beta", "gamma"][(i % 3) as usize]),
+                Value::Int(i * 10),
+            ];
+            chunked.insert(row.clone()).unwrap();
+            oracle.insert(row).unwrap();
+        }
+        (chunked, oracle)
+    }
+
+    #[test]
+    fn auto_seal_boundaries_and_row_access() {
+        let (chunked, oracle) = chunked_and_oracle();
+        assert_eq!(chunked.chunk_boundaries(), vec![3, 3, 3, 1]);
+        assert_eq!(chunked.sealed_chunks().len(), 3);
+        assert_eq!(oracle.chunk_boundaries(), vec![10]);
+        assert_eq!(chunked.len(), oracle.len());
+        for i in 0..10u32 {
+            assert_eq!(chunked.row(i), oracle.row(i), "row {i}");
+        }
+        let all: Vec<&Row> = chunked.iter_rows().collect();
+        let want: Vec<&Row> = oracle.iter_rows().collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn chunked_select_matches_monolithic_on_every_path() {
+        let (mut chunked, mut oracle) = chunked_and_oracle();
+        for t in [&mut chunked, &mut oracle] {
+            t.create_index("size").unwrap();
+            t.enable_columnar(
+                &ColumnarSpec::time_sorted("id").with_block_rows(2),
+                SharedDict::new(),
+            )
+            .unwrap();
+        }
+        let cases: Vec<Vec<Expr>> = vec![
+            vec![Expr::cmp_lit(1, CmpOp::Eq, "alpha")], // IndexEq
+            vec![Expr::cmp_lit(2, CmpOp::Ge, 40i64)],   // IndexRange / Columnar
+            vec![Expr::like(1, "%et%")],                // Seq (residual only)
+            vec![Expr::cmp_lit(0, CmpOp::Ge, 2i64), Expr::like(1, "%a%")], // Columnar + residual
+            vec![Expr::In(
+                Box::new(Expr::Col(1)),
+                vec![Value::str("beta"), Value::str("gamma")],
+            )],
+        ];
+        for conjuncts in cases {
+            let (mut s1, mut s2) = (0, 0);
+            let (p1, r1) = chunked.select(&conjuncts, &mut s1);
+            let (p2, r2) = oracle.select(&conjuncts, &mut s2);
+            assert_eq!(p1, p2, "same access path for {conjuncts:?}");
+            assert_eq!(r1, r2, "same rows for {conjuncts:?}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_sealed_chunks_and_copies_only_the_tail() {
+        let (chunked, _) = chunked_and_oracle();
+        let snapshot = chunked.clone();
+        assert_eq!(chunked.chunks_shared_with(&snapshot), 3);
+        assert!(chunked.tail_bytes() > 0);
+        assert!(chunked.tail_bytes() < chunked.approx_bytes());
+        // Appending detaches nothing sealed: the clone still shares all
+        // three chunks with the (mutated) original.
+        let mut head = chunked;
+        head.insert(vec![Value::Int(99), Value::str("late"), Value::Int(0)])
+            .unwrap();
+        assert_eq!(head.chunks_shared_with(&snapshot), 3);
+    }
+
+    #[test]
+    fn freeze_tail_empties_the_copy_charge() {
+        let (mut chunked, _) = chunked_and_oracle();
+        assert!(chunked.tail_bytes() > 0);
+        assert!(!chunked.freeze_tail(2), "1-row tail below the minimum");
+        assert!(chunked.freeze_tail(1));
+        assert_eq!(chunked.tail_bytes(), 0);
+        assert_eq!(chunked.chunk_boundaries(), vec![3, 3, 3, 1]);
+        chunked.seal_tail(); // empty tail: no-op
+        assert_eq!(chunked.sealed_chunks().len(), 4);
+    }
+
+    #[test]
+    fn schema_ops_apply_to_every_chunk() {
+        let (mut chunked, mut oracle) = chunked_and_oracle();
+        // Index created after sealing back-fills sealed chunks too.
+        for t in [&mut chunked, &mut oracle] {
+            t.create_index("size").unwrap();
+        }
+        let (mut s1, mut s2) = (0, 0);
+        let (p1, r1) = chunked.select(&[Expr::cmp_lit(2, CmpOp::Ge, 40i64)], &mut s1);
+        let (p2, r2) = oracle.select(&[Expr::cmp_lit(2, CmpOp::Ge, 40i64)], &mut s2);
+        assert_eq!(p1, AccessPath::IndexRange);
+        assert_eq!((p1, r1, s1), (p2, r2, s2));
+        // Columnar enabled after sealing covers sealed chunks too, with
+        // every sealed chunk fully zone-mapped (partial final block sealed).
+        chunked
+            .enable_columnar(
+                &ColumnarSpec::time_sorted("id").with_block_rows(2),
+                SharedDict::new(),
+            )
+            .unwrap();
+        for chunk in chunked.sealed_chunks() {
+            let c = chunk.columnar().expect("every chunk projected");
+            assert_eq!(c.len(), chunk.len());
+            assert_eq!(c.sealed_blocks(), chunk.len().div_ceil(2));
+        }
     }
 }

@@ -349,6 +349,24 @@ impl EventStore {
         &self.db
     }
 
+    /// Seals every table tail holding at least `min_rows` rows into an
+    /// immutable chunk (see [`Database::freeze_tails`]); returns how many
+    /// tails sealed. The publish path calls this right before cloning the
+    /// head so the snapshot shares the sealed chunks and the next
+    /// publish's copy-on-write detaches cost ~nothing. Deliberately does
+    /// **not** bump the epoch: no visible row changes, so a freeze alone
+    /// never triggers a spurious publish.
+    pub fn freeze_tails(&mut self, min_rows: usize) -> usize {
+        self.db.freeze_tails(min_rows)
+    }
+
+    /// Sealed chunks physically shared with `other`'s database (see
+    /// [`Database::sealed_chunks_shared_with`]) — the chunk-level
+    /// observable of snapshot publication.
+    pub fn sealed_chunks_shared_with(&self, other: &EventStore) -> usize {
+        self.db.sealed_chunks_shared_with(&other.db)
+    }
+
     /// The store configuration.
     pub fn config(&self) -> StoreConfig {
         self.config

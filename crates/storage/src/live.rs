@@ -25,9 +25,20 @@
 //! The writer pays the real copy lazily and only where it writes — the
 //! first post-publish append into a partition detaches that partition
 //! ("unseals" it) while every partition the stream has moved past stays
-//! physically shared with all snapshots forever. Sealed partitions are
-//! therefore owned jointly by the snapshots that pinned them; the last
-//! snapshot to drop frees them.
+//! physically shared with all snapshots forever.
+//!
+//! Within a hot partition the same trick repeats one level down: a table
+//! is a list of immutable, `Arc`-shared **sealed chunks** plus one open
+//! tail, so even the detach of a partition the writer is actively
+//! appending into copies only the tail — O(open chunk), not O(partition).
+//! [`StoreWriter::publish`] seals every tail that has grown past a small
+//! threshold right before cloning, so the history both sides share is
+//! maximal and the bytes each publish copies stay bounded by the threshold
+//! (`aiql_storage_publish_bytes_copied` measures exactly this; the
+//! `aiql_storage_sealed_chunks_shared` gauge reports how much sealed
+//! history the head still shares with the snapshot it replaces). Sealed
+//! chunks and partitions are owned jointly by the snapshots that pinned
+//! them; the last snapshot to drop frees them.
 //!
 //! Every mutation bumps the store's [`StoreStamp`]; a snapshot's stamp
 //! identifies exactly which prefix of the stream it reflects.
@@ -35,6 +46,14 @@
 use crate::EventStore;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Minimum open-tail rows at which [`StoreWriter::publish`] seals a table
+/// tail into an immutable chunk before cloning the head. Small enough that
+/// a flush-sized batch of appends into a hot partition gets sealed (and so
+/// shared with the snapshot) on the very publish that makes it visible;
+/// large enough that trickle publishes don't fragment tables into dust
+/// chunks.
+pub const PUBLISH_SEAL_MIN_ROWS: usize = 64;
 
 /// A point-in-time version of a store: mutation epoch plus row counts.
 ///
@@ -161,26 +180,37 @@ impl StoreWriter<'_> {
     /// Publishes the head as the new reader-visible snapshot and returns
     /// its stamp. Costs one copy-on-write [`EventStore::clone`] (pointer
     /// copies; row data stays shared) plus an `Arc` swap under a lock held
-    /// for nanoseconds. Publishing with nothing new is a no-op.
+    /// for nanoseconds. Table tails that grew past
+    /// [`PUBLISH_SEAL_MIN_ROWS`] are sealed into immutable chunks first,
+    /// so the snapshot shares them and post-publish appends detach only
+    /// sub-threshold tails. Publishing with nothing new is a no-op.
     pub fn publish(&mut self) -> StoreStamp {
         let stamp = self.head.stamp();
         let mut slot = self.published.write().expect("store lock poisoned");
         if slot.stamp() != stamp {
             let start = std::time::Instant::now();
+            // Seal grown tails before cloning (and before the amplification
+            // accounting below: sealing a still-shared partition charges
+            // its tail copy to `copied_bytes` like any other detach).
+            self.head.freeze_tails(PUBLISH_SEAL_MIN_ROWS);
             // The head's copy-on-write counter minus the outgoing
             // snapshot's (frozen at its own publish) is exactly the bytes
-            // unseals copied since then — the write amplification this
+            // detaches copied since then — the write amplification this
             // publish interval paid.
             let copied = self
                 .head
                 .db()
                 .copied_bytes()
                 .saturating_sub(slot.db().copied_bytes());
+            // Sealed history the head still shares with the snapshot it is
+            // about to replace: what this publish reuses instead of copies.
+            let shared = self.head.sealed_chunks_shared_with(&slot);
             *slot = Arc::new(self.head.clone());
             let m = crate::metrics::metrics();
             m.publishes.inc();
             m.publish_micros.record_duration(start.elapsed());
             m.publish_bytes_copied.record(copied);
+            m.sealed_chunks_shared.set(shared as i64);
         }
         stamp
     }
@@ -315,6 +345,45 @@ mod tests {
         shared.write().publish();
         let again = shared.read();
         assert_eq!(after.db().tables_shared_with(again.db()), 5);
+    }
+
+    #[test]
+    fn publish_seals_grown_tails_so_detaches_copy_nothing() {
+        let shared = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+        {
+            let mut w = shared.write_deferred();
+            for i in 0..200u64 {
+                w.append_event(&event(i, i as i64)).unwrap();
+            }
+            w.publish();
+        }
+        let snap = shared.read();
+        assert_eq!(
+            snap.db().copied_bytes(),
+            0,
+            "nothing was snapshot-shared before the first publish"
+        );
+        // The publish sealed the flush-sized tail (>= PUBLISH_SEAL_MIN_ROWS),
+        // so the post-publish append detaches the hot partition by copying
+        // an *empty* tail: zero bytes of write amplification.
+        {
+            let mut w = shared.write_deferred();
+            w.append_event(&event(1000, 5)).unwrap();
+            w.publish();
+        }
+        let after = shared.read();
+        assert_eq!(
+            after.db().copied_bytes(),
+            0,
+            "O(tail) detach copied nothing"
+        );
+        // The sealed 200-row chunk stays physically shared across publishes.
+        assert_eq!(snap.sealed_chunks_shared_with(&after), 1);
+        // Sub-threshold tails stay open: the 1-row tail was not sealed.
+        let pt = after.events_partitioned().unwrap();
+        let parts = pt.partitions_for(&aiql_rdb::partition::Prune::all());
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].1.chunk_boundaries(), vec![200, 1]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The storage layer's handles into the process-wide telemetry registry.
 
-use aiql_telemetry::{global, Counter, Histogram};
+use aiql_telemetry::{global, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 pub(crate) struct StorageMetrics {
@@ -11,9 +11,16 @@ pub(crate) struct StorageMetrics {
     /// the published `Arc`.
     pub publish_micros: Histogram,
     /// `aiql_storage_publish_bytes_copied` — bytes deep-copied by
-    /// copy-on-write unseals since the previous publish: the write
-    /// amplification each publish made the writer pay (ROADMAP item 1).
+    /// copy-on-write detaches since the previous publish. With chunked
+    /// tables each detach copies only the open tail (sealed chunks stay
+    /// shared), and the publish path seals tails first, so this now
+    /// measures tail-sized copies — O(tail), no longer O(partition)
+    /// (ROADMAP item 1, resolved).
     pub publish_bytes_copied: Histogram,
+    /// `aiql_storage_sealed_chunks_shared` — sealed chunks the head
+    /// physically shares with the outgoing snapshot at publish time: how
+    /// much immutable history each publish reuses instead of copying.
+    pub sealed_chunks_shared: Gauge,
     /// `aiql_storage_checkpoint_micros` — full checkpoint duration
     /// (snapshot write + WAL rotate + prune).
     pub checkpoint_micros: Histogram,
@@ -28,6 +35,7 @@ pub(crate) fn metrics() -> &'static StorageMetrics {
         publishes: global().counter("aiql_storage_publishes_total"),
         publish_micros: global().histogram("aiql_storage_publish_micros"),
         publish_bytes_copied: global().histogram("aiql_storage_publish_bytes_copied"),
+        sealed_chunks_shared: global().gauge("aiql_storage_sealed_chunks_shared"),
         checkpoint_micros: global().histogram("aiql_storage_checkpoint_micros"),
         recovery_micros: global().histogram("aiql_storage_recovery_micros"),
     })

@@ -42,8 +42,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Magic bytes opening every snapshot file (format version 1).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIQLSNP1";
+/// Magic bytes opening every snapshot file (format version 2: chunked
+/// table layout — per-table chunk boundaries and per-chunk columnar block
+/// metadata; version-1 files predate chunked tables and are not readable).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIQLSNP2";
 
 const SNAPSHOT_PREFIX: &str = "snapshot-";
 const SNAPSHOT_SUFFIX: &str = ".bin";

@@ -24,7 +24,9 @@
 //! are gauges. The registry exports two ways: a Prometheus-style text
 //! exposition ([`RegistrySnapshot::to_prometheus`]) and a JSON object
 //! ([`RegistrySnapshot::to_json`]) that the bench harness embeds into
-//! every `BENCH_*.json`.
+//! every `BENCH_*.json`. The full catalogue — every registered metric with
+//! its unit, layer, and what a regression in it means — is
+//! `docs/METRICS.md` at the repository root.
 //!
 //! # Examples
 //!

@@ -6,7 +6,8 @@
 //! workspace crates:
 //!
 //! - [`model`] — entities, events, values, timestamps (paper Sec. 3.1).
-//! - [`storage`] — time/space-partitioned event store (paper Sec. 3.2).
+//! - [`storage`] — time/space-partitioned event store (paper Sec. 3.2),
+//!   chunked for O(tail) snapshot publication under live ingest.
 //! - [`lang`] — the AIQL language: lexer, parser, semantic analysis
 //!   (paper Sec. 4).
 //! - [`engine`] — the optimized query execution engine: relationship-based
@@ -33,6 +34,11 @@
 //!   spans, and the slow-query log, wired through every layer above.
 //! - [`bench`](mod@bench) — the experiment harness reproducing every evaluation table
 //!   and figure.
+//!
+//! The repository-level reference lives in `docs/ARCHITECTURE.md` (crate
+//! graph, the write path end to end, the chunked storage layout, the
+//! concurrency and fault models) and `docs/METRICS.md` (every telemetry
+//! metric and what a regression in it means).
 //!
 //! # Examples
 //!

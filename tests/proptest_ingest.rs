@@ -384,6 +384,104 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// O(tail) snapshot publication, structurally: across any sequence of
+    /// append-then-publish rounds, (1) every sealed chunk a published
+    /// snapshot holds stays physically shared (same `Arc`) with every later
+    /// snapshot — sealed history is never deep-copied — and (2) the bytes
+    /// copy-on-write detaches charge per publish interval are bounded by the
+    /// open tails of the previous snapshot, never the partition bodies.
+    #[test]
+    fn publishes_share_sealed_history_and_copy_only_open_tails(
+        rows_per_flush in 64usize..160,
+        flushes in 2usize..6,
+        two_agents in any::<bool>(),
+    ) {
+        use aiql::rdb::Prune;
+        use aiql::storage::SharedStore;
+
+        let shared = SharedStore::new(
+            EventStore::empty(StoreConfig::partitioned()).unwrap(),
+        );
+        let day0 = Timestamp::from_ymd(2017, 1, 1).unwrap().0;
+        let mut snapshots = vec![shared.read()];
+        let mut id = 0u64;
+        for _ in 0..flushes {
+            let mut w = shared.write_deferred();
+            for k in 0..rows_per_flush {
+                let agent = if two_agents { (k % 2) as u32 } else { 0 };
+                id += 1;
+                w.append_event(&Event::new(
+                    id.into(),
+                    AgentId(agent),
+                    1u64.into(),
+                    OpType::Write,
+                    2u64.into(),
+                    EntityKind::File,
+                    Timestamp(day0 + id as i64 * 1_000),
+                ))
+                .unwrap();
+            }
+            w.publish();
+            drop(w);
+            snapshots.push(shared.read());
+        }
+
+        let chunks_of = |snap: &aiql::storage::StoreSnapshot| -> usize {
+            snap.events_partitioned()
+                .unwrap()
+                .partitions_for(&Prune::all())
+                .iter()
+                .map(|(_, t)| t.sealed_chunks().len())
+                .sum()
+        };
+        let tails_of = |snap: &aiql::storage::StoreSnapshot| -> u64 {
+            snap.events_partitioned()
+                .unwrap()
+                .partitions_for(&Prune::all())
+                .iter()
+                .map(|(_, t)| t.tail_bytes())
+                .sum()
+        };
+
+        for pair in snapshots.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            // Sealed history is shared, chunk for chunk.
+            prop_assert_eq!(
+                cur.events_partitioned()
+                    .unwrap()
+                    .sealed_chunks_shared_with(prev.events_partitioned().unwrap()),
+                chunks_of(prev),
+                "a sealed chunk was deep-copied between publishes"
+            );
+            // Copy-on-write charged at most the previous snapshot's open
+            // tails (the publish path seals grown tails first, so these sit
+            // below PUBLISH_SEAL_MIN_ROWS rows per partition).
+            let copied = cur
+                .events_partitioned()
+                .unwrap()
+                .copied_bytes()
+                .saturating_sub(prev.events_partitioned().unwrap().copied_bytes());
+            prop_assert!(
+                copied <= tails_of(prev),
+                "publish interval copied {} bytes > {} bytes of open tail",
+                copied,
+                tails_of(prev)
+            );
+        }
+        // Sharing transits the whole history, not just adjacent pairs...
+        let first_published = &snapshots[1];
+        let last = snapshots.last().unwrap();
+        prop_assert_eq!(
+            last.events_partitioned()
+                .unwrap()
+                .sealed_chunks_shared_with(first_published.events_partitioned().unwrap()),
+            chunks_of(first_published)
+        );
+        // ...and the property is not vacuous: enough rows flowed through
+        // that the publish path actually sealed chunks.
+        prop_assert!(chunks_of(last) >= 1, "no chunk ever sealed");
+    }
+
     #[test]
     fn streaming_count_is_stable_under_any_batching(
         events in micro_events(),

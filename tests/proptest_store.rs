@@ -104,6 +104,97 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// Chunked ≡ monolithic: a table sealing every `chunk` rows (with extra
+    /// random explicit seals thrown in) must be observationally identical to
+    /// one whose tail never seals — same global row order, same positional
+    /// access, same selection results across every access path (index probe,
+    /// index range, LIKE residual, full scan). Chunk layout is an encoding,
+    /// never a semantic.
+    #[test]
+    fn chunked_table_matches_monolithic_layout(
+        data in rows(),
+        chunk in 1usize..10,
+        seal_every in 0usize..7,
+        needle in 0i64..50,
+        name in "[a-d]{1,3}",
+    ) {
+        use aiql::rdb::Table;
+        let schema = || {
+            Schema::new(&[
+                ("val", ColumnType::Int),
+                ("agentid", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("start_time", ColumnType::Int),
+            ])
+        };
+        let mut chunked = Table::with_chunk_rows(schema(), chunk);
+        // A chunk size no insert count here reaches: one open tail, exactly
+        // the pre-chunking monolithic layout.
+        let mut mono = Table::with_chunk_rows(schema(), usize::MAX);
+        for t in [&mut chunked, &mut mono] {
+            t.create_index("val").unwrap();
+            t.create_index("name").unwrap();
+        }
+        for (i, (val, agent, nm)) in data.iter().enumerate() {
+            let row = vec![
+                Value::Int(*val),
+                Value::Int(*agent),
+                Value::str(nm.clone()),
+                Value::Int(i as i64 * 10_000_000_000_000),
+            ];
+            chunked.insert(row.clone()).unwrap();
+            mono.insert(row).unwrap();
+            if seal_every > 0 && (i + 1) % seal_every == 0 {
+                chunked.seal_tail(); // mid-stream seal: irregular boundaries
+            }
+        }
+        prop_assert_eq!(chunked.len(), mono.len());
+        prop_assert!(mono.sealed_chunks().is_empty(), "oracle stays monolithic");
+
+        // Structural invariants of the chunked layout.
+        let bounds = chunked.chunk_boundaries();
+        prop_assert_eq!(bounds.iter().sum::<usize>(), chunked.len());
+        prop_assert!(bounds.iter().all(|&n| n > 0), "no empty chunks: {:?}", bounds);
+
+        // Global row order and positional access agree.
+        prop_assert!(chunked.iter_rows().eq(mono.iter_rows()));
+        for i in 0..chunked.len() {
+            prop_assert_eq!(chunked.row(i as u32), mono.row(i as u32), "row {}", i);
+        }
+
+        // Selection differential across access paths.
+        for conjuncts in [
+            vec![],
+            vec![Expr::cmp_lit(0, CmpOp::Eq, needle)],
+            vec![Expr::cmp_lit(0, CmpOp::Ge, needle)],
+            vec![Expr::like(2, format!("%{name}%")), Expr::cmp_lit(0, CmpOp::Lt, needle)],
+            vec![Expr::like(2, format!("{name}%"))],
+        ] {
+            let (mut s1, mut s2) = (0u64, 0u64);
+            let (_, mut a) = chunked.select(&conjuncts, &mut s1);
+            let (_, mut b) = mono.select(&conjuncts, &mut s2);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "selection diverged on {:?}", conjuncts);
+        }
+
+        // Clone = refcount-bump of sealed history; post-clone inserts are
+        // invisible to the snapshot and never unshare a sealed chunk.
+        let snapshot = chunked.clone();
+        let sealed = snapshot.sealed_chunks().len();
+        let frozen_len = snapshot.len();
+        chunked
+            .insert(vec![
+                Value::Int(0),
+                Value::Int(0),
+                Value::str("post"),
+                Value::Int(0),
+            ])
+            .unwrap();
+        prop_assert_eq!(snapshot.len(), frozen_len);
+        prop_assert_eq!(chunked.chunks_shared_with(&snapshot), sealed);
+    }
+
     #[test]
     fn like_match_agrees_with_contains(hay in "[a-z]{0,12}", needle in "[a-z]{1,4}") {
         let v = Value::str(hay.clone());

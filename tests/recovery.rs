@@ -123,7 +123,21 @@ fn durable_stream(data: &Dataset, dir: &PathBuf, chunk: usize, checkpoint_every:
 #[test]
 fn persisted_snapshot_reopens_byte_identical_for_the_paper_suite() {
     let data = dataset();
-    let live = EventStore::ingest(&data, StoreConfig::partitioned()).unwrap();
+    // Build the store append-wise with a mid-stream tail freeze, so every
+    // hot partition carries a sealed chunk *and* a non-empty open tail —
+    // the layout the chunk-boundary round-trip below must reproduce.
+    let mut live = EventStore::empty(StoreConfig::partitioned()).unwrap();
+    for e in &data.entities {
+        live.append_entity(e).unwrap();
+    }
+    let (head, rest) = data.events.split_at(data.events.len() / 2);
+    for ev in head {
+        live.append_event(ev).unwrap();
+    }
+    live.freeze_tails(1);
+    for ev in rest {
+        live.append_event(ev).unwrap();
+    }
     let dir = scratch("snapshot");
     live.persist_to(&dir).unwrap();
 
@@ -136,6 +150,38 @@ fn persisted_snapshot_reopens_byte_identical_for_the_paper_suite() {
         reopened.events_partitioned().unwrap().partition_count(),
         live.events_partitioned().unwrap().partition_count()
     );
+    // The chunk layout round-trips exactly: the snapshot records every seal
+    // boundary and restore re-seals at each one, so a reopened partition is
+    // chunk-for-chunk the pre-shutdown one — sealedness included.
+    let live_parts = live
+        .events_partitioned()
+        .unwrap()
+        .partitions_for(&aiql::rdb::Prune::all());
+    let re_parts = reopened
+        .events_partitioned()
+        .unwrap()
+        .partitions_for(&aiql::rdb::Prune::all());
+    assert!(
+        live_parts
+            .iter()
+            .any(|(_, t)| t.chunk_boundaries().len() >= 2),
+        "mid-stream freeze produced no multi-chunk partition"
+    );
+    assert_eq!(live_parts.len(), re_parts.len());
+    for ((lk, lt), (rk, rt)) in live_parts.iter().zip(re_parts.iter()) {
+        assert_eq!(lk, rk, "partition keys diverged");
+        assert_eq!(
+            lt.chunk_boundaries(),
+            rt.chunk_boundaries(),
+            "chunk seal boundaries diverged for partition {lk:?}"
+        );
+        assert_eq!(
+            lt.sealed_chunks().len(),
+            rt.sealed_chunks().len(),
+            "sealed/open split diverged for partition {lk:?}"
+        );
+        assert_eq!(lt.chunk_rows(), rt.chunk_rows());
+    }
     assert_eq!(
         run_suite(&reopened),
         run_suite(&live),
