@@ -1,33 +1,48 @@
-//! Criterion bench for Fig. 7: Greenplum-style gather execution
-//! (round-robin placement) vs AIQL scheduling over by-host segments.
+//! Criterion bench for sharded scatter-gather execution: the heavy
+//! multi-pattern hunt (Fig. 7 behaviour family, unpinned from its agent)
+//! on the sequential scan path vs the worker-pool scatter path, over an
+//! 8-shard store. Small scale keeps `--test` mode CI-fast; the full
+//! speedup curve with the 2x gate lives in `repro parallel`.
 
-use aiql_bench::catalog;
 use aiql_bench::harness::{self, Scale};
+use aiql_bench::parallel::sharded_store;
 use aiql_engine::{Engine, EngineConfig};
-use aiql_storage::SegmentedStore;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+const QUERY: &str = r#"
+    (at "01/02/2017")
+    proc p1["%firefox.exe"] read ip i1 as e1
+    proc p1 write file f1["%.exe"] as e2
+    proc p1 start proc p2 as e3
+    with e1 before e2, e2 before e3
+    return distinct p1, i1, f1, p2
+"#;
+
 fn bench(c: &mut Criterion) {
     let (data, _) = harness::dataset(Scale::Small);
-    let gp = SegmentedStore::ingest(&data, 5, false).expect("round-robin ingest");
-    let ours = SegmentedStore::ingest(&data, 5, true).expect("by-host ingest");
-    let queries = catalog::behaviours();
+    let store = sharded_store(&data);
+    let ctx = aiql_core::compile(QUERY).expect("compiles");
 
-    for id in ["a1", "d3", "v1"] {
-        let q = queries.iter().find(|q| q.id == id).expect("catalog id");
-        let ctx = aiql_core::compile(q.source).expect("compiles");
-        let mut g = c.benchmark_group(format!("parallel/{id}"));
-        g.sample_size(10);
-        g.bench_function("greenplum-gather", |b| {
-            b.iter(|| black_box(aiql_baselines::greenplum::run(&gp, &ctx, None).ok()))
-        });
-        g.bench_function("aiql-segmented", |b| {
-            let engine = Engine::segmented(&ours, EngineConfig::aiql());
+    let mut g = c.benchmark_group("parallel/scatter-gather");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        let engine = Engine::with_config(
+            &store,
+            EngineConfig {
+                parallel: false,
+                ..EngineConfig::aiql()
+            },
+        );
+        b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
+    });
+    for workers in [2usize, 4] {
+        g.bench_function(format!("scatter-{workers}w"), |b| {
+            let engine = Engine::with_config(&store, EngineConfig::aiql().with_workers(workers));
             b.iter(|| black_box(engine.run_ctx(&ctx).expect("runs")))
         });
-        g.finish();
     }
+    g.finish();
 }
 
 criterion_group!(benches, bench);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|service|all] [--scale small|medium|large] [--budget SECS]
+//! repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|parallel|service|all] [--scale small|medium|large] [--budget SECS]
 //! ```
 //!
 //! `ingestion` measures batch vs durable-streaming ingest (with WAL fsync
@@ -12,9 +12,12 @@
 //! crash recovery (snapshot load vs WAL replay) and writes
 //! `BENCH_recovery.json`; `concurrent` measures multi-reader query serving
 //! under live ingestion (snapshot store vs the lock-based baseline) and
-//! writes `BENCH_concurrent.json`; `service` measures prepared-session
-//! query serving against re-parse-per-call and writes
-//! `BENCH_service.json`. `all` runs every experiment in one
+//! writes `BENCH_concurrent.json`; `parallel` measures sharded
+//! scatter-gather speedup over the sequential scan path and writes
+//! `BENCH_parallel.json` (the ≥2x-at-4-workers gate is asserted on
+//! multi-core hosts, reported-only on fewer than 4 cores); `service`
+//! measures prepared-session query serving against re-parse-per-call and
+//! writes `BENCH_service.json`. `all` runs every experiment in one
 //! invocation and writes every `BENCH_*.json` — what CI and trajectory
 //! tracking call.
 //!
@@ -74,6 +77,26 @@ fn run_concurrent(opts: Options) {
     write_snapshot_file("BENCH_concurrent.json", &json);
 }
 
+fn run_parallel(opts: Options) {
+    let report = aiql_bench::parallel::parallel_bench(opts);
+    print!("{}", report.render());
+    write_snapshot_file("BENCH_parallel.json", &report.json());
+    let speedup = report.speedup(4);
+    if report.cpu_cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "scatter-gather speedup at 4 workers is {speedup:.2}x (< 2.0x) \
+             on a {}-core host",
+            report.cpu_cores
+        );
+    } else {
+        eprintln!(
+            "[speedup gate skipped on {} core(s): 4-worker speedup {speedup:.2}x reported only]",
+            report.cpu_cores
+        );
+    }
+}
+
 fn run_service(opts: Options) {
     let (table, json) = aiql_bench::service::service_bench(opts);
     print!("{table}");
@@ -117,6 +140,7 @@ fn main() {
         "scan" => run_scan(opts),
         "recovery" => run_recovery(opts),
         "concurrent" => run_concurrent(opts),
+        "parallel" => run_parallel(opts),
         "service" => run_service(opts),
         "all" => {
             // Ingestion first: it seeds the cumulative telemetry registry,
@@ -140,6 +164,8 @@ fn main() {
             println!();
             run_concurrent(opts);
             println!();
+            run_parallel(opts);
+            println!();
             run_service(opts);
         }
         other => usage(&format!("unknown experiment {other}")),
@@ -153,7 +179,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|service|all] \
+        "usage: repro [schema|table3|fig5|fig6|fig7|fig8|ingestion|scan|recovery|concurrent|parallel|service|all] \
          [--scale small|medium|large] [--budget SECS]"
     );
     std::process::exit(2)

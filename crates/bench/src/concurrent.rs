@@ -78,14 +78,31 @@ pub struct ServingRun {
     pub max_latency: Duration,
 }
 
+/// Untimed queries each session runs before its cell's clock starts.
+/// Without this, the first measured cell of a grid absorbs every one-shot
+/// cold-start cost — thread spawn, lazy index materialisation, allocator
+/// growth — and can read an order of magnitude slower than its neighbours
+/// (observed once as `lock_idle_qps: [4.4, 4.0, 533.6, 3087.1]`).
+const WARMUP_QUERIES: usize = 3;
+
 /// Drives `readers` closed-loop sessions for `window`; each session runs
-/// `run_query`, sleeps `think`, repeats.
+/// `run_query`, sleeps `think`, repeats. Every cell warms up untimed
+/// first, so cells are comparable regardless of grid position.
 fn closed_loop(
     readers: usize,
     window: Duration,
     think: Duration,
     run_query: impl Fn() -> usize + Sync,
 ) -> ServingRun {
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                for _ in 0..WARMUP_QUERIES {
+                    std::hint::black_box(run_query());
+                }
+            });
+        }
+    });
     let stop_at = Instant::now() + window;
     let per_thread: Vec<(u64, Duration, Duration, Duration)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..readers)
@@ -221,6 +238,9 @@ pub struct ConcurrentReport {
     /// CPUs available to this process — reader scaling beyond this count
     /// is latency-hiding (think time), not parallel compute.
     pub cpu_cores: usize,
+    /// Execution shards the seed store routes partitions into — recorded
+    /// so serving numbers can be compared across shard layouts.
+    pub store_shards: usize,
     /// Calibrated think time between an analyst's queries.
     pub think: Duration,
     pub threads: Vec<usize>,
@@ -275,10 +295,11 @@ impl ConcurrentReport {
         use crate::report::TextTable;
         let mut out = format!(
             "Concurrent serving: closed-loop analysts over a live store \
-             ({} seed events, {:?} scale, {} cpu core(s), think {:.1} ms)\n\n",
+             ({} seed events, {:?} scale, {} cpu core(s), {} shard(s), think {:.1} ms)\n\n",
             self.seed_events,
             self.scale,
             self.cpu_cores,
+            self.store_shards,
             self.think.as_secs_f64() * 1e3,
         );
         let mut t = TextTable::new(&[
@@ -333,7 +354,7 @@ impl ConcurrentReport {
         };
         format!(
             "{{\n  \"experiment\": \"concurrent\",\n  \"scale\": \"{:?}\",\n  \
-             \"seed_events\": {},\n  \"cpu_cores\": {},\n  \"think_time_ms\": {:.3},\n  \
+             \"seed_events\": {},\n  \"cpu_cores\": {},\n  \"store_shards\": {},\n  \"think_time_ms\": {:.3},\n  \
              \"reader_threads\": [{}],\n  \
              \"snapshot_idle_qps\": [{}],\n  \"snapshot_live_qps\": [{}],\n  \
              \"lock_idle_qps\": [{}],\n  \"lock_live_qps\": [{}],\n  \
@@ -344,6 +365,7 @@ impl ConcurrentReport {
             self.scale,
             self.seed_events,
             self.cpu_cores,
+            self.store_shards,
             self.think.as_secs_f64() * 1e3,
             self.threads
                 .iter()
@@ -369,6 +391,7 @@ impl ConcurrentReport {
 pub fn measure(data: &Dataset, scale: Scale, window: Duration) -> ConcurrentReport {
     let seed = EventStore::ingest(data, StoreConfig::partitioned()).expect("seed ingest");
     let seed_events = seed.event_count();
+    let store_shards = seed.shard_count();
     let chunks = shipments(data);
     let threads = vec![1usize, 2, 4, 8];
 
@@ -454,6 +477,7 @@ pub fn measure(data: &Dataset, scale: Scale, window: Duration) -> ConcurrentRepo
         scale,
         seed_events,
         cpu_cores,
+        store_shards,
         think,
         threads,
         snapshot_idle,
@@ -495,6 +519,7 @@ mod tests {
             scale: Scale::Small,
             seed_events: 1000,
             cpu_cores: 4,
+            store_shards: 4,
             think: Duration::from_millis(2),
             threads: vec![1, 4],
             snapshot_idle: vec![mk(1, 100.0), mk(4, 390.0)],
@@ -507,6 +532,7 @@ mod tests {
         assert!(r.lock_live_over_idle(4) < 0.5);
         let json = r.json();
         assert!(json.contains("\"snapshot_scaling_4_threads\": 3.90"));
+        assert!(json.contains("\"store_shards\": 4"));
         let table = r.render();
         assert!(table.contains("readers"));
     }

@@ -10,6 +10,8 @@
 //!   text reports.
 //! - [`concurrent`] — multi-reader serving under live ingestion: the
 //!   epoch-swapped snapshot store vs the lock-based baseline.
+//! - [`parallel`] — sharded scatter-gather execution: sequential vs
+//!   worker-pool speedup on a heavy multi-pattern hunt.
 //! - [`service`] — the prepared-statement session lifecycle vs re-parsing
 //!   every call, on a closed-loop analyst's parameterized query family.
 //! - [`report`] — table formatting and speedup statistics.
@@ -24,6 +26,7 @@ pub mod catalog;
 pub mod concurrent;
 pub mod experiments;
 pub mod harness;
+pub mod parallel;
 pub mod report;
 pub mod service;
 

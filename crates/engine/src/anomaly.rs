@@ -13,6 +13,7 @@
 //! periods.
 
 use crate::error::EngineError;
+use crate::exec::ExecPolicy;
 use crate::layout::{resolve_field, START_COL};
 use crate::pattern::{execute_pattern, Deadline, EngineStats, StoreRef};
 use crate::result::{moving_average, Accum, EngineResult};
@@ -26,7 +27,7 @@ use std::collections::BTreeMap;
 pub fn run_anomaly(
     store: StoreRef<'_>,
     ctx: &QueryContext,
-    parallel: bool,
+    exec: ExecPolicy,
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<EngineResult, EngineError> {
@@ -69,7 +70,7 @@ pub fn run_anomaly(
         .collect::<Result<Vec<_>, EngineError>>()?;
 
     // Execute the pattern and sort by time.
-    let mut rows = execute_pattern(store, p, &ExtraCstr::default(), parallel, deadline, stats)?;
+    let mut rows = execute_pattern(store, p, &ExtraCstr::default(), exec, deadline, stats)?;
     rows.sort_by_key(|r| r[START_COL].as_int().unwrap_or(0));
     let times: Vec<i64> = rows
         .iter()

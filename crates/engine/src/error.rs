@@ -24,6 +24,11 @@ pub enum EngineError {
     Resource,
     /// The query uses a feature the engine cannot execute.
     Unsupported(String),
+    /// A scatter worker panicked. The panic is caught on the worker (the
+    /// pool thread survives; sibling tasks of the same scatter finish or
+    /// drain first) and re-surfaced here with the panic payload, instead
+    /// of aborting the whole process as the old `join().expect(..)` did.
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
@@ -35,6 +40,7 @@ impl fmt::Display for EngineError {
             EngineError::Timeout => write!(f, "query exceeded its execution deadline"),
             EngineError::Resource => write!(f, "query exceeded its intermediate-result budget"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Worker(m) => write!(f, "scatter worker panicked: {m}"),
         }
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod anomaly;
 pub mod error;
+pub mod exec;
 pub mod layout;
 mod metrics;
 pub mod pattern;
@@ -51,6 +52,7 @@ pub mod synth;
 pub mod tupleset;
 
 pub use error::EngineError;
+pub use exec::{ExecPolicy, ScatterProfile};
 pub use pattern::{Deadline, EngineStats, ScanRecord, ScanTarget, StoreRef};
 pub use result::EngineResult;
 pub use schedule::Scheduler;
@@ -93,8 +95,13 @@ pub struct EngineConfig {
     /// Algorithm 1 default, or the Sec. 7 statistical refinement).
     pub scorer: ScoreModel,
     /// Parallelize event scans across partitions (time-window partition
-    /// parallelism, paper Sec. 5.2).
+    /// parallelism, paper Sec. 5.2), scattered over the process-wide
+    /// execution pool by shard.
     pub parallel: bool,
+    /// Scatter width in threads when `parallel` (coordinator included);
+    /// `0` auto-sizes to `available_parallelism`. Capped at
+    /// [`exec::MAX_WORKERS`].
+    pub workers: usize,
     /// Optional wall-clock budget per query.
     pub budget: Option<Duration>,
 }
@@ -106,6 +113,7 @@ impl EngineConfig {
             scheduler: Scheduler::Relationship,
             scorer: ScoreModel::ConstraintCount,
             parallel: true,
+            workers: 0,
             budget: None,
         }
     }
@@ -116,6 +124,7 @@ impl EngineConfig {
             scheduler: Scheduler::FetchFilter,
             scorer: ScoreModel::ConstraintCount,
             parallel: false,
+            workers: 1,
             budget: None,
         }
     }
@@ -133,6 +142,20 @@ impl EngineConfig {
     pub fn with_budget(mut self, budget: Duration) -> EngineConfig {
         self.budget = Some(budget);
         self
+    }
+
+    /// Sets the scatter width, builder style (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> EngineConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// The per-query execution policy this configuration implies.
+    pub fn exec_policy(&self) -> exec::ExecPolicy {
+        exec::ExecPolicy {
+            parallel: self.parallel,
+            workers: self.workers,
+        }
     }
 }
 
@@ -270,7 +293,13 @@ impl<'a> Engine<'a> {
         let result = match ctx.kind {
             QueryKind::Anomaly => {
                 let _anomaly = aiql_telemetry::trace::span("anomaly");
-                anomaly::run_anomaly(self.store, ctx, self.config.parallel, deadline, &mut stats)?
+                anomaly::run_anomaly(
+                    self.store,
+                    ctx,
+                    self.config.exec_policy(),
+                    deadline,
+                    &mut stats,
+                )?
             }
             QueryKind::Multievent | QueryKind::Dependency => {
                 let joined = match self.config.scheduler {
@@ -283,7 +312,7 @@ impl<'a> Engine<'a> {
                             self.store,
                             ctx,
                             &scores,
-                            self.config.parallel,
+                            self.config.exec_policy(),
                             deadline,
                             &mut stats,
                         )?
@@ -291,7 +320,7 @@ impl<'a> Engine<'a> {
                     Scheduler::FetchFilter => schedule::fetch_and_filter(
                         self.store,
                         ctx,
-                        self.config.parallel,
+                        self.config.exec_policy(),
                         deadline,
                         &mut stats,
                     )?,

@@ -30,6 +30,16 @@ pub(crate) struct EngineMetrics {
     pub cursor_fetches: Counter,
     /// Entries resident in the process-wide legacy plan cache.
     pub legacy_cache_entries: Gauge,
+    /// Shard-scan tasks submitted to the execution pool.
+    pub pool_tasks: Counter,
+    /// Per-task wait between submission and a worker picking it up.
+    pub pool_queue_wait_micros: Histogram,
+    /// Worker threads alive in the execution pool.
+    pub pool_workers: Gauge,
+    /// Per-shard scan wall time (one sample per scattered shard scan).
+    pub shard_scan_micros: Histogram,
+    /// Rows returned per scattered shard scan.
+    pub shard_scan_rows: Histogram,
 }
 
 pub(crate) fn metrics() -> &'static EngineMetrics {
@@ -48,6 +58,11 @@ pub(crate) fn metrics() -> &'static EngineMetrics {
             cursor_rows: r.counter("aiql_engine_cursor_rows_total"),
             cursor_fetches: r.counter("aiql_engine_cursor_fetches_total"),
             legacy_cache_entries: r.gauge("aiql_engine_legacy_plan_cache_entries"),
+            pool_tasks: r.counter("aiql_engine_pool_tasks"),
+            pool_queue_wait_micros: r.histogram("aiql_engine_pool_queue_wait_micros"),
+            pool_workers: r.gauge("aiql_engine_pool_workers"),
+            shard_scan_micros: r.histogram("aiql_engine_shard_scan_micros"),
+            shard_scan_rows: r.histogram("aiql_engine_shard_scan_rows"),
         }
     })
 }

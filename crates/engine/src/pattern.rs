@@ -7,11 +7,12 @@
 //! match rows.
 
 use crate::error::EngineError;
+use crate::exec::{self, ExecPolicy, ScatterProfile};
 use crate::layout;
 use crate::synth::{apply_extra, synthesize, DataQuery, ExtraCstr};
 use aiql_core::PatternCtx;
 use aiql_model::EntityKind;
-use aiql_rdb::{CmpOp, Expr, Prune, Row, Value};
+use aiql_rdb::{CmpOp, Expr, PartKey, Prune, Row, Value};
 use aiql_storage::{schema, EventStore, SegmentedStore};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -72,6 +73,9 @@ pub struct ScanRecord {
     pub table: String,
     /// Access paths, partition pruning, zone-map skips, rows touched.
     pub profile: aiql_rdb::ScanProfile,
+    /// How the scan scattered across shards (None for entity scans and
+    /// unsharded event scans).
+    pub scatter: Option<ScatterProfile>,
 }
 
 /// Deadline wrapper shared across the engine.
@@ -146,24 +150,34 @@ impl<'a> StoreRef<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scan_events(
         &self,
         conjuncts: &[Expr],
         prune: &Prune,
-        parallel: bool,
+        exec: ExecPolicy,
         deadline: Deadline,
         scanned: &mut u64,
         profile: &mut aiql_rdb::ScanProfile,
+        scatter: &mut Option<ScatterProfile>,
     ) -> Result<EventRows<'a>, EngineError> {
         deadline.check()?;
         match self {
             StoreRef::Single(s) => {
-                if parallel {
+                if exec.parallel {
                     if let Some(pt) = s.events_partitioned() {
-                        return parallel_partition_scan(
-                            pt, conjuncts, prune, deadline, scanned, profile,
-                        )
-                        .map(EventRows::Borrowed);
+                        let (rows, sp) = scatter_partition_scan(
+                            pt,
+                            s.shard_count(),
+                            conjuncts,
+                            prune,
+                            exec,
+                            deadline,
+                            scanned,
+                            profile,
+                        )?;
+                        *scatter = Some(sp);
+                        return Ok(EventRows::Borrowed(rows));
                     }
                 }
                 Ok(EventRows::Borrowed(
@@ -213,69 +227,108 @@ fn merge_prune(a: &Prune, b: &Prune) -> Prune {
     }
 }
 
-/// Scans the admitted partitions of a partitioned table on scoped threads.
-/// Rows are returned borrowed: workers collect `&Row` into per-chunk
-/// vectors, so no event row is cloned regardless of parallelism.
-fn parallel_partition_scan<'a>(
+/// Scatters the admitted partitions of a sharded event table across the
+/// execution pool and gathers the borrowed rows back in sequential order.
+///
+/// Partitions are grouped into shards by `shard_of` (the store layout's
+/// routing function); each occupied shard becomes one pool task scanning
+/// its partitions in key order. Tasks are dispatched **largest estimated
+/// shard first** so stragglers start earliest, and the gather merges the
+/// per-partition results sorted by `PartKey` — exactly the order the
+/// sequential `select_refs_profiled` walk produces, which is what lets the
+/// proptest oracle demand row-identical output. When pruning confines the
+/// scan to a single shard, the scan runs shard-local on the coordinator
+/// (no pool round-trip) — the in-process analogue of the segment layer's
+/// `query_local` vs `query_gather`.
+///
+/// Rows stay borrowed throughout: workers collect `&Row` per partition,
+/// so no event row is cloned regardless of parallelism. A worker panic
+/// surfaces as [`EngineError::Worker`] (see `crate::exec`), never a
+/// process abort.
+#[allow(clippy::too_many_arguments)]
+fn scatter_partition_scan<'a>(
     pt: &'a aiql_rdb::PartitionedTable,
+    shards: usize,
     conjuncts: &[Expr],
     prune: &Prune,
+    exec: ExecPolicy,
     deadline: Deadline,
     scanned: &mut u64,
     profile: &mut aiql_rdb::ScanProfile,
-) -> Result<Vec<&'a Row>, EngineError> {
+) -> Result<(Vec<&'a Row>, ScatterProfile), EngineError> {
     let derived = pt.prune_from_conjuncts(conjuncts);
     let merged = merge_prune(prune, &derived);
-    let parts = pt.partitions_for(&merged);
-    if parts.len() <= 1 {
-        let mut local = 0u64;
-        let rows = pt.select_refs_profiled(conjuncts, &merged, &mut local, profile);
-        *scanned += local;
-        return Ok(rows);
-    }
+    let shards = shards.max(1);
+    let buckets = pt.shards_for(&merged, shards);
+    let occupied: Vec<(usize, Vec<(PartKey, &'a aiql_rdb::Table)>)> = buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect();
+
     profile.partitions_total += pt.partition_count() as u32;
-    profile.partitions_scanned += parts.len() as u32;
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(parts.len())
-        .min(8);
-    let chunks: Vec<Vec<&aiql_rdb::Table>> = {
-        let mut cs: Vec<Vec<&aiql_rdb::Table>> = vec![Vec::new(); workers];
-        for (i, (_, t)) in parts.iter().enumerate() {
-            cs[i % workers].push(t);
-        }
-        cs
+    profile.partitions_scanned += occupied.iter().map(|(_, b)| b.len() as u32).sum::<u32>();
+    profile.shards_total += shards as u32;
+    profile.shards_scanned += occupied.len() as u32;
+
+    let mut sp = ScatterProfile {
+        shards_total: shards as u32,
+        shards_scanned: occupied.len() as u32,
+        colocated: occupied.len() <= 1,
+        ..Default::default()
     };
-    let results: Vec<(u64, aiql_rdb::ScanProfile, Vec<&'a Row>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut local = 0u64;
-                    let mut prof = aiql_rdb::ScanProfile::default();
-                    let mut rows = Vec::new();
-                    for t in chunk {
-                        let (_, pos) = t.select_profiled(conjuncts, &mut local, &mut prof);
-                        rows.extend(pos.into_iter().map(|p| t.row(p)));
-                    }
-                    (local, prof, rows)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition scan worker panicked"))
-            .collect()
-    });
+
+    // Scatter order: estimated rows (admitted partition sizes — the same
+    // statistic the scheduler's scorer uses) descending.
+    let mut order: Vec<usize> = (0..occupied.len()).collect();
+    let est: Vec<usize> = occupied
+        .iter()
+        .map(|(_, b)| b.iter().map(|(_, t)| t.len()).sum())
+        .collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(est[i]));
+
+    let tasks: Vec<_> = order
+        .iter()
+        .map(|&i| {
+            let (sid, bucket) = &occupied[i];
+            let sid = *sid;
+            move || {
+                let t0 = Instant::now();
+                let mut local = 0u64;
+                let mut prof = aiql_rdb::ScanProfile::default();
+                let mut parts: Vec<(PartKey, Vec<&'a Row>)> = Vec::with_capacity(bucket.len());
+                for (k, t) in bucket {
+                    let (_, pos) = t.select_profiled(conjuncts, &mut local, &mut prof);
+                    parts.push((*k, pos.into_iter().map(|p| t.row(p)).collect()));
+                }
+                let m = crate::metrics::metrics();
+                m.shard_scan_micros.record(t0.elapsed().as_micros() as u64);
+                m.shard_scan_rows
+                    .record(parts.iter().map(|(_, r)| r.len() as u64).sum());
+                (sid, local, prof, parts)
+            }
+        })
+        .collect();
+
+    let width = exec.width().min(tasks.len().max(1));
+    sp.workers = width as u32;
+    let run = exec::scatter(tasks, width)?;
     deadline.check()?;
-    let mut out = Vec::new();
-    for (local, prof, rows) in results {
+    sp.queue_wait_micros = run.queue_wait_micros;
+
+    // Gather: merge per-partition results by key — sequential scan order.
+    let mut tagged: Vec<(PartKey, Vec<&'a Row>)> = Vec::new();
+    for (sid, local, prof, parts) in run.results {
         *scanned += local;
         profile.merge(&prof);
-        out.extend(rows);
+        sp.scatter_order.push(sid as u32);
+        sp.rows_per_shard
+            .push(parts.iter().map(|(_, r)| r.len() as u64).sum());
+        tagged.extend(parts);
     }
-    Ok(out)
+    tagged.sort_by_key(|(k, _)| *k);
+    let out: Vec<&'a Row> = tagged.into_iter().flat_map(|(_, r)| r).collect();
+    Ok((out, sp))
 }
 
 /// When an entity filter yields at most this many IDs, the executor pushes
@@ -288,7 +341,7 @@ pub fn execute_pattern(
     store: StoreRef<'_>,
     p: &PatternCtx,
     extra: &ExtraCstr,
-    parallel: bool,
+    exec: ExecPolicy,
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<Vec<Row>, EngineError> {
@@ -361,19 +414,22 @@ pub fn execute_pattern(
     //    gather buffer) — they are only read and flattened, never kept.
     let mut scanned = 0u64;
     let mut profile = aiql_rdb::ScanProfile::default();
+    let mut scatter = None;
     let scan = store.scan_events(
         &event_conjuncts,
         &q.prune,
-        parallel,
+        exec,
         deadline,
         &mut scanned,
         &mut profile,
+        &mut scatter,
     )?;
     stats.scans.push(ScanRecord {
         pattern: p.idx,
         target: ScanTarget::Events,
         table: schema::EVENTS.to_string(),
         profile,
+        scatter,
     });
     let owned_events: Vec<Row>;
     let events: Vec<&Row> = match scan {
@@ -460,6 +516,7 @@ fn scan_entity_map(
         target,
         table: schema::entity_table(kind).to_string(),
         profile,
+        scatter: None,
     });
     rows.into_iter()
         .filter_map(|r| r[0].as_int().map(|id| (id, r)))
@@ -537,6 +594,13 @@ mod tests {
         d
     }
 
+    fn policy(parallel: bool) -> ExecPolicy {
+        ExecPolicy {
+            parallel,
+            workers: 0,
+        }
+    }
+
     fn run(src: &str, parallel: bool) -> Vec<Row> {
         let store = EventStore::ingest(&dataset(), StoreConfig::partitioned()).unwrap();
         let ctx = compile(src).unwrap();
@@ -545,7 +609,7 @@ mod tests {
             StoreRef::Single(&store),
             &ctx.patterns[0],
             &ExtraCstr::default(),
-            parallel,
+            policy(parallel),
             Deadline::none(),
             &mut stats,
         )
@@ -598,6 +662,56 @@ mod tests {
     }
 
     #[test]
+    fn scatter_rows_identical_to_sequential_across_shards() {
+        // Stronger than `parallel_equals_sequential`: no sorting — the
+        // gather must reproduce the sequential row order exactly, for
+        // every shard count and scatter width.
+        let src = r#"proc p read || write || start file f return p, f"#;
+        let ctx = compile(src).unwrap();
+        for shards in [1u32, 2, 3, 5, 8] {
+            let store =
+                EventStore::ingest(&dataset(), StoreConfig::partitioned().with_shards(shards))
+                    .unwrap();
+            let mut s1 = EngineStats::default();
+            let seq = execute_pattern(
+                StoreRef::Single(&store),
+                &ctx.patterns[0],
+                &ExtraCstr::default(),
+                policy(false),
+                Deadline::none(),
+                &mut s1,
+            )
+            .unwrap();
+            for workers in [1usize, 2, 4] {
+                let mut s2 = EngineStats::default();
+                let par = execute_pattern(
+                    StoreRef::Single(&store),
+                    &ctx.patterns[0],
+                    &ExtraCstr::default(),
+                    ExecPolicy {
+                        parallel: true,
+                        workers,
+                    },
+                    Deadline::none(),
+                    &mut s2,
+                )
+                .unwrap();
+                assert_eq!(par, seq, "shards={shards} workers={workers}");
+                // The events scan carries the scatter shape for EXPLAIN.
+                let ev_scan = s2
+                    .scans
+                    .iter()
+                    .find(|s| s.target == ScanTarget::Events)
+                    .unwrap();
+                let sp = ev_scan.scatter.as_ref().expect("scatter profile");
+                assert_eq!(sp.shards_total, shards);
+                assert_eq!(sp.scatter_order.len(), sp.shards_scanned as usize);
+                assert_eq!(sp.rows_per_shard.len(), sp.shards_scanned as usize);
+            }
+        }
+    }
+
+    #[test]
     fn window_prunes_everything_outside() {
         let rows = run(r#"(at "06/01/2019") proc p write file f return p"#, false);
         assert!(rows.is_empty());
@@ -621,7 +735,7 @@ mod tests {
             StoreRef::Single(&store),
             &ctx.patterns[0],
             &extra,
-            false,
+            policy(false),
             Deadline::none(),
             &mut stats,
         )
@@ -641,7 +755,7 @@ mod tests {
             StoreRef::Single(&single),
             &ctx.patterns[0],
             &ExtraCstr::default(),
-            false,
+            policy(false),
             Deadline::none(),
             &mut s1,
         )
@@ -650,7 +764,7 @@ mod tests {
             StoreRef::Segmented(&seg),
             &ctx.patterns[0],
             &ExtraCstr::default(),
-            false,
+            policy(false),
             Deadline::none(),
             &mut s2,
         )

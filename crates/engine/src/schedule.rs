@@ -14,6 +14,7 @@
 //!   relationships).
 
 use crate::error::EngineError;
+use crate::exec::ExecPolicy;
 use crate::layout::{resolve_field, OBJ_OFF, START_COL, SUBJ_OFF};
 use crate::pattern::{execute_pattern, Deadline, EngineStats, StoreRef};
 use crate::synth::{ExtraCstr, Side};
@@ -44,14 +45,14 @@ pub struct Joined {
 pub fn fetch_and_filter(
     store: StoreRef<'_>,
     ctx: &QueryContext,
-    parallel: bool,
+    exec: ExecPolicy,
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<Joined, EngineError> {
     let n = ctx.patterns.len();
     let mut matches = Matches::new(n);
     for p in &ctx.patterns {
-        let rows = execute_pattern(store, p, &ExtraCstr::default(), parallel, deadline, stats)?;
+        let rows = execute_pattern(store, p, &ExtraCstr::default(), exec, deadline, stats)?;
         matches.per_pattern[p.idx] = Some(rows);
     }
     let rels: Vec<RelEval> = ctx
@@ -204,12 +205,12 @@ fn derive_extra(
 pub fn relationship_based(
     store: StoreRef<'_>,
     ctx: &QueryContext,
-    parallel: bool,
+    exec: ExecPolicy,
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<Joined, EngineError> {
     let scores: Vec<u32> = ctx.patterns.iter().map(|p| p.score).collect();
-    relationship_based_scored(store, ctx, &scores, parallel, deadline, stats)
+    relationship_based_scored(store, ctx, &scores, exec, deadline, stats)
 }
 
 /// Runs Algorithm 1: relationship-based scheduling with constrained
@@ -219,7 +220,7 @@ pub fn relationship_based_scored(
     store: StoreRef<'_>,
     ctx: &QueryContext,
     scores: &[u32],
-    parallel: bool,
+    exec: ExecPolicy,
     deadline: Deadline,
     stats: &mut EngineStats,
 ) -> Result<Joined, EngineError> {
@@ -261,14 +262,14 @@ pub fn relationship_based_scored(
                     store,
                     &ctx.patterns[hi],
                     &ExtraCstr::default(),
-                    parallel,
+                    exec,
                     deadline,
                     stats,
                 )?;
                 let extra = derive_extra(rel_ctx, ctx, hi, &hi_rows, lo)?;
                 matches.per_pattern[hi] = Some(hi_rows);
                 let lo_rows =
-                    execute_pattern(store, &ctx.patterns[lo], &extra, parallel, deadline, stats)?;
+                    execute_pattern(store, &ctx.patterns[lo], &extra, exec, deadline, stats)?;
                 matches.per_pattern[lo] = Some(lo_rows);
                 let ts = TupleSet::create(&matches, i0, j0, &[rel], deadline, stats)?;
                 let id = arena.len();
@@ -302,14 +303,8 @@ pub fn relationship_based_scored(
                     };
                     derive_extra(rel_ctx, ctx, known, &known_rows, fresh)?
                 };
-                let fresh_rows = execute_pattern(
-                    store,
-                    &ctx.patterns[fresh],
-                    &extra,
-                    parallel,
-                    deadline,
-                    stats,
-                )?;
+                let fresh_rows =
+                    execute_pattern(store, &ctx.patterns[fresh], &extra, exec, deadline, stats)?;
                 matches.per_pattern[fresh] = Some(fresh_rows);
                 match set_of[known] {
                     Some(id) => {
@@ -371,7 +366,7 @@ pub fn relationship_based_scored(
     // Step 4: leftover patterns (no relationships) execute unconstrained.
     for p in &ctx.patterns {
         if !matches.executed(p.idx) {
-            let rows = execute_pattern(store, p, &ExtraCstr::default(), parallel, deadline, stats)?;
+            let rows = execute_pattern(store, p, &ExtraCstr::default(), exec, deadline, stats)?;
             matches.per_pattern[p.idx] = Some(rows);
         }
         if set_of[p.idx].is_none() {
@@ -526,14 +521,14 @@ mod tests {
             Scheduler::Relationship => relationship_based(
                 StoreRef::Single(&store),
                 &ctx,
-                false,
+                ExecPolicy::sequential(),
                 Deadline::none(),
                 &mut stats,
             ),
             Scheduler::FetchFilter => fetch_and_filter(
                 StoreRef::Single(&store),
                 &ctx,
-                false,
+                ExecPolicy::sequential(),
                 Deadline::none(),
                 &mut stats,
             ),
@@ -586,7 +581,7 @@ mod tests {
         let j = relationship_based(
             StoreRef::Single(&store),
             &ctx,
-            false,
+            ExecPolicy::sequential(),
             Deadline::none(),
             &mut stats,
         )
@@ -613,14 +608,14 @@ mod tests {
                 Scheduler::Relationship => relationship_based(
                     StoreRef::Single(&store),
                     &ctx,
-                    false,
+                    ExecPolicy::sequential(),
                     Deadline::none(),
                     &mut stats,
                 ),
                 Scheduler::FetchFilter => fetch_and_filter(
                     StoreRef::Single(&store),
                     &ctx,
-                    false,
+                    ExecPolicy::sequential(),
                     Deadline::none(),
                     &mut stats,
                 ),

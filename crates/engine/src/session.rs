@@ -585,14 +585,23 @@ fn render_profile(stats: &EngineStats) -> String {
         .iter()
         .map(|s| {
             let paths = s.profile.paths().join("+");
+            let scatter = match &s.scatter {
+                Some(sc) if sc.colocated => " · shard-local".to_string(),
+                Some(sc) => format!(
+                    " · shards {}/{} w{}",
+                    sc.shards_scanned, sc.shards_total, sc.workers
+                ),
+                None => String::new(),
+            };
             format!(
-                "p{} {}({}): {} · rows {}→{}",
+                "p{} {}({}): {} · rows {}→{}{}",
                 s.pattern,
                 s.table,
                 s.target.name(),
                 if paths.is_empty() { "no-scan" } else { &paths },
                 s.profile.rows_scanned,
                 s.profile.rows_matched,
+                scatter,
             )
         })
         .collect::<Vec<_>>()
@@ -706,6 +715,30 @@ impl fmt::Display for Explain {
                     " · rows {} scanned -> {} matched",
                     prof.rows_scanned, prof.rows_matched
                 )?;
+                if let Some(sc) = &s.scatter {
+                    write!(
+                        f,
+                        "      scatter: shards {}/{} · workers {}",
+                        sc.shards_scanned, sc.shards_total, sc.workers,
+                    )?;
+                    if sc.colocated {
+                        write!(f, " · shard-local")?;
+                    } else {
+                        let order = sc
+                            .scatter_order
+                            .iter()
+                            .zip(&sc.rows_per_shard)
+                            .map(|(s, r)| format!("s{s}:{r}"))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        write!(
+                            f,
+                            " · order [{order}] · queue wait {} µs",
+                            sc.queue_wait_micros
+                        )?;
+                    }
+                    writeln!(f)?;
+                }
             }
         }
         writeln!(

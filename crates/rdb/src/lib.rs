@@ -56,7 +56,7 @@ pub use columnar::{Columnar, ColumnarSpec, Kernel};
 pub use error::RdbError;
 pub use exec::{ExecCtx, ExecStats, ResultSet};
 pub use expr::{CmpOp, Expr};
-pub use partition::{InsertReport, PartKey, PartitionSpec, PartitionedTable, Prune};
+pub use partition::{shard_of, InsertReport, PartKey, PartitionSpec, PartitionedTable, Prune};
 pub use schema::{ColumnType, Row, Schema};
 pub use segment::{Placement, SegmentedDb};
 pub use table::{AccessPath, ScanProfile, SealedChunk, Table, DEFAULT_CHUNK_ROWS};

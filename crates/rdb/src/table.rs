@@ -236,6 +236,11 @@ pub struct ScanProfile {
     pub rows_scanned: u64,
     /// Rows that satisfied every conjunct.
     pub rows_matched: u64,
+    /// Shards the store's layout routes partitions into (0 for unsharded
+    /// scans; see [`crate::partition::shard_of`]).
+    pub shards_total: u32,
+    /// Shards that held at least one admitted partition and were scanned.
+    pub shards_scanned: u32,
 }
 
 impl ScanProfile {
@@ -251,6 +256,8 @@ impl ScanProfile {
         self.blocks_pruned += o.blocks_pruned;
         self.rows_scanned += o.rows_scanned;
         self.rows_matched += o.rows_matched;
+        self.shards_total += o.shards_total;
+        self.shards_scanned += o.shards_scanned;
     }
 
     fn record_path(&mut self, path: AccessPath) {

@@ -103,6 +103,11 @@ pub struct StoreConfig {
     /// Whether to build columnar projections (dictionary-interned values,
     /// time-sorted zone-mapped blocks) alongside the row store.
     pub columnar: bool,
+    /// Execution shards the partitioned layout routes `(day, agent group)`
+    /// partitions into (`aiql_rdb::partition::shard_of`). `0` means
+    /// auto-size to the machine: [`StoreConfig::shard_count`] resolves it
+    /// to `available_parallelism`. Ignored by the monolithic layout.
+    pub shards: u32,
 }
 
 impl StoreConfig {
@@ -115,6 +120,7 @@ impl StoreConfig {
             },
             with_indexes: true,
             columnar: true,
+            shards: 0,
         }
     }
 
@@ -125,6 +131,7 @@ impl StoreConfig {
             layout: Layout::Monolithic,
             with_indexes: true,
             columnar: false,
+            shards: 0,
         }
     }
 
@@ -135,6 +142,35 @@ impl StoreConfig {
     pub fn with_columnar(mut self, columnar: bool) -> StoreConfig {
         self.columnar = columnar;
         self
+    }
+
+    /// Sets the execution shard count, builder style. `0` restores the
+    /// auto (machine-sized) default.
+    pub fn with_shards(mut self, shards: u32) -> StoreConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the spatial partition group size, builder style — smaller
+    /// groups mean more partitions and therefore more scatter width on
+    /// small agent fleets (the parallel bench uses groups of 1). No-op on
+    /// the monolithic layout.
+    pub fn with_agent_group(mut self, g: u32) -> StoreConfig {
+        if let Layout::Partitioned { agent_group_size } = &mut self.layout {
+            *agent_group_size = g.max(1);
+        }
+        self
+    }
+
+    /// The effective shard count: the configured value, or the machine's
+    /// available parallelism (min 1) when configured as `0` (auto).
+    pub fn shard_count(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards as usize;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -370,6 +406,13 @@ impl EventStore {
     /// The store configuration.
     pub fn config(&self) -> StoreConfig {
         self.config
+    }
+
+    /// The effective execution-shard count of this store's layout (see
+    /// [`StoreConfig::shard_count`]). Scatter-gather execution groups the
+    /// event partitions into this many shards; `1` disables scatter.
+    pub fn shard_count(&self) -> usize {
+        self.config.shard_count()
     }
 
     /// Number of ingested events.

@@ -42,10 +42,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Magic bytes opening every snapshot file (format version 2: chunked
-/// table layout — per-table chunk boundaries and per-chunk columnar block
-/// metadata; version-1 files predate chunked tables and are not readable).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIQLSNP2";
+/// Magic bytes opening every snapshot file (format version 3: the store
+/// configuration carries the execution-shard count; version 2 added the
+/// chunked table layout — per-table chunk boundaries and per-chunk
+/// columnar block metadata. Older versions are not readable).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AIQLSNP3";
 
 const SNAPSHOT_PREFIX: &str = "snapshot-";
 const SNAPSHOT_SUFFIX: &str = ".bin";
@@ -175,6 +176,7 @@ pub fn write_snapshot(
     codec::write_u32(&mut buf, group)?;
     codec::write_u8(&mut buf, store.config.with_indexes as u8)?;
     codec::write_u8(&mut buf, store.config.columnar as u8)?;
+    codec::write_u32(&mut buf, store.config.shards)?;
     codec::write_u64(&mut buf, store.epoch)?;
     codec::write_u64(&mut buf, store.event_count as u64)?;
     codec::write_u64(&mut buf, store.entity_count as u64)?;
@@ -248,6 +250,7 @@ pub fn load_snapshot(path: &Path) -> Result<(EventStore, u64), PersistError> {
         layout,
         with_indexes: codec::read_u8(&mut r)? != 0,
         columnar: codec::read_u8(&mut r)? != 0,
+        shards: codec::read_u32(&mut r)?,
     };
     let epoch = codec::read_u64(&mut r)?;
     let event_count = codec::read_u64(&mut r)? as usize;
