@@ -13,6 +13,7 @@ use aiql_engine::{Engine, EngineConfig, Session};
 use aiql_storage::{EventStore, SharedStore, StoreConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--test" || a == "--smoke")
@@ -137,6 +138,35 @@ fn bench(c: &mut Criterion) {
         assert!(
             speedup >= 2.0,
             "prepared sessions must clear 2x re-parse throughput, got {speedup:.2}x"
+        );
+    }
+
+    // Closed-loop wire mode: the same family over loopback through
+    // aiql-server, every page row-checked against the in-process oracle.
+    // Smoke keeps the axis short; the full axis (through 256 clients) runs
+    // in `repro service`, where the numbers land in BENCH_service.json.
+    {
+        let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64] };
+        let per_level = Duration::from_millis(if smoke { 250 } else { 1000 });
+        let closed = aiql_bench::service::closed_loop_bench(&store, &bindings, levels, per_level);
+        for l in &closed.levels {
+            eprintln!(
+                "[closed-loop {} client(s): {:.0} qps, p50 {:.3} ms, p99 {:.3} ms]",
+                l.clients, l.qps, l.p50_ms, l.p99_ms
+            );
+        }
+        assert_eq!(
+            closed.protocol_errors, 0,
+            "happy-path closed-loop must not trip protocol errors"
+        );
+        assert!(
+            closed.sessions_opened >= levels.iter().sum::<usize>() as u64,
+            "every client opens a session"
+        );
+        assert!(
+            closed.levels.iter().all(|l| l.statements > 0),
+            "every level completes statements: {:?}",
+            closed.levels
         );
     }
 

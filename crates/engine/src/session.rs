@@ -63,6 +63,7 @@ use aiql_rdb::{Row, ScanProfile};
 use aiql_storage::{SharedStore, StoreSnapshot, StoreStamp};
 use aiql_telemetry::trace::SpanNode;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -86,6 +87,9 @@ struct SessionCore {
     /// reuses the plan a previous `Prepared` already filled. Coarsely
     /// bounded: cleared wholesale when it outgrows the plan cache.
     plans: Mutex<std::collections::HashMap<String, Arc<PlanSlot>>>,
+    /// Per-statement wall-clock budget in nanoseconds (0 = none). Shared by
+    /// all clones; overlays (never widens) the engine config's own budget.
+    timeout_nanos: AtomicU64,
 }
 
 impl SessionCore {
@@ -97,6 +101,18 @@ impl SessionCore {
             .expect("session pin lock poisoned")
             .clone()
             .unwrap_or_else(|| self.store.read())
+    }
+
+    /// The engine configuration for the next execution: the session config
+    /// with the statement timeout folded into the budget (tightest wins).
+    fn exec_config(&self) -> EngineConfig {
+        let mut config = self.config;
+        let nanos = self.timeout_nanos.load(Ordering::Relaxed);
+        if nanos > 0 {
+            let t = Duration::from_nanos(nanos);
+            config.budget = Some(config.budget.map_or(t, |b| b.min(t)));
+        }
+        config
     }
 }
 
@@ -127,7 +143,34 @@ impl Session {
                 pinned: Mutex::new(None),
                 cache: Mutex::new(PlanCache::new(SESSION_PLAN_CACHE_CAPACITY)),
                 plans: Mutex::new(std::collections::HashMap::new()),
+                timeout_nanos: AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// Caps every statement on this session (and its clones) at `timeout`
+    /// of wall-clock time, builder style. Execution is cancelled at the
+    /// engine's cooperative checkpoints — between partition scans, join
+    /// steps, and cursor-page assembly — and surfaces as
+    /// [`EngineError::Timeout`]. The cap composes with an engine-config
+    /// budget: the tighter of the two wins.
+    pub fn with_timeout(self, timeout: Duration) -> Session {
+        self.set_statement_timeout(Some(timeout));
+        self
+    }
+
+    /// Sets or clears the per-statement timeout (see
+    /// [`Session::with_timeout`]).
+    pub fn set_statement_timeout(&self, timeout: Option<Duration>) {
+        let nanos = timeout.map_or(0, |t| t.as_nanos().min(u64::MAX as u128) as u64);
+        self.core.timeout_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The per-statement timeout currently in force, if any.
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        match self.core.timeout_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
         }
     }
 
@@ -358,7 +401,7 @@ impl Bound {
         let snapshot = self.core.snapshot();
         let stamp = snapshot.stamp();
         aiql_telemetry::trace::begin("execute");
-        let ran = Engine::with_config(&snapshot, self.core.config)
+        let ran = Engine::with_config(&snapshot, self.core.exec_config())
             .with_plan_slot(&self.plan)
             .run_ctx(&self.ctx);
         let trace = aiql_telemetry::trace::finish();
@@ -393,7 +436,7 @@ impl Bound {
         let stamp = snapshot.stamp();
         let store_ref = StoreRef::Single(&snapshot);
         let estimates = scoring::estimate_rows(store_ref, &self.ctx);
-        let outcome = Engine::with_config(&snapshot, self.core.config)
+        let outcome = Engine::with_config(&snapshot, self.core.exec_config())
             .with_plan_slot(&self.plan)
             .run_ctx(&self.ctx)?;
         let patterns = (0..self.ctx.patterns.len())
@@ -1069,6 +1112,27 @@ mod tests {
             .expect("slow execution recorded");
         assert!(entry.params.contains("$agent = 1"), "{}", entry.params);
         assert!(entry.profile.contains("rows"), "{}", entry.profile);
+    }
+
+    #[test]
+    fn statement_timeout_cancels_instead_of_completing() {
+        let store = shared(StoreConfig::partitioned());
+        // A 1 ns budget is expired by the time the first cooperative
+        // checkpoint (entering the pattern scan) runs, so any query that
+        // touches data must cancel rather than complete.
+        let session = Session::open(&store).with_timeout(Duration::from_nanos(1));
+        assert_eq!(session.statement_timeout(), Some(Duration::from_nanos(1)));
+        let r = session.run("proc p read || write file f return p, f");
+        assert!(matches!(r, Err(EngineError::Timeout)), "got {r:?}");
+
+        // Clearing the timeout lets the same source run to completion —
+        // clones share the setting.
+        let clone = session.clone();
+        clone.set_statement_timeout(None);
+        assert_eq!(session.statement_timeout(), None);
+        assert!(session
+            .run("proc p read || write file f return p, f")
+            .is_ok());
     }
 
     #[test]

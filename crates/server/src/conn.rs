@@ -1,0 +1,664 @@
+//! Per-connection state machine: frame reassembly, request dispatch,
+//! bounded outbox, and resource cleanup.
+//!
+//! A [`Conn`] is owned by exactly one worker thread and pumped in passes:
+//! read whatever bytes arrived (unless the outbox is over its cap —
+//! back-pressure), process complete frames into responses, flush the
+//! outbox as far as the socket accepts. All socket I/O is nonblocking;
+//! `WouldBlock` just ends the phase. Sessions, prepared statements, and
+//! cursors all live on the connection, so a dead socket can never leak
+//! them: [`Conn::cleanup`] returns every quota slot and gauge increment
+//! the connection ever took.
+
+use crate::metrics::metrics;
+use crate::proto::{ErrorCode, FrameBuffer, Request, Response, PROTO_VERSION};
+use crate::Shared;
+use aiql_engine::{Cursor, EngineError, Params, Session};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// One open session on this connection.
+struct ServerSession {
+    engine: Session,
+    tenant: String,
+    stmts: HashMap<u64, aiql_engine::Prepared>,
+    /// Cursor ids owned by this session, for cascade close.
+    cursor_ids: Vec<u64>,
+    last_used: Instant,
+}
+
+/// One open cursor on this connection.
+struct ServerCursor {
+    session: u64,
+    cursor: Cursor,
+    /// Wall-clock budget for the whole statement, enforced again at every
+    /// page boundary: a slow consumer cannot hold rows hostage forever.
+    deadline: Option<Instant>,
+}
+
+/// What a pump pass concluded about the connection.
+pub(crate) struct Pump {
+    /// Any bytes moved or frames processed (workers sleep when no
+    /// connection makes progress).
+    pub progress: bool,
+    /// The connection is finished and must be cleaned up.
+    pub close: bool,
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    fb: FrameBuffer,
+    /// Outbox: encoded frames waiting for the socket, `out[out_at..]`
+    /// pending. Bounded by `ServerConfig::outbox_limit` via back-pressure.
+    out: Vec<u8>,
+    out_at: usize,
+    /// Tenant name once `Hello` succeeded.
+    tenant: Option<String>,
+    sessions: HashMap<u64, ServerSession>,
+    cursors: HashMap<u64, ServerCursor>,
+    /// Flush what's queued, then close (protocol violation or peer EOF).
+    closing: bool,
+    /// Currently stalled on a full outbox (edge-counted).
+    stalled: bool,
+    /// Drain mode has taken its one final read of the socket: requests
+    /// fully written before shutdown sit in the kernel buffer and are
+    /// slurped and served; anything later is not.
+    drain_slurped: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, shared: &Shared) -> Conn {
+        metrics().connections_opened.inc();
+        metrics().active_connections.add(1);
+        shared
+            .counts
+            .active_connections
+            .fetch_add(1, Ordering::Relaxed);
+        Conn {
+            stream,
+            fb: FrameBuffer::new(),
+            out: Vec::new(),
+            out_at: 0,
+            tenant: None,
+            sessions: HashMap::new(),
+            cursors: HashMap::new(),
+            closing: false,
+            stalled: false,
+            drain_slurped: false,
+        }
+    }
+
+    fn outbox_len(&self) -> usize {
+        self.out.len() - self.out_at
+    }
+
+    fn queue(&mut self, resp: &Response) {
+        // Compact the consumed prefix before growing.
+        if self.out_at > 0 {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+        let frame = resp.to_frame().expect("responses always encode");
+        metrics().bytes_out.add(frame.len() as u64);
+        self.out.extend_from_slice(&frame);
+    }
+
+    fn queue_error(&mut self, code: ErrorCode, message: impl Into<String>) {
+        self.queue(&Response::Error {
+            code,
+            message: message.into(),
+        });
+    }
+
+    fn protocol_violation(&mut self, shared: &Shared, message: String) {
+        metrics().protocol_errors.inc();
+        shared
+            .counts
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.queue_error(ErrorCode::Protocol, message);
+    }
+
+    /// One scheduling pass: read → process → flush.
+    pub fn pump(&mut self, shared: &Shared, draining: bool) -> Pump {
+        let mut progress = false;
+
+        // Read phase. Skipped while closing and while the outbox is over
+        // its cap — the kernel's receive buffer then pushes back on the
+        // client (back-pressure). Drain mode reads exactly once more, to
+        // pick up requests fully sent before shutdown, then never again.
+        if !self.closing && (!draining || !std::mem::replace(&mut self.drain_slurped, true)) {
+            if self.outbox_len() >= shared.config.outbox_limit {
+                if !self.stalled {
+                    self.stalled = true;
+                    metrics().backpressure_stalls.inc();
+                    shared
+                        .counts
+                        .backpressure_stalls
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.stalled = false;
+                let mut buf = [0u8; 64 * 1024];
+                loop {
+                    match self.stream.read(&mut buf) {
+                        Ok(0) => {
+                            self.closing = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            metrics().bytes_in.add(n as u64);
+                            self.fb.extend(&buf[..n]);
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            return Pump {
+                                progress,
+                                close: true,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Process phase: complete frames become responses until the outbox
+        // fills. While draining, requests already received are still served
+        // (that's the "drain in-flight statements" guarantee).
+        while !self.closing && self.outbox_len() < shared.config.outbox_limit {
+            match self.fb.next_frame() {
+                Ok(Some(payload)) => {
+                    progress = true;
+                    self.handle_frame(shared, draining, &payload);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing-level corruption: the stream position can no
+                    // longer be trusted, so answer and hang up.
+                    self.protocol_violation(shared, e.to_string());
+                    self.closing = true;
+                }
+            }
+        }
+
+        // Flush phase.
+        while self.outbox_len() > 0 {
+            let pending = &self.out[self.out_at..];
+            let wrote =
+                aiql_fault::point("server.conn.write").and_then(|_| self.stream.write(pending));
+            match wrote {
+                Ok(0) => {
+                    return Pump {
+                        progress,
+                        close: true,
+                    }
+                }
+                Ok(n) => {
+                    self.out_at += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    return Pump {
+                        progress,
+                        close: true,
+                    }
+                }
+            }
+        }
+
+        // A closing connection dies once its queued responses are out; a
+        // drained one dies once its final slurp has been fully processed
+        // and flushed (any leftover buffered bytes are an incomplete
+        // frame that can never complete).
+        let close = self.outbox_len() == 0 && (self.closing || (draining && self.drain_slurped));
+        Pump { progress, close }
+    }
+
+    fn handle_frame(&mut self, shared: &Shared, draining: bool, payload: &[u8]) {
+        match Request::decode(payload) {
+            Ok(req) => self.handle_request(shared, draining, req),
+            Err(e) => {
+                // Valid framing, unintelligible payload (unknown opcode,
+                // malformed body): answer typed, then hang up.
+                self.protocol_violation(shared, e.to_string());
+                self.closing = true;
+            }
+        }
+    }
+
+    fn handle_request(&mut self, shared: &Shared, draining: bool, req: Request) {
+        // Everything but the handshake itself requires a completed Hello.
+        if self.tenant.is_none() && !matches!(req, Request::Hello { .. }) {
+            self.protocol_violation(
+                shared,
+                "Hello required before any other request".to_string(),
+            );
+            return;
+        }
+        match req {
+            Request::Hello { version, tenant } => {
+                if version != PROTO_VERSION {
+                    self.protocol_violation(
+                        shared,
+                        format!(
+                            "protocol version {version} unsupported (server speaks {PROTO_VERSION})"
+                        ),
+                    );
+                    self.closing = true;
+                } else if tenant.is_empty() {
+                    self.protocol_violation(shared, "tenant name must be non-empty".to_string());
+                } else if self.tenant.is_some() {
+                    self.protocol_violation(shared, "already greeted".to_string());
+                } else {
+                    self.tenant = Some(tenant);
+                    self.queue(&Response::HelloOk {
+                        version: PROTO_VERSION,
+                        server: format!("aiql-server/{}", env!("CARGO_PKG_VERSION")),
+                    });
+                }
+            }
+            Request::OpenSession => self.open_session(shared, draining),
+            Request::Prepare { session, source } => self.prepare(shared, session, &source),
+            Request::Execute {
+                session,
+                stmt,
+                params,
+                timeout_ms,
+            } => self.execute(shared, session, stmt, params, timeout_ms),
+            Request::FetchPage { cursor, max_rows } => self.fetch_page(shared, cursor, max_rows),
+            Request::CloseCursor { cursor } => {
+                if self.close_cursor(shared, cursor) {
+                    self.queue(&Response::CursorClosed { cursor });
+                } else {
+                    self.queue_error(ErrorCode::NotFound, format!("no cursor {cursor}"));
+                }
+            }
+            Request::CloseSession { session } => {
+                if self.sessions.contains_key(&session) {
+                    self.close_session(shared, session);
+                    self.queue(&Response::SessionClosed { session });
+                } else {
+                    self.queue_error(ErrorCode::NotFound, format!("no session {session}"));
+                }
+            }
+            Request::Ping { token } => self.queue(&Response::Pong { token }),
+        }
+    }
+
+    fn open_session(&mut self, shared: &Shared, draining: bool) {
+        let tenant = self.tenant.clone().expect("greeted");
+        if draining {
+            self.queue_error(ErrorCode::ShuttingDown, "server is draining");
+            return;
+        }
+        if !shared
+            .tenants
+            .try_open_session(&tenant, shared.config.max_sessions_per_tenant)
+        {
+            metrics().quota_rejections.inc();
+            shared
+                .counts
+                .quota_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            self.queue_error(
+                ErrorCode::QuotaExceeded,
+                format!(
+                    "tenant {tenant:?} at its session quota ({})",
+                    shared.config.max_sessions_per_tenant
+                ),
+            );
+            return;
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.insert(
+            id,
+            ServerSession {
+                engine: Session::open(&shared.store),
+                tenant,
+                stmts: HashMap::new(),
+                cursor_ids: Vec::new(),
+                last_used: Instant::now(),
+            },
+        );
+        metrics().sessions_opened.inc();
+        metrics().active_sessions.add(1);
+        shared
+            .counts
+            .sessions_opened
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counts
+            .active_sessions
+            .fetch_add(1, Ordering::Relaxed);
+        self.queue(&Response::SessionOpened { session: id });
+    }
+
+    fn prepare(&mut self, shared: &Shared, session: u64, source: &str) {
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            self.queue_error(ErrorCode::NotFound, format!("no session {session}"));
+            return;
+        };
+        sess.last_used = Instant::now();
+        match sess.engine.prepare(source) {
+            Ok(prepared) => {
+                let params = prepared.params().iter().map(|p| p.name.clone()).collect();
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                sess.stmts.insert(id, prepared);
+                metrics().prepares.inc();
+                self.queue(&Response::Prepared { stmt: id, params });
+            }
+            Err(e) => self.queue_error(ErrorCode::Compile, e.to_string()),
+        }
+    }
+
+    fn execute(
+        &mut self,
+        shared: &Shared,
+        session: u64,
+        stmt: u64,
+        params: Vec<(String, aiql_core::ast::Lit)>,
+        timeout_ms: u64,
+    ) {
+        let (prepared, engine, tenant) = {
+            let Some(sess) = self.sessions.get_mut(&session) else {
+                self.queue_error(ErrorCode::NotFound, format!("no session {session}"));
+                return;
+            };
+            sess.last_used = Instant::now();
+            let Some(prepared) = sess.stmts.get(&stmt) else {
+                self.queue_error(ErrorCode::NotFound, format!("no statement {stmt}"));
+                return;
+            };
+            // Prepared and Session are Arc-backed: clones share the plan.
+            (prepared.clone(), sess.engine.clone(), sess.tenant.clone())
+        };
+        if !shared
+            .tenants
+            .try_begin_statement(&tenant, shared.config.max_concurrent_statements)
+        {
+            metrics().quota_rejections.inc();
+            shared
+                .counts
+                .quota_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            self.queue_error(
+                ErrorCode::QuotaExceeded,
+                format!(
+                    "tenant {tenant:?} at its concurrent-statement cap ({})",
+                    shared.config.max_concurrent_statements
+                ),
+            );
+            return;
+        }
+
+        // Effective budget: the server cap, tightened by the client's own
+        // request if any (a client can never widen the server's cap; a
+        // zero cap means the server imposes none).
+        let cap = shared.config.statement_timeout;
+        let requested = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+        let budget = match (cap.is_zero(), requested) {
+            (false, Some(r)) => Some(cap.min(r)),
+            (false, None) => Some(cap),
+            (true, r) => r,
+        };
+        engine.set_statement_timeout(budget);
+
+        let started = Instant::now();
+        let ran = prepared
+            .bind(params_from_wire(params))
+            .and_then(|b| b.execute());
+        shared.tenants.end_statement(&tenant);
+
+        match ran {
+            Ok(cursor) => {
+                let elapsed_micros = cursor.elapsed().as_micros() as u64;
+                metrics().executes.inc();
+                metrics()
+                    .execute_micros
+                    .record(started.elapsed().as_micros() as u64);
+                crate::metrics::tenant_executes(&tenant).inc();
+                shared.counts.executes.fetch_add(1, Ordering::Relaxed);
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let columns = cursor.columns().to_vec();
+                let rows_total = cursor.remaining() as u64;
+                self.cursors.insert(
+                    id,
+                    ServerCursor {
+                        session,
+                        cursor,
+                        deadline: budget.map(|b| started + b),
+                    },
+                );
+                self.sessions
+                    .get_mut(&session)
+                    .expect("session checked above")
+                    .cursor_ids
+                    .push(id);
+                metrics().active_cursors.add(1);
+                shared.counts.active_cursors.fetch_add(1, Ordering::Relaxed);
+                self.queue(&Response::Executed {
+                    cursor: id,
+                    columns,
+                    rows_total,
+                    elapsed_micros,
+                });
+            }
+            Err(EngineError::Timeout) => {
+                metrics().timeouts.inc();
+                shared.counts.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.queue_error(
+                    ErrorCode::Timeout,
+                    "statement exceeded its wall-clock budget",
+                );
+            }
+            Err(e @ EngineError::Compile(_)) => self.queue_error(ErrorCode::Compile, e.to_string()),
+            Err(e) => self.queue_error(ErrorCode::Internal, e.to_string()),
+        }
+    }
+
+    fn fetch_page(&mut self, shared: &Shared, cursor: u64, max_rows: u32) {
+        let Some(sc) = self.cursors.get_mut(&cursor) else {
+            self.queue_error(ErrorCode::NotFound, format!("no cursor {cursor}"));
+            return;
+        };
+        let session = sc.session;
+        // Page-boundary cancellation: the statement's budget covers its
+        // whole cursor lifetime, checked cooperatively per page.
+        if sc.deadline.is_some_and(|d| Instant::now() > d) {
+            metrics().timeouts.inc();
+            shared.counts.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.close_cursor(shared, cursor);
+            self.queue_error(ErrorCode::Timeout, "cursor exceeded its statement budget");
+            return;
+        }
+        let started = Instant::now();
+        let n = max_rows.clamp(1, shared.config.page_rows_max) as usize;
+        let rows = sc.cursor.fetch(n);
+        let done = sc.cursor.remaining() == 0;
+        metrics().fetches.inc();
+        metrics()
+            .fetch_micros
+            .record(started.elapsed().as_micros() as u64);
+        if let Some(sess) = self.sessions.get_mut(&session) {
+            sess.last_used = Instant::now();
+        }
+        if done {
+            self.close_cursor(shared, cursor);
+        }
+        self.queue(&Response::Page { cursor, rows, done });
+    }
+
+    /// Closes one cursor, returning whether it existed.
+    fn close_cursor(&mut self, shared: &Shared, id: u64) -> bool {
+        let Some(sc) = self.cursors.remove(&id) else {
+            return false;
+        };
+        if let Some(sess) = self.sessions.get_mut(&sc.session) {
+            sess.cursor_ids.retain(|c| *c != id);
+        }
+        metrics().active_cursors.add(-1);
+        shared.counts.active_cursors.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Closes a session and everything it owns (statements, cursors,
+    /// quota slot). The caller has verified it exists.
+    fn close_session(&mut self, shared: &Shared, id: u64) {
+        let sess = self.sessions.remove(&id).expect("caller checked");
+        for c in sess.cursor_ids {
+            if self.cursors.remove(&c).is_some() {
+                metrics().active_cursors.add(-1);
+                shared.counts.active_cursors.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        shared.tenants.close_session(&sess.tenant);
+        metrics().active_sessions.add(-1);
+        shared
+            .counts
+            .active_sessions
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Reaps sessions idle past the configured horizon. Returns how many
+    /// were reaped.
+    pub fn reap_idle(&mut self, shared: &Shared, now: Instant) -> usize {
+        let horizon = shared.config.idle_session_timeout;
+        if horizon.is_zero() {
+            return 0;
+        }
+        let idle: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.duration_since(s.last_used) > horizon)
+            .map(|(id, _)| *id)
+            .collect();
+        let n = idle.len();
+        for id in idle {
+            self.close_session(shared, id);
+            metrics().idle_reaped.inc();
+        }
+        n
+    }
+
+    /// Returns every resource the connection holds: called exactly once,
+    /// when the worker drops the connection for any reason (EOF, error,
+    /// protocol violation, drain, fault injection).
+    pub fn cleanup(&mut self, shared: &Shared) {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for id in ids {
+            self.close_session(shared, id);
+        }
+        // Cursors whose session was already gone would otherwise leak
+        // invisibly.
+        for _ in self.cursors.drain() {
+            metrics().active_cursors.add(-1);
+            shared.counts.active_cursors.fetch_sub(1, Ordering::Relaxed);
+        }
+        metrics().active_connections.add(-1);
+        metrics().connections_closed.inc();
+        shared
+            .counts
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Rebuilds engine [`Params`] from the wire pairs.
+fn params_from_wire(pairs: Vec<(String, aiql_core::ast::Lit)>) -> Params {
+    let mut p = Params::new();
+    for (name, lit) in pairs {
+        p = p.set(&name, lit);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counts, ServerConfig, Shared};
+    use aiql_storage::{EventStore, SharedStore, StoreConfig};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+
+    /// A connection pair with the server side wrapped in a [`Conn`],
+    /// pumped by the test itself — interleavings (like "request arrives,
+    /// then drain begins") become deterministic.
+    fn harness() -> (Arc<Shared>, Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nodelay(true).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nodelay(true).unwrap();
+        served.set_nonblocking(true).unwrap();
+        let shared = Arc::new(Shared {
+            store: SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap()),
+            config: ServerConfig::default(),
+            draining: AtomicBool::new(false),
+            tenants: crate::tenant::TenantGate::new(),
+            next_id: AtomicU64::new(1),
+            counts: Counts::default(),
+        });
+        let conn = Conn::new(served, &shared);
+        (shared, conn, client)
+    }
+
+    fn response(client: &mut TcpStream) -> Response {
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(p) = fb.next_frame().unwrap() {
+                return Response::decode(&p).unwrap();
+            }
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0, "connection closed while awaiting a response");
+            fb.extend(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn draining_refuses_new_sessions_with_a_typed_frame() {
+        let (shared, mut conn, mut client) = harness();
+        client
+            .write_all(
+                &Request::Hello {
+                    version: PROTO_VERSION,
+                    tenant: "late".to_string(),
+                }
+                .to_frame()
+                .unwrap(),
+            )
+            .unwrap();
+        conn.pump(&shared, false);
+        assert!(matches!(response(&mut client), Response::HelloOk { .. }));
+
+        // The OpenSession is fully delivered (loopback) before the drain
+        // pass slurps it: it must be answered ShuttingDown, not dropped,
+        // and the connection must then finish.
+        client
+            .write_all(&Request::OpenSession.to_frame().unwrap())
+            .unwrap();
+        let pump = conn.pump(&shared, true);
+        assert!(matches!(
+            response(&mut client),
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ));
+        assert!(pump.close, "nothing left to drain after the answer");
+        conn.cleanup(&shared);
+        assert_eq!(shared.counts.active_sessions.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.counts.active_connections.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! aiql-server: a multi-tenant query service over the session API.
+//!
+//! The server fronts a [`SharedStore`] with the length-prefixed,
+//! CRC-checked binary protocol of [`proto`]: clients greet with their
+//! tenant name, open investigation sessions, prepare parameterized AIQL
+//! statements, execute bindings, and pull result pages through cursors —
+//! the same lifecycle [`aiql_engine::Session`] offers in-process, made
+//! remote.
+//!
+//! # Concurrency model
+//!
+//! Std-only (the build is offline; no tokio/mio): one acceptor thread
+//! runs a nonblocking `accept` loop and deals connections round-robin to
+//! a small, fixed pool of worker threads; each worker owns its
+//! connections outright and multiplexes them with nonblocking reads and
+//! writes. Statements execute inline on the worker — the engine
+//! materializes results fully and every statement carries a wall-clock
+//! budget, so one statement can only occupy its worker for a bounded
+//! slice. See docs/ARCHITECTURE.md (“Serving layer”) for why this beats
+//! a thread-per-connection or hand-rolled-epoll design here.
+//!
+//! # Tenancy and robustness
+//!
+//! Per-tenant session quotas and concurrent-statement caps reject with
+//! typed `QuotaExceeded` frames (never queue, never hang); statement
+//! timeouts cancel cooperatively inside the engine and again at every
+//! cursor-page boundary; slow consumers get back-pressure (a bounded
+//! per-connection outbox — when full, the server stops reading from that
+//! socket); idle sessions are reaped; shutdown drains in-flight requests
+//! before the workers exit. Everything is observable through
+//! `aiql_telemetry` (`aiql_server_*`, see docs/METRICS.md) and, for
+//! deterministic tests, through the per-handle [`ServerStats`].
+//!
+//! # Examples
+//!
+//! ```
+//! use aiql_server::{Server, ServerConfig};
+//! use aiql_storage::{EventStore, SharedStore, StoreConfig};
+//!
+//! let store = SharedStore::new(EventStore::empty(StoreConfig::partitioned()).unwrap());
+//! let handle = Server::spawn(&store, ServerConfig::default()).unwrap();
+//! let addr = handle.addr(); // connect aiql-client here
+//! assert_eq!(handle.stats().active_sessions, 0);
+//! handle.shutdown();
+//! # let _ = addr;
+//! ```
+
+mod conn;
+pub(crate) mod metrics;
+pub mod proto;
+mod tenant;
+
+use conn::Conn;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aiql_storage::SharedStore;
+
+/// How a [`Server`] behaves: pool size, quotas, budgets, limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads multiplexing connections. `0` = auto:
+    /// `min(4, available_parallelism)`.
+    pub workers: usize,
+    /// Open sessions one tenant may hold across all its connections.
+    pub max_sessions_per_tenant: usize,
+    /// Statements one tenant may have executing at once.
+    pub max_concurrent_statements: usize,
+    /// Server-side wall-clock cap per statement (execute through last
+    /// fetch). Zero = no server cap; clients can only tighten it.
+    pub statement_timeout: Duration,
+    /// Sessions untouched this long are reaped (zero disables reaping).
+    pub idle_session_timeout: Duration,
+    /// Outbox bytes per connection before the server stops reading new
+    /// requests from it (back-pressure on slow consumers).
+    pub outbox_limit: usize,
+    /// Upper bound on rows per `FetchPage` regardless of the request.
+    pub page_rows_max: u32,
+    /// On shutdown, how long workers may spend draining buffered
+    /// requests and flushing outboxes before closing forcibly.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            max_sessions_per_tenant: 64,
+            max_concurrent_statements: 8,
+            statement_timeout: Duration::from_secs(30),
+            idle_session_timeout: Duration::from_secs(300),
+            outbox_limit: 1 << 20,
+            page_rows_max: 4096,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(4)
+    }
+}
+
+/// Per-server counters mirrored out of the hot path for deterministic
+/// assertions (the global telemetry registry aggregates across servers
+/// and test runs; these are this instance's alone).
+#[derive(Default)]
+pub(crate) struct Counts {
+    pub active_connections: AtomicI64,
+    pub active_sessions: AtomicI64,
+    pub active_cursors: AtomicI64,
+    pub sessions_opened: AtomicU64,
+    pub executes: AtomicU64,
+    pub quota_rejections: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub backpressure_stalls: AtomicU64,
+}
+
+/// A point-in-time snapshot of one server's counters, from
+/// [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    pub active_connections: i64,
+    pub active_sessions: i64,
+    pub active_cursors: i64,
+    pub sessions_opened: u64,
+    pub executes: u64,
+    pub quota_rejections: u64,
+    pub timeouts: u64,
+    pub protocol_errors: u64,
+    pub backpressure_stalls: u64,
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+pub(crate) struct Shared {
+    pub store: SharedStore,
+    pub config: ServerConfig,
+    /// Set once by shutdown: stop accepting, drain, exit.
+    pub draining: AtomicBool,
+    pub tenants: tenant::TenantGate,
+    /// Session / statement / cursor id source (ids are server-unique).
+    pub next_id: AtomicU64,
+    pub counts: Counts,
+}
+
+/// The server: spawn with [`Server::spawn`], control through the
+/// returned [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:0` (an ephemeral loopback port) and starts the
+    /// acceptor and worker threads. See [`Server::bind`] to choose the
+    /// address.
+    pub fn spawn(store: &SharedStore, config: ServerConfig) -> io::Result<ServerHandle> {
+        Server::bind(store, config, "127.0.0.1:0")
+    }
+
+    /// Binds `addr` and starts the service.
+    pub fn bind(
+        store: &SharedStore,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: store.clone(),
+            config,
+            draining: AtomicBool::new(false),
+            tenants: tenant::TenantGate::new(),
+            next_id: AtomicU64::new(1),
+            counts: Counts::default(),
+        });
+
+        let workers = config.effective_workers();
+        let mut handles = Vec::with_capacity(workers + 1);
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let shared = shared.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("aiql-serve-w{w}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let shared_acc = shared.clone();
+        handles.push(
+            thread::Builder::new()
+                .name("aiql-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared_acc, &listener, &senders))
+                .expect("spawn acceptor"),
+        );
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            threads: Mutex::new(handles),
+        })
+    }
+}
+
+/// Accepts connections until shutdown, dealing them round-robin to the
+/// workers. Dropping the senders on exit tells every worker no more
+/// connections are coming.
+fn accept_loop(shared: &Shared, listener: &TcpListener, senders: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
+    while !shared.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // A worker only disappears at shutdown; a failed send just
+                // drops the connection, which is the right drain behavior.
+                let _ = senders[next % senders.len()].send(stream);
+                next += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Multiplexes this worker's connections until shutdown drains them.
+fn worker_loop(shared: &Shared, rx: &mpsc::Receiver<TcpStream>) {
+    let mut conns: VecDeque<Conn> = VecDeque::new();
+    let mut inbox_open = true;
+    let mut last_reap = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let draining = shared.draining.load(Ordering::Acquire);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + shared.config.drain_timeout);
+        }
+        let mut progress = false;
+
+        // Adopt newly accepted connections.
+        while inbox_open {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    // During drain, late arrivals are dropped unserved.
+                    if !draining {
+                        conns.push_back(Conn::new(stream, shared));
+                        progress = true;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    inbox_open = false;
+                    break;
+                }
+            }
+        }
+
+        // Pump every connection once; drop the finished ones.
+        let force_close = drain_deadline.is_some_and(|d| Instant::now() > d);
+        for _ in 0..conns.len() {
+            let mut c = conns.pop_front().expect("len-bounded");
+            let pump = c.pump(shared, draining);
+            progress |= pump.progress;
+            if pump.close || force_close {
+                c.cleanup(shared);
+            } else {
+                conns.push_back(c);
+            }
+        }
+
+        // Periodic idle-session reaping.
+        let now = Instant::now();
+        if now.duration_since(last_reap) > Duration::from_millis(100) {
+            last_reap = now;
+            for c in conns.iter_mut() {
+                c.reap_idle(shared, now);
+            }
+        }
+
+        if draining && conns.is_empty() {
+            // Drain any connections still queued so their sockets close.
+            while let Ok(stream) = rx.try_recv() {
+                drop(stream);
+            }
+            return;
+        }
+
+        if progress {
+            // Stay hot but let peers (and, on a single-core host, the
+            // clients themselves) run.
+            thread::yield_now();
+        } else {
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Owner handle for a running server: address, live stats, shutdown.
+///
+/// Dropping the handle shuts the server down (and joins its threads), so
+/// tests and benches can't leak listeners.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with the ephemeral port of
+    /// [`Server::spawn`]).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This instance's live counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counts;
+        ServerStats {
+            active_connections: c.active_connections.load(Ordering::Relaxed),
+            active_sessions: c.active_sessions.load(Ordering::Relaxed),
+            active_cursors: c.active_cursors.load(Ordering::Relaxed),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            executes: c.executes.load(Ordering::Relaxed),
+            quota_rejections: c.quota_rejections.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            backpressure_stalls: c.backpressure_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, serve every request already
+    /// received, flush outboxes, then join all threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        let mut threads = self.threads.lock().expect("server threads poisoned");
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

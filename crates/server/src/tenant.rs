@@ -1,0 +1,106 @@
+//! Per-tenant admission control: session quotas and concurrent-statement
+//! caps.
+//!
+//! Both limits are *rejection* gates, not queues — a tenant at its cap
+//! gets a typed `QuotaExceeded` frame immediately, never a hang — so one
+//! noisy tenant cannot hold worker threads hostage or starve the others.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct Counts {
+    sessions: usize,
+    statements: usize,
+}
+
+/// Shared admission-control ledger, one entry per tenant name.
+#[derive(Default)]
+pub(crate) struct TenantGate {
+    inner: Mutex<HashMap<String, Counts>>,
+}
+
+impl TenantGate {
+    pub fn new() -> TenantGate {
+        TenantGate::default()
+    }
+
+    /// Admits a new session unless the tenant is at `max` open sessions.
+    pub fn try_open_session(&self, tenant: &str, max: usize) -> bool {
+        let mut map = self.inner.lock().expect("tenant gate poisoned");
+        let c = map.entry(tenant.to_string()).or_default();
+        if c.sessions >= max {
+            return false;
+        }
+        c.sessions += 1;
+        true
+    }
+
+    /// Releases one session slot (idempotence is the caller's job: call
+    /// exactly once per admitted session).
+    pub fn close_session(&self, tenant: &str) {
+        let mut map = self.inner.lock().expect("tenant gate poisoned");
+        if let Some(c) = map.get_mut(tenant) {
+            c.sessions = c.sessions.saturating_sub(1);
+            if c.sessions == 0 && c.statements == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+
+    /// Admits a statement execution unless the tenant is at `max`
+    /// concurrently running statements.
+    pub fn try_begin_statement(&self, tenant: &str, max: usize) -> bool {
+        let mut map = self.inner.lock().expect("tenant gate poisoned");
+        let c = map.entry(tenant.to_string()).or_default();
+        if c.statements >= max {
+            return false;
+        }
+        c.statements += 1;
+        true
+    }
+
+    /// Releases one statement slot.
+    pub fn end_statement(&self, tenant: &str) {
+        let mut map = self.inner.lock().expect("tenant gate poisoned");
+        if let Some(c) = map.get_mut(tenant) {
+            c.statements = c.statements.saturating_sub(1);
+        }
+    }
+
+    /// Open sessions for `tenant` right now.
+    #[cfg(test)]
+    pub fn sessions(&self, tenant: &str) -> usize {
+        self.inner
+            .lock()
+            .expect("tenant gate poisoned")
+            .get(tenant)
+            .map_or(0, |c| c.sessions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_quota_is_per_tenant() {
+        let gate = TenantGate::new();
+        assert!(gate.try_open_session("a", 2));
+        assert!(gate.try_open_session("a", 2));
+        assert!(!gate.try_open_session("a", 2), "tenant a at cap");
+        assert!(gate.try_open_session("b", 2), "tenant b unaffected");
+        gate.close_session("a");
+        assert!(gate.try_open_session("a", 2), "slot freed");
+        assert_eq!(gate.sessions("a"), 2);
+    }
+
+    #[test]
+    fn statement_cap_rejects_at_limit() {
+        let gate = TenantGate::new();
+        assert!(gate.try_begin_statement("t", 1));
+        assert!(!gate.try_begin_statement("t", 1));
+        gate.end_statement("t");
+        assert!(gate.try_begin_statement("t", 1));
+    }
+}

@@ -7,36 +7,80 @@
 //! aiql> :quit
 //! ```
 //!
+//! With `--connect host:port` the shell becomes a remote analyst console:
+//! queries travel through `aiql-client` to a running `serve` instance
+//! (`cargo run --release --bin serve`) instead of an in-process store,
+//! and `:metrics` reports the client-observed round-trip latency.
+//!
 //! End a query with an empty line (queries may span several lines).
 //! Commands (`:` and `\` prefixes are interchangeable): `:help`,
 //! `:stats`, `:trace` (phase tree of the last query), `:metrics`
-//! (process-wide telemetry registry), `:slow` (the slow-query log;
-//! `:slow <ms>` sets the threshold), `:sql` (show the big-join
-//! translation of the last query), `:quit`.
+//! (process-wide telemetry registry; client latency when remote),
+//! `:slow` (the slow-query log; `:slow <ms>` sets the threshold), `:sql`
+//! (show the big-join translation of the last query), `:quit`.
 
+use aiql::client::{Client, ClientError};
 use aiql::datagen::EnterpriseSim;
-use aiql::engine::Session;
+use aiql::engine::{Params, Session};
 use aiql::storage::{EventStore, SharedStore, StoreConfig};
 use std::io::{BufRead, Write};
 
+/// Where queries go: an in-process session, or a server over the wire.
+enum Backend {
+    Local(Session),
+    Remote { client: Client, session: u64 },
+}
+
+fn connect_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, addr] if flag == "--connect" => Some(addr.clone()),
+        _ => {
+            eprintln!("usage: repl [--connect host:port]");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    println!("building the simulated enterprise (10 hosts, 2 days, attacks on 01/02/2017) ...");
-    let data = EnterpriseSim::builder()
-        .hosts(10)
-        .days(2)
-        .seed(2017)
-        .events_per_host_per_day(2_000)
-        .attacks(true)
-        .build()
-        .generate();
-    let store =
-        SharedStore::new(EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest"));
-    let session = Session::open(&store);
-    println!(
-        "{} events, {} entities. Type an AIQL query (blank line to run), :help for help.\n",
-        data.events.len(),
-        data.entities.len()
-    );
+    let mut backend = match connect_arg() {
+        Some(addr) => {
+            println!("connecting to aiql-server at {addr} ...");
+            let mut client = Client::connect(addr.as_str(), "repl").unwrap_or_else(|e| {
+                eprintln!("cannot connect: {e} (is `serve` running on {addr}?)");
+                std::process::exit(1);
+            });
+            let session = client.open_session().unwrap_or_else(|e| {
+                eprintln!("cannot open a session: {e}");
+                std::process::exit(1);
+            });
+            println!("connected. Type an AIQL query (blank line to run), :help for help.\n");
+            Backend::Remote { client, session }
+        }
+        None => {
+            println!(
+                "building the simulated enterprise (10 hosts, 2 days, attacks on 01/02/2017) ..."
+            );
+            let data = EnterpriseSim::builder()
+                .hosts(10)
+                .days(2)
+                .seed(2017)
+                .events_per_host_per_day(2_000)
+                .attacks(true)
+                .build()
+                .generate();
+            let store = SharedStore::new(
+                EventStore::ingest(&data, StoreConfig::partitioned()).expect("ingest"),
+            );
+            println!(
+                "{} events, {} entities. Type an AIQL query (blank line to run), :help for help.\n",
+                data.events.len(),
+                data.entities.len()
+            );
+            Backend::Local(Session::open(&store))
+        }
+    };
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -63,7 +107,19 @@ fn main() {
                     Some(t) => print!("{t}"),
                     None => println!("no query has run yet"),
                 },
-                "metrics" => print!("{}", aiql::telemetry::global().snapshot().to_prometheus()),
+                "metrics" => match &backend {
+                    Backend::Local(_) => {
+                        print!("{}", aiql::telemetry::global().snapshot().to_prometheus())
+                    }
+                    Backend::Remote { client, .. } => {
+                        let (calls, p50, p99) = client.latency_summary();
+                        println!(
+                            "client-side round trips: {calls} calls, p50 {:.3} ms, p99 {:.3} ms",
+                            p50 as f64 / 1e3,
+                            p99 as f64 / 1e3
+                        );
+                    }
+                },
                 "slow" => slow(words.next()),
                 "sql" => {
                     match &last_query {
@@ -96,29 +152,67 @@ fn main() {
         // Blank line: run the buffered query through the session, so the
         // plan cache, telemetry registry, and slow-query log all see it.
         let src = std::mem::take(&mut buffer);
-        match session.prepare(&src).and_then(|stmt| stmt.execute()) {
-            Ok(cursor) => {
-                let elapsed = cursor.elapsed();
-                let stats = cursor.stats().clone();
-                last_trace = cursor.trace().map(|t| t.render());
-                let result = cursor.into_result();
-                print!("{result}");
-                println!(
-                    "({} rows, {:.1} ms, {} data queries, {} rows scanned)",
-                    result.rows.len(),
-                    elapsed.as_secs_f64() * 1e3,
-                    stats.data_queries,
-                    stats.rows_scanned
-                );
-                last_stats = Some(format!("{stats:#?}"));
-                last_query = Some(src);
+        match &mut backend {
+            Backend::Local(session) => {
+                match session.prepare(&src).and_then(|stmt| stmt.execute()) {
+                    Ok(cursor) => {
+                        let elapsed = cursor.elapsed();
+                        let stats = cursor.stats().clone();
+                        last_trace = cursor.trace().map(|t| t.render());
+                        let result = cursor.into_result();
+                        print!("{result}");
+                        println!(
+                            "({} rows, {:.1} ms, {} data queries, {} rows scanned)",
+                            result.rows.len(),
+                            elapsed.as_secs_f64() * 1e3,
+                            stats.data_queries,
+                            stats.rows_scanned
+                        );
+                        last_stats = Some(format!("{stats:#?}"));
+                        last_query = Some(src);
+                    }
+                    Err(aiql::engine::EngineError::Compile(e)) => print!("{}", e.render(&src)),
+                    Err(e) => println!("error: {e}"),
+                }
             }
-            Err(aiql::engine::EngineError::Compile(e)) => print!("{}", e.render(&src)),
-            Err(e) => println!("error: {e}"),
+            Backend::Remote { client, session } => match run_remote(client, *session, &src) {
+                Ok(()) => last_query = Some(src),
+                Err(ClientError::Server { code, message }) => {
+                    println!("server error ({code:?}): {message}")
+                }
+                Err(e) => {
+                    println!("connection lost: {e}");
+                    break;
+                }
+            },
         }
         print_prompt(&buffer);
     }
     println!("bye.");
+}
+
+/// Prepare + execute + page a query over the wire, printing the rows the
+/// way the in-process result renderer would.
+fn run_remote(client: &mut Client, session: u64, src: &str) -> Result<(), ClientError> {
+    let stmt = client.prepare(session, src)?;
+    let started = std::time::Instant::now();
+    let cur = client.execute(session, stmt.stmt, &Params::new(), None)?;
+    let rows = client.fetch_all(cur.cursor, 1024)?;
+    let round_trip = started.elapsed();
+    if !cur.columns.is_empty() {
+        println!("{}", cur.columns.join(" | "));
+    }
+    for row in &rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!(
+        "({} rows, {:.1} ms server-side, {:.1} ms round trip)",
+        rows.len(),
+        cur.elapsed_micros as f64 / 1e3,
+        round_trip.as_secs_f64() * 1e3
+    );
+    Ok(())
 }
 
 /// `:slow` — list the slow-query log; `:slow <ms>` sets the threshold.

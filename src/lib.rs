@@ -30,6 +30,11 @@
 //! - [`datagen`] — the deterministic enterprise workload simulator and
 //!   attack-scenario catalog used in place of the paper's 150-host
 //!   deployment.
+//! - [`server`] / [`client`] — the serving layer: a multi-tenant query
+//!   service speaking a length-prefixed, CRC-checked wire protocol over
+//!   the session API (quotas, statement timeouts, back-pressure,
+//!   graceful drain), and the blocking client the REPL, tests, and
+//!   closed-loop bench drive it with.
 //! - [`telemetry`] — process-wide metrics registry, per-query trace
 //!   spans, and the slow-query log, wired through every layer above.
 //! - [`bench`](mod@bench) — the experiment harness reproducing every evaluation table
@@ -66,6 +71,7 @@
 
 pub use aiql_baselines as baselines;
 pub use aiql_bench as bench;
+pub use aiql_client as client;
 pub use aiql_core as lang;
 pub use aiql_datagen as datagen;
 pub use aiql_engine as engine;
@@ -74,6 +80,7 @@ pub use aiql_graphdb as graphdb;
 pub use aiql_ingest as ingest;
 pub use aiql_model as model;
 pub use aiql_rdb as rdb;
+pub use aiql_server as server;
 pub use aiql_storage as storage;
 pub use aiql_telemetry as telemetry;
 pub use aiql_translate as translate;
